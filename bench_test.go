@@ -1,0 +1,353 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index), plus the
+// ablations of DESIGN.md §6. Each benchmark regenerates the artifact and
+// reports the figure's headline quantity as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation section in one run.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/core"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/pktnet"
+	"repro/internal/sim"
+	"repro/internal/tco"
+	"repro/internal/tgl"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig7BER regenerates Figure 7: BER box plots of every optical
+// link between dCOMPUBRICK and dMEMBRICK across 6–8 switch hops.
+func BenchmarkFig7BER(b *testing.B) {
+	var worstMedian float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunFig7(1, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstMedian = 0
+		for _, c := range res.Channels {
+			if worstMedian == 0 || c.LogBER.Median > worstMedian {
+				worstMedian = c.LogBER.Median
+			}
+		}
+		if !res.AllBelow(1e-12) {
+			b.Fatal("paper claim violated: BER >= 1e-12")
+		}
+	}
+	b.ReportMetric(worstMedian, "worst-log10BER")
+}
+
+// BenchmarkFig8Latency regenerates Figure 8: the round-trip latency
+// breakdown of a 64 B remote read over the packet-switched path.
+func BenchmarkFig8Latency(b *testing.B) {
+	var total, circuit sim.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunFig8(pktnet.DefaultProfile, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.Packet.Total
+		circuit = res.Circuit.Total
+	}
+	b.ReportMetric(float64(total), "packet-rtt-ns")
+	b.ReportMetric(float64(circuit), "circuit-rtt-ns")
+}
+
+// BenchmarkFig10ScaleUp regenerates Figure 10: per-VM average scale-up
+// delay at 32/16/8-way concurrency vs. the VM scale-out baseline.
+func BenchmarkFig10ScaleUp(b *testing.B) {
+	var up32, out sim.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunFig10(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		up32 = sim.Duration(res.Rows[0].AvgScaleUpS * float64(sim.Second))
+		out = sim.Duration(res.Rows[0].AvgScaleOutS * float64(sim.Second))
+	}
+	b.ReportMetric(up32.Seconds(), "scaleup32-avg-s")
+	b.ReportMetric(out.Seconds(), "scaleout-avg-s")
+}
+
+// BenchmarkTable1Workloads regenerates Table I: the six VM workload
+// class generators.
+func BenchmarkTable1Workloads(b *testing.B) {
+	gens := make([]*workload.Generator, 0, 6)
+	for _, class := range workload.Classes() {
+		g, err := workload.NewGenerator(class, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens = append(gens, g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := gens[i%len(gens)].Next()
+		if r.VCPUs == 0 {
+			b.Fatal("degenerate request")
+		}
+	}
+}
+
+// BenchmarkFig12PowerOff regenerates Figure 12: the fraction of
+// individually powered units that can be switched off per workload class.
+func BenchmarkFig12PowerOff(b *testing.B) {
+	var maxKindOff, convOff float64
+	for i := 0; i < b.N; i++ {
+		results, err := core.RunTCO(tco.DefaultConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxKindOff, convOff = 0, 0
+		for _, r := range results {
+			if r.MaxKindOffFrac > maxKindOff {
+				maxKindOff = r.MaxKindOffFrac
+			}
+			if r.ConvOffFrac > convOff {
+				convOff = r.ConvOffFrac
+			}
+		}
+	}
+	b.ReportMetric(100*maxKindOff, "best-brick-off-%")
+	b.ReportMetric(100*convOff, "best-host-off-%")
+}
+
+// BenchmarkFig13Power regenerates Figure 13: power normalized to the
+// conventional datacenter.
+func BenchmarkFig13Power(b *testing.B) {
+	var bestSavings float64
+	for i := 0; i < b.N; i++ {
+		results, err := core.RunTCO(tco.DefaultConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestSavings = 0
+		for _, r := range results {
+			if r.SavingsFrac > bestSavings {
+				bestSavings = r.SavingsFrac
+			}
+		}
+	}
+	b.ReportMetric(100*bestSavings, "best-savings-%")
+}
+
+// BenchmarkAblationRMST compares the paper's fully associative RMST
+// against a direct-mapped variant: lookup cost and install success under
+// a segment-heavy layout (DESIGN.md §6).
+func BenchmarkAblationRMST(b *testing.B) {
+	dst := topo.BrickID{Tray: 1, Slot: 0}
+	port := topo.PortID{Brick: topo.BrickID{}, Port: 0}
+	mkEntries := func(n int) []tgl.Entry {
+		es := make([]tgl.Entry, n)
+		for i := range es {
+			es[i] = tgl.Entry{
+				Base: uint64(i) * (1 << 30), Size: 1 << 30,
+				Dest: dst, DestOffset: uint64(i) << 30, Port: port,
+			}
+		}
+		return es
+	}
+	b.Run("fully-associative", func(b *testing.B) {
+		rm, _ := tgl.NewRMST(32)
+		for _, e := range mkEntries(32) {
+			if err := rm.Install(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := rm.Lookup(uint64(i%32)<<30 + 4096); !ok {
+				b.Fatal("miss on installed segment")
+			}
+		}
+	})
+	b.Run("direct-mapped", func(b *testing.B) {
+		dm, _ := tgl.NewDirectRMST(32, 1<<30)
+		installed := 0
+		for _, e := range mkEntries(32) {
+			if dm.Install(e) == nil {
+				installed++
+			}
+		}
+		b.ReportMetric(float64(installed), "installed-of-32")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dm.Lookup(uint64(i%32)<<30 + 4096)
+		}
+	})
+}
+
+// BenchmarkAblationCircuitVsPacket quantifies the latency cost of
+// packet-mode interconnection against dedicated circuits (DESIGN.md §6).
+func BenchmarkAblationCircuitVsPacket(b *testing.B) {
+	b.Run("circuit", func(b *testing.B) {
+		ctrl, _ := mem.NewDDR(mem.DDR4_2400)
+		var total sim.Duration
+		for i := 0; i < b.N; i++ {
+			bd, err := pktnet.CircuitRoundTrip(pktnet.DefaultProfile, ctrl, mem.Request{Op: mem.OpRead, Addr: uint64(i) * 64, Size: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = bd.Total
+		}
+		b.ReportMetric(float64(total), "rtt-ns")
+	})
+	b.Run("packet", func(b *testing.B) {
+		ctrl, _ := mem.NewDDR(mem.DDR4_2400)
+		var total sim.Duration
+		for i := 0; i < b.N; i++ {
+			bd, err := pktnet.RoundTrip(pktnet.DefaultProfile, ctrl, mem.Request{Op: mem.OpRead, Addr: uint64(i) * 64, Size: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total = bd.Total
+		}
+		b.ReportMetric(float64(total), "rtt-ns")
+	})
+}
+
+// BenchmarkAblationPlacement compares power-aware packing against
+// bandwidth spreading in the SDM Controller (DESIGN.md §6).
+func BenchmarkAblationPlacement(b *testing.B) {
+	var pa, spread int
+	for i := 0; i < b.N; i++ {
+		var err error
+		pa, spread, err = core.AblationPlacement(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pa), "poweraware-bricks-off")
+	b.ReportMetric(float64(spread), "spread-bricks-off")
+}
+
+// BenchmarkAblationPortPressure quantifies the circuit→packet fallback
+// under port pressure: 12 attachments on an 8-port brick.
+func BenchmarkAblationPortPressure(b *testing.B) {
+	var circuitRTT, packetRTT sim.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := core.RunPortPressure(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		circuitRTT, packetRTT = r.AvgCircuitRTT, r.AvgPacketRTT
+	}
+	b.ReportMetric(float64(circuitRTT), "circuit-rtt-ns")
+	b.ReportMetric(float64(packetRTT), "packet-rtt-ns")
+}
+
+// BenchmarkMigration measures disaggregated VM migration: downtime
+// against the conventional full-memory-copy baseline for a VM whose
+// footprint is mostly remote.
+func BenchmarkMigration(b *testing.B) {
+	var downtime, fullCopy sim.Duration
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		dc, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dc.CreateVM("mv", 2, 2*brick.GiB); err != nil {
+			b.Fatal(err)
+		}
+		dc.SDM().PowerOnAll()
+		if _, err := dc.ScaleUpVM("mv", 16*brick.GiB); err != nil {
+			b.Fatal(err)
+		}
+		res, err := dc.MigrateVM("mv")
+		if err != nil {
+			b.Fatal(err)
+		}
+		downtime, fullCopy = res.Downtime, res.FullCopyBaseline
+	}
+	b.ReportMetric(downtime.Seconds()*1e3, "downtime-ms")
+	b.ReportMetric(fullCopy.Seconds()*1e3, "fullcopy-ms")
+}
+
+// BenchmarkExtensionSlowdown runs the AMAT-based application slowdown
+// sweep (remote fraction 0..1, circuit vs packet paths).
+func BenchmarkExtensionSlowdown(b *testing.B) {
+	var max float64
+	for i := 0; i < b.N; i++ {
+		s, err := core.RunSlowdownSweep(0.3, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		max = s.MaxSlowdown()
+	}
+	b.ReportMetric(max, "all-remote-slowdown-x")
+}
+
+// BenchmarkExtensionFillSweep runs the TCO fill-sensitivity sweep.
+func BenchmarkExtensionFillSweep(b *testing.B) {
+	var peakSavings float64
+	for i := 0; i < b.N; i++ {
+		points, err := core.RunTCOFillSweep(tco.DefaultConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peakSavings = 0
+		for _, p := range points {
+			if p.SavingsFrac > peakSavings {
+				peakSavings = p.SavingsFrac
+			}
+		}
+	}
+	b.ReportMetric(100*peakSavings, "peak-savings-%")
+}
+
+// BenchmarkAblationBalloon compares balloon-assisted memory reclaim with
+// full DIMM detach for elastic scale-down (DESIGN.md §6).
+func BenchmarkAblationBalloon(b *testing.B) {
+	setup := func(b *testing.B) *hypervisor.Hypervisor {
+		b.Helper()
+		hv, err := hypervisor.New(hypervisor.DefaultConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := hv.Spawn("vm", hypervisor.VMSpec{VCPUs: 1, Memory: 2 * brick.GiB}); err != nil {
+			b.Fatal(err)
+		}
+		return hv
+	}
+	b.Run("balloon", func(b *testing.B) {
+		hv := setup(b)
+		var lat sim.Duration
+		for i := 0; i < b.N; i++ {
+			l1, err := hv.BalloonInflate("vm", brick.GiB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l2, err := hv.BalloonDeflate("vm", brick.GiB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat = l1 + l2
+		}
+		b.ReportMetric(float64(lat), "reclaim+return-ns")
+	})
+	b.Run("detach", func(b *testing.B) {
+		hv := setup(b)
+		var lat sim.Duration
+		for i := 0; i < b.N; i++ {
+			d, l1, err := hv.AttachDIMM("vm", brick.GiB)
+			if err != nil {
+				b.Fatal(err)
+			}
+			l2, err := hv.DetachDIMM("vm", d.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat = l1 + l2
+		}
+		b.ReportMetric(float64(lat), "attach+detach-ns")
+	})
+}

@@ -1,0 +1,34 @@
+// Command dredbox-latency regenerates Figure 8 of the dReDBox paper:
+// the round-trip latency breakdown of a remote memory access over the
+// exploratory packet-switched interconnect, alongside the mainline
+// circuit-switched path for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pktnet"
+	"repro/internal/sim"
+)
+
+func main() {
+	size := flag.Int("size", 64, "transaction size in bytes (AXI burst, max 4096)")
+	fec := flag.Bool("fec", false, "add the FEC latency penalty the paper rules out")
+	macNs := flag.Int64("mac-ns", int64(pktnet.DefaultProfile.MAC), "MAC block latency per crossing (ns)")
+	phyNs := flag.Int64("phy-ns", int64(pktnet.DefaultProfile.PHY), "PHY latency per crossing (ns)")
+	flag.Parse()
+
+	prof := pktnet.DefaultProfile
+	prof.FEC = *fec
+	prof.MAC = sim.Duration(*macNs)
+	prof.PHY = sim.Duration(*phyNs)
+	res, err := core.RunFig8(prof, *size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dredbox-latency:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

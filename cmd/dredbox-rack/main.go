@@ -1,0 +1,126 @@
+// Command dredbox-rack assembles a full-stack dReDBox rack, runs a short
+// mixed scenario (VMs, elasticity, migration, accelerator offload,
+// power-off sweep) and prints the rack state plus the orchestration
+// journal — a one-shot tour of the whole system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/core"
+	"repro/internal/hypervisor"
+	"repro/internal/scaleup"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
+	journalCap := flag.Int("journal", 64, "journal ring capacity")
+	jsonOut := flag.Bool("json", false, "print the final SDM state snapshot as JSON")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	dc, err := core.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	j, err := trace.New(*journalCap)
+	if err != nil {
+		fail(err)
+	}
+	dc.ScaleController().SetJournal(j)
+
+	fmt.Println("== rack inventory ==")
+	for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory, topo.KindAccel} {
+		fmt.Printf("  %-12v x%d\n", kind, dc.Rack().Count(kind))
+	}
+	fmt.Printf("  switch fabric: %d ports, %.1f W\n\n",
+		cfg.Switch.Ports, dc.Fabric().Switch().PowerW())
+
+	// Scenario: boot three VMs, scale them, migrate one, offload work.
+	for i, spec := range []struct {
+		id   string
+		cpus int
+		mem  brick.Bytes
+	}{
+		{"web", 2, 2 * brick.GiB},
+		{"db", 4, 4 * brick.GiB},
+		{"batch", 1, brick.GiB},
+	} {
+		if _, err := dc.CreateVM(spec.id, spec.cpus, spec.mem); err != nil {
+			fail(fmt.Errorf("VM %d: %w", i, err))
+		}
+	}
+	dc.SDM().PowerOnAll()
+
+	if _, err := dc.ScaleUpVM("db", 8*brick.GiB); err != nil {
+		fail(err)
+	}
+	if _, err := dc.ScaleUpVM("web", 2*brick.GiB); err != nil {
+		fail(err)
+	}
+	mig, err := dc.MigrateVM("db")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("migrated db %v -> %v: downtime %v (full copy would take %v)\n",
+		mig.From, mig.To, mig.Downtime, mig.FullCopyBaseline)
+
+	bs := accel.Bitstream{Name: "compress", Size: 5 * brick.MiB}
+	accBrick, slot, _, err := dc.AttachAccelerator("batch", bs)
+	if err != nil {
+		fail(err)
+	}
+	if _, _, err := dc.Offload(accBrick, slot, accel.Task{
+		InputBytes: 128 * brick.MiB, OutputBytes: 32 * brick.MiB, AccelBytesPerSec: 2e9,
+	}); err != nil {
+		fail(err)
+	}
+
+	// Auto-scaler pass: the db VM's working set grows.
+	auto, err := scaleup.NewAutoScaler(dc.ScaleController(), hypervisor.OOMGuard{
+		HeadroomFraction: 0.9, StepSize: 2 * brick.GiB,
+	})
+	if err != nil {
+		fail(err)
+	}
+	vm, _ := dc.VM("db")
+	vm.SetUsage(vm.AvailableMemory() * 95 / 100)
+	tick, err := auto.Tick(dc.Now().Add(sim.Duration(sim.Minute)))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("auto-scaler: %d scale-ups, worst delay %v\n\n", tick.ScaleUps, tick.WorstDelay)
+
+	n := dc.PowerOffIdle()
+	fmt.Printf("== power census after sweeping %d idle bricks ==\n", n)
+	for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory, topo.KindAccel} {
+		c := dc.Census(kind)
+		fmt.Printf("  %-12v active %d  idle %d  off %d\n", kind, c.Active, c.Idle, c.Off)
+	}
+	fmt.Printf("  rack draw: %.1f W\n\n", dc.DrawW())
+
+	fmt.Println("== orchestration journal ==")
+	fmt.Print(j.Dump())
+
+	if *jsonOut {
+		data, err := dc.SDM().Snapshot().JSON()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("\n== SDM state snapshot (JSON) ==")
+		fmt.Println(string(data))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dredbox-rack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,133 @@
+// Command dredbox-report runs the entire evaluation — every table and
+// figure of the paper plus this repository's extension experiments — and
+// emits one consolidated text report. It is the artifact-evaluation
+// entry point: one command, the whole story, deterministic for a seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/pktnet"
+	"repro/internal/tco"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
+	trials := flag.Int("trials", 500, "BER trials per link (Fig. 7)")
+	out := flag.String("o", "", "write the report to a file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	section := func(title string) {
+		fmt.Fprintf(w, "\n%s\n%s\n\n", title, rule(len(title)))
+	}
+
+	fmt.Fprintln(w, "dReDBox reproduction — full evaluation report")
+	fmt.Fprintf(w, "seed %d; all simulations deterministic\n", *seed)
+
+	section("Fig. 7 — optical link BER")
+	f7, err := core.RunFig7(*seed, *trials)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprint(w, f7.Format())
+
+	section("Fig. 8 — remote access latency breakdown")
+	f8, err := core.RunFig8(pktnet.DefaultProfile, 64)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprint(w, f8.Format())
+
+	section("Fig. 10 — scale-up agility vs scale-out")
+	f10, err := core.RunFig10(*seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprint(w, f10.Format())
+
+	section("Table I — workload classes")
+	t1, err := core.FormatTable1(*seed, 100000)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprint(w, t1)
+
+	cfg := tco.DefaultConfig
+	cfg.Seed = *seed
+	section("Fig. 11 — TCO study setup")
+	f11, err := core.FormatFig11(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprint(w, f11)
+
+	results, err := core.RunTCO(cfg)
+	if err != nil {
+		fail(err)
+	}
+	section("Fig. 12 — power-off opportunities")
+	fmt.Fprint(w, core.FormatFig12(results))
+	section("Fig. 13 — normalized power")
+	fmt.Fprint(w, core.FormatFig13(results))
+
+	section("Extension — application slowdown vs remote fraction")
+	sw, err := core.RunSlowdownSweep(0.3, 11)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprint(w, sw.Format())
+
+	section("Extension — savings vs datacenter fill (High RAM class)")
+	points, err := core.RunTCOFillSweep(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(w, "fill   savings  bricks off  hosts off")
+	for _, p := range points {
+		fmt.Fprintf(w, "%.0f%%    %.0f%%      %.0f%%         %.0f%%\n",
+			100*p.TargetFill, 100*p.SavingsFrac, 100*p.BrickOffFrac, 100*p.ConvOffFrac)
+	}
+
+	section("Extension — placement policy ablation")
+	pa, spread, err := core.AblationPlacement(*seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(w, "power-aware packing: %d bricks off; bandwidth spreading: %d bricks off\n", pa, spread)
+
+	section("Extension — packet-mode fallback under port pressure")
+	pp, err := core.RunPortPressure(12)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(w, "12 attachments on an 8-port brick: %d circuit (avg RTT %v, control %v) + %d packet (avg RTT %v, control %v)\n",
+		pp.CircuitMode, pp.AvgCircuitRTT, pp.CircuitControl,
+		pp.PacketMode, pp.AvgPacketRTT, pp.PacketControl)
+}
+
+func rule(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '='
+	}
+	return string(b)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dredbox-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+// Command dredbox-scaleup regenerates Figure 10 of the dReDBox paper:
+// the per-VM average delay of dynamically scaling a VM's memory up and
+// down at three concurrency levels (32/16/8 simultaneous requesters),
+// compared with conventional elasticity through VM scale-out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
+	flag.Parse()
+
+	res, err := core.RunFig10(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dredbox-scaleup:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+}

@@ -1,0 +1,65 @@
+// Command dredbox-tco regenerates the TCO case study of the dReDBox
+// paper (§VI): Table I's workload classes, Figure 12's power-off
+// percentages and Figure 13's normalized power consumption, comparing a
+// conventional datacenter against a disaggregated one with equal
+// aggregate resources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/tco"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
+	hosts := flag.Int("hosts", tco.DefaultConfig.Hosts, "conventional datacenter size (hosts)")
+	fill := flag.Float64("fill", tco.DefaultConfig.TargetFill, "workload target fill fraction of the bottleneck resource")
+	table1 := flag.Bool("table1", true, "print Table I")
+	flag.Parse()
+
+	cfg := tco.DefaultConfig
+	cfg.Seed = *seed
+	cfg.TargetFill = *fill
+	if *hosts != cfg.Hosts {
+		// Keep the equal-aggregate-resources premise when resizing.
+		scale := *hosts
+		cfg.Hosts = scale
+		cfg.ComputeBricks = scale
+		cfg.MemoryBricks = 4 * scale
+	}
+
+	if *table1 {
+		s, err := core.FormatTable1(*seed, 100000)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if f11, err := core.FormatFig11(cfg); err == nil {
+		fmt.Println(f11)
+	} else {
+		fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
+		os.Exit(1)
+	}
+	results, err := core.RunTCO(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
+		os.Exit(1)
+	}
+	fmt.Println(core.FormatFig12(results))
+	fmt.Println(core.FormatFig13(results))
+
+	pa, spread, err := core.AblationPlacement(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Ablation — SDM placement policy on a scale-up churn workload:\n")
+	fmt.Printf("  power-aware packing: %d bricks powered off\n", pa)
+	fmt.Printf("  bandwidth spreading: %d bricks powered off\n", spread)
+}

@@ -1,0 +1,10 @@
+// Package repro is a full-stack reproduction, in pure Go, of the system
+// described in "dReDBox: Materializing a full-stack rack-scale system
+// prototype of a next-generation disaggregated datacenter" (Bielski et
+// al., DATE 2018).
+//
+// The root package carries the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// implementation lives under internal/ (see DESIGN.md for the inventory)
+// and runnable scenarios under examples/ and cmd/.
+package repro

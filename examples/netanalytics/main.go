@@ -1,0 +1,116 @@
+// Network analytics pilot (paper §V, use case 3): a monitoring probe on
+// a 100 GbE link runs in two modes. Online analysis inspects every frame
+// at line rate on a dACCELBRICK — classification and integrity metrics
+// only — dumping packets-of-interest for later study. Offline analysis
+// digs into the flagged pool; it is memory hungry but not latency bound,
+// and the pilot's key requirement is responsiveness: the backlog must
+// keep draining while the analysis VM's memory breathes with datacenter
+// pressure. The pilot library (internal/pilot/netmon) models the
+// two-stage pipeline; this example runs it against a real rack.
+//
+// Run with: go run ./examples/netanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/pilot/netmon"
+	"repro/internal/sim"
+)
+
+func main() {
+	dc, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dc.CreateVM("offline", 4, 4*brick.GiB); err != nil {
+		log.Fatal(err)
+	}
+	dc.SDM().PowerOnAll()
+
+	// Online mode: classifier bitstream in the traffic path.
+	bs := accel.Bitstream{Name: "flow-classifier", Size: 9 * brick.MiB}
+	accBrick, slot, _, err := dc.AttachAccelerator("offline", bs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online probe: %q loaded on %v slot %d\n", bs.Name, accBrick, slot)
+
+	// Pipeline model: 100 GbE, 1% flagged, offline throughput scales
+	// with the VM's memory (in-memory flow reassembly buffers).
+	probe, err := netmon.NewProbe(
+		netmon.OnlineStage{LineRateBytesPerSec: 12.5e9, FlagFraction: 0.01},
+		netmon.OfflineStage{BytesPerSecPerGiB: 25e6, MemoryGiB: 4},
+		64*brick.GiB,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("steady-state memory requirement: %d GiB (flag rate / per-GiB throughput)\n",
+		probe.SteadyStateMemory())
+
+	// Under-provisioned minute: the backlog builds.
+	for s := 0; s < 60; s++ {
+		probe.Advance(sim.Duration(sim.Second))
+	}
+	fmt.Printf("after 60s at 4GiB: backlog %v (dropped %v)\n", probe.Backlog(), probe.Dropped())
+
+	// Ask the model what to request, scale the VM, keep running.
+	targetGiB, err := probe.MemoryToDrain(120 * sim.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, _ := dc.VM("offline")
+	haveGiB := int(vm.TotalMemory() / brick.GiB)
+	fmt.Printf("model: %d GiB drains the backlog in 120s; scaling %d -> %d GiB\n",
+		targetGiB, haveGiB, targetGiB)
+	for haveGiB < targetGiB {
+		up, err := dc.ScaleUpVM("offline", 2*brick.GiB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		haveGiB += 2
+		fmt.Printf("  +2GiB in %v (probe uninterrupted)\n", up.Delay())
+	}
+	probe.Offline.MemoryGiB = haveGiB
+	for s := 0; s < 120; s++ {
+		probe.Advance(sim.Duration(sim.Second))
+	}
+	fmt.Printf("after 120s at %dGiB: backlog %v, drops %v\n",
+		haveGiB, probe.Backlog(), probe.Dropped())
+
+	// Deep inspection touches the remote pool directly.
+	var worstRead sim.Duration
+	for i := 0; i < 64; i++ {
+		bd, err := dc.RemoteAccess("offline", mem.OpRead, uint64(i)*4096, 1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bd.Total > worstRead {
+			worstRead = bd.Total
+		}
+	}
+	fmt.Printf("64 x 1KiB deep-inspection reads, worst round trip %v\n", worstRead)
+
+	// Datacenter memory pressure: yield down to steady state but KEEP
+	// RUNNING — continuous execution with an elastic footprint is the
+	// pilot's whole point.
+	floor := probe.SteadyStateMemory()
+	for haveGiB-2 >= floor {
+		if _, err := dc.ScaleDownVM("offline", 2*brick.GiB); err != nil {
+			break
+		}
+		haveGiB -= 2
+	}
+	probe.Offline.MemoryGiB = haveGiB
+	for s := 0; s < 30; s++ {
+		probe.Advance(sim.Duration(sim.Second))
+	}
+	fmt.Printf("\nmemory pressure: yielded to %dGiB (floor %dGiB); after 30s backlog %v, drops still %v\n",
+		haveGiB, floor, probe.Backlog(), probe.Dropped())
+}

@@ -1,0 +1,67 @@
+// Quickstart: assemble a dReDBox rack, boot a VM on a dCOMPUBRICK, grow
+// it with disaggregated memory from a dMEMBRICK over the optical circuit
+// fabric, touch that memory, shrink back, and power off what is idle.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/brick"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/topo"
+)
+
+func main() {
+	dc, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rack: %d dCOMPUBRICKs, %d dMEMBRICKs, %d dACCELBRICKs\n",
+		dc.Rack().Count(topo.KindCompute),
+		dc.Rack().Count(topo.KindMemory),
+		dc.Rack().Count(topo.KindAccel))
+
+	// Boot a VM with 2 GiB of brick-local memory.
+	res, err := dc.CreateVM("demo", 2, 2*brick.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VM booted in %v (conventional VM spawn cost — paid once)\n", res.Delay())
+
+	// The application asks for 4 GiB more: the Scale-up controller
+	// relays to the SDM Controller, a segment is carved on a dMEMBRICK,
+	// a circuit is programmed, the TGL window installed, the baremetal
+	// kernel hot-adds the range and the hypervisor hotplugs a DIMM.
+	up, err := dc.ScaleUpVM("demo", 4*brick.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scale-up +4GiB in %v (orchestration %v, baremetal hotplug %v, hypervisor %v)\n",
+		up.Delay(), up.Orchestration, up.Baremetal, up.Virtual)
+
+	vm, _ := dc.VM("demo")
+	fmt.Printf("VM now sees %v of memory\n", vm.TotalMemory())
+
+	// Touch the remote memory: one 64 B read through TGL translation,
+	// the circuit fabric and the remote DDR controller.
+	bd, err := dc.RemoteAccess("demo", mem.OpRead, 0, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote 64B read round trip: %v\n", bd.Total)
+
+	// Elastic shrink: give the memory back.
+	down, err := dc.ScaleDownVM("demo", 4*brick.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scale-down -4GiB in %v\n", down.Delay())
+
+	// Power management: everything idle goes dark.
+	n := dc.PowerOffIdle()
+	fmt.Printf("powered off %d idle bricks; rack draw now %.1f W\n", n, dc.DrawW())
+}

@@ -1,0 +1,124 @@
+// Video analytics pilot (paper §V, use case 1): a security organization
+// reviews 100,000 hours of video after an incident. The workload is
+// event-driven — it cannot be scheduled or predicted — so the analysis
+// VM idles small most of the time and must absorb sudden investigation
+// bursts. The pilot library (internal/pilot/video) turns the case into a
+// resource plan; this example executes that plan on a dReDBox rack:
+// memory scale-up for the in-memory frame index (spilling into
+// packet-mode attachments once the brick's ports run out) and near-data
+// offload of the pixel-level filtering to a dACCELBRICK.
+//
+// Run with: go run ./examples/videoanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/core"
+	"repro/internal/pilot/video"
+	"repro/internal/sim"
+)
+
+func main() {
+	dc, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dc.CreateVM("video-idx", 4, 2*brick.GiB); err != nil {
+		log.Fatal(err)
+	}
+	dc.SDM().PowerOnAll()
+	fmt.Println("steady state: video-idx VM running with 2GiB")
+
+	// An investigation opens: plan it.
+	inv := video.Investigation{
+		FootageHours:      100000,
+		BytesPerHour:      brick.GiB,
+		IndexBytesPerHour: 256 * brick.KiB,
+		CPUPerHour:        2 * sim.Second,
+		FlaggedFraction:   0.03,
+	}
+	cluster := video.Cluster{
+		Cores:            8, // the analysis brick's APU
+		VCPUs:            4,
+		AccelBytesPerSec: 4e9,
+		BatchBytes:       512 * brick.MiB,
+		MemoryStep:       2 * brick.GiB,
+	}
+	plan, err := video.BuildPlan(inv, cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== incident: %d hours of footage ==\n", inv.FootageHours)
+	fmt.Printf("plan: %v index over %d scale-ups, %d accel batches, %d triage jobs\n",
+		plan.IndexMemory, plan.ScaleUpSteps, plan.Batches, len(plan.TriageJobs))
+	fmt.Printf("plan estimate: accel stage %v, triage stage %v\n",
+		plan.EstimatedAccelSpan, plan.EstimatedTriageSpan)
+
+	// Execute the memory part of the plan. The VM's brick has 8
+	// transceiver ports; the 13-step plan overflows them, so the SDM
+	// Controller falls back to packet-mode attachments — watch the mode.
+	var totalUp sim.Duration
+	for i := 0; i < plan.ScaleUpSteps; i++ {
+		up, err := dc.ScaleUpVM("video-idx", cluster.MemoryStep)
+		if err != nil {
+			log.Fatalf("scale-up %d: %v", i, err)
+		}
+		totalUp += up.Delay()
+	}
+	vm, _ := dc.VM("video-idx")
+	atts := dc.SDM().Attachments("video-idx")
+	circuits, packets := 0, 0
+	for _, a := range atts {
+		if a.Mode.String() == "packet" {
+			packets++
+		} else {
+			circuits++
+		}
+	}
+	fmt.Printf("index scaled to %v in %v (%d circuit + %d packet-mode attachments)\n",
+		vm.TotalMemory(), totalUp, circuits, packets)
+
+	// Execute the first accelerator batches near the data.
+	bs := accel.Bitstream{Name: "motion-filter", Size: 6 * brick.MiB}
+	accBrick, slot, attLat, err := dc.AttachAccelerator("video-idx", bs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accelerator slot %d on %v ready in %v\n", slot, accBrick, attLat)
+	var offloadTotal sim.Duration
+	var wireTotal brick.Bytes
+	const demoBatches = 8
+	for i := 0; i < demoBatches; i++ {
+		lat, wire, err := dc.Offload(accBrick, slot, plan.AccelTask)
+		if err != nil {
+			log.Fatal(err)
+		}
+		offloadTotal += lat
+		wireTotal += wire
+	}
+	fmt.Printf("first %d of %d batches filtered near-data in %v; only %v crossed the fabric\n",
+		demoBatches, plan.Batches, offloadTotal, wireTotal)
+
+	// What did elasticity buy? Compare with the VM stuck on 2 spare cores.
+	speedup, err := video.SpeedupWithScaleUp(inv, cluster, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triage speedup vs a fixed 2-core deployment: %.1fx\n", speedup)
+
+	// Investigation closes: release everything.
+	fmt.Println("\n== investigation closed: shrinking back ==")
+	for i := 0; i < plan.ScaleUpSteps; i++ {
+		if _, err := dc.ScaleDownVM("video-idx", cluster.MemoryStep); err != nil {
+			log.Fatalf("scale-down %d: %v", i, err)
+		}
+	}
+	n := dc.PowerOffIdle()
+	vm, _ = dc.VM("video-idx")
+	fmt.Printf("index back to %v; %d bricks powered off; rack draw %.1f W\n",
+		vm.TotalMemory(), n, dc.DrawW())
+}

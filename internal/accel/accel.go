@@ -1,0 +1,230 @@
+// Package accel models the dACCELBRICK's software side (paper §II): the
+// thin middleware running on the brick's local APU that (i) receives and
+// stores accelerator bitstreams sent by remote dCOMPUBRICKs and
+// (ii) reconfigures the programmable logic with the requested hardware IP
+// through the PCAP port; plus the near-data offload path that is the
+// brick's reason to exist — instead of hauling data to a remote compute
+// brick, the compute brick pushes the task to the accelerator sitting
+// next to the data, cutting network utilization.
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/sim"
+)
+
+// Bitstream is a partial-reconfiguration image for one accelerator slot.
+type Bitstream struct {
+	Name string
+	Size brick.Bytes
+}
+
+// Validate rejects unusable bitstreams.
+func (b Bitstream) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("accel: bitstream needs a name")
+	}
+	if b.Size == 0 {
+		return fmt.Errorf("accel: bitstream %q has zero size", b.Name)
+	}
+	return nil
+}
+
+// Config parameterizes the middleware's latency model.
+type Config struct {
+	// PCAPBytesPerSec is the PCAP reconfiguration port bandwidth
+	// (~400 MB/s on Zynq Ultrascale+).
+	PCAPBytesPerSec float64
+	// LinkGbps is the line rate for bitstream delivery and data shipping.
+	LinkGbps float64
+	// RegisterAccess is one wrapper-register read/write (control/status).
+	RegisterAccess sim.Duration
+	// StoreCapacity bounds the bitstream repository in the APU DDR.
+	StoreCapacity brick.Bytes
+}
+
+// DefaultConfig holds prototype-representative values.
+var DefaultConfig = Config{
+	PCAPBytesPerSec: 400e6,
+	LinkGbps:        10,
+	RegisterAccess:  200, // ns: AXI register round trip via glue logic
+	StoreCapacity:   512 * brick.MiB,
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.PCAPBytesPerSec <= 0 {
+		return fmt.Errorf("accel: PCAP bandwidth must be positive")
+	}
+	if c.LinkGbps <= 0 {
+		return fmt.Errorf("accel: link rate must be positive")
+	}
+	if c.RegisterAccess < 0 {
+		return fmt.Errorf("accel: negative register latency")
+	}
+	if c.StoreCapacity == 0 {
+		return fmt.Errorf("accel: zero store capacity")
+	}
+	return nil
+}
+
+// Middleware is the per-brick accelerator manager.
+type Middleware struct {
+	cfg   Config
+	brick *brick.Accel
+
+	store     map[string]Bitstream
+	storeUsed brick.Bytes
+	loaded    map[int]string // slot -> bitstream name
+	slotQueue []sim.Queue
+
+	reconfigs uint64
+	offloads  uint64
+}
+
+// NewMiddleware wraps an accelerator brick.
+func NewMiddleware(b *brick.Accel, cfg Config) (*Middleware, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Middleware{
+		cfg:       cfg,
+		brick:     b,
+		store:     make(map[string]Bitstream),
+		loaded:    make(map[int]string),
+		slotQueue: make([]sim.Queue, b.Slots()),
+	}, nil
+}
+
+// Brick returns the managed brick.
+func (m *Middleware) Brick() *brick.Accel { return m.brick }
+
+// ReceiveBitstream accepts a bitstream pushed by a remote dCOMPUBRICK
+// and stores it in the repository, returning the transfer latency.
+func (m *Middleware) ReceiveBitstream(bs Bitstream) (sim.Duration, error) {
+	if err := bs.Validate(); err != nil {
+		return 0, err
+	}
+	if _, dup := m.store[bs.Name]; dup {
+		return 0, fmt.Errorf("accel: bitstream %q already stored", bs.Name)
+	}
+	if m.storeUsed+bs.Size > m.cfg.StoreCapacity {
+		return 0, fmt.Errorf("accel: bitstream store full (%v used of %v, %v requested)",
+			m.storeUsed, m.cfg.StoreCapacity, bs.Size)
+	}
+	m.store[bs.Name] = bs
+	m.storeUsed += bs.Size
+	return optical.SerializationDelay(int(bs.Size), m.cfg.LinkGbps), nil
+}
+
+// DropBitstream removes a stored bitstream.
+func (m *Middleware) DropBitstream(name string) error {
+	bs, ok := m.store[name]
+	if !ok {
+		return fmt.Errorf("accel: no bitstream %q stored", name)
+	}
+	for slot, loaded := range m.loaded {
+		if loaded == name {
+			return fmt.Errorf("accel: bitstream %q loaded in slot %d", name, slot)
+		}
+	}
+	delete(m.store, name)
+	m.storeUsed -= bs.Size
+	return nil
+}
+
+// Stored reports whether a bitstream is in the repository.
+func (m *Middleware) Stored(name string) bool {
+	_, ok := m.store[name]
+	return ok
+}
+
+// Reconfigure loads a stored bitstream into a bound slot via PCAP and
+// returns the reconfiguration latency.
+func (m *Middleware) Reconfigure(slot int, name string) (sim.Duration, error) {
+	bs, ok := m.store[name]
+	if !ok {
+		return 0, fmt.Errorf("accel: bitstream %q not stored (push it first)", name)
+	}
+	s, err := m.brick.Slot(slot)
+	if err != nil {
+		return 0, err
+	}
+	if s.Owner == "" {
+		return 0, fmt.Errorf("accel: slot %d not bound; reserve it through the orchestrator", slot)
+	}
+	m.loaded[slot] = name
+	m.reconfigs++
+	ns := float64(bs.Size) / m.cfg.PCAPBytesPerSec * 1e9
+	return sim.Duration(ns) + 2*m.cfg.RegisterAccess, nil
+}
+
+// Loaded returns the bitstream loaded in a slot.
+func (m *Middleware) Loaded(slot int) (string, bool) {
+	n, ok := m.loaded[slot]
+	return n, ok
+}
+
+// Task is one offloaded unit of work.
+type Task struct {
+	// InputBytes is the data the accelerator reads (already resident on
+	// the brick's PL DDR — that is the near-data premise).
+	InputBytes brick.Bytes
+	// OutputBytes is the result shipped back to the requester.
+	OutputBytes brick.Bytes
+	// AccelBytesPerSec is the accelerator's processing throughput.
+	AccelBytesPerSec float64
+}
+
+// Validate rejects degenerate tasks.
+func (t Task) Validate() error {
+	if t.InputBytes == 0 {
+		return fmt.Errorf("accel: task with no input")
+	}
+	if t.AccelBytesPerSec <= 0 {
+		return fmt.Errorf("accel: task needs positive accelerator throughput")
+	}
+	return nil
+}
+
+// Offload runs a task on a slot at virtual time now. Tasks on the same
+// slot serialize. It returns completion time and the number of bytes that
+// crossed the network (control + result only — the input stayed local).
+func (m *Middleware) Offload(now sim.Time, slot int, task Task) (done sim.Time, wireBytes brick.Bytes, err error) {
+	if err := task.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if slot < 0 || slot >= len(m.slotQueue) {
+		return 0, 0, fmt.Errorf("accel: slot %d out of range", slot)
+	}
+	if _, ok := m.loaded[slot]; !ok {
+		return 0, 0, fmt.Errorf("accel: slot %d has no bitstream loaded", slot)
+	}
+	ns := float64(task.InputBytes) / task.AccelBytesPerSec * 1e9
+	service := sim.Duration(ns) + 2*m.cfg.RegisterAccess +
+		optical.SerializationDelay(int(task.OutputBytes), m.cfg.LinkGbps)
+	_, done = m.slotQueue[slot].Serve(now, service)
+	m.offloads++
+	return done, task.OutputBytes, nil
+}
+
+// ShipAndCompute is the non-offload alternative: move the input over the
+// network to a compute brick and process it there at cpuBytesPerSec. It
+// returns the completion time and wire bytes for comparison with Offload.
+func ShipAndCompute(cfg Config, now sim.Time, task Task, cpuBytesPerSec float64) (done sim.Time, wireBytes brick.Bytes, err error) {
+	if err := task.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if cpuBytesPerSec <= 0 {
+		return 0, 0, fmt.Errorf("accel: CPU throughput must be positive")
+	}
+	ship := optical.SerializationDelay(int(task.InputBytes), cfg.LinkGbps)
+	ns := float64(task.InputBytes) / cpuBytesPerSec * 1e9
+	return now.Add(ship + sim.Duration(ns)), task.InputBytes, nil
+}
+
+// Stats returns cumulative counters.
+func (m *Middleware) Stats() (reconfigs, offloads uint64) { return m.reconfigs, m.offloads }

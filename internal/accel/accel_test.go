@@ -1,0 +1,173 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func newMW(t *testing.T) *Middleware {
+	t.Helper()
+	b := brick.NewAccel(topo.BrickID{Tray: 0, Slot: 4}, brick.AccelConfig{Slots: 2})
+	b.PowerOn()
+	m, err := NewMiddleware(b, DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestReceiveBitstream(t *testing.T) {
+	m := newMW(t)
+	lat, err := m.ReceiveBitstream(Bitstream{Name: "sobel", Size: 4 * brick.MiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 MiB at 10 Gb/s ≈ 3.4 ms.
+	if lat < 3*sim.Millisecond || lat > 4*sim.Millisecond {
+		t.Fatalf("transfer latency = %v, want ~3.4ms", lat)
+	}
+	if !m.Stored("sobel") {
+		t.Fatal("bitstream not stored")
+	}
+	if _, err := m.ReceiveBitstream(Bitstream{Name: "sobel", Size: brick.MiB}); err == nil {
+		t.Fatal("duplicate bitstream accepted")
+	}
+	if _, err := m.ReceiveBitstream(Bitstream{Name: "", Size: brick.MiB}); err == nil {
+		t.Fatal("unnamed bitstream accepted")
+	}
+	if _, err := m.ReceiveBitstream(Bitstream{Name: "huge", Size: brick.GiB}); err == nil {
+		t.Fatal("store overflow accepted")
+	}
+}
+
+func TestDropBitstream(t *testing.T) {
+	m := newMW(t)
+	m.ReceiveBitstream(Bitstream{Name: "aes", Size: brick.MiB})
+	m.Brick().Bind("vm1", "aes")
+	if _, err := m.Reconfigure(0, "aes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropBitstream("aes"); err == nil {
+		t.Fatal("drop of loaded bitstream succeeded")
+	}
+	if err := m.DropBitstream("ghost"); err == nil {
+		t.Fatal("drop of absent bitstream succeeded")
+	}
+}
+
+func TestReconfigure(t *testing.T) {
+	m := newMW(t)
+	m.ReceiveBitstream(Bitstream{Name: "fft", Size: 8 * brick.MiB})
+	if _, err := m.Reconfigure(0, "fft"); err == nil {
+		t.Fatal("reconfigure of unbound slot succeeded")
+	}
+	m.Brick().Bind("vm1", "fft")
+	lat, err := m.Reconfigure(0, "fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 MiB over PCAP at 400 MB/s ≈ 21 ms.
+	if lat < 15*sim.Millisecond || lat > 30*sim.Millisecond {
+		t.Fatalf("PCAP latency = %v, want ~21ms", lat)
+	}
+	if name, ok := m.Loaded(0); !ok || name != "fft" {
+		t.Fatal("slot load state wrong")
+	}
+	if _, err := m.Reconfigure(0, "ghost"); err == nil {
+		t.Fatal("reconfigure with absent bitstream succeeded")
+	}
+	if _, err := m.Reconfigure(9, "fft"); err == nil {
+		t.Fatal("reconfigure of absent slot succeeded")
+	}
+}
+
+func TestOffloadNearDataBeatsShipping(t *testing.T) {
+	m := newMW(t)
+	m.ReceiveBitstream(Bitstream{Name: "filter", Size: brick.MiB})
+	m.Brick().Bind("vm1", "filter")
+	m.Reconfigure(0, "filter")
+	task := Task{
+		InputBytes:       256 * brick.MiB,
+		OutputBytes:      brick.MiB,
+		AccelBytesPerSec: 4e9, // FPGA filter at 4 GB/s
+	}
+	offDone, offWire, err := m.Offload(0, 0, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipDone, shipWire, err := ShipAndCompute(DefaultConfig, 0, task, 4e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-data processing: faster (no bulk transfer) and far less wire
+	// traffic — the paper's stated benefit for dACCELBRICKs.
+	if offDone >= shipDone {
+		t.Fatalf("offload (%v) not faster than ship-and-compute (%v)", offDone, shipDone)
+	}
+	if offWire >= shipWire {
+		t.Fatalf("offload wire bytes (%v) not below shipping (%v)", offWire, shipWire)
+	}
+}
+
+func TestOffloadSerializesPerSlot(t *testing.T) {
+	m := newMW(t)
+	m.ReceiveBitstream(Bitstream{Name: "f", Size: brick.MiB})
+	m.Brick().Bind("vm1", "f")
+	m.Reconfigure(0, "f")
+	task := Task{InputBytes: brick.MiB, OutputBytes: 1024, AccelBytesPerSec: 1e9}
+	d1, _, _ := m.Offload(0, 0, task)
+	d2, _, _ := m.Offload(0, 0, task)
+	if d2 <= d1 {
+		t.Fatalf("second offload (%v) did not queue behind first (%v)", d2, d1)
+	}
+}
+
+func TestOffloadValidation(t *testing.T) {
+	m := newMW(t)
+	task := Task{InputBytes: brick.MiB, AccelBytesPerSec: 1e9}
+	if _, _, err := m.Offload(0, 0, task); err == nil {
+		t.Fatal("offload to empty slot succeeded")
+	}
+	if _, _, err := m.Offload(0, 9, task); err == nil {
+		t.Fatal("offload to absent slot succeeded")
+	}
+	if _, _, err := m.Offload(0, 0, Task{}); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+	if _, _, err := ShipAndCompute(DefaultConfig, 0, task, 0); err == nil {
+		t.Fatal("zero CPU throughput accepted")
+	}
+	if _, _, err := ShipAndCompute(DefaultConfig, 0, Task{}, 1e9); err == nil {
+		t.Fatal("invalid ship task accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{PCAPBytesPerSec: 0, LinkGbps: 10, StoreCapacity: brick.MiB},
+		{PCAPBytesPerSec: 1, LinkGbps: 0, StoreCapacity: brick.MiB},
+		{PCAPBytesPerSec: 1, LinkGbps: 10, RegisterAccess: -1, StoreCapacity: brick.MiB},
+		{PCAPBytesPerSec: 1, LinkGbps: 10, StoreCapacity: 0},
+	}
+	b := brick.NewAccel(topo.BrickID{}, brick.AccelConfig{})
+	for i, c := range cases {
+		if _, err := NewMiddleware(b, c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newMW(t)
+	m.ReceiveBitstream(Bitstream{Name: "x", Size: brick.MiB})
+	m.Brick().Bind("v", "x")
+	m.Reconfigure(0, "x")
+	m.Offload(0, 0, Task{InputBytes: 1024, OutputBytes: 16, AccelBytesPerSec: 1e9})
+	r, o := m.Stats()
+	if r != 1 || o != 1 {
+		t.Fatalf("stats = %d/%d", r, o)
+	}
+}

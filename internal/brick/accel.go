@@ -1,0 +1,147 @@
+package brick
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Slot is one partially reconfigurable region in a dACCELBRICK's
+// programmable logic. A slot hosts at most one accelerator bitstream at a
+// time; reconfiguration goes through the brick's PCAP port (modelled in
+// internal/accel).
+type Slot struct {
+	Index     int
+	Bitstream string // name of the loaded accelerator, "" when empty
+	Owner     string // consumer tag, "" when unbound
+}
+
+// Accel is a dACCELBRICK: static infrastructure (NI/switch, PCAP,
+// middleware on the local APU) plus a set of dynamic accelerator slots,
+// each with its own wrapper registers and local DDR window.
+type Accel struct {
+	ID       topo.BrickID
+	LocalDDR Bytes // PL-attached DDR shared by the slots
+	Ports    *PortSet
+
+	slots []Slot
+	state PowerState
+}
+
+// AccelConfig parameterizes NewAccel. Zero fields take prototype
+// defaults: 2 reconfigurable slots and 8 GiB of PL DDR.
+type AccelConfig struct {
+	Slots    int
+	LocalDDR Bytes
+	Ports    int
+}
+
+// NewAccel builds a powered-off accelerator brick.
+func NewAccel(id topo.BrickID, cfg AccelConfig) *Accel {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	if cfg.LocalDDR == 0 {
+		cfg.LocalDDR = 8 * GiB
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 8
+	}
+	slots := make([]Slot, cfg.Slots)
+	for i := range slots {
+		slots[i].Index = i
+	}
+	return &Accel{
+		ID:       id,
+		LocalDDR: cfg.LocalDDR,
+		Ports:    NewPortSet(id, cfg.Ports),
+		slots:    slots,
+		state:    PowerOff,
+	}
+}
+
+// State returns the power state.
+func (a *Accel) State() PowerState { return a.state }
+
+// PowerOn transitions the brick to idle or active.
+func (a *Accel) PowerOn() {
+	for _, s := range a.slots {
+		if s.Owner != "" {
+			a.state = PowerActive
+			return
+		}
+	}
+	a.state = PowerIdle
+}
+
+// PowerDown powers the brick off; it fails while any slot is bound.
+func (a *Accel) PowerDown() error {
+	for _, s := range a.slots {
+		if s.Owner != "" {
+			return fmt.Errorf("accel %v: power down with slot %d bound to %q", a.ID, s.Index, s.Owner)
+		}
+	}
+	a.state = PowerOff
+	return nil
+}
+
+// Slots returns the number of reconfigurable slots.
+func (a *Accel) Slots() int { return len(a.slots) }
+
+// FreeSlots returns the number of unbound slots.
+func (a *Accel) FreeSlots() int {
+	n := 0
+	for _, s := range a.slots {
+		if s.Owner == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Slot returns a copy of slot i.
+func (a *Accel) Slot(i int) (Slot, error) {
+	if i < 0 || i >= len(a.slots) {
+		return Slot{}, fmt.Errorf("accel %v: slot %d out of range [0,%d)", a.ID, i, len(a.slots))
+	}
+	return a.slots[i], nil
+}
+
+// Bind reserves the lowest-numbered free slot for owner and records the
+// bitstream name that the middleware will load into it.
+func (a *Accel) Bind(owner, bitstream string) (int, error) {
+	if owner == "" {
+		return 0, fmt.Errorf("accel %v: bind with empty owner", a.ID)
+	}
+	if a.state == PowerOff {
+		return 0, fmt.Errorf("accel %v: bind on powered-off brick", a.ID)
+	}
+	for i := range a.slots {
+		if a.slots[i].Owner == "" {
+			a.slots[i].Owner = owner
+			a.slots[i].Bitstream = bitstream
+			a.state = PowerActive
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("accel %v: no free slots (total %d)", a.ID, len(a.slots))
+}
+
+// Unbind releases slot i.
+func (a *Accel) Unbind(i int) error {
+	if i < 0 || i >= len(a.slots) {
+		return fmt.Errorf("accel %v: unbind slot %d out of range", a.ID, i)
+	}
+	if a.slots[i].Owner == "" {
+		return fmt.Errorf("accel %v: unbind of free slot %d", a.ID, i)
+	}
+	a.slots[i].Owner = ""
+	a.slots[i].Bitstream = ""
+	if a.FreeSlots() == len(a.slots) {
+		a.state = PowerIdle
+	}
+	return nil
+}
+
+// IsIdle reports whether no slot is bound.
+func (a *Accel) IsIdle() bool { return a.FreeSlots() == len(a.slots) }

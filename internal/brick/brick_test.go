@@ -1,0 +1,367 @@
+package brick
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+var testID = topo.BrickID{Tray: 0, Slot: 0}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		b    Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * MiB, "2.0MiB"},
+		{3 * GiB, "3.0GiB"},
+		{2 * TiB, "2048GiB"},
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", uint64(c.b), got, c.want)
+		}
+	}
+}
+
+func TestPowerProfileDraw(t *testing.T) {
+	p := PowerProfile{OffW: 1, IdleW: 2, ActiveW: 3}
+	if p.Draw(PowerOff) != 1 || p.Draw(PowerIdle) != 2 || p.Draw(PowerActive) != 3 {
+		t.Fatal("Draw mapping wrong")
+	}
+}
+
+func TestPortSetAcquireRelease(t *testing.T) {
+	ps := NewPortSet(testID, 3)
+	if ps.Free() != 3 || ps.Total() != 3 {
+		t.Fatal("fresh port set counts wrong")
+	}
+	var ports []topo.PortID
+	for i := 0; i < 3; i++ {
+		p, err := ps.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Port != i {
+			t.Fatalf("acquired port %d, want %d (lowest-free order)", p.Port, i)
+		}
+		ports = append(ports, p)
+	}
+	if _, err := ps.Acquire(); err == nil {
+		t.Fatal("acquire on exhausted set succeeded")
+	}
+	if err := ps.Release(ports[1]); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ps.Acquire()
+	if err != nil || p.Port != 1 {
+		t.Fatalf("re-acquire got %v, %v; want port 1", p, err)
+	}
+}
+
+func TestPortSetReleaseErrors(t *testing.T) {
+	ps := NewPortSet(testID, 2)
+	if err := ps.Release(topo.PortID{Brick: topo.BrickID{Tray: 9}, Port: 0}); err == nil {
+		t.Fatal("release of foreign port succeeded")
+	}
+	if err := ps.Release(topo.PortID{Brick: testID, Port: 5}); err == nil {
+		t.Fatal("release of out-of-range port succeeded")
+	}
+	if err := ps.Release(topo.PortID{Brick: testID, Port: 0}); err == nil {
+		t.Fatal("double release succeeded")
+	}
+}
+
+func TestComputeDefaults(t *testing.T) {
+	c := NewCompute(testID, ComputeConfig{})
+	if c.Cores != 4 || c.LocalMemory != 4*GiB || c.Ports.Total() != 8 {
+		t.Fatalf("defaults wrong: cores=%d mem=%v ports=%d", c.Cores, c.LocalMemory, c.Ports.Total())
+	}
+	if c.State() != PowerOff {
+		t.Fatal("new brick not powered off")
+	}
+}
+
+func TestComputeLifecycle(t *testing.T) {
+	c := NewCompute(testID, ComputeConfig{Cores: 8, LocalMemory: 8 * GiB})
+	if err := c.AllocCores(2); err == nil {
+		t.Fatal("allocation on powered-off brick succeeded")
+	}
+	c.PowerOn()
+	if c.State() != PowerIdle {
+		t.Fatal("powered-on empty brick not idle")
+	}
+	if err := c.AllocCores(6); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != PowerActive || c.FreeCores() != 2 {
+		t.Fatalf("state=%v free=%d after alloc", c.State(), c.FreeCores())
+	}
+	if err := c.AllocCores(3); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+	if err := c.PowerDown(); err == nil {
+		t.Fatal("power down with allocations succeeded")
+	}
+	if err := c.FreeCoresBack(6); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != PowerIdle || !c.IsIdle() {
+		t.Fatal("brick not idle after full release")
+	}
+	if err := c.PowerDown(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != PowerOff {
+		t.Fatal("brick not off after PowerDown")
+	}
+}
+
+func TestComputeLocalMemory(t *testing.T) {
+	c := NewCompute(testID, ComputeConfig{LocalMemory: 2 * GiB})
+	c.PowerOn()
+	if err := c.AllocLocal(GiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AllocLocal(2 * GiB); err == nil {
+		t.Fatal("local over-allocation succeeded")
+	}
+	if c.UsedLocal() != GiB {
+		t.Fatalf("UsedLocal = %v", c.UsedLocal())
+	}
+	if err := c.FreeLocal(2 * GiB); err == nil {
+		t.Fatal("over-release succeeded")
+	}
+	if err := c.FreeLocal(GiB); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsIdle() {
+		t.Fatal("brick not idle after local release")
+	}
+}
+
+func TestComputeBadArgs(t *testing.T) {
+	c := NewCompute(testID, ComputeConfig{})
+	c.PowerOn()
+	if err := c.AllocCores(0); err == nil {
+		t.Fatal("AllocCores(0) succeeded")
+	}
+	if err := c.AllocLocal(0); err == nil {
+		t.Fatal("AllocLocal(0) succeeded")
+	}
+	if err := c.FreeCoresBack(1); err == nil {
+		t.Fatal("FreeCoresBack with nothing allocated succeeded")
+	}
+}
+
+func TestMemoryCarveRelease(t *testing.T) {
+	m := NewMemory(testID, MemoryConfig{Capacity: 16 * GiB})
+	if _, err := m.Carve(GiB, "vm1"); err == nil {
+		t.Fatal("carve on powered-off brick succeeded")
+	}
+	m.PowerOn()
+	s1, err := m.Carve(4*GiB, "vm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Carve(4*GiB, "vm2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Offset != 0 || s2.Offset != 4*GiB {
+		t.Fatalf("offsets %v, %v; want 0, 4GiB", s1.Offset, s2.Offset)
+	}
+	if m.Free() != 8*GiB || m.State() != PowerActive {
+		t.Fatalf("free=%v state=%v", m.Free(), m.State())
+	}
+	if err := m.Release(s1); err != nil {
+		t.Fatal(err)
+	}
+	// First-fit reuses the freed gap.
+	s3, err := m.Carve(2*GiB, "vm3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Offset != 0 {
+		t.Fatalf("first-fit offset = %v, want 0", s3.Offset)
+	}
+}
+
+func TestMemoryFragmentation(t *testing.T) {
+	m := NewMemory(testID, MemoryConfig{Capacity: 12 * GiB})
+	m.PowerOn()
+	a, _ := m.Carve(4*GiB, "a")
+	b, _ := m.Carve(4*GiB, "b")
+	if _, err := m.Carve(4*GiB, "c"); err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+	if err := m.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	// 8 GiB free but split 4+4: a 6 GiB contiguous request must fail.
+	if _, err := m.Carve(6*GiB, "d"); err == nil {
+		t.Fatal("fragmented carve succeeded")
+	}
+	if m.LargestGap() != 4*GiB {
+		t.Fatalf("LargestGap = %v, want 4GiB", m.LargestGap())
+	}
+}
+
+func TestMemoryReleaseUnknown(t *testing.T) {
+	m := NewMemory(testID, MemoryConfig{})
+	m.PowerOn()
+	if err := m.Release(&Segment{Brick: testID, Size: GiB}); err == nil {
+		t.Fatal("release of unknown segment succeeded")
+	}
+}
+
+func TestMemoryPowerDown(t *testing.T) {
+	m := NewMemory(testID, MemoryConfig{})
+	m.PowerOn()
+	s, _ := m.Carve(GiB, "x")
+	if err := m.PowerDown(); err == nil {
+		t.Fatal("power down with segment succeeded")
+	}
+	m.Release(s)
+	if err := m.PowerDown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemTechString(t *testing.T) {
+	if TechDDR.String() != "DDR" || TechHMC.String() != "HMC" {
+		t.Fatal("MemTech strings wrong")
+	}
+}
+
+func TestAccelBindUnbind(t *testing.T) {
+	a := NewAccel(testID, AccelConfig{Slots: 2})
+	if _, err := a.Bind("vm1", "sobel"); err == nil {
+		t.Fatal("bind on powered-off brick succeeded")
+	}
+	a.PowerOn()
+	s0, err := a.Bind("vm1", "sobel")
+	if err != nil || s0 != 0 {
+		t.Fatalf("first bind = %d, %v", s0, err)
+	}
+	s1, err := a.Bind("vm2", "aes")
+	if err != nil || s1 != 1 {
+		t.Fatalf("second bind = %d, %v", s1, err)
+	}
+	if _, err := a.Bind("vm3", "fft"); err == nil {
+		t.Fatal("bind on full brick succeeded")
+	}
+	slot, err := a.Slot(0)
+	if err != nil || slot.Bitstream != "sobel" || slot.Owner != "vm1" {
+		t.Fatalf("slot 0 = %+v, %v", slot, err)
+	}
+	if err := a.Unbind(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unbind(0); err == nil {
+		t.Fatal("double unbind succeeded")
+	}
+	if a.FreeSlots() != 1 {
+		t.Fatalf("FreeSlots = %d, want 1", a.FreeSlots())
+	}
+	a.Unbind(1)
+	if !a.IsIdle() || a.State() != PowerIdle {
+		t.Fatal("brick not idle after all unbinds")
+	}
+	if err := a.PowerDown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccelSlotErrors(t *testing.T) {
+	a := NewAccel(testID, AccelConfig{})
+	a.PowerOn()
+	if _, err := a.Slot(-1); err == nil {
+		t.Fatal("Slot(-1) succeeded")
+	}
+	if _, err := a.Bind("", "x"); err == nil {
+		t.Fatal("Bind with empty owner succeeded")
+	}
+	if err := a.Unbind(99); err == nil {
+		t.Fatal("Unbind(99) succeeded")
+	}
+	if _, err := a.Bind("vm", "bs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.PowerDown(); err == nil {
+		t.Fatal("power down with bound slot succeeded")
+	}
+}
+
+// Property: any sequence of carves and releases keeps segments
+// non-overlapping and Used equal to the sum of live segment sizes.
+func TestPropMemorySegmentsDisjoint(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewMemory(testID, MemoryConfig{Capacity: 64 * GiB})
+		m.PowerOn()
+		var live []*Segment
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 { // release
+				i := int(op) % len(live)
+				if m.Release(live[i]) != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := Bytes(int(op%16)+1) * GiB
+			s, err := m.Carve(size, "p")
+			if err != nil {
+				continue // pool full or fragmented: acceptable
+			}
+			live = append(live, s)
+		}
+		var sum Bytes
+		segs := m.Segments()
+		for i, s := range segs {
+			sum += s.Size
+			if s.Offset+s.Size > m.Capacity {
+				return false
+			}
+			if i > 0 {
+				prev := segs[i-1]
+				if prev.Offset+prev.Size > s.Offset {
+					return false // overlap
+				}
+			}
+		}
+		return sum == m.Used()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: port acquire/release round-trips preserve the free count.
+func TestPropPortSetConserved(t *testing.T) {
+	f := func(n uint8, ops []bool) bool {
+		total := int(n%8) + 1
+		ps := NewPortSet(testID, total)
+		var held []topo.PortID
+		for _, acquire := range ops {
+			if acquire {
+				p, err := ps.Acquire()
+				if err == nil {
+					held = append(held, p)
+				}
+			} else if len(held) > 0 {
+				if ps.Release(held[len(held)-1]) != nil {
+					return false
+				}
+				held = held[:len(held)-1]
+			}
+		}
+		return ps.Free() == total-len(held)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

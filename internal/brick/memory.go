@@ -1,0 +1,196 @@
+package brick
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// MemTech identifies the memory technology behind a dMEMBRICK's glue
+// logic. The paper stresses technology independence: the glue logic sits
+// on an AXI interconnect and fronts either Xilinx DDR or HMC controller
+// IPs, so the brick model carries the technology tag and per-technology
+// timing lives in internal/mem.
+type MemTech int
+
+const (
+	// TechDDR is conventional DDR4 behind a Xilinx DDR controller.
+	TechDDR MemTech = iota
+	// TechHMC is a Hybrid Memory Cube behind an HMC controller.
+	TechHMC
+)
+
+func (t MemTech) String() string {
+	switch t {
+	case TechDDR:
+		return "DDR"
+	case TechHMC:
+		return "HMC"
+	default:
+		return fmt.Sprintf("MemTech(%d)", int(t))
+	}
+}
+
+// Segment is a contiguous region of a dMEMBRICK's pooled capacity that
+// has been carved out for one consumer. Segments are what RMST entries
+// on compute bricks point at.
+type Segment struct {
+	Brick  topo.BrickID
+	Offset Bytes // offset within the brick's pool
+	Size   Bytes
+	Owner  string // opaque consumer tag (VM ID, app ID)
+}
+
+// Memory is a dMEMBRICK: pooled capacity that the orchestrator partitions
+// into segments and wires to compute bricks. The brick can be dimensioned
+// in capacity and in the number of memory controllers (paper §II), and its
+// links can be split across multiple consuming compute bricks.
+type Memory struct {
+	ID          topo.BrickID
+	Capacity    Bytes
+	Controllers int
+	Tech        MemTech
+	Ports       *PortSet
+
+	segments []*Segment // sorted by offset
+	used     Bytes
+	state    PowerState
+}
+
+// MemoryConfig parameterizes NewMemory. Zero fields take prototype
+// defaults: 64 GiB DDR behind 2 controllers.
+type MemoryConfig struct {
+	Capacity    Bytes
+	Controllers int
+	Tech        MemTech
+	Ports       int
+}
+
+// NewMemory builds a powered-off memory brick.
+func NewMemory(id topo.BrickID, cfg MemoryConfig) *Memory {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 64 * GiB
+	}
+	if cfg.Controllers <= 0 {
+		cfg.Controllers = 2
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 8
+	}
+	return &Memory{
+		ID:          id,
+		Capacity:    cfg.Capacity,
+		Controllers: cfg.Controllers,
+		Tech:        cfg.Tech,
+		Ports:       NewPortSet(id, cfg.Ports),
+		state:       PowerOff,
+	}
+}
+
+// State returns the power state.
+func (m *Memory) State() PowerState { return m.state }
+
+// PowerOn transitions the brick to idle or active.
+func (m *Memory) PowerOn() {
+	if len(m.segments) > 0 {
+		m.state = PowerActive
+		return
+	}
+	m.state = PowerIdle
+}
+
+// PowerDown powers the brick off; it fails while segments remain.
+func (m *Memory) PowerDown() error {
+	if len(m.segments) > 0 {
+		return fmt.Errorf("memory %v: power down with %d segments allocated", m.ID, len(m.segments))
+	}
+	m.state = PowerOff
+	return nil
+}
+
+// Free returns unallocated capacity.
+func (m *Memory) Free() Bytes { return m.Capacity - m.used }
+
+// Used returns allocated capacity.
+func (m *Memory) Used() Bytes { return m.used }
+
+// Segments returns the live segments in offset order. The slice is shared;
+// callers must not mutate it.
+func (m *Memory) Segments() []*Segment { return m.segments }
+
+// IsIdle reports whether the brick carries no segments.
+func (m *Memory) IsIdle() bool { return len(m.segments) == 0 }
+
+// Carve allocates a segment of the given size for owner using first-fit
+// over the gaps between existing segments. The paper's RMST addresses
+// "large and contiguous portions of remote memory", so segments are
+// always contiguous within the brick.
+func (m *Memory) Carve(size Bytes, owner string) (*Segment, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("memory %v: zero-byte segment", m.ID)
+	}
+	if m.state == PowerOff {
+		return nil, fmt.Errorf("memory %v: carve on powered-off brick", m.ID)
+	}
+	if size > m.Free() {
+		return nil, fmt.Errorf("memory %v: %v requested, %v free", m.ID, size, m.Free())
+	}
+	// First-fit gap search over the offset-sorted segment list.
+	var cursor Bytes
+	insertAt := len(m.segments)
+	found := false
+	for i, s := range m.segments {
+		if s.Offset-cursor >= size {
+			insertAt = i
+			found = true
+			break
+		}
+		cursor = s.Offset + s.Size
+	}
+	if !found {
+		if m.Capacity-cursor < size {
+			// Free capacity exists but is fragmented into gaps smaller
+			// than the request.
+			return nil, fmt.Errorf("memory %v: fragmentation prevents %v contiguous segment (%v free total)", m.ID, size, m.Free())
+		}
+		insertAt = len(m.segments)
+	}
+	seg := &Segment{Brick: m.ID, Offset: cursor, Size: size, Owner: owner}
+	m.segments = append(m.segments, nil)
+	copy(m.segments[insertAt+1:], m.segments[insertAt:])
+	m.segments[insertAt] = seg
+	m.used += size
+	m.state = PowerActive
+	return seg, nil
+}
+
+// Release frees a previously carved segment.
+func (m *Memory) Release(seg *Segment) error {
+	for i, s := range m.segments {
+		if s == seg {
+			m.segments = append(m.segments[:i], m.segments[i+1:]...)
+			m.used -= seg.Size
+			if len(m.segments) == 0 {
+				m.state = PowerIdle
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("memory %v: release of unknown segment at offset %v", m.ID, seg.Offset)
+}
+
+// LargestGap returns the largest contiguous free region, which bounds the
+// biggest segment Carve can satisfy.
+func (m *Memory) LargestGap() Bytes {
+	var cursor, best Bytes
+	for _, s := range m.segments {
+		if gap := s.Offset - cursor; gap > best {
+			best = gap
+		}
+		cursor = s.Offset + s.Size
+	}
+	if tail := m.Capacity - cursor; tail > best {
+		best = tail
+	}
+	return best
+}

@@ -1,0 +1,311 @@
+// Package core is the public facade of the dReDBox reproduction: a
+// full-stack disaggregated rack assembled from every substrate in this
+// repository — topology, bricks, optical circuit fabric, TGL/RMST,
+// memory controllers, baremetal hotplug, hypervisor, Scale-up API and
+// SDM orchestration — behind one Datacenter type that examples and pilot
+// applications program against.
+//
+// It also hosts the experiment runners (experiments.go) that regenerate
+// every table and figure of the paper's evaluation; cmd/ binaries and
+// the root benchmark suite are thin wrappers over those runners.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/pktnet"
+	"repro/internal/scaleup"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Config assembles a full-stack rack.
+type Config struct {
+	Topology topo.BuildSpec
+	Switch   optical.SwitchConfig
+	Bricks   sdm.BrickConfigs
+	SDM      sdm.Config
+	ScaleUp  scaleup.Config
+	Accel    accel.Config
+	// Hops is the switch-hop count assigned to circuits (the downscaled
+	// prototype loops 6–8 hops; a production rack uses 1).
+	Hops int
+	// FiberMeters is the optical path length per circuit.
+	FiberMeters float64
+	// Packet is the packet-path latency profile used for remote access
+	// timing and the packet-mode fallback.
+	Packet pktnet.Profile
+	Seed   uint64
+}
+
+// DefaultConfig is a two-tray rack: per tray 4 compute, 4 memory and
+// 1 accelerator brick with 8 transceiver ports each (144 brick ports),
+// patched into a two-module (192-port) switch fabric with
+// next-generation per-port power.
+func DefaultConfig() Config {
+	return Config{
+		Topology: topo.BuildSpec{
+			Trays: 2, ComputePerTray: 4, MemoryPerTray: 4, AccelPerTray: 1, PortsPerBrick: 8,
+		},
+		Switch: optical.SwitchConfig{
+			Ports:           192,
+			InsertionLossDB: optical.PolatisNextGen.InsertionLossDB,
+			PortPowerW:      optical.PolatisNextGen.PortPowerW,
+			ReconfigTime:    optical.PolatisNextGen.ReconfigTime,
+		},
+		Bricks: sdm.BrickConfigs{Memory: brick.MemoryConfig{Capacity: 64 * brick.GiB}},
+		SDM: func() sdm.Config {
+			c := sdm.DefaultConfig
+			c.PacketFallback = true
+			return c
+		}(),
+		ScaleUp:     scaleup.DefaultConfig,
+		Accel:       accel.DefaultConfig,
+		Hops:        8,
+		FiberMeters: 5,
+		Packet:      pktnet.DefaultProfile,
+		Seed:        1,
+	}
+}
+
+// Datacenter is an assembled dReDBox rack with its software stack.
+type Datacenter struct {
+	cfg    Config
+	rack   *topo.Rack
+	fabric *optical.Fabric
+	sdmc   *sdm.Controller
+	scale  *scaleup.Controller
+
+	accels map[topo.BrickID]*accel.Middleware
+	// ddr holds one controller per memory brick for datapath timing.
+	ddr map[topo.BrickID]*mem.DDRController
+
+	now sim.Time
+	rng *sim.Rand
+}
+
+// New assembles a datacenter from the config.
+func New(cfg Config) (*Datacenter, error) {
+	rack, err := topo.Build(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := optical.NewSwitch(cfg.Switch)
+	if err != nil {
+		return nil, err
+	}
+	fabric := optical.NewFabric(sw)
+	if cfg.Hops > 0 {
+		fabric.DefaultHops = cfg.Hops
+	}
+	if cfg.FiberMeters > 0 {
+		fabric.DefaultFiberMeters = cfg.FiberMeters
+	}
+	sdmc, err := sdm.NewController(rack, fabric, cfg.Bricks, cfg.SDM)
+	if err != nil {
+		return nil, err
+	}
+	scale, err := scaleup.New(sdmc, cfg.ScaleUp)
+	if err != nil {
+		return nil, err
+	}
+	dc := &Datacenter{
+		cfg:    cfg,
+		rack:   rack,
+		fabric: fabric,
+		sdmc:   sdmc,
+		scale:  scale,
+		accels: make(map[topo.BrickID]*accel.Middleware),
+		ddr:    make(map[topo.BrickID]*mem.DDRController),
+		rng:    sim.NewRand(cfg.Seed),
+	}
+	for _, b := range rack.BricksOfKind(topo.KindAccel) {
+		ab, _ := sdmc.Accel(b.ID)
+		mw, err := accel.NewMiddleware(ab, cfg.Accel)
+		if err != nil {
+			return nil, err
+		}
+		dc.accels[b.ID] = mw
+	}
+	for _, b := range rack.BricksOfKind(topo.KindMemory) {
+		ctrl, err := mem.NewDDR(mem.DDR4_2400)
+		if err != nil {
+			return nil, err
+		}
+		dc.ddr[b.ID] = ctrl
+	}
+	return dc, nil
+}
+
+// Now returns the datacenter's virtual clock.
+func (d *Datacenter) Now() sim.Time { return d.now }
+
+// Advance moves the virtual clock forward.
+func (d *Datacenter) Advance(dur sim.Duration) error {
+	if dur < 0 {
+		return fmt.Errorf("core: cannot advance clock by %v", dur)
+	}
+	d.now = d.now.Add(dur)
+	return nil
+}
+
+// SDM exposes the orchestration layer.
+func (d *Datacenter) SDM() *sdm.Controller { return d.sdmc }
+
+// ScaleController exposes the Scale-up controller (for concurrency
+// experiments that need explicit request timing).
+func (d *Datacenter) ScaleController() *scaleup.Controller { return d.scale }
+
+// Fabric exposes the optical circuit fabric.
+func (d *Datacenter) Fabric() *optical.Fabric { return d.fabric }
+
+// Rack exposes the topology.
+func (d *Datacenter) Rack() *topo.Rack { return d.rack }
+
+// CreateVM boots a VM with the given resources; the clock advances past
+// the creation delay (facade semantics are sequential).
+func (d *Datacenter) CreateVM(id string, vcpus int, memory brick.Bytes) (scaleup.Result, error) {
+	_, res, err := d.scale.CreateVM(d.now, hypervisor.VMID(id), hypervisor.VMSpec{VCPUs: vcpus, Memory: memory})
+	if err != nil {
+		return scaleup.Result{}, err
+	}
+	d.now = res.Done
+	return res, nil
+}
+
+// ScaleUpVM grows a VM's memory with disaggregated remote memory.
+func (d *Datacenter) ScaleUpVM(id string, size brick.Bytes) (scaleup.Result, error) {
+	res, err := d.scale.ScaleUp(d.now, hypervisor.VMID(id), size)
+	if err != nil {
+		return scaleup.Result{}, err
+	}
+	d.now = res.Done
+	return res, nil
+}
+
+// ScaleDownVM releases remote memory from a VM.
+func (d *Datacenter) ScaleDownVM(id string, size brick.Bytes) (scaleup.Result, error) {
+	res, err := d.scale.ScaleDown(d.now, hypervisor.VMID(id), size)
+	if err != nil {
+		return scaleup.Result{}, err
+	}
+	d.now = res.Done
+	return res, nil
+}
+
+// VM returns the hypervisor view of a VM.
+func (d *Datacenter) VM(id string) (*hypervisor.VM, bool) {
+	return d.scale.VM(hypervisor.VMID(id))
+}
+
+// RemoteAccess issues one remote memory transaction from a VM's first
+// attachment and returns its latency breakdown over the circuit path —
+// the datapath a running application experiences.
+func (d *Datacenter) RemoteAccess(id string, op mem.Op, offset uint64, size int) (pktnet.Breakdown, error) {
+	atts := d.sdmc.Attachments(id)
+	if len(atts) == 0 {
+		return pktnet.Breakdown{}, fmt.Errorf("core: VM %q has no remote memory attached", id)
+	}
+	att := atts[0]
+	if offset+uint64(size) > uint64(att.Size()) {
+		return pktnet.Breakdown{}, fmt.Errorf("core: access [%d,%d) beyond attachment size %v", offset, offset+uint64(size), att.Size())
+	}
+	node, _ := d.sdmc.Compute(att.CPU)
+	route, err := node.Agent.Glue.TranslateRange(att.Window.Base+offset, uint64(size))
+	if err != nil {
+		return pktnet.Breakdown{}, err
+	}
+	ctrl, ok := d.ddr[route.Remote.Brick]
+	if !ok {
+		return pktnet.Breakdown{}, fmt.Errorf("core: no memory controller for %v", route.Remote.Brick)
+	}
+	prof := d.cfg.Packet
+	if att.Circuit != nil {
+		prof.FiberMeters = att.Circuit.FiberMeters
+	}
+	req := mem.Request{Op: op, Addr: route.Remote.Offset, Size: size}
+	if att.Mode == sdm.ModePacket {
+		// Packet-mode attachments cross both on-brick packet switches
+		// and time-share the host circuit with its owner and any other
+		// riders.
+		sharers := 1 + d.sdmc.Riders(att)
+		return pktnet.SharedRoundTrip(prof, ctrl, req, sharers)
+	}
+	return pktnet.CircuitRoundTrip(prof, ctrl, req)
+}
+
+// AttachAccelerator reserves an accelerator slot for a VM, ships the
+// bitstream to the brick and reconfigures the slot. It returns the brick,
+// slot and total latency.
+func (d *Datacenter) AttachAccelerator(id string, bs accel.Bitstream) (topo.BrickID, int, sim.Duration, error) {
+	brickID, slot, orchLat, err := d.sdmc.ReserveAccel(id, bs.Name)
+	if err != nil {
+		return topo.BrickID{}, 0, 0, err
+	}
+	mw := d.accels[brickID]
+	var xferLat sim.Duration
+	if !mw.Stored(bs.Name) {
+		xferLat, err = mw.ReceiveBitstream(bs)
+		if err != nil {
+			d.sdmc.ReleaseAccel(brickID, slot)
+			return topo.BrickID{}, 0, 0, err
+		}
+	}
+	cfgLat, err := mw.Reconfigure(slot, bs.Name)
+	if err != nil {
+		d.sdmc.ReleaseAccel(brickID, slot)
+		return topo.BrickID{}, 0, 0, err
+	}
+	total := orchLat + xferLat + cfgLat
+	d.now = d.now.Add(total)
+	return brickID, slot, total, nil
+}
+
+// Offload runs a near-data task on an accelerator slot.
+func (d *Datacenter) Offload(brickID topo.BrickID, slot int, task accel.Task) (sim.Duration, brick.Bytes, error) {
+	mw, ok := d.accels[brickID]
+	if !ok {
+		return 0, 0, fmt.Errorf("core: no accelerator brick %v", brickID)
+	}
+	done, wire, err := mw.Offload(d.now, slot, task)
+	if err != nil {
+		return 0, 0, err
+	}
+	lat := done.Sub(d.now)
+	d.now = done
+	return lat, wire, nil
+}
+
+// Accelerator returns the middleware of an accelerator brick.
+func (d *Datacenter) Accelerator(id topo.BrickID) (*accel.Middleware, bool) {
+	mw, ok := d.accels[id]
+	return mw, ok
+}
+
+// MigrateVM moves a VM to another compute brick. Remote memory segments
+// stay in place; only circuits and TGL windows are re-pointed, so
+// downtime is governed by the brick-local state, not the VM's total
+// memory.
+func (d *Datacenter) MigrateVM(id string) (scaleup.MigrationResult, error) {
+	res, err := d.scale.Migrate(d.now, hypervisor.VMID(id))
+	if err != nil {
+		return scaleup.MigrationResult{}, err
+	}
+	d.now = d.now.Add(res.Downtime)
+	return res, nil
+}
+
+// PowerOffIdle sweeps idle bricks off and returns how many were stopped.
+func (d *Datacenter) PowerOffIdle() int { return d.sdmc.PowerOffIdle() }
+
+// Census returns the power census for a brick kind.
+func (d *Datacenter) Census(kind topo.BrickKind) sdm.PowerCensus { return d.sdmc.Census(kind) }
+
+// DrawW returns the rack's current electrical draw.
+func (d *Datacenter) DrawW() float64 { return d.sdmc.DrawW(brick.DefaultProfiles) }

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/mem"
+	"repro/internal/pktnet"
+	"repro/internal/sim"
+	"repro/internal/tco"
+	"repro/internal/topo"
+)
+
+func newDC(t *testing.T) *Datacenter {
+	t.Helper()
+	dc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestNewDatacenterWiring(t *testing.T) {
+	dc := newDC(t)
+	if dc.Rack().Count(topo.KindCompute) != 8 {
+		t.Fatalf("compute bricks = %d", dc.Rack().Count(topo.KindCompute))
+	}
+	if dc.Rack().Count(topo.KindMemory) != 8 || dc.Rack().Count(topo.KindAccel) != 2 {
+		t.Fatal("memory/accel brick counts wrong")
+	}
+	if dc.Now() != 0 {
+		t.Fatal("clock not at zero")
+	}
+	if err := dc.Advance(-1); err == nil {
+		t.Fatal("negative advance accepted")
+	}
+	if err := dc.Advance(sim.Second); err != nil || dc.Now() != sim.Time(sim.Second) {
+		t.Fatal("advance failed")
+	}
+}
+
+func TestFullStackVMLifecycle(t *testing.T) {
+	dc := newDC(t)
+	res, err := dc.CreateVM("vm1", 2, 2*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Now() != res.Done {
+		t.Fatal("clock did not advance past creation")
+	}
+	up, err := dc.ScaleUpVM("vm1", 4*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, ok := dc.VM("vm1")
+	if !ok || vm.TotalMemory() != 6*brick.GiB {
+		t.Fatalf("VM memory = %v", vm.TotalMemory())
+	}
+	if up.Delay() <= 0 {
+		t.Fatal("scale-up delay not positive")
+	}
+	// Remote access works through TGL translation + circuit datapath.
+	bd, err := dc.RemoteAccess("vm1", mem.OpRead, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total <= 0 {
+		t.Fatal("remote access latency not positive")
+	}
+	if _, err := dc.RemoteAccess("vm1", mem.OpRead, uint64(4*brick.GiB), 64); err == nil {
+		t.Fatal("out-of-bounds access succeeded")
+	}
+	down, err := dc.ScaleDownVM("vm1", 4*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Delay() <= 0 {
+		t.Fatal("scale-down delay not positive")
+	}
+	if _, err := dc.RemoteAccess("vm1", mem.OpRead, 0, 64); err == nil {
+		t.Fatal("remote access after detach succeeded")
+	}
+}
+
+func TestAcceleratorPath(t *testing.T) {
+	dc := newDC(t)
+	if _, err := dc.CreateVM("vm1", 1, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	bs := accel.Bitstream{Name: "sobel", Size: 4 * brick.MiB}
+	brickID, slot, lat, err := dc.AttachAccelerator("vm1", bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatal("attach latency not positive")
+	}
+	mw, ok := dc.Accelerator(brickID)
+	if !ok || !mw.Stored("sobel") {
+		t.Fatal("bitstream not on brick")
+	}
+	task := accel.Task{InputBytes: 16 * brick.MiB, OutputBytes: brick.MiB, AccelBytesPerSec: 2e9}
+	offLat, wire, err := dc.Offload(brickID, slot, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offLat <= 0 || wire != brick.MiB {
+		t.Fatalf("offload lat=%v wire=%v", offLat, wire)
+	}
+	if _, _, err := dc.Offload(topo.BrickID{Tray: 9}, 0, task); err == nil {
+		t.Fatal("offload to absent brick succeeded")
+	}
+	// Reusing a cached bitstream skips the transfer.
+	if _, _, lat2, err := dc.AttachAccelerator("vm2", bs); err != nil {
+		t.Fatal(err)
+	} else if lat2 >= lat {
+		t.Fatalf("cached attach (%v) not faster than first (%v)", lat2, lat)
+	}
+}
+
+func TestPowerManagementFacade(t *testing.T) {
+	dc := newDC(t)
+	dc.SDM().PowerOnAll()
+	before := dc.DrawW()
+	n := dc.PowerOffIdle()
+	if n == 0 {
+		t.Fatal("nothing powered off on an idle rack")
+	}
+	if dc.DrawW() >= before {
+		t.Fatal("draw did not drop after power-off")
+	}
+	c := dc.Census(topo.KindCompute)
+	if c.Off != c.Total() {
+		t.Fatalf("census = %+v, want all off", c)
+	}
+}
+
+func TestRunFig7Claims(t *testing.T) {
+	r, err := RunFig7(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Channels) != 8 {
+		t.Fatalf("channels = %d, want 8", len(r.Channels))
+	}
+	if !r.AllBelow(1e-12) {
+		t.Fatal("paper claim violated: a link's median BER >= 1e-12")
+	}
+	// Exactly one channel traverses six hops, the rest eight.
+	six := 0
+	for _, c := range r.Channels {
+		switch c.Hops {
+		case 6:
+			six++
+		case 8:
+		default:
+			t.Fatalf("channel %d traverses %d hops", c.Channel, c.Hops)
+		}
+		// Received power consistent with launch − hops × 1 dB.
+		want := c.LaunchDBm - float64(c.Hops)
+		if diff := c.RxDBm - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("channel %d rx %v, want %v", c.Channel, c.RxDBm, want)
+		}
+	}
+	if six != 1 {
+		t.Fatalf("%d channels at six hops, want 1", six)
+	}
+	if !strings.Contains(r.Format(), "ch-8") {
+		t.Fatal("Format missing channel rows")
+	}
+	if _, err := RunFig7(1, 0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestRunFig7Deterministic(t *testing.T) {
+	a, _ := RunFig7(7, 50)
+	b, _ := RunFig7(7, 50)
+	for i := range a.Channels {
+		if a.Channels[i] != b.Channels[i] {
+			t.Fatal("same-seed Fig7 runs differ")
+		}
+	}
+}
+
+func TestRunFig8Shape(t *testing.T) {
+	r, err := RunFig8(pktnet.DefaultProfile, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Circuit.Total >= r.Packet.Total {
+		t.Fatal("circuit path not faster than packet path")
+	}
+	macphy := r.Packet.Share("MAC (both bricks)") + r.Packet.Share("PHY (both bricks)")
+	if macphy < 0.4 {
+		t.Fatalf("MAC+PHY share %.2f, want dominant", macphy)
+	}
+	if !strings.Contains(r.Format(), "TOTAL") {
+		t.Fatal("Format missing total row")
+	}
+	bad := pktnet.DefaultProfile
+	bad.LineRateGbps = 0
+	if _, err := RunFig8(bad, 64); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestRunFig10Shape(t *testing.T) {
+	r, err := RunFig10(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (32/16/8)", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		// Scale-up always beats the scale-out baseline (paper headline).
+		if row.AvgScaleUpS >= row.AvgScaleOutS {
+			t.Fatalf("concurrency %d: scale-up %.3f not below scale-out %.3f",
+				row.Concurrency, row.AvgScaleUpS, row.AvgScaleOutS)
+		}
+		// More aggressive concurrency → higher average delay.
+		if i > 0 && row.AvgScaleUpS >= r.Rows[i-1].AvgScaleUpS {
+			t.Fatalf("delay not decreasing with concurrency: %+v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.Format(), "32 VMs") {
+		t.Fatal("Format missing concurrency rows")
+	}
+}
+
+func TestTable1Format(t *testing.T) {
+	s, err := FormatTable1(1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Random", "High RAM", "24-32 GB", "Half Half"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, s)
+		}
+	}
+	if _, err := FormatTable1(1, 0); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+func TestTCOFormatting(t *testing.T) {
+	rs, err := RunTCO(tco.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f12 := FormatFig12(rs)
+	f13 := FormatFig13(rs)
+	if !strings.Contains(f12, "dCOMPUBRICKs off") || !strings.Contains(f13, "normalized") {
+		t.Fatal("TCO formatting incomplete")
+	}
+}
+
+func TestAblationPlacement(t *testing.T) {
+	pa, spread, err := AblationPlacement(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's power-conscious selection must beat bandwidth spreading
+	// on power-off opportunities.
+	if pa <= spread {
+		t.Fatalf("power-aware off=%d not above spread off=%d", pa, spread)
+	}
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/brick"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/pktnet"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tco"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Experiment E-F7: Figure 7 — BER vs. received optical power.
+// ---------------------------------------------------------------------------
+
+// ChannelBER is one box of the Fig. 7 box plot: the measured-BER
+// distribution of one bidirectional optical link.
+type ChannelBER struct {
+	Channel   int // 1-based, as the paper labels them
+	Hops      int
+	LaunchDBm float64
+	RxDBm     float64
+	LogBER    stats.Summary // summary of log10(measured BER)
+}
+
+// Fig7Result holds the full experiment.
+type Fig7Result struct {
+	Receiver     optical.Receiver
+	Trials       int
+	BitsPerTrial float64
+	Channels     []ChannelBER
+}
+
+// RunFig7 reproduces Figure 7: every MBO channel between the
+// dCOMPUBRICK and the dMEMBRICK is looped through the optical switch —
+// all but one traversing eight hops, the remaining one six (exactly the
+// paper's setup) — and a BER tester measures each link repeatedly. The
+// box plot statistics summarize the per-trial measured BER.
+func RunFig7(seed uint64, trials int) (Fig7Result, error) {
+	if trials <= 0 {
+		return Fig7Result{}, fmt.Errorf("core: Fig7 needs at least one trial, got %d", trials)
+	}
+	rng := sim.NewRand(seed)
+	mbo, err := optical.NewMBO(optical.PrototypeMBO, rng)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	const bits = 1e13 // tester observation window per trial (floor 1e-13)
+	res := Fig7Result{Receiver: optical.PrototypeReceiver, Trials: trials, BitsPerTrial: bits}
+	for ch := 0; ch < mbo.Config().Channels; ch++ {
+		hops := 8
+		if ch == mbo.Config().Channels-1 {
+			hops = 6 // "the remaining channel traversing six hops"
+		}
+		launch, err := mbo.LaunchDBm(ch)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		link := optical.Link{
+			Channel:      ch,
+			Hops:         hops,
+			LaunchDBm:    launch,
+			LossPerHopDB: optical.Polatis48.InsertionLossDB,
+		}
+		logs := make([]float64, trials)
+		for i := range logs {
+			logs[i] = math.Log10(link.MeasuredBER(res.Receiver, rng, 0.15, bits))
+		}
+		summary, err := stats.Summarize(logs)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Channels = append(res.Channels, ChannelBER{
+			Channel:   ch + 1,
+			Hops:      hops,
+			LaunchDBm: launch,
+			RxDBm:     link.ReceivedDBm(),
+			LogBER:    summary,
+		})
+	}
+	return res, nil
+}
+
+// AllBelow reports whether every channel's median measured BER sits
+// below the threshold — the paper's claim with threshold 1e−12.
+func (r Fig7Result) AllBelow(threshold float64) bool {
+	lim := math.Log10(threshold)
+	for _, c := range r.Channels {
+		if c.LogBER.Median > lim {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the experiment as text.
+func (r Fig7Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — BER vs received optical power (%d trials/link, %.0g bits/trial, sensitivity %.1f dBm @ 1e-12)\n\n",
+		r.Trials, r.BitsPerTrial, r.Receiver.SensitivityDBm)
+	t := stats.NewTable("channel", "hops", "launch dBm", "rx dBm", "log10BER min", "q1", "median", "q3", "max")
+	for _, c := range r.Channels {
+		t.AddRowf("ch-%d|%d|%.2f|%.2f|%.1f|%.1f|%.1f|%.1f|%.1f",
+			c.Channel, c.Hops, c.LaunchDBm, c.RxDBm,
+			c.LogBER.Min, c.LogBER.Q1, c.LogBER.Median, c.LogBER.Q3, c.LogBER.Max)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nall links below 1e-12: %v (paper: yes, FEC-free at 6-8 switch hops)\n", r.AllBelow(1e-12))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Experiment E-F8: Figure 8 — remote-memory round-trip latency breakdown.
+// ---------------------------------------------------------------------------
+
+// Fig8Result holds the packet-path breakdown and the mainline circuit
+// path for comparison.
+type Fig8Result struct {
+	Profile pktnet.Profile
+	Packet  pktnet.Breakdown
+	Circuit pktnet.Breakdown
+}
+
+// RunFig8 reproduces Figure 8: a 64-byte remote read over the
+// exploratory packet-switched path, decomposed into the on-brick
+// switches, MAC/PHY blocks on both bricks, optical propagation and the
+// memory access itself.
+func RunFig8(profile pktnet.Profile, size int) (Fig8Result, error) {
+	d1, err := mem.NewDDR(mem.DDR4_2400)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	d2, err := mem.NewDDR(mem.DDR4_2400)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	req := mem.Request{Op: mem.OpRead, Addr: 0, Size: size}
+	pkt, err := pktnet.RoundTrip(profile, d1, req)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	cir, err := pktnet.CircuitRoundTrip(profile, d2, req)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	return Fig8Result{Profile: profile, Packet: pkt, Circuit: cir}, nil
+}
+
+// Format renders the experiment as text.
+func (r Fig8Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — round-trip remote memory access latency breakdown (packet-switched exploratory path)\n\n")
+	t := stats.NewTable("component", "crossings", "round-trip ns", "share")
+	for _, c := range r.Packet.Components {
+		t.AddRowf("%s|%d|%d|%.1f%%", c.Name, c.Crossings, int64(c.Total), 100*r.Packet.Share(c.Name))
+	}
+	t.AddRowf("TOTAL| |%d|100.0%%", int64(r.Packet.Total))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nmainline circuit-switched path total: %v (packet-mode overhead: %v)\n",
+		r.Circuit.Total, r.Packet.Total-r.Circuit.Total)
+	fmt.Fprintf(&b, "FEC would add %v per PHY crossing; dReDBox mandates FEC-free links.\n",
+		optical.FECLatencyPenalty)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Experiment E-F10: Figure 10 — scale-up agility vs. conventional scale-out.
+// ---------------------------------------------------------------------------
+
+// Fig10Row is one group of Fig. 10's bars: per-VM average delay at one
+// concurrency level.
+type Fig10Row struct {
+	Concurrency   int
+	AvgScaleUpS   float64
+	AvgScaleDownS float64
+	AvgScaleOutS  float64 // conventional baseline: spawn a VM instead
+}
+
+// Fig10Result holds the concurrency sweep.
+type Fig10Result struct {
+	StepSize brick.Bytes
+	Window   sim.Duration
+	Rows     []Fig10Row
+}
+
+// fig10Rack builds a rack large enough for the 32-VM experiment:
+// 16 compute bricks × 8 cores, 16 memory bricks × 64 GiB, 256-port switch.
+func fig10Rack() (Config, error) {
+	cfg := DefaultConfig()
+	cfg.Topology = topo.BuildSpec{
+		Trays: 4, ComputePerTray: 4, MemoryPerTray: 4, PortsPerBrick: 8,
+	}
+	cfg.Switch = optical.SwitchConfig{
+		Ports:           256,
+		InsertionLossDB: optical.Polatis48.InsertionLossDB,
+		PortPowerW:      optical.Polatis48.PortPowerW,
+		ReconfigTime:    optical.Polatis48.ReconfigTime,
+	}
+	cfg.Bricks.Compute = brick.ComputeConfig{Cores: 8, LocalMemory: 32 * brick.GiB}
+	cfg.Bricks.Memory = brick.MemoryConfig{Capacity: 64 * brick.GiB}
+	return cfg, nil
+}
+
+// RunFig10 reproduces Figure 10: for each concurrency level (32, 16 and
+// 8 VM instances posting scale-up requests within one time window), it
+// measures the per-VM average delay of dynamically scaling memory up and
+// back down, against the conventional elasticity baseline of spawning an
+// additional VM per request (ref. [13]).
+func RunFig10(seed uint64) (Fig10Result, error) {
+	const step = 2 * brick.GiB
+	// Simultaneous posting (zero window) is the most aggressive
+	// concurrency condition: every request queues at the SDM service
+	// (≈27 ms each: decision + 25 ms circuit reconfiguration + agent
+	// push), so per-VM average delay grows with the instance count —
+	// the gradient Fig. 10 plots.
+	window := sim.Duration(0)
+	res := Fig10Result{StepSize: step, Window: window}
+
+	for _, conc := range []int{32, 16, 8} {
+		cfg, err := fig10Rack()
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		cfg.Seed = seed
+		dc, err := New(cfg)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		rng := sim.NewRand(seed + uint64(conc))
+		ctl := dc.ScaleController()
+
+		// Boot the fleet, then let the rack go quiet: requests start at
+		// a base time far past the creation queue's horizon.
+		for i := 0; i < conc; i++ {
+			id := hypervisor.VMID(fmt.Sprintf("vm%02d", i))
+			if _, _, err := ctl.CreateVM(0, id, hypervisor.VMSpec{VCPUs: 1, Memory: 2 * brick.GiB}); err != nil {
+				return Fig10Result{}, fmt.Errorf("core: Fig10 boot %s: %w", id, err)
+			}
+		}
+		dc.SDM().PowerOnAll()
+		base := sim.Time(1 * sim.Hour)
+
+		arrivals, err := workload.Burst(rng, conc, base, window)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		var upSum float64
+		for i, at := range arrivals {
+			id := hypervisor.VMID(fmt.Sprintf("vm%02d", i))
+			r, err := ctl.ScaleUp(at, id, step)
+			if err != nil {
+				return Fig10Result{}, fmt.Errorf("core: Fig10 scale-up %s: %w", id, err)
+			}
+			upSum += r.Delay().Seconds()
+		}
+
+		base2 := base.Add(sim.Duration(1 * sim.Hour))
+		arrivals2, err := workload.Burst(rng, conc, base2, window)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		var downSum float64
+		for i, at := range arrivals2 {
+			id := hypervisor.VMID(fmt.Sprintf("vm%02d", i))
+			r, err := ctl.ScaleDown(at, id, step)
+			if err != nil {
+				return Fig10Result{}, fmt.Errorf("core: Fig10 scale-down %s: %w", id, err)
+			}
+			downSum += r.Delay().Seconds()
+		}
+
+		// Conventional baseline: each elasticity event spawns a new VM.
+		base3 := base2.Add(sim.Duration(1 * sim.Hour))
+		arrivals3, err := workload.Burst(rng, conc, base3, window)
+		if err != nil {
+			return Fig10Result{}, err
+		}
+		var outSum float64
+		for i, at := range arrivals3 {
+			id := hypervisor.VMID(fmt.Sprintf("xtra%02d", i))
+			r, err := ctl.ScaleOutBaseline(at, id, hypervisor.VMSpec{VCPUs: 1, Memory: step})
+			if err != nil {
+				return Fig10Result{}, fmt.Errorf("core: Fig10 scale-out %s: %w", id, err)
+			}
+			outSum += r.Delay().Seconds()
+		}
+
+		res.Rows = append(res.Rows, Fig10Row{
+			Concurrency:   conc,
+			AvgScaleUpS:   upSum / float64(conc),
+			AvgScaleDownS: downSum / float64(conc),
+			AvgScaleOutS:  outSum / float64(conc),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the experiment as text.
+func (r Fig10Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10 — per-VM average delay of dynamic memory scaling (step %v, burst window %v; lower is better)\n\n",
+		r.StepSize, r.Window)
+	t := stats.NewTable("concurrency", "scale-up avg s", "scale-down avg s", "scale-out (spawn VM) avg s", "speedup vs scale-out")
+	for _, row := range r.Rows {
+		t.AddRowf("%d VMs|%.3f|%.3f|%.1f|%.0fx",
+			row.Concurrency, row.AvgScaleUpS, row.AvgScaleDownS, row.AvgScaleOutS,
+			row.AvgScaleOutS/row.AvgScaleUpS)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\npaper shape: disaggregated scale-up stays far below VM scale-out even at 32-way concurrency.\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Experiments E-T1, E-F12, E-F13: Table I and Figures 12–13 (TCO study).
+// ---------------------------------------------------------------------------
+
+// FormatTable1 renders the Table I workload classes with sampled means.
+func FormatTable1(seed uint64, samples int) (string, error) {
+	if samples <= 0 {
+		return "", fmt.Errorf("core: Table1 needs positive sample count")
+	}
+	var b strings.Builder
+	b.WriteString("Table I — VM workload classes (bounds per paper; means over sampled requests)\n\n")
+	t := stats.NewTable("configuration", "vCPUs", "RAM", "mean vCPUs", "mean RAM GiB")
+	for _, class := range workload.Classes() {
+		g, err := workload.NewGenerator(class, seed)
+		if err != nil {
+			return "", err
+		}
+		cpuLo, cpuHi, ramLo, ramHi := class.Bounds()
+		var cpuSum, ramSum float64
+		for i := 0; i < samples; i++ {
+			r := g.Next()
+			cpuSum += float64(r.VCPUs)
+			ramSum += float64(r.RAMGiB)
+		}
+		t.AddRowf("%s|%d-%d cores|%d-%d GB|%.1f|%.1f",
+			class, cpuLo, cpuHi, ramLo, ramHi,
+			cpuSum/float64(samples), ramSum/float64(samples))
+	}
+	b.WriteString(t.String())
+	return b.String(), nil
+}
+
+// FormatFig11 renders the TCO study setup — the paper's Figure 11 shows
+// the two datacenters side by side with identical aggregate compute and
+// memory. The formatter also re-validates the equal-aggregate premise so
+// a misconfigured study cannot silently print a biased comparison.
+func FormatFig11(cfg tco.Config) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 11 — equal aggregate resources in both datacenters\n\n")
+	t := stats.NewTable("datacenter", "units", "cores total", "memory total")
+	t.AddRowf("conventional|%d hosts (%dc / %dGiB each)|%d|%d GiB",
+		cfg.Hosts, cfg.HostCores, cfg.HostGiB, cfg.Hosts*cfg.HostCores, cfg.Hosts*cfg.HostGiB)
+	t.AddRowf("dReDBox|%d dCOMPUBRICKs (%dc) + %d dMEMBRICKs (%dGiB)|%d|%d GiB",
+		cfg.ComputeBricks, cfg.BrickCores, cfg.MemoryBricks, cfg.MemBrickGiB,
+		cfg.ComputeBricks*cfg.BrickCores, cfg.MemoryBricks*cfg.MemBrickGiB)
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nworkload: FCFS placement, sized to %.0f%% of the bottleneck resource per class\n",
+		100*cfg.TargetFill)
+	return b.String(), nil
+}
+
+// RunTCO runs the Figs. 12–13 study.
+func RunTCO(cfg tco.Config) ([]tco.Result, error) { return tco.RunAll(cfg) }
+
+// RunTCOFillSweep runs the utilization-sensitivity extension on the
+// High RAM class (the one with the strongest disaggregation signal).
+func RunTCOFillSweep(cfg tco.Config) ([]tco.FillPoint, error) {
+	return tco.FillSweep(cfg, workload.HighRAM, tco.DefaultFills)
+}
+
+// FormatFig12 renders the power-off study.
+func FormatFig12(results []tco.Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 12 — percentage of unutilized resources that can be powered off\n\n")
+	t := stats.NewTable("configuration", "VMs", "conv hosts off", "dCOMPUBRICKs off", "dMEMBRICKs off", "all bricks off", "max kind off")
+	for _, r := range results {
+		t.AddRowf("%s|%d|%.0f%%|%.0f%%|%.0f%%|%.0f%%|%.0f%%",
+			r.Class, r.VMs, 100*r.ConvOffFrac, 100*r.CompOffFrac,
+			100*r.MemOffFrac, 100*r.BrickOffFrac, 100*r.MaxKindOffFrac)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\npaper shape: up to ~88% of dMEMBRICKs or dCOMPUBRICKs off on unbalanced workloads vs ~15% of conventional hosts.\n")
+	return b.String()
+}
+
+// FormatFig13 renders the power estimation.
+func FormatFig13(results []tco.Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 13 — estimated power consumption, normalized to the conventional datacenter\n\n")
+	t := stats.NewTable("configuration", "conventional W", "dReDBox W", "normalized", "savings")
+	for _, r := range results {
+		t.AddRowf("%s|%.0f|%.0f|%.2f|%.0f%%",
+			r.Class, r.ConvPowerW, r.DisaggPowerW, r.NormalizedPower, 100*r.SavingsFrac)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\npaper shape: up to ~50% energy savings on diverse/unbalanced workloads, near parity on Half Half.\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §6).
+// ---------------------------------------------------------------------------
+
+// AblationPlacement compares power-aware packing against bandwidth-
+// oriented spreading on a scale-up churn workload. It returns, for each
+// policy, the number of bricks that end up powered off (or never powered
+// on) after a PowerOffIdle sweep — the quantity the paper's power-aware
+// selection exists to maximize.
+func AblationPlacement(seed uint64) (powerAwareOff, spreadOff int, err error) {
+	run := func(policy sdm.Policy) (int, error) {
+		cfg, err := fig10Rack()
+		if err != nil {
+			return 0, err
+		}
+		cfg.SDM.Policy = policy
+		dc, err := New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		ctl := dc.ScaleController()
+		rng := sim.NewRand(seed)
+		// Churn: create VMs, scale up, scale some down again.
+		for i := 0; i < 12; i++ {
+			id := hypervisor.VMID(fmt.Sprintf("vm%02d", i))
+			if _, _, err := ctl.CreateVM(0, id, hypervisor.VMSpec{VCPUs: 2, Memory: 2 * brick.GiB}); err != nil {
+				return 0, err
+			}
+			if _, err := ctl.ScaleUp(sim.Time(sim.Hour), id, brick.Bytes(rng.IntBetween(1, 4))*brick.GiB); err != nil {
+				return 0, err
+			}
+		}
+		for i := 0; i < 12; i += 2 {
+			id := hypervisor.VMID(fmt.Sprintf("vm%02d", i))
+			if _, err := ctl.ScaleDown(sim.Time(2*sim.Hour), id, brick.GiB); err != nil {
+				return 0, err
+			}
+		}
+		dc.PowerOffIdle()
+		off := 0
+		for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory, topo.KindAccel} {
+			off += dc.Census(kind).Off
+		}
+		return off, nil
+	}
+	powerAwareOff, err = run(sdm.PolicyPowerAware)
+	if err != nil {
+		return 0, 0, err
+	}
+	spreadOff, err = run(sdm.PolicySpread)
+	if err != nil {
+		return 0, 0, err
+	}
+	return powerAwareOff, spreadOff, nil
+}

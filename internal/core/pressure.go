@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/pktnet"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+)
+
+// PortPressureResult reports the circuit-vs-packet ablation under port
+// pressure: what happens to attachment control latency and datapath
+// round-trip time as a brick outgrows its transceiver ports.
+type PortPressureResult struct {
+	Attachments    int
+	CircuitMode    int
+	PacketMode     int
+	AvgCircuitRTT  sim.Duration
+	AvgPacketRTT   sim.Duration
+	CircuitControl sim.Duration // mean control-plane latency per circuit attach
+	PacketControl  sim.Duration // mean control-plane latency per packet attach
+}
+
+// RunPortPressure scales one VM's remote memory far past its brick's
+// port count. The first attachments get dedicated circuits; once ports
+// run out the SDM Controller falls back to packet mode (paper §III:
+// packet switching exists "to cater for cases where the system is
+// running low in terms of physical ports"). The result quantifies the
+// trade: packet attachments are much cheaper on the control plane (no
+// optical reconfiguration) but pay ~80% more datapath latency.
+func RunPortPressure(attachments int) (PortPressureResult, error) {
+	if attachments <= 0 {
+		return PortPressureResult{}, fmt.Errorf("core: port pressure needs at least one attachment")
+	}
+	cfg := DefaultConfig()
+	cfg.SDM.PacketFallback = true
+	dc, err := New(cfg)
+	if err != nil {
+		return PortPressureResult{}, err
+	}
+	ctl := dc.ScaleController()
+	if _, _, err := ctl.CreateVM(0, "pressure", hypervisor.VMSpec{VCPUs: 2, Memory: 2 * brick.GiB}); err != nil {
+		return PortPressureResult{}, err
+	}
+	dc.SDM().PowerOnAll()
+
+	res := PortPressureResult{Attachments: attachments}
+	var circuitControl, packetControl sim.Duration
+	for i := 0; i < attachments; i++ {
+		r, err := ctl.ScaleUp(sim.Time(sim.Hour), "pressure", brick.GiB)
+		if err != nil {
+			return PortPressureResult{}, fmt.Errorf("core: attachment %d: %w", i, err)
+		}
+		_ = r
+	}
+	atts := dc.SDM().Attachments("pressure")
+	var circuitRTT, packetRTT sim.Duration
+	for _, att := range atts {
+		ctrl, ok := dc.ddr[att.Segment.Brick]
+		if !ok {
+			return PortPressureResult{}, fmt.Errorf("core: no controller for %v", att.Segment.Brick)
+		}
+		req := mem.Request{Op: mem.OpRead, Addr: uint64(att.Segment.Offset), Size: 64}
+		if att.Mode == sdm.ModePacket {
+			bd, err := pktnet.RoundTrip(dc.cfg.Packet, ctrl, req)
+			if err != nil {
+				return PortPressureResult{}, err
+			}
+			res.PacketMode++
+			packetRTT += bd.Total
+			packetControl += sim.Duration(dc.cfg.SDM.DecisionLatency) + 2*dc.cfg.SDM.AgentRTT
+		} else {
+			bd, err := pktnet.CircuitRoundTrip(dc.cfg.Packet, ctrl, req)
+			if err != nil {
+				return PortPressureResult{}, err
+			}
+			res.CircuitMode++
+			circuitRTT += bd.Total
+			circuitControl += sim.Duration(dc.cfg.SDM.DecisionLatency) + dc.cfg.Switch.ReconfigTime + dc.cfg.SDM.AgentRTT
+		}
+	}
+	if res.CircuitMode > 0 {
+		res.AvgCircuitRTT = circuitRTT / sim.Duration(res.CircuitMode)
+		res.CircuitControl = circuitControl / sim.Duration(res.CircuitMode)
+	}
+	if res.PacketMode > 0 {
+		res.AvgPacketRTT = packetRTT / sim.Duration(res.PacketMode)
+		res.PacketControl = packetControl / sim.Duration(res.PacketMode)
+	}
+	return res, nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+)
+
+func TestRunPortPressureSplitsModes(t *testing.T) {
+	// 12 attachments on an 8-port brick: 8 circuits, 4 packet riders.
+	r, err := RunPortPressure(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CircuitMode != 8 || r.PacketMode != 4 {
+		t.Fatalf("modes = %d circuit / %d packet, want 8/4", r.CircuitMode, r.PacketMode)
+	}
+	// The trade: packet datapath slower, packet control plane faster.
+	if r.AvgPacketRTT <= r.AvgCircuitRTT {
+		t.Fatalf("packet RTT %v not above circuit RTT %v", r.AvgPacketRTT, r.AvgCircuitRTT)
+	}
+	if r.PacketControl >= r.CircuitControl {
+		t.Fatalf("packet control %v not below circuit control %v", r.PacketControl, r.CircuitControl)
+	}
+}
+
+func TestRunPortPressureAllCircuit(t *testing.T) {
+	r, err := RunPortPressure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CircuitMode != 4 || r.PacketMode != 0 {
+		t.Fatalf("modes = %d/%d, want 4/0", r.CircuitMode, r.PacketMode)
+	}
+	if _, err := RunPortPressure(0); err == nil {
+		t.Fatal("zero attachments accepted")
+	}
+}
+
+func TestMigrateVMFacade(t *testing.T) {
+	dc := newDC(t)
+	if _, err := dc.CreateVM("mv", 2, 2*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	dc.SDM().PowerOnAll()
+	if _, err := dc.ScaleUpVM("mv", 8*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	before := dc.Now()
+	res, err := dc.MigrateVM("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.From == res.To {
+		t.Fatal("migration did not move the VM")
+	}
+	if dc.Now() != before.Add(res.Downtime) {
+		t.Fatal("clock did not advance by downtime")
+	}
+	// Downtime beats copying the whole (10 GiB) footprint.
+	if res.Downtime >= res.FullCopyBaseline {
+		t.Fatalf("downtime %v not below full-copy %v", res.Downtime, res.FullCopyBaseline)
+	}
+	// The VM remains fully operational.
+	vm, _ := dc.VM("mv")
+	if vm.TotalMemory() != 10*brick.GiB {
+		t.Fatalf("memory = %v after migration", vm.TotalMemory())
+	}
+	if _, err := dc.ScaleDownVM("mv", 8*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunSlowdownSweepShape(t *testing.T) {
+	s, err := RunSlowdownSweep(0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Circuit) != 11 || len(s.Packet) != 11 {
+		t.Fatalf("points = %d/%d", len(s.Circuit), len(s.Packet))
+	}
+	// All-local point: no slowdown on either path.
+	if s.Circuit[0].Slowdown != 1 || s.Packet[0].Slowdown != 1 {
+		t.Fatalf("zero-remote slowdown = %v / %v", s.Circuit[0].Slowdown, s.Packet[0].Slowdown)
+	}
+	// Monotone in remote fraction; packet always at or above circuit.
+	for i := 1; i < 11; i++ {
+		if s.Circuit[i].Slowdown < s.Circuit[i-1].Slowdown {
+			t.Fatal("circuit slowdown not monotone")
+		}
+		if s.Packet[i].Slowdown < s.Circuit[i].Slowdown {
+			t.Fatal("packet slowdown below circuit")
+		}
+	}
+	// Headline: a 30%-memory-bound workload with a FULLY remote working
+	// set stays within single-digit slowdown on the circuit path — the
+	// reason sub-µs FEC-free latency matters.
+	if max := s.MaxSlowdown(); max < 1.5 || max > 10 {
+		t.Fatalf("all-remote circuit slowdown = %.2fx, expected small-integer regime", max)
+	}
+	if !strings.Contains(s.Format(), "slowdown circuit") {
+		t.Fatal("Format missing table")
+	}
+}
+
+func TestRunSlowdownSweepValidation(t *testing.T) {
+	if _, err := RunSlowdownSweep(0, 5); err == nil {
+		t.Fatal("zero miss weight accepted")
+	}
+	if _, err := RunSlowdownSweep(1.5, 5); err == nil {
+		t.Fatal("miss weight > 1 accepted")
+	}
+	if _, err := RunSlowdownSweep(0.3, 1); err == nil {
+		t.Fatal("single-step sweep accepted")
+	}
+}
+
+// Property: higher miss weight never reduces slowdown at any point.
+func TestPropSlowdownMonotoneInMissWeight(t *testing.T) {
+	f := func(a, b uint8) bool {
+		w1 := float64(a%99+1) / 100
+		w2 := float64(b%99+1) / 100
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		s1, err1 := RunSlowdownSweep(w1, 5)
+		s2, err2 := RunSlowdownSweep(w2, 5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range s1.Circuit {
+			if s1.Circuit[i].Slowdown > s2.Circuit[i].Slowdown+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package hotplug
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/brick"
+)
+
+func newKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k, err := NewKernel(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestHotAddOnlineLifecycle(t *testing.T) {
+	k := newKernel(t)
+	base := uint64(4 * brick.GiB)
+	d, err := k.HotAdd(base, 2*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= DefaultConfig.AddOverhead {
+		t.Fatalf("hot-add cost %v should include per-GiB init", d)
+	}
+	if k.ManagedBytes() != 2*brick.GiB || k.OnlineBytes() != 0 {
+		t.Fatalf("managed=%v online=%v after add", k.ManagedBytes(), k.OnlineBytes())
+	}
+	od, err := k.Online(base, 2*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od != 2*DefaultConfig.OnlinePerBlock {
+		t.Fatalf("online cost %v, want %v", od, 2*DefaultConfig.OnlinePerBlock)
+	}
+	if k.OnlineBytes() != 2*brick.GiB {
+		t.Fatalf("online bytes = %v", k.OnlineBytes())
+	}
+}
+
+func TestRemoveRequiresOffline(t *testing.T) {
+	k := newKernel(t)
+	base := uint64(0)
+	k.HotAdd(base, brick.GiB)
+	k.Online(base, brick.GiB)
+	if _, err := k.HotRemove(base, brick.GiB); err == nil {
+		t.Fatal("remove of online block succeeded")
+	}
+	if _, err := k.Offline(base, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.HotRemove(base, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if k.ManagedBytes() != 0 {
+		t.Fatal("block survived remove")
+	}
+}
+
+func TestAlignmentChecks(t *testing.T) {
+	k := newKernel(t)
+	if _, err := k.HotAdd(123, brick.GiB); err == nil {
+		t.Fatal("unaligned base accepted")
+	}
+	if _, err := k.HotAdd(0, brick.GiB/2); err == nil {
+		t.Fatal("sub-block size accepted")
+	}
+	if _, err := k.HotAdd(0, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestDoubleAddAndStateErrors(t *testing.T) {
+	k := newKernel(t)
+	k.HotAdd(0, 2*brick.GiB)
+	if _, err := k.HotAdd(uint64(brick.GiB), brick.GiB); err == nil {
+		t.Fatal("overlapping add succeeded")
+	}
+	if _, err := k.Online(0, 3*brick.GiB); err == nil {
+		t.Fatal("online past managed range succeeded")
+	}
+	k.Online(0, brick.GiB)
+	if _, err := k.Online(0, brick.GiB); err == nil {
+		t.Fatal("double online succeeded")
+	}
+	if _, err := k.Offline(uint64(brick.GiB), brick.GiB); err == nil {
+		t.Fatal("offline of offline block succeeded")
+	}
+	if _, err := k.HotRemove(8*uint64(brick.GiB), brick.GiB); err == nil {
+		t.Fatal("remove of absent block succeeded")
+	}
+}
+
+func TestOnlineIsAtomicOnError(t *testing.T) {
+	k := newKernel(t)
+	k.HotAdd(0, 2*brick.GiB)
+	k.Online(uint64(brick.GiB), brick.GiB) // second block online
+	// Range covering both blocks fails (one already online) and must not
+	// touch the first block.
+	if _, err := k.Online(0, 2*brick.GiB); err == nil {
+		t.Fatal("partial-online range succeeded")
+	}
+	if k.OnlineBytes() != brick.GiB {
+		t.Fatalf("online bytes = %v after failed range op, want 1GiB", k.OnlineBytes())
+	}
+}
+
+func TestBlocksSorted(t *testing.T) {
+	k := newKernel(t)
+	k.HotAdd(uint64(4*brick.GiB), brick.GiB)
+	k.HotAdd(0, brick.GiB)
+	k.HotAdd(uint64(2*brick.GiB), brick.GiB)
+	bs := k.Blocks()
+	if len(bs) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Base >= bs[i].Base {
+			t.Fatal("blocks not sorted")
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	k := newKernel(t)
+	k.HotAdd(0, 2*brick.GiB)
+	k.Online(0, 2*brick.GiB)
+	k.Offline(0, brick.GiB)
+	k.HotRemove(0, brick.GiB)
+	adds, removes, onlines, offlines := k.Stats()
+	if adds != 1 || removes != 1 || onlines != 2 || offlines != 1 {
+		t.Fatalf("stats = %d %d %d %d", adds, removes, onlines, offlines)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := DefaultConfig
+	c.BlockSize = 0
+	if _, err := NewKernel(c); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	c = DefaultConfig
+	c.InitPerGiB = -1
+	if _, err := NewKernel(c); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestBlockStateString(t *testing.T) {
+	if StateOffline.String() != "offline" || StateOnline.String() != "online" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+// Property: add→online→offline→remove over arbitrary disjoint block
+// ranges always returns the kernel to empty, and managed bytes never go
+// negative or exceed what was added.
+func TestPropLifecycleRoundTrip(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		k, _ := NewKernel(DefaultConfig)
+		type rng struct {
+			base uint64
+			size brick.Bytes
+		}
+		var added []rng
+		base := uint64(0)
+		for _, s := range sizes {
+			size := brick.Bytes(int(s)%4+1) * brick.GiB
+			if _, err := k.HotAdd(base, size); err != nil {
+				return false
+			}
+			added = append(added, rng{base, size})
+			base += uint64(size) + uint64(brick.GiB) // leave a gap
+		}
+		var want brick.Bytes
+		for _, r := range added {
+			want += r.size
+		}
+		if k.ManagedBytes() != want {
+			return false
+		}
+		for _, r := range added {
+			if _, err := k.Online(r.base, r.size); err != nil {
+				return false
+			}
+		}
+		if k.OnlineBytes() != want {
+			return false
+		}
+		for _, r := range added {
+			if _, err := k.Offline(r.base, r.size); err != nil {
+				return false
+			}
+			if _, err := k.HotRemove(r.base, r.size); err != nil {
+				return false
+			}
+		}
+		return k.ManagedBytes() == 0 && k.OnlineBytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hot-add latency grows with size.
+func TestPropAddLatencyMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s1 := brick.Bytes(int(a)%8+1) * brick.GiB
+		s2 := brick.Bytes(int(b)%8+1) * brick.GiB
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		k1, _ := NewKernel(DefaultConfig)
+		k2, _ := NewKernel(DefaultConfig)
+		d1, err1 := k1.HotAdd(0, s1)
+		d2, err2 := k2.HotAdd(0, s2)
+		return err1 == nil && err2 == nil && d1 <= d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

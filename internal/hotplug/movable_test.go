@@ -1,0 +1,139 @@
+package hotplug
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/brick"
+)
+
+func TestPopulateDepopulateBounds(t *testing.T) {
+	k := newKernel(t)
+	k.HotAdd(0, brick.GiB)
+	if err := k.PopulateBlock(0, 100*brick.MiB); err == nil {
+		t.Fatal("populate of offline block succeeded")
+	}
+	k.Online(0, brick.GiB)
+	if err := k.PopulateBlock(0, 600*brick.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PopulateBlock(0, 600*brick.MiB); err == nil {
+		t.Fatal("over-populate succeeded")
+	}
+	if k.PopulatedBytes() != 600*brick.MiB {
+		t.Fatalf("populated = %v", k.PopulatedBytes())
+	}
+	if err := k.DepopulateBlock(0, 700*brick.MiB); err == nil {
+		t.Fatal("over-depopulate succeeded")
+	}
+	if err := k.DepopulateBlock(0, 600*brick.MiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.PopulateBlock(4*uint64(brick.GiB), brick.MiB); err == nil {
+		t.Fatal("populate of absent block succeeded")
+	}
+	if err := k.DepopulateBlock(4*uint64(brick.GiB), brick.MiB); err == nil {
+		t.Fatal("depopulate of absent block succeeded")
+	}
+}
+
+func TestOfflinePopulatedCostsMigration(t *testing.T) {
+	empty := newKernel(t)
+	empty.HotAdd(0, brick.GiB)
+	empty.Online(0, brick.GiB)
+	emptyCost, err := empty.Offline(0, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := newKernel(t)
+	full.HotAdd(0, brick.GiB)
+	full.Online(0, brick.GiB)
+	full.PopulateBlock(0, brick.GiB)
+	fullCost, err := full.Offline(0, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullCost <= emptyCost {
+		t.Fatalf("populated offline %v not above empty %v", fullCost, emptyCost)
+	}
+	if fullCost-emptyCost != DefaultConfig.MigratePerGiB {
+		t.Fatalf("migration delta = %v, want %v", fullCost-emptyCost, DefaultConfig.MigratePerGiB)
+	}
+	// Pages were migrated away, not destroyed in place.
+	if full.PopulatedBytes() != 0 {
+		t.Fatal("populated bytes survived offline")
+	}
+}
+
+func TestPinnedBlockRefusesOffline(t *testing.T) {
+	k := newKernel(t)
+	k.HotAdd(0, 2*brick.GiB)
+	k.Online(0, 2*brick.GiB)
+	if err := k.PinBlock(uint64(brick.GiB)); err != nil {
+		t.Fatal(err)
+	}
+	// Range covering the pinned block fails atomically: the first block
+	// stays online too.
+	if _, err := k.Offline(0, 2*brick.GiB); err == nil {
+		t.Fatal("offline of pinned range succeeded")
+	}
+	if k.OnlineBytes() != 2*brick.GiB {
+		t.Fatal("failed offline changed block states")
+	}
+	// The unpinned block alone offlines fine.
+	if _, err := k.Offline(0, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.UnpinBlock(uint64(brick.GiB)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Offline(uint64(brick.GiB), brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPinErrors(t *testing.T) {
+	k := newKernel(t)
+	if err := k.PinBlock(0); err == nil {
+		t.Fatal("pin of absent block succeeded")
+	}
+	k.HotAdd(0, brick.GiB)
+	if err := k.PinBlock(0); err == nil {
+		t.Fatal("pin of offline block succeeded")
+	}
+	if err := k.UnpinBlock(0); err == nil {
+		t.Fatal("unpin of unpinned block succeeded")
+	}
+	if err := k.UnpinBlock(8 * uint64(brick.GiB)); err == nil {
+		t.Fatal("unpin of absent block succeeded")
+	}
+}
+
+// Property: populate/depopulate sequences keep PopulatedBytes equal to
+// the running balance and never exceed managed capacity.
+func TestPropPopulationBalance(t *testing.T) {
+	f := func(ops []uint8) bool {
+		k, _ := NewKernel(DefaultConfig)
+		k.HotAdd(0, 4*brick.GiB)
+		k.Online(0, 4*brick.GiB)
+		var balance brick.Bytes
+		for _, op := range ops {
+			base := uint64(op%4) * uint64(brick.GiB)
+			amount := brick.Bytes(op%7+1) * 64 * brick.MiB
+			if op%2 == 0 {
+				if k.PopulateBlock(base, amount) == nil {
+					balance += amount
+				}
+			} else {
+				if k.DepopulateBlock(base, amount) == nil {
+					balance -= amount
+				}
+			}
+		}
+		return k.PopulatedBytes() == balance && balance <= 4*brick.GiB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package hypervisor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Job is a CPU-bound unit of work submitted by a VM: Work is the
+// single-core CPU time it needs, MaxParallel caps how many cores it can
+// exploit concurrently (at most the VM's vCPU count).
+type Job struct {
+	ID          string
+	Arrival     sim.Time
+	Work        sim.Duration // single-core CPU seconds
+	MaxParallel int
+}
+
+// Validate rejects degenerate jobs.
+func (j Job) Validate() error {
+	if j.ID == "" {
+		return fmt.Errorf("hypervisor: job needs an ID")
+	}
+	if j.Work <= 0 {
+		return fmt.Errorf("hypervisor: job %q needs positive work", j.ID)
+	}
+	if j.MaxParallel <= 0 {
+		return fmt.Errorf("hypervisor: job %q needs positive parallelism", j.ID)
+	}
+	if j.Arrival < 0 {
+		return fmt.Errorf("hypervisor: job %q has negative arrival", j.ID)
+	}
+	return nil
+}
+
+// Schedule computes job completion times on a brick with the given core
+// count under generalized processor sharing: at every instant each
+// active job receives an equal share of the cores, capped by its
+// MaxParallel, with the surplus of capped jobs redistributed
+// (water-filling). This models the Type-1 hypervisor's fair vCPU
+// scheduling well enough for the pilot applications' what-if analyses.
+func Schedule(cores int, jobs []Job) (map[string]sim.Time, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("hypervisor: scheduler needs positive cores, got %d", cores)
+	}
+	ids := map[string]bool{}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		if ids[j.ID] {
+			return nil, fmt.Errorf("hypervisor: duplicate job ID %q", j.ID)
+		}
+		ids[j.ID] = true
+	}
+	type state struct {
+		job       Job
+		remaining float64 // core-nanoseconds
+		done      bool
+	}
+	states := make([]*state, len(jobs))
+	for i, j := range jobs {
+		states[i] = &state{job: j, remaining: float64(j.Work)}
+	}
+	// Deterministic processing order.
+	sort.Slice(states, func(a, b int) bool {
+		if states[a].job.Arrival != states[b].job.Arrival {
+			return states[a].job.Arrival < states[b].job.Arrival
+		}
+		return states[a].job.ID < states[b].job.ID
+	})
+
+	completion := make(map[string]sim.Time, len(jobs))
+	now := sim.Time(0)
+	if len(states) > 0 {
+		now = states[0].job.Arrival
+	}
+	for {
+		// Active set: arrived, not done.
+		var active []*state
+		for _, s := range states {
+			if !s.done && s.job.Arrival <= now {
+				active = append(active, s)
+			}
+		}
+		// Next arrival after now.
+		var nextArrival sim.Time = sim.Forever
+		for _, s := range states {
+			if !s.done && s.job.Arrival > now && s.job.Arrival < nextArrival {
+				nextArrival = s.job.Arrival
+			}
+		}
+		if len(active) == 0 {
+			if nextArrival == sim.Forever {
+				break // all done
+			}
+			now = nextArrival
+			continue
+		}
+		caps := make([]int, len(active))
+		for i, s := range active {
+			caps[i] = s.job.MaxParallel
+		}
+		rates := waterFillRates(cores, caps)
+		// Epoch ends at the earliest completion or the next arrival.
+		// Completion times round UP to the nanosecond clock so an epoch
+		// always makes progress (a floor here could yield a zero-length
+		// epoch and stall the loop).
+		epochEnd := nextArrival
+		for i, s := range active {
+			if rates[i] <= 0 {
+				continue
+			}
+			finish := now.Add(sim.Duration(math.Ceil(s.remaining / rates[i])))
+			if finish < epochEnd {
+				epochEnd = finish
+			}
+		}
+		if epochEnd == sim.Forever {
+			return nil, fmt.Errorf("hypervisor: scheduler stalled (no progress at %v)", now)
+		}
+		dt := float64(epochEnd.Sub(now))
+		for i, s := range active {
+			s.remaining -= rates[i] * dt
+			if s.remaining <= 1e-9 {
+				s.remaining = 0
+				s.done = true
+				completion[s.job.ID] = epochEnd
+			}
+		}
+		now = epochEnd
+	}
+	return completion, nil
+}
+
+// waterFillRates distributes cores across active jobs: equal shares,
+// capped by per-job MaxParallel, with capped jobs' surplus redistributed
+// among the rest (water-filling).
+func waterFillRates(cores int, caps []int) []float64 {
+	rates := make([]float64, len(caps))
+	remainingCores := float64(cores)
+	uncapped := make([]int, 0, len(caps))
+	for i := range caps {
+		uncapped = append(uncapped, i)
+	}
+	for len(uncapped) > 0 && remainingCores > 1e-12 {
+		share := remainingCores / float64(len(uncapped))
+		var still []int
+		progressed := false
+		for _, i := range uncapped {
+			headroom := float64(caps[i]) - rates[i]
+			if headroom <= share {
+				rates[i] += headroom
+				remainingCores -= headroom
+				progressed = progressed || headroom > 0
+			} else {
+				still = append(still, i)
+			}
+		}
+		if len(still) == len(uncapped) {
+			// Nobody capped: hand out equal shares and finish.
+			for _, i := range still {
+				rates[i] += share
+			}
+			remainingCores = 0
+			break
+		}
+		if !progressed && len(still) == 0 {
+			break
+		}
+		uncapped = still
+	}
+	return rates
+}

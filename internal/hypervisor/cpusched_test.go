@@ -1,0 +1,173 @@
+package hypervisor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestScheduleSingleJob(t *testing.T) {
+	done, err := Schedule(4, []Job{
+		{ID: "a", Arrival: 0, Work: 8 * sim.Second, MaxParallel: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 core-seconds at 2 cores = 4 seconds.
+	if got := done["a"]; got != sim.Time(4*sim.Second) {
+		t.Fatalf("completion = %v, want 4s", got)
+	}
+}
+
+func TestScheduleFairSharing(t *testing.T) {
+	// Two unbounded jobs on 4 cores: each gets 2 cores.
+	done, err := Schedule(4, []Job{
+		{ID: "a", Arrival: 0, Work: 8 * sim.Second, MaxParallel: 4},
+		{ID: "b", Arrival: 0, Work: 8 * sim.Second, MaxParallel: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done["a"] != sim.Time(4*sim.Second) || done["b"] != sim.Time(4*sim.Second) {
+		t.Fatalf("completions = %v, want both 4s", done)
+	}
+}
+
+func TestScheduleWaterFilling(t *testing.T) {
+	// 4 cores, job a capped at 1, job b at 4: a gets 1, b gets the
+	// surplus (3), not just its equal share (2).
+	done, err := Schedule(4, []Job{
+		{ID: "a", Arrival: 0, Work: 4 * sim.Second, MaxParallel: 1},
+		{ID: "b", Arrival: 0, Work: 12 * sim.Second, MaxParallel: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: 4 core-s at 1 core = 4 s. b: 12 core-s at 3 cores = 4 s.
+	if done["a"] != sim.Time(4*sim.Second) {
+		t.Fatalf("a = %v, want 4s", done["a"])
+	}
+	if done["b"] != sim.Time(4*sim.Second) {
+		t.Fatalf("b = %v, want 4s (3-core surplus)", done["b"])
+	}
+}
+
+func TestScheduleArrivalDynamics(t *testing.T) {
+	// b arrives halfway through a's solo run.
+	done, err := Schedule(2, []Job{
+		{ID: "a", Arrival: 0, Work: 4 * sim.Second, MaxParallel: 2},
+		{ID: "b", Arrival: sim.Time(1 * sim.Second), Work: 2 * sim.Second, MaxParallel: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a runs solo [0,1s) at 2 cores: 2 core-s done, 2 left.
+	// Then both share: 1 core each. a finishes at 1+2=3s; b at 1+2=3s.
+	if done["a"] != sim.Time(3*sim.Second) || done["b"] != sim.Time(3*sim.Second) {
+		t.Fatalf("completions = %v, want both 3s", done)
+	}
+}
+
+func TestScheduleIdleGap(t *testing.T) {
+	done, err := Schedule(1, []Job{
+		{ID: "a", Arrival: 0, Work: sim.Second, MaxParallel: 1},
+		{ID: "b", Arrival: sim.Time(10 * sim.Second), Work: sim.Second, MaxParallel: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done["a"] != sim.Time(sim.Second) {
+		t.Fatalf("a = %v", done["a"])
+	}
+	if done["b"] != sim.Time(11*sim.Second) {
+		t.Fatalf("b = %v, want 11s (starts at its arrival)", done["b"])
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := Schedule(0, nil); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad := []Job{
+		{ID: "", Work: 1, MaxParallel: 1},
+		{ID: "x", Work: 0, MaxParallel: 1},
+		{ID: "x", Work: 1, MaxParallel: 0},
+		{ID: "x", Arrival: -1, Work: 1, MaxParallel: 1},
+	}
+	for i, j := range bad {
+		if _, err := Schedule(1, []Job{j}); err == nil {
+			t.Errorf("case %d: invalid job accepted", i)
+		}
+	}
+	if _, err := Schedule(1, []Job{
+		{ID: "dup", Work: 1, MaxParallel: 1},
+		{ID: "dup", Work: 1, MaxParallel: 1},
+	}); err == nil {
+		t.Fatal("duplicate job IDs accepted")
+	}
+}
+
+func TestWaterFillRates(t *testing.T) {
+	rates := waterFillRates(4, []int{1, 4})
+	if rates[0] != 1 || rates[1] != 3 {
+		t.Fatalf("rates = %v, want [1 3]", rates)
+	}
+	rates = waterFillRates(4, []int{4, 4})
+	if rates[0] != 2 || rates[1] != 2 {
+		t.Fatalf("rates = %v, want [2 2]", rates)
+	}
+	// More capacity than demand: everyone runs at their cap.
+	rates = waterFillRates(16, []int{1, 2})
+	if rates[0] != 1 || rates[1] != 2 {
+		t.Fatalf("rates = %v, want caps", rates)
+	}
+}
+
+// Property: the schedule conserves work — the sum of (completion −
+// arrival) lower-bounded by Work/min(cores, MaxParallel), and every job
+// completes.
+func TestPropScheduleCompletesAll(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		var jobs []Job
+		for i, r := range raw {
+			jobs = append(jobs, Job{
+				ID:          string(rune('a' + i)),
+				Arrival:     sim.Time(r%64) * sim.Time(sim.Millisecond),
+				Work:        sim.Duration(r%512+1) * sim.Millisecond,
+				MaxParallel: int(r%4) + 1,
+			})
+		}
+		done, err := Schedule(4, jobs)
+		if err != nil {
+			return false
+		}
+		if len(done) != len(jobs) {
+			return false
+		}
+		for _, j := range jobs {
+			c, ok := done[j.ID]
+			if !ok || c < j.Arrival {
+				return false
+			}
+			// Lower bound: even running alone at full parallelism the
+			// job cannot finish before Work/min(cores, MaxParallel).
+			par := j.MaxParallel
+			if par > 4 {
+				par = 4
+			}
+			minSpan := float64(j.Work) / float64(par)
+			if float64(c.Sub(j.Arrival)) < math.Floor(minSpan)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

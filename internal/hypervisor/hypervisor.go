@@ -1,0 +1,360 @@
+// Package hypervisor models the dReDBox virtualization layer (paper
+// §IV-B): a Type-1 hypervisor that hosts commodity VMs and supports
+// QEMU-style memory hotplug — new RAM DIMMs are added at runtime and the
+// guest kernel onlines them through the same hotplug machinery as the
+// baremetal layer. A revisited balloon subsystem supports elastic
+// scale-down, and an out-of-memory guard (the paper's stated future
+// enhancement) can trigger automatic scale-up before the guest OOMs.
+//
+// The package also models conventional VM spawning, because Figure 10's
+// baseline is "elasticity through conventional VM scale-out": spawning a
+// whole new VM to add memory to an application, with startup times in the
+// tens of seconds (ref. [13], Mao & Humphrey).
+package hypervisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/brick"
+	"repro/internal/hotplug"
+	"repro/internal/sim"
+)
+
+// VMID identifies a virtual machine.
+type VMID string
+
+// VMState is the lifecycle state of a VM.
+type VMState int
+
+const (
+	// StateRunning means the VM is executing.
+	StateRunning VMState = iota
+	// StateStopped means the VM has been shut down.
+	StateStopped
+)
+
+func (s VMState) String() string {
+	if s == StateRunning {
+		return "running"
+	}
+	return "stopped"
+}
+
+// VMSpec is the initial resource allocation of a VM.
+type VMSpec struct {
+	VCPUs  int
+	Memory brick.Bytes // boot-time RAM (backed by the host brick's local DDR)
+}
+
+// Validate rejects empty specs.
+func (s VMSpec) Validate() error {
+	if s.VCPUs <= 0 {
+		return fmt.Errorf("hypervisor: VM needs at least one vCPU, got %d", s.VCPUs)
+	}
+	if s.Memory == 0 {
+		return fmt.Errorf("hypervisor: VM needs boot memory")
+	}
+	return nil
+}
+
+// DIMM is one hot-added virtual DIMM, backed by a remote memory segment.
+type DIMM struct {
+	ID        int
+	Size      brick.Bytes
+	GuestBase uint64
+}
+
+// guestHotplugBase is where the guest physical address map places the
+// hotplug region (above the boot RAM window).
+const guestHotplugBase = 1 << 40
+
+// VM is a hosted virtual machine.
+type VM struct {
+	ID    VMID
+	Spec  VMSpec
+	state VMState
+
+	guest    *hotplug.Kernel
+	dimms    []DIMM
+	nextDIMM int
+	nextBase uint64
+
+	ballooned brick.Bytes // memory reclaimed from the guest by the balloon
+	usage     brick.Bytes // application working set, set by SetUsage
+}
+
+// State returns the VM lifecycle state.
+func (v *VM) State() VMState { return v.state }
+
+// DIMMs returns the hot-added DIMMs in attach order (copies).
+func (v *VM) DIMMs() []DIMM {
+	out := append([]DIMM(nil), v.dimms...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TotalMemory returns boot RAM plus all hot-added DIMMs.
+func (v *VM) TotalMemory() brick.Bytes {
+	t := v.Spec.Memory
+	for _, d := range v.dimms {
+		t += d.Size
+	}
+	return t
+}
+
+// AvailableMemory returns memory usable by the guest: total minus what
+// the balloon has reclaimed.
+func (v *VM) AvailableMemory() brick.Bytes { return v.TotalMemory() - v.ballooned }
+
+// Ballooned returns the amount currently held by the balloon.
+func (v *VM) Ballooned() brick.Bytes { return v.ballooned }
+
+// Usage returns the recorded application working set.
+func (v *VM) Usage() brick.Bytes { return v.usage }
+
+// SetUsage records the application working set (driven by workload
+// models; the OOM guard compares it against available memory).
+func (v *VM) SetUsage(b brick.Bytes) { v.usage = b }
+
+// Config parameterizes the hypervisor's latency model.
+type Config struct {
+	// SpawnBase is the fixed VM startup cost: image provisioning, BIOS,
+	// kernel boot, cloud-init. Mao & Humphrey report tens of seconds on
+	// public clouds; 30 s is a mid-range figure.
+	SpawnBase sim.Duration
+	// SpawnPerGiB adds image/ballooning time proportional to VM memory.
+	SpawnPerGiB sim.Duration
+	// DIMMAttach is the QEMU control-plane cost of device_add of a DIMM
+	// (monitor round trip plus guest ACPI/DT notification).
+	DIMMAttach sim.Duration
+	// DIMMDetach is the device_del counterpart.
+	DIMMDetach sim.Duration
+	// BalloonPerGiB is the balloon inflate/deflate cost per GiB moved.
+	BalloonPerGiB sim.Duration
+	// Guest is the guest kernel's hotplug latency model.
+	Guest hotplug.Config
+}
+
+// DefaultConfig holds representative values.
+var DefaultConfig = Config{
+	SpawnBase:     30 * sim.Second,
+	SpawnPerGiB:   1500 * sim.Millisecond,
+	DIMMAttach:    15 * sim.Millisecond,
+	DIMMDetach:    10 * sim.Millisecond,
+	BalloonPerGiB: 8 * sim.Millisecond,
+	Guest:         hotplug.DefaultConfig,
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.SpawnBase < 0 || c.SpawnPerGiB < 0 || c.DIMMAttach < 0 ||
+		c.DIMMDetach < 0 || c.BalloonPerGiB < 0 {
+		return fmt.Errorf("hypervisor: negative latency in config")
+	}
+	return c.Guest.Validate()
+}
+
+// Hypervisor hosts VMs on one dCOMPUBRICK.
+type Hypervisor struct {
+	cfg Config
+	vms map[VMID]*VM
+}
+
+// New returns an empty hypervisor.
+func New(cfg Config) (*Hypervisor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Hypervisor{cfg: cfg, vms: make(map[VMID]*VM)}, nil
+}
+
+// Config returns the hypervisor configuration.
+func (h *Hypervisor) Config() Config { return h.cfg }
+
+// Spawn boots a new VM and returns the startup latency — the cost the
+// conventional scale-out baseline pays for every elasticity event.
+func (h *Hypervisor) Spawn(id VMID, spec VMSpec) (*VM, sim.Duration, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if _, dup := h.vms[id]; dup {
+		return nil, 0, fmt.Errorf("hypervisor: VM %q already exists", id)
+	}
+	guest, err := hotplug.NewKernel(h.cfg.Guest)
+	if err != nil {
+		return nil, 0, err
+	}
+	vm := &VM{
+		ID:       id,
+		Spec:     spec,
+		state:    StateRunning,
+		guest:    guest,
+		nextBase: guestHotplugBase,
+	}
+	h.vms[id] = vm
+	gib := float64(spec.Memory) / float64(brick.GiB)
+	lat := h.cfg.SpawnBase + sim.Duration(gib*float64(h.cfg.SpawnPerGiB))
+	return vm, lat, nil
+}
+
+// VM looks up a VM by ID.
+func (h *Hypervisor) VM(id VMID) (*VM, bool) {
+	v, ok := h.vms[id]
+	return v, ok
+}
+
+// VMs returns all VM IDs in sorted order.
+func (h *Hypervisor) VMs() []VMID {
+	ids := make([]VMID, 0, len(h.vms))
+	for id := range h.vms {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stop shuts a VM down. Its resources must be released by the caller
+// (the orchestrator owns segment/circuit teardown).
+func (h *Hypervisor) Stop(id VMID) error {
+	vm, ok := h.vms[id]
+	if !ok {
+		return fmt.Errorf("hypervisor: no VM %q", id)
+	}
+	if vm.state == StateStopped {
+		return fmt.Errorf("hypervisor: VM %q already stopped", id)
+	}
+	vm.state = StateStopped
+	return nil
+}
+
+// AttachDIMM hot-adds a virtual DIMM backed by an already-wired remote
+// segment: QEMU device_add, then guest hot-add + online. It returns the
+// new DIMM and the total virtualization-layer latency (the physical
+// attach latency — orchestration, circuit setup — is the SDM layer's and
+// is accounted there).
+func (h *Hypervisor) AttachDIMM(id VMID, size brick.Bytes) (DIMM, sim.Duration, error) {
+	vm, ok := h.vms[id]
+	if !ok {
+		return DIMM{}, 0, fmt.Errorf("hypervisor: no VM %q", id)
+	}
+	if vm.state != StateRunning {
+		return DIMM{}, 0, fmt.Errorf("hypervisor: VM %q not running", id)
+	}
+	if size == 0 || size%h.cfg.Guest.BlockSize != 0 {
+		return DIMM{}, 0, fmt.Errorf("hypervisor: DIMM size %v must be a positive multiple of the guest block size %v", size, h.cfg.Guest.BlockSize)
+	}
+	base := vm.nextBase
+	addLat, err := vm.guest.HotAdd(base, size)
+	if err != nil {
+		return DIMM{}, 0, err
+	}
+	onLat, err := vm.guest.Online(base, size)
+	if err != nil {
+		return DIMM{}, 0, err
+	}
+	d := DIMM{ID: vm.nextDIMM, Size: size, GuestBase: base}
+	vm.nextDIMM++
+	vm.nextBase += uint64(size)
+	vm.dimms = append(vm.dimms, d)
+	return d, h.cfg.DIMMAttach + addLat + onLat, nil
+}
+
+// DetachDIMM removes a hot-added DIMM: the balloon first vacates its
+// pages, the guest offlines and hot-removes the range, then device_del.
+func (h *Hypervisor) DetachDIMM(id VMID, dimmID int) (sim.Duration, error) {
+	vm, ok := h.vms[id]
+	if !ok {
+		return 0, fmt.Errorf("hypervisor: no VM %q", id)
+	}
+	idx := -1
+	for i, d := range vm.dimms {
+		if d.ID == dimmID {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return 0, fmt.Errorf("hypervisor: VM %q has no DIMM %d", id, dimmID)
+	}
+	d := vm.dimms[idx]
+	// Detaching must not leave the guest with less memory than its
+	// recorded usage — that is exactly the OOM the guard exists to avoid.
+	if vm.AvailableMemory()-d.Size < vm.usage {
+		return 0, fmt.Errorf("hypervisor: detaching DIMM %d (%v) would drop below usage %v", dimmID, d.Size, vm.usage)
+	}
+	gib := float64(d.Size) / float64(brick.GiB)
+	vacate := sim.Duration(gib * float64(h.cfg.BalloonPerGiB))
+	offLat, err := vm.guest.Offline(d.GuestBase, d.Size)
+	if err != nil {
+		return 0, err
+	}
+	rmLat, err := vm.guest.HotRemove(d.GuestBase, d.Size)
+	if err != nil {
+		return 0, err
+	}
+	vm.dimms = append(vm.dimms[:idx], vm.dimms[idx+1:]...)
+	return vacate + offLat + rmLat + h.cfg.DIMMDetach, nil
+}
+
+// BalloonInflate reclaims size bytes from the guest without detaching
+// hardware; the detach-only ablation compares against this path.
+func (h *Hypervisor) BalloonInflate(id VMID, size brick.Bytes) (sim.Duration, error) {
+	vm, ok := h.vms[id]
+	if !ok {
+		return 0, fmt.Errorf("hypervisor: no VM %q", id)
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("hypervisor: zero-byte balloon inflate")
+	}
+	if vm.AvailableMemory()-size < vm.usage {
+		return 0, fmt.Errorf("hypervisor: inflating %v would drop below usage %v", size, vm.usage)
+	}
+	vm.ballooned += size
+	gib := float64(size) / float64(brick.GiB)
+	return sim.Duration(gib * float64(h.cfg.BalloonPerGiB)), nil
+}
+
+// BalloonDeflate returns size bytes to the guest.
+func (h *Hypervisor) BalloonDeflate(id VMID, size brick.Bytes) (sim.Duration, error) {
+	vm, ok := h.vms[id]
+	if !ok {
+		return 0, fmt.Errorf("hypervisor: no VM %q", id)
+	}
+	if size == 0 || size > vm.ballooned {
+		return 0, fmt.Errorf("hypervisor: deflate %v with %v ballooned", size, vm.ballooned)
+	}
+	vm.ballooned -= size
+	gib := float64(size) / float64(brick.GiB)
+	return sim.Duration(gib * float64(h.cfg.BalloonPerGiB)), nil
+}
+
+// OOMGuard implements the paper's planned enhancement: "the guest memory
+// hotplug support will be enhanced to automatically protect the guest
+// from running out-of-memory". It watches a VM's headroom and recommends
+// a scale-up size when usage approaches available memory.
+type OOMGuard struct {
+	// HeadroomFraction triggers when usage exceeds this fraction of
+	// available memory (e.g. 0.9).
+	HeadroomFraction float64
+	// StepSize is the scale-up increment to request.
+	StepSize brick.Bytes
+}
+
+// DefaultOOMGuard triggers at 90% with 1 GiB steps.
+var DefaultOOMGuard = OOMGuard{HeadroomFraction: 0.9, StepSize: brick.GiB}
+
+// Check returns the recommended scale-up size (0 if none needed).
+func (g OOMGuard) Check(vm *VM) brick.Bytes {
+	if g.HeadroomFraction <= 0 || g.HeadroomFraction > 1 {
+		return 0
+	}
+	avail := vm.AvailableMemory()
+	if avail == 0 {
+		return g.StepSize
+	}
+	if float64(vm.Usage()) > g.HeadroomFraction*float64(avail) {
+		return g.StepSize
+	}
+	return 0
+}

@@ -1,0 +1,84 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ChannelSet models a dMEMBRICK's full memory datapath: N independent
+// controllers (the paper dimensions bricks by "the number of memory
+// controllers it supports"), each a serializing resource. Requests
+// interleave across channels by address, so aggregate bandwidth scales
+// with the controller count while single-channel hot spots still queue.
+type ChannelSet struct {
+	ctrls      []Controller
+	queues     []sim.Queue
+	interleave uint64 // address bytes per channel stripe
+}
+
+// NewChannelSet builds a set from a factory so each channel gets its own
+// controller state (open rows, counters).
+func NewChannelSet(n int, interleave uint64, factory func() (Controller, error)) (*ChannelSet, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mem: channel set needs at least one controller, got %d", n)
+	}
+	if interleave == 0 {
+		return nil, fmt.Errorf("mem: channel interleave must be positive")
+	}
+	cs := &ChannelSet{
+		ctrls:      make([]Controller, n),
+		queues:     make([]sim.Queue, n),
+		interleave: interleave,
+	}
+	for i := range cs.ctrls {
+		c, err := factory()
+		if err != nil {
+			return nil, err
+		}
+		cs.ctrls[i] = c
+	}
+	return cs, nil
+}
+
+// Channels returns the controller count.
+func (cs *ChannelSet) Channels() int { return len(cs.ctrls) }
+
+// channelOf maps an address to its serving channel.
+func (cs *ChannelSet) channelOf(addr uint64) int {
+	return int((addr / cs.interleave) % uint64(len(cs.ctrls)))
+}
+
+// Serve routes one request arriving at now: the owning channel computes
+// its service latency and the channel queue serializes it. It returns
+// the completion time and the serving channel.
+func (cs *ChannelSet) Serve(now sim.Time, req Request) (done sim.Time, channel int, err error) {
+	if err := req.Validate(); err != nil {
+		return 0, 0, err
+	}
+	ch := cs.channelOf(req.Addr)
+	service, err := cs.ctrls[ch].Access(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, done = cs.queues[ch].Serve(now, service)
+	return done, ch, nil
+}
+
+// PeakBandwidth returns the aggregate peak across channels.
+func (cs *ChannelSet) PeakBandwidth() float64 {
+	var bw float64
+	for _, c := range cs.ctrls {
+		bw += c.PeakBandwidth()
+	}
+	return bw
+}
+
+// Utilization returns the per-channel utilization over [0, now].
+func (cs *ChannelSet) Utilization(now sim.Time) []float64 {
+	out := make([]float64, len(cs.queues))
+	for i := range cs.queues {
+		out[i] = cs.queues[i].Utilization(now)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newSet(t *testing.T, n int) *ChannelSet {
+	t.Helper()
+	cs, err := NewChannelSet(n, 4096, func() (Controller, error) { return NewDDR(DDR4_2400) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestChannelSetValidation(t *testing.T) {
+	if _, err := NewChannelSet(0, 4096, func() (Controller, error) { return NewDDR(DDR4_2400) }); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := NewChannelSet(2, 0, func() (Controller, error) { return NewDDR(DDR4_2400) }); err == nil {
+		t.Fatal("zero interleave accepted")
+	}
+	if _, err := NewChannelSet(2, 4096, func() (Controller, error) {
+		return nil, errTest
+	}); err == nil {
+		t.Fatal("factory error swallowed")
+	}
+	cs := newSet(t, 2)
+	if _, _, err := cs.Serve(0, Request{Size: 0}); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+}
+
+var errTest = errFactory{}
+
+type errFactory struct{}
+
+func (errFactory) Error() string { return "factory failure" }
+
+func TestChannelInterleaving(t *testing.T) {
+	cs := newSet(t, 4)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		_, ch, err := cs.Serve(0, Request{Op: OpRead, Addr: uint64(i) * 4096, Size: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch != i%4 {
+			t.Fatalf("addr stripe %d served by channel %d", i, ch)
+		}
+		seen[ch] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d channels used", len(seen))
+	}
+}
+
+func TestMoreChannelsMoreParallelism(t *testing.T) {
+	// 8 simultaneous requests to distinct stripes: with one channel they
+	// serialize; with four they overlap, so the last completion is
+	// earlier.
+	run := func(n int) sim.Time {
+		cs := newSet(t, n)
+		var last sim.Time
+		for i := 0; i < 8; i++ {
+			done, _, err := cs.Serve(0, Request{Op: OpRead, Addr: uint64(i) * 4096, Size: 4096})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done > last {
+				last = done
+			}
+		}
+		return last
+	}
+	one := run(1)
+	four := run(4)
+	if four >= one {
+		t.Fatalf("4-channel completion %v not before 1-channel %v", four, one)
+	}
+}
+
+func TestHotSpotStillQueues(t *testing.T) {
+	cs := newSet(t, 4)
+	// All requests hit stripe 0: channel 0 serializes them.
+	var prev sim.Time
+	for i := 0; i < 4; i++ {
+		done, ch, err := cs.Serve(0, Request{Op: OpRead, Addr: 0, Size: 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch != 0 {
+			t.Fatalf("hot-spot request on channel %d", ch)
+		}
+		if done <= prev {
+			t.Fatal("hot-spot requests did not serialize")
+		}
+		prev = done
+	}
+	util := cs.Utilization(prev)
+	if util[0] <= 0 || util[1] != 0 {
+		t.Fatalf("utilization = %v, want channel 0 busy only", util)
+	}
+}
+
+func TestAggregateBandwidth(t *testing.T) {
+	cs := newSet(t, 4)
+	if got, want := cs.PeakBandwidth(), 4*DDR4_2400.BytesPerSec; got != want {
+		t.Fatalf("aggregate bandwidth %v, want %v", got, want)
+	}
+	if cs.Channels() != 4 {
+		t.Fatal("channel count wrong")
+	}
+}
+
+// Property: a request's completion time never precedes its arrival, and
+// per-channel completions are monotone.
+func TestPropChannelCompletionsMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		cs, _ := NewChannelSet(3, 4096, func() (Controller, error) { return NewDDR(DDR4_2400) })
+		last := map[int]sim.Time{}
+		now := sim.Time(0)
+		for _, r := range raw {
+			now = now.Add(sim.Duration(r % 11))
+			done, ch, err := cs.Serve(now, Request{Op: OpRead, Addr: uint64(r) * 64, Size: int(r%512) + 1})
+			if err != nil {
+				return false
+			}
+			if done < now || done < last[ch] {
+				return false
+			}
+			last[ch] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DDRTiming captures the handful of DDR4 parameters that dominate access
+// latency at the granularity this simulator needs: row activate, column
+// access, and precharge delays, plus the data-bus rate.
+type DDRTiming struct {
+	TRCD sim.Duration // row-to-column delay (activate)
+	TCAS sim.Duration // column access strobe latency
+	TRP  sim.Duration // row precharge
+	// BytesPerSec is the sustained data-bus bandwidth.
+	BytesPerSec float64
+	// Banks is the number of independent banks; the model keeps one open
+	// row per bank.
+	Banks int
+	// RowBytes is the size of one DRAM row (page) per bank.
+	RowBytes uint64
+}
+
+// DDR4_2400 is a representative timing profile for a DDR4-2400 SODIMM of
+// the kind fitted to the dReDBox prototype bricks: ~14.2 ns primary
+// timings, 19.2 GB/s per channel peak.
+var DDR4_2400 = DDRTiming{
+	TRCD:        14,
+	TCAS:        14,
+	TRP:         14,
+	BytesPerSec: 19.2e9,
+	Banks:       16,
+	RowBytes:    8192,
+}
+
+// DDRController models a single-channel DDR controller with open-page
+// policy: a column hit on the open row pays tCAS only; a row miss pays
+// precharge + activate + tCAS.
+type DDRController struct {
+	timing  DDRTiming
+	openRow []int64 // per bank; -1 = closed
+
+	reads, writes   uint64
+	rowHits         uint64
+	rowMisses       uint64
+	bytesTransfered uint64
+}
+
+// NewDDR returns a controller with all rows closed.
+func NewDDR(t DDRTiming) (*DDRController, error) {
+	if t.Banks <= 0 {
+		return nil, fmt.Errorf("mem: DDR timing needs at least one bank, got %d", t.Banks)
+	}
+	if t.RowBytes == 0 {
+		return nil, fmt.Errorf("mem: DDR timing needs a row size")
+	}
+	if t.BytesPerSec <= 0 {
+		return nil, fmt.Errorf("mem: DDR timing needs positive bandwidth")
+	}
+	rows := make([]int64, t.Banks)
+	for i := range rows {
+		rows[i] = -1
+	}
+	return &DDRController{timing: t, openRow: rows}, nil
+}
+
+// Name implements Controller.
+func (d *DDRController) Name() string { return "DDR4-2400" }
+
+// PeakBandwidth implements Controller.
+func (d *DDRController) PeakBandwidth() float64 { return d.timing.BytesPerSec }
+
+// Access implements Controller.
+func (d *DDRController) Access(req Request) (sim.Duration, error) {
+	if err := req.Validate(); err != nil {
+		return 0, err
+	}
+	row := int64(req.Addr / d.timing.RowBytes)
+	bank := int(row % int64(d.timing.Banks))
+
+	var lat sim.Duration
+	if d.openRow[bank] == row {
+		lat = d.timing.TCAS
+		d.rowHits++
+	} else {
+		if d.openRow[bank] >= 0 {
+			lat += d.timing.TRP // close the previously open row
+		}
+		lat += d.timing.TRCD + d.timing.TCAS
+		d.openRow[bank] = row
+		d.rowMisses++
+	}
+	lat += transferTime(req.Size, d.timing.BytesPerSec)
+	if req.Op == OpRead {
+		d.reads++
+	} else {
+		d.writes++
+	}
+	d.bytesTransfered += uint64(req.Size)
+	return lat, nil
+}
+
+// Stats returns cumulative counters.
+func (d *DDRController) Stats() (reads, writes, rowHits, rowMisses, bytes uint64) {
+	return d.reads, d.writes, d.rowHits, d.rowMisses, d.bytesTransfered
+}

@@ -1,0 +1,81 @@
+// Package mem models the memory substrate behind a dMEMBRICK's glue
+// logic: DDR4 and HMC controller timing, bank state, and service
+// queueing. The paper emphasizes that the glue logic is technology
+// agnostic — it sits on an AXI interconnect and fronts either a Xilinx
+// DDR controller or an HMC controller IP — so both technologies share one
+// Controller interface here and differ only in their timing profiles.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Op is the transaction direction.
+type Op int
+
+const (
+	// OpRead is a read transaction.
+	OpRead Op = iota
+	// OpWrite is a write transaction.
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Request is one memory transaction presented to a controller.
+type Request struct {
+	Op   Op
+	Addr uint64 // physical address within the brick's pool
+	Size int    // bytes; AXI bursts up to 4 KiB
+}
+
+// Validate checks the request against AXI burst constraints.
+func (r Request) Validate() error {
+	if r.Size <= 0 {
+		return fmt.Errorf("mem: request size %d must be positive", r.Size)
+	}
+	if r.Size > 4096 {
+		return fmt.Errorf("mem: request size %d exceeds 4KiB AXI burst limit", r.Size)
+	}
+	return nil
+}
+
+// Controller is a memory controller timing model. Access returns the
+// service latency of the request given current internal state (e.g. open
+// rows); it does not model queueing — see Queue.
+type Controller interface {
+	// Access returns the service latency for the request and updates
+	// internal state.
+	Access(req Request) (sim.Duration, error)
+	// PeakBandwidth returns the theoretical peak in bytes/second.
+	PeakBandwidth() float64
+	// Name identifies the technology, e.g. "DDR4-2400".
+	Name() string
+}
+
+// Queue is the virtual-time service queue used to serialize controller
+// channels; it lives in internal/sim because switch ports and MAC
+// serializers share the same abstraction.
+type Queue = sim.Queue
+
+// transferTime returns the time to move size bytes at bw bytes/second,
+// rounded up to the nanosecond resolution of sim.Duration so that no
+// non-empty transfer is ever free.
+func transferTime(size int, bw float64) sim.Duration {
+	if bw <= 0 || size <= 0 {
+		return 0
+	}
+	ns := float64(size) / bw * 1e9
+	d := sim.Duration(ns)
+	if float64(d) < ns {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,157 @@
+package optical
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// PortFailedError identifies which brick port's optical path failed, so
+// the orchestrator can quarantine exactly that port and retry another.
+type PortFailedError struct {
+	Port topo.PortID
+}
+
+func (e *PortFailedError) Error() string {
+	return fmt.Sprintf("optical: path through %v failed", e.Port)
+}
+
+// Circuit is a live end-to-end optical circuit between two brick ports.
+type Circuit struct {
+	A, B     topo.PortID
+	swA, swB int // switch port indexes
+	// Hops through switch modules; the downscaled prototype loops links
+	// through the same module several times, which is how the paper's
+	// 6–8 hop numbers arise.
+	Hops int
+	// FiberMeters is the total fiber length of the path.
+	FiberMeters float64
+}
+
+// PropagationDelay returns the one-way light propagation time.
+func (c *Circuit) PropagationDelay() sim.Duration { return PropagationDelay(c.FiberMeters) }
+
+// LossDB returns the total optical attenuation of the path given the
+// per-hop switch loss.
+func (c *Circuit) LossDB(lossPerHopDB float64) float64 {
+	return float64(c.Hops) * lossPerHopDB
+}
+
+// Fabric is the rack's circuit fabric: an optical switch plus the mapping
+// from brick transceiver ports to switch ports. The SDM Controller uses
+// it to realize memory attachments; one circuit carries the transactions
+// of one compute↔memory brick pairing.
+type Fabric struct {
+	sw       *Switch
+	attach   map[topo.PortID]int // brick port -> switch port
+	reverse  map[int]topo.PortID
+	nextPort int
+	circuits map[topo.PortID]*Circuit
+
+	// DefaultHops is the number of switch hops assigned to new circuits
+	// (the downscaled prototype used 6–8; rack-scale single-stage is 1).
+	DefaultHops int
+	// DefaultFiberMeters is the fiber length assigned to new circuits.
+	DefaultFiberMeters float64
+}
+
+// NewFabric wraps a switch.
+func NewFabric(sw *Switch) *Fabric {
+	return &Fabric{
+		sw:                 sw,
+		attach:             make(map[topo.PortID]int),
+		reverse:            make(map[int]topo.PortID),
+		circuits:           make(map[topo.PortID]*Circuit),
+		DefaultHops:        1,
+		DefaultFiberMeters: 5,
+	}
+}
+
+// Switch returns the underlying switch.
+func (f *Fabric) Switch() *Switch { return f.sw }
+
+// AttachPort patches a brick transceiver port into the next free switch
+// port (done once, at rack assembly time).
+func (f *Fabric) AttachPort(p topo.PortID) error {
+	if _, dup := f.attach[p]; dup {
+		return fmt.Errorf("optical: port %v already attached", p)
+	}
+	if f.nextPort >= f.sw.Config().Ports {
+		return fmt.Errorf("optical: switch ports exhausted (%d)", f.sw.Config().Ports)
+	}
+	f.attach[p] = f.nextPort
+	f.reverse[f.nextPort] = p
+	f.nextPort++
+	return nil
+}
+
+// Attached reports whether a brick port has been patched in.
+func (f *Fabric) Attached(p topo.PortID) bool {
+	_, ok := f.attach[p]
+	return ok
+}
+
+// AttachedPorts returns the number of patched brick ports.
+func (f *Fabric) AttachedPorts() int { return len(f.attach) }
+
+// Connect establishes a circuit between two attached brick ports.
+// The operation models the orchestration-visible cost: it returns the
+// switch reconfiguration time the caller must account for.
+func (f *Fabric) Connect(a, b topo.PortID) (*Circuit, sim.Duration, error) {
+	swA, okA := f.attach[a]
+	swB, okB := f.attach[b]
+	if !okA {
+		return nil, 0, fmt.Errorf("optical: port %v not attached to fabric", a)
+	}
+	if !okB {
+		return nil, 0, fmt.Errorf("optical: port %v not attached to fabric", b)
+	}
+	if _, busy := f.circuits[a]; busy {
+		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", a)
+	}
+	if _, busy := f.circuits[b]; busy {
+		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", b)
+	}
+	if err := f.sw.Connect(swA, swB); err != nil {
+		if errors.Is(err, ErrPortFailed) {
+			// Identify the failed endpoint for the caller's quarantine.
+			if f.sw.PortFailed(swA) {
+				return nil, 0, fmt.Errorf("%w: %v", &PortFailedError{Port: a}, err)
+			}
+			return nil, 0, fmt.Errorf("%w: %v", &PortFailedError{Port: b}, err)
+		}
+		return nil, 0, err
+	}
+	c := &Circuit{
+		A: a, B: b, swA: swA, swB: swB,
+		Hops:        f.DefaultHops,
+		FiberMeters: f.DefaultFiberMeters,
+	}
+	f.circuits[a] = c
+	f.circuits[b] = c
+	return c, f.sw.Config().ReconfigTime, nil
+}
+
+// Disconnect tears down a circuit.
+func (f *Fabric) Disconnect(c *Circuit) (sim.Duration, error) {
+	if f.circuits[c.A] != c || f.circuits[c.B] != c {
+		return 0, fmt.Errorf("optical: circuit %v<->%v not live", c.A, c.B)
+	}
+	if err := f.sw.Disconnect(c.swA); err != nil {
+		return 0, err
+	}
+	delete(f.circuits, c.A)
+	delete(f.circuits, c.B)
+	return f.sw.Config().ReconfigTime, nil
+}
+
+// CircuitAt returns the circuit terminating at a brick port, if any.
+func (f *Fabric) CircuitAt(p topo.PortID) (*Circuit, bool) {
+	c, ok := f.circuits[p]
+	return c, ok
+}
+
+// LiveCircuits returns the number of live circuits.
+func (f *Fabric) LiveCircuits() int { return len(f.circuits) / 2 }

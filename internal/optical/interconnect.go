@@ -1,0 +1,210 @@
+package optical
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Interconnect composes several circuit-switch modules into one rack
+// fabric, the way a rack outgrows a single 48-port module: each module
+// keeps some ports for bricks and donates the rest as trunks to every
+// other module (a flat mesh). A circuit between bricks on the same
+// module takes one hop; across modules it takes two module hops plus the
+// trunk, accumulating insertion loss accordingly.
+//
+// This generalizes the single-switch Fabric: the downscaled prototype
+// (paper §III) emulated 6–8 hops by looping one module; a production
+// rack reaches the same hop counts by chaining modules.
+type Interconnect struct {
+	cfg     SwitchConfig
+	modules []*Switch
+	// trunks[a][b] counts free trunk pairs between modules a and b.
+	trunks [][]int
+
+	brickPortsPerModule int
+	nextModule          int
+	nextPort            []int
+}
+
+// NewInterconnect builds n modules, each reserving trunksPerPair ports
+// toward every other module.
+func NewInterconnect(cfg SwitchConfig, n, trunksPerPair int) (*Interconnect, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("optical: interconnect needs at least one module, got %d", n)
+	}
+	if trunksPerPair < 0 {
+		return nil, fmt.Errorf("optical: negative trunk count")
+	}
+	trunkPorts := (n - 1) * trunksPerPair
+	if trunkPorts >= cfg.Ports {
+		return nil, fmt.Errorf("optical: %d trunk ports exceed the %d-port module", trunkPorts, cfg.Ports)
+	}
+	ic := &Interconnect{
+		cfg:                 cfg,
+		brickPortsPerModule: cfg.Ports - trunkPorts,
+		nextPort:            make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		sw, err := NewSwitch(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ic.modules = append(ic.modules, sw)
+	}
+	ic.trunks = make([][]int, n)
+	for i := range ic.trunks {
+		ic.trunks[i] = make([]int, n)
+		for j := range ic.trunks[i] {
+			if i != j {
+				ic.trunks[i][j] = trunksPerPair
+			}
+		}
+	}
+	return ic, nil
+}
+
+// Modules returns the module count.
+func (ic *Interconnect) Modules() int { return len(ic.modules) }
+
+// BrickPorts returns the total ports available to bricks.
+func (ic *Interconnect) BrickPorts() int { return ic.brickPortsPerModule * len(ic.modules) }
+
+// Endpoint identifies a brick-facing port on a module.
+type Endpoint struct {
+	Module int
+	Port   int
+}
+
+// NextEndpoint assigns the next free brick-facing port, filling modules
+// round-robin so load spreads evenly.
+func (ic *Interconnect) NextEndpoint() (Endpoint, error) {
+	for tries := 0; tries < len(ic.modules); tries++ {
+		m := ic.nextModule
+		ic.nextModule = (ic.nextModule + 1) % len(ic.modules)
+		if ic.nextPort[m] < ic.brickPortsPerModule {
+			ep := Endpoint{Module: m, Port: ic.nextPort[m]}
+			ic.nextPort[m]++
+			return ep, nil
+		}
+	}
+	return Endpoint{}, fmt.Errorf("optical: all %d brick ports assigned", ic.BrickPorts())
+}
+
+// Route is a provisioned cross-fabric circuit.
+type Route struct {
+	A, B  Endpoint
+	Hops  int
+	trunk [2]int // trunk pair consumed, when cross-module; -1 otherwise
+}
+
+// LossDB returns the route's switch insertion loss.
+func (r Route) LossDB(perHop float64) float64 { return float64(r.Hops) * perHop }
+
+// Connect provisions a circuit between two endpoints. Same-module
+// circuits consume no trunk and take one hop; cross-module circuits
+// consume one trunk pair and take two hops (one per module traversal).
+// It returns the route and the reconfiguration time (each module
+// reconfigures in parallel, so the cost is one ReconfigTime).
+func (ic *Interconnect) Connect(a, b Endpoint) (Route, sim.Duration, error) {
+	if err := ic.checkEndpoint(a); err != nil {
+		return Route{}, 0, err
+	}
+	if err := ic.checkEndpoint(b); err != nil {
+		return Route{}, 0, err
+	}
+	if a == b {
+		return Route{}, 0, fmt.Errorf("optical: cannot connect endpoint %v to itself", a)
+	}
+	if a.Module == b.Module {
+		if err := ic.modules[a.Module].Connect(a.Port, b.Port); err != nil {
+			return Route{}, 0, err
+		}
+		return Route{A: a, B: b, Hops: 1, trunk: [2]int{-1, -1}}, ic.cfg.ReconfigTime, nil
+	}
+	if ic.trunks[a.Module][b.Module] <= 0 {
+		return Route{}, 0, fmt.Errorf("optical: no free trunks between modules %d and %d", a.Module, b.Module)
+	}
+	// Trunk ports live above the brick-facing range; index them by the
+	// remaining trunk count for determinism.
+	trunkIdx := ic.trunks[a.Module][b.Module] - 1
+	ta := ic.trunkPort(a.Module, b.Module, trunkIdx)
+	tb := ic.trunkPort(b.Module, a.Module, trunkIdx)
+	if err := ic.modules[a.Module].Connect(a.Port, ta); err != nil {
+		return Route{}, 0, err
+	}
+	if err := ic.modules[b.Module].Connect(b.Port, tb); err != nil {
+		ic.modules[a.Module].Disconnect(a.Port)
+		return Route{}, 0, err
+	}
+	ic.trunks[a.Module][b.Module]--
+	ic.trunks[b.Module][a.Module]--
+	return Route{A: a, B: b, Hops: 2, trunk: [2]int{a.Module, b.Module}}, ic.cfg.ReconfigTime, nil
+}
+
+// Disconnect releases a route.
+func (ic *Interconnect) Disconnect(r Route) (sim.Duration, error) {
+	if r.Hops == 1 {
+		if err := ic.modules[r.A.Module].Disconnect(r.A.Port); err != nil {
+			return 0, err
+		}
+		return ic.cfg.ReconfigTime, nil
+	}
+	if err := ic.modules[r.A.Module].Disconnect(r.A.Port); err != nil {
+		return 0, err
+	}
+	if err := ic.modules[r.B.Module].Disconnect(r.B.Port); err != nil {
+		return 0, err
+	}
+	ic.trunks[r.trunk[0]][r.trunk[1]]++
+	ic.trunks[r.trunk[1]][r.trunk[0]]++
+	return ic.cfg.ReconfigTime, nil
+}
+
+// FreeTrunks returns the free trunk pairs between two modules.
+func (ic *Interconnect) FreeTrunks(a, b int) (int, error) {
+	if a < 0 || a >= len(ic.modules) || b < 0 || b >= len(ic.modules) || a == b {
+		return 0, fmt.Errorf("optical: invalid module pair (%d, %d)", a, b)
+	}
+	return ic.trunks[a][b], nil
+}
+
+// PowerW returns the fabric's total electrical draw.
+func (ic *Interconnect) PowerW() float64 {
+	var w float64
+	for _, m := range ic.modules {
+		w += m.PowerW()
+	}
+	return w
+}
+
+// trunkPort maps (module, peer module, index) onto the trunk port range.
+func (ic *Interconnect) trunkPort(module, peer, idx int) int {
+	// Trunk ports are laid out per peer in ascending peer order,
+	// skipping self.
+	slot := 0
+	for p := 0; p < len(ic.modules); p++ {
+		if p == module {
+			continue
+		}
+		if p == peer {
+			break
+		}
+		slot++
+	}
+	perPair := (ic.cfg.Ports - ic.brickPortsPerModule) / (len(ic.modules) - 1)
+	return ic.brickPortsPerModule + slot*perPair + idx
+}
+
+func (ic *Interconnect) checkEndpoint(e Endpoint) error {
+	if e.Module < 0 || e.Module >= len(ic.modules) {
+		return fmt.Errorf("optical: module %d out of range", e.Module)
+	}
+	if e.Port < 0 || e.Port >= ic.brickPortsPerModule {
+		return fmt.Errorf("optical: port %d outside the brick-facing range [0,%d)", e.Port, ic.brickPortsPerModule)
+	}
+	return nil
+}

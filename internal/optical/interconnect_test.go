@@ -1,0 +1,172 @@
+package optical
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newIC(t *testing.T, modules, trunks int) *Interconnect {
+	t.Helper()
+	ic, err := NewInterconnect(Polatis48, modules, trunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ic
+}
+
+func TestInterconnectValidation(t *testing.T) {
+	if _, err := NewInterconnect(Polatis48, 0, 4); err == nil {
+		t.Fatal("zero modules accepted")
+	}
+	if _, err := NewInterconnect(Polatis48, 2, -1); err == nil {
+		t.Fatal("negative trunks accepted")
+	}
+	if _, err := NewInterconnect(Polatis48, 2, 48); err == nil {
+		t.Fatal("all-trunk module accepted")
+	}
+	bad := Polatis48
+	bad.Ports = 0
+	if _, err := NewInterconnect(bad, 2, 4); err == nil {
+		t.Fatal("invalid switch config accepted")
+	}
+}
+
+func TestBrickPortAccounting(t *testing.T) {
+	// 3 modules, 4 trunks to each of 2 peers: 48 − 8 = 40 brick ports each.
+	ic := newIC(t, 3, 4)
+	if ic.BrickPorts() != 120 {
+		t.Fatalf("brick ports = %d, want 120", ic.BrickPorts())
+	}
+	seen := map[Endpoint]bool{}
+	for i := 0; i < 120; i++ {
+		ep, err := ic.NextEndpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ep] {
+			t.Fatalf("endpoint %v assigned twice", ep)
+		}
+		seen[ep] = true
+	}
+	if _, err := ic.NextEndpoint(); err == nil {
+		t.Fatal("endpoint past capacity assigned")
+	}
+}
+
+func TestSameModuleCircuitOneHop(t *testing.T) {
+	ic := newIC(t, 2, 4)
+	a := Endpoint{Module: 0, Port: 0}
+	b := Endpoint{Module: 0, Port: 1}
+	r, setup, err := ic.Connect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops != 1 || setup != Polatis48.ReconfigTime {
+		t.Fatalf("route = %+v, setup %v", r, setup)
+	}
+	if r.LossDB(1.0) != 1 {
+		t.Fatalf("loss = %v", r.LossDB(1.0))
+	}
+	free, _ := ic.FreeTrunks(0, 1)
+	if free != 4 {
+		t.Fatal("same-module circuit consumed a trunk")
+	}
+	if _, err := ic.Disconnect(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossModuleCircuitUsesTrunk(t *testing.T) {
+	ic := newIC(t, 2, 2)
+	a := Endpoint{Module: 0, Port: 0}
+	b := Endpoint{Module: 1, Port: 0}
+	r, _, err := ic.Connect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hops != 2 {
+		t.Fatalf("cross-module hops = %d, want 2", r.Hops)
+	}
+	if r.LossDB(1.0) != 2 {
+		t.Fatalf("loss = %v dB, want 2", r.LossDB(1.0))
+	}
+	free, _ := ic.FreeTrunks(0, 1)
+	if free != 1 {
+		t.Fatalf("free trunks = %d, want 1", free)
+	}
+	// Exhaust the second trunk, then fail.
+	if _, _, err := ic.Connect(Endpoint{Module: 0, Port: 1}, Endpoint{Module: 1, Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ic.Connect(Endpoint{Module: 0, Port: 2}, Endpoint{Module: 1, Port: 2}); err == nil {
+		t.Fatal("connect without free trunks succeeded")
+	}
+	// Disconnect returns the trunk.
+	if _, err := ic.Disconnect(r); err != nil {
+		t.Fatal(err)
+	}
+	free, _ = ic.FreeTrunks(0, 1)
+	if free != 1 {
+		t.Fatalf("trunk not returned: free = %d", free)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	ic := newIC(t, 2, 2)
+	a := Endpoint{Module: 0, Port: 0}
+	if _, _, err := ic.Connect(a, a); err == nil {
+		t.Fatal("self-connect accepted")
+	}
+	if _, _, err := ic.Connect(a, Endpoint{Module: 5, Port: 0}); err == nil {
+		t.Fatal("bad module accepted")
+	}
+	if _, _, err := ic.Connect(a, Endpoint{Module: 1, Port: 46}); err == nil {
+		t.Fatal("trunk-range port accepted as endpoint")
+	}
+	if _, err := ic.FreeTrunks(0, 0); err == nil {
+		t.Fatal("self trunk query accepted")
+	}
+}
+
+func TestInterconnectPower(t *testing.T) {
+	ic := newIC(t, 3, 4)
+	want := 3 * 48 * Polatis48.PortPowerW
+	if got := ic.PowerW(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("power = %v, want %v", got, want)
+	}
+}
+
+// Property: connect/disconnect sequences conserve trunk counts.
+func TestPropTrunkConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		ic, err := NewInterconnect(Polatis48, 2, 4)
+		if err != nil {
+			return false
+		}
+		var live []Route
+		port := 0
+		for _, op := range ops {
+			if op%2 == 0 && port < 39 {
+				a := Endpoint{Module: 0, Port: port}
+				b := Endpoint{Module: 1, Port: port}
+				port++
+				r, _, err := ic.Connect(a, b)
+				if err == nil {
+					live = append(live, r)
+				}
+			} else if len(live) > 0 {
+				r := live[len(live)-1]
+				live = live[:len(live)-1]
+				if _, err := ic.Disconnect(r); err != nil {
+					return false
+				}
+			}
+		}
+		free, _ := ic.FreeTrunks(0, 1)
+		return free == 4-len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

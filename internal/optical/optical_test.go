@@ -1,0 +1,310 @@
+package optical
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestSwitchConnectDisconnect(t *testing.T) {
+	sw, err := NewSwitch(Polatis48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := sw.PeerOf(0); !ok || p != 1 {
+		t.Fatalf("PeerOf(0) = %d, %v", p, ok)
+	}
+	if p, ok := sw.PeerOf(1); !ok || p != 0 {
+		t.Fatalf("PeerOf(1) = %d, %v", p, ok)
+	}
+	if sw.Circuits() != 1 || sw.FreePorts() != 46 {
+		t.Fatalf("circuits=%d free=%d", sw.Circuits(), sw.FreePorts())
+	}
+	if err := sw.Disconnect(1); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Circuits() != 0 || sw.FreePorts() != 48 {
+		t.Fatal("disconnect did not free both ports")
+	}
+	if sw.Reconfigs() != 2 {
+		t.Fatalf("Reconfigs = %d, want 2", sw.Reconfigs())
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	sw, _ := NewSwitch(Polatis48)
+	if err := sw.Connect(0, 0); err == nil {
+		t.Fatal("self-connect succeeded")
+	}
+	if err := sw.Connect(-1, 5); err == nil {
+		t.Fatal("negative port accepted")
+	}
+	if err := sw.Connect(0, 99); err == nil {
+		t.Fatal("out-of-range port accepted")
+	}
+	sw.Connect(0, 1)
+	if err := sw.Connect(0, 2); err == nil {
+		t.Fatal("busy port reconnected")
+	}
+	if err := sw.Connect(3, 1); err == nil {
+		t.Fatal("busy peer reconnected")
+	}
+	if err := sw.Disconnect(7); err == nil {
+		t.Fatal("disconnect of free port succeeded")
+	}
+}
+
+func TestSwitchConfigValidate(t *testing.T) {
+	bad := []SwitchConfig{
+		{Ports: 1, InsertionLossDB: 1, PortPowerW: 0.1},
+		{Ports: 48, InsertionLossDB: -1, PortPowerW: 0.1},
+		{Ports: 48, InsertionLossDB: 1, PortPowerW: -0.1},
+	}
+	for i, c := range bad {
+		if _, err := NewSwitch(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSwitchPower(t *testing.T) {
+	sw, _ := NewSwitch(Polatis48)
+	if got := sw.PowerW(); math.Abs(got-4.8) > 1e-9 {
+		t.Fatalf("48-port power = %v W, want 4.8", got)
+	}
+	// Next-gen: double density, half per-port power → same total.
+	ng, _ := NewSwitch(PolatisNextGen)
+	if got := ng.PowerW(); math.Abs(got-4.8) > 1e-9 {
+		t.Fatalf("next-gen power = %v W, want 4.8", got)
+	}
+}
+
+func TestMBOLaunchPowers(t *testing.T) {
+	m, err := NewMBO(PrototypeMBO, sim.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ch := 0; ch < 8; ch++ {
+		p, err := m.LaunchDBm(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-(-3.7)) > 4*PrototypeMBO.ChannelSpreadDB {
+			t.Fatalf("channel %d launch %v dBm implausibly far from -3.7", ch, p)
+		}
+	}
+	if _, err := m.LaunchDBm(8); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+	// Determinism: same seed, same powers.
+	m2, _ := NewMBO(PrototypeMBO, sim.NewRand(1))
+	for ch := 0; ch < 8; ch++ {
+		a, _ := m.LaunchDBm(ch)
+		b, _ := m2.LaunchDBm(ch)
+		if a != b {
+			t.Fatal("same-seed MBO launch powers differ")
+		}
+	}
+}
+
+func TestMBOValidation(t *testing.T) {
+	if _, err := NewMBO(MBOConfig{Channels: 0, GbpsPerChannel: 10}, sim.NewRand(1)); err == nil {
+		t.Fatal("zero-channel MBO accepted")
+	}
+	if _, err := NewMBO(MBOConfig{Channels: 8, GbpsPerChannel: 0}, sim.NewRand(1)); err == nil {
+		t.Fatal("zero-rate MBO accepted")
+	}
+}
+
+func TestReceiverWaterfall(t *testing.T) {
+	r := PrototypeReceiver
+	// At sensitivity: BER = 1e-12 (within a factor of ~2 for erfc rounding).
+	ber := r.BER(r.SensitivityDBm)
+	if ber < 1e-13 || ber > 1e-11 {
+		t.Fatalf("BER at sensitivity = %v, want ~1e-12", ber)
+	}
+	// Monotone: more power, lower BER.
+	if r.BER(-10) >= r.BER(-11) {
+		t.Fatal("BER not monotone in received power")
+	}
+	// 3 dB below sensitivity the link is clearly broken (BER > 1e-4).
+	if r.BER(r.SensitivityDBm-3) < 1e-4 {
+		t.Fatalf("BER 3dB below sensitivity = %v, expected catastrophic", r.BER(r.SensitivityDBm-3))
+	}
+}
+
+func TestPaperClaimEightHopsBelow1e12(t *testing.T) {
+	// Paper: all links achieve BER below 1e-12 after eight 1 dB hops from
+	// a -3.7 dBm launch.
+	l := Link{Channel: 0, Hops: 8, LaunchDBm: -3.7, LossPerHopDB: 1.0}
+	rx := l.ReceivedDBm()
+	if math.Abs(rx-(-11.7)) > 1e-9 {
+		t.Fatalf("received power = %v dBm, want -11.7", rx)
+	}
+	if ber := PrototypeReceiver.BER(rx); ber >= 1e-12 {
+		t.Fatalf("8-hop BER = %v, want < 1e-12", ber)
+	}
+	// Six hops must be even better.
+	l6 := l
+	l6.Hops = 6
+	if PrototypeReceiver.BER(l6.ReceivedDBm()) >= PrototypeReceiver.BER(rx) {
+		t.Fatal("6-hop BER not better than 8-hop")
+	}
+}
+
+func TestMeasuredBERFloor(t *testing.T) {
+	// A very strong link measured over 1e12 bits reports the floor 1e-12
+	// on almost every trial.
+	l := Link{Hops: 1, LaunchDBm: -3.7, LossPerHopDB: 1.0}
+	rng := sim.NewRand(5)
+	floored := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		if l.MeasuredBER(PrototypeReceiver, rng, 0.1, 1e12) == 1e-12 {
+			floored++
+		}
+	}
+	if floored < trials*9/10 {
+		t.Fatalf("only %d/%d trials hit the reporting floor", floored, trials)
+	}
+}
+
+func TestMeasuredBERDegradedLink(t *testing.T) {
+	// A link below sensitivity measures a high BER, never the floor.
+	l := Link{Hops: 12, LaunchDBm: -3.7, LossPerHopDB: 1.0} // rx = -15.7
+	rng := sim.NewRand(6)
+	for i := 0; i < 50; i++ {
+		ber := l.MeasuredBER(PrototypeReceiver, rng, 0.1, 1e12)
+		if ber < 1e-9 {
+			t.Fatalf("degraded link measured BER %v, expected high", ber)
+		}
+	}
+}
+
+func TestPropagationAndSerialization(t *testing.T) {
+	if d := PropagationDelay(5); d < 20 || d > 30 {
+		t.Fatalf("5m propagation = %v, want ~24.5ns", d)
+	}
+	if PropagationDelay(-1) != 0 {
+		t.Fatal("negative length gave nonzero delay")
+	}
+	// 64B at 10Gb/s = 51.2ns.
+	if d := SerializationDelay(64, 10); d < 51 || d > 52 {
+		t.Fatalf("64B@10G = %v, want ~51.2ns", d)
+	}
+	if SerializationDelay(0, 10) != 0 {
+		t.Fatal("zero bytes gave nonzero delay")
+	}
+}
+
+func TestFabricConnectDisconnect(t *testing.T) {
+	sw, _ := NewSwitch(Polatis48)
+	f := NewFabric(sw)
+	f.DefaultHops = 8
+	a := topo.PortID{Brick: topo.BrickID{Tray: 0, Slot: 0}, Port: 0}
+	b := topo.PortID{Brick: topo.BrickID{Tray: 0, Slot: 1}, Port: 0}
+	if _, _, err := f.Connect(a, b); err == nil {
+		t.Fatal("connect of unattached ports succeeded")
+	}
+	if err := f.AttachPort(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AttachPort(a); err == nil {
+		t.Fatal("double attach succeeded")
+	}
+	f.AttachPort(b)
+	c, setup, err := f.Connect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup != Polatis48.ReconfigTime {
+		t.Fatalf("setup time = %v, want %v", setup, Polatis48.ReconfigTime)
+	}
+	if c.Hops != 8 || c.LossDB(1.0) != 8 {
+		t.Fatalf("circuit hops=%d loss=%v", c.Hops, c.LossDB(1.0))
+	}
+	if got, ok := f.CircuitAt(a); !ok || got != c {
+		t.Fatal("CircuitAt(a) wrong")
+	}
+	if f.LiveCircuits() != 1 {
+		t.Fatal("LiveCircuits != 1")
+	}
+	if _, _, err := f.Connect(a, b); err == nil {
+		t.Fatal("double connect succeeded")
+	}
+	if _, err := f.Disconnect(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Disconnect(c); err == nil {
+		t.Fatal("double disconnect succeeded")
+	}
+	if f.LiveCircuits() != 0 || sw.Circuits() != 0 {
+		t.Fatal("circuit survived disconnect")
+	}
+}
+
+func TestFabricPortExhaustion(t *testing.T) {
+	sw, _ := NewSwitch(SwitchConfig{Ports: 2, InsertionLossDB: 1, PortPowerW: 0.1})
+	f := NewFabric(sw)
+	a := topo.PortID{Brick: topo.BrickID{}, Port: 0}
+	b := topo.PortID{Brick: topo.BrickID{}, Port: 1}
+	c := topo.PortID{Brick: topo.BrickID{}, Port: 2}
+	f.AttachPort(a)
+	f.AttachPort(b)
+	if err := f.AttachPort(c); err == nil {
+		t.Fatal("attach beyond switch capacity succeeded")
+	}
+}
+
+// Property: connect/disconnect sequences conserve port accounting.
+func TestPropSwitchPortConservation(t *testing.T) {
+	f := func(ops []uint16) bool {
+		sw, _ := NewSwitch(Polatis48)
+		live := map[int]int{}
+		for _, op := range ops {
+			a := int(op) % 48
+			b := int(op>>8) % 48
+			if op%2 == 0 {
+				if err := sw.Connect(a, b); err == nil {
+					live[a] = b
+					live[b] = a
+				}
+			} else if peer, ok := live[a]; ok {
+				if sw.Disconnect(a) != nil {
+					return false
+				}
+				delete(live, a)
+				delete(live, peer)
+			}
+		}
+		return sw.FreePorts() == 48-len(live) && sw.Circuits() == len(live)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BER is monotone non-increasing in received power and bounded
+// in [0, 0.5].
+func TestPropBERMonotone(t *testing.T) {
+	f := func(a, b int8) bool {
+		r := PrototypeReceiver
+		pa := float64(a) / 4
+		pb := float64(b) / 4
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		ba := r.BER(pa)
+		bb := r.BER(pb)
+		return ba >= bb && ba <= 0.5 && bb >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

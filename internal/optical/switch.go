@@ -1,0 +1,217 @@
+// Package optical models the dReDBox rack-level optical circuit fabric:
+// a Polatis-style 48-port low-loss optical circuit switch, the 8-channel
+// SiP mid-board optics (MBO) on each brick, and the FEC-free 10 Gb/s
+// receiver whose bit-error-rate behaviour Figure 7 of the paper reports.
+//
+// Physical constants follow the paper: ~1 dB insertion loss per switch
+// hop, ~100 mW per switch port, −3.7 dBm mean launch power per MBO
+// channel at 1310 nm, and a hard requirement that links run FEC-free
+// because FEC would add over 100 ns of latency.
+package optical
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SwitchConfig describes one optical circuit switch module.
+type SwitchConfig struct {
+	// Ports is the number of optical ports (48 on the prototype module).
+	Ports int
+	// InsertionLossDB is the optical attenuation per hop through the
+	// switch (~1 dB on the prototype).
+	InsertionLossDB float64
+	// PortPowerW is the electrical draw per provisioned port (~100 mW).
+	PortPowerW float64
+	// ReconfigTime is the time to establish or tear down a circuit
+	// (beam-steering switches take tens of milliseconds).
+	ReconfigTime sim.Duration
+}
+
+// Polatis48 is the prototype's switch module.
+var Polatis48 = SwitchConfig{
+	Ports:           48,
+	InsertionLossDB: 1.0,
+	PortPowerW:      0.100,
+	ReconfigTime:    25 * sim.Millisecond,
+}
+
+// PolatisNextGen is the module the paper says is under development:
+// double the port density, half the per-port power.
+var PolatisNextGen = SwitchConfig{
+	Ports:           96,
+	InsertionLossDB: 1.0,
+	PortPowerW:      0.050,
+	ReconfigTime:    25 * sim.Millisecond,
+}
+
+// Validate rejects physically meaningless configurations.
+func (c SwitchConfig) Validate() error {
+	if c.Ports <= 1 {
+		return fmt.Errorf("optical: switch needs at least 2 ports, got %d", c.Ports)
+	}
+	if c.InsertionLossDB < 0 {
+		return fmt.Errorf("optical: negative insertion loss %v dB", c.InsertionLossDB)
+	}
+	if c.PortPowerW < 0 {
+		return fmt.Errorf("optical: negative port power %v W", c.PortPowerW)
+	}
+	return nil
+}
+
+// Switch is an optical circuit switch: a set of ports and a crossbar of
+// bidirectional port-to-port circuits. There is no buffering and no
+// contention — a port is either free or carrying exactly one circuit,
+// which is what makes the fabric's latency deterministic.
+type Switch struct {
+	cfg    SwitchConfig
+	peer   []int // peer[i] = j when ports i<->j are connected; -1 when free
+	failed []bool
+
+	reconfigs uint64
+}
+
+// NewSwitch builds a switch with all ports free.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	peer := make([]int, cfg.Ports)
+	for i := range peer {
+		peer[i] = -1
+	}
+	return &Switch{cfg: cfg, peer: peer, failed: make([]bool, cfg.Ports)}, nil
+}
+
+// ErrPortFailed marks connect attempts through a failed port.
+var ErrPortFailed = fmt.Errorf("optical: port has failed")
+
+// FailPort injects a port fault (dirty connector, dead transceiver
+// steering element). A live circuit through the port is torn down; new
+// circuits through it are refused until RestorePort.
+func (s *Switch) FailPort(p int) error {
+	if err := s.checkPort(p); err != nil {
+		return err
+	}
+	if s.failed[p] {
+		return fmt.Errorf("optical: port %d already failed", p)
+	}
+	s.failed[p] = true
+	if peer := s.peer[p]; peer != -1 {
+		s.peer[p], s.peer[peer] = -1, -1
+		s.reconfigs++
+	}
+	return nil
+}
+
+// RestorePort clears an injected fault.
+func (s *Switch) RestorePort(p int) error {
+	if err := s.checkPort(p); err != nil {
+		return err
+	}
+	if !s.failed[p] {
+		return fmt.Errorf("optical: port %d is not failed", p)
+	}
+	s.failed[p] = false
+	return nil
+}
+
+// PortFailed reports whether port p carries an injected fault.
+func (s *Switch) PortFailed(p int) bool {
+	return p >= 0 && p < len(s.failed) && s.failed[p]
+}
+
+// FailedPorts returns the number of ports with injected faults.
+func (s *Switch) FailedPorts() int {
+	n := 0
+	for _, f := range s.failed {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Config returns the switch configuration.
+func (s *Switch) Config() SwitchConfig { return s.cfg }
+
+// Connect establishes a bidirectional circuit between ports a and b.
+func (s *Switch) Connect(a, b int) error {
+	if err := s.checkPort(a); err != nil {
+		return err
+	}
+	if err := s.checkPort(b); err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("optical: cannot connect port %d to itself", a)
+	}
+	if s.failed[a] {
+		return fmt.Errorf("%w: port %d", ErrPortFailed, a)
+	}
+	if s.failed[b] {
+		return fmt.Errorf("%w: port %d", ErrPortFailed, b)
+	}
+	if s.peer[a] != -1 {
+		return fmt.Errorf("optical: port %d already carries a circuit to %d", a, s.peer[a])
+	}
+	if s.peer[b] != -1 {
+		return fmt.Errorf("optical: port %d already carries a circuit to %d", b, s.peer[b])
+	}
+	s.peer[a], s.peer[b] = b, a
+	s.reconfigs++
+	return nil
+}
+
+// Disconnect tears down the circuit at port a (and its peer).
+func (s *Switch) Disconnect(a int) error {
+	if err := s.checkPort(a); err != nil {
+		return err
+	}
+	b := s.peer[a]
+	if b == -1 {
+		return fmt.Errorf("optical: port %d carries no circuit", a)
+	}
+	s.peer[a], s.peer[b] = -1, -1
+	s.reconfigs++
+	return nil
+}
+
+// PeerOf returns the port connected to a, if any.
+func (s *Switch) PeerOf(a int) (int, bool) {
+	if a < 0 || a >= len(s.peer) || s.peer[a] == -1 {
+		return 0, false
+	}
+	return s.peer[a], true
+}
+
+// FreePorts returns the number of unconnected ports.
+func (s *Switch) FreePorts() int {
+	n := 0
+	for _, p := range s.peer {
+		if p == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Circuits returns the number of live circuits.
+func (s *Switch) Circuits() int { return (len(s.peer) - s.FreePorts()) / 2 }
+
+// Reconfigs returns the cumulative count of connect/disconnect operations
+// (each costs cfg.ReconfigTime on the control path).
+func (s *Switch) Reconfigs() uint64 { return s.reconfigs }
+
+// PowerW returns the electrical draw: the prototype figure is quoted per
+// port, and ports are powered while provisioned, so draw scales with the
+// full port count.
+func (s *Switch) PowerW() float64 { return float64(s.cfg.Ports) * s.cfg.PortPowerW }
+
+func (s *Switch) checkPort(p int) error {
+	if p < 0 || p >= len(s.peer) {
+		return fmt.Errorf("optical: port %d out of range [0,%d)", p, len(s.peer))
+	}
+	return nil
+}

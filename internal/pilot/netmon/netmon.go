@@ -1,0 +1,151 @@
+// Package netmon implements the domain logic of the paper's third pilot
+// (§V): network analytics at very high rates (100 GbE). Two modes:
+// online analysis inspects every frame at line rate — classification and
+// basic integrity metrics only — while offline analysis studies the
+// packets the online stage flagged, "with a more exhaustive emphasis".
+// The pilot's key metric is responsiveness: the offline backlog must
+// drain continuously even as datacenter memory pressure shrinks and
+// grows the analysis VM.
+package netmon
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+)
+
+// OnlineStage models the accelerator-resident classifier.
+type OnlineStage struct {
+	// LineRateBytesPerSec is the monitored link rate (100 GbE = 12.5e9).
+	LineRateBytesPerSec float64
+	// FlagFraction is the share of traffic marked for offline study.
+	FlagFraction float64
+}
+
+// Validate rejects degenerate stages.
+func (o OnlineStage) Validate() error {
+	if o.LineRateBytesPerSec <= 0 {
+		return fmt.Errorf("netmon: online stage needs a line rate")
+	}
+	if o.FlagFraction < 0 || o.FlagFraction > 1 {
+		return fmt.Errorf("netmon: flag fraction %v outside [0,1]", o.FlagFraction)
+	}
+	return nil
+}
+
+// FlaggedBytes returns the bytes flagged over a window.
+func (o OnlineStage) FlaggedBytes(window sim.Duration) brick.Bytes {
+	return brick.Bytes(o.LineRateBytesPerSec * window.Seconds() * o.FlagFraction)
+}
+
+// OfflineStage models the CPU-side deep inspection.
+type OfflineStage struct {
+	// BytesPerSecPerGiB is the inspection throughput per GiB of working
+	// memory the analysis VM holds (in-memory flow reassembly scales
+	// with available buffers).
+	BytesPerSecPerGiB float64
+	// MemoryGiB is the VM's current elastic allocation.
+	MemoryGiB int
+}
+
+// Validate rejects degenerate stages.
+func (o OfflineStage) Validate() error {
+	if o.BytesPerSecPerGiB <= 0 {
+		return fmt.Errorf("netmon: offline stage needs throughput")
+	}
+	if o.MemoryGiB <= 0 {
+		return fmt.Errorf("netmon: offline stage needs memory")
+	}
+	return nil
+}
+
+// Throughput returns the current drain rate.
+func (o OfflineStage) Throughput() float64 {
+	return o.BytesPerSecPerGiB * float64(o.MemoryGiB)
+}
+
+// Probe is the two-stage pipeline with a backlog buffer between stages.
+type Probe struct {
+	Online  OnlineStage
+	Offline OfflineStage
+
+	backlog brick.Bytes
+	dropped brick.Bytes
+	// BacklogCap bounds the buffer; beyond it, flagged packets drop —
+	// the QoS failure the pilot's elasticity exists to avoid.
+	BacklogCap brick.Bytes
+}
+
+// NewProbe validates and builds a probe.
+func NewProbe(on OnlineStage, off OfflineStage, backlogCap brick.Bytes) (*Probe, error) {
+	if err := on.Validate(); err != nil {
+		return nil, err
+	}
+	if err := off.Validate(); err != nil {
+		return nil, err
+	}
+	if backlogCap == 0 {
+		return nil, fmt.Errorf("netmon: probe needs a backlog capacity")
+	}
+	return &Probe{Online: on, Offline: off, BacklogCap: backlogCap}, nil
+}
+
+// Backlog returns the buffered flagged bytes awaiting offline study.
+func (p *Probe) Backlog() brick.Bytes { return p.backlog }
+
+// Dropped returns flagged bytes lost to backlog overflow.
+func (p *Probe) Dropped() brick.Bytes { return p.dropped }
+
+// Advance runs the pipeline for a window: the online stage flags
+// traffic into the backlog, the offline stage drains it at its current
+// memory-dependent rate.
+func (p *Probe) Advance(window sim.Duration) error {
+	if window <= 0 {
+		return fmt.Errorf("netmon: non-positive window %v", window)
+	}
+	in := p.Online.FlaggedBytes(window)
+	drain := brick.Bytes(p.Offline.Throughput() * window.Seconds())
+	p.backlog += in
+	if p.backlog > drain {
+		p.backlog -= drain
+	} else {
+		p.backlog = 0
+	}
+	if p.backlog > p.BacklogCap {
+		p.dropped += p.backlog - p.BacklogCap
+		p.backlog = p.BacklogCap
+	}
+	return nil
+}
+
+// MemoryToDrain returns the minimum offline memory (GiB) that drains the
+// backlog within the deadline while the online stage keeps flagging —
+// the quantity the scale-up request should ask for.
+func (p *Probe) MemoryToDrain(deadline sim.Duration) (int, error) {
+	if deadline <= 0 {
+		return 0, fmt.Errorf("netmon: non-positive deadline")
+	}
+	inRate := p.Online.LineRateBytesPerSec * p.Online.FlagFraction
+	// Need: throughput*deadline >= backlog + inRate*deadline.
+	needed := (float64(p.backlog) + inRate*deadline.Seconds()) / deadline.Seconds()
+	gib := int(needed/p.Offline.BytesPerSecPerGiB) + 1
+	if gib < 1 {
+		gib = 1
+	}
+	return gib, nil
+}
+
+// SteadyStateMemory returns the memory (GiB) at which drain rate equals
+// flag rate — the floor below which the backlog grows without bound.
+func (p *Probe) SteadyStateMemory() int {
+	inRate := p.Online.LineRateBytesPerSec * p.Online.FlagFraction
+	gib := int(inRate / p.Offline.BytesPerSecPerGiB)
+	if float64(gib)*p.Offline.BytesPerSecPerGiB < inRate {
+		gib++
+	}
+	if gib < 1 {
+		gib = 1
+	}
+	return gib
+}

@@ -1,0 +1,137 @@
+package netmon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+)
+
+func probe(t *testing.T, memGiB int) *Probe {
+	t.Helper()
+	p, err := NewProbe(
+		OnlineStage{LineRateBytesPerSec: 12.5e9, FlagFraction: 0.01},
+		OfflineStage{BytesPerSecPerGiB: 25e6, MemoryGiB: memGiB},
+		64*brick.GiB,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewProbe(OnlineStage{}, OfflineStage{BytesPerSecPerGiB: 1, MemoryGiB: 1}, brick.GiB); err == nil {
+		t.Fatal("zero line rate accepted")
+	}
+	if _, err := NewProbe(OnlineStage{LineRateBytesPerSec: 1, FlagFraction: 2}, OfflineStage{BytesPerSecPerGiB: 1, MemoryGiB: 1}, brick.GiB); err == nil {
+		t.Fatal("flag fraction > 1 accepted")
+	}
+	if _, err := NewProbe(OnlineStage{LineRateBytesPerSec: 1}, OfflineStage{}, brick.GiB); err == nil {
+		t.Fatal("zero offline throughput accepted")
+	}
+	if _, err := NewProbe(OnlineStage{LineRateBytesPerSec: 1}, OfflineStage{BytesPerSecPerGiB: 1, MemoryGiB: 1}, 0); err == nil {
+		t.Fatal("zero backlog cap accepted")
+	}
+	p := probe(t, 1)
+	if err := p.Advance(0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestBacklogGrowsWhenUnderProvisioned(t *testing.T) {
+	// Flag rate: 125 MB/s. 1 GiB of memory drains 25 MB/s: backlog grows.
+	p := probe(t, 1)
+	for i := 0; i < 10; i++ {
+		if err := p.Advance(sim.Duration(sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Backlog() == 0 {
+		t.Fatal("backlog empty despite under-provisioning")
+	}
+	// Steady state needs 5 GiB (125/25).
+	if got := p.SteadyStateMemory(); got != 5 {
+		t.Fatalf("steady-state memory = %d GiB, want 5", got)
+	}
+}
+
+func TestBacklogDrainsAfterScaleUp(t *testing.T) {
+	p := probe(t, 1)
+	for i := 0; i < 10; i++ {
+		p.Advance(sim.Duration(sim.Second))
+	}
+	backlog := p.Backlog()
+	// Ask the model how much memory drains it in 60 s, apply, verify.
+	gib, err := p.MemoryToDrain(60 * sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gib <= p.SteadyStateMemory() {
+		t.Fatalf("drain memory %d not above steady state %d", gib, p.SteadyStateMemory())
+	}
+	p.Offline.MemoryGiB = gib
+	for i := 0; i < 60; i++ {
+		p.Advance(sim.Duration(sim.Second))
+	}
+	if p.Backlog() != 0 {
+		t.Fatalf("backlog %v (was %v) not drained within the deadline", p.Backlog(), backlog)
+	}
+	if p.Dropped() != 0 {
+		t.Fatal("drops occurred below the cap")
+	}
+}
+
+func TestBacklogCapDrops(t *testing.T) {
+	p, _ := NewProbe(
+		OnlineStage{LineRateBytesPerSec: 12.5e9, FlagFraction: 0.5},
+		OfflineStage{BytesPerSecPerGiB: 25e6, MemoryGiB: 1},
+		brick.GiB, // tiny buffer
+	)
+	for i := 0; i < 5; i++ {
+		p.Advance(sim.Duration(sim.Second))
+	}
+	if p.Dropped() == 0 {
+		t.Fatal("no drops despite overflowing buffer")
+	}
+	if p.Backlog() != brick.GiB {
+		t.Fatalf("backlog %v exceeds cap", p.Backlog())
+	}
+}
+
+func TestMemoryToDrainValidation(t *testing.T) {
+	p := probe(t, 1)
+	if _, err := p.MemoryToDrain(0); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+}
+
+// Property: with memory at or above steady state and an empty initial
+// backlog, the backlog never grows without bound (stays at one window's
+// inflow at most).
+func TestPropSteadyStateStable(t *testing.T) {
+	f := func(flag uint8, windows uint8) bool {
+		frac := float64(flag%50+1) / 100
+		p, err := NewProbe(
+			OnlineStage{LineRateBytesPerSec: 12.5e9, FlagFraction: frac},
+			OfflineStage{BytesPerSecPerGiB: 25e6, MemoryGiB: 1},
+			1<<40,
+		)
+		if err != nil {
+			return false
+		}
+		p.Offline.MemoryGiB = p.SteadyStateMemory()
+		perWindow := p.Online.FlaggedBytes(sim.Duration(sim.Second))
+		for i := 0; i < int(windows); i++ {
+			p.Advance(sim.Duration(sim.Second))
+			if p.Backlog() > perWindow {
+				return false
+			}
+		}
+		return p.Dropped() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

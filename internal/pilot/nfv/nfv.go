@@ -1,0 +1,127 @@
+// Package nfv implements the domain logic of the paper's second pilot
+// (§V): edge computing with collaborative cryptography. The deployment
+// splits into an edge server and a key server; the key server holds
+// private keys behind a mutually authenticated channel and therefore
+// MUST NOT scale out — replication would copy key material. Its session
+// table follows the daily traffic pattern, so memory elasticity is the
+// only acceptable way to ride the peaks.
+package nfv
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// KeyServer models the sensitive half of the split deployment.
+type KeyServer struct {
+	// BytesPerSession is the per-TLS-session state (key schedule,
+	// tickets, replay window).
+	BytesPerSession brick.Bytes
+	// BaseBytes is the fixed footprint (key store, code, caches).
+	BaseBytes brick.Bytes
+
+	sessions int
+}
+
+// NewKeyServer validates and builds a key server model.
+func NewKeyServer(bytesPerSession, baseBytes brick.Bytes) (*KeyServer, error) {
+	if bytesPerSession == 0 {
+		return nil, fmt.Errorf("nfv: key server needs per-session bytes")
+	}
+	if baseBytes == 0 {
+		return nil, fmt.Errorf("nfv: key server needs a base footprint")
+	}
+	return &KeyServer{BytesPerSession: bytesPerSession, BaseBytes: baseBytes}, nil
+}
+
+// Sessions returns the live session count.
+func (k *KeyServer) Sessions() int { return k.sessions }
+
+// SetSessions updates the live session count (driven by the diurnal
+// model or a trace).
+func (k *KeyServer) SetSessions(n int) error {
+	if n < 0 {
+		return fmt.Errorf("nfv: negative session count %d", n)
+	}
+	k.sessions = n
+	return nil
+}
+
+// MemoryNeeded returns the working set for the current sessions.
+func (k *KeyServer) MemoryNeeded() brick.Bytes {
+	return k.BaseBytes + brick.Bytes(k.sessions)*k.BytesPerSession
+}
+
+// ErrNoReplication is returned by ScaleOut: the key server's security
+// model forbids replicating key material.
+var ErrNoReplication = fmt.Errorf("nfv: key server must not scale out (private keys would be replicated)")
+
+// ScaleOut always refuses — the type encodes the policy so no caller can
+// "just spawn a replica" by accident.
+func (k *KeyServer) ScaleOut() error { return ErrNoReplication }
+
+// DiurnalSessions maps a diurnal load profile to session counts.
+type DiurnalSessions struct {
+	Profile         workload.Diurnal
+	SessionsPerUnit int
+}
+
+// At returns the session count at virtual time t.
+func (d DiurnalSessions) At(t sim.Time) int {
+	return int(d.Profile.At(t)) * d.SessionsPerUnit
+}
+
+// ElasticityPlan summarizes a day of memory elasticity for the key
+// server: the peak and trough working sets and the capacity a static
+// (peak-provisioned) deployment would waste.
+type ElasticityPlan struct {
+	PeakBytes   brick.Bytes
+	TroughBytes brick.Bytes
+	// WastedStaticByteHours is the area between peak provisioning and
+	// the actual demand curve over 24 hours, in byte·hours — what a
+	// conventional deployment holds idle.
+	WastedStaticByteHours float64
+}
+
+// PlanDay samples the diurnal session model hourly and computes the
+// elasticity plan.
+func PlanDay(k *KeyServer, d DiurnalSessions) (ElasticityPlan, error) {
+	if d.SessionsPerUnit <= 0 {
+		return ElasticityPlan{}, fmt.Errorf("nfv: sessions-per-unit must be positive")
+	}
+	if err := d.Profile.Validate(); err != nil {
+		return ElasticityPlan{}, err
+	}
+	var plan ElasticityPlan
+	var demands []brick.Bytes
+	for h := 0; h < 24; h++ {
+		if err := k.SetSessions(d.At(sim.Time(h) * sim.Time(sim.Hour))); err != nil {
+			return ElasticityPlan{}, err
+		}
+		need := k.MemoryNeeded()
+		demands = append(demands, need)
+		if need > plan.PeakBytes {
+			plan.PeakBytes = need
+		}
+		if plan.TroughBytes == 0 || need < plan.TroughBytes {
+			plan.TroughBytes = need
+		}
+	}
+	for _, need := range demands {
+		plan.WastedStaticByteHours += float64(plan.PeakBytes - need)
+	}
+	return plan, nil
+}
+
+// SavingsFraction returns the share of the static deployment's
+// byte·hours that elasticity reclaims.
+func (p ElasticityPlan) SavingsFraction() float64 {
+	staticByteHours := float64(p.PeakBytes) * 24
+	if staticByteHours == 0 {
+		return 0
+	}
+	return p.WastedStaticByteHours / staticByteHours
+}

@@ -1,0 +1,93 @@
+package nfv
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func keyServer(t *testing.T) *KeyServer {
+	t.Helper()
+	k, err := NewKeyServer(16*brick.KiB, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestKeyServerMemoryModel(t *testing.T) {
+	k := keyServer(t)
+	if k.MemoryNeeded() != brick.GiB {
+		t.Fatalf("base footprint = %v", k.MemoryNeeded())
+	}
+	if err := k.SetSessions(65536); err != nil {
+		t.Fatal(err)
+	}
+	if k.MemoryNeeded() != brick.GiB+brick.GiB {
+		t.Fatalf("with 64k sessions = %v, want 2GiB", k.MemoryNeeded())
+	}
+	if err := k.SetSessions(-1); err == nil {
+		t.Fatal("negative sessions accepted")
+	}
+	if k.Sessions() != 65536 {
+		t.Fatal("failed set mutated state")
+	}
+}
+
+func TestNewKeyServerValidation(t *testing.T) {
+	if _, err := NewKeyServer(0, brick.GiB); err == nil {
+		t.Fatal("zero session bytes accepted")
+	}
+	if _, err := NewKeyServer(brick.KiB, 0); err == nil {
+		t.Fatal("zero base accepted")
+	}
+}
+
+func TestScaleOutAlwaysRefused(t *testing.T) {
+	k := keyServer(t)
+	if err := k.ScaleOut(); !errors.Is(err, ErrNoReplication) {
+		t.Fatalf("ScaleOut = %v, want ErrNoReplication", err)
+	}
+}
+
+func TestPlanDay(t *testing.T) {
+	k := keyServer(t)
+	d := DiurnalSessions{
+		Profile:         workload.Diurnal{Night: 1, Peak: 10},
+		SessionsPerUnit: 50000,
+	}
+	plan, err := PlanDay(k, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PeakBytes <= plan.TroughBytes {
+		t.Fatalf("peak %v not above trough %v", plan.PeakBytes, plan.TroughBytes)
+	}
+	// A diurnal curve spends most of the day below peak: elasticity
+	// reclaims a substantial share of static provisioning.
+	s := plan.SavingsFraction()
+	if s < 0.2 || s >= 1 {
+		t.Fatalf("savings fraction = %v, expected substantial", s)
+	}
+	// Sanity: session model tracks the profile.
+	if d.At(sim.Time(16*sim.Hour)) <= d.At(sim.Time(4*sim.Hour)) {
+		t.Fatal("peak-hour sessions not above night sessions")
+	}
+}
+
+func TestPlanDayValidation(t *testing.T) {
+	k := keyServer(t)
+	if _, err := PlanDay(k, DiurnalSessions{
+		Profile: workload.Diurnal{Night: 1, Peak: 10}, SessionsPerUnit: 0,
+	}); err == nil {
+		t.Fatal("zero sessions-per-unit accepted")
+	}
+	if _, err := PlanDay(k, DiurnalSessions{
+		Profile: workload.Diurnal{Night: 5, Peak: 1}, SessionsPerUnit: 10,
+	}); err == nil {
+		t.Fatal("inverted profile accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Package video implements the planning logic of the paper's first
+// pilot application (§V): large-scale video-evidence investigation.
+// "In serious cases, including terrorist events, 100,000 hours of video
+// or more may need to be reviewed quickly"; analytics cut the workload
+// down, but demand is event-driven and cannot be scheduled in advance —
+// which is exactly why the pilot wants dReDBox elasticity.
+//
+// The package turns an investigation's parameters into a resource plan:
+// how much index memory to scale up, how many accelerator batches the
+// footage decomposes into, and the CPU jobs for the triage stage, with
+// a completion estimate under the hypervisor's fair scheduler.
+package video
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+)
+
+// Investigation describes one case.
+type Investigation struct {
+	// FootageHours is the total video to review.
+	FootageHours int
+	// BytesPerHour is the storage footprint of one footage hour.
+	BytesPerHour brick.Bytes
+	// IndexBytesPerHour is the in-memory index the analytics build per
+	// footage hour.
+	IndexBytesPerHour brick.Bytes
+	// CPUPerHour is the single-core triage time per footage hour, after
+	// accelerator pre-filtering.
+	CPUPerHour sim.Duration
+	// FlaggedFraction is the share of footage the accelerator marks for
+	// human/CPU triage.
+	FlaggedFraction float64
+}
+
+// Validate rejects degenerate investigations.
+func (inv Investigation) Validate() error {
+	if inv.FootageHours <= 0 {
+		return fmt.Errorf("video: investigation needs footage, got %d hours", inv.FootageHours)
+	}
+	if inv.BytesPerHour == 0 || inv.IndexBytesPerHour == 0 {
+		return fmt.Errorf("video: investigation needs per-hour footprints")
+	}
+	if inv.CPUPerHour <= 0 {
+		return fmt.Errorf("video: investigation needs positive triage cost")
+	}
+	if inv.FlaggedFraction < 0 || inv.FlaggedFraction > 1 {
+		return fmt.Errorf("video: flagged fraction %v outside [0,1]", inv.FlaggedFraction)
+	}
+	return nil
+}
+
+// Cluster describes the resources the plan may use.
+type Cluster struct {
+	// Cores available for triage on the analysis VM's brick.
+	Cores int
+	// VCPUs is the analysis VM's parallelism cap.
+	VCPUs int
+	// AccelBytesPerSec is the pre-filter accelerator throughput.
+	AccelBytesPerSec float64
+	// BatchBytes is the footage batch size shipped to one offload.
+	BatchBytes brick.Bytes
+	// MemoryStep is the scale-up granularity.
+	MemoryStep brick.Bytes
+}
+
+// Validate rejects degenerate clusters.
+func (c Cluster) Validate() error {
+	if c.Cores <= 0 || c.VCPUs <= 0 {
+		return fmt.Errorf("video: cluster needs cores and vCPUs")
+	}
+	if c.AccelBytesPerSec <= 0 {
+		return fmt.Errorf("video: cluster needs accelerator throughput")
+	}
+	if c.BatchBytes == 0 || c.MemoryStep == 0 {
+		return fmt.Errorf("video: cluster needs batch and memory-step sizes")
+	}
+	return nil
+}
+
+// Plan is the resource schedule for an investigation.
+type Plan struct {
+	// IndexMemory is the total index working set.
+	IndexMemory brick.Bytes
+	// ScaleUpSteps is how many MemoryStep attachments realize it.
+	ScaleUpSteps int
+	// Batches is the accelerator batch count.
+	Batches int
+	// AccelTask is the per-batch offload descriptor.
+	AccelTask accel.Task
+	// TriageJobs is the CPU stage, one job per flagged footage chunk.
+	TriageJobs []hypervisor.Job
+	// EstimatedAccelSpan is the pre-filter stage duration (batches are
+	// serialized on one slot).
+	EstimatedAccelSpan sim.Duration
+	// EstimatedTriageSpan is the CPU stage duration under fair
+	// scheduling.
+	EstimatedTriageSpan sim.Duration
+}
+
+// EstimatedTotal returns the end-to-end pipeline estimate (stages
+// overlap at batch granularity, so the bound is max(stage spans) plus
+// one batch of skew; we report the conservative sequential tail).
+func (p Plan) EstimatedTotal() sim.Duration {
+	if p.EstimatedAccelSpan > p.EstimatedTriageSpan {
+		return p.EstimatedAccelSpan
+	}
+	return p.EstimatedTriageSpan
+}
+
+// BuildPlan computes the plan for an investigation on a cluster.
+func BuildPlan(inv Investigation, c Cluster) (Plan, error) {
+	if err := inv.Validate(); err != nil {
+		return Plan{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Plan{}, err
+	}
+	var p Plan
+	p.IndexMemory = brick.Bytes(inv.FootageHours) * inv.IndexBytesPerHour
+	p.ScaleUpSteps = int((p.IndexMemory + c.MemoryStep - 1) / c.MemoryStep)
+
+	totalBytes := brick.Bytes(inv.FootageHours) * inv.BytesPerHour
+	p.Batches = int((totalBytes + c.BatchBytes - 1) / c.BatchBytes)
+	flagged := brick.Bytes(float64(c.BatchBytes) * inv.FlaggedFraction)
+	if flagged == 0 {
+		flagged = 1
+	}
+	p.AccelTask = accel.Task{
+		InputBytes:       c.BatchBytes,
+		OutputBytes:      flagged,
+		AccelBytesPerSec: c.AccelBytesPerSec,
+	}
+	perBatch := sim.Duration(float64(c.BatchBytes) / c.AccelBytesPerSec * 1e9)
+	p.EstimatedAccelSpan = sim.Duration(p.Batches) * perBatch
+
+	// Triage: flagged hours split into one job per 1,000 footage hours
+	// (an operator-sized work packet), each parallel up to the VM.
+	flaggedHours := float64(inv.FootageHours) * inv.FlaggedFraction
+	packet := 1000.0
+	nJobs := int(flaggedHours/packet) + 1
+	workPerJob := sim.Duration(flaggedHours / float64(nJobs) * float64(inv.CPUPerHour))
+	if workPerJob <= 0 {
+		workPerJob = 1
+	}
+	for i := 0; i < nJobs; i++ {
+		p.TriageJobs = append(p.TriageJobs, hypervisor.Job{
+			ID:          fmt.Sprintf("triage-%03d", i),
+			Arrival:     0,
+			Work:        workPerJob,
+			MaxParallel: c.VCPUs,
+		})
+	}
+	completions, err := hypervisor.Schedule(c.Cores, p.TriageJobs)
+	if err != nil {
+		return Plan{}, err
+	}
+	for _, done := range completions {
+		if sim.Duration(done) > p.EstimatedTriageSpan {
+			p.EstimatedTriageSpan = sim.Duration(done)
+		}
+	}
+	return p, nil
+}
+
+// SpeedupWithScaleUp compares the investigation's triage span with and
+// without dReDBox elasticity: without it, the analysis VM is stuck with
+// baselineCores worth of parallelism (its original host's spare
+// capacity); with it, the VM scales onto freed cores.
+func SpeedupWithScaleUp(inv Investigation, c Cluster, baselineCores int) (float64, error) {
+	if baselineCores <= 0 {
+		return 0, fmt.Errorf("video: baseline needs positive cores")
+	}
+	with, err := BuildPlan(inv, c)
+	if err != nil {
+		return 0, err
+	}
+	limited := c
+	limited.Cores = baselineCores
+	if limited.VCPUs > baselineCores {
+		limited.VCPUs = baselineCores
+	}
+	without, err := BuildPlan(inv, limited)
+	if err != nil {
+		return 0, err
+	}
+	if with.EstimatedTriageSpan == 0 {
+		return 0, fmt.Errorf("video: degenerate plan")
+	}
+	return float64(without.EstimatedTriageSpan) / float64(with.EstimatedTriageSpan), nil
+}

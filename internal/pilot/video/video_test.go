@@ -1,0 +1,126 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+)
+
+var caseInv = Investigation{
+	FootageHours:      100000, // the paper's "serious case" scale
+	BytesPerHour:      brick.GiB,
+	IndexBytesPerHour: 256 * brick.KiB,
+	CPUPerHour:        2 * sim.Second,
+	FlaggedFraction:   0.03,
+}
+
+var lab = Cluster{
+	Cores:            16,
+	VCPUs:            8,
+	AccelBytesPerSec: 4e9,
+	BatchBytes:       512 * brick.MiB,
+	MemoryStep:       2 * brick.GiB,
+}
+
+func TestBuildPlanScales(t *testing.T) {
+	p, err := BuildPlan(caseInv, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100k hours × 256 KiB index ≈ 24.4 GiB → 13 steps of 2 GiB.
+	if p.IndexMemory != brick.Bytes(100000)*256*brick.KiB {
+		t.Fatalf("index memory = %v", p.IndexMemory)
+	}
+	if p.ScaleUpSteps != 13 {
+		t.Fatalf("scale-up steps = %d, want 13", p.ScaleUpSteps)
+	}
+	// 100k GiB of footage in 512 MiB batches = 200k batches.
+	if p.Batches != 200000 {
+		t.Fatalf("batches = %d", p.Batches)
+	}
+	if p.EstimatedAccelSpan <= 0 || p.EstimatedTriageSpan <= 0 {
+		t.Fatal("empty stage estimates")
+	}
+	if p.EstimatedTotal() < p.EstimatedAccelSpan {
+		t.Fatal("total below a stage span")
+	}
+	// Flagged output is a strict subset of the batch.
+	if p.AccelTask.OutputBytes >= p.AccelTask.InputBytes {
+		t.Fatal("filter output not smaller than input")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := caseInv
+	bad.FootageHours = 0
+	if _, err := BuildPlan(bad, lab); err == nil {
+		t.Fatal("zero footage accepted")
+	}
+	bad = caseInv
+	bad.FlaggedFraction = 1.5
+	if _, err := BuildPlan(bad, lab); err == nil {
+		t.Fatal("flag fraction > 1 accepted")
+	}
+	badC := lab
+	badC.Cores = 0
+	if _, err := BuildPlan(caseInv, badC); err == nil {
+		t.Fatal("zero-core cluster accepted")
+	}
+	badC = lab
+	badC.BatchBytes = 0
+	if _, err := BuildPlan(caseInv, badC); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+}
+
+func TestSpeedupWithScaleUp(t *testing.T) {
+	// Elastic cluster (16 cores) vs the VM stuck on 2 spare cores.
+	s, err := SpeedupWithScaleUp(caseInv, lab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 3 {
+		t.Fatalf("speedup = %.1f, expected several x from 2 -> 16 cores", s)
+	}
+	if _, err := SpeedupWithScaleUp(caseInv, lab, 0); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}
+
+// Property: more footage never shrinks the data-volume plan dimensions
+// or the total triage work. (The triage *span* is deliberately excluded:
+// a smaller case can decompose into fewer jobs, each capped at the VM's
+// vCPUs, and therefore exploit fewer cores — spans are not monotone.)
+func TestPropPlanMonotoneInFootage(t *testing.T) {
+	f := func(a, b uint16) bool {
+		h1 := int(a)%50000 + 100
+		h2 := int(b)%50000 + 100
+		if h1 > h2 {
+			h1, h2 = h2, h1
+		}
+		i1, i2 := caseInv, caseInv
+		i1.FootageHours = h1
+		i2.FootageHours = h2
+		p1, err1 := BuildPlan(i1, lab)
+		p2, err2 := BuildPlan(i2, lab)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		work := func(p Plan) sim.Duration {
+			var w sim.Duration
+			for _, j := range p.TriageJobs {
+				w += j.Work
+			}
+			return w
+		}
+		return p1.IndexMemory <= p2.IndexMemory &&
+			p1.Batches <= p2.Batches &&
+			p1.EstimatedAccelSpan <= p2.EstimatedAccelSpan &&
+			work(p1) <= work(p2)+sim.Duration(len(p1.TriageJobs)) // rounding slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package pktnet models dReDBox's exploratory packet-switched
+// interconnect: the Network Interface (NI) and brick-level packet switch
+// implemented on the MPSoC PL, plus the MAC/PHY blocks that frame memory
+// transactions onto the (still circuit-provisioned) optical links.
+//
+// The paper positions this mode as a fallback "where the system is
+// running low in terms of physical ports available to accommodate new
+// circuits": instead of one dedicated circuit per brick pairing, packets
+// share links, with on-brick lookup tables — configured by the
+// orchestrator at runtime — steering each transaction to the right
+// destination port in round-robin order. Figure 8 breaks the measured
+// remote-memory round-trip latency into exactly the components modelled
+// here: the on-brick switches, the MAC/PHY blocks on both bricks, and
+// the optical propagation delay.
+package pktnet
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Profile holds the per-block latency constants of the packet path. The
+// paper presents Fig. 8 graphically without a numeric table; these
+// defaults are representative of 10 G FEC-free FPGA implementations and
+// are configuration, not behaviour — the harness prints whatever profile
+// it ran with.
+type Profile struct {
+	// TGLIngress is the transaction glue logic + AXI interconnect cost on
+	// the compute brick (paid once per direction at the requester).
+	TGLIngress sim.Duration
+	// BrickSwitch is one traversal of an on-brick packet switch.
+	BrickSwitch sim.Duration
+	// MAC is one traversal of a MAC block.
+	MAC sim.Duration
+	// PHY is one traversal of a PHY + transceiver pair.
+	PHY sim.Duration
+	// GlueMem is the dMEMBRICK glue logic cost per direction.
+	GlueMem sim.Duration
+	// FiberMeters is the optical path length.
+	FiberMeters float64
+	// LineRateGbps is the serial line rate.
+	LineRateGbps float64
+	// HeaderBytes is the request/response framing overhead.
+	HeaderBytes int
+	// FEC adds the forward-error-correction latency penalty at each PHY
+	// crossing; dReDBox mandates FEC-free links precisely to avoid it.
+	FEC bool
+}
+
+// DefaultProfile matches DESIGN.md §5.
+var DefaultProfile = Profile{
+	TGLIngress:   60,
+	BrickSwitch:  90,
+	MAC:          100,
+	PHY:          150,
+	GlueMem:      40,
+	FiberMeters:  5,
+	LineRateGbps: 10,
+	HeaderBytes:  16,
+}
+
+// Validate rejects meaningless profiles.
+func (p Profile) Validate() error {
+	if p.LineRateGbps <= 0 {
+		return fmt.Errorf("pktnet: line rate must be positive, got %v", p.LineRateGbps)
+	}
+	if p.HeaderBytes < 0 {
+		return fmt.Errorf("pktnet: negative header size %d", p.HeaderBytes)
+	}
+	if p.TGLIngress < 0 || p.BrickSwitch < 0 || p.MAC < 0 || p.PHY < 0 || p.GlueMem < 0 {
+		return fmt.Errorf("pktnet: negative stage latency in profile")
+	}
+	return nil
+}
+
+func (p Profile) phy() sim.Duration {
+	if p.FEC {
+		return p.PHY + optical.FECLatencyPenalty
+	}
+	return p.PHY
+}
+
+// Component is one row of the Figure 8 breakdown: a named block with its
+// cumulative round-trip contribution and how many times it was crossed.
+type Component struct {
+	Name      string
+	Crossings int
+	Total     sim.Duration
+}
+
+// Breakdown is the full round-trip latency decomposition.
+type Breakdown struct {
+	Components []Component
+	Total      sim.Duration
+}
+
+// Component returns the named component, if present.
+func (b Breakdown) Component(name string) (Component, bool) {
+	for _, c := range b.Components {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Component{}, false
+}
+
+// Share returns the named component's fraction of the total.
+func (b Breakdown) Share(name string) float64 {
+	c, ok := b.Component(name)
+	if !ok || b.Total == 0 {
+		return 0
+	}
+	return float64(c.Total) / float64(b.Total)
+}
+
+// RoundTrip computes the latency breakdown of one remote memory
+// transaction issued by a compute brick against a memory brick whose pool
+// sits behind ctrl. It models the exact component chain of Fig. 8:
+//
+//	request:  TGL → switch(C) → MAC(C) → PHY(C) → fiber → PHY(M) →
+//	          MAC(M) → switch(M) → glue → memory access
+//	response: glue → switch(M) → MAC(M) → PHY(M) → fiber → PHY(C) →
+//	          MAC(C) → switch(C) → TGL
+//
+// Reads carry the payload on the response; writes on the request.
+func RoundTrip(p Profile, ctrl mem.Controller, req mem.Request) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	memLat, err := ctrl.Access(req)
+	if err != nil {
+		return Breakdown{}, err
+	}
+
+	prop := optical.PropagationDelay(p.FiberMeters)
+	reqBytes := p.HeaderBytes
+	respBytes := p.HeaderBytes
+	if req.Op == mem.OpWrite {
+		reqBytes += req.Size
+	} else {
+		respBytes += req.Size
+	}
+	ser := optical.SerializationDelay(reqBytes, p.LineRateGbps) +
+		optical.SerializationDelay(respBytes, p.LineRateGbps)
+
+	comps := []Component{
+		{Name: "TGL/AXI (dCOMPUBRICK)", Crossings: 2, Total: 2 * p.TGLIngress},
+		{Name: "on-brick switch (dCOMPUBRICK)", Crossings: 2, Total: 2 * p.BrickSwitch},
+		{Name: "MAC (both bricks)", Crossings: 4, Total: 4 * p.MAC},
+		{Name: "PHY (both bricks)", Crossings: 4, Total: 4 * p.phy()},
+		{Name: "serialization", Crossings: 2, Total: ser},
+		{Name: "optical propagation", Crossings: 2, Total: 2 * prop},
+		{Name: "on-brick switch (dMEMBRICK)", Crossings: 2, Total: 2 * p.BrickSwitch},
+		{Name: "glue logic (dMEMBRICK)", Crossings: 2, Total: 2 * p.GlueMem},
+		{Name: "memory access (" + ctrl.Name() + ")", Crossings: 1, Total: memLat},
+	}
+	var total sim.Duration
+	for _, c := range comps {
+		total += c.Total
+	}
+	return Breakdown{Components: comps, Total: total}, nil
+}
+
+// CircuitRoundTrip computes the same transaction over the mainline
+// circuit-switched path, which bypasses both on-brick packet switches and
+// the MAC framing: the TGL talks to the transceiver directly. Used by the
+// circuit-vs-packet ablation.
+func CircuitRoundTrip(p Profile, ctrl mem.Controller, req mem.Request) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	memLat, err := ctrl.Access(req)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	prop := optical.PropagationDelay(p.FiberMeters)
+	reqBytes := p.HeaderBytes
+	respBytes := p.HeaderBytes
+	if req.Op == mem.OpWrite {
+		reqBytes += req.Size
+	} else {
+		respBytes += req.Size
+	}
+	ser := optical.SerializationDelay(reqBytes, p.LineRateGbps) +
+		optical.SerializationDelay(respBytes, p.LineRateGbps)
+	comps := []Component{
+		{Name: "TGL/AXI (dCOMPUBRICK)", Crossings: 2, Total: 2 * p.TGLIngress},
+		{Name: "PHY (both bricks)", Crossings: 4, Total: 4 * p.phy()},
+		{Name: "serialization", Crossings: 2, Total: ser},
+		{Name: "optical propagation", Crossings: 2, Total: 2 * prop},
+		{Name: "glue logic (dMEMBRICK)", Crossings: 2, Total: 2 * p.GlueMem},
+		{Name: "memory access (" + ctrl.Name() + ")", Crossings: 1, Total: memLat},
+	}
+	var total sim.Duration
+	for _, c := range comps {
+		total += c.Total
+	}
+	return Breakdown{Components: comps, Total: total}, nil
+}
+
+// LookupTable is the orchestrator-programmed steering table of one
+// on-brick packet switch: destination brick → egress port index.
+type LookupTable struct {
+	entries map[topo.BrickID]int
+}
+
+// NewLookupTable returns an empty table.
+func NewLookupTable() *LookupTable {
+	return &LookupTable{entries: make(map[topo.BrickID]int)}
+}
+
+// Set installs or updates the egress port for a destination brick.
+func (t *LookupTable) Set(dst topo.BrickID, port int) error {
+	if port < 0 {
+		return fmt.Errorf("pktnet: negative egress port %d", port)
+	}
+	t.entries[dst] = port
+	return nil
+}
+
+// Remove deletes the entry for dst.
+func (t *LookupTable) Remove(dst topo.BrickID) error {
+	if _, ok := t.entries[dst]; !ok {
+		return fmt.Errorf("pktnet: no lookup entry for %v", dst)
+	}
+	delete(t.entries, dst)
+	return nil
+}
+
+// Egress resolves the egress port for dst.
+func (t *LookupTable) Egress(dst topo.BrickID) (int, bool) {
+	p, ok := t.entries[dst]
+	return p, ok
+}
+
+// Len returns the number of entries.
+func (t *LookupTable) Len() int { return len(t.entries) }

@@ -1,0 +1,298 @@
+package pktnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func newDDR(t *testing.T) *mem.DDRController {
+	t.Helper()
+	d, err := mem.NewDDR(mem.DDR4_2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRoundTripBreakdownSumsToTotal(t *testing.T) {
+	b, err := RoundTrip(DefaultProfile, newDDR(t), mem.Request{Op: mem.OpRead, Addr: 0, Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum sim.Duration
+	for _, c := range b.Components {
+		if c.Total < 0 {
+			t.Fatalf("component %q negative: %v", c.Name, c.Total)
+		}
+		sum += c.Total
+	}
+	if sum != b.Total {
+		t.Fatalf("component sum %v != total %v", sum, b.Total)
+	}
+	// FEC-free 10G round trip should land near the microsecond mark
+	// (paper claims sub-µs to ~1µs for this exploratory path).
+	if b.Total < 500 || b.Total > 3000 {
+		t.Fatalf("round trip %v outside plausible 0.5–3µs window", b.Total)
+	}
+}
+
+func TestRoundTripShapeMatchesFig8(t *testing.T) {
+	// Fig. 8's qualitative shape: MAC/PHY blocks dominate, optical
+	// propagation is minor, memory access is a modest fraction.
+	b, err := RoundTrip(DefaultProfile, newDDR(t), mem.Request{Op: mem.OpRead, Addr: 0, Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	macphy := b.Share("MAC (both bricks)") + b.Share("PHY (both bricks)")
+	prop := b.Share("optical propagation")
+	memShare := b.Share("memory access (DDR4-2400)")
+	if macphy < 0.4 {
+		t.Fatalf("MAC+PHY share = %.2f, expected dominant (>0.4)", macphy)
+	}
+	if prop > 0.1 {
+		t.Fatalf("propagation share = %.2f, expected minor (<0.1)", prop)
+	}
+	if memShare <= 0 || memShare > 0.3 {
+		t.Fatalf("memory share = %.2f, expected modest (0, 0.3]", memShare)
+	}
+}
+
+func TestFECPenalty(t *testing.T) {
+	free, _ := RoundTrip(DefaultProfile, newDDR(t), mem.Request{Op: mem.OpRead, Size: 64})
+	fec := DefaultProfile
+	fec.FEC = true
+	with, _ := RoundTrip(fec, newDDR(t), mem.Request{Op: mem.OpRead, Size: 64})
+	// FEC adds its penalty at each of the 4 PHY crossings.
+	wantDelta := 4 * optical.FECLatencyPenalty
+	if with.Total-free.Total != wantDelta {
+		t.Fatalf("FEC delta = %v, want %v", with.Total-free.Total, wantDelta)
+	}
+	if wantDelta < 400 {
+		t.Fatalf("FEC round-trip penalty %v should exceed 400ns (>100ns per crossing)", wantDelta)
+	}
+}
+
+func TestWriteCarriesPayloadOnRequest(t *testing.T) {
+	// Read and write of equal size serialize the same number of bytes
+	// total, so totals should match (same memory access cost aside).
+	d1 := newDDR(t)
+	d2 := newDDR(t)
+	r, _ := RoundTrip(DefaultProfile, d1, mem.Request{Op: mem.OpRead, Addr: 0, Size: 256})
+	w, _ := RoundTrip(DefaultProfile, d2, mem.Request{Op: mem.OpWrite, Addr: 0, Size: 256})
+	rc, _ := r.Component("serialization")
+	wc, _ := w.Component("serialization")
+	if rc.Total != wc.Total {
+		t.Fatalf("read ser %v != write ser %v", rc.Total, wc.Total)
+	}
+}
+
+func TestCircuitBeatsPacket(t *testing.T) {
+	// The mainline circuit path skips both packet switches and MAC
+	// framing, so it must be strictly faster — this is the core ablation.
+	pkt, _ := RoundTrip(DefaultProfile, newDDR(t), mem.Request{Op: mem.OpRead, Size: 64})
+	cir, _ := CircuitRoundTrip(DefaultProfile, newDDR(t), mem.Request{Op: mem.OpRead, Size: 64})
+	if cir.Total >= pkt.Total {
+		t.Fatalf("circuit %v not faster than packet %v", cir.Total, pkt.Total)
+	}
+	want := 2*DefaultProfile.BrickSwitch*2 + 4*DefaultProfile.MAC
+	if pkt.Total-cir.Total != want {
+		t.Fatalf("packet overhead = %v, want %v", pkt.Total-cir.Total, want)
+	}
+}
+
+func TestRoundTripValidation(t *testing.T) {
+	bad := DefaultProfile
+	bad.LineRateGbps = 0
+	if _, err := RoundTrip(bad, newDDR(t), mem.Request{Op: mem.OpRead, Size: 64}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := RoundTrip(DefaultProfile, newDDR(t), mem.Request{Size: 0}); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+	neg := DefaultProfile
+	neg.MAC = -1
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative stage latency accepted")
+	}
+}
+
+func TestBreakdownComponentLookup(t *testing.T) {
+	b, _ := RoundTrip(DefaultProfile, newDDR(t), mem.Request{Op: mem.OpRead, Size: 64})
+	if _, ok := b.Component("no such block"); ok {
+		t.Fatal("lookup of absent component succeeded")
+	}
+	if b.Share("no such block") != 0 {
+		t.Fatal("share of absent component nonzero")
+	}
+}
+
+func TestLookupTable(t *testing.T) {
+	lt := NewLookupTable()
+	dst := topo.BrickID{Tray: 1, Slot: 0}
+	if err := lt.Set(dst, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Set(dst, -1); err == nil {
+		t.Fatal("negative port accepted")
+	}
+	if p, ok := lt.Egress(dst); !ok || p != 3 {
+		t.Fatalf("Egress = %d, %v", p, ok)
+	}
+	if err := lt.Remove(dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Remove(dst); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if lt.Len() != 0 {
+		t.Fatal("table not empty")
+	}
+}
+
+func TestSwitchRoundRobin(t *testing.T) {
+	cpu := topo.BrickID{Tray: 0, Slot: 0}
+	dst := topo.BrickID{Tray: 1, Slot: 0}
+	sw, err := NewSwitch(cpu, 4, DefaultProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Program(dst, []int{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	for i := 0; i < 6; i++ {
+		p, _, err := sw.Forward(0, dst, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, p)
+	}
+	want := []int{0, 2, 3, 0, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("round-robin order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSwitchQueueing(t *testing.T) {
+	cpu := topo.BrickID{Tray: 0, Slot: 0}
+	dst := topo.BrickID{Tray: 1, Slot: 0}
+	sw, _ := NewSwitch(cpu, 1, DefaultProfile)
+	sw.Program(dst, []int{0})
+	_, d1, _ := sw.Forward(0, dst, 80)
+	_, d2, _ := sw.Forward(0, dst, 80)
+	if d2 <= d1 {
+		t.Fatalf("second transaction (%v) did not queue behind first (%v)", d2, d1)
+	}
+	// With two ports, two simultaneous transactions do not contend.
+	sw2, _ := NewSwitch(cpu, 2, DefaultProfile)
+	sw2.Program(dst, []int{0, 1})
+	_, e1, _ := sw2.Forward(0, dst, 80)
+	_, e2, _ := sw2.Forward(0, dst, 80)
+	if e1 != e2 {
+		t.Fatalf("parallel ports gave different completion (%v vs %v)", e1, e2)
+	}
+}
+
+func TestSwitchProgramErrors(t *testing.T) {
+	cpu := topo.BrickID{Tray: 0, Slot: 0}
+	dst := topo.BrickID{Tray: 1, Slot: 0}
+	sw, _ := NewSwitch(cpu, 2, DefaultProfile)
+	if err := sw.Program(dst, nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if err := sw.Program(dst, []int{5}); err == nil {
+		t.Fatal("out-of-range port accepted")
+	}
+	if err := sw.Program(dst, []int{0, 0}); err == nil {
+		t.Fatal("duplicate port accepted")
+	}
+	if err := sw.Unprogram(dst); err == nil {
+		t.Fatal("unprogram of absent entry succeeded")
+	}
+	if _, _, err := sw.Forward(0, dst, 80); err == nil {
+		t.Fatal("forward without route succeeded")
+	}
+	sw.Program(dst, []int{0})
+	if _, _, err := sw.Forward(0, dst, 0); err == nil {
+		t.Fatal("zero-byte forward succeeded")
+	}
+	_, dropped := sw.Stats()
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if _, err := sw.PortUtilization(9, 100); err == nil {
+		t.Fatal("out-of-range utilization succeeded")
+	}
+	if _, err := NewSwitch(cpu, 0, DefaultProfile); err == nil {
+		t.Fatal("zero-port switch accepted")
+	}
+}
+
+// Property: larger transactions never complete a round trip faster, for
+// either direction.
+func TestPropRoundTripMonotoneInSize(t *testing.T) {
+	f := func(a, b uint8, write bool) bool {
+		s1 := int(a)%2048 + 1
+		s2 := int(b)%2048 + 1
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		op := mem.OpRead
+		if write {
+			op = mem.OpWrite
+		}
+		d1 := func() *mem.DDRController { d, _ := mem.NewDDR(mem.DDR4_2400); return d }()
+		d2 := func() *mem.DDRController { d, _ := mem.NewDDR(mem.DDR4_2400); return d }()
+		r1, err1 := RoundTrip(DefaultProfile, d1, mem.Request{Op: op, Addr: 0, Size: s1})
+		r2, err2 := RoundTrip(DefaultProfile, d2, mem.Request{Op: op, Addr: 0, Size: s2})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Total <= r2.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-robin spreads k·len(group) transactions exactly evenly.
+func TestPropRoundRobinFair(t *testing.T) {
+	f := func(g uint8, rounds uint8) bool {
+		n := int(g)%4 + 1
+		k := int(rounds)%8 + 1
+		cpu := topo.BrickID{}
+		dst := topo.BrickID{Tray: 1}
+		sw, _ := NewSwitch(cpu, n, DefaultProfile)
+		ports := make([]int, n)
+		for i := range ports {
+			ports[i] = i
+		}
+		if sw.Program(dst, ports) != nil {
+			return false
+		}
+		counts := make([]int, n)
+		for i := 0; i < k*n; i++ {
+			p, _, err := sw.Forward(0, dst, 64)
+			if err != nil {
+				return false
+			}
+			counts[p]++
+		}
+		for _, c := range counts {
+			if c != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

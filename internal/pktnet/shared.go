@@ -1,0 +1,73 @@
+package pktnet
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/sim"
+)
+
+// SharedRoundTrip computes a remote memory transaction over a circuit
+// shared by `sharers` packet-mode consumers. The on-brick switch
+// time-division-multiplexes the link round-robin (paper §III), so each
+// consumer sees 1/sharers of the line rate on the serialization stages;
+// the fixed per-block latencies are unchanged.
+func SharedRoundTrip(p Profile, ctrl mem.Controller, req mem.Request, sharers int) (Breakdown, error) {
+	if sharers <= 0 {
+		return Breakdown{}, fmt.Errorf("pktnet: shared round trip needs at least one sharer, got %d", sharers)
+	}
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	memLat, err := ctrl.Access(req)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	prop := optical.PropagationDelay(p.FiberMeters)
+	reqBytes := p.HeaderBytes
+	respBytes := p.HeaderBytes
+	if req.Op == mem.OpWrite {
+		reqBytes += req.Size
+	} else {
+		respBytes += req.Size
+	}
+	effectiveRate := p.LineRateGbps / float64(sharers)
+	ser := optical.SerializationDelay(reqBytes, effectiveRate) +
+		optical.SerializationDelay(respBytes, effectiveRate)
+
+	comps := []Component{
+		{Name: "TGL/AXI (dCOMPUBRICK)", Crossings: 2, Total: 2 * p.TGLIngress},
+		{Name: "on-brick switch (dCOMPUBRICK)", Crossings: 2, Total: 2 * p.BrickSwitch},
+		{Name: "MAC (both bricks)", Crossings: 4, Total: 4 * p.MAC},
+		{Name: "PHY (both bricks)", Crossings: 4, Total: 4 * p.phy()},
+		{Name: fmt.Sprintf("serialization (1/%d of line rate)", sharers), Crossings: 2, Total: ser},
+		{Name: "optical propagation", Crossings: 2, Total: 2 * prop},
+		{Name: "on-brick switch (dMEMBRICK)", Crossings: 2, Total: 2 * p.BrickSwitch},
+		{Name: "glue logic (dMEMBRICK)", Crossings: 2, Total: 2 * p.GlueMem},
+		{Name: "memory access (" + ctrl.Name() + ")", Crossings: 1, Total: memLat},
+	}
+	var total sim.Duration
+	for _, c := range comps {
+		total += c.Total
+	}
+	return Breakdown{Components: comps, Total: total}, nil
+}
+
+// EffectiveBandwidth returns the per-consumer goodput of a shared link
+// for a given transaction size, accounting for header overhead and the
+// fixed round-trip latency (bandwidth-delay behaviour of a synchronous
+// requester: one transaction in flight at a time).
+func EffectiveBandwidth(p Profile, ctrl mem.Controller, size int, sharers int) (bytesPerSec float64, err error) {
+	bd, err := SharedRoundTrip(p, ctrl, mem.Request{Op: mem.OpRead, Addr: 0, Size: size}, sharers)
+	if err != nil {
+		return 0, err
+	}
+	if bd.Total <= 0 {
+		return 0, fmt.Errorf("pktnet: non-positive round trip")
+	}
+	return float64(size) / (float64(bd.Total) / 1e9), nil
+}

@@ -1,0 +1,84 @@
+package pktnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestSharedRoundTripDegradesWithSharers(t *testing.T) {
+	mk := func() *mem.DDRController { d, _ := mem.NewDDR(mem.DDR4_2400); return d }
+	solo, err := SharedRoundTrip(DefaultProfile, mk(), mem.Request{Op: mem.OpRead, Size: 1024}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := SharedRoundTrip(DefaultProfile, mk(), mem.Request{Op: mem.OpRead, Size: 1024}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.Total <= solo.Total {
+		t.Fatalf("4-way shared (%v) not slower than dedicated (%v)", four.Total, solo.Total)
+	}
+	// A single sharer matches the plain packet path exactly.
+	plain, err := RoundTrip(DefaultProfile, mk(), mem.Request{Op: mem.OpRead, Size: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Total != plain.Total {
+		t.Fatalf("1-sharer total %v != plain packet total %v", solo.Total, plain.Total)
+	}
+}
+
+func TestSharedRoundTripValidation(t *testing.T) {
+	d, _ := mem.NewDDR(mem.DDR4_2400)
+	if _, err := SharedRoundTrip(DefaultProfile, d, mem.Request{Op: mem.OpRead, Size: 64}, 0); err == nil {
+		t.Fatal("zero sharers accepted")
+	}
+	bad := DefaultProfile
+	bad.LineRateGbps = 0
+	if _, err := SharedRoundTrip(bad, d, mem.Request{Op: mem.OpRead, Size: 64}, 1); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	if _, err := SharedRoundTrip(DefaultProfile, d, mem.Request{Size: 0}, 1); err == nil {
+		t.Fatal("invalid request accepted")
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	mk := func() *mem.DDRController { d, _ := mem.NewDDR(mem.DDR4_2400); return d }
+	bw1, err := EffectiveBandwidth(DefaultProfile, mk(), 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw8, err := EffectiveBandwidth(DefaultProfile, mk(), 4096, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw8 >= bw1 {
+		t.Fatalf("8-way bandwidth %v not below dedicated %v", bw8, bw1)
+	}
+	// Synchronous requester on a ~1.7µs RTT never reaches line rate.
+	if bw1 >= 10e9/8 {
+		t.Fatalf("goodput %v exceeds line rate", bw1)
+	}
+}
+
+// Property: shared round trip is monotone non-decreasing in sharers.
+func TestPropSharedMonotone(t *testing.T) {
+	f := func(a, b uint8, size uint8) bool {
+		s1 := int(a)%16 + 1
+		s2 := int(b)%16 + 1
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		sz := int(size)%2048 + 1
+		mk := func() *mem.DDRController { d, _ := mem.NewDDR(mem.DDR4_2400); return d }
+		r1, err1 := SharedRoundTrip(DefaultProfile, mk(), mem.Request{Op: mem.OpRead, Size: sz}, s1)
+		r2, err2 := SharedRoundTrip(DefaultProfile, mk(), mem.Request{Op: mem.OpRead, Size: sz}, s2)
+		return err1 == nil && err2 == nil && r1.Total <= r2.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

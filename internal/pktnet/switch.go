@@ -1,0 +1,124 @@
+package pktnet
+
+import (
+	"fmt"
+
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Switch is one brick-level packet switch: a set of egress ports, each a
+// serializing resource, and an orchestrator-programmed steering table
+// mapping destination bricks to port groups. When a destination owns
+// several ports (a dMEMBRICK exposing multiple links for aggregate
+// bandwidth) the switch spreads transactions across the group in
+// round-robin fashion, as the paper describes.
+type Switch struct {
+	Brick topo.BrickID
+	prof  Profile
+
+	ports  []sim.Queue
+	groups map[topo.BrickID][]int
+	rr     map[topo.BrickID]int
+
+	forwarded uint64
+	dropped   uint64
+}
+
+// NewSwitch builds a switch with n egress ports.
+func NewSwitch(brick topo.BrickID, n int, prof Profile) (*Switch, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pktnet: switch needs at least one port, got %d", n)
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Switch{
+		Brick:  brick,
+		prof:   prof,
+		ports:  make([]sim.Queue, n),
+		groups: make(map[topo.BrickID][]int),
+		rr:     make(map[topo.BrickID]int),
+	}, nil
+}
+
+// Ports returns the number of egress ports.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// Program installs the port group for a destination brick, replacing any
+// previous entry. This is the control-path operation the SDM Controller
+// pushes when it (re)wires packet-mode reachability.
+func (s *Switch) Program(dst topo.BrickID, ports []int) error {
+	if len(ports) == 0 {
+		return fmt.Errorf("pktnet: empty port group for %v", dst)
+	}
+	seen := make(map[int]bool, len(ports))
+	for _, p := range ports {
+		if p < 0 || p >= len(s.ports) {
+			return fmt.Errorf("pktnet: port %d out of range [0,%d)", p, len(s.ports))
+		}
+		if seen[p] {
+			return fmt.Errorf("pktnet: duplicate port %d in group for %v", p, dst)
+		}
+		seen[p] = true
+	}
+	s.groups[dst] = append([]int(nil), ports...)
+	s.rr[dst] = 0
+	return nil
+}
+
+// Unprogram removes the steering entry for dst.
+func (s *Switch) Unprogram(dst topo.BrickID) error {
+	if _, ok := s.groups[dst]; !ok {
+		return fmt.Errorf("pktnet: no steering entry for %v", dst)
+	}
+	delete(s.groups, dst)
+	delete(s.rr, dst)
+	return nil
+}
+
+// Group returns the programmed port group for dst (a copy).
+func (s *Switch) Group(dst topo.BrickID) ([]int, bool) {
+	g, ok := s.groups[dst]
+	if !ok {
+		return nil, false
+	}
+	return append([]int(nil), g...), true
+}
+
+// Forward queues a transaction of the given wire size toward dst at
+// virtual time now. It returns the chosen egress port and the time the
+// last bit leaves that port. Unroutable transactions are counted and
+// rejected — on the prototype this raises an orchestration fault.
+func (s *Switch) Forward(now sim.Time, dst topo.BrickID, wireBytes int) (port int, done sim.Time, err error) {
+	group, ok := s.groups[dst]
+	if !ok {
+		s.dropped++
+		return 0, 0, fmt.Errorf("pktnet: brick %v has no route to %v", s.Brick, dst)
+	}
+	if wireBytes <= 0 {
+		return 0, 0, fmt.Errorf("pktnet: non-positive wire size %d", wireBytes)
+	}
+	// Round-robin across the group.
+	idx := s.rr[dst] % len(group)
+	s.rr[dst] = (idx + 1) % len(group)
+	port = group[idx]
+
+	service := s.prof.BrickSwitch + s.prof.MAC + s.prof.phy() +
+		optical.SerializationDelay(wireBytes, s.prof.LineRateGbps)
+	_, done = s.ports[port].Serve(now, service)
+	s.forwarded++
+	return port, done, nil
+}
+
+// Stats returns cumulative forwarded/dropped counters.
+func (s *Switch) Stats() (forwarded, dropped uint64) { return s.forwarded, s.dropped }
+
+// PortUtilization returns the utilization of port p over [0, now].
+func (s *Switch) PortUtilization(p int, now sim.Time) (float64, error) {
+	if p < 0 || p >= len(s.ports) {
+		return 0, fmt.Errorf("pktnet: port %d out of range", p)
+	}
+	return s.ports[p].Utilization(now), nil
+}

@@ -1,0 +1,82 @@
+// Package power provides the electrical models of the TCO study: unit
+// power profiles, datacenter draw computation, and an energy meter that
+// integrates draw over virtual time.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// UnitProfile is the draw of one individually powered unit per state.
+type UnitProfile struct {
+	ActiveW float64
+	IdleW   float64
+	OffW    float64
+}
+
+// Validate rejects physically meaningless profiles.
+func (p UnitProfile) Validate() error {
+	if p.ActiveW < 0 || p.IdleW < 0 || p.OffW < 0 {
+		return fmt.Errorf("power: negative wattage in profile")
+	}
+	if p.OffW > p.IdleW || p.IdleW > p.ActiveW {
+		return fmt.Errorf("power: profile must satisfy off <= idle <= active (%v)", p)
+	}
+	return nil
+}
+
+// Draw returns total wattage for a fleet with the given state counts.
+func Draw(active, idle, off int, p UnitProfile) float64 {
+	return float64(active)*p.ActiveW + float64(idle)*p.IdleW + float64(off)*p.OffW
+}
+
+// TCO study profiles. They are calibrated for parity at full load so the
+// comparison isolates the disaggregation effect rather than an
+// ARM-vs-x86 efficiency gap: one 32-core/32-GiB host draws 320 W active,
+// and its disaggregated equivalent (one 32-core compute brick + four
+// 8-GiB memory bricks) draws 180 + 4×35 = 320 W active.
+var (
+	// ConventionalHost is a 2-socket 32-core, 32 GiB server node.
+	ConventionalHost = UnitProfile{ActiveW: 320, IdleW: 160, OffW: 5}
+	// ComputeBrick is a 32-core dCOMPUBRICK-class module.
+	ComputeBrick = UnitProfile{ActiveW: 180, IdleW: 70, OffW: 1}
+	// MemoryBrick is an 8 GiB dMEMBRICK-class module.
+	MemoryBrick = UnitProfile{ActiveW: 35, IdleW: 15, OffW: 1}
+)
+
+// Meter integrates power draw over virtual time into energy.
+type Meter struct {
+	last   sim.Time
+	drawW  float64
+	joules float64
+}
+
+// NewMeter starts a meter at time start with the given draw.
+func NewMeter(start sim.Time, drawW float64) *Meter {
+	return &Meter{last: start, drawW: drawW}
+}
+
+// SetDraw records a draw change at virtual time now, accumulating the
+// energy of the elapsed segment. now must not precede the last update.
+func (m *Meter) SetDraw(now sim.Time, drawW float64) error {
+	if now < m.last {
+		return fmt.Errorf("power: meter update at %v precedes last update %v", now, m.last)
+	}
+	m.joules += m.drawW * now.Sub(m.last).Seconds()
+	m.last = now
+	m.drawW = drawW
+	return nil
+}
+
+// EnergyJ returns accumulated energy through virtual time now.
+func (m *Meter) EnergyJ(now sim.Time) (float64, error) {
+	if now < m.last {
+		return 0, fmt.Errorf("power: meter read at %v precedes last update %v", now, m.last)
+	}
+	return m.joules + m.drawW*now.Sub(m.last).Seconds(), nil
+}
+
+// KWh converts joules to kilowatt-hours.
+func KWh(joules float64) float64 { return joules / 3.6e6 }

@@ -1,0 +1,106 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestUnitProfileValidate(t *testing.T) {
+	good := UnitProfile{ActiveW: 100, IdleW: 50, OffW: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []UnitProfile{
+		{ActiveW: -1, IdleW: 0, OffW: 0},
+		{ActiveW: 10, IdleW: 20, OffW: 1}, // idle > active
+		{ActiveW: 10, IdleW: 5, OffW: 7},  // off > idle
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestStudyProfilesAreValidAndParityHolds(t *testing.T) {
+	for _, p := range []UnitProfile{ConventionalHost, ComputeBrick, MemoryBrick} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full-load parity: 1 host == 1 compute brick + 4 memory bricks.
+	host := ConventionalHost.ActiveW
+	dis := ComputeBrick.ActiveW + 4*MemoryBrick.ActiveW
+	if math.Abs(host-dis) > 1e-9 {
+		t.Fatalf("full-load parity broken: host %v W vs disaggregated %v W", host, dis)
+	}
+}
+
+func TestDraw(t *testing.T) {
+	p := UnitProfile{ActiveW: 10, IdleW: 5, OffW: 1}
+	if got := Draw(2, 3, 4, p); got != 2*10+3*5+4*1 {
+		t.Fatalf("Draw = %v", got)
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	m := NewMeter(0, 100) // 100 W from t=0
+	if err := m.SetDraw(sim.Time(10*sim.Second), 50); err != nil {
+		t.Fatal(err)
+	}
+	e, err := m.EnergyJ(sim.Time(20 * sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100.0*10 + 50.0*10
+	if math.Abs(e-want) > 1e-9 {
+		t.Fatalf("energy = %v J, want %v", e, want)
+	}
+}
+
+func TestMeterRejectsTimeTravel(t *testing.T) {
+	m := NewMeter(sim.Time(sim.Second), 10)
+	if err := m.SetDraw(0, 5); err == nil {
+		t.Fatal("backwards SetDraw accepted")
+	}
+	if _, err := m.EnergyJ(0); err == nil {
+		t.Fatal("backwards EnergyJ accepted")
+	}
+}
+
+func TestKWh(t *testing.T) {
+	if got := KWh(3.6e6); got != 1 {
+		t.Fatalf("KWh(3.6e6) = %v, want 1", got)
+	}
+}
+
+// Property: meter energy is additive over arbitrary update sequences and
+// never negative for non-negative draws.
+func TestPropMeterAdditive(t *testing.T) {
+	f := func(steps []uint16) bool {
+		m := NewMeter(0, 0)
+		now := sim.Time(0)
+		var manual float64
+		draw := 0.0
+		for _, s := range steps {
+			dt := sim.Duration(s%1000) * sim.Millisecond
+			manual += draw * dt.Seconds()
+			now = now.Add(dt)
+			draw = float64(s >> 10)
+			if m.SetDraw(now, draw) != nil {
+				return false
+			}
+		}
+		e, err := m.EnergyJ(now)
+		if err != nil {
+			return false
+		}
+		return math.Abs(e-manual) < 1e-6 && e >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

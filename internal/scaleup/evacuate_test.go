@@ -1,0 +1,84 @@
+package scaleup
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+)
+
+func TestEvacuateDrainsBrick(t *testing.T) {
+	c := testController(t)
+	// Land three VMs on the same brick (power-aware packs).
+	for _, id := range []hypervisor.VMID{"a", "b", "c"} {
+		if _, _, err := c.CreateVM(0, id, hypervisor.VMSpec{VCPUs: 2, Memory: brick.GiB}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.SDM().PowerOnAll()
+	c.ScaleUp(0, "a", 2*brick.GiB)
+	host, _ := c.VMHost("a")
+	hostB, _ := c.VMHost("b")
+	if host != hostB {
+		t.Fatalf("setup: VMs not packed (%v vs %v)", host, hostB)
+	}
+
+	res, err := c.Evacuate(sim.Time(sim.Hour), host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Migrated) != 3 {
+		t.Fatalf("migrated %d VMs, want 3", len(res.Migrated))
+	}
+	if res.WorstDowntime <= 0 || res.TotalDowntime < res.WorstDowntime {
+		t.Fatalf("downtime accounting: total %v worst %v", res.TotalDowntime, res.WorstDowntime)
+	}
+	for _, id := range []hypervisor.VMID{"a", "b", "c"} {
+		h, _ := c.VMHost(id)
+		if h == host {
+			t.Fatalf("%s still on evacuated brick", id)
+		}
+		if _, ok := c.VM(id); !ok {
+			t.Fatalf("%s lost in evacuation", id)
+		}
+	}
+	// The brick is now idle and can power down.
+	node, _ := c.SDM().Compute(host)
+	if !node.Brick.IsIdle() {
+		t.Fatal("evacuated brick not idle")
+	}
+	if err := node.Brick.PowerDown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvacuateEmptyBrickIsNoop(t *testing.T) {
+	c := testController(t)
+	c.CreateVM(0, "a", hypervisor.VMSpec{VCPUs: 1, Memory: brick.GiB})
+	host, _ := c.VMHost("a")
+	other := host
+	other.Slot++ // the next compute brick in the tray
+	res, err := c.Evacuate(0, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Migrated) != 0 {
+		t.Fatal("evacuation of empty brick migrated VMs")
+	}
+}
+
+func TestEvacuateReportsBlockedVM(t *testing.T) {
+	c := testController(t)
+	// Fill the rack so no destination has room: 4 bricks × 8 cores.
+	for i := 0; i < 4; i++ {
+		id := hypervisor.VMID(rune('a' + i))
+		if _, _, err := c.CreateVM(0, id, hypervisor.VMSpec{VCPUs: 8, Memory: brick.GiB}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host, _ := c.VMHost("a")
+	if _, err := c.Evacuate(0, host); err == nil {
+		t.Fatal("evacuation with no destination capacity succeeded")
+	}
+}

@@ -1,0 +1,339 @@
+// Package scaleup implements the dReDBox Scale-up API and controller
+// (paper §IV): the control plane that lets an application running inside
+// a VM request more memory and have it appear, hot-plugged, without
+// restarting anything.
+//
+// The paper's sequence, reproduced step by step by ScaleUp:
+//
+//  1. the application notifies the Scale-up controller;
+//  2. the controller relays the request to the SDM Controller, which
+//     selects and reserves a remote segment, programs the circuit switch
+//     and pushes the TGL window to the brick's SDM Agent;
+//  3. the baremetal OS hot-adds and onlines the new physical range;
+//  4. control returns to the Scale-up controller, which configures the
+//     hypervisor to expand the VM's physical memory (virtual DIMM
+//     hotplug + guest onlining).
+//
+// The SDM Controller runs as a single autonomous service, so concurrent
+// scale-up requests serialize through it; the brick-local steps (3) and
+// (4) proceed in parallel across bricks. That queueing structure is what
+// shapes Figure 10's concurrency sweep.
+package scaleup
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/hotplug"
+	"repro/internal/hypervisor"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Config parameterizes the scale-up control path.
+type Config struct {
+	// APIOverhead is the application → Scale-up controller → SDM relay
+	// cost per request.
+	APIOverhead sim.Duration
+	// Hypervisor is the virtualization-layer latency model.
+	Hypervisor hypervisor.Config
+	// Baremetal is the host kernel's hotplug latency model.
+	Baremetal hotplug.Config
+}
+
+// DefaultConfig holds representative values.
+var DefaultConfig = Config{
+	APIOverhead: 1 * sim.Millisecond,
+	Hypervisor:  hypervisor.DefaultConfig,
+	Baremetal:   hotplug.DefaultConfig,
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.APIOverhead < 0 {
+		return fmt.Errorf("scaleup: negative API overhead")
+	}
+	if err := c.Hypervisor.Validate(); err != nil {
+		return err
+	}
+	return c.Baremetal.Validate()
+}
+
+// binding ties one VM-visible DIMM to its SDM attachment.
+type binding struct {
+	att  *sdm.Attachment
+	dimm hypervisor.DIMM
+}
+
+// node is the per-compute-brick software stack.
+type node struct {
+	kernel *hotplug.Kernel
+	hv     *hypervisor.Hypervisor
+}
+
+// Result reports the timing decomposition of one elasticity request.
+type Result struct {
+	Requested sim.Time // when the application posted the request
+	Started   sim.Time // when the SDM Controller began serving it
+	Done      sim.Time // when the memory was usable by the VM
+
+	Orchestration sim.Duration // SDM-C: decision + circuit + agent push
+	Baremetal     sim.Duration // host kernel hot-add + online
+	Virtual       sim.Duration // hypervisor DIMM attach + guest online
+
+	// Size is the memory actually moved by the operation: the VM's boot
+	// memory for CreateVM, the attached increment for ScaleUp, and the
+	// released DIMM's size for ScaleDown (which detaches a whole DIMM of
+	// at least the requested size).
+	Size brick.Bytes
+}
+
+// Delay returns the application-observed delay, Fig. 10's metric.
+func (r Result) Delay() sim.Duration { return r.Done.Sub(r.Requested) }
+
+// Queueing returns time spent waiting for the SDM Controller.
+func (r Result) Queueing() sim.Duration { return r.Started.Sub(r.Requested) }
+
+// Controller is the Scale-up controller.
+type Controller struct {
+	cfg  Config
+	sdmc *sdm.Controller
+
+	nodes    map[topo.BrickID]*node
+	vmHost   map[hypervisor.VMID]topo.BrickID
+	vmSpec   map[hypervisor.VMID]hypervisor.VMSpec
+	bindings map[hypervisor.VMID][]binding
+
+	// sdmQueue serializes requests through the autonomous SDM service.
+	sdmQueue sim.Queue
+
+	// journal, when set, records every elasticity event.
+	journal *trace.Log
+
+	scaleUps, scaleDowns uint64
+}
+
+// New builds a Scale-up controller over an SDM Controller.
+func New(sdmc *sdm.Controller, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:      cfg,
+		sdmc:     sdmc,
+		nodes:    make(map[topo.BrickID]*node),
+		vmHost:   make(map[hypervisor.VMID]topo.BrickID),
+		vmSpec:   make(map[hypervisor.VMID]hypervisor.VMSpec),
+		bindings: make(map[hypervisor.VMID][]binding),
+	}, nil
+}
+
+// SDM returns the underlying SDM controller.
+func (c *Controller) SDM() *sdm.Controller { return c.sdmc }
+
+func (c *Controller) nodeFor(id topo.BrickID) (*node, error) {
+	if n, ok := c.nodes[id]; ok {
+		return n, nil
+	}
+	kernel, err := hotplug.NewKernel(c.cfg.Baremetal)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := hypervisor.New(c.cfg.Hypervisor)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{kernel: kernel, hv: hv}
+	c.nodes[id] = n
+	return n, nil
+}
+
+// CreateVM reserves compute resources through the SDM Controller and
+// boots a VM on the selected brick's hypervisor. It returns the host
+// brick and the total creation latency.
+func (c *Controller) CreateVM(now sim.Time, id hypervisor.VMID, spec hypervisor.VMSpec) (topo.BrickID, Result, error) {
+	if _, dup := c.vmHost[id]; dup {
+		return topo.BrickID{}, Result{}, fmt.Errorf("scaleup: VM %q already exists", id)
+	}
+	host, resLat, err := c.sdmc.ReserveCompute(string(id), spec.VCPUs, spec.Memory)
+	if err != nil {
+		return topo.BrickID{}, Result{}, err
+	}
+	n, err := c.nodeFor(host)
+	if err != nil {
+		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
+		return topo.BrickID{}, Result{}, err
+	}
+	_, spawnLat, err := n.hv.Spawn(id, spec)
+	if err != nil {
+		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
+		return topo.BrickID{}, Result{}, err
+	}
+	c.vmHost[id] = host
+	c.vmSpec[id] = spec
+	arrive := now.Add(c.cfg.APIOverhead)
+	start, done := c.sdmQueue.Serve(arrive, sim.Duration(resLat))
+	res := Result{
+		Requested:     now,
+		Started:       start,
+		Done:          done.Add(spawnLat),
+		Orchestration: sim.Duration(resLat),
+		Virtual:       spawnLat,
+		Size:          spec.Memory,
+	}
+	c.record(now, trace.KindReserve, string(id), "VM created on %v (%d vCPU, %v) in %v", host, spec.VCPUs, spec.Memory, res.Delay())
+	return host, res, nil
+}
+
+// VMHost returns the brick hosting a VM.
+func (c *Controller) VMHost(id hypervisor.VMID) (topo.BrickID, bool) {
+	h, ok := c.vmHost[id]
+	return h, ok
+}
+
+// VM returns the hypervisor VM object.
+func (c *Controller) VM(id hypervisor.VMID) (*hypervisor.VM, bool) {
+	host, ok := c.vmHost[id]
+	if !ok {
+		return nil, false
+	}
+	return c.nodes[host].hv.VM(id)
+}
+
+// ScaleUp grows a VM's memory by size, posted at virtual time now.
+func (c *Controller) ScaleUp(now sim.Time, id hypervisor.VMID, size brick.Bytes) (Result, error) {
+	host, ok := c.vmHost[id]
+	if !ok {
+		return Result{}, fmt.Errorf("scaleup: no VM %q", id)
+	}
+	if size == 0 {
+		return Result{}, fmt.Errorf("scaleup: zero-size scale-up for %q", id)
+	}
+	n := c.nodes[host]
+
+	// Step 2: orchestration, serialized through the SDM service.
+	att, orchLat, err := c.sdmc.AttachRemoteMemory(string(id), host, size)
+	if err != nil {
+		return Result{}, err
+	}
+	arrive := now.Add(c.cfg.APIOverhead)
+	start, orchDone := c.sdmQueue.Serve(arrive, sim.Duration(orchLat))
+
+	// Step 3: baremetal hot-add + online of the new window.
+	addLat, err := n.kernel.HotAdd(att.Window.Base, size)
+	if err != nil {
+		c.sdmc.DetachRemoteMemory(att)
+		return Result{}, err
+	}
+	onLat, err := n.kernel.Online(att.Window.Base, size)
+	if err != nil {
+		c.sdmc.DetachRemoteMemory(att)
+		return Result{}, err
+	}
+
+	// Step 4: hypervisor expands the VM.
+	dimm, hvLat, err := n.hv.AttachDIMM(id, size)
+	if err != nil {
+		n.kernel.Offline(att.Window.Base, size)
+		n.kernel.HotRemove(att.Window.Base, size)
+		c.sdmc.DetachRemoteMemory(att)
+		return Result{}, err
+	}
+	c.bindings[id] = append(c.bindings[id], binding{att: att, dimm: dimm})
+	c.scaleUps++
+	c.record(now, trace.KindAttach, string(id), "+%v (%v mode) from %v", size, att.Mode, att.Segment.Brick)
+
+	bm := addLat + onLat
+	return Result{
+		Requested:     now,
+		Started:       start,
+		Done:          orchDone.Add(bm + hvLat),
+		Orchestration: sim.Duration(orchLat),
+		Baremetal:     bm,
+		Virtual:       hvLat,
+		Size:          size,
+	}, nil
+}
+
+// ScaleDown releases the most recently attached scale-up increment of at
+// least size (LIFO, matching the balloon-assisted shrink path).
+func (c *Controller) ScaleDown(now sim.Time, id hypervisor.VMID, size brick.Bytes) (Result, error) {
+	host, ok := c.vmHost[id]
+	if !ok {
+		return Result{}, fmt.Errorf("scaleup: no VM %q", id)
+	}
+	bs := c.bindings[id]
+	idx := -1
+	for i := len(bs) - 1; i >= 0; i-- {
+		if bs[i].dimm.Size < size {
+			continue
+		}
+		// A circuit carrying packet-mode riders cannot be torn down;
+		// pick a binding that is actually releasable right now.
+		if bs[i].att.Mode == sdm.ModeCircuit && c.sdmc.Riders(bs[i].att) > 0 {
+			continue
+		}
+		idx = i
+		break
+	}
+	if idx == -1 {
+		return Result{}, fmt.Errorf("scaleup: VM %q has no releasable attachment of at least %v (ridered circuits excluded)", id, size)
+	}
+	b := bs[idx]
+	n := c.nodes[host]
+
+	// Pre-check the usage guard before mutating any layer, so a refusal
+	// cannot leave the kernel and hypervisor views disagreeing.
+	if vm, ok := n.hv.VM(id); ok {
+		if vm.AvailableMemory()-b.dimm.Size < vm.Usage() {
+			return Result{}, fmt.Errorf("scaleup: releasing %v would drop VM %q below its %v working set", b.dimm.Size, id, vm.Usage())
+		}
+	}
+
+	hvLat, err := n.hv.DetachDIMM(id, b.dimm.ID)
+	if err != nil {
+		return Result{}, err
+	}
+	offLat, err := n.kernel.Offline(b.att.Window.Base, b.att.Size())
+	if err != nil {
+		return Result{}, err
+	}
+	rmLat, err := n.kernel.HotRemove(b.att.Window.Base, b.att.Size())
+	if err != nil {
+		return Result{}, err
+	}
+	orchLat, err := c.sdmc.DetachRemoteMemory(b.att)
+	if err != nil {
+		return Result{}, err
+	}
+	c.bindings[id] = append(bs[:idx], bs[idx+1:]...)
+	c.scaleDowns++
+	c.record(now, trace.KindDetach, string(id), "-%v", b.att.Size())
+
+	arrive := now.Add(c.cfg.APIOverhead)
+	start, orchDone := c.sdmQueue.Serve(arrive, sim.Duration(orchLat))
+	bm := offLat + rmLat
+	return Result{
+		Requested:     now,
+		Started:       start,
+		Done:          orchDone.Add(bm + hvLat),
+		Orchestration: sim.Duration(orchLat),
+		Baremetal:     bm,
+		Virtual:       hvLat,
+		Size:          b.dimm.Size,
+	}, nil
+}
+
+// ScaleOutBaseline models the conventional alternative (paper ref. [13]):
+// spawning an additional VM to bring more memory to an application. The
+// reservation serializes through the same orchestration service; the
+// spawn itself runs brick-locally.
+func (c *Controller) ScaleOutBaseline(now sim.Time, id hypervisor.VMID, spec hypervisor.VMSpec) (Result, error) {
+	_, res, err := c.CreateVM(now, id, spec)
+	return res, err
+}
+
+// Stats returns cumulative scale-up/down counters.
+func (c *Controller) Stats() (scaleUps, scaleDowns uint64) { return c.scaleUps, c.scaleDowns }

@@ -1,0 +1,238 @@
+// Package sched implements the First-Come-First-Served datacenter
+// schedulers of the paper's TCO study (§VI): one for a conventional
+// datacenter of coupled compute+memory server nodes, and one for a
+// dReDBox datacenter where compute bricks and memory bricks are
+// allocated independently.
+//
+// The structural difference the study measures: on a conventional node,
+// "when all CPUs are utilized, it will not be possible to allocate more
+// memory and vice versa" — stranding the other resource. In dReDBox a
+// VM's vCPUs land on one dCOMPUBRICK (the VM executes on a single APU),
+// but its memory is carved from any dMEMBRICKs, may split across several,
+// and packs onto already-active bricks so idle bricks can power off.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Conventional is a datacenter of identical coupled-resource hosts.
+type Conventional struct {
+	coresPer int
+	ramPer   int
+	cores    []int // used cores per host
+	ram      []int // used RAM per host
+	vms      []int // VM count per host
+	placed   int
+}
+
+// NewConventional builds a datacenter of hosts × (coresPer, ramGiBPer).
+func NewConventional(hosts, coresPer, ramGiBPer int) (*Conventional, error) {
+	if hosts <= 0 || coresPer <= 0 || ramGiBPer <= 0 {
+		return nil, fmt.Errorf("sched: conventional datacenter needs positive dimensions (%d hosts, %d cores, %d GiB)", hosts, coresPer, ramGiBPer)
+	}
+	return &Conventional{
+		coresPer: coresPer,
+		ramPer:   ramGiBPer,
+		cores:    make([]int, hosts),
+		ram:      make([]int, hosts),
+		vms:      make([]int, hosts),
+	}, nil
+}
+
+// Hosts returns the host count.
+func (c *Conventional) Hosts() int { return len(c.cores) }
+
+// Placed returns the number of VMs scheduled so far.
+func (c *Conventional) Placed() int { return c.placed }
+
+// ErrNoCapacity is returned when a request fits on no host/brick.
+var ErrNoCapacity = fmt.Errorf("sched: no capacity for request")
+
+// Place schedules one VM first-fit. Both of the VM's resources must fit
+// on a single host — the coupling the TCO study exposes.
+func (c *Conventional) Place(r workload.VMRequest) (int, error) {
+	if r.VCPUs <= 0 || r.RAMGiB <= 0 {
+		return 0, fmt.Errorf("sched: degenerate request %+v", r)
+	}
+	if r.VCPUs > c.coresPer || r.RAMGiB > c.ramPer {
+		return 0, fmt.Errorf("%w: request %+v exceeds host dimensions", ErrNoCapacity, r)
+	}
+	for i := range c.cores {
+		if c.coresPer-c.cores[i] >= r.VCPUs && c.ramPer-c.ram[i] >= r.RAMGiB {
+			c.cores[i] += r.VCPUs
+			c.ram[i] += r.RAMGiB
+			c.vms[i]++
+			c.placed++
+			return i, nil
+		}
+	}
+	return 0, ErrNoCapacity
+}
+
+// EmptyHosts returns hosts carrying no VM — the units a conventional
+// datacenter can power off.
+func (c *Conventional) EmptyHosts() int {
+	n := 0
+	for _, v := range c.vms {
+		if v == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// StrandedCores returns free cores on hosts that are RAM-full enough to
+// reject the smallest plausible VM (1 GiB) — a fragmentation diagnostic.
+func (c *Conventional) StrandedCores() int {
+	n := 0
+	for i := range c.cores {
+		if c.ramPer-c.ram[i] < 1 {
+			n += c.coresPer - c.cores[i]
+		}
+	}
+	return n
+}
+
+// UsedCores returns total cores in use.
+func (c *Conventional) UsedCores() int {
+	n := 0
+	for _, v := range c.cores {
+		n += v
+	}
+	return n
+}
+
+// UsedRAMGiB returns total RAM in use.
+func (c *Conventional) UsedRAMGiB() int {
+	n := 0
+	for _, v := range c.ram {
+		n += v
+	}
+	return n
+}
+
+// Disaggregated is a dReDBox datacenter: independent pools of compute
+// and memory bricks.
+type Disaggregated struct {
+	brickCores int
+	brickGiB   int
+	compCores  []int // used cores per compute brick
+	compVMs    []int
+	memGiB     []int // used GiB per memory brick
+	placed     int
+}
+
+// NewDisaggregated builds pools of nCompute × coresPerBrick compute
+// bricks and nMemory × gibPerBrick memory bricks.
+func NewDisaggregated(nCompute, coresPerBrick, nMemory, gibPerBrick int) (*Disaggregated, error) {
+	if nCompute <= 0 || coresPerBrick <= 0 || nMemory <= 0 || gibPerBrick <= 0 {
+		return nil, fmt.Errorf("sched: disaggregated datacenter needs positive dimensions")
+	}
+	return &Disaggregated{
+		brickCores: coresPerBrick,
+		brickGiB:   gibPerBrick,
+		compCores:  make([]int, nCompute),
+		compVMs:    make([]int, nCompute),
+		memGiB:     make([]int, nMemory),
+	}, nil
+}
+
+// ComputeBricks returns the compute brick count.
+func (d *Disaggregated) ComputeBricks() int { return len(d.compCores) }
+
+// MemoryBricks returns the memory brick count.
+func (d *Disaggregated) MemoryBricks() int { return len(d.memGiB) }
+
+// Placed returns the number of VMs scheduled so far.
+func (d *Disaggregated) Placed() int { return d.placed }
+
+// Place schedules one VM: vCPUs first-fit onto a single compute brick
+// (packing, since earlier bricks fill before later ones), memory onto
+// already-used memory bricks first, splitting across bricks as needed.
+func (d *Disaggregated) Place(r workload.VMRequest) error {
+	if r.VCPUs <= 0 || r.RAMGiB <= 0 {
+		return fmt.Errorf("sched: degenerate request %+v", r)
+	}
+	if r.VCPUs > d.brickCores {
+		return fmt.Errorf("%w: %d vCPUs exceed the %d-core brick", ErrNoCapacity, r.VCPUs, d.brickCores)
+	}
+	// Total memory check first so failure leaves no partial allocation.
+	free := 0
+	for _, u := range d.memGiB {
+		free += d.brickGiB - u
+	}
+	if free < r.RAMGiB {
+		return fmt.Errorf("%w: %d GiB requested, %d free in pool", ErrNoCapacity, r.RAMGiB, free)
+	}
+	comp := -1
+	for i, u := range d.compCores {
+		if d.brickCores-u >= r.VCPUs {
+			comp = i
+			break
+		}
+	}
+	if comp == -1 {
+		return fmt.Errorf("%w: no compute brick with %d free cores", ErrNoCapacity, r.VCPUs)
+	}
+	d.compCores[comp] += r.VCPUs
+	d.compVMs[comp]++
+	remaining := r.RAMGiB
+	// Pack: partially used bricks first (in index order they are the
+	// earliest), then untouched ones — index order achieves both.
+	for i := range d.memGiB {
+		if remaining == 0 {
+			break
+		}
+		take := d.brickGiB - d.memGiB[i]
+		if take > remaining {
+			take = remaining
+		}
+		d.memGiB[i] += take
+		remaining -= take
+	}
+	d.placed++
+	return nil
+}
+
+// IdleComputeBricks returns compute bricks with no allocation.
+func (d *Disaggregated) IdleComputeBricks() int {
+	n := 0
+	for _, u := range d.compCores {
+		if u == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IdleMemoryBricks returns memory bricks with no allocation.
+func (d *Disaggregated) IdleMemoryBricks() int {
+	n := 0
+	for _, u := range d.memGiB {
+		if u == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// UsedCores returns total cores in use.
+func (d *Disaggregated) UsedCores() int {
+	n := 0
+	for _, u := range d.compCores {
+		n += u
+	}
+	return n
+}
+
+// UsedRAMGiB returns total GiB in use.
+func (d *Disaggregated) UsedRAMGiB() int {
+	n := 0
+	for _, u := range d.memGiB {
+		n += u
+	}
+	return n
+}

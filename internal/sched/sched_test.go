@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestConventionalFirstFit(t *testing.T) {
+	c, err := NewConventional(2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Place(workload.VMRequest{VCPUs: 4, RAMGiB: 8})
+	if err != nil || h != 0 {
+		t.Fatalf("first placement host %d, %v", h, err)
+	}
+	h, err = c.Place(workload.VMRequest{VCPUs: 4, RAMGiB: 8})
+	if err != nil || h != 0 {
+		t.Fatalf("second placement host %d (first-fit should pack), %v", h, err)
+	}
+	h, err = c.Place(workload.VMRequest{VCPUs: 1, RAMGiB: 1})
+	if err != nil || h != 1 {
+		t.Fatalf("third placement host %d, %v", h, err)
+	}
+	if c.Placed() != 3 || c.EmptyHosts() != 0 {
+		t.Fatalf("placed=%d empty=%d", c.Placed(), c.EmptyHosts())
+	}
+}
+
+func TestConventionalCouplingStrandsResources(t *testing.T) {
+	// One host, RAM-bound VM: cores are stranded.
+	c, _ := NewConventional(1, 32, 32)
+	if _, err := c.Place(workload.VMRequest{VCPUs: 2, RAMGiB: 32}); err != nil {
+		t.Fatal(err)
+	}
+	// 30 free cores but no RAM: a tiny VM cannot be placed.
+	if _, err := c.Place(workload.VMRequest{VCPUs: 1, RAMGiB: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("placement on RAM-full host = %v, want ErrNoCapacity", err)
+	}
+	if c.StrandedCores() != 30 {
+		t.Fatalf("stranded cores = %d, want 30", c.StrandedCores())
+	}
+	if c.UsedCores() != 2 || c.UsedRAMGiB() != 32 {
+		t.Fatalf("used = %d cores, %d GiB", c.UsedCores(), c.UsedRAMGiB())
+	}
+}
+
+func TestConventionalOversizedRequest(t *testing.T) {
+	c, _ := NewConventional(4, 8, 8)
+	if _, err := c.Place(workload.VMRequest{VCPUs: 9, RAMGiB: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatal("oversized request not rejected with ErrNoCapacity")
+	}
+	if _, err := c.Place(workload.VMRequest{VCPUs: 0, RAMGiB: 1}); err == nil {
+		t.Fatal("degenerate request accepted")
+	}
+}
+
+func TestConventionalValidation(t *testing.T) {
+	if _, err := NewConventional(0, 8, 8); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+	if _, err := NewConventional(1, 0, 8); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+func TestDisaggregatedIndependentAllocation(t *testing.T) {
+	// Same aggregate as the stranding test: disaggregation rescues it.
+	d, err := NewDisaggregated(1, 32, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Place(workload.VMRequest{VCPUs: 2, RAMGiB: 32}); err != nil {
+		t.Fatal(err)
+	}
+	// Memory pool is full, so a 1 GiB VM still fails...
+	if err := d.Place(workload.VMRequest{VCPUs: 1, RAMGiB: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatal("placement with exhausted memory pool succeeded")
+	}
+	// ...but the compute pool shows the cores are NOT stranded behind a
+	// full host: 30 cores remain allocatable the moment memory frees up.
+	if d.UsedCores() != 2 {
+		t.Fatalf("used cores = %d", d.UsedCores())
+	}
+}
+
+func TestDisaggregatedMemorySplitsAcrossBricks(t *testing.T) {
+	d, _ := NewDisaggregated(2, 32, 4, 8)
+	// 20 GiB splits across three 8 GiB bricks.
+	if err := d.Place(workload.VMRequest{VCPUs: 4, RAMGiB: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if d.IdleMemoryBricks() != 1 {
+		t.Fatalf("idle memory bricks = %d, want 1", d.IdleMemoryBricks())
+	}
+	// Next VM's memory packs into the partially used third brick first.
+	if err := d.Place(workload.VMRequest{VCPUs: 4, RAMGiB: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if d.IdleMemoryBricks() != 1 {
+		t.Fatalf("idle memory bricks = %d after packing, want 1", d.IdleMemoryBricks())
+	}
+	if d.UsedRAMGiB() != 24 {
+		t.Fatalf("used RAM = %d", d.UsedRAMGiB())
+	}
+}
+
+func TestDisaggregatedVMNeedsSingleComputeBrick(t *testing.T) {
+	// A VM's vCPUs cannot span bricks: 10 vCPUs on 8-core bricks fails
+	// even though 16 cores are free in aggregate.
+	d, _ := NewDisaggregated(2, 8, 2, 32)
+	if err := d.Place(workload.VMRequest{VCPUs: 10, RAMGiB: 1}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("cross-brick vCPU placement = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestDisaggregatedFailureLeavesNoPartialAllocation(t *testing.T) {
+	d, _ := NewDisaggregated(1, 8, 1, 8)
+	d.Place(workload.VMRequest{VCPUs: 2, RAMGiB: 6})
+	before := d.UsedCores()
+	// 4 GiB does not fit (2 free): the request must not consume cores.
+	if err := d.Place(workload.VMRequest{VCPUs: 2, RAMGiB: 4}); err == nil {
+		t.Fatal("overcommitted placement succeeded")
+	}
+	if d.UsedCores() != before {
+		t.Fatal("failed placement leaked cores")
+	}
+	if err := d.Place(workload.VMRequest{VCPUs: -1, RAMGiB: 1}); err == nil {
+		t.Fatal("degenerate request accepted")
+	}
+}
+
+func TestDisaggregatedValidation(t *testing.T) {
+	if _, err := NewDisaggregated(0, 8, 1, 8); err == nil {
+		t.Fatal("zero compute bricks accepted")
+	}
+	if _, err := NewDisaggregated(1, 8, 1, 0); err == nil {
+		t.Fatal("zero brick GiB accepted")
+	}
+}
+
+func TestIdleCounts(t *testing.T) {
+	d, _ := NewDisaggregated(4, 8, 4, 8)
+	if d.IdleComputeBricks() != 4 || d.IdleMemoryBricks() != 4 {
+		t.Fatal("fresh pools not fully idle")
+	}
+	d.Place(workload.VMRequest{VCPUs: 2, RAMGiB: 2})
+	if d.IdleComputeBricks() != 3 || d.IdleMemoryBricks() != 3 {
+		t.Fatalf("idle after one VM: %d/%d", d.IdleComputeBricks(), d.IdleMemoryBricks())
+	}
+	if d.ComputeBricks() != 4 || d.MemoryBricks() != 4 || d.Placed() != 1 {
+		t.Fatal("counters wrong")
+	}
+}
+
+// Property: with equal aggregate resources, the disaggregated datacenter
+// places every VM the conventional one places (same request stream),
+// provided bricks are at least host-sized in cores.
+func TestPropDisaggregatedAtLeastAsCapable(t *testing.T) {
+	f := func(seed uint64, classIdx uint8) bool {
+		class := workload.Classes()[int(classIdx)%6]
+		gen, _ := workload.NewGenerator(class, seed)
+		conv, _ := NewConventional(8, 32, 32)
+		dis, _ := NewDisaggregated(8, 32, 32, 8)
+		for {
+			req := gen.Next()
+			if _, err := conv.Place(req); err != nil {
+				return true // conventional filled first: invariant held
+			}
+			if err := dis.Place(req); err != nil {
+				return false // disaggregated rejected earlier: violation
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: used resources equal the sum of placed requests.
+func TestPropUsageAccounting(t *testing.T) {
+	f := func(raw []uint16) bool {
+		conv, _ := NewConventional(16, 32, 32)
+		dis, _ := NewDisaggregated(16, 32, 64, 8)
+		var cores, ram int
+		for _, r := range raw {
+			req := workload.VMRequest{VCPUs: int(r%32) + 1, RAMGiB: int(r>>8%32) + 1}
+			if _, err := conv.Place(req); err == nil {
+				cores += req.VCPUs
+				ram += req.RAMGiB
+			}
+		}
+		if conv.UsedCores() != cores || conv.UsedRAMGiB() != ram {
+			return false
+		}
+		cores, ram = 0, 0
+		for _, r := range raw {
+			req := workload.VMRequest{VCPUs: int(r%32) + 1, RAMGiB: int(r>>8%32) + 1}
+			if err := dis.Place(req); err == nil {
+				cores += req.VCPUs
+				ram += req.RAMGiB
+			}
+		}
+		return dis.UsedCores() == cores && dis.UsedRAMGiB() == ram
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

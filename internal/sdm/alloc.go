@@ -1,0 +1,404 @@
+package sdm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/tgl"
+	"repro/internal/topo"
+)
+
+// ReserveCompute selects a compute brick with the requested cores and
+// local memory, reserves them for owner, and returns the brick plus the
+// control-plane latency (decision time, plus boot time if the brick had
+// to be powered on).
+func (c *Controller) ReserveCompute(owner string, vcpus int, localMem brick.Bytes) (topo.BrickID, sim.Duration, error) {
+	c.requests++
+	if vcpus <= 0 {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: reserve of %d vcpus", vcpus)
+	}
+	lat := c.cfg.DecisionLatency
+	id, ok := c.pickCompute(vcpus, localMem)
+	if !ok {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: no compute brick with %d free cores and %v local memory", vcpus, localMem)
+	}
+	node := c.computes[id]
+	if node.Brick.State() == brick.PowerOff {
+		node.Brick.PowerOn()
+		lat += c.cfg.BrickBoot
+	}
+	if err := node.Brick.AllocCores(vcpus); err != nil {
+		c.failures++
+		return topo.BrickID{}, 0, err
+	}
+	if localMem > 0 {
+		if err := node.Brick.AllocLocal(localMem); err != nil {
+			// Roll back the core reservation; selection should have
+			// prevented this, so any failure here is a bug surfaced loudly.
+			node.Brick.FreeCoresBack(vcpus)
+			c.failures++
+			return topo.BrickID{}, 0, err
+		}
+	}
+	return id, lat, nil
+}
+
+// ReleaseCompute returns cores and local memory to a brick.
+func (c *Controller) ReleaseCompute(id topo.BrickID, vcpus int, localMem brick.Bytes) error {
+	node, ok := c.computes[id]
+	if !ok {
+		return fmt.Errorf("sdm: no compute brick %v", id)
+	}
+	if err := node.Brick.FreeCoresBack(vcpus); err != nil {
+		return err
+	}
+	if localMem > 0 {
+		if err := node.Brick.FreeLocal(localMem); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickCompute applies the placement policy to compute brick selection.
+func (c *Controller) pickCompute(vcpus int, localMem brick.Bytes) (topo.BrickID, bool) {
+	fits := func(n *ComputeNode) bool {
+		if n.Brick.FreeCores() < vcpus {
+			return false
+		}
+		return n.Brick.LocalMemory-n.Brick.UsedLocal() >= localMem
+	}
+	switch c.cfg.Policy {
+	case PolicyFirstFit:
+		for _, id := range c.computeOrder {
+			if fits(c.computes[id]) {
+				return id, true
+			}
+		}
+	case PolicySpread:
+		best, found := topo.BrickID{}, false
+		bestFree := -1
+		for _, id := range c.computeOrder {
+			n := c.computes[id]
+			if fits(n) && n.Brick.FreeCores() > bestFree {
+				best, bestFree, found = id, n.Brick.FreeCores(), true
+			}
+		}
+		return best, found
+	default:
+		// Power-aware: active first (pack), then idle, then powered-off.
+		for _, want := range []brick.PowerState{brick.PowerActive, brick.PowerIdle, brick.PowerOff} {
+			for _, id := range c.computeOrder {
+				n := c.computes[id]
+				if n.Brick.State() == want && fits(n) {
+					return id, true
+				}
+			}
+		}
+	}
+	return topo.BrickID{}, false
+}
+
+// pickMemory applies the placement policy to memory brick selection,
+// requiring a contiguous gap of at least size and a free transceiver
+// port to terminate the new circuit.
+func (c *Controller) pickMemory(size brick.Bytes) (topo.BrickID, bool) {
+	fits := func(m *brick.Memory) bool { return m.LargestGap() >= size && m.Ports.Free() > 0 }
+	switch c.cfg.Policy {
+	case PolicyFirstFit:
+		for _, id := range c.memoryOrder {
+			if fits(c.memories[id]) {
+				return id, true
+			}
+		}
+	case PolicySpread:
+		best, found := topo.BrickID{}, false
+		var bestFree brick.Bytes
+		for _, id := range c.memoryOrder {
+			m := c.memories[id]
+			if fits(m) && (!found || m.Free() > bestFree) {
+				best, bestFree, found = id, m.Free(), true
+			}
+		}
+		return best, found
+	default:
+		for _, want := range []brick.PowerState{brick.PowerActive, brick.PowerIdle, brick.PowerOff} {
+			for _, id := range c.memoryOrder {
+				m := c.memories[id]
+				if m.State() == want && fits(m) {
+					return id, true
+				}
+			}
+		}
+	}
+	return topo.BrickID{}, false
+}
+
+// AttachRemoteMemory performs the full orchestration sequence for one
+// memory attachment: select and reserve a segment, set up the circuit,
+// and push the TGL window to the compute brick's agent. On any failure
+// every completed step is rolled back, honouring the paper's "safely
+// reserve" requirement. The returned latency is the orchestration delay
+// a scale-up request observes before the OS-level hotplug begins.
+func (c *Controller) AttachRemoteMemory(owner string, cpu topo.BrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
+	c.requests++
+	node, ok := c.computes[cpu]
+	if !ok {
+		c.failures++
+		return nil, 0, fmt.Errorf("sdm: no compute brick %v", cpu)
+	}
+	if size == 0 {
+		c.failures++
+		return nil, 0, fmt.Errorf("sdm: zero-size attachment")
+	}
+	lat := c.cfg.DecisionLatency
+
+	// The CPU-side port is the scarcest resource: claim it before any
+	// memory brick is selected (and possibly powered on), so that port
+	// exhaustion falls back to packet mode without wasted boots.
+	cpuPort, err := node.Brick.Ports.Acquire()
+	if err != nil {
+		if c.cfg.PacketFallback {
+			if att, fl, ferr := c.attachPacket(owner, cpu, size); ferr == nil {
+				return att, lat + fl, nil
+			}
+		}
+		c.failures++
+		return nil, 0, err
+	}
+	memID, ok := c.pickMemory(size)
+	if !ok {
+		node.Brick.Ports.Release(cpuPort)
+		if c.cfg.PacketFallback {
+			if att, fl, ferr := c.attachPacket(owner, cpu, size); ferr == nil {
+				return att, lat + fl, nil
+			}
+		}
+		c.failures++
+		return nil, 0, fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", size)
+	}
+	m := c.memories[memID]
+	if m.State() == brick.PowerOff {
+		m.PowerOn()
+		lat += c.cfg.BrickBoot
+	}
+	seg, err := m.Carve(size, owner)
+	if err != nil {
+		node.Brick.Ports.Release(cpuPort)
+		c.failures++
+		return nil, 0, err
+	}
+	memPort, err := m.Ports.Acquire()
+	if err != nil {
+		node.Brick.Ports.Release(cpuPort)
+		m.Release(seg)
+		if c.cfg.PacketFallback {
+			if att, fl, ferr := c.attachPacket(owner, cpu, size); ferr == nil {
+				return att, lat + fl, nil
+			}
+		}
+		c.failures++
+		return nil, 0, err
+	}
+	// Circuit setup, with fault handling: a failed optical path gets its
+	// brick port quarantined and the circuit retried through another
+	// port. The retry bound covers the worst case of every port failing.
+	var circuit *optical.Circuit
+	maxRetries := node.Brick.Ports.Total() + m.Ports.Total()
+	for retry := 0; ; retry++ {
+		var reconfig sim.Duration
+		var err error
+		circuit, reconfig, err = c.fabric.Connect(cpuPort, memPort)
+		if err == nil {
+			lat += reconfig
+			break
+		}
+		var pf *optical.PortFailedError
+		if !errors.As(err, &pf) || retry >= maxRetries {
+			m.Ports.Release(memPort)
+			node.Brick.Ports.Release(cpuPort)
+			m.Release(seg)
+			c.failures++
+			return nil, 0, err
+		}
+		// Quarantine the faulty endpoint and acquire a replacement.
+		cpuSideFailed := pf.Port == cpuPort
+		var reacquireErr error
+		if cpuSideFailed {
+			if reacquireErr = node.Brick.Ports.Quarantine(cpuPort); reacquireErr == nil {
+				cpuPort, reacquireErr = node.Brick.Ports.Acquire()
+			}
+		} else {
+			if reacquireErr = m.Ports.Quarantine(memPort); reacquireErr == nil {
+				memPort, reacquireErr = m.Ports.Acquire()
+			}
+		}
+		if reacquireErr != nil {
+			// Release the healthy side; the quarantined side stays
+			// withdrawn for the operator.
+			if cpuSideFailed {
+				m.Ports.Release(memPort)
+			} else {
+				node.Brick.Ports.Release(cpuPort)
+			}
+			m.Release(seg)
+			c.failures++
+			return nil, 0, fmt.Errorf("sdm: circuit fault recovery exhausted ports: %w", reacquireErr)
+		}
+	}
+	// TGL window push via the SDM Agent.
+	window := tgl.Entry{
+		Base:       c.nextWindow[cpu],
+		Size:       uint64(size),
+		Dest:       memID,
+		DestOffset: uint64(seg.Offset),
+		Port:       cpuPort,
+	}
+	if err := node.Agent.Glue.Attach(window); err != nil {
+		c.fabric.Disconnect(circuit)
+		m.Ports.Release(memPort)
+		node.Brick.Ports.Release(cpuPort)
+		m.Release(seg)
+		c.failures++
+		return nil, 0, err
+	}
+	lat += c.cfg.AgentRTT
+	c.nextWindow[cpu] += uint64(size)
+
+	att := &Attachment{
+		Owner:   owner,
+		CPU:     cpu,
+		Segment: seg,
+		Circuit: circuit,
+		CPUPort: cpuPort,
+		MemPort: memPort,
+		Window:  window,
+		Mode:    ModeCircuit,
+	}
+	c.attachments[owner] = append(c.attachments[owner], att)
+	c.circuitHosts[cpu] = append(c.circuitHosts[cpu], att)
+	return att, lat, nil
+}
+
+// DetachRemoteMemory tears an attachment down in reverse order and
+// returns the orchestration latency.
+func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
+	c.requests++
+	list := c.attachments[att.Owner]
+	idx := -1
+	for i, a := range list {
+		if a == att {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		c.failures++
+		return 0, fmt.Errorf("sdm: attachment for %q on %v not live", att.Owner, att.CPU)
+	}
+	if att.Mode == ModePacket {
+		return c.detachPacket(att, idx)
+	}
+	if n := c.riders[att.Circuit]; n > 0 {
+		c.failures++
+		return 0, fmt.Errorf("sdm: circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
+	}
+	node := c.computes[att.CPU]
+	m := c.memories[att.Segment.Brick]
+	lat := c.cfg.DecisionLatency
+
+	if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
+		c.failures++
+		return 0, err
+	}
+	lat += c.cfg.AgentRTT
+	reconfig, err := c.fabric.Disconnect(att.Circuit)
+	if err != nil {
+		c.failures++
+		return 0, err
+	}
+	lat += reconfig
+	if err := node.Brick.Ports.Release(att.CPUPort); err != nil {
+		c.failures++
+		return 0, err
+	}
+	if err := m.Ports.Release(att.MemPort); err != nil {
+		c.failures++
+		return 0, err
+	}
+	if err := m.Release(att.Segment); err != nil {
+		c.failures++
+		return 0, err
+	}
+	c.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	c.removeCircuitHost(att)
+	return lat, nil
+}
+
+// removeCircuitHost drops a circuit-mode attachment from the host index.
+func (c *Controller) removeCircuitHost(att *Attachment) {
+	hosts := c.circuitHosts[att.CPU]
+	for i, a := range hosts {
+		if a == att {
+			c.circuitHosts[att.CPU] = append(hosts[:i], hosts[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReserveAccel binds an accelerator slot for owner, selecting a brick by
+// the placement policy.
+func (c *Controller) ReserveAccel(owner, bitstream string) (topo.BrickID, int, sim.Duration, error) {
+	c.requests++
+	lat := c.cfg.DecisionLatency
+	pick := func() (topo.BrickID, bool) {
+		if c.cfg.Policy == PolicyFirstFit {
+			for _, id := range c.accelOrder {
+				if c.accels[id].FreeSlots() > 0 {
+					return id, true
+				}
+			}
+			return topo.BrickID{}, false
+		}
+		for _, want := range []brick.PowerState{brick.PowerActive, brick.PowerIdle, brick.PowerOff} {
+			for _, id := range c.accelOrder {
+				a := c.accels[id]
+				if a.State() == want && a.FreeSlots() > 0 {
+					return id, true
+				}
+			}
+		}
+		return topo.BrickID{}, false
+	}
+	id, ok := pick()
+	if !ok {
+		c.failures++
+		return topo.BrickID{}, 0, 0, fmt.Errorf("sdm: no accelerator slots free")
+	}
+	a := c.accels[id]
+	if a.State() == brick.PowerOff {
+		a.PowerOn()
+		lat += c.cfg.BrickBoot
+	}
+	slot, err := a.Bind(owner, bitstream)
+	if err != nil {
+		c.failures++
+		return topo.BrickID{}, 0, 0, err
+	}
+	lat += c.cfg.AgentRTT
+	return id, slot, lat, nil
+}
+
+// ReleaseAccel unbinds a slot.
+func (c *Controller) ReleaseAccel(id topo.BrickID, slot int) error {
+	a, ok := c.accels[id]
+	if !ok {
+		return fmt.Errorf("sdm: no accel brick %v", id)
+	}
+	return a.Unbind(slot)
+}

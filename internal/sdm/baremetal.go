@@ -1,0 +1,102 @@
+package sdm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// The paper's SDM-C receives "VM/bare-metal allocation requests": a
+// bare-metal tenant takes a whole dCOMPUBRICK exclusively — all cores,
+// all local memory — and runs directly on the baremetal OS layer. The
+// brick still reaches disaggregated memory through its TGL, so
+// AttachRemoteMemory works for bare-metal owners exactly as for VMs.
+
+// ReserveBareMetal reserves an entire idle compute brick exclusively for
+// owner. Power-aware selection prefers already-powered idle bricks over
+// booting cold ones (an active brick can never be taken — exclusivity).
+func (c *Controller) ReserveBareMetal(owner string) (topo.BrickID, sim.Duration, error) {
+	c.requests++
+	if owner == "" {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: bare-metal reservation needs an owner")
+	}
+	lat := c.cfg.DecisionLatency
+	pick := func() (topo.BrickID, bool) {
+		for _, want := range []brick.PowerState{brick.PowerIdle, brick.PowerOff} {
+			for _, id := range c.computeOrder {
+				n := c.computes[id]
+				if _, taken := c.bareMetal[id]; taken {
+					continue
+				}
+				if n.Brick.State() == want && n.Brick.IsIdle() {
+					return id, true
+				}
+			}
+		}
+		return topo.BrickID{}, false
+	}
+	id, ok := pick()
+	if !ok {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: no fully idle compute brick for bare-metal tenant %q", owner)
+	}
+	node := c.computes[id]
+	if node.Brick.State() == brick.PowerOff {
+		node.Brick.PowerOn()
+		lat += c.cfg.BrickBoot
+	}
+	if err := node.Brick.AllocCores(node.Brick.Cores); err != nil {
+		c.failures++
+		return topo.BrickID{}, 0, err
+	}
+	if err := node.Brick.AllocLocal(node.Brick.LocalMemory); err != nil {
+		node.Brick.FreeCoresBack(node.Brick.Cores)
+		c.failures++
+		return topo.BrickID{}, 0, err
+	}
+	if c.bareMetal == nil {
+		c.bareMetal = make(map[topo.BrickID]string)
+	}
+	c.bareMetal[id] = owner
+	return id, lat, nil
+}
+
+// ReleaseBareMetal returns a bare-metal brick to the pool. Any remote
+// memory the tenant attached must be detached first.
+func (c *Controller) ReleaseBareMetal(id topo.BrickID) error {
+	owner, ok := c.bareMetal[id]
+	if !ok {
+		return fmt.Errorf("sdm: brick %v is not a bare-metal reservation", id)
+	}
+	if n := len(c.attachments[owner]); n > 0 {
+		return fmt.Errorf("sdm: bare-metal tenant %q still holds %d attachments", owner, n)
+	}
+	node := c.computes[id]
+	if err := node.Brick.FreeCoresBack(node.Brick.Cores); err != nil {
+		return err
+	}
+	if err := node.Brick.FreeLocal(node.Brick.LocalMemory); err != nil {
+		return err
+	}
+	delete(c.bareMetal, id)
+	return nil
+}
+
+// BareMetalTenants returns the live bare-metal reservations in brick
+// order.
+func (c *Controller) BareMetalTenants() map[topo.BrickID]string {
+	out := make(map[topo.BrickID]string, len(c.bareMetal))
+	ids := make([]topo.BrickID, 0, len(c.bareMetal))
+	for id := range c.bareMetal {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		out[id] = c.bareMetal[id]
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package sdm
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+)
+
+func TestBareMetalExclusiveReservation(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	id, lat, err := c.ReserveBareMetal("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat < DefaultConfig.BrickBoot {
+		t.Fatalf("cold bare-metal reserve latency %v missing boot", lat)
+	}
+	node, _ := c.Compute(id)
+	if node.Brick.FreeCores() != 0 {
+		t.Fatal("bare-metal brick has free cores")
+	}
+	// VM reservations cannot land on the taken brick (cores exhausted);
+	// the next one goes elsewhere.
+	vmBrick, _, err := c.ReserveCompute("vm1", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vmBrick == id {
+		t.Fatal("VM landed on bare-metal brick")
+	}
+	// Second tenant takes the remaining brick; third finds none.
+	if _, _, err := c.ReserveBareMetal("tenant-b"); err == nil {
+		t.Fatal("bare-metal reservation on partially used brick succeeded")
+	}
+	tenants := c.BareMetalTenants()
+	if len(tenants) != 1 || tenants[id] != "tenant-a" {
+		t.Fatalf("tenants = %v", tenants)
+	}
+}
+
+func TestBareMetalCanAttachRemoteMemory(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	id, _, err := c.ReserveBareMetal("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, _, err := c.AttachRemoteMemory("tenant-a", id, 4*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Release refuses while attachments live.
+	if err := c.ReleaseBareMetal(id); err == nil {
+		t.Fatal("release with live attachment succeeded")
+	}
+	if _, err := c.DetachRemoteMemory(att); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseBareMetal(id); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := c.Compute(id)
+	if !node.Brick.IsIdle() {
+		t.Fatal("brick not idle after release")
+	}
+	if err := c.ReleaseBareMetal(id); err == nil {
+		t.Fatal("double release succeeded")
+	}
+}
+
+func TestBareMetalValidation(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	if _, _, err := c.ReserveBareMetal(""); err == nil {
+		t.Fatal("empty owner accepted")
+	}
+	// Fill both bricks with VMs: no idle brick remains.
+	c.ReserveCompute("vm1", 1, 0)
+	c.ReserveCompute("vm2", 4, 0)
+	c.ReserveCompute("vm3", 4, 0) // spills to second brick
+	if _, _, err := c.ReserveBareMetal("tenant"); err == nil {
+		t.Fatal("bare-metal reservation with no idle brick succeeded")
+	}
+}

@@ -1,0 +1,163 @@
+package sdm
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+// failSwitchPortBehind injects a fault on the switch port that a given
+// brick port is patched into, by connecting through the fabric's mapping.
+func failSwitchPortBehind(t *testing.T, c *Controller, p topo.PortID) {
+	t.Helper()
+	// The fabric patches brick ports in rack iteration order; recover the
+	// switch port by trial: fail switch ports until Connect through p
+	// reports the failure. Simpler and deterministic: the controller
+	// patched ports in order, so brick (tray-major, slot, port) maps to a
+	// sequential index. Recompute it.
+	idx := 0
+	for _, b := range c.rack.Bricks() {
+		for port := 0; port < b.Spec.Ports; port++ {
+			if (topo.PortID{Brick: b.ID, Port: port}) == p {
+				if err := c.fabric.Switch().FailPort(idx); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			idx++
+		}
+	}
+	t.Fatalf("port %v not found in rack", p)
+}
+
+func TestAttachSurvivesFailedCPUPort(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	cpu, _, err := c.ReserveCompute("vm1", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the optical path behind the brick's first (lowest) port — the
+	// one Acquire will hand out.
+	failSwitchPortBehind(t, c, topo.PortID{Brick: cpu, Port: 0})
+
+	att, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	if err != nil {
+		t.Fatalf("attach did not survive port fault: %v", err)
+	}
+	// The circuit avoided the failed port.
+	if att.CPUPort.Port == 0 {
+		t.Fatal("circuit uses the failed port")
+	}
+	node, _ := c.Compute(cpu)
+	if node.Brick.Ports.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", node.Brick.Ports.Quarantined())
+	}
+	// The datapath works end to end.
+	if _, err := node.Agent.Glue.Translate(att.Window.Base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachSurvivesFailedMemPort(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	memBrick := topo.BrickID{Tray: 0, Slot: 2} // first memory brick
+	failSwitchPortBehind(t, c, topo.PortID{Brick: memBrick, Port: 0})
+
+	att, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	if err != nil {
+		t.Fatalf("attach did not survive memory-side fault: %v", err)
+	}
+	if att.Segment.Brick == memBrick && att.MemPort.Port == 0 {
+		t.Fatal("circuit uses the failed memory port")
+	}
+	m, _ := c.Memory(memBrick)
+	if m.Ports.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1", m.Ports.Quarantined())
+	}
+}
+
+func TestAttachFailsWhenEveryPathDead(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	// Fail every port on the compute brick.
+	for p := 0; p < 8; p++ {
+		failSwitchPortBehind(t, c, topo.PortID{Brick: cpu, Port: p})
+	}
+	if _, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB); err == nil {
+		t.Fatal("attach succeeded with every CPU port dead")
+	}
+	node, _ := c.Compute(cpu)
+	if node.Brick.Ports.Quarantined() == 0 {
+		t.Fatal("no ports quarantined during recovery")
+	}
+}
+
+func TestQuarantineLifecycle(t *testing.T) {
+	ps := brick.NewPortSet(topo.BrickID{}, 2)
+	p, _ := ps.Acquire()
+	if err := ps.Quarantine(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Quarantine(p); err == nil {
+		t.Fatal("double quarantine succeeded")
+	}
+	if err := ps.Release(p); err == nil {
+		t.Fatal("release of quarantined port succeeded")
+	}
+	if ps.Free() != 1 || ps.Quarantined() != 1 {
+		t.Fatalf("free=%d quarantined=%d", ps.Free(), ps.Quarantined())
+	}
+	// Acquire skips the quarantined port.
+	q, err := ps.Acquire()
+	if err != nil || q.Port == p.Port {
+		t.Fatalf("acquire = %v, %v", q, err)
+	}
+	// Repair.
+	if err := ps.Unquarantine(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Unquarantine(p); err == nil {
+		t.Fatal("double unquarantine succeeded")
+	}
+	if ps.Free() != 1 {
+		t.Fatalf("free = %d after repair", ps.Free())
+	}
+	if err := ps.Quarantine(topo.PortID{Brick: topo.BrickID{Tray: 9}}); err == nil {
+		t.Fatal("foreign quarantine succeeded")
+	}
+}
+
+func TestSwitchFaultInjection(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	sw := c.fabric.Switch()
+	if err := sw.FailPort(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.FailPort(0); err == nil {
+		t.Fatal("double fail succeeded")
+	}
+	if !sw.PortFailed(0) || sw.FailedPorts() != 1 {
+		t.Fatal("fault not recorded")
+	}
+	if err := sw.Connect(0, 1); err == nil {
+		t.Fatal("connect through failed port succeeded")
+	}
+	if err := sw.RestorePort(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.RestorePort(0); err == nil {
+		t.Fatal("double restore succeeded")
+	}
+	if err := sw.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Failing a port with a live circuit tears the circuit down.
+	if err := sw.FailPort(0); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Circuits() != 0 {
+		t.Fatal("circuit survived port failure")
+	}
+}

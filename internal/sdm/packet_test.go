@@ -1,0 +1,221 @@
+package sdm
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/topo"
+)
+
+// packetRack builds a rack with the packet fallback enabled.
+func packetRack(t *testing.T) *Controller {
+	t.Helper()
+	rack, err := topo.Build(topo.BuildSpec{
+		Trays: 1, ComputePerTray: 2, MemoryPerTray: 2, AccelPerTray: 1, PortsPerBrick: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := optical.NewSwitch(optical.Polatis48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig
+	cfg.PacketFallback = true
+	ctrl, err := NewController(rack, optical.NewFabric(sw), BrickConfigs{
+		Memory: brick.MemoryConfig{Capacity: 64 * brick.GiB},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+func TestAttachModeString(t *testing.T) {
+	if ModeCircuit.String() != "circuit" || ModePacket.String() != "packet" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestPacketFallbackOnPortExhaustion(t *testing.T) {
+	c := packetRack(t)
+	cpu, _, err := c.ReserveCompute("vm1", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill all 8 CPU-side ports with circuit attachments.
+	for i := 0; i < 8; i++ {
+		att, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if att.Mode != ModeCircuit {
+			t.Fatalf("attachment %d mode %v, want circuit", i, att.Mode)
+		}
+	}
+	// Ninth attach has no ports: packet fallback kicks in.
+	att, lat, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Mode != ModePacket {
+		t.Fatalf("fallback mode = %v, want packet", att.Mode)
+	}
+	// Control plane skips the optical switch: far faster than a circuit
+	// attach (no 25 ms reconfiguration).
+	if lat >= optical.Polatis48.ReconfigTime {
+		t.Fatalf("packet attach latency %v should be below circuit reconfig %v", lat, optical.Polatis48.ReconfigTime)
+	}
+	// The rider shares a live circuit and translation works.
+	node, _ := c.Compute(cpu)
+	route, err := node.Agent.Glue.Translate(att.Window.Base + 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route.Remote.Brick != att.Segment.Brick {
+		t.Fatal("packet-mode translation wrong")
+	}
+	// Exactly one circuit in the share group carries the rider.
+	riders := 0
+	for _, host := range c.Attachments("vm1") {
+		if host.Mode == ModeCircuit {
+			riders += c.Riders(host)
+		}
+	}
+	if riders != 1 {
+		t.Fatalf("rider count across circuits = %d, want 1", riders)
+	}
+}
+
+func TestCircuitWithRidersCannotDetach(t *testing.T) {
+	c := packetRack(t)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rider, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	if err != nil || rider.Mode != ModePacket {
+		t.Fatalf("fallback failed: %+v, %v", rider, err)
+	}
+	// Find the host circuit.
+	var host *Attachment
+	for _, a := range c.Attachments("vm1") {
+		if a.Mode == ModeCircuit && a.Circuit == rider.Circuit {
+			host = a
+			break
+		}
+	}
+	if host == nil {
+		t.Fatal("no host circuit found")
+	}
+	if _, err := c.DetachRemoteMemory(host); err == nil {
+		t.Fatal("detach of ridered circuit succeeded")
+	}
+	// Detach the rider first, then the host.
+	if _, err := c.DetachRemoteMemory(rider); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DetachRemoteMemory(host); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketDetachFreesNoPorts(t *testing.T) {
+	c := packetRack(t)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	for i := 0; i < 8; i++ {
+		c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	}
+	node, _ := c.Compute(cpu)
+	if node.Brick.Ports.Free() != 0 {
+		t.Fatal("setup: ports not exhausted")
+	}
+	rider, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.Memory(rider.Segment.Brick)
+	used := m.Used()
+	if _, err := c.DetachRemoteMemory(rider); err != nil {
+		t.Fatal(err)
+	}
+	if node.Brick.Ports.Free() != 0 {
+		t.Fatal("packet detach released a port it never held")
+	}
+	if m.Used() != used-brick.GiB {
+		t.Fatal("segment not released")
+	}
+}
+
+func TestPacketFallbackDisabledFailsCleanly(t *testing.T) {
+	// The default config (fallback off) keeps the strict behaviour.
+	c := testRack(t, PolicyPowerAware)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB); err == nil {
+		t.Fatal("attach without fallback succeeded on exhausted ports")
+	}
+}
+
+func TestPacketFallbackNeedsHostCircuit(t *testing.T) {
+	c := packetRack(t)
+	// Exhaust the CPU brick's ports with attachments, then detach them
+	// all: no live circuit remains, so a fallback for a brick with no
+	// ports AND no circuits must fail.
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	var atts []*Attachment
+	for i := 0; i < 8; i++ {
+		a, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atts = append(atts, a)
+	}
+	// Consume the memory-side ports of both memory bricks from the other
+	// compute brick so new circuits cannot form... simpler: fill CPU
+	// ports is enough; now detach all circuits.
+	for _, a := range atts {
+		if _, err := c.DetachRemoteMemory(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ports are free again, so a circuit attach succeeds — force the
+	// packet path directly to check its precondition.
+	if _, _, err := c.attachPacket("vm1", cpu, brick.GiB); err == nil {
+		t.Fatal("packet attach without a host circuit succeeded")
+	}
+}
+
+func TestReattachRefusesPacketEntanglements(t *testing.T) {
+	c := packetRack(t)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	for i := 0; i < 8; i++ {
+		c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	}
+	rider, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := topo.BrickID{Tray: 0, Slot: 1}
+	// The rider itself cannot be re-pointed.
+	if _, _, err := c.ReattachRemoteMemory(rider, other); err == nil {
+		t.Fatal("reattach of packet-mode attachment succeeded")
+	}
+	// Nor can its host circuit while the rider exists.
+	var host *Attachment
+	for _, a := range c.Attachments("vm1") {
+		if a.Mode == ModeCircuit && a.Circuit == rider.Circuit {
+			host = a
+		}
+	}
+	if _, _, err := c.ReattachRemoteMemory(host, other); err == nil {
+		t.Fatal("reattach of ridered circuit succeeded")
+	}
+}

@@ -1,0 +1,112 @@
+package sdm
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+func TestReserveComputeExceptAvoidsBrick(t *testing.T) {
+	c := testRack(t, PolicyPowerAware)
+	avoid := topo.BrickID{Tray: 0, Slot: 0}
+	id, lat, err := c.ReserveComputeExcept("vm1", 1, 0, avoid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == avoid {
+		t.Fatal("excluded brick selected")
+	}
+	if lat < DefaultConfig.BrickBoot {
+		t.Fatalf("cold reserve latency %v missing boot", lat)
+	}
+	// Only two compute bricks exist: excluding the other one too leaves
+	// nothing once this one is full.
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.ReserveComputeExcept("vm", 1, 0, avoid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.ReserveComputeExcept("vm", 1, 0, avoid); err == nil {
+		t.Fatal("reserve succeeded with the only remaining brick excluded and full")
+	}
+	if _, _, err := c.ReserveComputeExcept("vm", 0, 0, avoid); err == nil {
+		t.Fatal("zero-core reserve accepted")
+	}
+}
+
+func TestReserveComputeExceptPolicies(t *testing.T) {
+	for _, policy := range []Policy{PolicyFirstFit, PolicySpread, PolicyPowerAware} {
+		c := testRack(t, policy)
+		avoid := topo.BrickID{Tray: 0, Slot: 0}
+		id, _, err := c.ReserveComputeExcept("vm", 1, 0, avoid)
+		if err != nil {
+			t.Fatalf("%v: %v", policy, err)
+		}
+		if id == avoid {
+			t.Fatalf("%v: excluded brick selected", policy)
+		}
+	}
+}
+
+func TestSpreadPolicyBalancesComputeLoad(t *testing.T) {
+	c := testRack(t, PolicySpread)
+	// Four single-core VMs: spread puts two on each 4-core brick rather
+	// than packing all four onto the first.
+	counts := map[topo.BrickID]int{}
+	for i := 0; i < 4; i++ {
+		id, _, err := c.ReserveCompute("vm", 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[id]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("spread used %d bricks, want 2", len(counts))
+	}
+	for id, n := range counts {
+		if n != 2 {
+			t.Fatalf("brick %v got %d VMs, want 2", id, n)
+		}
+	}
+}
+
+func TestSpreadPolicyBalancesMemory(t *testing.T) {
+	c := testRack(t, PolicySpread)
+	cpu, _, err := c.ReserveCompute("vm1", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := c.AttachRemoteMemory("vm1", cpu, 4*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := c.AttachRemoteMemory("vm1", cpu, 4*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Segment.Brick == a2.Segment.Brick {
+		t.Fatal("spread policy packed segments onto one brick")
+	}
+}
+
+func TestPowerAwareVsSpreadOffCount(t *testing.T) {
+	// The direct comparison behind the placement ablation: after the
+	// same allocations, power-aware leaves more bricks untouched.
+	count := func(policy Policy) int {
+		c := testRack(&testing.T{}, policy)
+		cpu, _, _ := c.ReserveCompute("vm", 1, 0)
+		c.AttachRemoteMemory("vm", cpu, brick.GiB)
+		c.AttachRemoteMemory("vm", cpu, brick.GiB)
+		idle := 0
+		for _, id := range c.memoryOrder {
+			if c.memories[id].IsIdle() {
+				idle++
+			}
+		}
+		return idle
+	}
+	if pa, sp := count(PolicyPowerAware), count(PolicySpread); pa <= sp {
+		t.Fatalf("power-aware idle bricks %d not above spread %d", pa, sp)
+	}
+}

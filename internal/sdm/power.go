@@ -1,0 +1,114 @@
+package sdm
+
+import (
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+// PowerCensus counts bricks by power state, per kind.
+type PowerCensus struct {
+	Off, Idle, Active int
+}
+
+// Total returns the brick count.
+func (p PowerCensus) Total() int { return p.Off + p.Idle + p.Active }
+
+// OffFraction returns the fraction of bricks powered off.
+func (p PowerCensus) OffFraction() float64 {
+	if p.Total() == 0 {
+		return 0
+	}
+	return float64(p.Off) / float64(p.Total())
+}
+
+// PowerOffIdle sweeps the rack and powers off every idle brick — the
+// operation behind the paper's TCO claim that unutilized bricks can be
+// powered down independently. It returns the number of bricks turned off.
+func (c *Controller) PowerOffIdle() int {
+	n := 0
+	for _, id := range c.computeOrder {
+		b := c.computes[id].Brick
+		if b.State() == brick.PowerIdle && b.IsIdle() {
+			if b.PowerDown() == nil {
+				n++
+			}
+		}
+	}
+	for _, id := range c.memoryOrder {
+		m := c.memories[id]
+		if m.State() == brick.PowerIdle && m.IsIdle() {
+			if m.PowerDown() == nil {
+				n++
+			}
+		}
+	}
+	for _, id := range c.accelOrder {
+		a := c.accels[id]
+		if a.State() == brick.PowerIdle && a.IsIdle() {
+			if a.PowerDown() == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PowerOnAll powers every brick up (rack bring-up).
+func (c *Controller) PowerOnAll() {
+	for _, id := range c.computeOrder {
+		c.computes[id].Brick.PowerOn()
+	}
+	for _, id := range c.memoryOrder {
+		c.memories[id].PowerOn()
+	}
+	for _, id := range c.accelOrder {
+		c.accels[id].PowerOn()
+	}
+}
+
+// Census returns the power census for one brick kind.
+func (c *Controller) Census(kind topo.BrickKind) PowerCensus {
+	var pc PowerCensus
+	count := func(s brick.PowerState) {
+		switch s {
+		case brick.PowerOff:
+			pc.Off++
+		case brick.PowerIdle:
+			pc.Idle++
+		default:
+			pc.Active++
+		}
+	}
+	switch kind {
+	case topo.KindCompute:
+		for _, id := range c.computeOrder {
+			count(c.computes[id].Brick.State())
+		}
+	case topo.KindMemory:
+		for _, id := range c.memoryOrder {
+			count(c.memories[id].State())
+		}
+	case topo.KindAccel:
+		for _, id := range c.accelOrder {
+			count(c.accels[id].State())
+		}
+	}
+	return pc
+}
+
+// DrawW returns the rack's brick power draw in watts under the given
+// per-kind profiles, plus the optical switch draw.
+func (c *Controller) DrawW(profiles map[topo.BrickKind]brick.PowerProfile) float64 {
+	var w float64
+	for _, id := range c.computeOrder {
+		w += profiles[topo.KindCompute].Draw(c.computes[id].Brick.State())
+	}
+	for _, id := range c.memoryOrder {
+		w += profiles[topo.KindMemory].Draw(c.memories[id].State())
+	}
+	for _, id := range c.accelOrder {
+		w += profiles[topo.KindAccel].Draw(c.accels[id].State())
+	}
+	w += c.fabric.Switch().PowerW()
+	return w
+}

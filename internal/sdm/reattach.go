@@ -1,0 +1,202 @@
+package sdm
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+	"repro/internal/tgl"
+	"repro/internal/topo"
+)
+
+// powerPreference is the power-aware selection order: pack active
+// bricks, then wake idle ones, and only then boot powered-off ones.
+var powerPreference = []brick.PowerState{brick.PowerActive, brick.PowerIdle, brick.PowerOff}
+
+// ReserveComputeExcept selects and reserves a compute brick like
+// ReserveCompute, but never the excluded brick — used by VM migration,
+// which must land the VM somewhere other than its current host.
+func (c *Controller) ReserveComputeExcept(owner string, vcpus int, localMem brick.Bytes, exclude topo.BrickID) (topo.BrickID, sim.Duration, error) {
+	c.requests++
+	if vcpus <= 0 {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: reserve of %d vcpus", vcpus)
+	}
+	lat := c.cfg.DecisionLatency
+	id, ok := c.pickComputeExcept(vcpus, localMem, exclude)
+	if !ok {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: no compute brick other than %v with %d free cores and %v local memory", exclude, vcpus, localMem)
+	}
+	node := c.computes[id]
+	if node.Brick.State() == brick.PowerOff {
+		node.Brick.PowerOn()
+		lat += c.cfg.BrickBoot
+	}
+	if err := node.Brick.AllocCores(vcpus); err != nil {
+		c.failures++
+		return topo.BrickID{}, 0, err
+	}
+	if localMem > 0 {
+		if err := node.Brick.AllocLocal(localMem); err != nil {
+			node.Brick.FreeCoresBack(vcpus)
+			c.failures++
+			return topo.BrickID{}, 0, err
+		}
+	}
+	return id, lat, nil
+}
+
+// ReattachRemoteMemory re-points a live attachment at a new compute
+// brick without touching the segment: the data stays exactly where it is
+// on the dMEMBRICK — this is what makes VM migration cheap in a
+// disaggregated rack. The old circuit is torn down, a new circuit is set
+// up from the new brick, the TGL window is installed on the new brick's
+// agent and removed from the old one. On failure the attachment is left
+// in its original state.
+//
+// It returns the new window (migration callers must re-home the
+// baremetal hotplug range) and the orchestration latency.
+func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) (tgl.Entry, sim.Duration, error) {
+	c.requests++
+	list := c.attachments[att.Owner]
+	found := false
+	for _, a := range list {
+		if a == att {
+			found = true
+			break
+		}
+	}
+	if !found {
+		c.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: attachment for %q not live", att.Owner)
+	}
+	newNode, ok := c.computes[newCPU]
+	if !ok {
+		c.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: no compute brick %v", newCPU)
+	}
+	if newCPU == att.CPU {
+		c.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: reattach to the same brick %v", newCPU)
+	}
+	if att.Mode == ModePacket {
+		c.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: packet-mode attachment for %q cannot be re-pointed; detach and re-attach instead", att.Owner)
+	}
+	if n := c.riders[att.Circuit]; n > 0 {
+		c.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: circuit for %q carries %d packet-mode riders; re-point them first", att.Owner, n)
+	}
+	oldNode := c.computes[att.CPU]
+	lat := c.cfg.DecisionLatency
+
+	// Acquire the new CPU-side port first; nothing is torn down until
+	// the new resources are secured.
+	newCPUPort, err := newNode.Brick.Ports.Acquire()
+	if err != nil {
+		c.failures++
+		return tgl.Entry{}, 0, err
+	}
+	// Tear the old circuit down, freeing the memory-side port for the
+	// new circuit.
+	reconfig1, err := c.fabric.Disconnect(att.Circuit)
+	if err != nil {
+		newNode.Brick.Ports.Release(newCPUPort)
+		c.failures++
+		return tgl.Entry{}, 0, err
+	}
+	lat += reconfig1
+	circuit, reconfig2, err := c.fabric.Connect(newCPUPort, att.MemPort)
+	if err != nil {
+		// Restore the original circuit; the fabric had both ports free a
+		// moment ago, so failure here indicates a real fault.
+		if _, _, rerr := c.fabric.Connect(att.CPUPort, att.MemPort); rerr != nil {
+			c.failures++
+			return tgl.Entry{}, 0, fmt.Errorf("sdm: reattach failed (%v) and rollback failed (%v)", err, rerr)
+		}
+		newNode.Brick.Ports.Release(newCPUPort)
+		c.failures++
+		return tgl.Entry{}, 0, err
+	}
+	lat += reconfig2
+
+	window := tgl.Entry{
+		Base:       c.nextWindow[newCPU],
+		Size:       att.Window.Size,
+		Dest:       att.Segment.Brick,
+		DestOffset: uint64(att.Segment.Offset),
+		Port:       newCPUPort,
+	}
+	if err := newNode.Agent.Glue.Attach(window); err != nil {
+		c.fabric.Disconnect(circuit)
+		newNode.Brick.Ports.Release(newCPUPort)
+		if _, _, rerr := c.fabric.Connect(att.CPUPort, att.MemPort); rerr != nil {
+			c.failures++
+			return tgl.Entry{}, 0, fmt.Errorf("sdm: reattach failed (%v) and rollback failed (%v)", err, rerr)
+		}
+		c.failures++
+		return tgl.Entry{}, 0, err
+	}
+	c.nextWindow[newCPU] += window.Size
+	lat += c.cfg.AgentRTT
+
+	// Remove the old window and release the old CPU port; past this
+	// point the attachment is fully re-homed.
+	if err := oldNode.Agent.Glue.Detach(att.Window.Base); err != nil {
+		c.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: old window removal: %w", err)
+	}
+	lat += c.cfg.AgentRTT
+	if err := oldNode.Brick.Ports.Release(att.CPUPort); err != nil {
+		c.failures++
+		return tgl.Entry{}, 0, err
+	}
+
+	c.removeCircuitHost(att)
+	att.CPU = newCPU
+	att.CPUPort = newCPUPort
+	att.Circuit = circuit
+	att.Window = window
+	c.circuitHosts[newCPU] = append(c.circuitHosts[newCPU], att)
+	return window, lat, nil
+}
+
+func (c *Controller) pickComputeExcept(vcpus int, localMem brick.Bytes, exclude topo.BrickID) (topo.BrickID, bool) {
+	fits := func(id topo.BrickID) bool {
+		if id == exclude {
+			return false
+		}
+		n := c.computes[id]
+		if n.Brick.FreeCores() < vcpus {
+			return false
+		}
+		return n.Brick.LocalMemory-n.Brick.UsedLocal() >= localMem
+	}
+	switch c.cfg.Policy {
+	case PolicyFirstFit:
+		for _, id := range c.computeOrder {
+			if fits(id) {
+				return id, true
+			}
+		}
+	case PolicySpread:
+		best, found := topo.BrickID{}, false
+		bestFree := -1
+		for _, id := range c.computeOrder {
+			if fits(id) && c.computes[id].Brick.FreeCores() > bestFree {
+				best, bestFree, found = id, c.computes[id].Brick.FreeCores(), true
+			}
+		}
+		return best, found
+	default:
+		for _, want := range powerPreference {
+			for _, id := range c.computeOrder {
+				if c.computes[id].Brick.State() == want && fits(id) {
+					return id, true
+				}
+			}
+		}
+	}
+	return topo.BrickID{}, false
+}

@@ -1,0 +1,256 @@
+// Package sdm implements the Software-Defined Memory Controller (SDM-C)
+// and its per-brick agents — the orchestration layer of the dReDBox
+// software stack (paper §IV-C).
+//
+// The SDM-C runs as an autonomous service integrated with an
+// OpenStack-like frontend. Its roles, quoted from the paper:
+// (a) receive VM/bare-metal allocation requests, (b) safely inspect
+// resource availability and make a power-consumption-conscious selection
+// of resources, (c) safely reserve selected resources, and (d) generate
+// all the necessary configurations and push them via appropriate
+// interfaces to all involved devices — the circuit switch and the SDM
+// Agents that program TGL segment windows on compute bricks.
+package sdm
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/tgl"
+	"repro/internal/topo"
+)
+
+// Policy selects among placement strategies.
+type Policy int
+
+const (
+	// PolicyPowerAware packs allocations onto already-active bricks so
+	// idle bricks can be powered off — the paper's mainline policy and
+	// the source of the Fig. 12/13 savings.
+	PolicyPowerAware Policy = iota
+	// PolicyFirstFit takes the first brick (in ID order) with room,
+	// regardless of power state. Ablation baseline.
+	PolicyFirstFit
+	// PolicySpread load-balances: it picks the brick with the most free
+	// capacity, maximizing per-consumer bandwidth headroom at the price
+	// of touching every brick — the anti-packing ablation baseline.
+	PolicySpread
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyFirstFit:
+		return "first-fit"
+	case PolicySpread:
+		return "spread"
+	default:
+		return "power-aware"
+	}
+}
+
+// Config parameterizes the controller's control-plane latency model and
+// datapath provisioning.
+type Config struct {
+	// DecisionLatency is the cost of inspecting inventory and reserving
+	// resources for one request.
+	DecisionLatency sim.Duration
+	// AgentRTT is one configuration push to an SDM Agent (TGL window
+	// install/remove, packet-switch table update).
+	AgentRTT sim.Duration
+	// BrickBoot is the power-on time of a brick that must be woken to
+	// satisfy a request.
+	BrickBoot sim.Duration
+	// RMSTCapacity is the number of segment windows each compute brick's
+	// TGL can hold.
+	RMSTCapacity int
+	// WindowBase is the physical address where each compute brick's
+	// remote-memory window region starts.
+	WindowBase uint64
+	// Policy is the placement strategy.
+	Policy Policy
+	// PacketFallback enables the exploratory packet-switched mode when a
+	// circuit cannot be provisioned for lack of physical ports: the new
+	// attachment rides an existing circuit between the same brick pair,
+	// steered by the on-brick packet switches (paper §III).
+	PacketFallback bool
+}
+
+// DefaultConfig holds representative control-plane costs.
+var DefaultConfig = Config{
+	DecisionLatency: 500 * sim.Microsecond,
+	AgentRTT:        2 * sim.Millisecond,
+	BrickBoot:       3 * sim.Second,
+	RMSTCapacity:    32,
+	WindowBase:      1 << 40,
+	Policy:          PolicyPowerAware,
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.DecisionLatency < 0 || c.AgentRTT < 0 || c.BrickBoot < 0 {
+		return fmt.Errorf("sdm: negative latency in config")
+	}
+	if c.RMSTCapacity <= 0 {
+		return fmt.Errorf("sdm: RMST capacity must be positive, got %d", c.RMSTCapacity)
+	}
+	if c.WindowBase == 0 {
+		return fmt.Errorf("sdm: window base must be nonzero")
+	}
+	return nil
+}
+
+// Agent is the SDM Agent running on one dCOMPUBRICK's OS: it receives
+// configurations from the controller and applies them to the local TGL.
+type Agent struct {
+	Brick topo.BrickID
+	Glue  *tgl.Glue
+}
+
+// ComputeNode pairs a compute brick with its agent.
+type ComputeNode struct {
+	Brick *brick.Compute
+	Agent *Agent
+}
+
+// Attachment is one live remote-memory binding: a segment on a
+// dMEMBRICK, a circuit through the optical fabric, and a TGL window on
+// the consuming dCOMPUBRICK.
+type Attachment struct {
+	Owner   string
+	CPU     topo.BrickID
+	Segment *brick.Segment
+	Circuit *optical.Circuit
+	CPUPort topo.PortID
+	MemPort topo.PortID
+	Window  tgl.Entry
+	// Mode records whether the attachment owns its circuit (ModeCircuit)
+	// or rides another attachment's circuit in packet mode (ModePacket).
+	Mode AttachMode
+}
+
+// Size returns the attachment's capacity.
+func (a *Attachment) Size() brick.Bytes { return a.Segment.Size }
+
+// Controller is the SDM-C.
+type Controller struct {
+	cfg    Config
+	rack   *topo.Rack
+	fabric *optical.Fabric
+
+	computes map[topo.BrickID]*ComputeNode
+	memories map[topo.BrickID]*brick.Memory
+	accels   map[topo.BrickID]*brick.Accel
+
+	computeOrder []topo.BrickID
+	memoryOrder  []topo.BrickID
+	accelOrder   []topo.BrickID
+
+	nextWindow  map[topo.BrickID]uint64
+	attachments map[string][]*Attachment
+
+	// riders counts packet-mode attachments sharing each live circuit;
+	// circuitHosts indexes circuit-mode attachments by compute brick so
+	// the packet fallback can find a host circuit deterministically.
+	riders       map[*optical.Circuit]int
+	circuitHosts map[topo.BrickID][]*Attachment
+
+	// bareMetal maps exclusively reserved compute bricks to their tenant.
+	bareMetal map[topo.BrickID]string
+
+	requests uint64
+	failures uint64
+}
+
+// BrickConfigs carries per-kind construction parameters for the bricks
+// the controller instantiates from the rack topology.
+type BrickConfigs struct {
+	Compute brick.ComputeConfig
+	Memory  brick.MemoryConfig
+	Accel   brick.AccelConfig
+}
+
+// NewController builds the orchestration view of a rack: live brick
+// objects, every transceiver port patched into the optical fabric, and
+// an SDM Agent with an empty RMST on each compute brick.
+func NewController(rack *topo.Rack, fabric *optical.Fabric, bc BrickConfigs, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:          cfg,
+		rack:         rack,
+		fabric:       fabric,
+		computes:     make(map[topo.BrickID]*ComputeNode),
+		memories:     make(map[topo.BrickID]*brick.Memory),
+		accels:       make(map[topo.BrickID]*brick.Accel),
+		nextWindow:   make(map[topo.BrickID]uint64),
+		attachments:  make(map[string][]*Attachment),
+		riders:       make(map[*optical.Circuit]int),
+		circuitHosts: make(map[topo.BrickID][]*Attachment),
+	}
+	for _, b := range rack.Bricks() {
+		bcCompute := bc.Compute
+		bcCompute.Ports = b.Spec.Ports
+		bcMemory := bc.Memory
+		bcMemory.Ports = b.Spec.Ports
+		bcAccel := bc.Accel
+		bcAccel.Ports = b.Spec.Ports
+		switch b.Spec.Kind {
+		case topo.KindCompute:
+			cb := brick.NewCompute(b.ID, bcCompute)
+			table, err := tgl.NewRMST(cfg.RMSTCapacity)
+			if err != nil {
+				return nil, err
+			}
+			c.computes[b.ID] = &ComputeNode{
+				Brick: cb,
+				Agent: &Agent{Brick: b.ID, Glue: tgl.NewGlue(b.ID, table)},
+			}
+			c.computeOrder = append(c.computeOrder, b.ID)
+			c.nextWindow[b.ID] = cfg.WindowBase
+		case topo.KindMemory:
+			c.memories[b.ID] = brick.NewMemory(b.ID, bcMemory)
+			c.memoryOrder = append(c.memoryOrder, b.ID)
+		case topo.KindAccel:
+			c.accels[b.ID] = brick.NewAccel(b.ID, bcAccel)
+			c.accelOrder = append(c.accelOrder, b.ID)
+		}
+		for p := 0; p < b.Spec.Ports; p++ {
+			if err := fabric.AttachPort(topo.PortID{Brick: b.ID, Port: p}); err != nil {
+				return nil, fmt.Errorf("sdm: patching %v port %d: %w", b.ID, p, err)
+			}
+		}
+	}
+	if len(c.computes) == 0 {
+		return nil, fmt.Errorf("sdm: rack has no compute bricks")
+	}
+	return c, nil
+}
+
+// Compute returns the compute node for a brick.
+func (c *Controller) Compute(id topo.BrickID) (*ComputeNode, bool) {
+	n, ok := c.computes[id]
+	return n, ok
+}
+
+// Memory returns the memory brick object.
+func (c *Controller) Memory(id topo.BrickID) (*brick.Memory, bool) {
+	m, ok := c.memories[id]
+	return m, ok
+}
+
+// Accel returns the accelerator brick object.
+func (c *Controller) Accel(id topo.BrickID) (*brick.Accel, bool) {
+	a, ok := c.accels[id]
+	return a, ok
+}
+
+// Attachments returns the live attachments of an owner (a copy).
+func (c *Controller) Attachments(owner string) []*Attachment {
+	return append([]*Attachment(nil), c.attachments[owner]...)
+}
+
+// Stats returns cumulative request/failure counters.
+func (c *Controller) Stats() (requests, failures uint64) { return c.requests, c.failures }

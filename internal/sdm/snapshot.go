@@ -1,0 +1,163 @@
+package sdm
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+// This file is the SDM-C's operator interface: a serializable snapshot
+// of everything the controller manages, in the spirit of the paper's
+// role (d) — "generate all the necessary configurations and push them
+// via appropriate interfaces". The snapshot is what an OpenStack-style
+// frontend or dashboard would poll.
+
+// BrickState is one brick's externally visible state.
+type BrickState struct {
+	ID    topo.BrickID `json:"id"`
+	Kind  string       `json:"kind"`
+	Power string       `json:"power"`
+
+	// Compute bricks.
+	Cores     int `json:"cores,omitempty"`
+	UsedCores int `json:"usedCores,omitempty"`
+
+	// Memory bricks.
+	CapacityBytes uint64 `json:"capacityBytes,omitempty"`
+	UsedBytes     uint64 `json:"usedBytes,omitempty"`
+	Segments      int    `json:"segments,omitempty"`
+
+	// Accelerator bricks.
+	Slots     int `json:"slots,omitempty"`
+	FreeSlots int `json:"freeSlots,omitempty"`
+
+	FreePorts        int `json:"freePorts"`
+	QuarantinedPorts int `json:"quarantinedPorts"`
+}
+
+// AttachmentState is one live attachment, flattened for the wire.
+type AttachmentState struct {
+	Owner      string       `json:"owner"`
+	CPU        topo.BrickID `json:"cpu"`
+	Memory     topo.BrickID `json:"memory"`
+	Bytes      uint64       `json:"bytes"`
+	WindowBase uint64       `json:"windowBase"`
+	Mode       string       `json:"mode"`
+	Riders     int          `json:"riders,omitempty"`
+}
+
+// Snapshot is the full orchestration state.
+type Snapshot struct {
+	Bricks      []BrickState      `json:"bricks"`
+	Attachments []AttachmentState `json:"attachments"`
+	BareMetal   map[string]string `json:"bareMetal,omitempty"` // brick -> tenant
+	Circuits    int               `json:"circuits"`
+	Requests    uint64            `json:"requests"`
+	Failures    uint64            `json:"failures"`
+}
+
+// Snapshot captures the controller's current state. The result is
+// deterministic: bricks in rack order, attachments in owner-then-window
+// order.
+func (c *Controller) Snapshot() Snapshot {
+	var s Snapshot
+	for _, id := range c.computeOrder {
+		n := c.computes[id]
+		s.Bricks = append(s.Bricks, BrickState{
+			ID: id, Kind: topo.KindCompute.String(), Power: n.Brick.State().String(),
+			Cores: n.Brick.Cores, UsedCores: n.Brick.UsedCores(),
+			FreePorts: n.Brick.Ports.Free(), QuarantinedPorts: n.Brick.Ports.Quarantined(),
+		})
+	}
+	for _, id := range c.memoryOrder {
+		m := c.memories[id]
+		s.Bricks = append(s.Bricks, BrickState{
+			ID: id, Kind: topo.KindMemory.String(), Power: m.State().String(),
+			CapacityBytes: uint64(m.Capacity), UsedBytes: uint64(m.Used()),
+			Segments:  len(m.Segments()),
+			FreePorts: m.Ports.Free(), QuarantinedPorts: m.Ports.Quarantined(),
+		})
+	}
+	for _, id := range c.accelOrder {
+		a := c.accels[id]
+		s.Bricks = append(s.Bricks, BrickState{
+			ID: id, Kind: topo.KindAccel.String(), Power: a.State().String(),
+			Slots: a.Slots(), FreeSlots: a.FreeSlots(),
+			FreePorts: a.Ports.Free(), QuarantinedPorts: a.Ports.Quarantined(),
+		})
+	}
+	// Attachments: deterministic order via compute bricks' host index
+	// plus per-owner lists (which are append-ordered).
+	seen := map[*Attachment]bool{}
+	for _, id := range c.computeOrder {
+		for _, att := range c.circuitHosts[id] {
+			s.Attachments = append(s.Attachments, c.attachmentState(att))
+			seen[att] = true
+		}
+	}
+	// Packet-mode attachments are not circuit hosts; collect them by
+	// owner in sorted owner order for determinism.
+	owners := make([]string, 0, len(c.attachments))
+	for o := range c.attachments {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, o := range owners {
+		for _, att := range c.attachments[o] {
+			if !seen[att] {
+				s.Attachments = append(s.Attachments, c.attachmentState(att))
+			}
+		}
+	}
+	if len(c.bareMetal) > 0 {
+		s.BareMetal = make(map[string]string, len(c.bareMetal))
+		for id, tenant := range c.bareMetal {
+			s.BareMetal[id.String()] = tenant
+		}
+	}
+	s.Circuits = c.fabric.LiveCircuits()
+	s.Requests, s.Failures = c.requests, c.failures
+	return s
+}
+
+func (c *Controller) attachmentState(att *Attachment) AttachmentState {
+	return AttachmentState{
+		Owner:      att.Owner,
+		CPU:        att.CPU,
+		Memory:     att.Segment.Brick,
+		Bytes:      uint64(att.Size()),
+		WindowBase: att.Window.Base,
+		Mode:       att.Mode.String(),
+		Riders:     c.riders[att.Circuit],
+	}
+}
+
+// MarshalJSON-friendly export of the whole snapshot.
+func (s Snapshot) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("sdm: snapshot marshal: %w", err)
+	}
+	return b, nil
+}
+
+// ParseSnapshot decodes a snapshot produced by JSON.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("sdm: snapshot unmarshal: %w", err)
+	}
+	return s, nil
+}
+
+// TotalPooledBytes sums memory brick capacity in the snapshot.
+func (s Snapshot) TotalPooledBytes() brick.Bytes {
+	var n brick.Bytes
+	for _, b := range s.Bricks {
+		n += brick.Bytes(b.CapacityBytes)
+	}
+	return n
+}

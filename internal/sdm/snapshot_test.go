@@ -1,0 +1,137 @@
+package sdm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/brick"
+)
+
+func TestSnapshotReflectsState(t *testing.T) {
+	c := packetRack(t)
+	cpu, _, _ := c.ReserveCompute("vm1", 2, 0)
+	att, _, err := c.AttachRemoteMemory("vm1", cpu, 4*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.ReserveBareMetal("tenant-x"); err != nil {
+		t.Fatal(err)
+	}
+
+	s := c.Snapshot()
+	if len(s.Bricks) != 5 { // 2 compute + 2 memory + 1 accel
+		t.Fatalf("bricks = %d, want 5", len(s.Bricks))
+	}
+	var cpuState, memState *BrickState
+	for i := range s.Bricks {
+		b := &s.Bricks[i]
+		if b.ID == cpu {
+			cpuState = b
+		}
+		if b.ID == att.Segment.Brick {
+			memState = b
+		}
+	}
+	if cpuState == nil || memState == nil {
+		t.Fatal("bricks missing from snapshot")
+	}
+	if cpuState.UsedCores != 2 || cpuState.Power != "active" {
+		t.Fatalf("cpu state = %+v", cpuState)
+	}
+	if memState.UsedBytes != uint64(4*brick.GiB) || memState.Segments != 1 {
+		t.Fatalf("mem state = %+v", memState)
+	}
+	if len(s.Attachments) != 1 {
+		t.Fatalf("attachments = %d", len(s.Attachments))
+	}
+	a := s.Attachments[0]
+	if a.Owner != "vm1" || a.Mode != "circuit" || a.Bytes != uint64(4*brick.GiB) {
+		t.Fatalf("attachment = %+v", a)
+	}
+	if s.Circuits != 1 {
+		t.Fatalf("circuits = %d", s.Circuits)
+	}
+	if len(s.BareMetal) != 1 {
+		t.Fatalf("bare metal tenants = %v", s.BareMetal)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	c := packetRack(t)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+
+	s := c.Snapshot()
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "dCOMPUBRICK") {
+		t.Fatal("JSON missing brick kind")
+	}
+	back, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Bricks) != len(s.Bricks) || len(back.Attachments) != len(s.Attachments) {
+		t.Fatal("round trip lost entries")
+	}
+	if back.Attachments[0] != s.Attachments[0] {
+		t.Fatalf("attachment round trip: %+v vs %+v", back.Attachments[0], s.Attachments[0])
+	}
+	if _, err := ParseSnapshot([]byte("{nope")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestSnapshotIncludesPacketRiders(t *testing.T) {
+	c := packetRack(t)
+	cpu, _, _ := c.ReserveCompute("vm1", 1, 0)
+	for i := 0; i < 8; i++ {
+		c.AttachRemoteMemory("vm1", cpu, brick.GiB)
+	}
+	if _, _, err := c.AttachRemoteMemory("vm1", cpu, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Snapshot()
+	if len(s.Attachments) != 9 {
+		t.Fatalf("attachments = %d, want 9", len(s.Attachments))
+	}
+	packet, ridered := 0, 0
+	for _, a := range s.Attachments {
+		if a.Mode == "packet" {
+			packet++
+		}
+		if a.Riders > 0 {
+			ridered++
+		}
+	}
+	if packet != 1 {
+		t.Fatalf("packet attachments = %d, want 1", packet)
+	}
+	// The rider itself shares its host's circuit, so both the host and
+	// the rider report riders > 0.
+	if ridered < 1 {
+		t.Fatal("no ridered circuits visible in snapshot")
+	}
+	if s.TotalPooledBytes() == 0 {
+		t.Fatal("pooled capacity missing")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() Snapshot {
+		c := packetRack(&testing.T{})
+		cpu, _, _ := c.ReserveCompute("b-vm", 1, 0)
+		c.AttachRemoteMemory("b-vm", cpu, brick.GiB)
+		c.ReserveCompute("a-vm", 1, 0)
+		c.AttachRemoteMemory("a-vm", cpu, brick.GiB)
+		return c.Snapshot()
+	}
+	a, b := mk(), mk()
+	ja, _ := a.JSON()
+	jb, _ := b.JSON()
+	if string(ja) != string(jb) {
+		t.Fatal("snapshots of identical histories differ")
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+// Queue serializes access to a shared resource in virtual time: a
+// memory-controller channel, a switch output port, a MAC serializer. The
+// resource is busy while serving a request; later arrivals wait. Serve
+// converts per-request service latency into (start, done) timestamps.
+type Queue struct {
+	nextFree Time
+	served   uint64
+	busy     Duration // cumulative busy time, for utilization
+}
+
+// Serve schedules a request arriving at now with the given service time.
+// It returns when service starts and completes.
+func (q *Queue) Serve(now Time, service Duration) (start, done Time) {
+	start = now
+	if q.nextFree > start {
+		start = q.nextFree
+	}
+	done = start.Add(service)
+	q.nextFree = done
+	q.served++
+	q.busy += service
+	return start, done
+}
+
+// Served returns the number of requests the queue has processed.
+func (q *Queue) Served() uint64 { return q.served }
+
+// NextFree returns the time at which the resource becomes idle.
+func (q *Queue) NextFree() Time { return q.nextFree }
+
+// Utilization returns busy-time divided by the window [0, now].
+func (q *Queue) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(q.busy) / float64(now)
+}

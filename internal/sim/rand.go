@@ -1,0 +1,88 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random source
+// (SplitMix64 core). It is not cryptographically secure; it exists so
+// simulation results are reproducible across Go versions, unlike
+// math/rand whose stream is only stable per major version.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a value uniformly distributed in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a value uniformly distributed in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntBetween returns a value uniformly distributed in [lo, hi] inclusive.
+// It panics if hi < lo.
+func (r *Rand) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic("sim: IntBetween with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and
+// standard deviation 1, via the Box-Muller transform.
+func (r *Rand) NormFloat64() float64 {
+	// Avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1
+// (mean 1).
+func (r *Rand) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Duration returns a uniformly distributed duration in [0, d).
+func (r *Rand) Duration(d Duration) Duration {
+	if d <= 0 {
+		return 0
+	}
+	return Duration(r.Uint64() % uint64(d))
+}
+
+// Shuffle pseudo-randomly permutes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

@@ -1,0 +1,231 @@
+// Package sim provides a deterministic discrete-event simulation kernel
+// used by every dReDBox substrate model in this repository.
+//
+// The kernel is deliberately small: a virtual clock, a stable priority
+// queue of timestamped callbacks, and a seeded random source. All latency
+// and throughput results in the benchmark harness are produced by models
+// scheduled on this kernel, so determinism (same seed, same event order,
+// same results) is a hard requirement. Ties in event time are broken by
+// schedule order, never by map iteration or goroutine interleaving.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Forever is a sentinel meaning "no deadline".
+const Forever Time = math.MaxInt64
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the duration in (floating point) seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Micros returns the duration in (floating point) microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+func (t Time) String() string { return Duration(t).String() }
+
+// Handler is a callback executed when an event fires. It runs on the
+// single simulation goroutine; handlers may schedule further events.
+type Handler func(now Time)
+
+type event struct {
+	at   Time
+	seq  uint64 // schedule order, breaks time ties deterministically
+	fn   Handler
+	idx  int
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ e *event }
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is not ready to use; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// Executed counts events that have fired, for diagnostics and tests.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Executed returns the number of events that have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// ErrPast is returned when scheduling before the current virtual time.
+var ErrPast = errors.New("sim: cannot schedule event in the past")
+
+// At schedules fn to run at absolute time t. Scheduling at the current
+// time is allowed (the event runs after already-queued events at t).
+func (e *Engine) At(t Time, fn Handler) (EventID, error) {
+	if t < e.now {
+		return EventID{}, fmt.Errorf("%w: at=%v now=%v", ErrPast, t, e.now)
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}, nil
+}
+
+// After schedules fn to run d from now. Negative d is an error.
+func (e *Engine) After(d Duration, fn Handler) (EventID, error) {
+	if d < 0 {
+		return EventID{}, fmt.Errorf("%w: delay=%v", ErrPast, d)
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// MustAfter is After for callers with a known-nonnegative delay.
+// It panics on error; models use it when the delay is a model constant.
+func (e *Engine) MustAfter(d Duration, fn Handler) EventID {
+	id, err := e.After(d, fn)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Cancel removes a scheduled event; cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.e
+	if ev == nil || ev.dead || ev.idx < 0 {
+		return false
+	}
+	ev.dead = true
+	return true
+}
+
+// Stop halts Run after the currently executing handler returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to deadline (if the simulation had not already passed it).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,359 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.MustAfter(30, func(Time) { order = append(order, 3) })
+	e.MustAfter(10, func(Time) { order = append(order, 1) })
+	e.MustAfter(20, func(Time) { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTieBreakIsScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustAfter(5, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order[%d] = %d, want %d (full: %v)", i, v, i, order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.MustAfter(10, func(now Time) {
+		times = append(times, now)
+		e.MustAfter(5, func(now Time) { times = append(times, now) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v, want [10 15]", times)
+	}
+}
+
+func TestSchedulingInThePastFails(t *testing.T) {
+	e := NewEngine()
+	e.MustAfter(100, func(Time) {})
+	e.Run()
+	if _, err := e.At(50, func(Time) {}); err == nil {
+		t.Fatal("At(past) succeeded, want error")
+	}
+	if _, err := e.After(-1, func(Time) {}); err == nil {
+		t.Fatal("After(negative) succeeded, want error")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.MustAfter(10, func(Time) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.MustAfter(Duration(i+1), func(Time) {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("executed %d events after Stop, want 2", count)
+	}
+	// Run can be resumed.
+	e.Run()
+	if count != 5 {
+		t.Fatalf("executed %d events after resume, want 5", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Duration{10, 20, 30, 40} {
+		e.MustAfter(d, func(now Time) { fired = append(fired, now) })
+	}
+	end := e.RunUntil(25)
+	if end != 25 {
+		t.Fatalf("RunUntil end = %v, want 25", end)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2 (times %v)", len(fired), fired)
+	}
+	// Advances to deadline even with an empty queue.
+	e.Run()
+	end = e.RunUntil(100)
+	if end != 100 {
+		t.Fatalf("RunUntil on drained queue = %v, want 100", end)
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	e := NewEngine()
+	id := e.MustAfter(5, func(Time) { t.Fatal("cancelled event fired") })
+	ok := false
+	e.MustAfter(10, func(Time) { ok = true })
+	e.Cancel(id)
+	e.RunUntil(50)
+	if !ok {
+		t.Fatal("event after cancelled head did not fire")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.MustAfter(Duration(i), func(Time) {})
+	}
+	e.Run()
+	if e.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", e.Executed())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("Duration(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var tm Time = 100
+	if tm.Add(50) != 150 {
+		t.Fatal("Add failed")
+	}
+	if tm.Add(50).Sub(tm) != 50 {
+		t.Fatal("Sub failed")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stream")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandIntBetweenInclusive(t *testing.T) {
+	r := NewRand(9)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.IntBetween(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntBetween(3,6) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 6; v++ {
+		if !seen[v] {
+			t.Fatalf("IntBetween never produced %d", v)
+		}
+	}
+}
+
+func TestRandNormMoments(t *testing.T) {
+	r := NewRand(11)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(13)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1) > 0.05 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(17)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandPanics(t *testing.T) {
+	r := NewRand(1)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Intn(0)", func() { r.Intn(0) })
+	mustPanic("IntBetween(5,4)", func() { r.IntBetween(5, 4) })
+}
+
+// Property: for any set of non-negative delays, Run fires every event and
+// the clock ends at the maximum delay.
+func TestPropEngineFiresAllEvents(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var max Time
+		for _, d := range raw {
+			dd := Duration(d)
+			if Time(dd) > max {
+				max = Time(dd)
+			}
+			e.MustAfter(dd, func(Time) {})
+		}
+		end := e.Run()
+		return e.Executed() == uint64(len(raw)) && (len(raw) == 0 || end == max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: event timestamps observed by handlers are monotonically
+// non-decreasing regardless of insertion order.
+func TestPropMonotonicClock(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var seen []Time
+		for _, d := range raw {
+			e.MustAfter(Duration(d), func(now Time) { seen = append(seen, now) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rand.Duration stays within bounds.
+func TestPropRandDurationBounds(t *testing.T) {
+	f := func(seed uint64, span uint32) bool {
+		r := NewRand(seed)
+		d := Duration(span)
+		got := r.Duration(d)
+		if d <= 0 {
+			return got == 0
+		}
+		return got >= 0 && got < d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.MustAfter(Duration(j%97), func(Time) {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Fatalf("quartiles = %v, %v", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if q := Quantile(sorted, 0.5); q != 5 {
+		t.Fatalf("Quantile(0.5) = %v, want 5", q)
+	}
+	if q := Quantile(sorted, 0); q != 0 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 10 {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile of empty not NaN")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean of empty not NaN")
+	}
+	sd := StdDev([]float64{2, 4, 6})
+	if math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", sd)
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Fatal("StdDev of singleton not NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Fatalf("P100 = %v", p)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile of empty not NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("%s|%.2f", "beta", 2.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[3], "beta") || !strings.Contains(lines[3], "2.50") {
+		t.Fatalf("formatted row wrong: %q", lines[3])
+	}
+	// Columns align: all rows have equal length.
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Fatalf("row %d width %d != header width %d", i, len(lines[i]), len(lines[0]))
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]float64{1, 1, 2, 3, 3, 3}, 3, 30)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("histogram has no bars:\n%s", out)
+	}
+	if got := Histogram(nil, 3, 30); got != "(empty)\n" {
+		t.Fatalf("empty histogram = %q", got)
+	}
+	// Constant data does not divide by zero.
+	if out := Histogram([]float64{7, 7, 7}, 4, 10); !strings.Contains(out, "3") {
+		t.Fatalf("constant histogram wrong:\n%s", out)
+	}
+}
+
+// Property: Min ≤ Q1 ≤ Median ≤ Q3 ≤ Max and Mean within [Min, Max].
+func TestPropSummaryOrdering(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		sort.Float64s(xs)
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package tco
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// FillPoint is one point of the utilization-sensitivity sweep.
+type FillPoint struct {
+	TargetFill   float64
+	SavingsFrac  float64
+	BrickOffFrac float64
+	ConvOffFrac  float64
+}
+
+// FillSweep answers a question the paper's single-point study leaves
+// open: how do the disaggregation savings depend on how full the
+// datacenter runs? At low fill both datacenters power off plenty; near
+// saturation neither can; the disaggregation advantage peaks in between
+// for unbalanced workloads.
+func FillSweep(cfg Config, class workload.Class, fills []float64) ([]FillPoint, error) {
+	if len(fills) == 0 {
+		return nil, fmt.Errorf("tco: fill sweep needs at least one point")
+	}
+	var out []FillPoint
+	for _, f := range fills {
+		c := cfg
+		c.TargetFill = f
+		r, err := Run(c, class)
+		if err != nil {
+			return nil, fmt.Errorf("tco: fill %v: %w", f, err)
+		}
+		out = append(out, FillPoint{
+			TargetFill:   f,
+			SavingsFrac:  r.SavingsFrac,
+			BrickOffFrac: r.BrickOffFrac,
+			ConvOffFrac:  r.ConvOffFrac,
+		})
+	}
+	return out, nil
+}
+
+// DefaultFills is the sweep grid used by the report and benches.
+var DefaultFills = []float64{0.25, 0.40, 0.55, 0.70, 0.85, 0.95}

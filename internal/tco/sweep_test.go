@@ -1,0 +1,48 @@
+package tco
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestFillSweepShape(t *testing.T) {
+	points, err := FillSweep(DefaultConfig, workload.HighRAM, DefaultFills)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(DefaultFills) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Fill values echo the grid, and off-fractions fall (weakly) as the
+	// datacenter fills up.
+	for i, p := range points {
+		if p.TargetFill != DefaultFills[i] {
+			t.Fatalf("point %d fill %v", i, p.TargetFill)
+		}
+		if i > 0 && p.BrickOffFrac > points[i-1].BrickOffFrac+1e-9 {
+			t.Fatalf("brick off fraction rose with fill: %v -> %v", points[i-1].BrickOffFrac, p.BrickOffFrac)
+		}
+	}
+	// Even near saturation the unbalanced class keeps substantial
+	// savings — the stranded resource stays off.
+	last := points[len(points)-1]
+	if last.SavingsFrac < 0.3 {
+		t.Fatalf("savings at 95%% fill = %.0f%%, expected High RAM to keep most of them", 100*last.SavingsFrac)
+	}
+	// At very low fill both datacenters shed most units, so savings
+	// still favour disaggregation but both off-fractions are high.
+	first := points[0]
+	if first.ConvOffFrac <= last.ConvOffFrac {
+		t.Fatal("conventional off fraction did not fall with fill")
+	}
+}
+
+func TestFillSweepValidation(t *testing.T) {
+	if _, err := FillSweep(DefaultConfig, workload.Random, nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := FillSweep(DefaultConfig, workload.Random, []float64{1.5}); err == nil {
+		t.Fatal("fill > 1 accepted")
+	}
+}

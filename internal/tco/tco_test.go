@@ -1,0 +1,186 @@
+package tco
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesUnequalAggregates(t *testing.T) {
+	c := DefaultConfig
+	c.ComputeBricks = 31
+	if err := c.Validate(); err == nil {
+		t.Fatal("unequal cores accepted")
+	}
+	c = DefaultConfig
+	c.MemBrickGiB = 7
+	if err := c.Validate(); err == nil {
+		t.Fatal("unequal memory accepted")
+	}
+	c = DefaultConfig
+	c.Hosts = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero hosts accepted")
+	}
+	c = DefaultConfig
+	c.SwitchW = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative switch power accepted")
+	}
+}
+
+func TestRunHighRAMShape(t *testing.T) {
+	// Paper Fig. 12: with RAM-heavy VMs, most dCOMPUBRICKs power off
+	// while almost no conventional host does.
+	r, err := Run(DefaultConfig, workload.HighRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VMs == 0 {
+		t.Fatal("no VMs placed")
+	}
+	if r.CompOffFrac < 0.5 {
+		t.Fatalf("High RAM: compute bricks off = %.0f%%, expected majority", 100*r.CompOffFrac)
+	}
+	if r.ConvOffFrac > 0.2 {
+		t.Fatalf("High RAM: conventional hosts off = %.0f%%, expected near zero", 100*r.ConvOffFrac)
+	}
+	if r.MaxKindOffFrac < r.CompOffFrac {
+		t.Fatal("MaxKindOffFrac below component")
+	}
+	// Fig. 13 shape: substantial savings on unbalanced workloads.
+	if r.SavingsFrac < 0.3 {
+		t.Fatalf("High RAM savings = %.0f%%, expected >30%%", 100*r.SavingsFrac)
+	}
+	// Conventional hosts strand cores when RAM-bound.
+	if r.StrandedConvCores == 0 {
+		t.Fatal("no stranded cores on RAM-bound conventional hosts")
+	}
+}
+
+func TestRunHighCPUShape(t *testing.T) {
+	// Mirror image: most dMEMBRICKs power off.
+	r, err := Run(DefaultConfig, workload.HighCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemOffFrac < 0.5 {
+		t.Fatalf("High CPU: memory bricks off = %.0f%%, expected majority", 100*r.MemOffFrac)
+	}
+	if r.SavingsFrac < 0.2 {
+		t.Fatalf("High CPU savings = %.0f%%, expected >20%%", 100*r.SavingsFrac)
+	}
+}
+
+func TestRunHalfHalfNearParity(t *testing.T) {
+	// Balanced VMs utilize both sides proportionally: both datacenters
+	// power off the same fraction of units and savings are near zero
+	// (the paper's worst case for disaggregation).
+	r, err := Run(DefaultConfig, workload.HalfHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := r.BrickOffFrac - r.ConvOffFrac; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("Half Half: bricks off %.0f%% vs hosts off %.0f%%, expected parity",
+			100*r.BrickOffFrac, 100*r.ConvOffFrac)
+	}
+	if r.SavingsFrac > 0.1 || r.SavingsFrac < -0.1 {
+		t.Fatalf("Half Half savings = %.0f%%, expected ~0", 100*r.SavingsFrac)
+	}
+}
+
+func TestRunAllCoversTable1(t *testing.T) {
+	rs, err := RunAll(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("results = %d, want 6", len(rs))
+	}
+	for i, r := range rs {
+		if r.Class != workload.Classes()[i] {
+			t.Fatalf("result %d class %v", i, r.Class)
+		}
+		if r.NormalizedPower <= 0 {
+			t.Fatalf("%v: normalized power %v", r.Class, r.NormalizedPower)
+		}
+		// Fractions in range.
+		for _, f := range []float64{r.ConvOffFrac, r.CompOffFrac, r.MemOffFrac, r.BrickOffFrac} {
+			if f < 0 || f > 1 {
+				t.Fatalf("%v: fraction %v out of range", r.Class, f)
+			}
+		}
+	}
+}
+
+func TestPaperHeadlines(t *testing.T) {
+	// "Depending on the different VM configurations in dReDBox, up to
+	// 88% of dMEMBRICKs or dCOMPUBRICKs can be powered off ... whereas in
+	// a conventional datacenter only 15% of the hosts" — check the
+	// across-classes maxima land in that regime.
+	rs, err := RunAll(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bestKindOff, bestSavings, bestConvOff float64
+	for _, r := range rs {
+		if r.MaxKindOffFrac > bestKindOff {
+			bestKindOff = r.MaxKindOffFrac
+		}
+		if r.SavingsFrac > bestSavings {
+			bestSavings = r.SavingsFrac
+		}
+		if r.ConvOffFrac > bestConvOff {
+			bestConvOff = r.ConvOffFrac
+		}
+	}
+	if bestKindOff < 0.7 {
+		t.Fatalf("best per-kind off = %.0f%%, paper reports up to ~88%%", 100*bestKindOff)
+	}
+	if bestSavings < 0.35 {
+		t.Fatalf("best savings = %.0f%%, paper reports almost 50%%", 100*bestSavings)
+	}
+	if bestConvOff > 0.3 {
+		t.Fatalf("conventional off = %.0f%%, paper reports only ~15%%", 100*bestConvOff)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(DefaultConfig, workload.Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultConfig, workload.Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same-seed runs differ:\n%+v\n%+v", a, b)
+	}
+	c := DefaultConfig
+	c.Seed = 2
+	alt, err := Run(c, workload.Random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.VMs == a.VMs && alt.BrickOffFrac == a.BrickOffFrac {
+		t.Log("different seeds produced identical results (possible but unlikely)")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	c := DefaultConfig
+	c.BrickCores = 16 // breaks aggregate equality
+	if _, err := Run(c, workload.Random); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Run(DefaultConfig, workload.Class(99)); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

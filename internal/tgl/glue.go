@@ -1,0 +1,83 @@
+package tgl
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Glue is the Transaction Glue Logic instance of one dCOMPUBRICK. The
+// APU forwards remote memory requests to it via master ports; Glue
+// resolves each request against the segment table and emits the remote
+// address plus the egress port carrying the pre-established circuit.
+//
+// Glue is policy-free: installing and removing segments is the privilege
+// of the SDM Agent (see internal/sdm), which receives configurations from
+// the SDM Controller.
+type Glue struct {
+	Brick topo.BrickID
+	Table SegmentTable
+
+	translations uint64
+	faults       uint64
+}
+
+// NewGlue returns glue logic for a compute brick over the given table.
+func NewGlue(brick topo.BrickID, table SegmentTable) *Glue {
+	return &Glue{Brick: brick, Table: table}
+}
+
+// Route is the datapath decision for one transaction.
+type Route struct {
+	Remote RemoteAddr
+	Egress topo.PortID
+}
+
+// Translate resolves a local physical address to a remote brick address
+// and egress port. Addresses outside every window fault with ErrNotMapped
+// (on the prototype this raises a bus error to the APU).
+func (g *Glue) Translate(addr uint64) (Route, error) {
+	e, ok := g.Table.Lookup(addr)
+	if !ok {
+		g.faults++
+		return Route{}, fmt.Errorf("%w: brick %v addr %#x", ErrNotMapped, g.Brick, addr)
+	}
+	g.translations++
+	return Route{
+		Remote: RemoteAddr{Brick: e.Dest, Offset: e.DestOffset + (addr - e.Base)},
+		Egress: e.Port,
+	}, nil
+}
+
+// TranslateRange resolves a [addr, addr+size) transaction, additionally
+// rejecting accesses that straddle a segment boundary — the prototype
+// glue logic never splits one AXI transaction across two circuits.
+func (g *Glue) TranslateRange(addr, size uint64) (Route, error) {
+	if size == 0 {
+		return Route{}, fmt.Errorf("tgl: zero-size transaction at %#x", addr)
+	}
+	e, ok := g.Table.Lookup(addr)
+	if !ok {
+		g.faults++
+		return Route{}, fmt.Errorf("%w: brick %v addr %#x", ErrNotMapped, g.Brick, addr)
+	}
+	if addr+size-1 > e.End()-1 {
+		g.faults++
+		return Route{}, fmt.Errorf("tgl: transaction [%#x,%#x) straddles segment end %#x", addr, addr+size, e.End())
+	}
+	g.translations++
+	return Route{
+		Remote: RemoteAddr{Brick: e.Dest, Offset: e.DestOffset + (addr - e.Base)},
+		Egress: e.Port,
+	}, nil
+}
+
+// Attach installs a segment window; it is what the SDM Agent calls when
+// the controller pushes a new memory attachment.
+func (g *Glue) Attach(e Entry) error { return g.Table.Install(e) }
+
+// Detach removes the window with the given base.
+func (g *Glue) Detach(base uint64) error { return g.Table.Remove(base) }
+
+// Stats returns cumulative translation and fault counts.
+func (g *Glue) Stats() (translations, faults uint64) { return g.translations, g.faults }

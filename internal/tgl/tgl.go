@@ -1,0 +1,256 @@
+// Package tgl implements the dReDBox Transaction Glue Logic: the
+// datapath block on a dCOMPUBRICK that intercepts APU memory
+// transactions, identifies the remote memory segment they target through
+// the Remote Memory Segment Table (RMST), and forwards them to the
+// high-speed port behind which the orchestrator has set up a circuit to
+// the owning dMEMBRICK.
+//
+// The paper describes the RMST as "a fully associative structure, whose
+// entries identify large and contiguous portions of remote memory space
+// hosted in dMEMBRICKs". This package provides that structure plus a
+// direct-mapped variant used by the ablation benches to quantify what
+// full associativity buys.
+package tgl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// RemoteAddr is the result of translating a local physical address: the
+// owning brick and the offset within that brick's pool.
+type RemoteAddr struct {
+	Brick  topo.BrickID
+	Offset uint64
+}
+
+// Entry is one RMST entry: a contiguous window [Base, Base+Size) of the
+// compute brick's physical address space mapped onto a segment of a
+// remote memory brick, reachable through Port.
+type Entry struct {
+	Base       uint64
+	Size       uint64
+	Dest       topo.BrickID
+	DestOffset uint64
+	Port       topo.PortID
+}
+
+// Contains reports whether addr falls inside the entry's window.
+func (e Entry) Contains(addr uint64) bool {
+	return addr >= e.Base && addr-e.Base < e.Size
+}
+
+// End returns the first address past the window.
+func (e Entry) End() uint64 { return e.Base + e.Size }
+
+// Validate rejects degenerate or wrapping windows.
+func (e Entry) Validate() error {
+	if e.Size == 0 {
+		return errors.New("tgl: zero-size RMST entry")
+	}
+	if e.Base+e.Size < e.Base {
+		return errors.New("tgl: RMST entry wraps the address space")
+	}
+	return nil
+}
+
+// SegmentTable is the lookup structure shared by the fully associative
+// and direct-mapped RMST variants.
+type SegmentTable interface {
+	// Install adds an entry; it fails when the table is full (or, for the
+	// direct-mapped variant, when the entry's set is occupied) or when the
+	// entry overlaps an existing window.
+	Install(e Entry) error
+	// Remove deletes the entry whose Base matches exactly.
+	Remove(base uint64) error
+	// Lookup translates addr, returning the matched entry.
+	Lookup(addr uint64) (Entry, bool)
+	// Entries returns live entries in insertion order (a copy).
+	Entries() []Entry
+	// Capacity returns the maximum number of entries.
+	Capacity() int
+	// Len returns the number of live entries.
+	Len() int
+}
+
+// ErrTableFull is returned by Install when no slot is available.
+var ErrTableFull = errors.New("tgl: segment table full")
+
+// ErrOverlap is returned by Install when the new window overlaps a live
+// entry — overlapping windows would make translation ambiguous.
+var ErrOverlap = errors.New("tgl: segment window overlaps existing entry")
+
+// ErrNotMapped is returned by translation for addresses outside every
+// window.
+var ErrNotMapped = errors.New("tgl: address not mapped by any RMST entry")
+
+// RMST is the paper's fully associative Remote Memory Segment Table:
+// every entry is a candidate for every lookup, so any segment layout that
+// fits in the table can be installed without conflicts.
+type RMST struct {
+	capacity int
+	entries  []Entry
+
+	hits, misses uint64
+}
+
+// NewRMST returns an empty fully associative table with the given number
+// of entry slots. The prototype IP provisions a small number of large
+// segments; 32 is the default used across this repository.
+func NewRMST(capacity int) (*RMST, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("tgl: RMST capacity must be positive, got %d", capacity)
+	}
+	return &RMST{capacity: capacity}, nil
+}
+
+// Capacity implements SegmentTable.
+func (t *RMST) Capacity() int { return t.capacity }
+
+// Len implements SegmentTable.
+func (t *RMST) Len() int { return len(t.entries) }
+
+// Install implements SegmentTable.
+func (t *RMST) Install(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if len(t.entries) >= t.capacity {
+		return fmt.Errorf("%w (capacity %d)", ErrTableFull, t.capacity)
+	}
+	for _, x := range t.entries {
+		if e.Base < x.End() && x.Base < e.End() {
+			return fmt.Errorf("%w: [%#x,%#x) vs [%#x,%#x)", ErrOverlap, e.Base, e.End(), x.Base, x.End())
+		}
+	}
+	t.entries = append(t.entries, e)
+	return nil
+}
+
+// Remove implements SegmentTable.
+func (t *RMST) Remove(base uint64) error {
+	for i, x := range t.entries {
+		if x.Base == base {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("tgl: no RMST entry with base %#x", base)
+}
+
+// Lookup implements SegmentTable. All entries are searched (fully
+// associative match).
+func (t *RMST) Lookup(addr uint64) (Entry, bool) {
+	for _, e := range t.entries {
+		if e.Contains(addr) {
+			t.hits++
+			return e, true
+		}
+	}
+	t.misses++
+	return Entry{}, false
+}
+
+// Entries implements SegmentTable.
+func (t *RMST) Entries() []Entry { return append([]Entry(nil), t.entries...) }
+
+// Stats returns lookup hit/miss counters.
+func (t *RMST) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// DirectRMST is the ablation variant: entries are direct-mapped by
+// segment-granule index, so two segments whose base addresses collide in
+// the index cannot coexist even when slots remain free.
+type DirectRMST struct {
+	granule uint64 // address bits per set index: set = (base/granule) % capacity
+	slots   []*Entry
+
+	hits, misses uint64
+}
+
+// NewDirectRMST returns a direct-mapped table. granule is the address
+// stride that selects a set; segments are expected to be granule-aligned.
+func NewDirectRMST(capacity int, granule uint64) (*DirectRMST, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("tgl: DirectRMST capacity must be positive, got %d", capacity)
+	}
+	if granule == 0 {
+		return nil, errors.New("tgl: DirectRMST granule must be positive")
+	}
+	return &DirectRMST{granule: granule, slots: make([]*Entry, capacity)}, nil
+}
+
+func (t *DirectRMST) set(base uint64) int {
+	return int((base / t.granule) % uint64(len(t.slots)))
+}
+
+// Capacity implements SegmentTable.
+func (t *DirectRMST) Capacity() int { return len(t.slots) }
+
+// Len implements SegmentTable.
+func (t *DirectRMST) Len() int {
+	n := 0
+	for _, s := range t.slots {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Install implements SegmentTable. A set conflict is reported as
+// ErrTableFull even when other slots are free — that is exactly the
+// direct-mapped penalty the ablation measures.
+func (t *DirectRMST) Install(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	for _, x := range t.slots {
+		if x != nil && e.Base < x.End() && x.Base < e.End() {
+			return fmt.Errorf("%w: [%#x,%#x) vs [%#x,%#x)", ErrOverlap, e.Base, e.End(), x.Base, x.End())
+		}
+	}
+	s := t.set(e.Base)
+	if t.slots[s] != nil {
+		return fmt.Errorf("%w: set %d conflict (direct-mapped)", ErrTableFull, s)
+	}
+	cp := e
+	t.slots[s] = &cp
+	return nil
+}
+
+// Remove implements SegmentTable.
+func (t *DirectRMST) Remove(base uint64) error {
+	s := t.set(base)
+	if t.slots[s] == nil || t.slots[s].Base != base {
+		return fmt.Errorf("tgl: no DirectRMST entry with base %#x", base)
+	}
+	t.slots[s] = nil
+	return nil
+}
+
+// Lookup implements SegmentTable. Only the addressed set is probed.
+func (t *DirectRMST) Lookup(addr uint64) (Entry, bool) {
+	s := t.set(addr)
+	if e := t.slots[s]; e != nil && e.Contains(addr) {
+		t.hits++
+		return *e, true
+	}
+	t.misses++
+	return Entry{}, false
+}
+
+// Entries implements SegmentTable.
+func (t *DirectRMST) Entries() []Entry {
+	var out []Entry
+	for _, s := range t.slots {
+		if s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
+// Stats returns lookup hit/miss counters.
+func (t *DirectRMST) Stats() (hits, misses uint64) { return t.hits, t.misses }

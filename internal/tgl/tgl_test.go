@@ -1,0 +1,259 @@
+package tgl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+)
+
+var (
+	memBrick = topo.BrickID{Tray: 1, Slot: 2}
+	cpuBrick = topo.BrickID{Tray: 0, Slot: 0}
+	port0    = topo.PortID{Brick: cpuBrick, Port: 0}
+)
+
+func entry(base, size uint64) Entry {
+	return Entry{Base: base, Size: size, Dest: memBrick, DestOffset: 0x1000, Port: port0}
+}
+
+func TestEntryContains(t *testing.T) {
+	e := entry(0x1000, 0x100)
+	for _, a := range []uint64{0x1000, 0x10ff} {
+		if !e.Contains(a) {
+			t.Errorf("Contains(%#x) = false, want true", a)
+		}
+	}
+	for _, a := range []uint64{0xfff, 0x1100, 0} {
+		if e.Contains(a) {
+			t.Errorf("Contains(%#x) = true, want false", a)
+		}
+	}
+}
+
+func TestEntryValidate(t *testing.T) {
+	if err := entry(0, 0).Validate(); err == nil {
+		t.Fatal("zero-size entry validated")
+	}
+	if err := (Entry{Base: ^uint64(0) - 10, Size: 100}).Validate(); err == nil {
+		t.Fatal("wrapping entry validated")
+	}
+	if err := entry(0x1000, 0x1000).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSTInstallLookupRemove(t *testing.T) {
+	rm, err := NewRMST(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Install(entry(0x1000, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.Install(entry(0x3000, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := rm.Lookup(0x1800)
+	if !ok || e.Base != 0x1000 {
+		t.Fatalf("Lookup(0x1800) = %+v, %v", e, ok)
+	}
+	if _, ok := rm.Lookup(0x2800); ok {
+		t.Fatal("lookup in gap succeeded")
+	}
+	if err := rm.Remove(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rm.Lookup(0x1800); ok {
+		t.Fatal("lookup after remove succeeded")
+	}
+	if err := rm.Remove(0x1000); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	hits, misses := rm.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = (%d, %d), want (1, 2)", hits, misses)
+	}
+}
+
+func TestRMSTOverlapRejected(t *testing.T) {
+	rm, _ := NewRMST(4)
+	rm.Install(entry(0x1000, 0x1000))
+	overlapping := []Entry{
+		entry(0x1800, 0x1000), // straddles the end
+		entry(0x0800, 0x1000), // straddles the start
+		entry(0x1000, 0x1000), // identical
+		entry(0x1200, 0x100),  // nested
+	}
+	for i, e := range overlapping {
+		if err := rm.Install(e); !errors.Is(err, ErrOverlap) {
+			t.Errorf("case %d: Install = %v, want ErrOverlap", i, err)
+		}
+	}
+	// Adjacent (touching) windows are fine.
+	if err := rm.Install(entry(0x2000, 0x1000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSTCapacity(t *testing.T) {
+	rm, _ := NewRMST(2)
+	rm.Install(entry(0x1000, 0x100))
+	rm.Install(entry(0x2000, 0x100))
+	if err := rm.Install(entry(0x3000, 0x100)); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("Install over capacity = %v, want ErrTableFull", err)
+	}
+	if rm.Len() != 2 || rm.Capacity() != 2 {
+		t.Fatalf("Len=%d Cap=%d", rm.Len(), rm.Capacity())
+	}
+	if _, err := NewRMST(0); err == nil {
+		t.Fatal("NewRMST(0) succeeded")
+	}
+}
+
+func TestDirectRMSTSetConflict(t *testing.T) {
+	// 4 sets, 1 MiB granule: bases 0 and 4MiB map to the same set.
+	dm, err := NewDirectRMST(4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Install(entry(0, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dm.Install(entry(4<<20, 1<<20)); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("set conflict Install = %v, want ErrTableFull", err)
+	}
+	// A non-conflicting base installs fine even though the fully
+	// associative table would also have taken the conflicting one.
+	if err := dm.Install(entry(1<<20, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", dm.Len())
+	}
+}
+
+func TestDirectRMSTLookupRemove(t *testing.T) {
+	dm, _ := NewDirectRMST(8, 1<<20)
+	dm.Install(entry(2<<20, 1<<20))
+	if e, ok := dm.Lookup(2<<20 + 5); !ok || e.Base != 2<<20 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	if _, ok := dm.Lookup(9 << 20); ok {
+		t.Fatal("miss lookup succeeded")
+	}
+	if err := dm.Remove(3 << 20); err == nil {
+		t.Fatal("remove of absent base succeeded")
+	}
+	if err := dm.Remove(2 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if dm.Len() != 0 {
+		t.Fatal("entry survived Remove")
+	}
+}
+
+func TestDirectRMSTValidation(t *testing.T) {
+	if _, err := NewDirectRMST(0, 1); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewDirectRMST(4, 0); err == nil {
+		t.Fatal("granule 0 accepted")
+	}
+}
+
+func TestGlueTranslate(t *testing.T) {
+	rm, _ := NewRMST(8)
+	g := NewGlue(cpuBrick, rm)
+	if err := g.Attach(Entry{Base: 0x4000_0000, Size: 1 << 30, Dest: memBrick, DestOffset: 0x2000, Port: port0}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.Translate(0x4000_0100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Remote.Brick != memBrick || r.Remote.Offset != 0x2100 || r.Egress != port0 {
+		t.Fatalf("route = %+v", r)
+	}
+	if _, err := g.Translate(0x1000); !errors.Is(err, ErrNotMapped) {
+		t.Fatalf("unmapped translate = %v, want ErrNotMapped", err)
+	}
+	tr, faults := g.Stats()
+	if tr != 1 || faults != 1 {
+		t.Fatalf("stats = (%d, %d), want (1, 1)", tr, faults)
+	}
+}
+
+func TestGlueTranslateRange(t *testing.T) {
+	rm, _ := NewRMST(8)
+	g := NewGlue(cpuBrick, rm)
+	g.Attach(Entry{Base: 0x1000, Size: 0x1000, Dest: memBrick, Port: port0})
+	if _, err := g.TranslateRange(0x1f00, 0x100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TranslateRange(0x1f00, 0x101); err == nil {
+		t.Fatal("straddling transaction translated")
+	}
+	if _, err := g.TranslateRange(0x1000, 0); err == nil {
+		t.Fatal("zero-size transaction translated")
+	}
+	if _, err := g.TranslateRange(0x9000, 8); !errors.Is(err, ErrNotMapped) {
+		t.Fatal("unmapped range translate did not fault")
+	}
+}
+
+func TestGlueDetach(t *testing.T) {
+	rm, _ := NewRMST(8)
+	g := NewGlue(cpuBrick, rm)
+	g.Attach(entry(0x1000, 0x1000))
+	if err := g.Detach(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Translate(0x1800); err == nil {
+		t.Fatal("translate after detach succeeded")
+	}
+}
+
+// Property: for any set of disjoint segments, every address inside a
+// segment translates to Dest offset preserving the within-segment delta,
+// and both table variants agree whenever the direct-mapped table managed
+// to install the segment.
+func TestPropTranslationPreservesOffsets(t *testing.T) {
+	f := func(raw []uint16, probe uint8) bool {
+		rm, _ := NewRMST(64)
+		dm, _ := NewDirectRMST(64, 1<<20)
+		// Build disjoint 1 MiB-aligned segments from raw.
+		base := uint64(0)
+		type seg struct{ e Entry }
+		var segs []seg
+		for _, r := range raw {
+			size := (uint64(r%4) + 1) << 20
+			e := Entry{Base: base, Size: size, Dest: memBrick, DestOffset: base * 2, Port: port0}
+			if rm.Install(e) != nil {
+				break
+			}
+			dm.Install(e) // may conflict; that is fine
+			segs = append(segs, seg{e})
+			base += size + (uint64(r%3) << 20)
+		}
+		for _, s := range segs {
+			addr := s.e.Base + uint64(probe)%s.e.Size
+			got, ok := rm.Lookup(addr)
+			if !ok || got.Base != s.e.Base {
+				return false
+			}
+			want := s.e.DestOffset + (addr - s.e.Base)
+			if got.DestOffset+(addr-got.Base) != want {
+				return false
+			}
+			if de, ok := dm.Lookup(addr); ok && de.Base != s.e.Base {
+				return false // direct-mapped hit must agree
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

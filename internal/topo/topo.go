@@ -1,0 +1,225 @@
+// Package topo models the physical organization of a dReDBox rack:
+// trays of hot-pluggable bricks, bricks carrying high-speed transceiver
+// ports, and the identifiers used by every other layer (orchestration,
+// fabric, scheduling) to refer to them.
+//
+// The paper's Figure 1 concept maps directly: a rack holds trays, a tray
+// holds bricks of three kinds (compute, memory, accelerator), and each
+// brick exposes GTH transceiver ports that attach either to the intra-tray
+// electrical circuit fabric or, through mid-board optics, to the rack-level
+// optical circuit switch.
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BrickKind distinguishes the three dReDBox building blocks.
+type BrickKind int
+
+const (
+	// KindCompute is a dCOMPUBRICK: a Zynq Ultrascale+ SoC module that
+	// executes software and reaches remote resources through its TGL.
+	KindCompute BrickKind = iota
+	// KindMemory is a dMEMBRICK: an FPGA module fronting DDR/HMC pools.
+	KindMemory
+	// KindAccel is a dACCELBRICK: an FPGA module hosting reconfigurable
+	// accelerator slots for near-data processing.
+	KindAccel
+)
+
+func (k BrickKind) String() string {
+	switch k {
+	case KindCompute:
+		return "dCOMPUBRICK"
+	case KindMemory:
+		return "dMEMBRICK"
+	case KindAccel:
+		return "dACCELBRICK"
+	default:
+		return fmt.Sprintf("BrickKind(%d)", int(k))
+	}
+}
+
+// BrickID uniquely identifies a brick within a rack.
+type BrickID struct {
+	Tray int // tray index within the rack
+	Slot int // slot index within the tray
+}
+
+func (id BrickID) String() string { return fmt.Sprintf("t%d.s%d", id.Tray, id.Slot) }
+
+// Less orders brick IDs tray-major for deterministic iteration.
+func (id BrickID) Less(other BrickID) bool {
+	if id.Tray != other.Tray {
+		return id.Tray < other.Tray
+	}
+	return id.Slot < other.Slot
+}
+
+// PortID identifies one transceiver port on a brick.
+type PortID struct {
+	Brick BrickID
+	Port  int
+}
+
+func (p PortID) String() string { return fmt.Sprintf("%v.p%d", p.Brick, p.Port) }
+
+// BrickSpec describes a brick placed in the topology.
+type BrickSpec struct {
+	Kind BrickKind
+	// Ports is the number of high-speed transceiver ports (GTH lanes
+	// routed to the MBO). The prototype MBO exposes 8 channels.
+	Ports int
+}
+
+// Brick is a placed brick.
+type Brick struct {
+	ID   BrickID
+	Spec BrickSpec
+}
+
+// Tray is one enclosure of hot-pluggable bricks.
+type Tray struct {
+	Index  int
+	Bricks []*Brick
+}
+
+// Rack is the root of the topology.
+type Rack struct {
+	trays  []*Tray
+	byID   map[BrickID]*Brick
+	byKind map[BrickKind][]*Brick
+}
+
+// NewRack returns an empty rack.
+func NewRack() *Rack {
+	return &Rack{
+		byID:   make(map[BrickID]*Brick),
+		byKind: make(map[BrickKind][]*Brick),
+	}
+}
+
+// AddTray appends an empty tray and returns its index.
+func (r *Rack) AddTray() int {
+	idx := len(r.trays)
+	r.trays = append(r.trays, &Tray{Index: idx})
+	return idx
+}
+
+// AddBrick places a brick in the given tray at the next free slot.
+// It returns an error if the tray does not exist or the spec is invalid.
+func (r *Rack) AddBrick(tray int, spec BrickSpec) (*Brick, error) {
+	if tray < 0 || tray >= len(r.trays) {
+		return nil, fmt.Errorf("topo: tray %d does not exist (rack has %d)", tray, len(r.trays))
+	}
+	if spec.Ports <= 0 {
+		return nil, fmt.Errorf("topo: brick must have at least one port, got %d", spec.Ports)
+	}
+	t := r.trays[tray]
+	b := &Brick{
+		ID:   BrickID{Tray: tray, Slot: len(t.Bricks)},
+		Spec: spec,
+	}
+	t.Bricks = append(t.Bricks, b)
+	r.byID[b.ID] = b
+	r.byKind[spec.Kind] = append(r.byKind[spec.Kind], b)
+	return b, nil
+}
+
+// Brick looks up a brick by ID.
+func (r *Rack) Brick(id BrickID) (*Brick, bool) {
+	b, ok := r.byID[id]
+	return b, ok
+}
+
+// Trays returns the number of trays.
+func (r *Rack) Trays() int { return len(r.trays) }
+
+// Tray returns the tray at index i, or nil if out of range.
+func (r *Rack) Tray(i int) *Tray {
+	if i < 0 || i >= len(r.trays) {
+		return nil
+	}
+	return r.trays[i]
+}
+
+// Bricks returns all bricks in deterministic (tray, slot) order.
+func (r *Rack) Bricks() []*Brick {
+	var all []*Brick
+	for _, t := range r.trays {
+		all = append(all, t.Bricks...)
+	}
+	return all
+}
+
+// BricksOfKind returns all bricks of kind k in deterministic order.
+func (r *Rack) BricksOfKind(k BrickKind) []*Brick {
+	bs := append([]*Brick(nil), r.byKind[k]...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i].ID.Less(bs[j].ID) })
+	return bs
+}
+
+// Count returns the number of bricks of kind k.
+func (r *Rack) Count(k BrickKind) int { return len(r.byKind[k]) }
+
+// SameTray reports whether two bricks sit in the same tray, which decides
+// whether their interconnect is the intra-tray electrical circuit or the
+// cross-tray optical circuit fabric.
+func SameTray(a, b BrickID) bool { return a.Tray == b.Tray }
+
+// BuildSpec declares a uniform rack for convenience constructors.
+type BuildSpec struct {
+	Trays          int
+	ComputePerTray int
+	MemoryPerTray  int
+	AccelPerTray   int
+	PortsPerBrick  int
+}
+
+// Validate checks the spec for obvious misconfiguration.
+func (s BuildSpec) Validate() error {
+	if s.Trays <= 0 {
+		return fmt.Errorf("topo: BuildSpec needs at least one tray, got %d", s.Trays)
+	}
+	if s.ComputePerTray < 0 || s.MemoryPerTray < 0 || s.AccelPerTray < 0 {
+		return fmt.Errorf("topo: negative brick count in BuildSpec")
+	}
+	if s.ComputePerTray+s.MemoryPerTray+s.AccelPerTray == 0 {
+		return fmt.Errorf("topo: BuildSpec places no bricks")
+	}
+	if s.PortsPerBrick <= 0 {
+		return fmt.Errorf("topo: PortsPerBrick must be positive, got %d", s.PortsPerBrick)
+	}
+	return nil
+}
+
+// Build constructs a rack from a uniform spec.
+func Build(s BuildSpec) (*Rack, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := NewRack()
+	for t := 0; t < s.Trays; t++ {
+		r.AddTray()
+		add := func(kind BrickKind, n int) error {
+			for i := 0; i < n; i++ {
+				if _, err := r.AddBrick(t, BrickSpec{Kind: kind, Ports: s.PortsPerBrick}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := add(KindCompute, s.ComputePerTray); err != nil {
+			return nil, err
+		}
+		if err := add(KindMemory, s.MemoryPerTray); err != nil {
+			return nil, err
+		}
+		if err := add(KindAccel, s.AccelPerTray); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,165 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBrickKindString(t *testing.T) {
+	cases := map[BrickKind]string{
+		KindCompute:  "dCOMPUBRICK",
+		KindMemory:   "dMEMBRICK",
+		KindAccel:    "dACCELBRICK",
+		BrickKind(9): "BrickKind(9)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestAddBrickAssignsSequentialSlots(t *testing.T) {
+	r := NewRack()
+	tray := r.AddTray()
+	for i := 0; i < 4; i++ {
+		b, err := r.AddBrick(tray, BrickSpec{Kind: KindCompute, Ports: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.ID.Slot != i || b.ID.Tray != tray {
+			t.Fatalf("brick %d got ID %v", i, b.ID)
+		}
+	}
+}
+
+func TestAddBrickRejectsBadTrayAndPorts(t *testing.T) {
+	r := NewRack()
+	if _, err := r.AddBrick(0, BrickSpec{Kind: KindCompute, Ports: 8}); err == nil {
+		t.Fatal("AddBrick to missing tray succeeded")
+	}
+	r.AddTray()
+	if _, err := r.AddBrick(0, BrickSpec{Kind: KindCompute, Ports: 0}); err == nil {
+		t.Fatal("AddBrick with zero ports succeeded")
+	}
+}
+
+func TestLookupAndKindIndex(t *testing.T) {
+	r := NewRack()
+	tr := r.AddTray()
+	c, _ := r.AddBrick(tr, BrickSpec{Kind: KindCompute, Ports: 8})
+	m, _ := r.AddBrick(tr, BrickSpec{Kind: KindMemory, Ports: 8})
+	if got, ok := r.Brick(c.ID); !ok || got != c {
+		t.Fatal("Brick lookup failed for compute brick")
+	}
+	if _, ok := r.Brick(BrickID{Tray: 5, Slot: 0}); ok {
+		t.Fatal("lookup of absent brick succeeded")
+	}
+	if r.Count(KindCompute) != 1 || r.Count(KindMemory) != 1 || r.Count(KindAccel) != 0 {
+		t.Fatal("kind counts wrong")
+	}
+	ms := r.BricksOfKind(KindMemory)
+	if len(ms) != 1 || ms[0] != m {
+		t.Fatal("BricksOfKind(KindMemory) wrong")
+	}
+}
+
+func TestBuildUniformRack(t *testing.T) {
+	r, err := Build(BuildSpec{
+		Trays: 3, ComputePerTray: 2, MemoryPerTray: 2, AccelPerTray: 1, PortsPerBrick: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trays() != 3 {
+		t.Fatalf("Trays() = %d, want 3", r.Trays())
+	}
+	if got := len(r.Bricks()); got != 15 {
+		t.Fatalf("total bricks = %d, want 15", got)
+	}
+	if r.Count(KindCompute) != 6 || r.Count(KindMemory) != 6 || r.Count(KindAccel) != 3 {
+		t.Fatal("per-kind counts wrong")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := []BuildSpec{
+		{Trays: 0, ComputePerTray: 1, PortsPerBrick: 8},
+		{Trays: 1, ComputePerTray: -1, PortsPerBrick: 8},
+		{Trays: 1, PortsPerBrick: 8},
+		{Trays: 1, ComputePerTray: 1, PortsPerBrick: 0},
+	}
+	for i, s := range bad {
+		if _, err := Build(s); err == nil {
+			t.Errorf("case %d: Build(%+v) succeeded, want error", i, s)
+		}
+	}
+}
+
+func TestSameTray(t *testing.T) {
+	a := BrickID{Tray: 1, Slot: 0}
+	b := BrickID{Tray: 1, Slot: 3}
+	c := BrickID{Tray: 2, Slot: 0}
+	if !SameTray(a, b) {
+		t.Fatal("bricks in tray 1 reported as different trays")
+	}
+	if SameTray(a, c) {
+		t.Fatal("bricks in trays 1 and 2 reported as same tray")
+	}
+}
+
+func TestBricksDeterministicOrder(t *testing.T) {
+	r, _ := Build(BuildSpec{Trays: 2, ComputePerTray: 3, PortsPerBrick: 4})
+	bs := r.Bricks()
+	for i := 1; i < len(bs); i++ {
+		if !bs[i-1].ID.Less(bs[i].ID) {
+			t.Fatalf("bricks out of order at %d: %v then %v", i, bs[i-1].ID, bs[i].ID)
+		}
+	}
+}
+
+func TestTrayAccessor(t *testing.T) {
+	r, _ := Build(BuildSpec{Trays: 2, ComputePerTray: 1, PortsPerBrick: 2})
+	if r.Tray(0) == nil || r.Tray(1) == nil {
+		t.Fatal("existing trays returned nil")
+	}
+	if r.Tray(-1) != nil || r.Tray(2) != nil {
+		t.Fatal("out-of-range tray returned non-nil")
+	}
+}
+
+// Property: Build always yields Trays*perTray bricks per kind and lookup
+// succeeds for every brick it reports.
+func TestPropBuildInventoryConsistent(t *testing.T) {
+	f := func(trays, comp, mem uint8) bool {
+		s := BuildSpec{
+			Trays:          int(trays%4) + 1,
+			ComputePerTray: int(comp % 5),
+			MemoryPerTray:  int(mem % 5),
+			PortsPerBrick:  8,
+		}
+		if s.ComputePerTray+s.MemoryPerTray == 0 {
+			s.ComputePerTray = 1
+		}
+		r, err := Build(s)
+		if err != nil {
+			return false
+		}
+		if r.Count(KindCompute) != s.Trays*s.ComputePerTray {
+			return false
+		}
+		if r.Count(KindMemory) != s.Trays*s.MemoryPerTray {
+			return false
+		}
+		for _, b := range r.Bricks() {
+			got, ok := r.Brick(b.ID)
+			if !ok || got != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

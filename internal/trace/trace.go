@@ -1,0 +1,163 @@
+// Package trace provides the structured event log the orchestration
+// layer writes: every reservation, attachment, circuit change and
+// elasticity event is recorded with its virtual timestamp, so operators
+// (and tests) can reconstruct what the rack did and when. The log is a
+// bounded ring — old events fall off rather than growing memory — which
+// matches how the prototype's SDM service journals.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindReserve is a compute/accelerator reservation.
+	KindReserve Kind = iota
+	// KindRelease is a resource release.
+	KindRelease
+	// KindAttach is a memory attachment.
+	KindAttach
+	// KindDetach is a memory detachment.
+	KindDetach
+	// KindCircuit is an optical circuit setup or teardown.
+	KindCircuit
+	// KindScale is a scale-up/down elasticity event.
+	KindScale
+	// KindMigrate is a VM migration.
+	KindMigrate
+	// KindPower is a brick power transition.
+	KindPower
+	// KindError is a failed operation.
+	KindError
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindReserve:
+		return "reserve"
+	case KindRelease:
+		return "release"
+	case KindAttach:
+		return "attach"
+	case KindDetach:
+		return "detach"
+	case KindCircuit:
+		return "circuit"
+	case KindScale:
+		return "scale"
+	case KindMigrate:
+		return "migrate"
+	case KindPower:
+		return "power"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one journal entry.
+type Event struct {
+	Seq     uint64
+	At      sim.Time
+	Kind    Kind
+	Subject string // VM id, brick id, owner — whatever the event is about
+	Detail  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %v %-8s %-12s %s", e.Seq, e.At, e.Kind, e.Subject, e.Detail)
+}
+
+// Log is a bounded ring of events. The zero value is unusable; call New.
+type Log struct {
+	buf   []Event
+	next  uint64 // total events ever appended
+	size  int
+	drops uint64
+}
+
+// New returns a log that retains the most recent capacity events.
+func New(capacity int) (*Log, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("trace: capacity must be positive, got %d", capacity)
+	}
+	return &Log{buf: make([]Event, capacity)}, nil
+}
+
+// Append records an event and returns it with its sequence number.
+func (l *Log) Append(at sim.Time, kind Kind, subject, format string, args ...any) Event {
+	e := Event{
+		Seq:     l.next,
+		At:      at,
+		Kind:    kind,
+		Subject: subject,
+		Detail:  fmt.Sprintf(format, args...),
+	}
+	if int(l.next) >= len(l.buf) {
+		l.drops++
+	}
+	l.buf[l.next%uint64(len(l.buf))] = e
+	l.next++
+	if l.size < len(l.buf) {
+		l.size++
+	}
+	return e
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int { return l.size }
+
+// Total returns the number of events ever appended.
+func (l *Log) Total() uint64 { return l.next }
+
+// Dropped returns how many events have fallen off the ring.
+func (l *Log) Dropped() uint64 { return l.drops }
+
+// Events returns retained events oldest-first (a copy).
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, l.size)
+	start := l.next - uint64(l.size)
+	for i := uint64(0); i < uint64(l.size); i++ {
+		out = append(out, l.buf[(start+i)%uint64(len(l.buf))])
+	}
+	return out
+}
+
+// Filter returns retained events of the given kind, oldest-first.
+func (l *Log) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Subject returns retained events about the given subject, oldest-first.
+func (l *Log) Subject(subject string) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if e.Subject == subject {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump renders the retained events as text.
+func (l *Log) Dump() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(-3); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestAppendAndOrder(t *testing.T) {
+	l, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e := l.Append(0, KindScale, "vm1", "step %d", i)
+		if e.Seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", e.Seq, i)
+		}
+	}
+	events := l.Events()
+	if len(events) != 5 || l.Len() != 5 || l.Total() != 5 {
+		t.Fatalf("len=%d total=%d", l.Len(), l.Total())
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Fatal("events not oldest-first")
+		}
+	}
+	if l.Dropped() != 0 {
+		t.Fatal("dropped nonzero before wrap")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	l, _ := New(4)
+	for i := 0; i < 10; i++ {
+		l.Append(0, KindAttach, "x", "%d", i)
+	}
+	if l.Len() != 4 || l.Total() != 10 || l.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", l.Len(), l.Total(), l.Dropped())
+	}
+	events := l.Events()
+	if events[0].Seq != 6 || events[3].Seq != 9 {
+		t.Fatalf("retained window = [%d, %d], want [6, 9]", events[0].Seq, events[3].Seq)
+	}
+}
+
+func TestFilterAndSubject(t *testing.T) {
+	l, _ := New(16)
+	l.Append(0, KindAttach, "vm1", "a")
+	l.Append(0, KindDetach, "vm1", "b")
+	l.Append(0, KindAttach, "vm2", "c")
+	if got := l.Filter(KindAttach); len(got) != 2 {
+		t.Fatalf("attach events = %d, want 2", len(got))
+	}
+	if got := l.Subject("vm1"); len(got) != 2 {
+		t.Fatalf("vm1 events = %d, want 2", len(got))
+	}
+	if got := l.Subject("ghost"); len(got) != 0 {
+		t.Fatal("ghost subject matched")
+	}
+}
+
+func TestDumpAndStrings(t *testing.T) {
+	l, _ := New(4)
+	l.Append(1000, KindMigrate, "vm9", "moved to t1.s0")
+	out := l.Dump()
+	for _, want := range []string{"migrate", "vm9", "moved to t1.s0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	kinds := []Kind{KindReserve, KindRelease, KindAttach, KindDetach,
+		KindCircuit, KindScale, KindMigrate, KindPower, KindError}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}
+
+// Property: after any append sequence, Len = min(total, capacity) and
+// retained events are exactly the most recent with consecutive Seq.
+func TestPropRingInvariants(t *testing.T) {
+	f := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw%16) + 1
+		l, err := New(capacity)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < int(n); i++ {
+			l.Append(0, KindScale, "s", "%d", i)
+		}
+		wantLen := int(n)
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if l.Len() != wantLen {
+			return false
+		}
+		events := l.Events()
+		for i := 1; i < len(events); i++ {
+			if events[i].Seq != events[i-1].Seq+1 {
+				return false
+			}
+		}
+		if len(events) > 0 && events[len(events)-1].Seq != uint64(n)-1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

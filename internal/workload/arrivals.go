@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Poisson returns n arrival times of a Poisson process with the given
+// mean rate (events per second) starting at start. Inter-arrival gaps
+// are exponential; the sequence is sorted by construction.
+func Poisson(rng *sim.Rand, n int, start sim.Time, ratePerSec float64) ([]sim.Time, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: poisson needs a positive count, got %d", n)
+	}
+	if ratePerSec <= 0 {
+		return nil, fmt.Errorf("workload: poisson needs a positive rate, got %v", ratePerSec)
+	}
+	out := make([]sim.Time, n)
+	t := start
+	for i := range out {
+		gapSec := rng.ExpFloat64() / ratePerSec
+		t = t.Add(sim.Duration(gapSec * float64(sim.Second)))
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Diurnal models the daily traffic pattern the NFV pilot describes:
+// "very low load at night and peaks during day hours". Load is a raised
+// cosine over 24 hours, scaled between Night and Peak.
+type Diurnal struct {
+	// Night is the load floor (at 04:00).
+	Night float64
+	// Peak is the load ceiling (at 16:00).
+	Peak float64
+}
+
+// Validate rejects inverted profiles.
+func (d Diurnal) Validate() error {
+	if d.Night < 0 || d.Peak < d.Night {
+		return fmt.Errorf("workload: diurnal profile needs 0 <= night <= peak, got %+v", d)
+	}
+	return nil
+}
+
+// At returns the load at the given time of (virtual) day. The phase is
+// chosen so the minimum falls at 04:00 and the maximum at 16:00.
+func (d Diurnal) At(t sim.Time) float64 {
+	day := float64(24 * sim.Hour)
+	phase := math.Mod(float64(t), day) / day // 0..1 over the day
+	// cos peaks at phase 16/24; shift accordingly.
+	c := math.Cos(2 * math.Pi * (phase - 16.0/24.0))
+	return d.Night + (d.Peak-d.Night)*(c+1)/2
+}
+
+// HourlyGiB samples the profile once per hour for a whole day, rounding
+// to whole GiB — the shape the NFV pilot's key-server session table
+// follows.
+func (d Diurnal) HourlyGiB() []int {
+	out := make([]int, 24)
+	for h := range out {
+		out[h] = int(math.Round(d.At(sim.Time(h) * sim.Time(sim.Hour))))
+	}
+	return out
+}

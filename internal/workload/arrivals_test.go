@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPoissonSortedAndRate(t *testing.T) {
+	rng := sim.NewRand(3)
+	n := 20000
+	times, err := Poisson(rng, n, 0, 100) // 100 events/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if times[i] < times[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	// Mean inter-arrival ≈ 10 ms.
+	span := times[n-1].Sub(times[0]).Seconds()
+	rate := float64(n-1) / span
+	if math.Abs(rate-100) > 3 {
+		t.Fatalf("empirical rate = %v, want ~100", rate)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	rng := sim.NewRand(3)
+	if _, err := Poisson(rng, 0, 0, 10); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := Poisson(rng, 5, 0, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Night: 1, Peak: 12}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	night := d.At(sim.Time(4 * sim.Hour))
+	peak := d.At(sim.Time(16 * sim.Hour))
+	if math.Abs(night-1) > 1e-9 {
+		t.Fatalf("04:00 load = %v, want 1", night)
+	}
+	if math.Abs(peak-12) > 1e-9 {
+		t.Fatalf("16:00 load = %v, want 12", peak)
+	}
+	// Morning ramps upward.
+	if d.At(sim.Time(8*sim.Hour)) >= d.At(sim.Time(12*sim.Hour)) {
+		t.Fatal("morning load not increasing")
+	}
+	// Periodic: next day matches.
+	if math.Abs(d.At(sim.Time(4*sim.Hour))-d.At(sim.Time(28*sim.Hour))) > 1e-9 {
+		t.Fatal("profile not 24h periodic")
+	}
+}
+
+func TestDiurnalValidate(t *testing.T) {
+	if err := (Diurnal{Night: 5, Peak: 2}).Validate(); err == nil {
+		t.Fatal("inverted profile accepted")
+	}
+	if err := (Diurnal{Night: -1, Peak: 2}).Validate(); err == nil {
+		t.Fatal("negative night accepted")
+	}
+}
+
+func TestDiurnalHourly(t *testing.T) {
+	d := Diurnal{Night: 1, Peak: 12}
+	hours := d.HourlyGiB()
+	if len(hours) != 24 {
+		t.Fatalf("hours = %d", len(hours))
+	}
+	if hours[4] != 1 || hours[16] != 12 {
+		t.Fatalf("hourly profile: 04h=%d 16h=%d", hours[4], hours[16])
+	}
+}
+
+// Property: diurnal load always stays within [Night, Peak].
+func TestPropDiurnalBounded(t *testing.T) {
+	f := func(night, span uint8, hour uint16) bool {
+		d := Diurnal{Night: float64(night), Peak: float64(night) + float64(span)}
+		v := d.At(sim.Time(hour) * sim.Time(sim.Minute))
+		return v >= d.Night-1e-9 && v <= d.Peak+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

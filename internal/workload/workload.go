@@ -1,0 +1,131 @@
+// Package workload generates the VM request streams used by the paper's
+// evaluation: the six resource-requirement classes of Table I for the
+// TCO study (Figs. 12–13), and bursty scale-up request arrivals for the
+// agility study (Fig. 10).
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Class is one Table I workload configuration.
+type Class int
+
+const (
+	// Random draws 1–32 vCPUs and 1–32 GB uniformly.
+	Random Class = iota
+	// HighRAM draws 1–8 vCPUs and 24–32 GB.
+	HighRAM
+	// HighCPU draws 24–32 vCPUs and 1–8 GB.
+	HighCPU
+	// HalfHalf is fixed at 16 vCPUs and 16 GB.
+	HalfHalf
+	// MoreRAM draws 1–6 vCPUs and 17–32 GB.
+	MoreRAM
+	// MoreCPU draws 17–32 vCPUs and 1–16 GB.
+	MoreCPU
+)
+
+// Classes returns all Table I classes in paper order.
+func Classes() []Class {
+	return []Class{Random, HighRAM, HighCPU, HalfHalf, MoreRAM, MoreCPU}
+}
+
+func (c Class) String() string {
+	switch c {
+	case Random:
+		return "Random"
+	case HighRAM:
+		return "High RAM"
+	case HighCPU:
+		return "High CPU"
+	case HalfHalf:
+		return "Half Half"
+	case MoreRAM:
+		return "More RAM"
+	case MoreCPU:
+		return "More CPU"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Bounds returns the inclusive vCPU and RAM (GiB) ranges of the class,
+// exactly as Table I specifies them.
+func (c Class) Bounds() (cpuLo, cpuHi, ramLo, ramHi int) {
+	switch c {
+	case Random:
+		return 1, 32, 1, 32
+	case HighRAM:
+		return 1, 8, 24, 32
+	case HighCPU:
+		return 24, 32, 1, 8
+	case HalfHalf:
+		return 16, 16, 16, 16
+	case MoreRAM:
+		return 1, 6, 17, 32
+	case MoreCPU:
+		return 17, 32, 1, 16
+	default:
+		return 0, 0, 0, 0
+	}
+}
+
+// VMRequest is one VM allocation request.
+type VMRequest struct {
+	VCPUs  int
+	RAMGiB int
+}
+
+// Generator produces VM requests of one class from a seeded source.
+type Generator struct {
+	class Class
+	rng   *sim.Rand
+}
+
+// NewGenerator returns a deterministic generator for the class.
+func NewGenerator(class Class, seed uint64) (*Generator, error) {
+	lo, hi, _, _ := class.Bounds()
+	if lo == 0 && hi == 0 {
+		return nil, fmt.Errorf("workload: unknown class %d", int(class))
+	}
+	return &Generator{class: class, rng: sim.NewRand(seed)}, nil
+}
+
+// Class returns the generator's class.
+func (g *Generator) Class() Class { return g.class }
+
+// Next draws one request.
+func (g *Generator) Next() VMRequest {
+	cpuLo, cpuHi, ramLo, ramHi := g.class.Bounds()
+	return VMRequest{
+		VCPUs:  g.rng.IntBetween(cpuLo, cpuHi),
+		RAMGiB: g.rng.IntBetween(ramLo, ramHi),
+	}
+}
+
+// Burst returns n request arrival times uniformly distributed over
+// [start, start+window) and sorted — the "scale-up requests posted
+// within a given time interval" pattern of Fig. 10. A zero window means
+// all requests arrive at start simultaneously (maximum aggressiveness).
+func Burst(rng *sim.Rand, n int, start sim.Time, window sim.Duration) ([]sim.Time, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: burst of %d requests", n)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("workload: negative burst window")
+	}
+	times := make([]sim.Time, n)
+	for i := range times {
+		times[i] = start.Add(rng.Duration(window))
+	}
+	// Insertion sort: n is small and sim.Time has no sort helper.
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times, nil
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestClassesCoverTable1(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 6 {
+		t.Fatalf("classes = %d, want 6 (Table I)", len(cs))
+	}
+	wantNames := []string{"Random", "High RAM", "High CPU", "Half Half", "More RAM", "More CPU"}
+	for i, c := range cs {
+		if c.String() != wantNames[i] {
+			t.Errorf("class %d = %q, want %q", i, c.String(), wantNames[i])
+		}
+	}
+	if Class(99).String() != "Class(99)" {
+		t.Fatal("unknown class string wrong")
+	}
+}
+
+func TestBoundsMatchTable1(t *testing.T) {
+	cases := []struct {
+		c                          Class
+		cpuLo, cpuHi, ramLo, ramHi int
+	}{
+		{Random, 1, 32, 1, 32},
+		{HighRAM, 1, 8, 24, 32},
+		{HighCPU, 24, 32, 1, 8},
+		{HalfHalf, 16, 16, 16, 16},
+		{MoreRAM, 1, 6, 17, 32},
+		{MoreCPU, 17, 32, 1, 16},
+	}
+	for _, tc := range cases {
+		cl, ch, rl, rh := tc.c.Bounds()
+		if cl != tc.cpuLo || ch != tc.cpuHi || rl != tc.ramLo || rh != tc.ramHi {
+			t.Errorf("%v bounds = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				tc.c, cl, ch, rl, rh, tc.cpuLo, tc.cpuHi, tc.ramLo, tc.ramHi)
+		}
+	}
+}
+
+func TestGeneratorRespectsBounds(t *testing.T) {
+	for _, class := range Classes() {
+		g, err := NewGenerator(class, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpuLo, cpuHi, ramLo, ramHi := class.Bounds()
+		for i := 0; i < 5000; i++ {
+			r := g.Next()
+			if r.VCPUs < cpuLo || r.VCPUs > cpuHi {
+				t.Fatalf("%v: vCPUs %d outside [%d,%d]", class, r.VCPUs, cpuLo, cpuHi)
+			}
+			if r.RAMGiB < ramLo || r.RAMGiB > ramHi {
+				t.Fatalf("%v: RAM %d outside [%d,%d]", class, r.RAMGiB, ramLo, ramHi)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, _ := NewGenerator(Random, 7)
+	b, _ := NewGenerator(Random, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	if a.Class() != Random {
+		t.Fatal("Class() wrong")
+	}
+}
+
+func TestGeneratorUnknownClass(t *testing.T) {
+	if _, err := NewGenerator(Class(99), 1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestHalfHalfIsConstant(t *testing.T) {
+	g, _ := NewGenerator(HalfHalf, 3)
+	for i := 0; i < 100; i++ {
+		r := g.Next()
+		if r.VCPUs != 16 || r.RAMGiB != 16 {
+			t.Fatalf("HalfHalf drew %+v", r)
+		}
+	}
+}
+
+func TestBurstSortedWithinWindow(t *testing.T) {
+	rng := sim.NewRand(5)
+	times, err := Burst(rng, 32, 1000, sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 32 {
+		t.Fatalf("burst size = %d", len(times))
+	}
+	for i, tm := range times {
+		if tm < 1000 || tm >= sim.Time(1000).Add(sim.Second) {
+			t.Fatalf("arrival %v outside window", tm)
+		}
+		if i > 0 && tm < times[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestBurstZeroWindow(t *testing.T) {
+	rng := sim.NewRand(5)
+	times, err := Burst(rng, 8, 500, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range times {
+		if tm != 500 {
+			t.Fatalf("zero-window arrival %v != 500", tm)
+		}
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	rng := sim.NewRand(5)
+	if _, err := Burst(rng, 0, 0, sim.Second); err == nil {
+		t.Fatal("zero-count burst accepted")
+	}
+	if _, err := Burst(rng, 5, 0, -1); err == nil {
+		t.Fatal("negative window accepted")
+	}
+}
+
+// Property: every class generator stays in bounds for arbitrary seeds.
+func TestPropGeneratorBounds(t *testing.T) {
+	f := func(seed uint64, classIdx uint8, n uint8) bool {
+		class := Classes()[int(classIdx)%6]
+		g, err := NewGenerator(class, seed)
+		if err != nil {
+			return false
+		}
+		cpuLo, cpuHi, ramLo, ramHi := class.Bounds()
+		for i := 0; i < int(n); i++ {
+			r := g.Next()
+			if r.VCPUs < cpuLo || r.VCPUs > cpuHi || r.RAMGiB < ramLo || r.RAMGiB > ramHi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
