@@ -1,11 +1,15 @@
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation (see DESIGN.md §4 for the experiment index), plus the
-// ablations of DESIGN.md §6. Each benchmark regenerates the artifact and
-// reports the figure's headline quantity as custom metrics, so
+// ablations of DESIGN.md §6. Each benchmark regenerates the artifact
+// through the internal/exp experiment engine and reports the figure's
+// headline quantity as custom metrics, so
 //
 //	go test -bench=. -benchmem
 //
-// reproduces the whole evaluation section in one run.
+// reproduces the whole evaluation section in one run. Benchmarks pin
+// Workers to 1 so iteration timings measure the models, not the pool;
+// BenchmarkAllExperiments runs the full registry the way dredbox-report
+// does, with trials fanned out across all cores.
 package repro
 
 import (
@@ -13,6 +17,7 @@ import (
 
 	"repro/internal/brick"
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/pktnet"
@@ -28,16 +33,11 @@ import (
 func BenchmarkFig7BER(b *testing.B) {
 	var worstMedian float64
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunFig7(1, 200)
+		res, err := exp.RunFig7(exp.Params{Seed: 1, Trials: 200, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
-		worstMedian = 0
-		for _, c := range res.Channels {
-			if worstMedian == 0 || c.LogBER.Median > worstMedian {
-				worstMedian = c.LogBER.Median
-			}
-		}
+		worstMedian = res.WorstMedian()
 		if !res.AllBelow(1e-12) {
 			b.Fatal("paper claim violated: BER >= 1e-12")
 		}
@@ -50,7 +50,7 @@ func BenchmarkFig7BER(b *testing.B) {
 func BenchmarkFig8Latency(b *testing.B) {
 	var total, circuit sim.Duration
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunFig8(pktnet.DefaultProfile, 64)
+		res, err := exp.RunFig8(pktnet.DefaultProfile, 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +66,7 @@ func BenchmarkFig8Latency(b *testing.B) {
 func BenchmarkFig10ScaleUp(b *testing.B) {
 	var up32, out sim.Duration
 	for i := 0; i < b.N; i++ {
-		res, err := core.RunFig10(1)
+		res, err := exp.RunFig10(exp.Params{Seed: 1, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +102,7 @@ func BenchmarkTable1Workloads(b *testing.B) {
 func BenchmarkFig12PowerOff(b *testing.B) {
 	var maxKindOff, convOff float64
 	for i := 0; i < b.N; i++ {
-		results, err := core.RunTCO(tco.DefaultConfig)
+		results, err := exp.RunTCO(tco.DefaultConfig, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func BenchmarkFig12PowerOff(b *testing.B) {
 func BenchmarkFig13Power(b *testing.B) {
 	var bestSavings float64
 	for i := 0; i < b.N; i++ {
-		results, err := core.RunTCO(tco.DefaultConfig)
+		results, err := exp.RunTCO(tco.DefaultConfig, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,6 +137,23 @@ func BenchmarkFig13Power(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*bestSavings, "best-savings-%")
+}
+
+// BenchmarkAllExperiments runs the entire registered evaluation the way
+// dredbox-report does — every experiment in registry order, trials
+// fanned out across all cores — in fast (smoke) mode.
+func BenchmarkAllExperiments(b *testing.B) {
+	runner := exp.Runner{}
+	for i := 0; i < b.N; i++ {
+		outs, err := runner.Run(exp.Params{Seed: 1, Fast: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != len(exp.All()) {
+			b.Fatalf("ran %d of %d experiments", len(outs), len(exp.All()))
+		}
+	}
+	b.ReportMetric(float64(len(exp.All())), "experiments")
 }
 
 // BenchmarkAblationRMST compares the paper's fully associative RMST
@@ -220,7 +237,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 	var pa, spread int
 	for i := 0; i < b.N; i++ {
 		var err error
-		pa, spread, err = core.AblationPlacement(1)
+		pa, spread, err = exp.AblationPlacement(1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -234,7 +251,7 @@ func BenchmarkAblationPlacement(b *testing.B) {
 func BenchmarkAblationPortPressure(b *testing.B) {
 	var circuitRTT, packetRTT sim.Duration
 	for i := 0; i < b.N; i++ {
-		r, err := core.RunPortPressure(12)
+		r, err := exp.RunPortPressure(12)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -277,7 +294,7 @@ func BenchmarkMigration(b *testing.B) {
 func BenchmarkExtensionSlowdown(b *testing.B) {
 	var max float64
 	for i := 0; i < b.N; i++ {
-		s, err := core.RunSlowdownSweep(0.3, 11)
+		s, err := exp.RunSlowdownSweep(0.3, 11)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -290,7 +307,7 @@ func BenchmarkExtensionSlowdown(b *testing.B) {
 func BenchmarkExtensionFillSweep(b *testing.B) {
 	var peakSavings float64
 	for i := 0; i < b.N; i++ {
-		points, err := core.RunTCOFillSweep(tco.DefaultConfig)
+		points, err := exp.RunTCOFillSweep(tco.DefaultConfig, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

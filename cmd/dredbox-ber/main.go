@@ -1,7 +1,8 @@
 // Command dredbox-ber regenerates Figure 7 of the dReDBox paper: the
 // bit-error-rate box plots of the bidirectional optical links between a
 // dCOMPUBRICK and a dMEMBRICK after traversing six to eight hops through
-// the rack's optical circuit switch.
+// the rack's optical circuit switch. Trials spread across the -parallel
+// worker pool with bit-identical output for every worker count.
 package main
 
 import (
@@ -9,15 +10,16 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	trials := flag.Int("trials", 500, "BER tester trials per link")
+	parallel := flag.Int("parallel", 0, "worker pool size for trials (0 = all cores)")
 	flag.Parse()
 
-	res, err := core.RunFig7(*seed, *trials)
+	res, err := exp.RunFig7(exp.Params{Seed: *seed, Trials: *trials, Workers: *parallel})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dredbox-ber:", err)
 		os.Exit(1)

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/pktnet"
 	"repro/internal/sim"
 )
@@ -25,7 +25,7 @@ func main() {
 	prof.FEC = *fec
 	prof.MAC = sim.Duration(*macNs)
 	prof.PHY = sim.Duration(*phyNs)
-	res, err := core.RunFig8(prof, *size)
+	res, err := exp.RunFig8(prof, *size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dredbox-latency:", err)
 		os.Exit(1)

@@ -1,7 +1,9 @@
 // Command dredbox-rack assembles a full-stack dReDBox rack, runs a short
 // mixed scenario (VMs, elasticity, migration, accelerator offload,
 // power-off sweep) and prints the rack state plus the orchestration
-// journal — a one-shot tour of the whole system.
+// journal — a one-shot tour of the whole system. For the paper's
+// evaluation artifacts use dredbox-report, which runs the internal/exp
+// registry (DESIGN.md §4).
 package main
 
 import (

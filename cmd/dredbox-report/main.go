@@ -2,6 +2,12 @@
 // figure of the paper plus this repository's extension experiments — and
 // emits one consolidated text report. It is the artifact-evaluation
 // entry point: one command, the whole story, deterministic for a seed.
+//
+// The report is assembled from the internal/exp registry: experiments
+// run in registration order while their independent trials fan out
+// across -parallel workers, so the output is byte-identical for every
+// worker count. -artifacts additionally writes per-experiment .txt,
+// .json and .csv files.
 package main
 
 import (
@@ -9,17 +15,28 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/pktnet"
-	"repro/internal/tco"
+	"repro/internal/exp"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
-	trials := flag.Int("trials", 500, "BER trials per link (Fig. 7)")
+	trials := flag.Int("trials", 0, "override the trial/sample count of multi-trial experiments (0 = per-experiment defaults: 500 BER trials/link, 100000 Table I samples)")
+	parallel := flag.Int("parallel", 0, "worker pool size for independent trials (0 = all cores)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
+	artifacts := flag.String("artifacts", "", "also write per-experiment .txt/.json/.csv artifacts into this directory")
+	only := flag.String("only", "", "comma-separated experiment names to run (default: all registered)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-14s %s\n", e.Info().Name, e.Info().Paper)
+		}
+		return
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -31,100 +48,47 @@ func main() {
 		w = f
 	}
 
-	section := func(title string) {
-		fmt.Fprintf(w, "\n%s\n%s\n\n", title, rule(len(title)))
+	var names []string
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+
+	runner := exp.Runner{Workers: *parallel}
+	start := time.Now()
+	outs, err := runner.Run(exp.Params{Seed: *seed, Trials: *trials}, names...)
+	if err != nil {
+		fail(err)
 	}
 
 	fmt.Fprintln(w, "dReDBox reproduction — full evaluation report")
 	fmt.Fprintf(w, "seed %d; all simulations deterministic\n", *seed)
-
-	section("Fig. 7 — optical link BER")
-	f7, err := core.RunFig7(*seed, *trials)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprint(w, f7.Format())
-
-	section("Fig. 8 — remote access latency breakdown")
-	f8, err := core.RunFig8(pktnet.DefaultProfile, 64)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprint(w, f8.Format())
-
-	section("Fig. 10 — scale-up agility vs scale-out")
-	f10, err := core.RunFig10(*seed)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprint(w, f10.Format())
-
-	section("Table I — workload classes")
-	t1, err := core.FormatTable1(*seed, 100000)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprint(w, t1)
-
-	cfg := tco.DefaultConfig
-	cfg.Seed = *seed
-	section("Fig. 11 — TCO study setup")
-	f11, err := core.FormatFig11(cfg)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprint(w, f11)
-
-	results, err := core.RunTCO(cfg)
-	if err != nil {
-		fail(err)
-	}
-	section("Fig. 12 — power-off opportunities")
-	fmt.Fprint(w, core.FormatFig12(results))
-	section("Fig. 13 — normalized power")
-	fmt.Fprint(w, core.FormatFig13(results))
-
-	section("Extension — application slowdown vs remote fraction")
-	sw, err := core.RunSlowdownSweep(0.3, 11)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprint(w, sw.Format())
-
-	section("Extension — savings vs datacenter fill (High RAM class)")
-	points, err := core.RunTCOFillSweep(cfg)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Fprintln(w, "fill   savings  bricks off  hosts off")
-	for _, p := range points {
-		fmt.Fprintf(w, "%.0f%%    %.0f%%      %.0f%%         %.0f%%\n",
-			100*p.TargetFill, 100*p.SavingsFrac, 100*p.BrickOffFrac, 100*p.ConvOffFrac)
+	results := make([]exp.Result, 0, len(outs))
+	for _, o := range outs {
+		title := o.Result.Info.Paper
+		fmt.Fprintf(w, "\n%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+		fmt.Fprint(w, o.Result.Text)
+		results = append(results, o.Result)
 	}
 
-	section("Extension — placement policy ablation")
-	pa, spread, err := core.AblationPlacement(*seed)
-	if err != nil {
-		fail(err)
+	// Timing goes to stderr so the report itself stays byte-identical
+	// across worker counts.
+	fmt.Fprintf(os.Stderr, "dredbox-report: %d experiments in %v (workers=%d)\n",
+		len(outs), time.Since(start).Round(time.Millisecond), exp.Workers(*parallel))
+	for _, o := range outs {
+		fmt.Fprintf(os.Stderr, "  %-14s %v\n", o.Result.Info.Name, o.Wall.Round(time.Millisecond))
 	}
-	fmt.Fprintf(w, "power-aware packing: %d bricks off; bandwidth spreading: %d bricks off\n", pa, spread)
 
-	section("Extension — packet-mode fallback under port pressure")
-	pp, err := core.RunPortPressure(12)
-	if err != nil {
-		fail(err)
+	if *artifacts != "" {
+		paths, err := exp.WriteArtifacts(*artifacts, results)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "dredbox-report: wrote %d artifacts to %s\n", len(paths), *artifacts)
 	}
-	fmt.Fprintf(w, "12 attachments on an 8-port brick: %d circuit (avg RTT %v, control %v) + %d packet (avg RTT %v, control %v)\n",
-		pp.CircuitMode, pp.AvgCircuitRTT, pp.CircuitControl,
-		pp.PacketMode, pp.AvgPacketRTT, pp.PacketControl)
-}
-
-func rule(n int) string {
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = '='
-	}
-	return string(b)
 }
 
 func fail(err error) {

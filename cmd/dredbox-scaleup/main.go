@@ -1,7 +1,8 @@
 // Command dredbox-scaleup regenerates Figure 10 of the dReDBox paper:
 // the per-VM average delay of dynamically scaling a VM's memory up and
 // down at three concurrency levels (32/16/8 simultaneous requesters),
-// compared with conventional elasticity through VM scale-out.
+// compared with conventional elasticity through VM scale-out. The three
+// levels run on independent racks across the -parallel worker pool.
 package main
 
 import (
@@ -9,14 +10,15 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/exp"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
+	parallel := flag.Int("parallel", 0, "worker pool size for concurrency levels (0 = all cores)")
 	flag.Parse()
 
-	res, err := core.RunFig10(*seed)
+	res, err := exp.RunFig10(exp.Params{Seed: *seed, Workers: *parallel})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dredbox-scaleup:", err)
 		os.Exit(1)

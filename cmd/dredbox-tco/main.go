@@ -2,7 +2,8 @@
 // paper (§VI): Table I's workload classes, Figure 12's power-off
 // percentages and Figure 13's normalized power consumption, comparing a
 // conventional datacenter against a disaggregated one with equal
-// aggregate resources.
+// aggregate resources. The per-class placement studies run across the
+// -parallel worker pool.
 package main
 
 import (
@@ -10,7 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/tco"
 )
 
@@ -19,6 +20,8 @@ func main() {
 	hosts := flag.Int("hosts", tco.DefaultConfig.Hosts, "conventional datacenter size (hosts)")
 	fill := flag.Float64("fill", tco.DefaultConfig.TargetFill, "workload target fill fraction of the bottleneck resource")
 	table1 := flag.Bool("table1", true, "print Table I")
+	samples := flag.Int("samples", 100000, "Table I samples per class")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = all cores)")
 	flag.Parse()
 
 	cfg := tco.DefaultConfig
@@ -33,33 +36,34 @@ func main() {
 	}
 
 	if *table1 {
-		s, err := core.FormatTable1(*seed, 100000)
+		t1, err := exp.RunTable1(exp.Params{Seed: *seed, Trials: *samples, Workers: *parallel})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Println(s)
+		fmt.Println(t1.Format())
 	}
-	if f11, err := core.FormatFig11(cfg); err == nil {
-		fmt.Println(f11)
-	} else {
-		fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
-		os.Exit(1)
-	}
-	results, err := core.RunTCO(cfg)
+	f11, err := exp.FormatFig11(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	fmt.Println(core.FormatFig12(results))
-	fmt.Println(core.FormatFig13(results))
+	fmt.Println(f11)
+	results, err := exp.RunTCO(cfg, *parallel)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(exp.FormatFig12(results))
+	fmt.Println(exp.FormatFig13(results))
 
-	pa, spread, err := core.AblationPlacement(*seed)
+	pa, spread, err := exp.AblationPlacement(*seed, *parallel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("Ablation — SDM placement policy on a scale-up churn workload:\n")
 	fmt.Printf("  power-aware packing: %d bricks powered off\n", pa)
 	fmt.Printf("  bandwidth spreading: %d bricks powered off\n", spread)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dredbox-tco:", err)
+	os.Exit(1)
 }

@@ -4,7 +4,8 @@
 // al., DATE 2018).
 //
 // The root package carries the benchmark harness (bench_test.go) that
-// regenerates every table and figure of the paper's evaluation; the
-// implementation lives under internal/ (see DESIGN.md for the inventory)
-// and runnable scenarios under examples/ and cmd/.
+// regenerates every table and figure of the paper's evaluation through
+// the internal/exp experiment engine; the implementation lives under
+// internal/ (see DESIGN.md for the inventory) and runnable scenarios
+// under examples/ and cmd/.
 package repro

@@ -5,9 +5,10 @@
 // SDM orchestration — behind one Datacenter type that examples and pilot
 // applications program against.
 //
-// It also hosts the experiment runners (experiments.go) that regenerate
-// every table and figure of the paper's evaluation; cmd/ binaries and
-// the root benchmark suite are thin wrappers over those runners.
+// The experiment layer that regenerates every table and figure of the
+// paper's evaluation lives in internal/exp (see DESIGN.md §4); cmd/
+// binaries and the root benchmark suite run those experiments through
+// its registry.
 package core
 
 import (
@@ -145,6 +146,16 @@ func New(cfg Config) (*Datacenter, error) {
 
 // Now returns the datacenter's virtual clock.
 func (d *Datacenter) Now() sim.Time { return d.now }
+
+// Config returns the configuration the datacenter was assembled from.
+func (d *Datacenter) Config() Config { return d.cfg }
+
+// MemController returns the DDR controller of a memory brick — the
+// datapath model experiments time remote accesses against.
+func (d *Datacenter) MemController(id topo.BrickID) (*mem.DDRController, bool) {
+	ctrl, ok := d.ddr[id]
+	return ctrl, ok
+}
 
 // Advance moves the virtual clock forward.
 func (d *Datacenter) Advance(dur sim.Duration) error {

@@ -1,15 +1,12 @@
 package core
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/accel"
 	"repro/internal/brick"
 	"repro/internal/mem"
-	"repro/internal/pktnet"
 	"repro/internal/sim"
-	"repro/internal/tco"
 	"repro/internal/topo"
 )
 
@@ -134,138 +131,5 @@ func TestPowerManagementFacade(t *testing.T) {
 	c := dc.Census(topo.KindCompute)
 	if c.Off != c.Total() {
 		t.Fatalf("census = %+v, want all off", c)
-	}
-}
-
-func TestRunFig7Claims(t *testing.T) {
-	r, err := RunFig7(1, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(r.Channels) != 8 {
-		t.Fatalf("channels = %d, want 8", len(r.Channels))
-	}
-	if !r.AllBelow(1e-12) {
-		t.Fatal("paper claim violated: a link's median BER >= 1e-12")
-	}
-	// Exactly one channel traverses six hops, the rest eight.
-	six := 0
-	for _, c := range r.Channels {
-		switch c.Hops {
-		case 6:
-			six++
-		case 8:
-		default:
-			t.Fatalf("channel %d traverses %d hops", c.Channel, c.Hops)
-		}
-		// Received power consistent with launch − hops × 1 dB.
-		want := c.LaunchDBm - float64(c.Hops)
-		if diff := c.RxDBm - want; diff > 1e-9 || diff < -1e-9 {
-			t.Fatalf("channel %d rx %v, want %v", c.Channel, c.RxDBm, want)
-		}
-	}
-	if six != 1 {
-		t.Fatalf("%d channels at six hops, want 1", six)
-	}
-	if !strings.Contains(r.Format(), "ch-8") {
-		t.Fatal("Format missing channel rows")
-	}
-	if _, err := RunFig7(1, 0); err == nil {
-		t.Fatal("zero trials accepted")
-	}
-}
-
-func TestRunFig7Deterministic(t *testing.T) {
-	a, _ := RunFig7(7, 50)
-	b, _ := RunFig7(7, 50)
-	for i := range a.Channels {
-		if a.Channels[i] != b.Channels[i] {
-			t.Fatal("same-seed Fig7 runs differ")
-		}
-	}
-}
-
-func TestRunFig8Shape(t *testing.T) {
-	r, err := RunFig8(pktnet.DefaultProfile, 64)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.Circuit.Total >= r.Packet.Total {
-		t.Fatal("circuit path not faster than packet path")
-	}
-	macphy := r.Packet.Share("MAC (both bricks)") + r.Packet.Share("PHY (both bricks)")
-	if macphy < 0.4 {
-		t.Fatalf("MAC+PHY share %.2f, want dominant", macphy)
-	}
-	if !strings.Contains(r.Format(), "TOTAL") {
-		t.Fatal("Format missing total row")
-	}
-	bad := pktnet.DefaultProfile
-	bad.LineRateGbps = 0
-	if _, err := RunFig8(bad, 64); err == nil {
-		t.Fatal("invalid profile accepted")
-	}
-}
-
-func TestRunFig10Shape(t *testing.T) {
-	r, err := RunFig10(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(r.Rows) != 3 {
-		t.Fatalf("rows = %d, want 3 (32/16/8)", len(r.Rows))
-	}
-	for i, row := range r.Rows {
-		// Scale-up always beats the scale-out baseline (paper headline).
-		if row.AvgScaleUpS >= row.AvgScaleOutS {
-			t.Fatalf("concurrency %d: scale-up %.3f not below scale-out %.3f",
-				row.Concurrency, row.AvgScaleUpS, row.AvgScaleOutS)
-		}
-		// More aggressive concurrency → higher average delay.
-		if i > 0 && row.AvgScaleUpS >= r.Rows[i-1].AvgScaleUpS {
-			t.Fatalf("delay not decreasing with concurrency: %+v", r.Rows)
-		}
-	}
-	if !strings.Contains(r.Format(), "32 VMs") {
-		t.Fatal("Format missing concurrency rows")
-	}
-}
-
-func TestTable1Format(t *testing.T) {
-	s, err := FormatTable1(1, 2000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, want := range []string{"Random", "High RAM", "24-32 GB", "Half Half"} {
-		if !strings.Contains(s, want) {
-			t.Fatalf("Table I output missing %q:\n%s", want, s)
-		}
-	}
-	if _, err := FormatTable1(1, 0); err == nil {
-		t.Fatal("zero samples accepted")
-	}
-}
-
-func TestTCOFormatting(t *testing.T) {
-	rs, err := RunTCO(tco.DefaultConfig)
-	if err != nil {
-		t.Fatal(err)
-	}
-	f12 := FormatFig12(rs)
-	f13 := FormatFig13(rs)
-	if !strings.Contains(f12, "dCOMPUBRICKs off") || !strings.Contains(f13, "normalized") {
-		t.Fatal("TCO formatting incomplete")
-	}
-}
-
-func TestAblationPlacement(t *testing.T) {
-	pa, spread, err := AblationPlacement(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The paper's power-conscious selection must beat bandwidth spreading
-	// on power-off opportunities.
-	if pa <= spread {
-		t.Fatalf("power-aware off=%d not above spread off=%d", pa, spread)
 	}
 }

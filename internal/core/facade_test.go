@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+func TestMigrateVMFacade(t *testing.T) {
+	dc := newDC(t)
+	if _, err := dc.CreateVM("mv", 2, 2*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	dc.SDM().PowerOnAll()
+	if _, err := dc.ScaleUpVM("mv", 8*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	before := dc.Now()
+	res, err := dc.MigrateVM("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.From == res.To {
+		t.Fatal("migration did not move the VM")
+	}
+	if dc.Now() != before.Add(res.Downtime) {
+		t.Fatal("clock did not advance by downtime")
+	}
+	// Downtime beats copying the whole (10 GiB) footprint.
+	if res.Downtime >= res.FullCopyBaseline {
+		t.Fatalf("downtime %v not below full-copy %v", res.Downtime, res.FullCopyBaseline)
+	}
+	// The VM remains fully operational.
+	vm, _ := dc.VM("mv")
+	if vm.TotalMemory() != 10*brick.GiB {
+		t.Fatalf("memory = %v after migration", vm.TotalMemory())
+	}
+	if _, err := dc.ScaleDownVM("mv", 8*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeAccessors(t *testing.T) {
+	dc := newDC(t)
+	if dc.Config().Topology.Trays != DefaultConfig().Topology.Trays {
+		t.Fatal("Config does not round-trip the assembly config")
+	}
+	memBricks := dc.Rack().BricksOfKind(topo.KindMemory)
+	if len(memBricks) == 0 {
+		t.Fatal("no memory bricks")
+	}
+	if _, ok := dc.MemController(memBricks[0].ID); !ok {
+		t.Fatal("memory brick has no DDR controller")
+	}
+	if _, ok := dc.MemController(topo.BrickID{Tray: 99}); ok {
+		t.Fatal("controller returned for an absent brick")
+	}
+}

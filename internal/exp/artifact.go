@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// jsonArtifact is the on-disk JSON schema. Field order and the ordered
+// metrics slice keep the encoding deterministic.
+type jsonArtifact struct {
+	Name    string   `json:"name"`
+	Paper   string   `json:"paper"`
+	Seed    uint64   `json:"seed"`
+	Trials  int      `json:"trials"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// JSON renders the result's machine-readable artifact: the experiment's
+// identity, parameters and headline metrics.
+func (r Result) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(jsonArtifact{
+		Name:    r.Info.Name,
+		Paper:   r.Info.Paper,
+		Seed:    r.Seed,
+		Trials:  r.Trials,
+		Metrics: r.Metrics,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("exp: marshal %s: %w", r.Info.Name, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// CSVBytes renders the tabular artifact, or nil when the experiment has
+// none.
+func (r Result) CSVBytes() ([]byte, error) {
+	if len(r.CSV) == 0 {
+		return nil, nil
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.WriteAll(r.CSV); err != nil {
+		return nil, fmt.Errorf("exp: csv %s: %w", r.Info.Name, err)
+	}
+	return []byte(b.String()), nil
+}
+
+// WriteArtifacts writes every result's artifacts into dir —
+// <name>.txt, <name>.json and, when the experiment is tabular,
+// <name>.csv — creating dir if needed. It returns the paths written.
+func WriteArtifacts(dir string, results []Result) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: artifacts dir: %w", err)
+	}
+	var paths []string
+	write := func(name string, data []byte) error {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			return fmt.Errorf("exp: write %s: %w", p, err)
+		}
+		paths = append(paths, p)
+		return nil
+	}
+	for _, r := range results {
+		if err := write(r.Info.Name+".txt", []byte(r.Text)); err != nil {
+			return nil, err
+		}
+		js, err := r.JSON()
+		if err != nil {
+			return nil, err
+		}
+		if err := write(r.Info.Name+".json", js); err != nil {
+			return nil, err
+		}
+		cs, err := r.CSVBytes()
+		if err != nil {
+			return nil, err
+		}
+		if cs != nil {
+			if err := write(r.Info.Name+".csv", cs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDeterminismAcrossWorkerCounts is the package's core contract:
+// for a fixed seed, every registered experiment must emit byte-identical
+// text, JSON and CSV artifacts whether its trials run on one worker or
+// many. Fast mode keeps the smoke cheap without weakening the property —
+// the trial grid is smaller but still spans many pool tasks.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Info().Name, func(t *testing.T) {
+			t.Parallel()
+			base, err := e.Run(Params{Seed: 7, Fast: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseJSON, err := base.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseCSV, err := base.CSVBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				got, err := e.Run(Params{Seed: 7, Fast: true, Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got.Text != base.Text {
+					t.Fatalf("workers=%d: text differs from single-worker run\n--- workers=1\n%s\n--- workers=%d\n%s",
+						workers, base.Text, workers, got.Text)
+				}
+				js, err := got.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(js, baseJSON) {
+					t.Fatalf("workers=%d: JSON artifact differs", workers)
+				}
+				cs, err := got.CSVBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(cs, baseCSV) {
+					t.Fatalf("workers=%d: CSV artifact differs", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismAcrossRuns re-runs one multi-trial experiment with the
+// same parameters and demands identical output — no hidden global state.
+func TestDeterminismAcrossRuns(t *testing.T) {
+	a, err := RunFig7(Params{Seed: 7, Trials: 50, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig7(Params{Seed: 7, Trials: 50, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Channels {
+		if a.Channels[i] != b.Channels[i] {
+			t.Fatal("same-seed Fig7 runs differ")
+		}
+	}
+}
+
+// TestSeedChangesOutput guards against the opposite failure: a seed that
+// is silently ignored would also pass the determinism tests.
+func TestSeedChangesOutput(t *testing.T) {
+	a, err := RunFig7(Params{Seed: 1, Trials: 30, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig7(Params{Seed: 2, Trials: 30, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Channels {
+		if a.Channels[i].LogBER != b.Channels[i].LogBER {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical BER distributions")
+	}
+}
+
+// TestWriteArtifacts checks the on-disk artifact layout: .txt and .json
+// for every experiment, .csv for the tabular ones.
+func TestWriteArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	res, err := RunFig7(Params{Seed: 1, Trials: 5, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := res.artifact()
+	art.Info = Info{Name: "fig7", Paper: "Fig. 7"}
+	art.Seed = 1
+	paths, err := WriteArtifacts(dir, []Result{art})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("wrote %d artifacts, want txt+json+csv", len(paths))
+	}
+	for _, name := range []string{"fig7.txt", "fig7.json", "fig7.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+}

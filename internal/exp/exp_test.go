@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRegistrySmoke runs every registered experiment in fast mode and
+// checks the artifact contract: non-empty text, well-formed JSON, a
+// header row on every CSV, and stamped identity.
+func TestRegistrySmoke(t *testing.T) {
+	if len(All()) < 9 {
+		t.Fatalf("registry holds %d experiments, want the full evaluation", len(All()))
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Info().Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Params{Seed: 1, Fast: true, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Info.Name != e.Info().Name {
+				t.Fatalf("result stamped %q, want %q", res.Info.Name, e.Info().Name)
+			}
+			if strings.TrimSpace(res.Text) == "" {
+				t.Fatal("empty text artifact")
+			}
+			js, err := res.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded map[string]any
+			if err := json.Unmarshal(js, &decoded); err != nil {
+				t.Fatalf("JSON artifact does not parse: %v", err)
+			}
+			if decoded["name"] != e.Info().Name {
+				t.Fatal("JSON artifact misnamed")
+			}
+			if len(res.CSV) > 0 {
+				width := len(res.CSV[0])
+				if width == 0 {
+					t.Fatal("CSV header empty")
+				}
+				for i, row := range res.CSV {
+					if len(row) != width {
+						t.Fatalf("CSV row %d has %d cells, header has %d", i, len(row), width)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryNamesStable pins the registration order — it is the
+// report's section order and part of the artifact contract.
+func TestRegistryNamesStable(t *testing.T) {
+	want := []string{"fig7", "fig8", "fig10", "table1", "tco", "slowdown", "fillsweep", "placement", "portpressure"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+	sorted := SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			t.Fatal("SortedNames not sorted")
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pktnet"
+	"repro/internal/tco"
+	"repro/internal/workload"
+)
+
+func TestRunFig7Claims(t *testing.T) {
+	r, err := RunFig7(Params{Seed: 1, Trials: 100, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Channels) != 8 {
+		t.Fatalf("channels = %d, want 8", len(r.Channels))
+	}
+	if !r.AllBelow(1e-12) {
+		t.Fatal("paper claim violated: a link's median BER >= 1e-12")
+	}
+	// Exactly one channel traverses six hops, the rest eight.
+	six := 0
+	for _, c := range r.Channels {
+		switch c.Hops {
+		case 6:
+			six++
+		case 8:
+		default:
+			t.Fatalf("channel %d traverses %d hops", c.Channel, c.Hops)
+		}
+		// Received power consistent with launch − hops × 1 dB.
+		want := c.LaunchDBm - float64(c.Hops)
+		if diff := c.RxDBm - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("channel %d rx %v, want %v", c.Channel, c.RxDBm, want)
+		}
+	}
+	if six != 1 {
+		t.Fatalf("%d channels at six hops, want 1", six)
+	}
+	if !strings.Contains(r.Format(), "ch-8") {
+		t.Fatal("Format missing channel rows")
+	}
+	if r.WorstMedian() >= 0 {
+		t.Fatalf("worst median log10BER = %v, want negative", r.WorstMedian())
+	}
+	if _, err := RunFig7(Params{Seed: 1, Trials: -1}); err == nil {
+		t.Fatal("negative trials accepted")
+	}
+}
+
+func TestRunFig7Defaults(t *testing.T) {
+	r, err := RunFig7(Params{Seed: 1, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trials != fig7FastTrials {
+		t.Fatalf("fast trials = %d, want %d", r.Trials, fig7FastTrials)
+	}
+}
+
+func TestRunFig8Shape(t *testing.T) {
+	r, err := RunFig8(pktnet.DefaultProfile, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Circuit.Total >= r.Packet.Total {
+		t.Fatal("circuit path not faster than packet path")
+	}
+	macphy := r.Packet.Share("MAC (both bricks)") + r.Packet.Share("PHY (both bricks)")
+	if macphy < 0.4 {
+		t.Fatalf("MAC+PHY share %.2f, want dominant", macphy)
+	}
+	if !strings.Contains(r.Format(), "TOTAL") {
+		t.Fatal("Format missing total row")
+	}
+	bad := pktnet.DefaultProfile
+	bad.LineRateGbps = 0
+	if _, err := RunFig8(bad, 64); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+func TestRunFig10Shape(t *testing.T) {
+	r, err := RunFig10(Params{Seed: 1, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (32/16/8)", len(r.Rows))
+	}
+	for i, row := range r.Rows {
+		// Scale-up always beats the scale-out baseline (paper headline).
+		if row.AvgScaleUpS >= row.AvgScaleOutS {
+			t.Fatalf("concurrency %d: scale-up %.3f not below scale-out %.3f",
+				row.Concurrency, row.AvgScaleUpS, row.AvgScaleOutS)
+		}
+		// More aggressive concurrency → higher average delay.
+		if i > 0 && row.AvgScaleUpS >= r.Rows[i-1].AvgScaleUpS {
+			t.Fatalf("delay not decreasing with concurrency: %+v", r.Rows)
+		}
+	}
+	if !strings.Contains(r.Format(), "32 VMs") {
+		t.Fatal("Format missing concurrency rows")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := RunTable1(Params{Seed: 1, Trials: 2000, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Format()
+	for _, want := range []string{"Random", "High RAM", "24-32 GB", "Half Half"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table I output missing %q:\n%s", want, s)
+		}
+	}
+	for _, row := range r.Rows {
+		if row.MeanCPU < float64(row.CPULo) || row.MeanCPU > float64(row.CPUHi) {
+			t.Fatalf("%v mean vCPUs %.1f outside [%d, %d]", row.Class, row.MeanCPU, row.CPULo, row.CPUHi)
+		}
+		if row.MeanRAMGiB < float64(row.RAMLo) || row.MeanRAMGiB > float64(row.RAMHi) {
+			t.Fatalf("%v mean RAM %.1f outside [%d, %d]", row.Class, row.MeanRAMGiB, row.RAMLo, row.RAMHi)
+		}
+	}
+	if _, err := RunTable1(Params{Seed: 1, Trials: -5}); err == nil {
+		t.Fatal("negative samples accepted")
+	}
+}
+
+func TestTCOMatchesSerialRun(t *testing.T) {
+	// The parallel per-class fan-out must agree exactly with the tco
+	// package's own serial RunAll.
+	serial, err := tco.RunAll(tco.DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTCO(tco.DefaultConfig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("class %v: parallel result diverges from serial", serial[i].Class)
+		}
+	}
+	f12 := FormatFig12(par)
+	f13 := FormatFig13(par)
+	if !strings.Contains(f12, "dCOMPUBRICKs off") || !strings.Contains(f13, "normalized") {
+		t.Fatal("TCO formatting incomplete")
+	}
+}
+
+func TestFillSweepMatchesSerialRun(t *testing.T) {
+	serial, err := tco.FillSweep(tco.DefaultConfig, workload.HighRAM, tco.DefaultFills)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTCOFillSweep(tco.DefaultConfig, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("fill %v: parallel point diverges from serial", serial[i].TargetFill)
+		}
+	}
+}
+
+func TestAblationPlacement(t *testing.T) {
+	pa, spread, err := AblationPlacement(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's power-conscious selection must beat bandwidth spreading
+	// on power-off opportunities.
+	if pa <= spread {
+		t.Fatalf("power-aware off=%d not above spread off=%d", pa, spread)
+	}
+}
+
+func TestRunPortPressureSplitsModes(t *testing.T) {
+	// 12 attachments on an 8-port brick: 8 circuits, 4 packet riders.
+	r, err := RunPortPressure(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CircuitMode != 8 || r.PacketMode != 4 {
+		t.Fatalf("modes = %d circuit / %d packet, want 8/4", r.CircuitMode, r.PacketMode)
+	}
+	// The trade: packet datapath slower, packet control plane faster.
+	if r.AvgPacketRTT <= r.AvgCircuitRTT {
+		t.Fatalf("packet RTT %v not above circuit RTT %v", r.AvgPacketRTT, r.AvgCircuitRTT)
+	}
+	if r.PacketControl >= r.CircuitControl {
+		t.Fatalf("packet control %v not below circuit control %v", r.PacketControl, r.CircuitControl)
+	}
+}
+
+func TestRunPortPressureAllCircuit(t *testing.T) {
+	r, err := RunPortPressure(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CircuitMode != 4 || r.PacketMode != 0 {
+		t.Fatalf("modes = %d/%d, want 4/0", r.CircuitMode, r.PacketMode)
+	}
+	if _, err := RunPortPressure(0); err == nil {
+		t.Fatal("zero attachments accepted")
+	}
+}
+
+func TestRunSlowdownSweepShape(t *testing.T) {
+	s, err := RunSlowdownSweep(0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Circuit) != 11 || len(s.Packet) != 11 {
+		t.Fatalf("points = %d/%d", len(s.Circuit), len(s.Packet))
+	}
+	// All-local point: no slowdown on either path.
+	if s.Circuit[0].Slowdown != 1 || s.Packet[0].Slowdown != 1 {
+		t.Fatalf("zero-remote slowdown = %v / %v", s.Circuit[0].Slowdown, s.Packet[0].Slowdown)
+	}
+	// Monotone in remote fraction; packet always at or above circuit.
+	for i := 1; i < 11; i++ {
+		if s.Circuit[i].Slowdown < s.Circuit[i-1].Slowdown {
+			t.Fatal("circuit slowdown not monotone")
+		}
+		if s.Packet[i].Slowdown < s.Circuit[i].Slowdown {
+			t.Fatal("packet slowdown below circuit")
+		}
+	}
+	// Headline: a 30%-memory-bound workload with a FULLY remote working
+	// set stays within single-digit slowdown on the circuit path — the
+	// reason sub-µs FEC-free latency matters.
+	if max := s.MaxSlowdown(); max < 1.5 || max > 10 {
+		t.Fatalf("all-remote circuit slowdown = %.2fx, expected small-integer regime", max)
+	}
+	if !strings.Contains(s.Format(), "slowdown circuit") {
+		t.Fatal("Format missing table")
+	}
+}
+
+func TestRunSlowdownSweepValidation(t *testing.T) {
+	if _, err := RunSlowdownSweep(0, 5); err == nil {
+		t.Fatal("zero miss weight accepted")
+	}
+	if _, err := RunSlowdownSweep(1.5, 5); err == nil {
+		t.Fatal("miss weight > 1 accepted")
+	}
+	if _, err := RunSlowdownSweep(0.3, 1); err == nil {
+		t.Fatal("single-step sweep accepted")
+	}
+}
+
+// Property: higher miss weight never reduces slowdown at any point.
+func TestPropSlowdownMonotoneInMissWeight(t *testing.T) {
+	f := func(a, b uint8) bool {
+		w1 := float64(a%99+1) / 100
+		w2 := float64(b%99+1) / 100
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		s1, err1 := RunSlowdownSweep(w1, 5)
+		s2, err2 := RunSlowdownSweep(w2, 5)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range s1.Circuit {
+			if s1.Circuit[i].Slowdown > s2.Circuit[i].Slowdown+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// defaultFig7Trials is the BER tester's default trial count per link.
+const defaultFig7Trials = 500
+
+// fig7FastTrials caps the trial count in Fast (smoke) mode.
+const fig7FastTrials = 25
+
+// ChannelBER is one box of the Fig. 7 box plot: the measured-BER
+// distribution of one bidirectional optical link.
+type ChannelBER struct {
+	Channel   int // 1-based, as the paper labels them
+	Hops      int
+	LaunchDBm float64
+	RxDBm     float64
+	LogBER    stats.Summary // summary of log10(measured BER)
+}
+
+// Fig7Result holds the full experiment.
+type Fig7Result struct {
+	Receiver     optical.Receiver
+	Trials       int
+	BitsPerTrial float64
+	Channels     []ChannelBER
+}
+
+// RunFig7 reproduces Figure 7: every MBO channel between the
+// dCOMPUBRICK and the dMEMBRICK is looped through the optical switch —
+// all but one traversing eight hops, the remaining one six (exactly the
+// paper's setup) — and a BER tester measures each link repeatedly. The
+// box plot statistics summarize the per-trial measured BER.
+//
+// The (channel, trial) grid fans out across the worker pool; each cell
+// runs on its own sim kernel seeded by TrialSeed, so the result is
+// bit-identical for every Params.Workers.
+func RunFig7(p Params) (Fig7Result, error) {
+	trials := p.Trials
+	if trials < 0 {
+		return Fig7Result{}, fmt.Errorf("fig7 needs at least one trial, got %d", trials)
+	}
+	if trials == 0 {
+		trials = defaultFig7Trials
+	}
+	if p.Fast && trials > fig7FastTrials {
+		trials = fig7FastTrials
+	}
+	// The MBO's per-channel launch powers are drawn from the master
+	// seed, serially and in channel order — part of the deterministic
+	// setup, not of the trial grid.
+	rng := sim.NewRand(p.Seed)
+	mbo, err := optical.NewMBO(optical.PrototypeMBO, rng)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	const bits = 1e13 // tester observation window per trial (floor 1e-13)
+	res := Fig7Result{Receiver: optical.PrototypeReceiver, Trials: trials, BitsPerTrial: bits}
+
+	nch := mbo.Config().Channels
+	links := make([]optical.Link, nch)
+	for ch := 0; ch < nch; ch++ {
+		hops := 8
+		if ch == nch-1 {
+			hops = 6 // "the remaining channel traversing six hops"
+		}
+		launch, err := mbo.LaunchDBm(ch)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		links[ch] = optical.Link{
+			Channel:      ch,
+			Hops:         hops,
+			LaunchDBm:    launch,
+			LossPerHopDB: optical.Polatis48.InsertionLossDB,
+		}
+	}
+
+	logs := make([][]float64, nch)
+	for ch := range logs {
+		logs[ch] = make([]float64, trials)
+	}
+	err = ForEach(p.Workers, nch*trials, func(i int) error {
+		ch, tr := i/trials, i%trials
+		trng := sim.NewRand(TrialSeed(p.Seed, uint64(ch), uint64(tr)))
+		logs[ch][tr] = math.Log10(links[ch].MeasuredBER(res.Receiver, trng, 0.15, bits))
+		return nil
+	})
+	if err != nil {
+		return Fig7Result{}, err
+	}
+
+	for ch := 0; ch < nch; ch++ {
+		summary, err := stats.Summarize(logs[ch])
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		res.Channels = append(res.Channels, ChannelBER{
+			Channel:   ch + 1,
+			Hops:      links[ch].Hops,
+			LaunchDBm: links[ch].LaunchDBm,
+			RxDBm:     links[ch].ReceivedDBm(),
+			LogBER:    summary,
+		})
+	}
+	return res, nil
+}
+
+// AllBelow reports whether every channel's median measured BER sits
+// below the threshold — the paper's claim with threshold 1e−12.
+func (r Fig7Result) AllBelow(threshold float64) bool {
+	lim := math.Log10(threshold)
+	for _, c := range r.Channels {
+		if c.LogBER.Median > lim {
+			return false
+		}
+	}
+	return true
+}
+
+// WorstMedian returns the largest per-channel median log10(BER) — the
+// experiment's headline metric.
+func (r Fig7Result) WorstMedian() float64 {
+	worst := math.Inf(-1)
+	for _, c := range r.Channels {
+		if c.LogBER.Median > worst {
+			worst = c.LogBER.Median
+		}
+	}
+	return worst
+}
+
+// Format renders the experiment as text.
+func (r Fig7Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 7 — BER vs received optical power (%d trials/link, %.0g bits/trial, sensitivity %.1f dBm @ 1e-12)\n\n",
+		r.Trials, r.BitsPerTrial, r.Receiver.SensitivityDBm)
+	t := stats.NewTable("channel", "hops", "launch dBm", "rx dBm", "log10BER min", "q1", "median", "q3", "max")
+	for _, c := range r.Channels {
+		t.AddRowf("ch-%d|%d|%.2f|%.2f|%.1f|%.1f|%.1f|%.1f|%.1f",
+			c.Channel, c.Hops, c.LaunchDBm, c.RxDBm,
+			c.LogBER.Min, c.LogBER.Q1, c.LogBER.Median, c.LogBER.Q3, c.LogBER.Max)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nall links below 1e-12: %v (paper: yes, FEC-free at 6-8 switch hops)\n", r.AllBelow(1e-12))
+	return b.String()
+}
+
+// artifact packages the typed result for the registry.
+func (r Fig7Result) artifact() Result {
+	csv := [][]string{{"channel", "hops", "launch_dbm", "rx_dbm", "log10ber_min", "log10ber_q1", "log10ber_median", "log10ber_q3", "log10ber_max"}}
+	for _, c := range r.Channels {
+		csv = append(csv, []string{
+			strconv.Itoa(c.Channel), strconv.Itoa(c.Hops),
+			fmtF(c.LaunchDBm), fmtF(c.RxDBm),
+			fmtF(c.LogBER.Min), fmtF(c.LogBER.Q1), fmtF(c.LogBER.Median), fmtF(c.LogBER.Q3), fmtF(c.LogBER.Max),
+		})
+	}
+	return Result{
+		Trials: r.Trials,
+		Text:   r.Format(),
+		Metrics: []Metric{
+			{Name: "worst-log10BER", Value: r.WorstMedian()},
+			{Name: "all-below-1e-12", Value: boolMetric(r.AllBelow(1e-12))},
+		},
+		CSV: csv,
+	}
+}
+
+// fmtF renders a float for CSV cells with stable, locale-free form.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

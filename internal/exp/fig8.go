@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/pktnet"
+	"repro/internal/stats"
+)
+
+// Fig8Result holds the packet-path breakdown and the mainline circuit
+// path for comparison.
+type Fig8Result struct {
+	Profile pktnet.Profile
+	Packet  pktnet.Breakdown
+	Circuit pktnet.Breakdown
+}
+
+// RunFig8 reproduces Figure 8: a 64-byte remote read over the
+// exploratory packet-switched path, decomposed into the on-brick
+// switches, MAC/PHY blocks on both bricks, optical propagation and the
+// memory access itself. The model is single-shot and closed-form, so it
+// runs serially regardless of the worker pool.
+func RunFig8(profile pktnet.Profile, size int) (Fig8Result, error) {
+	d1, err := mem.NewDDR(mem.DDR4_2400)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	d2, err := mem.NewDDR(mem.DDR4_2400)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	req := mem.Request{Op: mem.OpRead, Addr: 0, Size: size}
+	pkt, err := pktnet.RoundTrip(profile, d1, req)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	cir, err := pktnet.CircuitRoundTrip(profile, d2, req)
+	if err != nil {
+		return Fig8Result{}, err
+	}
+	return Fig8Result{Profile: profile, Packet: pkt, Circuit: cir}, nil
+}
+
+// Format renders the experiment as text.
+func (r Fig8Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — round-trip remote memory access latency breakdown (packet-switched exploratory path)\n\n")
+	t := stats.NewTable("component", "crossings", "round-trip ns", "share")
+	for _, c := range r.Packet.Components {
+		t.AddRowf("%s|%d|%d|%.1f%%", c.Name, c.Crossings, int64(c.Total), 100*r.Packet.Share(c.Name))
+	}
+	t.AddRowf("TOTAL| |%d|100.0%%", int64(r.Packet.Total))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nmainline circuit-switched path total: %v (packet-mode overhead: %v)\n",
+		r.Circuit.Total, r.Packet.Total-r.Circuit.Total)
+	fmt.Fprintf(&b, "FEC would add %v per PHY crossing; dReDBox mandates FEC-free links.\n",
+		optical.FECLatencyPenalty)
+	return b.String()
+}
+
+// artifact packages the typed result for the registry.
+func (r Fig8Result) artifact() Result {
+	csv := [][]string{{"component", "crossings", "round_trip_ns", "share"}}
+	for _, c := range r.Packet.Components {
+		csv = append(csv, []string{
+			c.Name, strconv.Itoa(c.Crossings),
+			strconv.FormatInt(int64(c.Total), 10),
+			fmtF(r.Packet.Share(c.Name)),
+		})
+	}
+	return Result{
+		Text: r.Format(),
+		Metrics: []Metric{
+			{Name: "packet-rtt-ns", Value: float64(r.Packet.Total)},
+			{Name: "circuit-rtt-ns", Value: float64(r.Circuit.Total)},
+		},
+		CSV: csv,
+	}
+}

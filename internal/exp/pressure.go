@@ -1,9 +1,11 @@
-package core
+package exp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/brick"
+	"repro/internal/core"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
 	"repro/internal/pktnet"
@@ -30,14 +32,15 @@ type PortPressureResult struct {
 // packet switching exists "to cater for cases where the system is
 // running low in terms of physical ports"). The result quantifies the
 // trade: packet attachments are much cheaper on the control plane (no
-// optical reconfiguration) but pay ~80% more datapath latency.
+// optical reconfiguration) but pay ~80% more datapath latency. The
+// attachments are causally ordered, so the scenario runs serially.
 func RunPortPressure(attachments int) (PortPressureResult, error) {
 	if attachments <= 0 {
-		return PortPressureResult{}, fmt.Errorf("core: port pressure needs at least one attachment")
+		return PortPressureResult{}, fmt.Errorf("port pressure needs at least one attachment")
 	}
-	cfg := DefaultConfig()
+	cfg := core.DefaultConfig()
 	cfg.SDM.PacketFallback = true
-	dc, err := New(cfg)
+	dc, err := core.New(cfg)
 	if err != nil {
 		return PortPressureResult{}, err
 	}
@@ -50,36 +53,34 @@ func RunPortPressure(attachments int) (PortPressureResult, error) {
 	res := PortPressureResult{Attachments: attachments}
 	var circuitControl, packetControl sim.Duration
 	for i := 0; i < attachments; i++ {
-		r, err := ctl.ScaleUp(sim.Time(sim.Hour), "pressure", brick.GiB)
-		if err != nil {
-			return PortPressureResult{}, fmt.Errorf("core: attachment %d: %w", i, err)
+		if _, err := ctl.ScaleUp(sim.Time(sim.Hour), "pressure", brick.GiB); err != nil {
+			return PortPressureResult{}, fmt.Errorf("attachment %d: %w", i, err)
 		}
-		_ = r
 	}
 	atts := dc.SDM().Attachments("pressure")
 	var circuitRTT, packetRTT sim.Duration
 	for _, att := range atts {
-		ctrl, ok := dc.ddr[att.Segment.Brick]
+		ctrl, ok := dc.MemController(att.Segment.Brick)
 		if !ok {
-			return PortPressureResult{}, fmt.Errorf("core: no controller for %v", att.Segment.Brick)
+			return PortPressureResult{}, fmt.Errorf("no controller for %v", att.Segment.Brick)
 		}
 		req := mem.Request{Op: mem.OpRead, Addr: uint64(att.Segment.Offset), Size: 64}
 		if att.Mode == sdm.ModePacket {
-			bd, err := pktnet.RoundTrip(dc.cfg.Packet, ctrl, req)
+			bd, err := pktnet.RoundTrip(cfg.Packet, ctrl, req)
 			if err != nil {
 				return PortPressureResult{}, err
 			}
 			res.PacketMode++
 			packetRTT += bd.Total
-			packetControl += sim.Duration(dc.cfg.SDM.DecisionLatency) + 2*dc.cfg.SDM.AgentRTT
+			packetControl += sim.Duration(cfg.SDM.DecisionLatency) + 2*cfg.SDM.AgentRTT
 		} else {
-			bd, err := pktnet.CircuitRoundTrip(dc.cfg.Packet, ctrl, req)
+			bd, err := pktnet.CircuitRoundTrip(cfg.Packet, ctrl, req)
 			if err != nil {
 				return PortPressureResult{}, err
 			}
 			res.CircuitMode++
 			circuitRTT += bd.Total
-			circuitControl += sim.Duration(dc.cfg.SDM.DecisionLatency) + dc.cfg.Switch.ReconfigTime + dc.cfg.SDM.AgentRTT
+			circuitControl += sim.Duration(cfg.SDM.DecisionLatency) + cfg.Switch.ReconfigTime + cfg.SDM.AgentRTT
 		}
 	}
 	if res.CircuitMode > 0 {
@@ -91,4 +92,27 @@ func RunPortPressure(attachments int) (PortPressureResult, error) {
 		res.PacketControl = packetControl / sim.Duration(res.PacketMode)
 	}
 	return res, nil
+}
+
+// Format renders the ablation as text.
+func (r PortPressureResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — packet-mode fallback under port pressure\n\n")
+	fmt.Fprintf(&b, "%d attachments on an 8-port brick: %d circuit (avg RTT %v, control %v) + %d packet (avg RTT %v, control %v)\n",
+		r.Attachments, r.CircuitMode, r.AvgCircuitRTT, r.CircuitControl,
+		r.PacketMode, r.AvgPacketRTT, r.PacketControl)
+	return b.String()
+}
+
+// artifact packages the typed result for the registry.
+func (r PortPressureResult) artifact() Result {
+	return Result{
+		Text: r.Format(),
+		Metrics: []Metric{
+			{Name: "circuit-attachments", Value: float64(r.CircuitMode)},
+			{Name: "packet-attachments", Value: float64(r.PacketMode)},
+			{Name: "circuit-rtt-ns", Value: float64(r.AvgCircuitRTT)},
+			{Name: "packet-rtt-ns", Value: float64(r.AvgPacketRTT)},
+		},
+	}
 }

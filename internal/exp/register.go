@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"repro/internal/pktnet"
+	"repro/internal/tco"
+)
+
+// init registers every paper artifact and extension in report order.
+// This list is DESIGN.md §4 in executable form; new scenarios plug in
+// here and appear in dredbox-report, the artifact writers and the
+// smoke/determinism tests automatically.
+func init() {
+	Register(New(Info{
+		Name:   "fig7",
+		Paper:  "Fig. 7 — optical link BER at 6-8 switch hops",
+		Trials: defaultFig7Trials,
+	}, func(p Params) (Result, error) {
+		r, err := RunFig7(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
+		Name:   "fig8",
+		Paper:  "Fig. 8 — remote access latency breakdown",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunFig8(pktnet.DefaultProfile, 64)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
+		Name:   "fig10",
+		Paper:  "Fig. 10 — scale-up agility vs scale-out",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunFig10(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
+		Name:   "table1",
+		Paper:  "Table I — VM workload classes",
+		Trials: defaultTable1Samples,
+	}, func(p Params) (Result, error) {
+		r, err := RunTable1(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
+		Name:   "tco",
+		Paper:  "Figs. 11-13 — TCO study: setup, power-off, normalized power",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		cfg := tco.DefaultConfig
+		cfg.Seed = p.Seed
+		results, err := RunTCO(cfg, p.Workers)
+		if err != nil {
+			return Result{}, err
+		}
+		return tcoArtifact(cfg, results)
+	}))
+
+	Register(New(Info{
+		Name:   "slowdown",
+		Paper:  "Extension — application slowdown vs remote fraction",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		s, err := RunSlowdownSweep(0.3, 11)
+		if err != nil {
+			return Result{}, err
+		}
+		return s.artifact(), nil
+	}))
+
+	Register(New(Info{
+		Name:   "fillsweep",
+		Paper:  "Extension — savings vs datacenter fill (High RAM class)",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		cfg := tco.DefaultConfig
+		cfg.Seed = p.Seed
+		points, err := RunTCOFillSweep(cfg, p.Workers)
+		if err != nil {
+			return Result{}, err
+		}
+		return fillSweepArtifact(points), nil
+	}))
+
+	Register(New(Info{
+		Name:   "placement",
+		Paper:  "Ablation — SDM placement policy (power-aware vs spread)",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		pa, spread, err := AblationPlacement(p.Seed, p.Workers)
+		if err != nil {
+			return Result{}, err
+		}
+		return placementArtifact(pa, spread), nil
+	}))
+
+	Register(New(Info{
+		Name:   "portpressure",
+		Paper:  "Ablation — packet-mode fallback under port pressure",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunPortPressure(12)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean "one
+// worker per available CPU".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of at most
+// `workers` goroutines (<= 0 meaning GOMAXPROCS). Each task must be
+// independent: results are written into caller-owned slots by index, so
+// the outcome — including which error is reported — is identical for
+// every worker count. All tasks run even after a failure (tasks are
+// deterministic, so a failing task fails under every schedule); the
+// lowest-index error is returned.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TrialSeed derives the seed of one trial from the master seed and the
+// trial's coordinates (e.g. channel and trial index). The derivation is
+// a splitmix64 chain: statistically independent streams per coordinate
+// tuple, and — because the seed depends only on the coordinates, never
+// on execution order — bit-identical results at any worker count.
+func TrialSeed(master uint64, coords ...uint64) uint64 {
+	s := master
+	for _, c := range coords {
+		s = splitmix64(s + 0x9e3779b97f4a7c15 + splitmix64(c))
+	}
+	return splitmix64(s)
+}
+
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Output is one experiment's outcome under a Runner, with the wall
+// clock it took. Wall is diagnostic only and never part of artifacts.
+type Output struct {
+	Result Result
+	Wall   time.Duration
+}
+
+// Runner executes registered experiments: each experiment in turn, its
+// independent trials spread across the worker pool. Output order is
+// registry order, so a report assembled from the outputs is
+// byte-identical for every worker count.
+type Runner struct {
+	// Registry to resolve experiments from; nil means Default.
+	Registry *Registry
+	// Workers is the trial-level worker pool bound handed to every
+	// experiment; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes the named experiments (all registered ones when names is
+// empty) with the given parameters and returns their outputs in order.
+// An explicit Params.Workers takes precedence over Runner.Workers, so a
+// caller can pin a single experiment run without reconfiguring the
+// runner. The first experiment error aborts the run.
+func (r *Runner) Run(p Params, names ...string) ([]Output, error) {
+	reg := r.Registry
+	if reg == nil {
+		reg = Default
+	}
+	var exps []Experiment
+	if len(names) == 0 {
+		exps = reg.All()
+	} else {
+		for _, name := range names {
+			e, ok := reg.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("exp: unknown experiment %q", name)
+			}
+			exps = append(exps, e)
+		}
+	}
+	if p.Workers <= 0 {
+		p.Workers = r.Workers
+	}
+	outs := make([]Output, 0, len(exps))
+	for _, e := range exps {
+		start := time.Now()
+		res, err := e.Run(p)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, Output{Result: res, Wall: time.Since(start)})
+	}
+	return outs, nil
+}

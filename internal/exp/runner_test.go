@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		hits := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "task 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want task 3's", workers, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("defaulted worker count not positive")
+	}
+}
+
+func TestTrialSeedDistinctAndStable(t *testing.T) {
+	seen := make(map[uint64][2]uint64)
+	for ch := uint64(0); ch < 8; ch++ {
+		for tr := uint64(0); tr < 200; tr++ {
+			s := TrialSeed(1, ch, tr)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d)", ch, tr, prev[0], prev[1])
+			}
+			seen[s] = [2]uint64{ch, tr}
+			if s != TrialSeed(1, ch, tr) {
+				t.Fatal("TrialSeed not stable")
+			}
+		}
+	}
+	if TrialSeed(1, 2, 3) == TrialSeed(2, 2, 3) {
+		t.Fatal("master seed ignored")
+	}
+	if TrialSeed(1, 2, 3) == TrialSeed(1, 3, 2) {
+		t.Fatal("coordinate order ignored")
+	}
+}
+
+func TestRegistryAddGetOrder(t *testing.T) {
+	r := NewRegistry()
+	mk := func(name string) Experiment {
+		return New(Info{Name: name, Paper: name, Trials: 1}, func(Params) (Result, error) {
+			return Result{Text: name}, nil
+		})
+	}
+	for _, n := range []string{"b", "a", "c"} {
+		if err := r.Add(mk(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Add(mk("a")); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := r.Add(mk("")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	want := []string{"b", "a", "c"}
+	got := r.Names()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("Get missed a registered experiment")
+	}
+	if _, ok := r.Get("zzz"); ok {
+		t.Fatal("Get found a ghost")
+	}
+}
+
+func TestRunnerResolvesNamesAndStampsResults(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(New(Info{Name: "x", Paper: "X", Trials: 7}, func(p Params) (Result, error) {
+		return Result{Text: "hi", Metrics: []Metric{{Name: "m", Value: 42}}}, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	runner := Runner{Registry: r, Workers: 2}
+	outs, err := runner.Run(Params{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	res := outs[0].Result
+	if res.Info.Name != "x" || res.Seed != 9 || res.Trials != 7 {
+		t.Fatalf("result not stamped: %+v", res)
+	}
+	if v, ok := res.Metric("m"); !ok || v != 42 {
+		t.Fatal("metric lookup failed")
+	}
+	if _, ok := res.Metric("nope"); ok {
+		t.Fatal("ghost metric found")
+	}
+	if _, err := runner.Run(Params{}, "unknown"); err == nil {
+		t.Fatal("unknown experiment name accepted")
+	}
+}
+
+func TestRunnerHonorsExplicitWorkers(t *testing.T) {
+	r := NewRegistry()
+	var seen int
+	if err := r.Add(New(Info{Name: "w", Paper: "W", Trials: 1}, func(p Params) (Result, error) {
+		seen = p.Workers
+		return Result{Text: "ok"}, nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+	runner := Runner{Registry: r, Workers: 8}
+	if _, err := runner.Run(Params{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("explicit Params.Workers=1 overridden to %d", seen)
+	}
+	if _, err := runner.Run(Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 8 {
+		t.Fatalf("Runner.Workers not applied when Params.Workers unset: %d", seen)
+	}
+}
+
+func TestRunnerPropagatesExperimentError(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(New(Info{Name: "boom", Paper: "B", Trials: 1}, func(Params) (Result, error) {
+		return Result{}, errors.New("kaput")
+	})); err != nil {
+		t.Fatal(err)
+	}
+	runner := Runner{Registry: r}
+	if _, err := runner.Run(Params{}); err == nil {
+		t.Fatal("experiment error swallowed")
+	}
+}

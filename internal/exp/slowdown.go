@@ -1,4 +1,4 @@
-package core
+package exp
 
 import (
 	"fmt"
@@ -38,13 +38,14 @@ type SlowdownSweep struct {
 // ~1 µs, how much does an application slow down as its remote fraction
 // grows? missWeight is the fraction of baseline runtime spent waiting on
 // memory (0.3 is a memory-bound analytics workload); steps is the number
-// of sweep points from 0 to 1.
+// of sweep points from 0 to 1. The sweep is closed-form and cheap, so it
+// runs serially regardless of the worker pool.
 func RunSlowdownSweep(missWeight float64, steps int) (SlowdownSweep, error) {
 	if missWeight <= 0 || missWeight > 1 {
-		return SlowdownSweep{}, fmt.Errorf("core: miss weight %v outside (0, 1]", missWeight)
+		return SlowdownSweep{}, fmt.Errorf("miss weight %v outside (0, 1]", missWeight)
 	}
 	if steps < 2 {
-		return SlowdownSweep{}, fmt.Errorf("core: sweep needs at least 2 steps, got %d", steps)
+		return SlowdownSweep{}, fmt.Errorf("sweep needs at least 2 steps, got %d", steps)
 	}
 	// Local access: one warmed DDR access (row hit + transfer), plus the
 	// on-SoC interconnect (~20 ns).
@@ -111,4 +112,26 @@ func (s SlowdownSweep) MaxSlowdown() float64 {
 		return 0
 	}
 	return s.Circuit[len(s.Circuit)-1].Slowdown
+}
+
+// artifact packages the typed result for the registry.
+func (s SlowdownSweep) artifact() Result {
+	csv := [][]string{{"remote_fraction", "amat_circuit_ns", "slowdown_circuit", "amat_packet_ns", "slowdown_packet"}}
+	for i := range s.Circuit {
+		c, p := s.Circuit[i], s.Packet[i]
+		csv = append(csv, []string{
+			fmtF(c.RemoteFraction), fmtF(c.AMATNs), fmtF(c.Slowdown),
+			fmtF(p.AMATNs), fmtF(p.Slowdown),
+		})
+	}
+	return Result{
+		Text: s.Format(),
+		Metrics: []Metric{
+			{Name: "all-remote-slowdown-x", Value: s.MaxSlowdown()},
+			{Name: "local-ns", Value: s.LocalNs},
+			{Name: "circuit-ns", Value: s.CircuitNs},
+			{Name: "packet-ns", Value: s.PacketNs},
+		},
+		CSV: csv,
+	}
 }

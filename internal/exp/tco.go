@@ -1,0 +1,277 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/tco"
+	"repro/internal/workload"
+)
+
+// defaultTable1Samples is the per-class sample count for Table I means.
+const defaultTable1Samples = 100000
+
+// table1FastSamples caps the sample count in Fast (smoke) mode.
+const table1FastSamples = 2000
+
+// Table1Row is one workload class with its paper bounds and the means
+// observed over the sampled requests.
+type Table1Row struct {
+	Class        workload.Class
+	CPULo, CPUHi int
+	RAMLo, RAMHi int
+	MeanCPU      float64
+	MeanRAMGiB   float64
+}
+
+// Table1Result holds the sampled workload-class table.
+type Table1Result struct {
+	Samples int
+	Rows    []Table1Row
+}
+
+// RunTable1 reproduces Table I: each VM workload class generator is
+// sampled and its empirical means reported next to the paper's bounds.
+// Classes are independent generators over the same master seed, so they
+// fan out across the worker pool.
+func RunTable1(p Params) (Table1Result, error) {
+	samples := p.Trials
+	if samples < 0 {
+		return Table1Result{}, fmt.Errorf("Table1 needs positive sample count, got %d", samples)
+	}
+	if samples == 0 {
+		samples = defaultTable1Samples
+	}
+	if p.Fast && samples > table1FastSamples {
+		samples = table1FastSamples
+	}
+	classes := workload.Classes()
+	rows := make([]Table1Row, len(classes))
+	err := ForEach(p.Workers, len(classes), func(i int) error {
+		class := classes[i]
+		g, err := workload.NewGenerator(class, p.Seed)
+		if err != nil {
+			return err
+		}
+		cpuLo, cpuHi, ramLo, ramHi := class.Bounds()
+		var cpuSum, ramSum float64
+		for s := 0; s < samples; s++ {
+			r := g.Next()
+			cpuSum += float64(r.VCPUs)
+			ramSum += float64(r.RAMGiB)
+		}
+		rows[i] = Table1Row{
+			Class: class,
+			CPULo: cpuLo, CPUHi: cpuHi, RAMLo: ramLo, RAMHi: ramHi,
+			MeanCPU:    cpuSum / float64(samples),
+			MeanRAMGiB: ramSum / float64(samples),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	return Table1Result{Samples: samples, Rows: rows}, nil
+}
+
+// Format renders Table I as text.
+func (r Table1Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table I — VM workload classes (bounds per paper; means over sampled requests)\n\n")
+	t := stats.NewTable("configuration", "vCPUs", "RAM", "mean vCPUs", "mean RAM GiB")
+	for _, row := range r.Rows {
+		t.AddRowf("%s|%d-%d cores|%d-%d GB|%.1f|%.1f",
+			row.Class, row.CPULo, row.CPUHi, row.RAMLo, row.RAMHi,
+			row.MeanCPU, row.MeanRAMGiB)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// artifact packages the typed result for the registry.
+func (r Table1Result) artifact() Result {
+	csv := [][]string{{"class", "vcpu_lo", "vcpu_hi", "ram_lo_gib", "ram_hi_gib", "mean_vcpus", "mean_ram_gib"}}
+	for _, row := range r.Rows {
+		csv = append(csv, []string{
+			fmt.Sprint(row.Class),
+			strconv.Itoa(row.CPULo), strconv.Itoa(row.CPUHi),
+			strconv.Itoa(row.RAMLo), strconv.Itoa(row.RAMHi),
+			fmtF(row.MeanCPU), fmtF(row.MeanRAMGiB),
+		})
+	}
+	return Result{Trials: r.Samples, Text: r.Format(), CSV: csv}
+}
+
+// RunTCO runs the Figs. 12–13 study: one placement study per Table I
+// class, fanned out across the worker pool (each class builds its own
+// generator and schedulers). Results come back in Classes() order.
+func RunTCO(cfg tco.Config, workers int) ([]tco.Result, error) {
+	classes := workload.Classes()
+	results := make([]tco.Result, len(classes))
+	err := ForEach(workers, len(classes), func(i int) error {
+		r, err := tco.Run(cfg, classes[i])
+		if err != nil {
+			return fmt.Errorf("class %v: %w", classes[i], err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunTCOFillSweep runs the utilization-sensitivity extension on the
+// High RAM class (the one with the strongest disaggregation signal),
+// one fill point per worker-pool task.
+func RunTCOFillSweep(cfg tco.Config, workers int) ([]tco.FillPoint, error) {
+	fills := tco.DefaultFills
+	points := make([]tco.FillPoint, len(fills))
+	err := ForEach(workers, len(fills), func(i int) error {
+		c := cfg
+		c.TargetFill = fills[i]
+		r, err := tco.Run(c, workload.HighRAM)
+		if err != nil {
+			return fmt.Errorf("fill %v: %w", fills[i], err)
+		}
+		points[i] = tco.FillPoint{
+			TargetFill:   fills[i],
+			SavingsFrac:  r.SavingsFrac,
+			BrickOffFrac: r.BrickOffFrac,
+			ConvOffFrac:  r.ConvOffFrac,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// FormatFig11 renders the TCO study setup — the paper's Figure 11 shows
+// the two datacenters side by side with identical aggregate compute and
+// memory. The formatter also re-validates the equal-aggregate premise so
+// a misconfigured study cannot silently print a biased comparison.
+func FormatFig11(cfg tco.Config) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 11 — equal aggregate resources in both datacenters\n\n")
+	t := stats.NewTable("datacenter", "units", "cores total", "memory total")
+	t.AddRowf("conventional|%d hosts (%dc / %dGiB each)|%d|%d GiB",
+		cfg.Hosts, cfg.HostCores, cfg.HostGiB, cfg.Hosts*cfg.HostCores, cfg.Hosts*cfg.HostGiB)
+	t.AddRowf("dReDBox|%d dCOMPUBRICKs (%dc) + %d dMEMBRICKs (%dGiB)|%d|%d GiB",
+		cfg.ComputeBricks, cfg.BrickCores, cfg.MemoryBricks, cfg.MemBrickGiB,
+		cfg.ComputeBricks*cfg.BrickCores, cfg.MemoryBricks*cfg.MemBrickGiB)
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nworkload: FCFS placement, sized to %.0f%% of the bottleneck resource per class\n",
+		100*cfg.TargetFill)
+	return b.String(), nil
+}
+
+// FormatFig12 renders the power-off study.
+func FormatFig12(results []tco.Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 12 — percentage of unutilized resources that can be powered off\n\n")
+	t := stats.NewTable("configuration", "VMs", "conv hosts off", "dCOMPUBRICKs off", "dMEMBRICKs off", "all bricks off", "max kind off")
+	for _, r := range results {
+		t.AddRowf("%s|%d|%.0f%%|%.0f%%|%.0f%%|%.0f%%|%.0f%%",
+			r.Class, r.VMs, 100*r.ConvOffFrac, 100*r.CompOffFrac,
+			100*r.MemOffFrac, 100*r.BrickOffFrac, 100*r.MaxKindOffFrac)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\npaper shape: up to ~88% of dMEMBRICKs or dCOMPUBRICKs off on unbalanced workloads vs ~15% of conventional hosts.\n")
+	return b.String()
+}
+
+// FormatFig13 renders the power estimation.
+func FormatFig13(results []tco.Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 13 — estimated power consumption, normalized to the conventional datacenter\n\n")
+	t := stats.NewTable("configuration", "conventional W", "dReDBox W", "normalized", "savings")
+	for _, r := range results {
+		t.AddRowf("%s|%.0f|%.0f|%.2f|%.0f%%",
+			r.Class, r.ConvPowerW, r.DisaggPowerW, r.NormalizedPower, 100*r.SavingsFrac)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\npaper shape: up to ~50% energy savings on diverse/unbalanced workloads, near parity on Half Half.\n")
+	return b.String()
+}
+
+// tcoArtifact packages the Fig. 11–13 study for the registry.
+func tcoArtifact(cfg tco.Config, results []tco.Result) (Result, error) {
+	f11, err := FormatFig11(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var text strings.Builder
+	text.WriteString(f11)
+	text.WriteString("\n")
+	text.WriteString(FormatFig12(results))
+	text.WriteString("\n")
+	text.WriteString(FormatFig13(results))
+
+	csv := [][]string{{
+		"class", "vms", "conv_off_frac", "comp_off_frac", "mem_off_frac",
+		"brick_off_frac", "max_kind_off_frac", "conv_power_w", "disagg_power_w",
+		"normalized_power", "savings_frac",
+	}}
+	var maxKindOff, convOff, bestSavings float64
+	for _, r := range results {
+		csv = append(csv, []string{
+			fmt.Sprint(r.Class), strconv.Itoa(r.VMs),
+			fmtF(r.ConvOffFrac), fmtF(r.CompOffFrac), fmtF(r.MemOffFrac),
+			fmtF(r.BrickOffFrac), fmtF(r.MaxKindOffFrac),
+			fmtF(r.ConvPowerW), fmtF(r.DisaggPowerW),
+			fmtF(r.NormalizedPower), fmtF(r.SavingsFrac),
+		})
+		if r.MaxKindOffFrac > maxKindOff {
+			maxKindOff = r.MaxKindOffFrac
+		}
+		if r.ConvOffFrac > convOff {
+			convOff = r.ConvOffFrac
+		}
+		if r.SavingsFrac > bestSavings {
+			bestSavings = r.SavingsFrac
+		}
+	}
+	return Result{
+		Text: text.String(),
+		Metrics: []Metric{
+			{Name: "best-brick-off-%", Value: 100 * maxKindOff},
+			{Name: "best-host-off-%", Value: 100 * convOff},
+			{Name: "best-savings-%", Value: 100 * bestSavings},
+		},
+		CSV: csv,
+	}, nil
+}
+
+// fillSweepArtifact packages the fill sweep for the registry.
+func fillSweepArtifact(points []tco.FillPoint) Result {
+	var text strings.Builder
+	text.WriteString("Extension — savings vs datacenter fill (High RAM class)\n\n")
+	t := stats.NewTable("fill", "savings", "bricks off", "hosts off")
+	csv := [][]string{{"target_fill", "savings_frac", "brick_off_frac", "conv_off_frac"}}
+	var peak float64
+	for _, p := range points {
+		t.AddRowf("%.0f%%|%.0f%%|%.0f%%|%.0f%%",
+			100*p.TargetFill, 100*p.SavingsFrac, 100*p.BrickOffFrac, 100*p.ConvOffFrac)
+		csv = append(csv, []string{
+			fmtF(p.TargetFill), fmtF(p.SavingsFrac), fmtF(p.BrickOffFrac), fmtF(p.ConvOffFrac),
+		})
+		if p.SavingsFrac > peak {
+			peak = p.SavingsFrac
+		}
+	}
+	text.WriteString(t.String())
+	text.WriteString("\nshape: the disaggregation advantage peaks between an empty and a saturated datacenter.\n")
+	return Result{
+		Text:    text.String(),
+		Metrics: []Metric{{Name: "peak-savings-%", Value: 100 * peak}},
+		CSV:     csv,
+	}
+}
