@@ -15,6 +15,7 @@ import (
 	"repro/internal/brick"
 	"repro/internal/core"
 	"repro/internal/hypervisor"
+	"repro/internal/mem"
 	"repro/internal/scaleup"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -25,7 +26,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	journalCap := flag.Int("journal", 64, "journal ring capacity")
 	jsonOut := flag.Bool("json", false, "print the final SDM state snapshot as JSON")
+	racks := flag.Int("racks", 1, "rack count; above 1 assembles a multi-rack pod and runs the pod tour instead")
 	flag.Parse()
+
+	if *racks > 1 {
+		podTour(*racks, *seed, *journalCap, *jsonOut)
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Seed = *seed
@@ -119,6 +126,99 @@ func main() {
 		}
 		fmt.Println("\n== SDM state snapshot (JSON) ==")
 		fmt.Println(string(data))
+	}
+}
+
+// podTour shards the scenario across racks: deliberately tiny racks
+// (one compute and one 4 GiB memory brick each) so the tour exercises
+// the pod tier — a scale-up that spills cross-rack, remote reads on
+// both sides of the pod switch, and a cross-rack VM migration.
+func podTour(racks int, seed uint64, journalCap int, jsonOut bool) {
+	cfg := core.DefaultPodConfig(racks)
+	cfg.Rack.Seed = seed
+	cfg.Rack.Topology = topo.BuildSpec{
+		Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 8,
+	}
+	cfg.Rack.Switch.Ports = 16
+	cfg.Rack.Bricks.Memory.Capacity = 4 * brick.GiB
+	pod, err := core.NewPod(cfg)
+	if err != nil {
+		fail(err)
+	}
+	// One shared journal across every rack's scale controller gives a
+	// pod-wide, interleaved view of the orchestration events.
+	j, err := trace.New(journalCap)
+	if err != nil {
+		fail(err)
+	}
+	for i := 0; i < pod.Racks(); i++ {
+		sc, _ := pod.ScaleController(i)
+		sc.SetJournal(j)
+	}
+
+	fmt.Printf("== pod inventory (%d racks) ==\n", pod.Racks())
+	for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory} {
+		fmt.Printf("  %-12v x%d (x%d per rack)\n", kind, pod.Topology().Count(kind), pod.Rack(0).Count(kind))
+	}
+	fmt.Printf("  pod switch: %d ports, %.1f W; %d uplinks per rack\n\n",
+		cfg.Fabric.Switch.Ports, pod.Fabric().PowerW(), cfg.Fabric.UplinksPerRack)
+
+	if _, err := pod.CreateVM("web", 1, brick.GiB); err != nil {
+		fail(err)
+	}
+	if _, err := pod.CreateVM("db", 2, 2*brick.GiB); err != nil {
+		fail(err)
+	}
+
+	// Fill the db VM's home-rack memory brick, then spill cross-rack.
+	if _, err := pod.ScaleUpVM("db", 4*brick.GiB); err != nil {
+		fail(err)
+	}
+	if _, err := pod.ScaleUpVM("db", 2*brick.GiB); err != nil {
+		fail(err)
+	}
+	atts := pod.Scheduler().Attachments("db")
+	for _, att := range atts {
+		fmt.Printf("db attachment: %v on rack %d (%v mode, %d hops, %.0f m fiber)\n",
+			att.Size(), att.MemRack, att.Mode, att.Circuit.Hops, att.Circuit.FiberMeters)
+	}
+	intra, err := pod.RemoteAccess("db", mem.OpRead, 0, 64)
+	if err != nil {
+		fail(err)
+	}
+	cross, err := pod.RemoteAccess("db", mem.OpRead, 4*uint64(brick.GiB), 64)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("64B read RTT: intra-rack %v, cross-rack %v\n\n", intra.Total, cross.Total)
+
+	mig, err := pod.MigrateVM("web")
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("migrated web rack %d -> rack %d (host %v): downtime %v\n\n",
+		mig.FromRack, mig.ToRack, mig.To, mig.Downtime)
+
+	n := pod.PowerOffIdle()
+	fmt.Printf("== power census after sweeping %d idle bricks ==\n", n)
+	for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory} {
+		c := pod.Census(kind)
+		fmt.Printf("  %-12v active %d  idle %d  off %d\n", kind, c.Active, c.Idle, c.Off)
+	}
+	fmt.Printf("  pod draw: %.1f W\n\n", pod.DrawW())
+
+	fmt.Println("== orchestration journal (pod-wide) ==")
+	fmt.Print(j.Dump())
+
+	if jsonOut {
+		fmt.Println("\n== SDM state snapshots (JSON, one per rack) ==")
+		for i := 0; i < pod.Racks(); i++ {
+			data, err := pod.Scheduler().Rack(i).Snapshot().JSON()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("-- rack %d --\n%s\n", i, data)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	trials := flag.Int("trials", 0, "override the trial/sample count of multi-trial experiments (0 = per-experiment defaults: 500 BER trials/link, 100000 Table I samples)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials (0 = all cores)")
+	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (0 = per-experiment default of 2; minimum 2)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	artifacts := flag.String("artifacts", "", "also write per-experiment .txt/.json/.csv artifacts into this directory")
 	only := flag.String("only", "", "comma-separated experiment names to run (default: all registered)")
@@ -59,7 +60,7 @@ func main() {
 
 	runner := exp.Runner{Workers: *parallel}
 	start := time.Now()
-	outs, err := runner.Run(exp.Params{Seed: *seed, Trials: *trials}, names...)
+	outs, err := runner.Run(exp.Params{Seed: *seed, Trials: *trials, Racks: *racks}, names...)
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,32 @@
+// Package examples holds runnable facade walkthroughs; this smoke test
+// go-runs each one with the default (fixed) seed so facade refactors
+// cannot silently break them — they are programs, not packages, so the
+// compiler alone does not execute their scenarios.
+package examples
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesRunCleanly(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	for _, name := range []string{"quickstart", "videoanalytics", "nfv", "netanalytics"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command(goBin, "run", ".")
+			cmd.Dir = name
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

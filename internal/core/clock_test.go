@@ -1,0 +1,115 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/mem"
+)
+
+// TestRemoteAccessSelectsCoveringAttachment pins the multi-attachment
+// contract: a VM's remote window is the concatenation of its
+// attachments in attach order, and RemoteAccess resolves the attachment
+// covering the requested offset — not blindly the first one.
+func TestRemoteAccessSelectsCoveringAttachment(t *testing.T) {
+	cfg := DefaultConfig()
+	// 1 GiB memory bricks force every scale-up onto its own brick.
+	cfg.Bricks.Memory.Capacity = brick.GiB
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.CreateVM("vm", 2, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dc.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	atts := dc.SDM().Attachments("vm")
+	if len(atts) != 2 {
+		t.Fatalf("attachments = %d, want 2", len(atts))
+	}
+	if atts[0].Segment.Brick == atts[1].Segment.Brick {
+		t.Fatal("test setup: both attachments landed on one brick")
+	}
+	// Offsets within the first attachment, within the second, straddling
+	// the boundary, and beyond the window.
+	if _, err := dc.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
+		t.Fatalf("first-attachment access: %v", err)
+	}
+	if _, err := dc.RemoteAccess("vm", mem.OpRead, uint64(brick.GiB)+512, 64); err != nil {
+		t.Fatalf("second-attachment access: %v", err)
+	}
+	if _, err := dc.RemoteAccess("vm", mem.OpRead, uint64(brick.GiB)-32, 64); err == nil {
+		t.Fatal("boundary-straddling access accepted")
+	} else if !strings.Contains(err.Error(), "straddles") {
+		t.Fatalf("straddle error = %v", err)
+	}
+	if _, err := dc.RemoteAccess("vm", mem.OpRead, 2*uint64(brick.GiB), 64); err == nil {
+		t.Fatal("out-of-window access accepted")
+	}
+}
+
+// TestFacadeClockContract pins the documented clock semantics:
+// control-plane operations advance the facade clock past their
+// completion; pure datapath measurements (RemoteAccess) never move it.
+func TestFacadeClockContract(t *testing.T) {
+	dc, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dc.CreateVM("vm", 2, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Now() != res.Done {
+		t.Fatalf("CreateVM: clock %v, want %v", dc.Now(), res.Done)
+	}
+	up, err := dc.ScaleUpVM("vm", brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Now() != up.Done {
+		t.Fatalf("ScaleUpVM: clock %v, want %v", dc.Now(), up.Done)
+	}
+
+	// RemoteAccess is a measurement, not an operation: no clock motion.
+	before := dc.Now()
+	if _, err := dc.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Now() != before {
+		t.Fatalf("RemoteAccess moved the clock %v -> %v", before, dc.Now())
+	}
+
+	// AttachAccelerator and Offload advance by exactly their latency.
+	before = dc.Now()
+	bs := accel.Bitstream{Name: "kern", Size: brick.MiB}
+	id, slot, total, err := dc.AttachAccelerator("vm", bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Now() != before.Add(total) {
+		t.Fatalf("AttachAccelerator: clock %v, want %v", dc.Now(), before.Add(total))
+	}
+	before = dc.Now()
+	lat, _, err := dc.Offload(id, slot, accel.Task{
+		InputBytes: brick.MiB, OutputBytes: brick.MiB / 4, AccelBytesPerSec: 1e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Now() != before.Add(lat) {
+		t.Fatalf("Offload: clock %v, want %v", dc.Now(), before.Add(lat))
+	}
+
+	// Advance refuses to run backwards.
+	if err := dc.Advance(-1); err == nil {
+		t.Fatal("negative Advance accepted")
+	}
+}

@@ -75,20 +75,67 @@ func DefaultConfig() Config {
 	}
 }
 
-// Datacenter is an assembled dReDBox rack with its software stack.
-type Datacenter struct {
-	cfg    Config
+// rackStack is the per-rack software stack shared by the Datacenter
+// and Pod facades: the rack's SDM controller, the Scale-up controller
+// above it, the accelerator middlewares and the DDR datapath
+// controllers. Datacenter is exactly one of these; Pod holds one per
+// rack.
+type rackStack struct {
 	rack   *topo.Rack
-	fabric *optical.Fabric
 	sdmc   *sdm.Controller
 	scale  *scaleup.Controller
-
 	accels map[topo.BrickID]*accel.Middleware
 	// ddr holds one controller per memory brick for datapath timing.
 	ddr map[topo.BrickID]*mem.DDRController
+}
+
+// newRackStack builds the software stack above an assembled SDM
+// controller.
+func newRackStack(rack *topo.Rack, sdmc *sdm.Controller, cfg Config) (*rackStack, error) {
+	scale, err := scaleup.New(sdmc, cfg.ScaleUp)
+	if err != nil {
+		return nil, err
+	}
+	rs := &rackStack{
+		rack:   rack,
+		sdmc:   sdmc,
+		scale:  scale,
+		accels: make(map[topo.BrickID]*accel.Middleware),
+		ddr:    make(map[topo.BrickID]*mem.DDRController),
+	}
+	for _, b := range rack.BricksOfKind(topo.KindAccel) {
+		ab, _ := sdmc.Accel(b.ID)
+		mw, err := accel.NewMiddleware(ab, cfg.Accel)
+		if err != nil {
+			return nil, err
+		}
+		rs.accels[b.ID] = mw
+	}
+	for _, b := range rack.BricksOfKind(topo.KindMemory) {
+		ctrl, err := mem.NewDDR(mem.DDR4_2400)
+		if err != nil {
+			return nil, err
+		}
+		rs.ddr[b.ID] = ctrl
+	}
+	return rs, nil
+}
+
+// Datacenter is an assembled dReDBox rack with its software stack — the
+// 1-rack special case of the Pod facade, kept as its own type so
+// single-rack callers never pay the pod tier.
+//
+// Clock contract: the facade's control-plane operations (CreateVM,
+// ScaleUpVM, ScaleDownVM, AttachAccelerator, Offload, MigrateVM)
+// advance the virtual clock past their completion; pure datapath
+// measurements (RemoteAccess) and queries never move it. Advance is the
+// only way to pass time explicitly.
+type Datacenter struct {
+	cfg    Config
+	fabric *optical.Fabric
+	stack  *rackStack
 
 	now sim.Time
-	rng *sim.Rand
 }
 
 // New assembles a datacenter from the config.
@@ -97,6 +144,28 @@ func New(cfg Config) (*Datacenter, error) {
 	if err != nil {
 		return nil, err
 	}
+	fabric, err := newRackFabric(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sdmc, err := sdm.NewController(rack, fabric, cfg.Bricks, cfg.SDM)
+	if err != nil {
+		return nil, err
+	}
+	stack, err := newRackStack(rack, sdmc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Datacenter{
+		cfg:    cfg,
+		fabric: fabric,
+		stack:  stack,
+	}, nil
+}
+
+// newRackFabric assembles one rack's circuit switch and fabric from the
+// config.
+func newRackFabric(cfg Config) (*optical.Fabric, error) {
 	sw, err := optical.NewSwitch(cfg.Switch)
 	if err != nil {
 		return nil, err
@@ -108,40 +177,7 @@ func New(cfg Config) (*Datacenter, error) {
 	if cfg.FiberMeters > 0 {
 		fabric.DefaultFiberMeters = cfg.FiberMeters
 	}
-	sdmc, err := sdm.NewController(rack, fabric, cfg.Bricks, cfg.SDM)
-	if err != nil {
-		return nil, err
-	}
-	scale, err := scaleup.New(sdmc, cfg.ScaleUp)
-	if err != nil {
-		return nil, err
-	}
-	dc := &Datacenter{
-		cfg:    cfg,
-		rack:   rack,
-		fabric: fabric,
-		sdmc:   sdmc,
-		scale:  scale,
-		accels: make(map[topo.BrickID]*accel.Middleware),
-		ddr:    make(map[topo.BrickID]*mem.DDRController),
-		rng:    sim.NewRand(cfg.Seed),
-	}
-	for _, b := range rack.BricksOfKind(topo.KindAccel) {
-		ab, _ := sdmc.Accel(b.ID)
-		mw, err := accel.NewMiddleware(ab, cfg.Accel)
-		if err != nil {
-			return nil, err
-		}
-		dc.accels[b.ID] = mw
-	}
-	for _, b := range rack.BricksOfKind(topo.KindMemory) {
-		ctrl, err := mem.NewDDR(mem.DDR4_2400)
-		if err != nil {
-			return nil, err
-		}
-		dc.ddr[b.ID] = ctrl
-	}
-	return dc, nil
+	return fabric, nil
 }
 
 // Now returns the datacenter's virtual clock.
@@ -153,11 +189,13 @@ func (d *Datacenter) Config() Config { return d.cfg }
 // MemController returns the DDR controller of a memory brick — the
 // datapath model experiments time remote accesses against.
 func (d *Datacenter) MemController(id topo.BrickID) (*mem.DDRController, bool) {
-	ctrl, ok := d.ddr[id]
+	ctrl, ok := d.stack.ddr[id]
 	return ctrl, ok
 }
 
-// Advance moves the virtual clock forward.
+// Advance moves the virtual clock forward explicitly. Facade
+// control-plane calls advance the clock themselves (see the Datacenter
+// clock contract); Advance is for modeling think time between them.
 func (d *Datacenter) Advance(dur sim.Duration) error {
 	if dur < 0 {
 		return fmt.Errorf("core: cannot advance clock by %v", dur)
@@ -167,22 +205,22 @@ func (d *Datacenter) Advance(dur sim.Duration) error {
 }
 
 // SDM exposes the orchestration layer.
-func (d *Datacenter) SDM() *sdm.Controller { return d.sdmc }
+func (d *Datacenter) SDM() *sdm.Controller { return d.stack.sdmc }
 
 // ScaleController exposes the Scale-up controller (for concurrency
 // experiments that need explicit request timing).
-func (d *Datacenter) ScaleController() *scaleup.Controller { return d.scale }
+func (d *Datacenter) ScaleController() *scaleup.Controller { return d.stack.scale }
 
 // Fabric exposes the optical circuit fabric.
 func (d *Datacenter) Fabric() *optical.Fabric { return d.fabric }
 
 // Rack exposes the topology.
-func (d *Datacenter) Rack() *topo.Rack { return d.rack }
+func (d *Datacenter) Rack() *topo.Rack { return d.stack.rack }
 
 // CreateVM boots a VM with the given resources; the clock advances past
 // the creation delay (facade semantics are sequential).
 func (d *Datacenter) CreateVM(id string, vcpus int, memory brick.Bytes) (scaleup.Result, error) {
-	_, res, err := d.scale.CreateVM(d.now, hypervisor.VMID(id), hypervisor.VMSpec{VCPUs: vcpus, Memory: memory})
+	_, res, err := d.stack.scale.CreateVM(d.now, hypervisor.VMID(id), hypervisor.VMSpec{VCPUs: vcpus, Memory: memory})
 	if err != nil {
 		return scaleup.Result{}, err
 	}
@@ -190,9 +228,10 @@ func (d *Datacenter) CreateVM(id string, vcpus int, memory brick.Bytes) (scaleup
 	return res, nil
 }
 
-// ScaleUpVM grows a VM's memory with disaggregated remote memory.
+// ScaleUpVM grows a VM's memory with disaggregated remote memory; the
+// clock advances past the request's completion.
 func (d *Datacenter) ScaleUpVM(id string, size brick.Bytes) (scaleup.Result, error) {
-	res, err := d.scale.ScaleUp(d.now, hypervisor.VMID(id), size)
+	res, err := d.stack.scale.ScaleUp(d.now, hypervisor.VMID(id), size)
 	if err != nil {
 		return scaleup.Result{}, err
 	}
@@ -200,9 +239,10 @@ func (d *Datacenter) ScaleUpVM(id string, size brick.Bytes) (scaleup.Result, err
 	return res, nil
 }
 
-// ScaleDownVM releases remote memory from a VM.
+// ScaleDownVM releases remote memory from a VM; the clock advances past
+// the request's completion.
 func (d *Datacenter) ScaleDownVM(id string, size brick.Bytes) (scaleup.Result, error) {
-	res, err := d.scale.ScaleDown(d.now, hypervisor.VMID(id), size)
+	res, err := d.stack.scale.ScaleDown(d.now, hypervisor.VMID(id), size)
 	if err != nil {
 		return scaleup.Result{}, err
 	}
@@ -212,31 +252,52 @@ func (d *Datacenter) ScaleDownVM(id string, size brick.Bytes) (scaleup.Result, e
 
 // VM returns the hypervisor view of a VM.
 func (d *Datacenter) VM(id string) (*hypervisor.VM, bool) {
-	return d.scale.VM(hypervisor.VMID(id))
+	return d.stack.scale.VM(hypervisor.VMID(id))
 }
 
-// RemoteAccess issues one remote memory transaction from a VM's first
-// attachment and returns its latency breakdown over the circuit path —
-// the datapath a running application experiences.
-func (d *Datacenter) RemoteAccess(id string, op mem.Op, offset uint64, size int) (pktnet.Breakdown, error) {
-	atts := d.sdmc.Attachments(id)
+// attachmentAt resolves a VM-relative remote offset onto the attachment
+// covering it. A VM's remote window is the concatenation of its live
+// attachments in attach order; the returned offset is relative to the
+// selected attachment's base. Accesses may not straddle attachments —
+// hardware transactions never span TGL windows.
+func attachmentAt(atts []*sdm.Attachment, offset uint64, size int) (*sdm.Attachment, uint64, error) {
+	var cum uint64
+	for _, att := range atts {
+		span := uint64(att.Size())
+		if offset < cum+span {
+			if offset+uint64(size) > cum+span {
+				return nil, 0, fmt.Errorf("core: access [%d,%d) straddles the attachment boundary at %d", offset, offset+uint64(size), cum+span)
+			}
+			return att, offset - cum, nil
+		}
+		cum += span
+	}
+	return nil, 0, fmt.Errorf("core: access [%d,%d) beyond the VM's %d bytes of remote memory", offset, offset+uint64(size), cum)
+}
+
+// remoteAccess issues one remote memory transaction at a VM-relative
+// offset into the VM's remote window. The memory-side DDR controller is
+// resolved through ddrFor because the memory brick may live on another
+// rack's stack (brick IDs collide across racks).
+func (rs *rackStack) remoteAccess(prof pktnet.Profile, id string, op mem.Op, offset uint64, size int,
+	ddrFor func(att *sdm.Attachment, b topo.BrickID) (*mem.DDRController, bool)) (pktnet.Breakdown, error) {
+	atts := rs.sdmc.Attachments(id)
 	if len(atts) == 0 {
 		return pktnet.Breakdown{}, fmt.Errorf("core: VM %q has no remote memory attached", id)
 	}
-	att := atts[0]
-	if offset+uint64(size) > uint64(att.Size()) {
-		return pktnet.Breakdown{}, fmt.Errorf("core: access [%d,%d) beyond attachment size %v", offset, offset+uint64(size), att.Size())
-	}
-	node, _ := d.sdmc.Compute(att.CPU)
-	route, err := node.Agent.Glue.TranslateRange(att.Window.Base+offset, uint64(size))
+	att, inner, err := attachmentAt(atts, offset, size)
 	if err != nil {
 		return pktnet.Breakdown{}, err
 	}
-	ctrl, ok := d.ddr[route.Remote.Brick]
-	if !ok {
-		return pktnet.Breakdown{}, fmt.Errorf("core: no memory controller for %v", route.Remote.Brick)
+	node, _ := rs.sdmc.Compute(att.CPU)
+	route, err := node.Agent.Glue.TranslateRange(att.Window.Base+inner, uint64(size))
+	if err != nil {
+		return pktnet.Breakdown{}, err
 	}
-	prof := d.cfg.Packet
+	ctrl, ok := ddrFor(att, route.Remote.Brick)
+	if !ok {
+		return pktnet.Breakdown{}, fmt.Errorf("core: no memory controller for r%d.%v", att.MemRack, route.Remote.Brick)
+	}
 	if att.Circuit != nil {
 		prof.FiberMeters = att.Circuit.FiberMeters
 	}
@@ -245,42 +306,66 @@ func (d *Datacenter) RemoteAccess(id string, op mem.Op, offset uint64, size int)
 		// Packet-mode attachments cross both on-brick packet switches
 		// and time-share the host circuit with its owner and any other
 		// riders.
-		sharers := 1 + d.sdmc.Riders(att)
+		sharers := 1 + rs.sdmc.Riders(att)
 		return pktnet.SharedRoundTrip(prof, ctrl, req, sharers)
 	}
 	return pktnet.CircuitRoundTrip(prof, ctrl, req)
 }
 
-// AttachAccelerator reserves an accelerator slot for a VM, ships the
-// bitstream to the brick and reconfigures the slot. It returns the brick,
-// slot and total latency.
-func (d *Datacenter) AttachAccelerator(id string, bs accel.Bitstream) (topo.BrickID, int, sim.Duration, error) {
-	brickID, slot, orchLat, err := d.sdmc.ReserveAccel(id, bs.Name)
+// RemoteAccess issues one remote memory transaction at a VM-relative
+// offset into its remote window (the concatenation of its attachments
+// in attach order) and returns the latency breakdown over that
+// attachment's path — the datapath a running application experiences.
+// As a pure datapath measurement it does not advance the facade clock.
+func (d *Datacenter) RemoteAccess(id string, op mem.Op, offset uint64, size int) (pktnet.Breakdown, error) {
+	return d.stack.remoteAccess(d.cfg.Packet, id, op, offset, size,
+		func(_ *sdm.Attachment, b topo.BrickID) (*mem.DDRController, bool) {
+			ctrl, ok := d.stack.ddr[b]
+			return ctrl, ok
+		})
+}
+
+// attachAccelerator reserves an accelerator slot for a VM on this
+// rack, ships the bitstream and reconfigures the slot; the caller
+// advances its clock by the returned total.
+func (rs *rackStack) attachAccelerator(id string, bs accel.Bitstream) (topo.BrickID, int, sim.Duration, error) {
+	brickID, slot, orchLat, err := rs.sdmc.ReserveAccel(id, bs.Name)
 	if err != nil {
 		return topo.BrickID{}, 0, 0, err
 	}
-	mw := d.accels[brickID]
+	mw := rs.accels[brickID]
 	var xferLat sim.Duration
 	if !mw.Stored(bs.Name) {
 		xferLat, err = mw.ReceiveBitstream(bs)
 		if err != nil {
-			d.sdmc.ReleaseAccel(brickID, slot)
+			rs.sdmc.ReleaseAccel(brickID, slot)
 			return topo.BrickID{}, 0, 0, err
 		}
 	}
 	cfgLat, err := mw.Reconfigure(slot, bs.Name)
 	if err != nil {
-		d.sdmc.ReleaseAccel(brickID, slot)
+		rs.sdmc.ReleaseAccel(brickID, slot)
 		return topo.BrickID{}, 0, 0, err
 	}
-	total := orchLat + xferLat + cfgLat
+	return brickID, slot, orchLat + xferLat + cfgLat, nil
+}
+
+// AttachAccelerator reserves an accelerator slot for a VM, ships the
+// bitstream to the brick and reconfigures the slot. It returns the
+// brick, slot and total latency, and advances the clock past it.
+func (d *Datacenter) AttachAccelerator(id string, bs accel.Bitstream) (topo.BrickID, int, sim.Duration, error) {
+	brickID, slot, total, err := d.stack.attachAccelerator(id, bs)
+	if err != nil {
+		return topo.BrickID{}, 0, 0, err
+	}
 	d.now = d.now.Add(total)
 	return brickID, slot, total, nil
 }
 
-// Offload runs a near-data task on an accelerator slot.
+// Offload runs a near-data task on an accelerator slot and advances the
+// clock past its completion.
 func (d *Datacenter) Offload(brickID topo.BrickID, slot int, task accel.Task) (sim.Duration, brick.Bytes, error) {
-	mw, ok := d.accels[brickID]
+	mw, ok := d.stack.accels[brickID]
 	if !ok {
 		return 0, 0, fmt.Errorf("core: no accelerator brick %v", brickID)
 	}
@@ -295,7 +380,7 @@ func (d *Datacenter) Offload(brickID topo.BrickID, slot int, task accel.Task) (s
 
 // Accelerator returns the middleware of an accelerator brick.
 func (d *Datacenter) Accelerator(id topo.BrickID) (*accel.Middleware, bool) {
-	mw, ok := d.accels[id]
+	mw, ok := d.stack.accels[id]
 	return mw, ok
 }
 
@@ -304,7 +389,7 @@ func (d *Datacenter) Accelerator(id topo.BrickID) (*accel.Middleware, bool) {
 // downtime is governed by the brick-local state, not the VM's total
 // memory.
 func (d *Datacenter) MigrateVM(id string) (scaleup.MigrationResult, error) {
-	res, err := d.scale.Migrate(d.now, hypervisor.VMID(id))
+	res, err := d.stack.scale.Migrate(d.now, hypervisor.VMID(id))
 	if err != nil {
 		return scaleup.MigrationResult{}, err
 	}
@@ -313,10 +398,10 @@ func (d *Datacenter) MigrateVM(id string) (scaleup.MigrationResult, error) {
 }
 
 // PowerOffIdle sweeps idle bricks off and returns how many were stopped.
-func (d *Datacenter) PowerOffIdle() int { return d.sdmc.PowerOffIdle() }
+func (d *Datacenter) PowerOffIdle() int { return d.stack.sdmc.PowerOffIdle() }
 
 // Census returns the power census for a brick kind.
-func (d *Datacenter) Census(kind topo.BrickKind) sdm.PowerCensus { return d.sdmc.Census(kind) }
+func (d *Datacenter) Census(kind topo.BrickKind) sdm.PowerCensus { return d.stack.sdmc.Census(kind) }
 
 // DrawW returns the rack's current electrical draw.
-func (d *Datacenter) DrawW() float64 { return d.sdmc.DrawW(brick.DefaultProfiles) }
+func (d *Datacenter) DrawW() float64 { return d.stack.sdmc.DrawW(brick.DefaultProfiles) }

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/brick"
+	"repro/internal/hypervisor"
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/pktnet"
+	"repro/internal/scaleup"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// PodConfig assembles a pod of identical racks under one inter-rack
+// optical tier.
+type PodConfig struct {
+	// Racks is the number of racks in the pod.
+	Racks int
+	// Rack is the per-rack assembly, reused verbatim for every rack.
+	Rack Config
+	// Fabric is the inter-rack tier: the pod circuit switch and its
+	// hop/fiber/reconfig profile.
+	Fabric optical.PodProfile
+}
+
+// DefaultPodConfig is n default racks under the default pod profile.
+func DefaultPodConfig(n int) PodConfig {
+	return PodConfig{Racks: n, Rack: DefaultConfig(), Fabric: optical.DefaultPodProfile}
+}
+
+// Validate rejects unusable pod configurations.
+func (c PodConfig) Validate() error {
+	if c.Racks <= 0 {
+		return fmt.Errorf("core: pod needs at least one rack, got %d", c.Racks)
+	}
+	return c.Fabric.Validate(c.Racks)
+}
+
+// Pod is the multi-rack facade: N assembled racks sharded behind one
+// pod scheduler, with the Datacenter's programming model (CreateVM,
+// ScaleUpVM, RemoteAccess, MigrateVM) extended across racks. Placement
+// is rack-local first; memory a rack cannot supply spills cross-rack
+// through the pod circuit switch, and VMs without remote attachments
+// can migrate to another rack entirely.
+//
+// Clock contract: identical to Datacenter — control-plane operations
+// advance the clock past their completion, datapath measurements and
+// queries never move it.
+type Pod struct {
+	cfg    PodConfig
+	pod    *topo.Pod
+	fabric *optical.PodFabric
+	sched  *sdm.PodScheduler
+	stacks []*rackStack
+
+	// vmRack tracks which rack hosts each VM.
+	vmRack map[string]int
+
+	now sim.Time
+}
+
+// NewPod assembles a pod from the config.
+func NewPod(cfg PodConfig) (*Pod, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pod, err := topo.BuildPod(cfg.Racks, cfg.Rack.Topology)
+	if err != nil {
+		return nil, err
+	}
+	fabrics := make([]*optical.Fabric, cfg.Racks)
+	for i := range fabrics {
+		if fabrics[i], err = newRackFabric(cfg.Rack); err != nil {
+			return nil, err
+		}
+	}
+	pf, err := optical.NewPodFabric(cfg.Fabric, fabrics)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := sdm.NewPodScheduler(pod, pf, cfg.Rack.Bricks, cfg.Rack.SDM)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pod{
+		cfg:    cfg,
+		pod:    pod,
+		fabric: pf,
+		sched:  sched,
+		vmRack: make(map[string]int),
+	}
+	for i := 0; i < cfg.Racks; i++ {
+		stack, err := newRackStack(pod.Rack(i), sched.Rack(i), cfg.Rack)
+		if err != nil {
+			return nil, fmt.Errorf("core: rack %d stack: %w", i, err)
+		}
+		p.stacks = append(p.stacks, stack)
+	}
+	return p, nil
+}
+
+// Now returns the pod's virtual clock.
+func (p *Pod) Now() sim.Time { return p.now }
+
+// Config returns the configuration the pod was assembled from.
+func (p *Pod) Config() PodConfig { return p.cfg }
+
+// Advance moves the virtual clock forward explicitly.
+func (p *Pod) Advance(dur sim.Duration) error {
+	if dur < 0 {
+		return fmt.Errorf("core: cannot advance clock by %v", dur)
+	}
+	p.now = p.now.Add(dur)
+	return nil
+}
+
+// Racks returns the rack count.
+func (p *Pod) Racks() int { return p.cfg.Racks }
+
+// Rack exposes one rack's topology.
+func (p *Pod) Rack(i int) *topo.Rack { return p.pod.Rack(i) }
+
+// Topology exposes the pod topology.
+func (p *Pod) Topology() *topo.Pod { return p.pod }
+
+// Scheduler exposes the pod-tier orchestration layer.
+func (p *Pod) Scheduler() *sdm.PodScheduler { return p.sched }
+
+// Fabric exposes the pod optical fabric.
+func (p *Pod) Fabric() *optical.PodFabric { return p.fabric }
+
+// ScaleController exposes one rack's Scale-up controller.
+func (p *Pod) ScaleController(rack int) (*scaleup.Controller, bool) {
+	if rack < 0 || rack >= len(p.stacks) {
+		return nil, false
+	}
+	return p.stacks[rack].scale, true
+}
+
+// VMRack returns the rack hosting a VM.
+func (p *Pod) VMRack(id string) (int, bool) {
+	r, ok := p.vmRack[id]
+	return r, ok
+}
+
+// VM returns the hypervisor view of a VM.
+func (p *Pod) VM(id string) (*hypervisor.VM, bool) {
+	r, ok := p.vmRack[id]
+	if !ok {
+		return nil, false
+	}
+	return p.stacks[r].scale.VM(hypervisor.VMID(id))
+}
+
+// CreateVM boots a VM somewhere in the pod: the pod policy picks the
+// rack, the rack's SDM controller picks the brick. The clock advances
+// past the creation delay.
+func (p *Pod) CreateVM(id string, vcpus int, memory brick.Bytes) (scaleup.Result, error) {
+	if _, dup := p.vmRack[id]; dup {
+		return scaleup.Result{}, fmt.Errorf("core: VM %q already exists in the pod", id)
+	}
+	rack, ok := p.sched.PickComputeRack(vcpus, memory)
+	if !ok {
+		return scaleup.Result{}, fmt.Errorf("core: no rack in the %d-rack pod can host %d vCPUs and %v", p.cfg.Racks, vcpus, memory)
+	}
+	_, res, err := p.stacks[rack].scale.CreateVM(p.now, hypervisor.VMID(id), hypervisor.VMSpec{VCPUs: vcpus, Memory: memory})
+	if err != nil {
+		return scaleup.Result{}, err
+	}
+	p.vmRack[id] = rack
+	p.now = res.Done
+	return res, nil
+}
+
+// ScaleUpVM grows a VM's memory: rack-local disaggregated memory when
+// the home rack has it, a cross-rack attachment through the pod switch
+// when it does not. The clock advances past the request's completion.
+func (p *Pod) ScaleUpVM(id string, size brick.Bytes) (scaleup.Result, error) {
+	rack, ok := p.vmRack[id]
+	if !ok {
+		return scaleup.Result{}, fmt.Errorf("core: no VM %q in the pod", id)
+	}
+	res, err := p.stacks[rack].scale.ScaleUpVia(p.now, hypervisor.VMID(id), size,
+		func(owner string, cpu topo.BrickID, size brick.Bytes) (*sdm.Attachment, sim.Duration, error) {
+			return p.sched.AttachRemoteMemory(owner, topo.PodBrickID{Rack: rack, Brick: cpu}, size)
+		})
+	if err != nil {
+		return scaleup.Result{}, err
+	}
+	p.now = res.Done
+	return res, nil
+}
+
+// ScaleDownVM releases remote memory from a VM (LIFO, like the
+// Datacenter facade); cross-rack attachments tear down through the pod
+// tier transparently. The clock advances past the request's completion.
+func (p *Pod) ScaleDownVM(id string, size brick.Bytes) (scaleup.Result, error) {
+	rack, ok := p.vmRack[id]
+	if !ok {
+		return scaleup.Result{}, fmt.Errorf("core: no VM %q in the pod", id)
+	}
+	res, err := p.stacks[rack].scale.ScaleDown(p.now, hypervisor.VMID(id), size)
+	if err != nil {
+		return scaleup.Result{}, err
+	}
+	p.now = res.Done
+	return res, nil
+}
+
+// RemoteAccess issues one remote memory transaction at a VM-relative
+// offset into its remote window, exactly like Datacenter.RemoteAccess —
+// but the selected attachment may cross the pod tier, in which case the
+// breakdown reflects the longer inter-rack fiber and extra switch hops.
+// As a pure datapath measurement it does not advance the facade clock.
+func (p *Pod) RemoteAccess(id string, op mem.Op, offset uint64, size int) (pktnet.Breakdown, error) {
+	rack, ok := p.vmRack[id]
+	if !ok {
+		return pktnet.Breakdown{}, fmt.Errorf("core: no VM %q in the pod", id)
+	}
+	return p.stacks[rack].remoteAccess(p.cfg.Rack.Packet, id, op, offset, size,
+		// The memory brick lives on the attachment's memory rack — brick
+		// IDs collide across racks, so the rack index disambiguates.
+		func(att *sdm.Attachment, b topo.BrickID) (*mem.DDRController, bool) {
+			ctrl, ok := p.stacks[att.MemRack].ddr[b]
+			return ctrl, ok
+		})
+}
+
+// PodMigration reports one pod-level VM migration.
+type PodMigration struct {
+	scaleup.MigrationResult
+	// FromRack and ToRack are the pod rack indexes; equal for a
+	// rack-local migration.
+	FromRack, ToRack int
+}
+
+// podLinkGbps is the line rate of the inter-rack stop-and-copy (one
+// transceiver lane through the pod switch).
+const podLinkGbps = 10
+
+// MigrateVM moves a VM: rack-locally when its home rack has another
+// brick with room (remote segments stay put, circuits re-point), and
+// otherwise cross-rack — allowed only for VMs without remote
+// attachments, whose entire state is brick-local and ships over one
+// inter-rack lane. The clock advances past the downtime.
+func (p *Pod) MigrateVM(id string) (PodMigration, error) {
+	rack, ok := p.vmRack[id]
+	if !ok {
+		return PodMigration{}, fmt.Errorf("core: no VM %q in the pod", id)
+	}
+	scale := p.stacks[rack].scale
+	res, localErr := scale.Migrate(p.now, hypervisor.VMID(id))
+	if localErr == nil {
+		p.now = p.now.Add(res.Downtime)
+		return PodMigration{MigrationResult: res, FromRack: rack, ToRack: rack}, nil
+	}
+	if n := scale.Bindings(hypervisor.VMID(id)); n > 0 {
+		return PodMigration{}, fmt.Errorf("core: rack-local migration failed (%v) and VM %q holds %d remote attachments, which cannot follow it across racks", localErr, id, n)
+	}
+	src, _ := scale.VMHost(hypervisor.VMID(id))
+	vm, spec, err := scale.Emigrate(hypervisor.VMID(id))
+	if err != nil {
+		return PodMigration{}, err
+	}
+	readopt := func(cause error) (PodMigration, error) {
+		// Re-adopt at home; the home rack just released these resources,
+		// so re-reserving them cannot fail.
+		if _, _, herr := scale.Immigrate(p.now, vm, spec); herr != nil {
+			return PodMigration{}, fmt.Errorf("core: cross-rack migration of %q failed (%v) and re-adoption failed: %w", id, cause, herr)
+		}
+		return PodMigration{}, cause
+	}
+	dst, ok := p.sched.PickComputeRackExcept(spec.VCPUs, spec.Memory, rack)
+	if !ok {
+		return readopt(fmt.Errorf("core: rack-local migration failed (%v) and no other rack can host VM %q", localErr, id))
+	}
+	host, resLat, err := p.stacks[dst].scale.Immigrate(p.now, vm, spec)
+	if err != nil {
+		return readopt(err)
+	}
+	out := PodMigration{FromRack: rack, ToRack: dst}
+	out.From, out.To = src, host
+	out.LocalCopy = optical.SerializationDelay(int(vm.TotalMemory()), podLinkGbps)
+	out.Downtime = out.LocalCopy + resLat
+	out.FullCopyBaseline = out.LocalCopy
+	p.vmRack[id] = dst
+	p.now = p.now.Add(out.Downtime)
+	return out, nil
+}
+
+// AttachAccelerator reserves an accelerator slot on the VM's home rack,
+// ships the bitstream and reconfigures the slot; the clock advances
+// past the total latency.
+func (p *Pod) AttachAccelerator(id string, bs accel.Bitstream) (topo.PodBrickID, int, sim.Duration, error) {
+	rack, ok := p.vmRack[id]
+	if !ok {
+		return topo.PodBrickID{}, 0, 0, fmt.Errorf("core: no VM %q in the pod", id)
+	}
+	brickID, slot, total, err := p.stacks[rack].attachAccelerator(id, bs)
+	if err != nil {
+		return topo.PodBrickID{}, 0, 0, err
+	}
+	p.now = p.now.Add(total)
+	return topo.PodBrickID{Rack: rack, Brick: brickID}, slot, total, nil
+}
+
+// PowerOffIdle sweeps every rack and returns the total bricks stopped.
+func (p *Pod) PowerOffIdle() int { return p.sched.PowerOffIdle() }
+
+// Census returns the pod-wide power census for a brick kind.
+func (p *Pod) Census(kind topo.BrickKind) sdm.PowerCensus { return p.sched.Census(kind) }
+
+// DrawW returns the pod's current electrical draw (racks plus the pod
+// switch).
+func (p *Pod) DrawW() float64 { return p.sched.DrawW(brick.DefaultProfiles) }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/mem"
+	"repro/internal/topo"
+)
+
+// tinyPodConfig is a pod of racks with one compute and one memory brick
+// each, small enough to force cross-rack behavior.
+func tinyPodConfig(racks int, memCap brick.Bytes) PodConfig {
+	cfg := DefaultPodConfig(racks)
+	cfg.Rack.Topology = topo.BuildSpec{
+		Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 8,
+	}
+	cfg.Rack.Switch.Ports = 16
+	cfg.Rack.Bricks.Memory.Capacity = memCap
+	return cfg
+}
+
+func TestPodFacadeSpillAndRemoteAccess(t *testing.T) {
+	pod, err := NewPod(tinyPodConfig(2, 2*brick.GiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.CreateVM("vm", 1, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := pod.VMRack("vm"); !ok || r != 0 {
+		t.Fatalf("VMRack = %d,%v", r, ok)
+	}
+	// Fill the home rack's 2 GiB memory brick, then spill.
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	atts := pod.Scheduler().Attachments("vm")
+	if len(atts) != 3 {
+		t.Fatalf("attachments = %d, want 3", len(atts))
+	}
+	if atts[0].CrossRack() || !atts[2].CrossRack() {
+		t.Fatal("expected attachments 1-2 rack-local and 3 cross-rack")
+	}
+	vm, _ := pod.VM("vm")
+	if want := 4 * brick.GiB; vm.TotalMemory() != want {
+		t.Fatalf("VM memory = %v, want %v", vm.TotalMemory(), want)
+	}
+	// The VM addresses its full remote window; the cross-rack read is
+	// measurably slower than the intra-rack one.
+	intra, err := pod.RemoteAccess("vm", mem.OpRead, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := pod.RemoteAccess("vm", mem.OpRead, 2*uint64(brick.GiB), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Total <= intra.Total {
+		t.Fatalf("cross-rack RTT %v not above intra-rack %v", cross.Total, intra.Total)
+	}
+	// Scale-down releases LIFO — the cross-rack attachment goes first,
+	// tearing down through the pod tier transparently.
+	if _, err := pod.ScaleDownVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if pod.Fabric().CrossCircuits() != 0 {
+		t.Fatal("cross circuit survived scale-down")
+	}
+}
+
+func TestPodCrossRackMigration(t *testing.T) {
+	pod, err := NewPod(tinyPodConfig(2, 4*brick.GiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.CreateVM("vm", 1, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	before := pod.Now()
+	// The home rack has a single compute brick, so rack-local migration
+	// is impossible; the VM has no attachments, so it crosses racks.
+	mig, err := pod.MigrateVM("vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mig.FromRack != 0 || mig.ToRack != 1 {
+		t.Fatalf("migrated rack %d -> %d, want 0 -> 1", mig.FromRack, mig.ToRack)
+	}
+	if mig.Downtime <= 0 {
+		t.Fatal("cross-rack migration downtime must be positive")
+	}
+	if pod.Now() != before.Add(mig.Downtime) {
+		t.Fatal("MigrateVM did not advance the clock by the downtime")
+	}
+	if r, _ := pod.VMRack("vm"); r != 1 {
+		t.Fatalf("VM tracked on rack %d after migration", r)
+	}
+	if _, ok := pod.VM("vm"); !ok {
+		t.Fatal("VM unreachable after cross-rack migration")
+	}
+	// The VM still scales up, now against its new rack.
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	att := pod.Scheduler().Attachments("vm")[0]
+	if att.CPURack != 1 {
+		t.Fatalf("post-migration attachment on rack %d, want 1", att.CPURack)
+	}
+}
+
+func TestPodMigrationRefusedWithAttachments(t *testing.T) {
+	pod, err := NewPod(tinyPodConfig(2, 2*brick.GiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.CreateVM("vm", 1, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.MigrateVM("vm"); err == nil {
+		t.Fatal("cross-rack migration accepted with a live attachment")
+	}
+	// Still in place and functional on its home rack.
+	if r, _ := pod.VMRack("vm"); r != 0 {
+		t.Fatalf("VM moved to rack %d", r)
+	}
+	if _, err := pod.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPodMigrationPreflightRejectsCrossRack pins the rollback-safety
+// fix: when a VM holds both a rack-local and a cross-rack attachment
+// and the home rack has a spare compute brick, rack-local migration
+// must refuse in pre-flight — before any circuit is re-pointed — and
+// leave the VM fully functional.
+func TestPodMigrationPreflightRejectsCrossRack(t *testing.T) {
+	cfg := tinyPodConfig(2, 2*brick.GiB)
+	// A second compute brick per rack makes rack-local migration viable,
+	// so only the cross-rack pre-flight check stands in the way.
+	cfg.Rack.Topology.ComputePerTray = 2
+	cfg.Rack.Switch.Ports = 32
+	pod, err := NewPod(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.CreateVM("vm", 1, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	// One rack-local attachment, then fill the home brick so the next
+	// spills cross-rack.
+	if _, err := pod.ScaleUpVM("vm", 2*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	atts := pod.Scheduler().Attachments("vm")
+	if len(atts) != 2 || atts[0].CrossRack() || !atts[1].CrossRack() {
+		t.Fatalf("setup: want rack-local + cross-rack attachments, got %d", len(atts))
+	}
+	if _, err := pod.MigrateVM("vm"); err == nil {
+		t.Fatal("migration accepted with a cross-rack attachment")
+	}
+	// Nothing was mutated: both windows still serve reads, and the
+	// rack-local attachment still scales down cleanly.
+	if _, err := pod.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
+		t.Fatalf("rack-local window broken after refused migration: %v", err)
+	}
+	if _, err := pod.RemoteAccess("vm", mem.OpRead, 2*uint64(brick.GiB), 64); err != nil {
+		t.Fatalf("cross-rack window broken after refused migration: %v", err)
+	}
+	if _, err := pod.ScaleDownVM("vm", brick.GiB); err != nil {
+		t.Fatalf("scale-down broken after refused migration: %v", err)
+	}
+	if _, err := pod.ScaleDownVM("vm", 2*brick.GiB); err != nil {
+		t.Fatalf("rack-local scale-down broken after refused migration: %v", err)
+	}
+}
+
+func TestPodConfigValidation(t *testing.T) {
+	if _, err := NewPod(PodConfig{Racks: 0}); err == nil {
+		t.Fatal("zero racks accepted")
+	}
+	cfg := DefaultPodConfig(2)
+	cfg.Fabric.UplinksPerRack = 0
+	if _, err := NewPod(cfg); err == nil {
+		t.Fatal("zero uplinks accepted")
+	}
+}
+
+func TestPodSingleRackStillWorks(t *testing.T) {
+	// A 1-rack pod is legal (no spill possible); Datacenter remains the
+	// idiomatic single-rack entry point, but the pod must not break.
+	pod, err := NewPod(tinyPodConfig(1, 4*brick.GiB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.CreateVM("vm", 1, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	// Exhausting the single rack must fail cleanly, not spill.
+	if _, err := pod.ScaleUpVM("vm", 8*brick.GiB); err == nil {
+		t.Fatal("impossible scale-up succeeded on a 1-rack pod")
+	}
+}

@@ -29,6 +29,10 @@ type Params struct {
 	// Workers bounds the worker pool for trial-level parallelism.
 	// Zero or negative means GOMAXPROCS.
 	Workers int
+	// Racks sizes the pod-scale experiments (the "pod" registry entry).
+	// Zero means the experiment's default; single-rack experiments
+	// ignore it.
+	Racks int
 	// Fast caps trial counts for smoke tests; artifacts stay
 	// deterministic but represent a reduced sample.
 	Fast bool

@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/brick"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tco"
+	"repro/internal/topo"
+)
+
+// defaultPodRacks is the rack count when Params.Racks is zero.
+const defaultPodRacks = 2
+
+// PodSample is one attachment measured in the pod spill scenario.
+type PodSample struct {
+	Kind          string // "intra-rack" or "cross-rack"
+	Orchestration sim.Duration
+	RTT           sim.Duration // 64 B read round trip through the attachment
+	Hops          int
+	FiberMeters   float64
+	MemRack       int
+}
+
+// PodResult holds the pod experiment: the cross-rack spill scenario
+// (part A) and the pod-scale TCO fill sweep (part B).
+type PodResult struct {
+	Racks  int
+	Intra  PodSample
+	Cross  PodSample
+	Spills uint64
+	Fill   []tco.FillPoint
+}
+
+// RunPod runs the multi-rack extension experiment. Part A assembles a
+// pod of deliberately tiny racks (one compute and one 2 GiB memory
+// brick each), fills the home rack's memory, and lets the next scale-up
+// spill cross-rack — measuring attachment orchestration latency and the
+// 64 B read RTT on both sides of the pod tier. Part B reruns the TCO
+// fill sweep at pod scale: rack-count-times the aggregate resources,
+// with the pod switch's draw added to the fabric power. The scenario is
+// causally ordered, so part A runs serially; part B fans fill points
+// across the worker pool.
+func RunPod(p Params) (PodResult, error) {
+	racks := p.Racks
+	if racks == 0 {
+		racks = defaultPodRacks
+	}
+	if racks < 2 {
+		return PodResult{}, fmt.Errorf("pod experiment needs at least 2 racks, got %d", racks)
+	}
+
+	// Part A — the spill scenario.
+	cfg := core.DefaultPodConfig(racks)
+	cfg.Rack.Seed = p.Seed
+	cfg.Rack.Topology = topo.BuildSpec{
+		Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 4,
+	}
+	cfg.Rack.Switch.Ports = 16
+	cfg.Rack.Bricks.Memory.Capacity = 2 * brick.GiB
+	pod, err := core.NewPod(cfg)
+	if err != nil {
+		return PodResult{}, err
+	}
+	if _, err := pod.CreateVM("spill", 1, brick.GiB); err != nil {
+		return PodResult{}, err
+	}
+	res := PodResult{Racks: racks}
+	// Two rack-local attachments exhaust the home rack's only memory
+	// brick; the third must spill across the pod tier.
+	first, err := pod.ScaleUpVM("spill", brick.GiB)
+	if err != nil {
+		return PodResult{}, err
+	}
+	if _, err := pod.ScaleUpVM("spill", brick.GiB); err != nil {
+		return PodResult{}, err
+	}
+	spill, err := pod.ScaleUpVM("spill", brick.GiB)
+	if err != nil {
+		return PodResult{}, fmt.Errorf("cross-rack spill: %w", err)
+	}
+	atts := pod.Scheduler().Attachments("spill")
+	if len(atts) != 3 {
+		return PodResult{}, fmt.Errorf("expected 3 attachments, got %d", len(atts))
+	}
+	intra, cross := atts[0], atts[2]
+	if !cross.CrossRack() {
+		return PodResult{}, fmt.Errorf("third attachment stayed on rack %d; expected a cross-rack spill", cross.MemRack)
+	}
+	// 64 B reads through each attachment, addressed by the VM-relative
+	// offset of the attachment's window.
+	intraBD, err := pod.RemoteAccess("spill", mem.OpRead, 0, 64)
+	if err != nil {
+		return PodResult{}, err
+	}
+	crossBD, err := pod.RemoteAccess("spill", mem.OpRead, 2*uint64(brick.GiB), 64)
+	if err != nil {
+		return PodResult{}, err
+	}
+	res.Intra = PodSample{
+		Kind: "intra-rack", Orchestration: first.Orchestration, RTT: intraBD.Total,
+		Hops: intra.Circuit.Hops, FiberMeters: intra.Circuit.FiberMeters, MemRack: intra.MemRack,
+	}
+	res.Cross = PodSample{
+		Kind: "cross-rack", Orchestration: spill.Orchestration, RTT: crossBD.Total,
+		Hops: cross.Circuit.Hops, FiberMeters: cross.Circuit.FiberMeters, MemRack: cross.MemRack,
+	}
+	_, _, res.Spills = pod.Scheduler().Stats()
+
+	// Part B — the TCO fill sweep at pod scale.
+	tcfg := tco.DefaultConfig
+	tcfg.Seed = p.Seed
+	tcfg.Hosts *= racks
+	tcfg.ComputeBricks *= racks
+	tcfg.MemoryBricks *= racks
+	tcfg.SwitchW = float64(racks)*tco.DefaultConfig.SwitchW +
+		float64(cfg.Fabric.Switch.Ports)*cfg.Fabric.Switch.PortPowerW
+	res.Fill, err = RunTCOFillSweep(tcfg, p.Workers)
+	if err != nil {
+		return PodResult{}, err
+	}
+	return res, nil
+}
+
+// Format renders the pod experiment as text.
+func (r PodResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — multi-rack pod: %d racks behind one pod circuit switch\n\n", r.Racks)
+	t := stats.NewTable("attachment", "orchestration", "64B read RTT", "hops", "fiber", "memory rack")
+	for _, s := range []PodSample{r.Intra, r.Cross} {
+		t.AddRowf("%s|%v|%v|%d|%.0f m|r%d", s.Kind, s.Orchestration, s.RTT, s.Hops, s.FiberMeters, s.MemRack)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\ncross-rack spill pays %.2fx the intra-rack RTT (+%v) for memory its home rack does not have.\n",
+		r.RTTRatio(), r.Cross.RTT-r.Intra.RTT)
+	fmt.Fprintf(&b, "\npod-scale TCO fill sweep (High RAM class, %dx aggregate resources, pod switch included):\n\n", r.Racks)
+	ft := stats.NewTable("fill", "savings", "bricks off", "hosts off")
+	for _, p := range r.Fill {
+		ft.AddRowf("%.0f%%|%.0f%%|%.0f%%|%.0f%%",
+			100*p.TargetFill, 100*p.SavingsFrac, 100*p.BrickOffFrac, 100*p.ConvOffFrac)
+	}
+	b.WriteString(ft.String())
+	b.WriteString("\nshape: sharding racks under a pod tier preserves the disaggregation savings at N-times scale.\n")
+	return b.String()
+}
+
+// RTTRatio returns the cross-rack RTT as a multiple of intra-rack.
+func (r PodResult) RTTRatio() float64 {
+	if r.Intra.RTT == 0 {
+		return 0
+	}
+	return float64(r.Cross.RTT) / float64(r.Intra.RTT)
+}
+
+// artifact packages the typed result for the registry.
+func (r PodResult) artifact() Result {
+	csv := [][]string{{"target_fill", "savings_frac", "brick_off_frac", "conv_off_frac"}}
+	var peak float64
+	for _, p := range r.Fill {
+		csv = append(csv, []string{
+			fmtF(p.TargetFill), fmtF(p.SavingsFrac), fmtF(p.BrickOffFrac), fmtF(p.ConvOffFrac),
+		})
+		if p.SavingsFrac > peak {
+			peak = p.SavingsFrac
+		}
+	}
+	return Result{
+		Text: r.Format(),
+		Metrics: []Metric{
+			{Name: "racks", Value: float64(r.Racks)},
+			{Name: "intra-rtt-ns", Value: float64(r.Intra.RTT)},
+			{Name: "cross-rtt-ns", Value: float64(r.Cross.RTT)},
+			{Name: "cross-rtt-x", Value: r.RTTRatio()},
+			{Name: "cross-spills", Value: float64(r.Spills)},
+			{Name: "peak-savings-%", Value: 100 * peak},
+		},
+		CSV: csv,
+	}
+}

@@ -99,6 +99,18 @@ func init() {
 	}))
 
 	Register(New(Info{
+		Name:   "pod",
+		Paper:  "Extension — multi-rack pod: cross-rack spill + pod-scale TCO",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunPod(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
 		Name:   "placement",
 		Paper:  "Ablation — SDM placement policy (power-aware vs spread)",
 		Trials: 1,

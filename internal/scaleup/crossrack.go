@@ -1,0 +1,89 @@
+package scaleup
+
+import (
+	"fmt"
+
+	"repro/internal/hypervisor"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Emigrate removes a VM from this rack for adoption by another rack's
+// controller — the pod tier's cross-rack migration primitive. Only VMs
+// without remote-memory bindings can emigrate: a bound segment's
+// circuit terminates on this rack's fabric and cannot follow the VM.
+// The compute reservation is released and the hypervisor state evicted;
+// the caller must Immigrate the returned state or the VM is lost.
+func (c *Controller) Emigrate(id hypervisor.VMID) (*hypervisor.VM, hypervisor.VMSpec, error) {
+	host, ok := c.vmHost[id]
+	if !ok {
+		return nil, hypervisor.VMSpec{}, fmt.Errorf("scaleup: no VM %q", id)
+	}
+	if n := len(c.bindings[id]); n > 0 {
+		return nil, hypervisor.VMSpec{}, fmt.Errorf("scaleup: VM %q has %d remote attachments; detach them before emigrating", id, n)
+	}
+	spec := c.vmSpec[id]
+	vm, err := c.nodes[host].hv.Evict(id)
+	if err != nil {
+		return nil, hypervisor.VMSpec{}, err
+	}
+	if err := c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory); err != nil {
+		// Put the VM back; a release failure here is a controller bug
+		// worth surfacing loudly rather than leaking the eviction.
+		c.nodes[host].hv.Adopt(vm)
+		return nil, hypervisor.VMSpec{}, err
+	}
+	delete(c.vmHost, id)
+	delete(c.vmSpec, id)
+	delete(c.bindings, id)
+	return vm, spec, nil
+}
+
+// Immigrate adopts an emigrated VM onto this rack: compute is reserved
+// through the rack's SDM controller and the hypervisor state adopted on
+// the selected brick. It returns the host brick and the reservation's
+// control-plane latency (the stop-and-copy time is the pod facade's to
+// account — it depends on the inter-rack link, which this rack cannot
+// see).
+func (c *Controller) Immigrate(now sim.Time, vm *hypervisor.VM, spec hypervisor.VMSpec) (topo.BrickID, sim.Duration, error) {
+	if vm == nil {
+		return topo.BrickID{}, 0, fmt.Errorf("scaleup: immigrate of nil VM")
+	}
+	if _, dup := c.vmHost[vm.ID]; dup {
+		return topo.BrickID{}, 0, fmt.Errorf("scaleup: VM %q already exists on this rack", vm.ID)
+	}
+	host, resLat, err := c.sdmc.ReserveCompute(string(vm.ID), spec.VCPUs, spec.Memory)
+	if err != nil {
+		return topo.BrickID{}, 0, err
+	}
+	n, err := c.nodeFor(host)
+	if err != nil {
+		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
+		return topo.BrickID{}, 0, err
+	}
+	if err := n.hv.Adopt(vm); err != nil {
+		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
+		return topo.BrickID{}, 0, err
+	}
+	c.vmHost[vm.ID] = host
+	c.vmSpec[vm.ID] = spec
+	c.record(now, trace.KindMigrate, string(vm.ID), "adopted on %v (%d vCPU, %v)", host, spec.VCPUs, spec.Memory)
+	return host, resLat, nil
+}
+
+// Bindings returns the number of remote-memory bindings a VM holds —
+// the pod tier consults it before attempting a cross-rack migration.
+func (c *Controller) Bindings(id hypervisor.VMID) int { return len(c.bindings[id]) }
+
+// HasAttachmentOf reports whether the VM's bindings include the given
+// attachment (diagnostic helper for pod-tier tests).
+func (c *Controller) HasAttachmentOf(id hypervisor.VMID, att *sdm.Attachment) bool {
+	for _, b := range c.bindings[id] {
+		if b.att == att {
+			return true
+		}
+	}
+	return false
+}

@@ -60,15 +60,18 @@ func (c *Controller) Migrate(now sim.Time, id hypervisor.VMID) (MigrationResult,
 	}
 
 	// Pre-flight: every remote binding must be movable. Packet-mode
-	// riders and ridden circuits cannot be re-pointed atomically, so
-	// migration refuses them upfront rather than failing halfway with
-	// attachments split across two bricks.
+	// riders, ridden circuits and pod-tier cross-rack circuits cannot be
+	// re-pointed atomically, so migration refuses them upfront rather
+	// than failing halfway with attachments split across two bricks.
 	for _, b := range c.bindings[id] {
 		if b.att.Mode == sdm.ModePacket {
 			return MigrationResult{}, fmt.Errorf("scaleup: VM %q has a packet-mode attachment; detach it before migrating", id)
 		}
 		if n := c.sdmc.Riders(b.att); n > 0 {
 			return MigrationResult{}, fmt.Errorf("scaleup: VM %q's circuit carries %d packet-mode riders; migrate them first", id, n)
+		}
+		if b.att.CrossRack() {
+			return MigrationResult{}, fmt.Errorf("scaleup: VM %q has a cross-rack attachment (rack %d); detach it before migrating", id, b.att.MemRack)
 		}
 	}
 

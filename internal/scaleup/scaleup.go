@@ -202,8 +202,19 @@ func (c *Controller) VM(id hypervisor.VMID) (*hypervisor.VM, bool) {
 	return c.nodes[host].hv.VM(id)
 }
 
-// ScaleUp grows a VM's memory by size, posted at virtual time now.
+// ScaleUp grows a VM's memory by size, posted at virtual time now. The
+// attachment comes from the rack-local SDM controller.
 func (c *Controller) ScaleUp(now sim.Time, id hypervisor.VMID, size brick.Bytes) (Result, error) {
+	return c.ScaleUpVia(now, id, size, c.sdmc.AttachRemoteMemory)
+}
+
+// ScaleUpVia grows a VM's memory like ScaleUp but sources the SDM
+// attachment from the given function instead of the rack-local
+// controller — the hook the pod tier uses to spill attachments
+// cross-rack while the baremetal hotplug and hypervisor steps stay
+// brick-local. Teardown needs no counterpart hook: detaching routes
+// through the attachment itself.
+func (c *Controller) ScaleUpVia(now sim.Time, id hypervisor.VMID, size brick.Bytes, attach func(owner string, cpu topo.BrickID, size brick.Bytes) (*sdm.Attachment, sim.Duration, error)) (Result, error) {
 	host, ok := c.vmHost[id]
 	if !ok {
 		return Result{}, fmt.Errorf("scaleup: no VM %q", id)
@@ -214,7 +225,7 @@ func (c *Controller) ScaleUp(now sim.Time, id hypervisor.VMID, size brick.Bytes)
 	n := c.nodes[host]
 
 	// Step 2: orchestration, serialized through the SDM service.
-	att, orchLat, err := c.sdmc.AttachRemoteMemory(string(id), host, size)
+	att, orchLat, err := attach(string(id), host, size)
 	if err != nil {
 		return Result{}, err
 	}

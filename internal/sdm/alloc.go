@@ -286,8 +286,13 @@ func (c *Controller) AttachRemoteMemory(owner string, cpu topo.BrickID, size bri
 }
 
 // DetachRemoteMemory tears an attachment down in reverse order and
-// returns the orchestration latency.
+// returns the orchestration latency. Pod-tier cross-rack attachments
+// route to their owning pod scheduler, so rack-local callers need not
+// distinguish them.
 func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
+	if att.cross != nil {
+		return att.cross.detachCross(att)
+	}
 	c.requests++
 	list := c.attachments[att.Owner]
 	idx := -1

@@ -109,5 +109,11 @@ func (c *Controller) detachPacket(att *Attachment, idx int) (sim.Duration, error
 }
 
 // Riders returns how many packet-mode attachments share the circuit of
-// the given circuit-mode attachment.
-func (c *Controller) Riders(att *Attachment) int { return c.riders[att.Circuit] }
+// the given circuit-mode attachment. Cross-rack circuits keep their
+// rider count at the pod tier.
+func (c *Controller) Riders(att *Attachment) int {
+	if att.cross != nil {
+		return att.cross.riders[att.Circuit]
+	}
+	return c.riders[att.Circuit]
+}

@@ -1,0 +1,514 @@
+package sdm
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/tgl"
+	"repro/internal/topo"
+)
+
+// PodScheduler shards SDM orchestration across a pod of racks: one
+// autonomous per-rack Controller each owning its rack's bricks and
+// circuit fabric, plus this thin pod tier that routes requests. The
+// placement contract extends the rack policies to rack choice:
+//
+//   - Compute and memory go rack-local first. Power-aware and first-fit
+//     pack racks in index order (so trailing racks can stay dark);
+//     spread picks the rack with the most free capacity.
+//   - A memory request the VM's rack cannot satisfy spills cross-rack:
+//     a segment on another rack's dMEMBRICK reached through the pod
+//     circuit switch, paying the pod tier's hop/fiber/reconfig profile.
+//   - When no cross-rack circuit can be provisioned either (pod uplinks
+//     or brick ports exhausted), the packet fallback is preserved across
+//     the pod tier: the attachment rides an existing cross-rack circuit
+//     from the same compute brick, steered by the on-brick packet
+//     switches.
+//
+// Cross-rack attachments are registered in the compute rack's
+// controller (so Attachments, scale-down and rider queries stay
+// uniform) and tagged with the scheduler, which owns their teardown.
+type PodScheduler struct {
+	cfg    Config
+	pod    *topo.Pod
+	fabric *optical.PodFabric
+	racks  []*Controller
+
+	// riders counts packet-mode attachments sharing each cross-rack
+	// circuit; crossHosts indexes cross-rack circuit attachments by
+	// compute brick for the pod-tier packet fallback.
+	riders     map[*optical.Circuit]int
+	crossHosts map[topo.PodBrickID][]*Attachment
+
+	requests uint64
+	failures uint64
+	spills   uint64
+}
+
+// NewPodScheduler builds one Controller per rack over the pod fabric's
+// rack-local fabrics and wires the pod tier above them.
+func NewPodScheduler(pod *topo.Pod, fabric *optical.PodFabric, bc BrickConfigs, cfg Config) (*PodScheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if pod.Racks() == 0 {
+		return nil, fmt.Errorf("sdm: pod has no racks")
+	}
+	if pod.Racks() != fabric.Racks() {
+		return nil, fmt.Errorf("sdm: pod has %d racks but the fabric has %d", pod.Racks(), fabric.Racks())
+	}
+	s := &PodScheduler{
+		cfg:        cfg,
+		pod:        pod,
+		fabric:     fabric,
+		riders:     make(map[*optical.Circuit]int),
+		crossHosts: make(map[topo.PodBrickID][]*Attachment),
+	}
+	for i := 0; i < pod.Racks(); i++ {
+		c, err := NewController(pod.Rack(i), fabric.Rack(i), bc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sdm: rack %d: %w", i, err)
+		}
+		s.racks = append(s.racks, c)
+	}
+	return s, nil
+}
+
+// Racks returns the rack count.
+func (s *PodScheduler) Racks() int { return len(s.racks) }
+
+// Rack returns the per-rack controller at index i, or nil if out of
+// range.
+func (s *PodScheduler) Rack(i int) *Controller {
+	if i < 0 || i >= len(s.racks) {
+		return nil
+	}
+	return s.racks[i]
+}
+
+// Fabric returns the pod fabric.
+func (s *PodScheduler) Fabric() *optical.PodFabric { return s.fabric }
+
+// Stats returns the pod tier's cumulative request/failure counters and
+// how many attachments spilled cross-rack (circuit or packet).
+func (s *PodScheduler) Stats() (requests, failures, spills uint64) {
+	return s.requests, s.failures, s.spills
+}
+
+// PickComputeRack applies the placement policy to rack choice for a
+// compute reservation, without reserving anything.
+func (s *PodScheduler) PickComputeRack(vcpus int, localMem brick.Bytes) (int, bool) {
+	return s.pickComputeRackExcept(vcpus, localMem, -1)
+}
+
+// PickComputeRackExcept is PickComputeRack with one rack excluded —
+// used by cross-rack VM migration.
+func (s *PodScheduler) PickComputeRackExcept(vcpus int, localMem brick.Bytes, exclude int) (int, bool) {
+	return s.pickComputeRackExcept(vcpus, localMem, exclude)
+}
+
+func (s *PodScheduler) pickComputeRackExcept(vcpus int, localMem brick.Bytes, exclude int) (int, bool) {
+	if s.cfg.Policy == PolicySpread {
+		best, bestFree, found := -1, -1, false
+		for i, r := range s.racks {
+			if i == exclude {
+				continue
+			}
+			if _, ok := r.pickCompute(vcpus, localMem); ok && r.FreeCores() > bestFree {
+				best, bestFree, found = i, r.FreeCores(), true
+			}
+		}
+		return best, found
+	}
+	// Power-aware and first-fit pack racks in index order.
+	for i, r := range s.racks {
+		if i == exclude {
+			continue
+		}
+		if _, ok := r.pickCompute(vcpus, localMem); ok {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// pickMemoryRack applies the placement policy to the rack choice of a
+// cross-rack spill, never returning the VM's home rack.
+func (s *PodScheduler) pickMemoryRack(size brick.Bytes, home int) (int, bool) {
+	if s.cfg.Policy == PolicySpread {
+		best, found := -1, false
+		var bestFree brick.Bytes
+		for i, r := range s.racks {
+			if i == home {
+				continue
+			}
+			if _, ok := r.pickMemory(size); ok && (!found || r.FreeMemory() > bestFree) {
+				best, bestFree, found = i, r.FreeMemory(), true
+			}
+		}
+		return best, found
+	}
+	for i, r := range s.racks {
+		if i == home {
+			continue
+		}
+		if _, ok := r.pickMemory(size); ok {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// ReserveCompute places a compute reservation pod-wide: the policy
+// picks a rack, the rack's controller picks the brick.
+func (s *PodScheduler) ReserveCompute(owner string, vcpus int, localMem brick.Bytes) (topo.PodBrickID, sim.Duration, error) {
+	s.requests++
+	rack, ok := s.PickComputeRack(vcpus, localMem)
+	if !ok {
+		s.failures++
+		return topo.PodBrickID{}, 0, fmt.Errorf("sdm: no rack in the %d-rack pod with %d free cores and %v local memory", len(s.racks), vcpus, localMem)
+	}
+	id, lat, err := s.racks[rack].ReserveCompute(owner, vcpus, localMem)
+	if err != nil {
+		s.failures++
+		return topo.PodBrickID{}, 0, err
+	}
+	return topo.PodBrickID{Rack: rack, Brick: id}, lat, nil
+}
+
+// ReleaseCompute returns cores and local memory to a brick.
+func (s *PodScheduler) ReleaseCompute(id topo.PodBrickID, vcpus int, localMem brick.Bytes) error {
+	if id.Rack < 0 || id.Rack >= len(s.racks) {
+		return fmt.Errorf("sdm: no rack %d in the pod", id.Rack)
+	}
+	return s.racks[id.Rack].ReleaseCompute(id.Brick, vcpus, localMem)
+}
+
+// AttachRemoteMemory realizes one memory attachment pod-wide:
+// rack-local first (with the rack's own circuit-then-packet cascade),
+// then the cross-rack spill, then the pod-tier packet fallback.
+func (s *PodScheduler) AttachRemoteMemory(owner string, cpu topo.PodBrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
+	s.requests++
+	if cpu.Rack < 0 || cpu.Rack >= len(s.racks) {
+		s.failures++
+		return nil, 0, fmt.Errorf("sdm: no rack %d in the pod", cpu.Rack)
+	}
+	att, lat, localErr := s.racks[cpu.Rack].AttachRemoteMemory(owner, cpu.Brick, size)
+	if localErr == nil {
+		att.CPURack, att.MemRack = cpu.Rack, cpu.Rack
+		return att, lat, nil
+	}
+	att, lat, err := s.attachCross(owner, cpu, size)
+	if err != nil {
+		s.failures++
+		return nil, 0, fmt.Errorf("sdm: pod attach for %q failed rack-locally (%v) and cross-rack: %w", owner, localErr, err)
+	}
+	s.spills++
+	return att, lat, nil
+}
+
+// attachCross provisions a cross-rack attachment: a segment on another
+// rack's dMEMBRICK, a circuit through the pod switch, and the TGL
+// window on the home rack's compute brick. Every completed step rolls
+// back on failure; exhaustion of circuit resources cascades into the
+// pod-tier packet fallback.
+func (s *PodScheduler) attachCross(owner string, cpu topo.PodBrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
+	rackA := s.racks[cpu.Rack]
+	node, ok := rackA.computes[cpu.Brick]
+	if !ok {
+		return nil, 0, fmt.Errorf("sdm: no compute brick %v", cpu)
+	}
+	if size == 0 {
+		return nil, 0, fmt.Errorf("sdm: zero-size attachment")
+	}
+	lat := s.cfg.DecisionLatency
+
+	cpuPort, err := node.Brick.Ports.Acquire()
+	if err != nil {
+		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
+			return att, lat + fl, nil
+		}
+		return nil, 0, err
+	}
+	memRack, ok := s.pickMemoryRack(size, cpu.Rack)
+	if !ok {
+		node.Brick.Ports.Release(cpuPort)
+		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
+			return att, lat + fl, nil
+		}
+		return nil, 0, fmt.Errorf("sdm: no rack in the pod with %v contiguous free and a spare port", size)
+	}
+	rackB := s.racks[memRack]
+	memID, ok := rackB.pickMemory(size)
+	if !ok {
+		node.Brick.Ports.Release(cpuPort)
+		return nil, 0, fmt.Errorf("sdm: rack %d memory vanished mid-selection", memRack)
+	}
+	m := rackB.memories[memID]
+	if m.State() == brick.PowerOff {
+		m.PowerOn()
+		lat += s.cfg.BrickBoot
+	}
+	seg, err := m.Carve(size, owner)
+	if err != nil {
+		node.Brick.Ports.Release(cpuPort)
+		return nil, 0, err
+	}
+	memPort, err := m.Ports.Acquire()
+	if err != nil {
+		node.Brick.Ports.Release(cpuPort)
+		m.Release(seg)
+		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
+			return att, lat + fl, nil
+		}
+		return nil, 0, err
+	}
+	circuit, reconfig, err := s.fabric.ConnectCross(cpu.Rack, cpuPort, memRack, memPort)
+	if err != nil {
+		m.Ports.Release(memPort)
+		node.Brick.Ports.Release(cpuPort)
+		m.Release(seg)
+		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
+			return att, lat + fl, nil
+		}
+		return nil, 0, err
+	}
+	lat += reconfig
+	window := tgl.Entry{
+		Base:       rackA.nextWindow[cpu.Brick],
+		Size:       uint64(size),
+		Dest:       memID,
+		DestOffset: uint64(seg.Offset),
+		Port:       cpuPort,
+	}
+	if err := node.Agent.Glue.Attach(window); err != nil {
+		s.fabric.DisconnectCross(circuit)
+		m.Ports.Release(memPort)
+		node.Brick.Ports.Release(cpuPort)
+		m.Release(seg)
+		return nil, 0, err
+	}
+	lat += s.cfg.AgentRTT
+	rackA.nextWindow[cpu.Brick] += uint64(size)
+
+	att := &Attachment{
+		Owner:   owner,
+		CPU:     cpu.Brick,
+		Segment: seg,
+		Circuit: circuit,
+		CPUPort: cpuPort,
+		MemPort: memPort,
+		Window:  window,
+		Mode:    ModeCircuit,
+		CPURack: cpu.Rack,
+		MemRack: memRack,
+		cross:   s,
+	}
+	rackA.attachments[owner] = append(rackA.attachments[owner], att)
+	s.crossHosts[cpu] = append(s.crossHosts[cpu], att)
+	return att, lat, nil
+}
+
+// attachPacketCross preserves the packet fallback across the pod tier:
+// the new attachment rides an existing cross-rack circuit from the same
+// compute brick, with the on-brick packet switches steering its
+// transactions — two lookup-table pushes instead of a pod-switch
+// reconfiguration.
+func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
+	if !s.cfg.PacketFallback {
+		return nil, 0, fmt.Errorf("sdm: packet fallback disabled")
+	}
+	rackA := s.racks[cpu.Rack]
+	node := rackA.computes[cpu.Brick]
+	var host *Attachment
+	for _, a := range s.crossHosts[cpu] {
+		m := s.racks[a.MemRack].memories[a.Segment.Brick]
+		if m.LargestGap() >= size {
+			host = a
+			break
+		}
+	}
+	if host == nil {
+		return nil, 0, fmt.Errorf("sdm: pod packet fallback: no live cross-rack circuit from %v to a memory brick with %v contiguous free", cpu, size)
+	}
+	m := s.racks[host.MemRack].memories[host.Segment.Brick]
+	seg, err := m.Carve(size, owner)
+	if err != nil {
+		return nil, 0, err
+	}
+	window := tgl.Entry{
+		Base:       rackA.nextWindow[cpu.Brick],
+		Size:       uint64(size),
+		Dest:       host.Segment.Brick,
+		DestOffset: uint64(seg.Offset),
+		Port:       host.CPUPort, // shares the host circuit's port
+	}
+	if err := node.Agent.Glue.Attach(window); err != nil {
+		m.Release(seg)
+		return nil, 0, err
+	}
+	rackA.nextWindow[cpu.Brick] += window.Size
+
+	att := &Attachment{
+		Owner:   owner,
+		CPU:     cpu.Brick,
+		Segment: seg,
+		Circuit: host.Circuit,
+		CPUPort: host.CPUPort,
+		MemPort: host.MemPort,
+		Window:  window,
+		Mode:    ModePacket,
+		CPURack: cpu.Rack,
+		MemRack: host.MemRack,
+		cross:   s,
+	}
+	s.riders[host.Circuit]++
+	rackA.attachments[owner] = append(rackA.attachments[owner], att)
+	return att, s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
+}
+
+// DetachRemoteMemory tears a pod attachment down: rack-local ones
+// delegate to their rack's controller, cross-rack ones to detachCross
+// (the routing lives on the attachment, so either entry point works).
+func (s *PodScheduler) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
+	if att.cross != nil {
+		return s.detachCross(att)
+	}
+	if att.CPURack < 0 || att.CPURack >= len(s.racks) {
+		return 0, fmt.Errorf("sdm: attachment names rack %d outside the pod", att.CPURack)
+	}
+	return s.racks[att.CPURack].DetachRemoteMemory(att)
+}
+
+// detachCross tears down a cross-rack attachment in reverse order.
+func (s *PodScheduler) detachCross(att *Attachment) (sim.Duration, error) {
+	s.requests++
+	rackA := s.racks[att.CPURack]
+	list := rackA.attachments[att.Owner]
+	idx := -1
+	for i, a := range list {
+		if a == att {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		s.failures++
+		return 0, fmt.Errorf("sdm: cross-rack attachment for %q on %v not live", att.Owner, att.CPU)
+	}
+	node := rackA.computes[att.CPU]
+	m := s.racks[att.MemRack].memories[att.Segment.Brick]
+
+	if att.Mode == ModePacket {
+		if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
+			s.failures++
+			return 0, err
+		}
+		if err := m.Release(att.Segment); err != nil {
+			s.failures++
+			return 0, err
+		}
+		s.riders[att.Circuit]--
+		if s.riders[att.Circuit] <= 0 {
+			delete(s.riders, att.Circuit)
+		}
+		rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
+	}
+	if n := s.riders[att.Circuit]; n > 0 {
+		s.failures++
+		return 0, fmt.Errorf("sdm: cross-rack circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
+	}
+	lat := s.cfg.DecisionLatency
+	if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
+		s.failures++
+		return 0, err
+	}
+	lat += s.cfg.AgentRTT
+	reconfig, err := s.fabric.DisconnectCross(att.Circuit)
+	if err != nil {
+		s.failures++
+		return 0, err
+	}
+	lat += reconfig
+	if err := node.Brick.Ports.Release(att.CPUPort); err != nil {
+		s.failures++
+		return 0, err
+	}
+	if err := m.Ports.Release(att.MemPort); err != nil {
+		s.failures++
+		return 0, err
+	}
+	if err := m.Release(att.Segment); err != nil {
+		s.failures++
+		return 0, err
+	}
+	rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	s.removeCrossHost(att)
+	return lat, nil
+}
+
+// removeCrossHost drops a cross-rack circuit attachment from the
+// fallback host index.
+func (s *PodScheduler) removeCrossHost(att *Attachment) {
+	key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
+	hosts := s.crossHosts[key]
+	for i, a := range hosts {
+		if a == att {
+			s.crossHosts[key] = append(hosts[:i], hosts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Attachments returns the live attachments of an owner across the pod
+// (a copy, in attach order — an owner's attachments all register on its
+// compute rack's controller).
+func (s *PodScheduler) Attachments(owner string) []*Attachment {
+	for _, r := range s.racks {
+		if atts := r.Attachments(owner); len(atts) > 0 {
+			return atts
+		}
+	}
+	return nil
+}
+
+// PowerOffIdle sweeps every rack and returns the total bricks stopped.
+func (s *PodScheduler) PowerOffIdle() int {
+	n := 0
+	for _, r := range s.racks {
+		n += r.PowerOffIdle()
+	}
+	return n
+}
+
+// PowerOnAll powers every brick in the pod up.
+func (s *PodScheduler) PowerOnAll() {
+	for _, r := range s.racks {
+		r.PowerOnAll()
+	}
+}
+
+// Census aggregates the power census for one brick kind pod-wide.
+func (s *PodScheduler) Census(kind topo.BrickKind) PowerCensus {
+	var pc PowerCensus
+	for _, r := range s.racks {
+		c := r.Census(kind)
+		pc.Off += c.Off
+		pc.Idle += c.Idle
+		pc.Active += c.Active
+	}
+	return pc
+}
+
+// DrawW returns the pod's electrical draw: every rack (bricks plus rack
+// switch) plus the pod switch.
+func (s *PodScheduler) DrawW(profiles map[topo.BrickKind]brick.PowerProfile) float64 {
+	w := s.fabric.PowerW()
+	for _, r := range s.racks {
+		w += r.DrawW(profiles)
+	}
+	return w
+}

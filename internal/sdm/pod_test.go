@@ -1,0 +1,261 @@
+package sdm
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/mem"
+	"repro/internal/optical"
+	"repro/internal/pktnet"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// buildPodSched assembles a pod of tiny racks (one compute, one memory
+// brick each) for scheduler tests.
+func buildPodSched(t *testing.T, racks int, memCap brick.Bytes, uplinks int, cfg Config) *PodScheduler {
+	t.Helper()
+	pod, err := topo.BuildPod(racks, topo.BuildSpec{
+		Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabrics := make([]*optical.Fabric, racks)
+	for i := range fabrics {
+		sw, err := optical.NewSwitch(optical.SwitchConfig{
+			Ports: 16, InsertionLossDB: 1, PortPowerW: 0.1, ReconfigTime: 25 * sim.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fabrics[i] = optical.NewFabric(sw)
+	}
+	prof := optical.DefaultPodProfile
+	prof.UplinksPerRack = uplinks
+	pf, err := optical.NewPodFabric(prof, fabrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPodScheduler(pod, pf, BrickConfigs{Memory: brick.MemoryConfig{Capacity: memCap}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// rtt measures the 64 B circuit-path read round trip of an attachment.
+func rtt(t *testing.T, att *Attachment) sim.Duration {
+	t.Helper()
+	ctrl, err := mem.NewDDR(mem.DDR4_2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := pktnet.DefaultProfile
+	prof.FiberMeters = att.Circuit.FiberMeters
+	bd, err := pktnet.CircuitRoundTrip(prof, ctrl, mem.Request{Op: mem.OpRead, Addr: 0, Size: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bd.Total
+}
+
+// TestPodSpillCrossRack is the acceptance scenario: a VM whose home
+// rack cannot satisfy a memory request attaches remote memory in
+// another rack, at measurably higher RTT than its intra-rack
+// attachment.
+func TestPodSpillCrossRack(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.PacketFallback = true
+	s := buildPodSched(t, 2, 2*brick.GiB, 4, cfg)
+
+	cpu, _, err := s.ReserveCompute("vm", 2, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Rack != 0 {
+		t.Fatalf("power-aware placement started on rack %d, want 0", cpu.Rack)
+	}
+	// Two 1 GiB attachments fill the home rack's only memory brick.
+	local, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.CrossRack() {
+		t.Fatal("first attachment should be rack-local")
+	}
+	if _, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	// The third cannot be satisfied rack-locally and must spill.
+	spill, lat, err := s.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spill.CrossRack() || spill.MemRack != 1 || spill.Mode != ModeCircuit {
+		t.Fatalf("spill: CPURack=%d MemRack=%d mode=%v, want cross-rack circuit on rack 1",
+			spill.CPURack, spill.MemRack, spill.Mode)
+	}
+	if lat <= 0 {
+		t.Fatal("spill orchestration latency must be positive")
+	}
+	if spill.Circuit.Hops <= local.Circuit.Hops {
+		t.Fatalf("cross-rack hops %d not above intra-rack %d", spill.Circuit.Hops, local.Circuit.Hops)
+	}
+	if spill.Circuit.FiberMeters <= local.Circuit.FiberMeters {
+		t.Fatalf("cross-rack fiber %v not above intra-rack %v", spill.Circuit.FiberMeters, local.Circuit.FiberMeters)
+	}
+	localRTT, crossRTT := rtt(t, local), rtt(t, spill)
+	if crossRTT <= localRTT {
+		t.Fatalf("cross-rack RTT %v not measurably above intra-rack %v", crossRTT, localRTT)
+	}
+	if _, _, spills := s.Stats(); spills != 1 {
+		t.Fatalf("spills = %d, want 1", spills)
+	}
+	// All three attachments are visible in attach order through both the
+	// pod and the home rack controller.
+	if atts := s.Attachments("vm"); len(atts) != 3 || atts[2] != spill {
+		t.Fatalf("pod attachments = %d", len(atts))
+	}
+	if atts := s.Rack(0).Attachments("vm"); len(atts) != 3 {
+		t.Fatalf("rack attachments = %d", len(atts))
+	}
+}
+
+func TestPodDetachCrossRestoresEverything(t *testing.T) {
+	cfg := DefaultConfig
+	s := buildPodSched(t, 2, brick.GiB, 4, cfg)
+	cpu, _, err := s.ReserveCompute("vm", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill home rack, then spill.
+	if _, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	spill, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spill.CrossRack() {
+		t.Fatal("expected a cross-rack spill")
+	}
+	if s.Fabric().CrossCircuits() != 1 {
+		t.Fatal("cross circuit not provisioned")
+	}
+	// Detaching through the home rack controller routes to the pod tier.
+	if _, err := s.Rack(0).DetachRemoteMemory(spill); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fabric().CrossCircuits() != 0 {
+		t.Fatal("cross circuit not torn down")
+	}
+	if got := len(s.Attachments("vm")); got != 1 {
+		t.Fatalf("attachments after detach = %d, want 1", got)
+	}
+	if free := s.Rack(1).FreeMemory(); free != brick.GiB {
+		t.Fatalf("remote rack free memory = %v, want %v", free, brick.GiB)
+	}
+	// The spill is repeatable: resources really were restored.
+	if _, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPodPacketFallbackAcrossTier exhausts the pod uplinks so the next
+// spill rides an existing cross-rack circuit in packet mode.
+func TestPodPacketFallbackAcrossTier(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.PacketFallback = true
+	s := buildPodSched(t, 2, 4*brick.GiB, 1, cfg)
+	cpu, _, err := s.ReserveCompute("vm", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the home rack's 4 GiB brick, then spill twice: the first
+	// takes the only uplink pair, the second must ride it.
+	if _, _, err := s.AttachRemoteMemory("vm", cpu, 4*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	host, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !host.CrossRack() || host.Mode != ModeCircuit {
+		t.Fatal("expected a cross-rack circuit spill first")
+	}
+	rider, lat, err := s.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rider.Mode != ModePacket || !rider.CrossRack() || rider.Circuit != host.Circuit {
+		t.Fatalf("expected a packet-mode rider on the cross-rack circuit, got mode=%v rack=%d", rider.Mode, rider.MemRack)
+	}
+	// The spill decision plus the fallback's own table pushes — the same
+	// composition the rack-local packet fallback charges.
+	if want := 2*cfg.DecisionLatency + 2*cfg.AgentRTT; lat != want {
+		t.Fatalf("packet fallback latency = %v, want %v", lat, want)
+	}
+	// Rider accounting routes through the rack controller too.
+	if n := s.Rack(0).Riders(host); n != 1 {
+		t.Fatalf("riders = %d, want 1", n)
+	}
+	// The ridden circuit refuses teardown until the rider detaches.
+	if _, err := s.DetachRemoteMemory(host); err == nil {
+		t.Fatal("ridden cross-rack circuit torn down")
+	}
+	if _, err := s.DetachRemoteMemory(rider); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DetachRemoteMemory(host); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPodSpreadPolicyBalancesRacks(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Policy = PolicySpread
+	s := buildPodSched(t, 2, brick.GiB, 4, cfg)
+	a, _, err := s.ReserveCompute("a", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.ReserveCompute("b", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rack == b.Rack {
+		t.Fatalf("spread placed both VMs on rack %d", a.Rack)
+	}
+
+	packed := buildPodSched(t, 2, brick.GiB, 4, DefaultConfig)
+	a, _, err = packed.ReserveCompute("a", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err = packed.ReserveCompute("b", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rack != 0 || b.Rack != 0 {
+		t.Fatalf("power-aware scattered VMs across racks %d and %d", a.Rack, b.Rack)
+	}
+}
+
+func TestPodReattachRefusedForCrossAttachments(t *testing.T) {
+	s := buildPodSched(t, 2, brick.GiB, 4, DefaultConfig)
+	cpu, _, err := s.ReserveCompute("vm", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	spill, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Rack(0).ReattachRemoteMemory(spill, topo.BrickID{Tray: 0, Slot: 0}); err == nil {
+		t.Fatal("rack-local reattach of a cross-rack attachment accepted")
+	}
+}

@@ -59,6 +59,12 @@ func (c *Controller) ReserveComputeExcept(owner string, vcpus int, localMem bric
 // baremetal hotplug range) and the orchestration latency.
 func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) (tgl.Entry, sim.Duration, error) {
 	c.requests++
+	if att.cross != nil {
+		// Re-pointing would rebuild the circuit through the rack fabric
+		// and silently drop the pod tier; detach and re-attach instead.
+		c.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: attachment of %q crosses the pod tier (rack %d -> %d); cross-rack circuits cannot be re-pointed rack-locally", att.Owner, att.CPURack, att.MemRack)
+	}
 	list := c.attachments[att.Owner]
 	found := false
 	for _, a := range list {

@@ -128,7 +128,20 @@ type Attachment struct {
 	// Mode records whether the attachment owns its circuit (ModeCircuit)
 	// or rides another attachment's circuit in packet mode (ModePacket).
 	Mode AttachMode
+
+	// CPURack and MemRack are the pod rack indexes of the two endpoints.
+	// In a single-rack deployment both are zero; they differ only for
+	// attachments spilled across the pod tier.
+	CPURack, MemRack int
+	// cross, when non-nil, marks a pod-tier cross-rack attachment and
+	// names the scheduler that owns its bookkeeping — detach and rider
+	// queries route there, so rack-local callers (scale-up controllers)
+	// handle pod attachments without knowing about the pod.
+	cross *PodScheduler
 }
+
+// CrossRack reports whether the attachment crosses the pod tier.
+func (a *Attachment) CrossRack() bool { return a.CPURack != a.MemRack }
 
 // Size returns the attachment's capacity.
 func (a *Attachment) Size() brick.Bytes { return a.Segment.Size }
@@ -254,3 +267,22 @@ func (c *Controller) Attachments(owner string) []*Attachment {
 
 // Stats returns cumulative request/failure counters.
 func (c *Controller) Stats() (requests, failures uint64) { return c.requests, c.failures }
+
+// FreeCores returns the rack's total unallocated compute cores — the
+// quantity the pod scheduler's spread policy balances across racks.
+func (c *Controller) FreeCores() int {
+	n := 0
+	for _, id := range c.computeOrder {
+		n += c.computes[id].Brick.FreeCores()
+	}
+	return n
+}
+
+// FreeMemory returns the rack's total unreserved pooled memory.
+func (c *Controller) FreeMemory() brick.Bytes {
+	var n brick.Bytes
+	for _, id := range c.memoryOrder {
+		n += c.memories[id].Free()
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package topo
+
+import "fmt"
+
+// Pod is one tier above Rack: a group of racks that share an inter-rack
+// optical tier and one pod-level orchestrator. The rack stays the unit
+// of physical assembly (trays, bricks, ports); the pod is the unit of
+// datacenter-scale deployment — the dReDBox paper argues disaggregation
+// pays off at datacenter scale, and the pod is the first sharding step
+// toward it (DESIGN.md §1, ROADMAP north star).
+type Pod struct {
+	racks []*Rack
+}
+
+// NewPod returns an empty pod.
+func NewPod() *Pod { return &Pod{} }
+
+// AddRack appends a rack and returns its index within the pod.
+func (p *Pod) AddRack(r *Rack) int {
+	p.racks = append(p.racks, r)
+	return len(p.racks) - 1
+}
+
+// Racks returns the number of racks.
+func (p *Pod) Racks() int { return len(p.racks) }
+
+// Rack returns the rack at index i, or nil if out of range.
+func (p *Pod) Rack(i int) *Rack {
+	if i < 0 || i >= len(p.racks) {
+		return nil
+	}
+	return p.racks[i]
+}
+
+// Count returns the pod-wide number of bricks of kind k.
+func (p *Pod) Count(k BrickKind) int {
+	n := 0
+	for _, r := range p.racks {
+		n += r.Count(k)
+	}
+	return n
+}
+
+// PodBrickID identifies a brick pod-wide: the rack index plus the
+// brick's rack-local identifier. Rack-local BrickIDs collide across
+// racks (every rack has a t0.s0), so every pod-tier interface speaks
+// PodBrickID.
+type PodBrickID struct {
+	Rack  int
+	Brick BrickID
+}
+
+func (id PodBrickID) String() string { return fmt.Sprintf("r%d.%v", id.Rack, id.Brick) }
+
+// Less orders pod brick IDs rack-major for deterministic iteration.
+func (id PodBrickID) Less(other PodBrickID) bool {
+	if id.Rack != other.Rack {
+		return id.Rack < other.Rack
+	}
+	return id.Brick.Less(other.Brick)
+}
+
+// SameRack reports whether two bricks sit in the same rack, which
+// decides whether their interconnect stays on the rack's circuit switch
+// or must cross the pod tier.
+func SameRack(a, b PodBrickID) bool { return a.Rack == b.Rack }
+
+// BuildPod constructs a pod of n identical racks from a uniform spec.
+func BuildPod(n int, s BuildSpec) (*Pod, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: pod needs at least one rack, got %d", n)
+	}
+	p := NewPod()
+	for i := 0; i < n; i++ {
+		r, err := Build(s)
+		if err != nil {
+			return nil, fmt.Errorf("topo: building rack %d: %w", i, err)
+		}
+		p.AddRack(r)
+	}
+	return p, nil
+}
