@@ -289,6 +289,53 @@ func BenchmarkMigration(b *testing.B) {
 	b.ReportMetric(fullCopy.Seconds()*1e3, "fullcopy-ms")
 }
 
+// BenchmarkRebalance measures the online rebalancer at pod scale: a
+// 4-rack pod with three cross-rack spills per sweep, promoted home
+// once the hog frees the rack. Setup (pod assembly, spill, free) is
+// excluded from the timing; the metric is engine promotions per
+// wall-clock second.
+func BenchmarkRebalance(b *testing.B) {
+	const spills = 3
+	var promoted int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := core.DefaultPodConfig(4)
+		cfg.Rack.Topology = topo.BuildSpec{
+			Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 8,
+		}
+		cfg.Rack.Switch.Ports = 16
+		cfg.Rack.Bricks.Memory.Capacity = 8 * brick.GiB
+		pod, err := core.NewPod(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pod.CreateVM("app", 1, brick.GiB); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pod.CreateVM("hog", 1, brick.GiB); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pod.ScaleUpVM("hog", 8*brick.GiB); err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < spills; s++ {
+			if _, err := pod.ScaleUpVM("app", brick.GiB); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := pod.ScaleDownVM("hog", 8*brick.GiB); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep := pod.Rebalance()
+		if rep.Promoted != spills {
+			b.Fatalf("promoted %d of %d spills", rep.Promoted, spills)
+		}
+		promoted += rep.Promoted
+	}
+	b.ReportMetric(float64(promoted)/b.Elapsed().Seconds(), "promotions/s")
+}
+
 // BenchmarkExtensionSlowdown runs the AMAT-based application slowdown
 // sweep (remote fraction 0..1, circuit vs packet paths).
 func BenchmarkExtensionSlowdown(b *testing.B) {

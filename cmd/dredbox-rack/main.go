@@ -27,11 +27,15 @@ func main() {
 	journalCap := flag.Int("journal", 64, "journal ring capacity")
 	jsonOut := flag.Bool("json", false, "print the final SDM state snapshot as JSON")
 	racks := flag.Int("racks", 1, "rack count; above 1 assembles a multi-rack pod and runs the pod tour instead")
+	rebalance := flag.Bool("rebalance", false, "with -racks > 1: free home-rack capacity and run an online rebalancing sweep at the end of the tour")
 	flag.Parse()
 
 	if *racks > 1 {
-		podTour(*racks, *seed, *journalCap, *jsonOut)
+		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance)
 		return
+	}
+	if *rebalance {
+		fail(fmt.Errorf("-rebalance needs a pod: pass -racks 2 or more"))
 	}
 
 	cfg := core.DefaultConfig()
@@ -132,8 +136,10 @@ func main() {
 // podTour shards the scenario across racks: deliberately tiny racks
 // (one compute and one 4 GiB memory brick each) so the tour exercises
 // the pod tier — a scale-up that spills cross-rack, remote reads on
-// both sides of the pod switch, and a cross-rack VM migration.
-func podTour(racks int, seed uint64, journalCap int, jsonOut bool) {
+// both sides of the pod switch, a cross-rack VM migration and,
+// with -rebalance, an online rebalancing sweep that pulls the spill
+// home once capacity frees.
+func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool) {
 	cfg := core.DefaultPodConfig(racks)
 	cfg.Rack.Seed = seed
 	cfg.Rack.Topology = topo.BuildSpec{
@@ -198,6 +204,23 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut bool) {
 	}
 	fmt.Printf("migrated web rack %d -> rack %d (host %v): downtime %v\n\n",
 		mig.FromRack, mig.ToRack, mig.To, mig.Downtime)
+
+	if rebalance {
+		// Free the home rack's memory, then let the sweep pull the
+		// cross-rack spill back rack-local.
+		if _, err := pod.ScaleDownVM("db", 4*brick.GiB); err != nil {
+			fail(err)
+		}
+		rep := pod.Rebalance()
+		fmt.Printf("== rebalancing sweep ==\n")
+		fmt.Printf("scanned %d cross-rack attachments: promoted %d, freed %d pod uplinks in %v\n",
+			rep.Scanned, rep.Promoted, rep.FreedUplinks, rep.Latency)
+		for _, p := range rep.Promotions {
+			fmt.Printf("  %s: %v came home r%d -> r%d in %v\n",
+				p.Owner, brick.Bytes(p.Size), p.FromRack, p.HomeRack, p.Latency)
+		}
+		fmt.Printf("pod circuits now: %d\n\n", pod.Fabric().CrossCircuits())
+	}
 
 	n := pod.PowerOffIdle()
 	fmt.Printf("== power census after sweeping %d idle bricks ==\n", n)

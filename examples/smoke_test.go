@@ -14,7 +14,7 @@ func TestExamplesRunCleanly(t *testing.T) {
 	if err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
-	for _, name := range []string{"quickstart", "videoanalytics", "nfv", "netanalytics"} {
+	for _, name := range []string{"quickstart", "videoanalytics", "nfv", "netanalytics", "rebalance"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -12,6 +12,7 @@ import (
 	"repro/internal/scaleup"
 	"repro/internal/sdm"
 	"repro/internal/sim"
+	"repro/internal/tgl"
 	"repro/internal/topo"
 )
 
@@ -238,15 +239,13 @@ type PodMigration struct {
 	FromRack, ToRack int
 }
 
-// podLinkGbps is the line rate of the inter-rack stop-and-copy (one
-// transceiver lane through the pod switch).
-const podLinkGbps = 10
-
 // MigrateVM moves a VM: rack-locally when its home rack has another
-// brick with room (remote segments stay put, circuits re-point), and
-// otherwise cross-rack — allowed only for VMs without remote
-// attachments, whose entire state is brick-local and ships over one
-// inter-rack lane. The clock advances past the downtime.
+// brick with room, and otherwise cross-rack. Either way the remote
+// segments stay exactly where they are — circuits re-point through the
+// rack fabric or the pod switch so a VM's remote memory follows it
+// across racks, and only the brick-local boot state ships over one
+// inter-rack lane. A migration that fails mid-plan rolls back to the
+// exact prior circuit state. The clock advances past the downtime.
 func (p *Pod) MigrateVM(id string) (PodMigration, error) {
 	rack, ok := p.vmRack[id]
 	if !ok {
@@ -258,38 +257,42 @@ func (p *Pod) MigrateVM(id string) (PodMigration, error) {
 		p.now = p.now.Add(res.Downtime)
 		return PodMigration{MigrationResult: res, FromRack: rack, ToRack: rack}, nil
 	}
-	if n := scale.Bindings(hypervisor.VMID(id)); n > 0 {
-		return PodMigration{}, fmt.Errorf("core: rack-local migration failed (%v) and VM %q holds %d remote attachments, which cannot follow it across racks", localErr, id, n)
-	}
-	src, _ := scale.VMHost(hypervisor.VMID(id))
-	vm, spec, err := scale.Emigrate(hypervisor.VMID(id))
-	if err != nil {
-		return PodMigration{}, err
-	}
-	readopt := func(cause error) (PodMigration, error) {
-		// Re-adopt at home; the home rack just released these resources,
-		// so re-reserving them cannot fail.
-		if _, _, herr := scale.Immigrate(p.now, vm, spec); herr != nil {
-			return PodMigration{}, fmt.Errorf("core: cross-rack migration of %q failed (%v) and re-adoption failed: %w", id, cause, herr)
-		}
-		return PodMigration{}, cause
+	spec, ok := scale.VMSpec(hypervisor.VMID(id))
+	if !ok {
+		return PodMigration{}, localErr
 	}
 	dst, ok := p.sched.PickComputeRackExcept(spec.VCPUs, spec.Memory, rack)
 	if !ok {
-		return readopt(fmt.Errorf("core: rack-local migration failed (%v) and no other rack can host VM %q", localErr, id))
+		return PodMigration{}, fmt.Errorf("core: rack-local migration failed (%v) and no other rack can host VM %q", localErr, id)
 	}
-	host, resLat, err := p.stacks[dst].scale.Immigrate(p.now, vm, spec)
+	// The circuit mover: MigrateTo re-points forward onto the
+	// destination rack and, when rolling back, onto the source rack.
+	rackOf := func(onto *scaleup.Controller) int {
+		if onto == scale {
+			return rack
+		}
+		return dst
+	}
+	res, err := scale.MigrateTo(p.now, hypervisor.VMID(id), p.stacks[dst].scale,
+		func(att *sdm.Attachment, onto *scaleup.Controller, cpu topo.BrickID) (tgl.Entry, sim.Duration, error) {
+			return p.sched.Repoint(att, topo.PodBrickID{Rack: rackOf(onto), Brick: cpu})
+		})
 	if err != nil {
-		return readopt(err)
+		return PodMigration{}, fmt.Errorf("core: cross-rack migration of %q (after rack-local failed: %v): %w", id, localErr, err)
 	}
-	out := PodMigration{FromRack: rack, ToRack: dst}
-	out.From, out.To = src, host
-	out.LocalCopy = optical.SerializationDelay(int(vm.TotalMemory()), podLinkGbps)
-	out.Downtime = out.LocalCopy + resLat
-	out.FullCopyBaseline = out.LocalCopy
 	p.vmRack[id] = dst
-	p.now = p.now.Add(out.Downtime)
-	return out, nil
+	p.now = p.now.Add(res.Downtime)
+	return PodMigration{MigrationResult: res, FromRack: rack, ToRack: dst}, nil
+}
+
+// Rebalance runs one online rebalancing sweep: cross-rack attachments
+// whose home rack has memory again are promoted rack-local, oldest
+// spill first, releasing their pod uplinks. The clock advances past
+// the sweep's orchestration-plus-copy time.
+func (p *Pod) Rebalance() sdm.RebalanceReport {
+	rep := p.sched.Rebalance(p.now)
+	p.now = p.now.Add(rep.Latency)
+	return rep
 }
 
 // AttachAccelerator reserves an accelerator slot on the VM's home rack,

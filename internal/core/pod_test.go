@@ -115,7 +115,12 @@ func TestPodCrossRackMigration(t *testing.T) {
 	}
 }
 
-func TestPodMigrationRefusedWithAttachments(t *testing.T) {
+// TestPodCrossMigrationCarriesAttachments pins the lifecycle-engine
+// capability: a VM with a live rack-local attachment migrates across
+// racks with no detach-first requirement — the circuit re-points
+// through the pod switch so the remote memory (which never moves)
+// follows the compute.
+func TestPodCrossMigrationCarriesAttachments(t *testing.T) {
 	pod, err := NewPod(tinyPodConfig(2, 2*brick.GiB))
 	if err != nil {
 		t.Fatal(err)
@@ -126,27 +131,60 @@ func TestPodMigrationRefusedWithAttachments(t *testing.T) {
 	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pod.MigrateVM("vm"); err == nil {
-		t.Fatal("cross-rack migration accepted with a live attachment")
-	}
-	// Still in place and functional on its home rack.
-	if r, _ := pod.VMRack("vm"); r != 0 {
-		t.Fatalf("VM moved to rack %d", r)
-	}
-	if _, err := pod.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
+	before := pod.Now()
+	// The home rack has a single compute brick, so the migration must
+	// cross racks, attachment and all.
+	mig, err := pod.MigrateVM("vm")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if mig.FromRack != 0 || mig.ToRack != 1 {
+		t.Fatalf("migrated rack %d -> %d, want 0 -> 1", mig.FromRack, mig.ToRack)
+	}
+	if mig.Downtime <= 0 || pod.Now() != before.Add(mig.Downtime) {
+		t.Fatal("downtime not positive or clock not advanced")
+	}
+	if mig.Reattach <= 0 {
+		t.Fatal("migration with an attachment charged no re-point time")
+	}
+	if r, _ := pod.VMRack("vm"); r != 1 {
+		t.Fatalf("VM tracked on rack %d after migration", r)
+	}
+	// The attachment followed: compute end on rack 1, segment still on
+	// rack 0, circuit now through the pod switch.
+	atts := pod.Scheduler().Attachments("vm")
+	if len(atts) != 1 {
+		t.Fatalf("attachments after migration = %d, want 1", len(atts))
+	}
+	att := atts[0]
+	if att.CPURack != 1 || att.MemRack != 0 || !att.CrossRack() {
+		t.Fatalf("attachment racks CPU=%d Mem=%d, want 1 and 0", att.CPURack, att.MemRack)
+	}
+	if att.CPU != mig.To {
+		t.Fatalf("attachment compute end on %v, want %v", att.CPU, mig.To)
+	}
+	if pod.Fabric().CrossCircuits() != 1 {
+		t.Fatalf("cross circuits = %d, want 1", pod.Fabric().CrossCircuits())
+	}
+	// The window still serves reads and tears down through the pod tier.
+	if _, err := pod.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
+		t.Fatalf("remote window broken after migration: %v", err)
+	}
+	if _, err := pod.ScaleDownVM("vm", brick.GiB); err != nil {
+		t.Fatalf("scale-down broken after migration: %v", err)
+	}
+	if pod.Fabric().CrossCircuits() != 0 {
+		t.Fatal("cross circuit survived scale-down")
 	}
 }
 
-// TestPodMigrationPreflightRejectsCrossRack pins the rollback-safety
-// fix: when a VM holds both a rack-local and a cross-rack attachment
-// and the home rack has a spare compute brick, rack-local migration
-// must refuse in pre-flight — before any circuit is re-pointed — and
-// leave the VM fully functional.
-func TestPodMigrationPreflightRejectsCrossRack(t *testing.T) {
+// TestPodRackLocalMigrationCarriesCrossAttachment pins the other half
+// of the refactor: a rack-local migration no longer refuses VMs whose
+// attachments cross the pod tier — the cross circuit is rebuilt from
+// the new brick without ever dropping to the rack fabric.
+func TestPodRackLocalMigrationCarriesCrossAttachment(t *testing.T) {
 	cfg := tinyPodConfig(2, 2*brick.GiB)
-	// A second compute brick per rack makes rack-local migration viable,
-	// so only the cross-rack pre-flight check stands in the way.
+	// A second compute brick per rack makes rack-local migration viable.
 	cfg.Rack.Topology.ComputePerTray = 2
 	cfg.Rack.Switch.Ports = 32
 	pod, err := NewPod(cfg)
@@ -168,22 +206,97 @@ func TestPodMigrationPreflightRejectsCrossRack(t *testing.T) {
 	if len(atts) != 2 || atts[0].CrossRack() || !atts[1].CrossRack() {
 		t.Fatalf("setup: want rack-local + cross-rack attachments, got %d", len(atts))
 	}
-	if _, err := pod.MigrateVM("vm"); err == nil {
-		t.Fatal("migration accepted with a cross-rack attachment")
+	mig, err := pod.MigrateVM("vm")
+	if err != nil {
+		t.Fatalf("rack-local migration with a cross-rack attachment: %v", err)
 	}
-	// Nothing was mutated: both windows still serve reads, and the
-	// rack-local attachment still scales down cleanly.
+	if mig.FromRack != 0 || mig.ToRack != 0 || mig.From == mig.To {
+		t.Fatalf("expected a rack-local move, got rack %d brick %v -> rack %d brick %v",
+			mig.FromRack, mig.From, mig.ToRack, mig.To)
+	}
+	// Both attachments moved to the new brick; the cross one kept its
+	// pod circuit.
+	for _, att := range pod.Scheduler().Attachments("vm") {
+		if att.CPU != mig.To {
+			t.Fatalf("attachment still on %v", att.CPU)
+		}
+	}
+	if pod.Fabric().CrossCircuits() != 1 {
+		t.Fatalf("cross circuits = %d after rack-local migration, want 1", pod.Fabric().CrossCircuits())
+	}
+	// Both windows still serve reads and scale down cleanly.
 	if _, err := pod.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
-		t.Fatalf("rack-local window broken after refused migration: %v", err)
+		t.Fatalf("rack-local window broken after migration: %v", err)
 	}
 	if _, err := pod.RemoteAccess("vm", mem.OpRead, 2*uint64(brick.GiB), 64); err != nil {
-		t.Fatalf("cross-rack window broken after refused migration: %v", err)
+		t.Fatalf("cross-rack window broken after migration: %v", err)
 	}
 	if _, err := pod.ScaleDownVM("vm", brick.GiB); err != nil {
-		t.Fatalf("scale-down broken after refused migration: %v", err)
+		t.Fatalf("scale-down broken after migration: %v", err)
 	}
 	if _, err := pod.ScaleDownVM("vm", 2*brick.GiB); err != nil {
-		t.Fatalf("rack-local scale-down broken after refused migration: %v", err)
+		t.Fatalf("rack-local scale-down broken after migration: %v", err)
+	}
+}
+
+// TestPodCrossMigrationRollsBackMidPlan is the rollback regression for
+// the acceptance criterion: with one pod uplink per rack, migrating a
+// VM that holds two attachments re-points the first cross-rack, runs
+// out of uplinks on the second, and must restore the exact prior
+// circuit state before reporting failure.
+func TestPodCrossMigrationRollsBackMidPlan(t *testing.T) {
+	cfg := tinyPodConfig(2, 4*brick.GiB)
+	cfg.Fabric.UplinksPerRack = 1
+	pod, err := NewPod(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.CreateVM("vm", 1, brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pod.MigrateVM("vm"); err == nil {
+		t.Fatal("migration succeeded with only one uplink for two attachments")
+	}
+	// Exact prior circuit state: no cross circuits, all uplinks free,
+	// VM still home on rack 0 with both windows serving reads.
+	if pod.Fabric().CrossCircuits() != 0 {
+		t.Fatalf("cross circuits = %d after rollback, want 0", pod.Fabric().CrossCircuits())
+	}
+	for i := 0; i < 2; i++ {
+		if free := pod.Fabric().FreeUplinks(i); free != 1 {
+			t.Fatalf("rack %d free uplinks = %d after rollback, want 1", i, free)
+		}
+	}
+	if r, _ := pod.VMRack("vm"); r != 0 {
+		t.Fatalf("VM tracked on rack %d after failed migration", r)
+	}
+	atts := pod.Scheduler().Attachments("vm")
+	if len(atts) != 2 {
+		t.Fatalf("attachments after rollback = %d, want 2", len(atts))
+	}
+	for _, att := range atts {
+		if att.CrossRack() {
+			t.Fatal("attachment left cross-rack after rollback")
+		}
+	}
+	if _, err := pod.RemoteAccess("vm", mem.OpRead, 0, 64); err != nil {
+		t.Fatalf("first window broken after rollback: %v", err)
+	}
+	if _, err := pod.RemoteAccess("vm", mem.OpRead, uint64(brick.GiB), 64); err != nil {
+		t.Fatalf("second window broken after rollback: %v", err)
+	}
+	// The VM keeps working end to end.
+	if _, err := pod.ScaleUpVM("vm", brick.GiB); err != nil {
+		t.Fatalf("scale-up broken after rollback: %v", err)
+	}
+	if _, err := pod.ScaleDownVM("vm", brick.GiB); err != nil {
+		t.Fatalf("scale-down broken after rollback: %v", err)
 	}
 }
 

@@ -1,0 +1,152 @@
+package exp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/brick"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// RebalanceResult holds the online-rebalancer experiment: one VM
+// spills cross-rack while a hog occupies its home rack, the hog
+// releases, and a rebalancing sweep pulls the spill home — measuring
+// what the promotion reclaims (pod uplinks, access latency) and what
+// it costs (orchestration plus segment copy).
+type RebalanceResult struct {
+	Racks int
+	// CrossBefore/CrossAfter count live pod circuits around the sweep.
+	CrossBefore, CrossAfter int
+	// FreeUplinksAfter is rack 0's free pod uplinks after the sweep.
+	FreeUplinksAfter int
+	// RTTBefore/RTTAfter are 64 B read round trips through the spilled
+	// attachment, before (cross-rack) and after (rack-local) promotion.
+	RTTBefore, RTTAfter sim.Duration
+	// Report is the sweep's own accounting.
+	Report sdm.RebalanceReport
+}
+
+// RunRebalance runs the rebalance scenario on a pod of tiny racks (one
+// compute and one 2 GiB memory brick each): an app VM takes 1 GiB
+// rack-local, a hog fills the rest of the home brick, the app's next
+// 1 GiB spills cross-rack; the hog then scales down and the sweep
+// promotes the spill home. Causally ordered, so it runs serially.
+func RunRebalance(p Params) (RebalanceResult, error) {
+	racks := p.Racks
+	if racks == 0 {
+		racks = defaultPodRacks
+	}
+	if racks < 2 {
+		return RebalanceResult{}, fmt.Errorf("rebalance experiment needs at least 2 racks, got %d", racks)
+	}
+	cfg := core.DefaultPodConfig(racks)
+	cfg.Rack.Seed = p.Seed
+	cfg.Rack.Topology = topo.BuildSpec{
+		Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 4,
+	}
+	cfg.Rack.Switch.Ports = 16
+	cfg.Rack.Bricks.Memory.Capacity = 2 * brick.GiB
+	pod, err := core.NewPod(cfg)
+	if err != nil {
+		return RebalanceResult{}, err
+	}
+	if _, err := pod.CreateVM("app", 1, brick.GiB/2); err != nil {
+		return RebalanceResult{}, err
+	}
+	if _, err := pod.CreateVM("hog", 1, brick.GiB/2); err != nil {
+		return RebalanceResult{}, err
+	}
+	if _, err := pod.ScaleUpVM("app", brick.GiB); err != nil {
+		return RebalanceResult{}, err
+	}
+	if _, err := pod.ScaleUpVM("hog", brick.GiB); err != nil {
+		return RebalanceResult{}, err
+	}
+	// The home brick is full: this spills cross-rack.
+	if _, err := pod.ScaleUpVM("app", brick.GiB); err != nil {
+		return RebalanceResult{}, err
+	}
+	atts := pod.Scheduler().Attachments("app")
+	if len(atts) != 2 || !atts[1].CrossRack() {
+		return RebalanceResult{}, fmt.Errorf("expected the app's second attachment to spill cross-rack")
+	}
+	res := RebalanceResult{Racks: racks, CrossBefore: pod.Fabric().CrossCircuits()}
+	before, err := pod.RemoteAccess("app", mem.OpRead, uint64(brick.GiB), 64)
+	if err != nil {
+		return RebalanceResult{}, err
+	}
+	res.RTTBefore = before.Total
+
+	// Capacity frees at home; the sweep promotes the spill.
+	if _, err := pod.ScaleDownVM("hog", brick.GiB); err != nil {
+		return RebalanceResult{}, err
+	}
+	res.Report = pod.Rebalance()
+	res.CrossAfter = pod.Fabric().CrossCircuits()
+	res.FreeUplinksAfter = pod.Fabric().FreeUplinks(0)
+	if res.Report.Promoted != 1 || res.CrossAfter != 0 {
+		return RebalanceResult{}, fmt.Errorf("sweep promoted %d of 1 spills (%d circuits left)", res.Report.Promoted, res.CrossAfter)
+	}
+	after, err := pod.RemoteAccess("app", mem.OpRead, uint64(brick.GiB), 64)
+	if err != nil {
+		return RebalanceResult{}, err
+	}
+	res.RTTAfter = after.Total
+	return res, nil
+}
+
+// RTTSaved returns the per-access latency the promotion reclaimed.
+func (r RebalanceResult) RTTSaved() sim.Duration { return r.RTTBefore - r.RTTAfter }
+
+// Format renders the rebalance experiment as text.
+func (r RebalanceResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — online rebalancer: %d racks, spill -> free -> sweep\n\n", r.Racks)
+	t := stats.NewTable("phase", "pod circuits", "64B read RTT")
+	t.AddRowf("after spill|%d|%v", r.CrossBefore, r.RTTBefore)
+	t.AddRowf("after rebalance|%d|%v", r.CrossAfter, r.RTTAfter)
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nsweep: scanned %d, promoted %d, freed %d pod uplinks in %v (orchestration + segment copy).\n",
+		r.Report.Scanned, r.Report.Promoted, r.Report.FreedUplinks, r.Report.Latency)
+	pt := stats.NewTable("owner", "size", "from rack", "home rack", "latency")
+	for _, p := range r.Report.Promotions {
+		pt.AddRowf("%s|%v|r%d|r%d|%v", p.Owner, brick.Bytes(p.Size), p.FromRack, p.HomeRack, p.Latency)
+	}
+	b.WriteString(pt.String())
+	fmt.Fprintf(&b, "\neach promoted access saves %v (%0.2fx -> 1x the rack-local RTT); the uplinks return to the spill pool.\n",
+		r.RTTSaved(), float64(r.RTTBefore)/float64(r.RTTAfter))
+	return b.String()
+}
+
+// artifact packages the typed result for the registry.
+func (r RebalanceResult) artifact() Result {
+	csv := [][]string{{"owner", "size_bytes", "from_rack", "home_rack", "latency_ns"}}
+	for _, p := range r.Report.Promotions {
+		csv = append(csv, []string{
+			p.Owner,
+			strconv.FormatInt(p.Size, 10),
+			strconv.Itoa(p.FromRack),
+			strconv.Itoa(p.HomeRack),
+			strconv.FormatInt(int64(p.Latency), 10),
+		})
+	}
+	return Result{
+		Text: r.Format(),
+		Metrics: []Metric{
+			{Name: "racks", Value: float64(r.Racks)},
+			{Name: "promoted", Value: float64(r.Report.Promoted)},
+			{Name: "freed-uplinks", Value: float64(r.Report.FreedUplinks)},
+			{Name: "cross-rtt-ns", Value: float64(r.RTTBefore)},
+			{Name: "local-rtt-ns", Value: float64(r.RTTAfter)},
+			{Name: "rtt-saved-ns", Value: float64(r.RTTSaved())},
+			{Name: "sweep-ms", Value: r.Report.Latency.Seconds() * 1e3},
+		},
+		CSV: csv,
+	}
+}

@@ -111,6 +111,18 @@ func init() {
 	}))
 
 	Register(New(Info{
+		Name:   "rebalance",
+		Paper:  "Extension — online rebalancer: cross-rack spill promoted rack-local",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunRebalance(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
 		Name:   "placement",
 		Paper:  "Ablation — SDM placement policy (power-aware vs spread)",
 		Trials: 1,

@@ -4,86 +4,243 @@ import (
 	"fmt"
 
 	"repro/internal/hypervisor"
+	"repro/internal/optical"
 	"repro/internal/sdm"
 	"repro/internal/sim"
+	"repro/internal/tgl"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
-// Emigrate removes a VM from this rack for adoption by another rack's
-// controller — the pod tier's cross-rack migration primitive. Only VMs
-// without remote-memory bindings can emigrate: a bound segment's
-// circuit terminates on this rack's fabric and cannot follow the VM.
-// The compute reservation is released and the hypervisor state evicted;
-// the caller must Immigrate the returned state or the VM is lost.
-func (c *Controller) Emigrate(id hypervisor.VMID) (*hypervisor.VM, hypervisor.VMSpec, error) {
-	host, ok := c.vmHost[id]
-	if !ok {
-		return nil, hypervisor.VMSpec{}, fmt.Errorf("scaleup: no VM %q", id)
+// BoundAttachments returns the SDM attachments behind a VM's remote
+// bindings, in attach order — the lifecycle engine's view of what must
+// move with the VM. Every binding inspection (migration pre-flight,
+// the pod tier's movability checks, diagnostics) routes through this
+// one query.
+func (c *Controller) BoundAttachments(id hypervisor.VMID) []*sdm.Attachment {
+	bs := c.bindings[id]
+	atts := make([]*sdm.Attachment, len(bs))
+	for i, b := range bs {
+		atts[i] = b.att
 	}
-	if n := len(c.bindings[id]); n > 0 {
-		return nil, hypervisor.VMSpec{}, fmt.Errorf("scaleup: VM %q has %d remote attachments; detach them before emigrating", id, n)
-	}
-	spec := c.vmSpec[id]
-	vm, err := c.nodes[host].hv.Evict(id)
-	if err != nil {
-		return nil, hypervisor.VMSpec{}, err
-	}
-	if err := c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory); err != nil {
-		// Put the VM back; a release failure here is a controller bug
-		// worth surfacing loudly rather than leaking the eviction.
-		c.nodes[host].hv.Adopt(vm)
-		return nil, hypervisor.VMSpec{}, err
-	}
-	delete(c.vmHost, id)
-	delete(c.vmSpec, id)
-	delete(c.bindings, id)
-	return vm, spec, nil
+	return atts
 }
 
-// Immigrate adopts an emigrated VM onto this rack: compute is reserved
-// through the rack's SDM controller and the hypervisor state adopted on
-// the selected brick. It returns the host brick and the reservation's
-// control-plane latency (the stop-and-copy time is the pod facade's to
-// account — it depends on the inter-rack link, which this rack cannot
-// see).
-func (c *Controller) Immigrate(now sim.Time, vm *hypervisor.VM, spec hypervisor.VMSpec) (topo.BrickID, sim.Duration, error) {
-	if vm == nil {
-		return topo.BrickID{}, 0, fmt.Errorf("scaleup: immigrate of nil VM")
-	}
-	if _, dup := c.vmHost[vm.ID]; dup {
-		return topo.BrickID{}, 0, fmt.Errorf("scaleup: VM %q already exists on this rack", vm.ID)
-	}
-	host, resLat, err := c.sdmc.ReserveCompute(string(vm.ID), spec.VCPUs, spec.Memory)
-	if err != nil {
-		return topo.BrickID{}, 0, err
-	}
-	n, err := c.nodeFor(host)
-	if err != nil {
-		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
-		return topo.BrickID{}, 0, err
-	}
-	if err := n.hv.Adopt(vm); err != nil {
-		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
-		return topo.BrickID{}, 0, err
-	}
-	c.vmHost[vm.ID] = host
-	c.vmSpec[vm.ID] = spec
-	c.record(now, trace.KindMigrate, string(vm.ID), "adopted on %v (%d vCPU, %v)", host, spec.VCPUs, spec.Memory)
-	return host, resLat, nil
-}
-
-// Bindings returns the number of remote-memory bindings a VM holds —
-// the pod tier consults it before attempting a cross-rack migration.
+// Bindings returns the number of remote-memory bindings a VM holds.
 func (c *Controller) Bindings(id hypervisor.VMID) int { return len(c.bindings[id]) }
 
 // HasAttachmentOf reports whether the VM's bindings include the given
 // attachment (diagnostic helper for pod-tier tests).
 func (c *Controller) HasAttachmentOf(id hypervisor.VMID, att *sdm.Attachment) bool {
-	for _, b := range c.bindings[id] {
-		if b.att == att {
+	for _, a := range c.BoundAttachments(id) {
+		if a == att {
 			return true
 		}
 	}
 	return false
+}
+
+// VMSpec returns the resource specification a VM was created with.
+func (c *Controller) VMSpec(id hypervisor.VMID) (hypervisor.VMSpec, bool) {
+	spec, ok := c.vmSpec[id]
+	return spec, ok
+}
+
+// preflightDestination verifies a destination brick can terminate
+// every re-pointed circuit and TGL window before anything is torn down
+// — shared by rack-local Migrate and cross-rack MigrateTo.
+func preflightDestination(sdmc *sdm.Controller, dst topo.BrickID, need int) error {
+	dstInfo, ok := sdmc.Compute(dst)
+	if !ok {
+		return fmt.Errorf("scaleup: no compute brick %v", dst)
+	}
+	if free := dstInfo.Brick.Ports.Free(); free < need {
+		return fmt.Errorf("scaleup: destination %v has %d free ports, migration needs %d", dst, free, need)
+	}
+	if slots := dstInfo.Agent.Glue.Table.Capacity() - dstInfo.Agent.Glue.Table.Len(); slots < need {
+		return fmt.Errorf("scaleup: destination %v has %d free RMST slots, migration needs %d", dst, slots, need)
+	}
+	return nil
+}
+
+// RepointFunc re-points one attachment's compute end at a brick on the
+// given rack's controller — the pod scheduler's circuit mover, injected
+// the way ScaleUpVia injects its attach hook so this package never
+// learns about the pod tier. MigrateTo calls it with the destination
+// controller going forward and the source controller when rolling back.
+type RepointFunc func(att *sdm.Attachment, onto *Controller, cpu topo.BrickID) (tgl.Entry, sim.Duration, error)
+
+// MigrateTo moves a running VM — bindings and all — onto another
+// rack's controller: compute is reserved on the destination, every
+// remote binding's circuit is re-pointed through repoint (becoming a
+// pod-switch circuit when the memory stays behind, or collapsing
+// rack-local when the VM lands beside it), the baremetal ranges are
+// re-homed, the brick-local state ships over one inter-rack lane and
+// the hypervisor object is adopted. Remote segment contents never
+// move.
+//
+// On any mid-plan failure every completed step is rolled back — each
+// already-moved binding is re-pointed to the source brick and its
+// kernel range restored — so a failed migration leaves the exact prior
+// circuit state.
+func (c *Controller) MigrateTo(now sim.Time, id hypervisor.VMID, dst *Controller, repoint RepointFunc) (MigrationResult, error) {
+	if dst == nil || dst == c {
+		return MigrationResult{}, fmt.Errorf("scaleup: MigrateTo needs a different rack's controller; use Migrate for rack-local moves")
+	}
+	src, ok := c.vmHost[id]
+	if !ok {
+		return MigrationResult{}, fmt.Errorf("scaleup: no VM %q", id)
+	}
+	if _, dup := dst.vmHost[id]; dup {
+		return MigrationResult{}, fmt.Errorf("scaleup: VM %q already exists on the destination rack", id)
+	}
+	spec := c.vmSpec[id]
+	srcNode := c.nodes[src]
+	vm, ok := srcNode.hv.VM(id)
+	if !ok {
+		return MigrationResult{}, fmt.Errorf("scaleup: VM %q missing from host %v", id, src)
+	}
+	if vm.State() != hypervisor.StateRunning {
+		return MigrationResult{}, fmt.Errorf("scaleup: VM %q is not running", id)
+	}
+	bound := c.BoundAttachments(id)
+	if len(bound) > 0 && repoint == nil {
+		return MigrationResult{}, fmt.Errorf("scaleup: VM %q holds %d remote attachments and no circuit mover was supplied", id, len(bound))
+	}
+	// Pre-flight: the same movability query rack-local migration runs.
+	for _, att := range bound {
+		if err := c.sdmc.CanRepoint(att); err != nil {
+			return MigrationResult{}, fmt.Errorf("scaleup: VM %q cannot migrate: %w", id, err)
+		}
+	}
+
+	dstBrick, resLat, err := dst.sdmc.ReserveCompute(string(id), spec.VCPUs, spec.Memory)
+	if err != nil {
+		return MigrationResult{}, err
+	}
+	releaseDst := func() { dst.sdmc.ReleaseCompute(dstBrick, spec.VCPUs, spec.Memory) }
+	if err := preflightDestination(dst.sdmc, dstBrick, len(bound)); err != nil {
+		releaseDst()
+		return MigrationResult{}, err
+	}
+	dstNode, err := dst.nodeFor(dstBrick)
+	if err != nil {
+		releaseDst()
+		return MigrationResult{}, err
+	}
+
+	res := MigrationResult{From: src, To: dstBrick}
+	res.LocalCopy = optical.SerializationDelay(int(spec.Memory), migrationLinkGbps)
+
+	// Re-point every binding; moved tracks each one's progress through
+	// the circuit swap and the four kernel steps, so a mid-plan failure
+	// can restore the exact prior circuit state and a consistent kernel
+	// view (the re-pointed-back window lands at a fresh base, so the
+	// source range is always removed and re-added rather than left at
+	// its old address).
+	type movedBinding struct {
+		att                  *sdm.Attachment
+		oldBase, newBase     uint64
+		srcOfflined          bool
+		srcRemoved, dstAdded bool
+	}
+	var moved []movedBinding
+	rollback := func(cause error) (MigrationResult, error) {
+		for i := len(moved) - 1; i >= 0; i-- {
+			m := moved[i]
+			size := m.att.Size()
+			// Kernel teardown is best-effort — failures past this point
+			// are controller bugs; the circuit restore below is the part
+			// that must not be skipped.
+			if m.dstAdded {
+				dstNode.kernel.Offline(m.newBase, size)
+				dstNode.kernel.HotRemove(m.newBase, size)
+			}
+			if !m.srcRemoved {
+				if !m.srcOfflined {
+					srcNode.kernel.Offline(m.oldBase, size)
+				}
+				srcNode.kernel.HotRemove(m.oldBase, size)
+			}
+			w, _, rerr := repoint(m.att, c, src)
+			if rerr != nil {
+				return MigrationResult{}, fmt.Errorf("scaleup: migration of %q failed (%v) and rollback failed: %v", id, cause, rerr)
+			}
+			srcNode.kernel.HotAdd(w.Base, size)
+			srcNode.kernel.Online(w.Base, size)
+		}
+		releaseDst()
+		return MigrationResult{}, cause
+	}
+	for _, b := range c.bindings[id] {
+		oldBase := b.att.Window.Base
+		size := b.att.Size()
+		w, lat, err := repoint(b.att, dst, dstBrick)
+		if err != nil {
+			return rollback(fmt.Errorf("scaleup: re-point during migration of %q: %w", id, err))
+		}
+		res.Reattach += lat
+		moved = append(moved, movedBinding{att: b.att, oldBase: oldBase, newBase: w.Base})
+		m := &moved[len(moved)-1]
+		// Baremetal re-home, mirroring the rack-local migration path.
+		if d, err := srcNode.kernel.Offline(oldBase, size); err == nil {
+			res.Rehome += d
+			m.srcOfflined = true
+		} else {
+			return rollback(fmt.Errorf("scaleup: source offline during migration: %w", err))
+		}
+		if d, err := srcNode.kernel.HotRemove(oldBase, size); err == nil {
+			res.Rehome += d
+			m.srcRemoved = true
+		} else {
+			return rollback(fmt.Errorf("scaleup: source remove during migration: %w", err))
+		}
+		if d, err := dstNode.kernel.HotAdd(w.Base, size); err == nil {
+			res.Rehome += d
+			m.dstAdded = true
+		} else {
+			return rollback(fmt.Errorf("scaleup: destination add during migration: %w", err))
+		}
+		if d, err := dstNode.kernel.Online(w.Base, size); err == nil {
+			res.Rehome += d
+		} else {
+			return rollback(fmt.Errorf("scaleup: destination online during migration: %w", err))
+		}
+	}
+
+	// Hand the VM object over.
+	evicted, err := srcNode.hv.Evict(id)
+	if err != nil {
+		return rollback(err)
+	}
+	if err := dstNode.hv.Adopt(evicted); err != nil {
+		// Put it back; adoption can only fail on a duplicate ID, which
+		// would be a controller bug worth surfacing loudly.
+		srcNode.hv.Adopt(evicted)
+		return rollback(err)
+	}
+	// Registration moves before the source compute release: if the
+	// release fails (a controller bug, surfaced loudly) the VM is still
+	// consistently owned by the destination.
+	dst.vmHost[id] = dstBrick
+	dst.vmSpec[id] = spec
+	if len(c.bindings[id]) > 0 {
+		dst.bindings[id] = c.bindings[id]
+	}
+	delete(c.vmHost, id)
+	delete(c.vmSpec, id)
+	delete(c.bindings, id)
+	if err := c.sdmc.ReleaseCompute(src, spec.VCPUs, spec.Memory); err != nil {
+		return MigrationResult{}, err
+	}
+
+	res.Downtime = res.LocalCopy + res.Reattach + res.Rehome + resLat
+
+	total := evicted.TotalMemory()
+	res.FullCopyBaseline = optical.SerializationDelay(int(total), migrationLinkGbps)
+	c.record(now, trace.KindMigrate, string(id), "emigrated %v -> %v with %d attachments, downtime %v (full copy would be %v)",
+		res.From, res.To, len(bound), res.Downtime, res.FullCopyBaseline)
+	dst.record(now, trace.KindMigrate, string(id), "adopted on %v (%d vCPU, %v, %d attachments)",
+		dstBrick, spec.VCPUs, spec.Memory, len(bound))
+	return res, nil
 }

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/hypervisor"
 	"repro/internal/optical"
-	"repro/internal/sdm"
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -59,19 +58,15 @@ func (c *Controller) Migrate(now sim.Time, id hypervisor.VMID) (MigrationResult,
 		return MigrationResult{}, fmt.Errorf("scaleup: VM %q is not running", id)
 	}
 
-	// Pre-flight: every remote binding must be movable. Packet-mode
-	// riders, ridden circuits and pod-tier cross-rack circuits cannot be
-	// re-pointed atomically, so migration refuses them upfront rather
-	// than failing halfway with attachments split across two bricks.
-	for _, b := range c.bindings[id] {
-		if b.att.Mode == sdm.ModePacket {
-			return MigrationResult{}, fmt.Errorf("scaleup: VM %q has a packet-mode attachment; detach it before migrating", id)
-		}
-		if n := c.sdmc.Riders(b.att); n > 0 {
-			return MigrationResult{}, fmt.Errorf("scaleup: VM %q's circuit carries %d packet-mode riders; migrate them first", id, n)
-		}
-		if b.att.CrossRack() {
-			return MigrationResult{}, fmt.Errorf("scaleup: VM %q has a cross-rack attachment (rack %d); detach it before migrating", id, b.att.MemRack)
+	// Pre-flight: every remote binding must be movable — one lifecycle
+	// query, shared with cross-rack migration. Packet-mode riders and
+	// ridden circuits cannot be re-pointed atomically, so migration
+	// refuses them upfront rather than failing halfway with attachments
+	// split across two bricks. Cross-rack circuits re-point through the
+	// pod tier transparently.
+	for _, att := range c.BoundAttachments(id) {
+		if err := c.sdmc.CanRepoint(att); err != nil {
+			return MigrationResult{}, fmt.Errorf("scaleup: VM %q cannot migrate: %w", id, err)
 		}
 	}
 
@@ -79,17 +74,9 @@ func (c *Controller) Migrate(now sim.Time, id hypervisor.VMID) (MigrationResult,
 	if err != nil {
 		return MigrationResult{}, err
 	}
-	// Pre-flight: the destination must be able to host every circuit and
-	// TGL window before anything is torn down.
-	dstInfo, _ := c.sdmc.Compute(dst)
-	need := len(c.bindings[id])
-	if free := dstInfo.Brick.Ports.Free(); free < need {
+	if err := preflightDestination(c.sdmc, dst, len(c.bindings[id])); err != nil {
 		c.sdmc.ReleaseCompute(dst, spec.VCPUs, spec.Memory)
-		return MigrationResult{}, fmt.Errorf("scaleup: destination %v has %d free ports, migration needs %d", dst, free, need)
-	}
-	if slots := dstInfo.Agent.Glue.Table.Capacity() - dstInfo.Agent.Glue.Table.Len(); slots < need {
-		c.sdmc.ReleaseCompute(dst, spec.VCPUs, spec.Memory)
-		return MigrationResult{}, fmt.Errorf("scaleup: destination %v has %d free RMST slots, migration needs %d", dst, slots, need)
+		return MigrationResult{}, err
 	}
 	dstNode, err := c.nodeFor(dst)
 	if err != nil {

@@ -1,13 +1,10 @@
 package sdm
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/brick"
-	"repro/internal/optical"
 	"repro/internal/sim"
-	"repro/internal/tgl"
 	"repro/internal/topo"
 )
 
@@ -141,29 +138,30 @@ func (c *Controller) pickMemory(size brick.Bytes) (topo.BrickID, bool) {
 
 // AttachRemoteMemory performs the full orchestration sequence for one
 // memory attachment: select and reserve a segment, set up the circuit,
-// and push the TGL window to the compute brick's agent. On any failure
-// every completed step is rolled back, honouring the paper's "safely
-// reserve" requirement. The returned latency is the orchestration delay
-// a scale-up request observes before the OS-level hotplug begins.
+// and push the TGL window to the compute brick's agent — one OpAttach
+// through the lifecycle engine, so on any failure every completed step
+// is rolled back, honouring the paper's "safely reserve" requirement.
+// The returned latency is the orchestration delay a scale-up request
+// observes before the OS-level hotplug begins.
 func (c *Controller) AttachRemoteMemory(owner string, cpu topo.BrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
 	c.requests++
-	node, ok := c.computes[cpu]
-	if !ok {
-		c.failures++
-		return nil, 0, fmt.Errorf("sdm: no compute brick %v", cpu)
-	}
-	if size == 0 {
-		c.failures++
-		return nil, 0, fmt.Errorf("sdm: zero-size attachment")
-	}
-	lat := c.cfg.DecisionLatency
-
-	// The CPU-side port is the scarcest resource: claim it before any
-	// memory brick is selected (and possibly powered on), so that port
-	// exhaustion falls back to packet mode without wasted boots.
-	cpuPort, err := node.Brick.Ports.Acquire()
+	op := planAttach(c.cfg, owner, size, c, cpu,
+		func() (memPick, bool, error) {
+			id, ok := c.pickMemory(size)
+			if !ok {
+				return memPick{}, true, fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", size)
+			}
+			return memPick{rack: c, rackIdx: 0, brick: id}, false, nil
+		},
+		func(int) connector { return c.rackTier() },
+		true,
+		func(att *Attachment, _ int) {
+			c.attachments[owner] = append(c.attachments[owner], att)
+			c.circuitHosts[cpu] = append(c.circuitHosts[cpu], att)
+		})
+	lat, err := op.Commit()
 	if err != nil {
-		if c.cfg.PacketFallback {
+		if op.fallback && c.cfg.PacketFallback {
 			if att, fl, ferr := c.attachPacket(owner, cpu, size); ferr == nil {
 				return att, lat + fl, nil
 			}
@@ -171,118 +169,7 @@ func (c *Controller) AttachRemoteMemory(owner string, cpu topo.BrickID, size bri
 		c.failures++
 		return nil, 0, err
 	}
-	memID, ok := c.pickMemory(size)
-	if !ok {
-		node.Brick.Ports.Release(cpuPort)
-		if c.cfg.PacketFallback {
-			if att, fl, ferr := c.attachPacket(owner, cpu, size); ferr == nil {
-				return att, lat + fl, nil
-			}
-		}
-		c.failures++
-		return nil, 0, fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", size)
-	}
-	m := c.memories[memID]
-	if m.State() == brick.PowerOff {
-		m.PowerOn()
-		lat += c.cfg.BrickBoot
-	}
-	seg, err := m.Carve(size, owner)
-	if err != nil {
-		node.Brick.Ports.Release(cpuPort)
-		c.failures++
-		return nil, 0, err
-	}
-	memPort, err := m.Ports.Acquire()
-	if err != nil {
-		node.Brick.Ports.Release(cpuPort)
-		m.Release(seg)
-		if c.cfg.PacketFallback {
-			if att, fl, ferr := c.attachPacket(owner, cpu, size); ferr == nil {
-				return att, lat + fl, nil
-			}
-		}
-		c.failures++
-		return nil, 0, err
-	}
-	// Circuit setup, with fault handling: a failed optical path gets its
-	// brick port quarantined and the circuit retried through another
-	// port. The retry bound covers the worst case of every port failing.
-	var circuit *optical.Circuit
-	maxRetries := node.Brick.Ports.Total() + m.Ports.Total()
-	for retry := 0; ; retry++ {
-		var reconfig sim.Duration
-		var err error
-		circuit, reconfig, err = c.fabric.Connect(cpuPort, memPort)
-		if err == nil {
-			lat += reconfig
-			break
-		}
-		var pf *optical.PortFailedError
-		if !errors.As(err, &pf) || retry >= maxRetries {
-			m.Ports.Release(memPort)
-			node.Brick.Ports.Release(cpuPort)
-			m.Release(seg)
-			c.failures++
-			return nil, 0, err
-		}
-		// Quarantine the faulty endpoint and acquire a replacement.
-		cpuSideFailed := pf.Port == cpuPort
-		var reacquireErr error
-		if cpuSideFailed {
-			if reacquireErr = node.Brick.Ports.Quarantine(cpuPort); reacquireErr == nil {
-				cpuPort, reacquireErr = node.Brick.Ports.Acquire()
-			}
-		} else {
-			if reacquireErr = m.Ports.Quarantine(memPort); reacquireErr == nil {
-				memPort, reacquireErr = m.Ports.Acquire()
-			}
-		}
-		if reacquireErr != nil {
-			// Release the healthy side; the quarantined side stays
-			// withdrawn for the operator.
-			if cpuSideFailed {
-				m.Ports.Release(memPort)
-			} else {
-				node.Brick.Ports.Release(cpuPort)
-			}
-			m.Release(seg)
-			c.failures++
-			return nil, 0, fmt.Errorf("sdm: circuit fault recovery exhausted ports: %w", reacquireErr)
-		}
-	}
-	// TGL window push via the SDM Agent.
-	window := tgl.Entry{
-		Base:       c.nextWindow[cpu],
-		Size:       uint64(size),
-		Dest:       memID,
-		DestOffset: uint64(seg.Offset),
-		Port:       cpuPort,
-	}
-	if err := node.Agent.Glue.Attach(window); err != nil {
-		c.fabric.Disconnect(circuit)
-		m.Ports.Release(memPort)
-		node.Brick.Ports.Release(cpuPort)
-		m.Release(seg)
-		c.failures++
-		return nil, 0, err
-	}
-	lat += c.cfg.AgentRTT
-	c.nextWindow[cpu] += uint64(size)
-
-	att := &Attachment{
-		Owner:   owner,
-		CPU:     cpu,
-		Segment: seg,
-		Circuit: circuit,
-		CPUPort: cpuPort,
-		MemPort: memPort,
-		Window:  window,
-		Mode:    ModeCircuit,
-	}
-	c.attachments[owner] = append(c.attachments[owner], att)
-	c.circuitHosts[cpu] = append(c.circuitHosts[cpu], att)
-	return att, lat, nil
+	return op.att, lat, nil
 }
 
 // DetachRemoteMemory tears an attachment down in reverse order and
@@ -294,9 +181,8 @@ func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
 		return att.cross.detachCross(att)
 	}
 	c.requests++
-	list := c.attachments[att.Owner]
 	idx := -1
-	for i, a := range list {
+	for i, a := range c.attachments[att.Owner] {
 		if a == att {
 			idx = i
 			break
@@ -313,35 +199,15 @@ func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
 		c.failures++
 		return 0, fmt.Errorf("sdm: circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
-	node := c.computes[att.CPU]
-	m := c.memories[att.Segment.Brick]
-	lat := c.cfg.DecisionLatency
-
-	if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
-		c.failures++
-		return 0, err
-	}
-	lat += c.cfg.AgentRTT
-	reconfig, err := c.fabric.Disconnect(att.Circuit)
+	op := planDetach(c.cfg, att, c, c, c.rackTier(), func() {
+		c.unregister(att)
+		c.removeCircuitHost(att)
+	})
+	lat, err := op.Commit()
 	if err != nil {
 		c.failures++
 		return 0, err
 	}
-	lat += reconfig
-	if err := node.Brick.Ports.Release(att.CPUPort); err != nil {
-		c.failures++
-		return 0, err
-	}
-	if err := m.Ports.Release(att.MemPort); err != nil {
-		c.failures++
-		return 0, err
-	}
-	if err := m.Release(att.Segment); err != nil {
-		c.failures++
-		return 0, err
-	}
-	c.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
-	c.removeCircuitHost(att)
 	return lat, nil
 }
 

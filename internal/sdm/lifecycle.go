@@ -1,0 +1,618 @@
+package sdm
+
+// The attachment lifecycle engine: every mutation of a live
+// remote-memory attachment — attach, detach, re-point of the compute
+// end, re-home of the memory end, and the cross-rack→rack-local
+// promotion the rebalancer runs — executes as one AttachmentOp, a plan
+// of reversible steps committed atomically. The engine owns circuit
+// setup and teardown on both optical tiers (the rack fabric and the
+// pod switch's uplinks), the TGL window moves, rider safety, and the
+// per-rack registration indexes; alloc.go, reattach.go and pod.go are
+// thin callers that select resources, build a plan and commit it.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/tgl"
+	"repro/internal/topo"
+)
+
+// OpKind names the attachment lifecycle operations.
+type OpKind int
+
+const (
+	// OpAttach provisions a new attachment: segment, circuit, TGL window.
+	OpAttach OpKind = iota
+	// OpDetach tears an attachment down in reverse order.
+	OpDetach
+	// OpRepoint moves the compute end: circuit and TGL window follow the
+	// VM to a new compute brick while the segment stays put.
+	OpRepoint
+	// OpRehome moves the memory end: the segment's contents are copied
+	// to another memory brick and the circuit re-terminated there, while
+	// the guest-visible window base never changes.
+	OpRehome
+	// OpPromote is the rehome special case the rebalancer runs: a
+	// cross-rack attachment pulled back to its compute rack, releasing
+	// both pod uplinks.
+	OpPromote
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAttach:
+		return "attach"
+	case OpDetach:
+		return "detach"
+	case OpRepoint:
+		return "re-point"
+	case OpRehome:
+		return "re-home"
+	case OpPromote:
+		return "promote"
+	}
+	return "op"
+}
+
+// rehomeLinkGbps is the line rate charged for shipping a segment's
+// contents to its new memory brick during a re-home (one transceiver
+// lane over the live circuit, same rate as VM migration's stop-and-copy).
+const rehomeLinkGbps = 10
+
+// opStep is one reversible action of a lifecycle plan.
+type opStep struct {
+	do   func() (sim.Duration, error)
+	undo func() error
+}
+
+// AttachmentOp is one planned attachment mutation. A plan is built
+// step by step and committed atomically: Commit executes the steps in
+// order and, on any failure, rolls every completed step back in
+// reverse before returning — a failed op leaves the circuit state
+// exactly as it found it.
+type AttachmentOp struct {
+	Kind OpKind
+
+	steps []opStep
+	lat   sim.Duration
+
+	// att is the attachment the op produced (OpAttach only).
+	att *Attachment
+	// fallback marks failures caused by circuit-resource exhaustion —
+	// the cases where the caller may cascade into the packet fallback.
+	fallback bool
+	// err short-circuits Commit for plans that failed validation.
+	err error
+}
+
+// failedOp returns a plan that refuses to commit.
+func failedOp(kind OpKind, err error) *AttachmentOp {
+	return &AttachmentOp{Kind: kind, err: err}
+}
+
+// step appends a reversible action; undo may be nil for irreversible
+// (or final) steps.
+func (op *AttachmentOp) step(do func() (sim.Duration, error), undo func() error) {
+	op.steps = append(op.steps, opStep{do: do, undo: undo})
+}
+
+// charge appends a fixed control-plane latency as an infallible step.
+func (op *AttachmentOp) charge(d sim.Duration) {
+	op.step(func() (sim.Duration, error) { return d, nil }, nil)
+}
+
+// Commit executes the plan. On failure it rolls back and returns the
+// latency spent up to the failure — callers cascading into the packet
+// fallback still account for work already done (e.g. a brick boot).
+func (op *AttachmentOp) Commit() (sim.Duration, error) {
+	if op.err != nil {
+		return 0, op.err
+	}
+	for i, s := range op.steps {
+		d, err := s.do()
+		op.lat += d
+		if err == nil {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			if op.steps[j].undo == nil {
+				continue
+			}
+			if uerr := op.steps[j].undo(); uerr != nil {
+				return op.lat, fmt.Errorf("sdm: %v failed (%v) and rollback failed: %w", op.Kind, err, uerr)
+			}
+		}
+		return op.lat, err
+	}
+	return op.lat, nil
+}
+
+// connector hides which optical tier carries a circuit: a rack's own
+// fabric or the pod switch. Plans connect and disconnect through it
+// without knowing the tier.
+type connector struct {
+	connect    func(a, b topo.PortID) (*optical.Circuit, sim.Duration, error)
+	disconnect func(*optical.Circuit) (sim.Duration, error)
+}
+
+// rackTier is the connector for this rack's own circuit fabric.
+func (c *Controller) rackTier() connector {
+	return connector{connect: c.fabric.Connect, disconnect: c.fabric.Disconnect}
+}
+
+// tier returns the connector joining compute rack ra to memory rack
+// rb: the rack's own fabric when they coincide, the pod switch (one
+// uplink per endpoint rack) otherwise.
+func (s *PodScheduler) tier(ra, rb int) connector {
+	if ra == rb {
+		return s.racks[ra].rackTier()
+	}
+	return connector{
+		connect: func(a, b topo.PortID) (*optical.Circuit, sim.Duration, error) {
+			return s.fabric.ConnectCross(ra, a, rb, b)
+		},
+		disconnect: s.fabric.DisconnectCross,
+	}
+}
+
+// CanRepoint reports whether an attachment's circuit can be moved
+// (compute end re-pointed or memory end re-homed). Packet-mode
+// attachments have no circuit of their own, and a circuit carrying
+// packet-mode riders would strand them if it moved. This is the single
+// movability pre-flight every caller — VM migration, cross-rack
+// emigration, the rebalancer — consults.
+func (c *Controller) CanRepoint(att *Attachment) error {
+	if att.Mode == ModePacket {
+		return fmt.Errorf("sdm: packet-mode attachment of %q rides another circuit; detach and re-attach instead", att.Owner)
+	}
+	if n := c.Riders(att); n > 0 {
+		return fmt.Errorf("sdm: circuit of %q on %v carries %d packet-mode riders; move them first", att.Owner, att.CPU, n)
+	}
+	return nil
+}
+
+// registered locates an attachment in its owner's live list.
+func (c *Controller) registered(att *Attachment) bool {
+	for _, a := range c.attachments[att.Owner] {
+		if a == att {
+			return true
+		}
+	}
+	return false
+}
+
+// unregister removes an attachment from its owner's live list.
+func (c *Controller) unregister(att *Attachment) {
+	list := c.attachments[att.Owner]
+	for i, a := range list {
+		if a == att {
+			c.attachments[att.Owner] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// memPick is the memory-end selection a tier's placement policy makes
+// for an attach plan.
+type memPick struct {
+	rack    *Controller
+	rackIdx int
+	brick   topo.BrickID
+}
+
+// planAttach builds the circuit-mode attach plan shared by both tiers:
+// CPU-side port, memory selection and power-up, segment carve,
+// memory-side port, circuit, TGL window, registration. pick applies
+// the tier's placement policy (returning exhausted=true when the
+// failure should cascade into the packet fallback); tierFor supplies
+// the circuit fabric for the chosen memory rack; faultRetry enables
+// the rack tier's quarantine-and-retry recovery; register installs the
+// finished attachment into the owning indexes and cannot fail.
+func planAttach(cfg Config, owner string, size brick.Bytes,
+	rackA *Controller, cpu topo.BrickID,
+	pick func() (memPick, bool, error),
+	tierFor func(memRack int) connector,
+	faultRetry bool,
+	register func(att *Attachment, memRack int)) *AttachmentOp {
+
+	op := &AttachmentOp{Kind: OpAttach}
+	node, ok := rackA.computes[cpu]
+	if !ok {
+		op.err = fmt.Errorf("sdm: no compute brick %v", cpu)
+		return op
+	}
+	if size == 0 {
+		op.err = fmt.Errorf("sdm: zero-size attachment")
+		return op
+	}
+	op.charge(cfg.DecisionLatency)
+
+	var (
+		cpuPort, memPort topo.PortID
+		chosen           memPick
+		m                *brick.Memory
+		seg              *brick.Segment
+		circuit          *optical.Circuit
+		window           tgl.Entry
+	)
+	// The CPU-side port is the scarcest resource: claim it before any
+	// memory brick is selected (and possibly powered on), so that port
+	// exhaustion falls back to packet mode without wasted boots.
+	op.step(func() (sim.Duration, error) {
+		p, err := node.Brick.Ports.Acquire()
+		if err != nil {
+			op.fallback = true
+			return 0, err
+		}
+		cpuPort = p
+		return 0, nil
+	}, func() error { node.Brick.Ports.Release(cpuPort); return nil })
+	// Memory selection and power-up.
+	op.step(func() (sim.Duration, error) {
+		var exhausted bool
+		var err error
+		chosen, exhausted, err = pick()
+		if err != nil {
+			op.fallback = exhausted
+			return 0, err
+		}
+		m = chosen.rack.memories[chosen.brick]
+		if m.State() == brick.PowerOff {
+			m.PowerOn()
+			return cfg.BrickBoot, nil
+		}
+		return 0, nil
+	}, nil)
+	// Segment carve.
+	op.step(func() (sim.Duration, error) {
+		var err error
+		seg, err = m.Carve(size, owner)
+		return 0, err
+	}, func() error { m.Release(seg); return nil })
+	// Memory-side port.
+	op.step(func() (sim.Duration, error) {
+		p, err := m.Ports.Acquire()
+		if err != nil {
+			op.fallback = true
+			return 0, err
+		}
+		memPort = p
+		return 0, nil
+	}, func() error { m.Ports.Release(memPort); return nil })
+	// Circuit setup. The rack tier recovers from optical path faults by
+	// quarantining the failed endpoint and retrying through another
+	// port; the retry bound covers the worst case of every port failing.
+	op.step(func() (sim.Duration, error) {
+		t := tierFor(chosen.rackIdx)
+		if !faultRetry {
+			c, reconfig, err := t.connect(cpuPort, memPort)
+			if err != nil {
+				op.fallback = true
+				return 0, err
+			}
+			circuit = c
+			return reconfig, nil
+		}
+		maxRetries := node.Brick.Ports.Total() + m.Ports.Total()
+		for retry := 0; ; retry++ {
+			c, reconfig, err := t.connect(cpuPort, memPort)
+			if err == nil {
+				circuit = c
+				return reconfig, nil
+			}
+			var pf *optical.PortFailedError
+			if !errors.As(err, &pf) || retry >= maxRetries {
+				return 0, err
+			}
+			// Quarantine the faulty endpoint and acquire a replacement.
+			// The quarantined port stays withdrawn for the operator (its
+			// release undo is a no-op on a quarantined port); the healthy
+			// side is restored by the ordinary rollback.
+			cpuSideFailed := pf.Port == cpuPort
+			var reacquireErr error
+			if cpuSideFailed {
+				if reacquireErr = node.Brick.Ports.Quarantine(cpuPort); reacquireErr == nil {
+					cpuPort, reacquireErr = node.Brick.Ports.Acquire()
+				}
+			} else {
+				if reacquireErr = m.Ports.Quarantine(memPort); reacquireErr == nil {
+					memPort, reacquireErr = m.Ports.Acquire()
+				}
+			}
+			if reacquireErr != nil {
+				return 0, fmt.Errorf("sdm: circuit fault recovery exhausted ports: %w", reacquireErr)
+			}
+		}
+	}, func() error {
+		_, err := tierFor(chosen.rackIdx).disconnect(circuit)
+		return err
+	})
+	// TGL window push via the SDM Agent.
+	op.step(func() (sim.Duration, error) {
+		window = tgl.Entry{
+			Base:       rackA.nextWindow[cpu],
+			Size:       uint64(size),
+			Dest:       chosen.brick,
+			DestOffset: uint64(seg.Offset),
+			Port:       cpuPort,
+		}
+		if err := node.Agent.Glue.Attach(window); err != nil {
+			return 0, err
+		}
+		rackA.nextWindow[cpu] += uint64(size)
+		return cfg.AgentRTT, nil
+	}, func() error { return node.Agent.Glue.Detach(window.Base) })
+	// Registration — final and infallible.
+	op.step(func() (sim.Duration, error) {
+		op.att = &Attachment{
+			Owner:   owner,
+			CPU:     cpu,
+			Segment: seg,
+			Circuit: circuit,
+			CPUPort: cpuPort,
+			MemPort: memPort,
+			Window:  window,
+			Mode:    ModeCircuit,
+		}
+		register(op.att, chosen.rackIdx)
+		return 0, nil
+	}, nil)
+	return op
+}
+
+// planDetach builds the teardown plan shared by both tiers, the exact
+// reverse of planAttach: window, circuit, ports, segment,
+// unregistration. Validation (liveness, packet mode, riders) is the
+// thin caller's job; t carries the attachment's circuit tier.
+func planDetach(cfg Config, att *Attachment, rackA, rackB *Controller, t connector, unregister func()) *AttachmentOp {
+	op := &AttachmentOp{Kind: OpDetach}
+	node := rackA.computes[att.CPU]
+	m := rackB.memories[att.Segment.Brick]
+	op.charge(cfg.DecisionLatency)
+
+	oldWindow := att.Window
+	op.step(func() (sim.Duration, error) {
+		if err := node.Agent.Glue.Detach(oldWindow.Base); err != nil {
+			return 0, err
+		}
+		return cfg.AgentRTT, nil
+	}, func() error { return node.Agent.Glue.Attach(oldWindow) })
+	op.step(func() (sim.Duration, error) {
+		return t.disconnect(att.Circuit)
+	}, func() error {
+		c, _, err := t.connect(att.CPUPort, att.MemPort)
+		if err != nil {
+			return err
+		}
+		att.Circuit = c
+		return nil
+	})
+	op.step(func() (sim.Duration, error) {
+		if err := node.Brick.Ports.Release(att.CPUPort); err != nil {
+			return 0, err
+		}
+		if err := m.Ports.Release(att.MemPort); err != nil {
+			return 0, err
+		}
+		if err := m.Release(att.Segment); err != nil {
+			return 0, err
+		}
+		unregister()
+		return 0, nil
+	}, nil)
+	return op
+}
+
+// planRepoint builds the compute-end move: the circuit and TGL window
+// follow the VM to newCPU (possibly on another rack and so another
+// optical tier) while the segment — and the data on it — stays exactly
+// where it is. move performs the registration hand-over and cannot
+// fail; oldTier/newTier carry the circuit before and after.
+func planRepoint(cfg Config, att *Attachment,
+	oldRack, newRack *Controller, newCPU topo.BrickID,
+	oldTier, newTier connector,
+	move func(newCPUPort topo.PortID, circuit *optical.Circuit, window tgl.Entry)) *AttachmentOp {
+
+	op := &AttachmentOp{Kind: OpRepoint}
+	oldNode := oldRack.computes[att.CPU]
+	newNode, ok := newRack.computes[newCPU]
+	if !ok {
+		op.err = fmt.Errorf("sdm: no compute brick %v", newCPU)
+		return op
+	}
+	op.charge(cfg.DecisionLatency)
+
+	var (
+		newCPUPort topo.PortID
+		circuit    *optical.Circuit
+		window     tgl.Entry
+	)
+	oldWindow := att.Window
+	// Acquire the new CPU-side port first; nothing is torn down until
+	// the new resources are secured.
+	op.step(func() (sim.Duration, error) {
+		p, err := newNode.Brick.Ports.Acquire()
+		if err != nil {
+			return 0, err
+		}
+		newCPUPort = p
+		return 0, nil
+	}, func() error { newNode.Brick.Ports.Release(newCPUPort); return nil })
+	// Tear the old circuit down, freeing the memory-side port (and, for
+	// a cross-rack circuit, both pod uplinks) for the new circuit.
+	op.step(func() (sim.Duration, error) {
+		return oldTier.disconnect(att.Circuit)
+	}, func() error {
+		c, _, err := oldTier.connect(att.CPUPort, att.MemPort)
+		if err != nil {
+			return err
+		}
+		att.Circuit = c
+		return nil
+	})
+	op.step(func() (sim.Duration, error) {
+		c, reconfig, err := newTier.connect(newCPUPort, att.MemPort)
+		if err != nil {
+			return 0, err
+		}
+		circuit = c
+		return reconfig, nil
+	}, func() error {
+		_, err := newTier.disconnect(circuit)
+		return err
+	})
+	// Install the window on the new brick's agent, then remove the old
+	// one; between the two pushes both windows map the segment, which
+	// is safe because the VM is paused across a re-point.
+	op.step(func() (sim.Duration, error) {
+		window = tgl.Entry{
+			Base:       newRack.nextWindow[newCPU],
+			Size:       oldWindow.Size,
+			Dest:       att.Segment.Brick,
+			DestOffset: uint64(att.Segment.Offset),
+			Port:       newCPUPort,
+		}
+		if err := newNode.Agent.Glue.Attach(window); err != nil {
+			return 0, err
+		}
+		newRack.nextWindow[newCPU] += window.Size
+		return cfg.AgentRTT, nil
+	}, func() error { return newNode.Agent.Glue.Detach(window.Base) })
+	op.step(func() (sim.Duration, error) {
+		if err := oldNode.Agent.Glue.Detach(oldWindow.Base); err != nil {
+			return 0, fmt.Errorf("sdm: old window removal: %w", err)
+		}
+		return cfg.AgentRTT, nil
+	}, func() error { return oldNode.Agent.Glue.Attach(oldWindow) })
+	// Release the old CPU port and hand the registration over — past
+	// this point the attachment is fully re-homed on the new brick.
+	op.step(func() (sim.Duration, error) {
+		if err := oldNode.Brick.Ports.Release(att.CPUPort); err != nil {
+			return 0, err
+		}
+		move(newCPUPort, circuit, window)
+		return 0, nil
+	}, nil)
+	return op
+}
+
+// planRehome builds the memory-end move: the segment's contents are
+// copied to a freshly carved segment on another memory brick over the
+// still-live old circuit, the TGL window is re-aimed in place (same
+// guest-visible base — no baremetal or hypervisor work), and the
+// circuit is re-terminated on the new brick. pick selects the target
+// brick on newMemRack; move performs the registration hand-over.
+func planRehome(kind OpKind, cfg Config, att *Attachment,
+	rackA, oldMemRack, newMemRack *Controller,
+	pick func() (topo.BrickID, bool),
+	oldTier, newTier connector,
+	move func(newMem topo.BrickID, seg *brick.Segment, memPort topo.PortID, circuit *optical.Circuit, window tgl.Entry)) *AttachmentOp {
+
+	op := &AttachmentOp{Kind: kind}
+	node := rackA.computes[att.CPU]
+	oldMem := oldMemRack.memories[att.Segment.Brick]
+	op.charge(cfg.DecisionLatency)
+
+	var (
+		newMemID topo.BrickID
+		m        *brick.Memory
+		seg      *brick.Segment
+		memPort  topo.PortID
+		circuit  *optical.Circuit
+		window   tgl.Entry
+	)
+	oldWindow := att.Window
+	// Target selection, power-up and carve.
+	op.step(func() (sim.Duration, error) {
+		id, ok := pick()
+		if !ok {
+			return 0, fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port to re-home %q", att.Size(), att.Owner)
+		}
+		newMemID = id
+		m = newMemRack.memories[id]
+		if m.State() == brick.PowerOff {
+			m.PowerOn()
+			return cfg.BrickBoot, nil
+		}
+		return 0, nil
+	}, nil)
+	op.step(func() (sim.Duration, error) {
+		var err error
+		seg, err = m.Carve(att.Size(), att.Owner)
+		return 0, err
+	}, func() error { m.Release(seg); return nil })
+	op.step(func() (sim.Duration, error) {
+		p, err := m.Ports.Acquire()
+		if err != nil {
+			return 0, err
+		}
+		memPort = p
+		return 0, nil
+	}, func() error { m.Ports.Release(memPort); return nil })
+	// Ship the contents over the still-live old circuit.
+	op.charge(optical.SerializationDelay(int(att.Size()), rehomeLinkGbps))
+	// Re-aim the TGL window in place: same base, new destination. The
+	// guest's physical map never changes, so no hotplug is charged.
+	op.step(func() (sim.Duration, error) {
+		if err := node.Agent.Glue.Detach(oldWindow.Base); err != nil {
+			return 0, err
+		}
+		window = tgl.Entry{
+			Base:       oldWindow.Base,
+			Size:       oldWindow.Size,
+			Dest:       newMemID,
+			DestOffset: uint64(seg.Offset),
+			Port:       att.CPUPort,
+		}
+		if err := node.Agent.Glue.Attach(window); err != nil {
+			node.Agent.Glue.Attach(oldWindow)
+			return 0, err
+		}
+		return cfg.AgentRTT, nil
+	}, func() error {
+		if err := node.Agent.Glue.Detach(window.Base); err != nil {
+			return err
+		}
+		return node.Agent.Glue.Attach(oldWindow)
+	})
+	// Swap the circuit: the old tier's teardown frees the memory-side
+	// port (and any pod uplinks); the new tier re-terminates on the
+	// same CPU port.
+	op.step(func() (sim.Duration, error) {
+		return oldTier.disconnect(att.Circuit)
+	}, func() error {
+		c, _, err := oldTier.connect(att.CPUPort, att.MemPort)
+		if err != nil {
+			return err
+		}
+		att.Circuit = c
+		return nil
+	})
+	op.step(func() (sim.Duration, error) {
+		c, reconfig, err := newTier.connect(att.CPUPort, memPort)
+		if err != nil {
+			return 0, err
+		}
+		circuit = c
+		return reconfig, nil
+	}, func() error {
+		_, err := newTier.disconnect(circuit)
+		return err
+	})
+	// Release the old memory end and hand the registration over.
+	op.step(func() (sim.Duration, error) {
+		if err := oldMem.Ports.Release(att.MemPort); err != nil {
+			return 0, err
+		}
+		if err := oldMem.Release(att.Segment); err != nil {
+			return 0, err
+		}
+		move(newMemID, seg, memPort, circuit, window)
+		return 0, nil
+	}, nil)
+	return op
+}

@@ -42,9 +42,16 @@ type PodScheduler struct {
 	riders     map[*optical.Circuit]int
 	crossHosts map[topo.PodBrickID][]*Attachment
 
+	// crossOrder lists every live cross-rack attachment in spill order
+	// (each stamped with a seq from attachSeq) — the oldest-first walk
+	// order of the rebalancer.
+	crossOrder []*Attachment
+	attachSeq  uint64
+
 	requests uint64
 	failures uint64
 	spills   uint64
+	promoted uint64
 }
 
 // NewPodScheduler builds one Controller per rack over the pod fabric's
@@ -211,104 +218,61 @@ func (s *PodScheduler) AttachRemoteMemory(owner string, cpu topo.PodBrickID, siz
 
 // attachCross provisions a cross-rack attachment: a segment on another
 // rack's dMEMBRICK, a circuit through the pod switch, and the TGL
-// window on the home rack's compute brick. Every completed step rolls
-// back on failure; exhaustion of circuit resources cascades into the
-// pod-tier packet fallback.
+// window on the home rack's compute brick — one OpAttach through the
+// lifecycle engine, so every completed step rolls back on failure.
+// Exhaustion of circuit resources cascades into the pod-tier packet
+// fallback.
 func (s *PodScheduler) attachCross(owner string, cpu topo.PodBrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
 	rackA := s.racks[cpu.Rack]
-	node, ok := rackA.computes[cpu.Brick]
-	if !ok {
-		return nil, 0, fmt.Errorf("sdm: no compute brick %v", cpu)
+	op := planAttach(s.cfg, owner, size, rackA, cpu.Brick,
+		func() (memPick, bool, error) {
+			memRack, ok := s.pickMemoryRack(size, cpu.Rack)
+			if !ok {
+				return memPick{}, true, fmt.Errorf("sdm: no rack in the pod with %v contiguous free and a spare port", size)
+			}
+			memID, ok := s.racks[memRack].pickMemory(size)
+			if !ok {
+				return memPick{}, false, fmt.Errorf("sdm: rack %d memory vanished mid-selection", memRack)
+			}
+			return memPick{rack: s.racks[memRack], rackIdx: memRack, brick: memID}, false, nil
+		},
+		func(memRack int) connector { return s.tier(cpu.Rack, memRack) },
+		false,
+		func(att *Attachment, memRack int) {
+			att.CPURack, att.MemRack = cpu.Rack, memRack
+			att.cross = s
+			rackA.attachments[owner] = append(rackA.attachments[owner], att)
+			s.crossHosts[cpu] = append(s.crossHosts[cpu], att)
+			s.addCrossOrder(att)
+		})
+	lat, err := op.Commit()
+	if err != nil {
+		if op.fallback {
+			if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
+				return att, lat + fl, nil
+			}
+		}
+		return nil, 0, err
 	}
-	if size == 0 {
-		return nil, 0, fmt.Errorf("sdm: zero-size attachment")
-	}
-	lat := s.cfg.DecisionLatency
+	return op.att, lat, nil
+}
 
-	cpuPort, err := node.Brick.Ports.Acquire()
-	if err != nil {
-		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
-			return att, lat + fl, nil
-		}
-		return nil, 0, err
-	}
-	memRack, ok := s.pickMemoryRack(size, cpu.Rack)
-	if !ok {
-		node.Brick.Ports.Release(cpuPort)
-		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
-			return att, lat + fl, nil
-		}
-		return nil, 0, fmt.Errorf("sdm: no rack in the pod with %v contiguous free and a spare port", size)
-	}
-	rackB := s.racks[memRack]
-	memID, ok := rackB.pickMemory(size)
-	if !ok {
-		node.Brick.Ports.Release(cpuPort)
-		return nil, 0, fmt.Errorf("sdm: rack %d memory vanished mid-selection", memRack)
-	}
-	m := rackB.memories[memID]
-	if m.State() == brick.PowerOff {
-		m.PowerOn()
-		lat += s.cfg.BrickBoot
-	}
-	seg, err := m.Carve(size, owner)
-	if err != nil {
-		node.Brick.Ports.Release(cpuPort)
-		return nil, 0, err
-	}
-	memPort, err := m.Ports.Acquire()
-	if err != nil {
-		node.Brick.Ports.Release(cpuPort)
-		m.Release(seg)
-		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
-			return att, lat + fl, nil
-		}
-		return nil, 0, err
-	}
-	circuit, reconfig, err := s.fabric.ConnectCross(cpu.Rack, cpuPort, memRack, memPort)
-	if err != nil {
-		m.Ports.Release(memPort)
-		node.Brick.Ports.Release(cpuPort)
-		m.Release(seg)
-		if att, fl, ferr := s.attachPacketCross(owner, cpu, size); ferr == nil {
-			return att, lat + fl, nil
-		}
-		return nil, 0, err
-	}
-	lat += reconfig
-	window := tgl.Entry{
-		Base:       rackA.nextWindow[cpu.Brick],
-		Size:       uint64(size),
-		Dest:       memID,
-		DestOffset: uint64(seg.Offset),
-		Port:       cpuPort,
-	}
-	if err := node.Agent.Glue.Attach(window); err != nil {
-		s.fabric.DisconnectCross(circuit)
-		m.Ports.Release(memPort)
-		node.Brick.Ports.Release(cpuPort)
-		m.Release(seg)
-		return nil, 0, err
-	}
-	lat += s.cfg.AgentRTT
-	rackA.nextWindow[cpu.Brick] += uint64(size)
+// addCrossOrder stamps an attachment with the next spill sequence
+// number and appends it to the rebalancer's oldest-first walk order.
+func (s *PodScheduler) addCrossOrder(att *Attachment) {
+	s.attachSeq++
+	att.seq = s.attachSeq
+	s.crossOrder = append(s.crossOrder, att)
+}
 
-	att := &Attachment{
-		Owner:   owner,
-		CPU:     cpu.Brick,
-		Segment: seg,
-		Circuit: circuit,
-		CPUPort: cpuPort,
-		MemPort: memPort,
-		Window:  window,
-		Mode:    ModeCircuit,
-		CPURack: cpu.Rack,
-		MemRack: memRack,
-		cross:   s,
+// removeCrossOrder drops an attachment from the rebalancer walk order.
+func (s *PodScheduler) removeCrossOrder(att *Attachment) {
+	for i, a := range s.crossOrder {
+		if a == att {
+			s.crossOrder = append(s.crossOrder[:i], s.crossOrder[i+1:]...)
+			return
+		}
 	}
-	rackA.attachments[owner] = append(rackA.attachments[owner], att)
-	s.crossHosts[cpu] = append(s.crossHosts[cpu], att)
-	return att, lat, nil
 }
 
 // attachPacketCross preserves the packet fallback across the pod tier:
@@ -366,6 +330,7 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 	}
 	s.riders[host.Circuit]++
 	rackA.attachments[owner] = append(rackA.attachments[owner], att)
+	s.addCrossOrder(att)
 	return att, s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 }
 
@@ -386,15 +351,7 @@ func (s *PodScheduler) DetachRemoteMemory(att *Attachment) (sim.Duration, error)
 func (s *PodScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 	s.requests++
 	rackA := s.racks[att.CPURack]
-	list := rackA.attachments[att.Owner]
-	idx := -1
-	for i, a := range list {
-		if a == att {
-			idx = i
-			break
-		}
-	}
-	if idx == -1 {
+	if !rackA.registered(att) {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-rack attachment for %q on %v not live", att.Owner, att.CPU)
 	}
@@ -414,40 +371,97 @@ func (s *PodScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 		if s.riders[att.Circuit] <= 0 {
 			delete(s.riders, att.Circuit)
 		}
-		rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+		rackA.unregister(att)
+		s.removeCrossOrder(att)
 		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 	}
 	if n := s.riders[att.Circuit]; n > 0 {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-rack circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
-	lat := s.cfg.DecisionLatency
-	if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
-		s.failures++
-		return 0, err
-	}
-	lat += s.cfg.AgentRTT
-	reconfig, err := s.fabric.DisconnectCross(att.Circuit)
+	op := planDetach(s.cfg, att, rackA, s.racks[att.MemRack], s.tier(att.CPURack, att.MemRack), func() {
+		rackA.unregister(att)
+		s.removeCrossHost(att)
+		s.removeCrossOrder(att)
+	})
+	lat, err := op.Commit()
 	if err != nil {
 		s.failures++
 		return 0, err
 	}
-	lat += reconfig
-	if err := node.Brick.Ports.Release(att.CPUPort); err != nil {
-		s.failures++
-		return 0, err
-	}
-	if err := m.Ports.Release(att.MemPort); err != nil {
-		s.failures++
-		return 0, err
-	}
-	if err := m.Release(att.Segment); err != nil {
-		s.failures++
-		return 0, err
-	}
-	rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
-	s.removeCrossHost(att)
 	return lat, nil
+}
+
+// Repoint re-points an attachment's compute end at any brick in the
+// pod, re-tiering the circuit as the endpoints dictate: it stays (or
+// becomes) a pod-switch circuit when the new compute rack differs from
+// the memory rack, and collapses to a rack-local circuit — releasing
+// both pod uplinks — when the VM lands on the rack that holds its
+// memory. The segment, and the data on it, never move. This is the
+// primitive that lets a VM's remote memory follow it across racks
+// during migration.
+func (s *PodScheduler) Repoint(att *Attachment, newCPU topo.PodBrickID) (tgl.Entry, sim.Duration, error) {
+	if att.cross == nil && att.CPURack == newCPU.Rack {
+		// Purely rack-local: the rack controller owns the bookkeeping.
+		return s.racks[att.CPURack].ReattachRemoteMemory(att, newCPU.Brick)
+	}
+	s.requests++
+	if newCPU.Rack < 0 || newCPU.Rack >= len(s.racks) {
+		s.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: no rack %d in the pod", newCPU.Rack)
+	}
+	oldRack, newRack := s.racks[att.CPURack], s.racks[newCPU.Rack]
+	if !oldRack.registered(att) {
+		s.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: attachment for %q not live", att.Owner)
+	}
+	if _, ok := newRack.computes[newCPU.Brick]; !ok {
+		s.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: no compute brick %v", newCPU)
+	}
+	if newCPU.Rack == att.CPURack && newCPU.Brick == att.CPU {
+		s.failures++
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: reattach to the same brick %v", newCPU)
+	}
+	if err := oldRack.CanRepoint(att); err != nil {
+		s.failures++
+		return tgl.Entry{}, 0, err
+	}
+	wasCross := att.CrossRack()
+	op := planRepoint(s.cfg, att, oldRack, newRack, newCPU.Brick,
+		s.tier(att.CPURack, att.MemRack), s.tier(newCPU.Rack, att.MemRack),
+		func(newCPUPort topo.PortID, circuit *optical.Circuit, window tgl.Entry) {
+			// Owner registration follows the compute rack.
+			if att.CPURack != newCPU.Rack {
+				oldRack.unregister(att)
+				newRack.attachments[att.Owner] = append(newRack.attachments[att.Owner], att)
+			}
+			if wasCross {
+				s.removeCrossHost(att)
+				s.removeCrossOrder(att)
+			} else {
+				oldRack.removeCircuitHost(att)
+			}
+			att.CPU = newCPU.Brick
+			att.CPUPort = newCPUPort
+			att.Circuit = circuit
+			att.Window = window
+			att.CPURack = newCPU.Rack
+			if att.CrossRack() {
+				att.cross = s
+				s.crossHosts[newCPU] = append(s.crossHosts[newCPU], att)
+				s.addCrossOrder(att)
+			} else {
+				att.cross = nil
+				newRack.circuitHosts[newCPU.Brick] = append(newRack.circuitHosts[newCPU.Brick], att)
+			}
+		})
+	lat, err := op.Commit()
+	if err != nil {
+		s.failures++
+		return tgl.Entry{}, 0, err
+	}
+	return att.Window, lat, nil
 }
 
 // removeCrossHost drops a cross-rack circuit attachment from the

@@ -15,8 +15,15 @@ import (
 // brick each) for scheduler tests.
 func buildPodSched(t *testing.T, racks int, memCap brick.Bytes, uplinks int, cfg Config) *PodScheduler {
 	t.Helper()
+	return buildPodSchedSpec(t, racks, memCap, uplinks, cfg, 1)
+}
+
+// buildPodSchedSpec is buildPodSched with a configurable compute brick
+// count per rack, for re-point scenarios that need a second brick.
+func buildPodSchedSpec(t *testing.T, racks int, memCap brick.Bytes, uplinks int, cfg Config, computes int) *PodScheduler {
+	t.Helper()
 	pod, err := topo.BuildPod(racks, topo.BuildSpec{
-		Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 4,
+		Trays: 1, ComputePerTray: computes, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -242,8 +249,14 @@ func TestPodSpreadPolicyBalancesRacks(t *testing.T) {
 	}
 }
 
-func TestPodReattachRefusedForCrossAttachments(t *testing.T) {
-	s := buildPodSched(t, 2, brick.GiB, 4, DefaultConfig)
+// TestPodReattachRoutesCrossAttachments pins the lifecycle-engine
+// routing: a rack-local ReattachRemoteMemory of a cross-rack
+// attachment no longer refuses — it re-points through the pod tier, so
+// the circuit keeps its pod uplinks instead of silently dropping to
+// the rack fabric. Re-pointing at the brick it already occupies is
+// still refused.
+func TestPodReattachRoutesCrossAttachments(t *testing.T) {
+	s := buildPodSchedSpec(t, 2, brick.GiB, 4, DefaultConfig, 2)
 	cpu, _, err := s.ReserveCompute("vm", 1, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +268,45 @@ func TestPodReattachRefusedForCrossAttachments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Rack(0).ReattachRemoteMemory(spill, topo.BrickID{Tray: 0, Slot: 0}); err == nil {
-		t.Fatal("rack-local reattach of a cross-rack attachment accepted")
+	if !spill.CrossRack() {
+		t.Fatal("expected a cross-rack spill")
+	}
+	if _, _, err := s.Rack(0).ReattachRemoteMemory(spill, spill.CPU); err == nil {
+		t.Fatal("reattach to the same brick accepted")
+	}
+	// Find the home rack's other compute brick.
+	other := topo.BrickID{}
+	found := false
+	for _, b := range s.pod.Rack(0).BricksOfKind(topo.KindCompute) {
+		if b.ID != spill.CPU {
+			other, found = b.ID, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no second compute brick")
+	}
+	win, lat, err := s.Rack(0).ReattachRemoteMemory(spill, other)
+	if err != nil {
+		t.Fatalf("rack-local reattach of a cross-rack attachment: %v", err)
+	}
+	if lat <= 0 {
+		t.Fatal("re-point charged no latency")
+	}
+	if spill.CPU != other || !spill.CrossRack() || spill.MemRack != 1 {
+		t.Fatalf("after re-point: CPU=%v CPURack=%d MemRack=%d", spill.CPU, spill.CPURack, spill.MemRack)
+	}
+	if s.Fabric().CrossCircuits() != 1 {
+		t.Fatalf("cross circuits = %d, want 1 (pod tier kept)", s.Fabric().CrossCircuits())
+	}
+	if win.Port != spill.CPUPort {
+		t.Fatal("window does not name the new CPU port")
+	}
+	// Teardown still routes through the pod tier cleanly.
+	if _, err := s.DetachRemoteMemory(spill); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fabric().CrossCircuits() != 0 {
+		t.Fatal("cross circuit survived detach")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/brick"
+	"repro/internal/optical"
 	"repro/internal/sim"
 	"repro/internal/tgl"
 	"repro/internal/topo"
@@ -52,33 +53,24 @@ func (c *Controller) ReserveComputeExcept(owner string, vcpus int, localMem bric
 // on the dMEMBRICK — this is what makes VM migration cheap in a
 // disaggregated rack. The old circuit is torn down, a new circuit is set
 // up from the new brick, the TGL window is installed on the new brick's
-// agent and removed from the old one. On failure the attachment is left
-// in its original state.
+// agent and removed from the old one — one OpRepoint through the
+// lifecycle engine, so on failure the attachment is left in its
+// original state. Pod-tier cross-rack attachments route to their owning
+// scheduler, which rebuilds the circuit through the pod switch so the
+// re-point never silently drops the pod tier.
 //
 // It returns the new window (migration callers must re-home the
 // baremetal hotplug range) and the orchestration latency.
 func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) (tgl.Entry, sim.Duration, error) {
-	c.requests++
 	if att.cross != nil {
-		// Re-pointing would rebuild the circuit through the rack fabric
-		// and silently drop the pod tier; detach and re-attach instead.
-		c.failures++
-		return tgl.Entry{}, 0, fmt.Errorf("sdm: attachment of %q crosses the pod tier (rack %d -> %d); cross-rack circuits cannot be re-pointed rack-locally", att.Owner, att.CPURack, att.MemRack)
+		return att.cross.Repoint(att, topo.PodBrickID{Rack: att.CPURack, Brick: newCPU})
 	}
-	list := c.attachments[att.Owner]
-	found := false
-	for _, a := range list {
-		if a == att {
-			found = true
-			break
-		}
-	}
-	if !found {
+	c.requests++
+	if !c.registered(att) {
 		c.failures++
 		return tgl.Entry{}, 0, fmt.Errorf("sdm: attachment for %q not live", att.Owner)
 	}
-	newNode, ok := c.computes[newCPU]
-	if !ok {
+	if _, ok := c.computes[newCPU]; !ok {
 		c.failures++
 		return tgl.Entry{}, 0, fmt.Errorf("sdm: no compute brick %v", newCPU)
 	}
@@ -86,86 +78,25 @@ func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) 
 		c.failures++
 		return tgl.Entry{}, 0, fmt.Errorf("sdm: reattach to the same brick %v", newCPU)
 	}
-	if att.Mode == ModePacket {
+	if err := c.CanRepoint(att); err != nil {
 		c.failures++
-		return tgl.Entry{}, 0, fmt.Errorf("sdm: packet-mode attachment for %q cannot be re-pointed; detach and re-attach instead", att.Owner)
+		return tgl.Entry{}, 0, err
 	}
-	if n := c.riders[att.Circuit]; n > 0 {
-		c.failures++
-		return tgl.Entry{}, 0, fmt.Errorf("sdm: circuit for %q carries %d packet-mode riders; re-point them first", att.Owner, n)
-	}
-	oldNode := c.computes[att.CPU]
-	lat := c.cfg.DecisionLatency
-
-	// Acquire the new CPU-side port first; nothing is torn down until
-	// the new resources are secured.
-	newCPUPort, err := newNode.Brick.Ports.Acquire()
+	op := planRepoint(c.cfg, att, c, c, newCPU, c.rackTier(), c.rackTier(),
+		func(newCPUPort topo.PortID, circuit *optical.Circuit, window tgl.Entry) {
+			c.removeCircuitHost(att)
+			att.CPU = newCPU
+			att.CPUPort = newCPUPort
+			att.Circuit = circuit
+			att.Window = window
+			c.circuitHosts[newCPU] = append(c.circuitHosts[newCPU], att)
+		})
+	lat, err := op.Commit()
 	if err != nil {
 		c.failures++
 		return tgl.Entry{}, 0, err
 	}
-	// Tear the old circuit down, freeing the memory-side port for the
-	// new circuit.
-	reconfig1, err := c.fabric.Disconnect(att.Circuit)
-	if err != nil {
-		newNode.Brick.Ports.Release(newCPUPort)
-		c.failures++
-		return tgl.Entry{}, 0, err
-	}
-	lat += reconfig1
-	circuit, reconfig2, err := c.fabric.Connect(newCPUPort, att.MemPort)
-	if err != nil {
-		// Restore the original circuit; the fabric had both ports free a
-		// moment ago, so failure here indicates a real fault.
-		if _, _, rerr := c.fabric.Connect(att.CPUPort, att.MemPort); rerr != nil {
-			c.failures++
-			return tgl.Entry{}, 0, fmt.Errorf("sdm: reattach failed (%v) and rollback failed (%v)", err, rerr)
-		}
-		newNode.Brick.Ports.Release(newCPUPort)
-		c.failures++
-		return tgl.Entry{}, 0, err
-	}
-	lat += reconfig2
-
-	window := tgl.Entry{
-		Base:       c.nextWindow[newCPU],
-		Size:       att.Window.Size,
-		Dest:       att.Segment.Brick,
-		DestOffset: uint64(att.Segment.Offset),
-		Port:       newCPUPort,
-	}
-	if err := newNode.Agent.Glue.Attach(window); err != nil {
-		c.fabric.Disconnect(circuit)
-		newNode.Brick.Ports.Release(newCPUPort)
-		if _, _, rerr := c.fabric.Connect(att.CPUPort, att.MemPort); rerr != nil {
-			c.failures++
-			return tgl.Entry{}, 0, fmt.Errorf("sdm: reattach failed (%v) and rollback failed (%v)", err, rerr)
-		}
-		c.failures++
-		return tgl.Entry{}, 0, err
-	}
-	c.nextWindow[newCPU] += window.Size
-	lat += c.cfg.AgentRTT
-
-	// Remove the old window and release the old CPU port; past this
-	// point the attachment is fully re-homed.
-	if err := oldNode.Agent.Glue.Detach(att.Window.Base); err != nil {
-		c.failures++
-		return tgl.Entry{}, 0, fmt.Errorf("sdm: old window removal: %w", err)
-	}
-	lat += c.cfg.AgentRTT
-	if err := oldNode.Brick.Ports.Release(att.CPUPort); err != nil {
-		c.failures++
-		return tgl.Entry{}, 0, err
-	}
-
-	c.removeCircuitHost(att)
-	att.CPU = newCPU
-	att.CPUPort = newCPUPort
-	att.Circuit = circuit
-	att.Window = window
-	c.circuitHosts[newCPU] = append(c.circuitHosts[newCPU], att)
-	return window, lat, nil
+	return att.Window, lat, nil
 }
 
 func (c *Controller) pickComputeExcept(vcpus int, localMem brick.Bytes, exclude topo.BrickID) (topo.BrickID, bool) {

@@ -1,0 +1,224 @@
+package sdm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/topo"
+)
+
+// reattachRack builds a 2-compute/2-memory rack with the packet
+// fallback on and a configurable RMST capacity, for re-point edge
+// cases.
+func reattachRack(t *testing.T, rmst int) *Controller {
+	t.Helper()
+	rack, err := topo.Build(topo.BuildSpec{
+		Trays: 1, ComputePerTray: 2, MemoryPerTray: 2, AccelPerTray: 0, PortsPerBrick: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := optical.NewSwitch(optical.Polatis48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig
+	cfg.PacketFallback = true
+	cfg.RMSTCapacity = rmst
+	ctrl, err := NewController(rack, optical.NewFabric(sw), BrickConfigs{
+		Memory: brick.MemoryConfig{Capacity: 16 * brick.GiB},
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctrl
+}
+
+// otherCompute returns the compute brick that is not exclude.
+func otherCompute(t *testing.T, c *Controller, exclude topo.BrickID) topo.BrickID {
+	t.Helper()
+	for _, id := range c.computeOrder {
+		if id != exclude {
+			return id
+		}
+	}
+	t.Fatal("no second compute brick")
+	return topo.BrickID{}
+}
+
+// TestReattachRethreadsAfterRiderDetaches covers the rider
+// re-threading contract: a ridden circuit refuses to move, moves once
+// its rider detaches, and the re-pointed circuit immediately hosts new
+// packet riders on its new brick.
+func TestReattachRethreadsAfterRiderDetaches(t *testing.T) {
+	c := reattachRack(t, 32)
+	cpu, _, err := c.ReserveCompute("vm", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _, err := c.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the CPU-side ports so the next attach rides the circuit.
+	for i := 0; i < 7; i++ {
+		if _, _, err := c.AttachRemoteMemory("vm", cpu, brick.GiB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rider, _, err := c.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rider.Mode != ModePacket || rider.Circuit != host.Circuit {
+		// The fallback picks the first live circuit from this brick
+		// deterministically, which is the host's.
+		t.Fatalf("setup: rider mode %v on wrong circuit", rider.Mode)
+	}
+	other := otherCompute(t, c, cpu)
+	// A ridden circuit refuses to move, in both directions: the rider
+	// has no circuit of its own and the host would strand it.
+	if _, _, err := c.ReattachRemoteMemory(rider, other); err == nil {
+		t.Fatal("packet-mode rider re-pointed")
+	}
+	if _, _, err := c.ReattachRemoteMemory(host, other); err == nil {
+		t.Fatal("ridden host circuit re-pointed")
+	}
+	if err := c.CanRepoint(host); err == nil || !strings.Contains(err.Error(), "riders") {
+		t.Fatalf("CanRepoint(host) = %v, want a riders refusal", err)
+	}
+	// Detach the rider: the host is movable again.
+	if _, err := c.DetachRemoteMemory(rider); err != nil {
+		t.Fatal(err)
+	}
+	win, _, err := c.ReattachRemoteMemory(host, other)
+	if err != nil {
+		t.Fatalf("re-point after rider detached: %v", err)
+	}
+	if host.CPU != other || win.Port != host.CPUPort {
+		t.Fatalf("host on %v port %v after re-point", host.CPU, host.CPUPort)
+	}
+	// The moved circuit re-threads riders on its new brick: a packet
+	// attach from the new brick rides it (its ports are untouched, so
+	// force the fallback by exhausting them first).
+	if _, _, err := c.ReserveCompute("vm2", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	node, _ := c.Compute(other)
+	var burned []topo.PortID
+	for node.Brick.Ports.Free() > 0 {
+		p, err := node.Brick.Ports.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		burned = append(burned, p)
+	}
+	rethreaded, _, err := c.AttachRemoteMemory("vm2", other, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rethreaded.Mode != ModePacket || rethreaded.Circuit != host.Circuit {
+		t.Fatalf("new rider mode %v, circuit shared=%v", rethreaded.Mode, rethreaded.Circuit == host.Circuit)
+	}
+	if n := c.Riders(host); n != 1 {
+		t.Fatalf("riders on moved circuit = %d, want 1", n)
+	}
+	for _, p := range burned {
+		node.Brick.Ports.Release(p)
+	}
+}
+
+// TestReattachRollbackRestoresLiveCircuit is the lifecycle-engine
+// rollback regression: when the re-point fails after the old circuit
+// was already torn down (destination RMST full), the rollback must
+// leave the attachment on a live, detachable circuit — the engine
+// re-points the attachment at the freshly reconnected circuit instead
+// of leaving a stale pointer.
+func TestReattachRollbackRestoresLiveCircuit(t *testing.T) {
+	c := reattachRack(t, 1)
+	cpu, _, err := c.ReserveCompute("vm", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, _, err := c.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the destination brick's single RMST slot so the re-point
+	// fails only at the window-install step, after the circuit swap.
+	other := otherCompute(t, c, cpu)
+	if _, _, err := c.ReserveCompute("vm2", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	blocker, _, err := c.AttachRemoteMemory("vm2", other, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := c.fabric.LiveCircuits()
+	if _, _, err := c.ReattachRemoteMemory(att, other); err == nil {
+		t.Fatal("re-point into a full RMST accepted")
+	}
+	if c.fabric.LiveCircuits() != free {
+		t.Fatalf("live circuits = %d after rollback, want %d", c.fabric.LiveCircuits(), free)
+	}
+	if att.CPU != cpu {
+		t.Fatal("attachment moved despite rollback")
+	}
+	// The restored circuit is live: translation and teardown both work.
+	node, _ := c.Compute(cpu)
+	if _, err := node.Agent.Glue.TranslateRange(att.Window.Base, 64); err != nil {
+		t.Fatalf("window broken after rollback: %v", err)
+	}
+	if _, err := c.DetachRemoteMemory(att); err != nil {
+		t.Fatalf("detach after rollback: %v", err)
+	}
+	if _, err := c.DetachRemoteMemory(blocker); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReserveComputeExceptExhaustion covers the exclusion paths under
+// every placement policy: the excluded brick never serves, even when
+// it is the only brick with room.
+func TestReserveComputeExceptExhaustion(t *testing.T) {
+	for _, policy := range []Policy{PolicyPowerAware, PolicyFirstFit, PolicySpread} {
+		t.Run(policy.String(), func(t *testing.T) {
+			c := testRack(t, policy)
+			if _, _, err := c.ReserveComputeExcept("vm", 0, 0, topo.BrickID{}); err == nil {
+				t.Fatal("zero-vcpu reservation accepted")
+			}
+			cpu, _, err := c.ReserveCompute("vm", 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			other := otherCompute(t, c, cpu)
+			// Fill the other brick completely; only cpu has cores left.
+			node, _ := c.Compute(other)
+			if _, _, err := c.ReserveCompute("hog", node.Brick.Cores-node.Brick.UsedCores(), 0); err != nil {
+				t.Fatal(err)
+			}
+			_, failuresBefore := c.Stats()
+			if _, _, err := c.ReserveComputeExcept("mig", 1, 0, cpu); err == nil {
+				t.Fatal("exclusion violated: reservation landed on the excluded brick")
+			}
+			if _, failures := c.Stats(); failures != failuresBefore+1 {
+				t.Fatalf("failures = %d, want %d", failures, failuresBefore+1)
+			}
+			// Excluding the full brick still works: cpu has room.
+			id, _, err := c.ReserveComputeExcept("mig", 1, 0, other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id == other {
+				t.Fatalf("reservation landed on excluded brick %v", id)
+			}
+			// Local-memory exhaustion is also honoured: ask for more
+			// local memory than any non-excluded brick has.
+			if _, _, err := c.ReserveComputeExcept("mig", 1, 2*node.Brick.LocalMemory, other); err == nil {
+				t.Fatal("local-memory exhaustion not detected")
+			}
+		})
+	}
+}

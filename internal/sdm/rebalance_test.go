@@ -1,0 +1,217 @@
+package sdm
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+)
+
+// TestRebalancePromotesWhenCapacityFrees is the rebalancer acceptance
+// scenario: spill cross-rack, free the home rack, sweep — the
+// attachment comes home, both pod uplinks are released, and the data
+// path collapses to the rack fabric.
+func TestRebalancePromotesWhenCapacityFrees(t *testing.T) {
+	s := buildPodSched(t, 2, 2*brick.GiB, 4, DefaultConfig)
+	cpu, _, err := s.ReserveCompute("app", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, _, err := s.AttachRemoteMemory("hog", cpu, 2*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, _, err := s.AttachRemoteMemory("app", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spill.CrossRack() || spill.MemRack != 1 {
+		t.Fatal("setup: expected a cross-rack spill onto rack 1")
+	}
+	crossHops := spill.Circuit.Hops
+	base := spill.Window.Base
+
+	// Nothing to do while the home rack is still full.
+	rep := s.Rebalance(0)
+	if rep.Scanned != 1 || rep.Promoted != 0 || rep.SkippedNoRoom != 1 {
+		t.Fatalf("full home rack: %+v", rep)
+	}
+
+	// Free the home rack; the sweep promotes.
+	if _, err := s.DetachRemoteMemory(hog); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := s.Fabric().FreeUplinks(0) + s.Fabric().FreeUplinks(1)
+	rep = s.Rebalance(0)
+	if rep.Promoted != 1 || rep.FreedUplinks != 2 {
+		t.Fatalf("rebalance: %+v", rep)
+	}
+	if rep.Latency <= 0 {
+		t.Fatal("promotion charged no latency")
+	}
+	if got := s.Fabric().FreeUplinks(0) + s.Fabric().FreeUplinks(1); got != freeBefore+2 {
+		t.Fatalf("free uplinks = %d, want %d", got, freeBefore+2)
+	}
+	if s.Fabric().CrossCircuits() != 0 {
+		t.Fatal("cross circuit survived promotion")
+	}
+	if spill.CrossRack() || spill.MemRack != 0 {
+		t.Fatalf("attachment still on rack %d", spill.MemRack)
+	}
+	if spill.Window.Base != base {
+		t.Fatal("promotion moved the guest-visible window base")
+	}
+	if spill.Circuit.Hops >= crossHops {
+		t.Fatalf("promoted circuit hops %d not below cross-rack %d", spill.Circuit.Hops, crossHops)
+	}
+	if free := s.Rack(1).FreeMemory(); free != 2*brick.GiB {
+		t.Fatalf("remote rack free memory = %v, want all of it back", free)
+	}
+	if s.Promoted() != 1 {
+		t.Fatalf("promoted counter = %d", s.Promoted())
+	}
+	// The attachment is fully functional rack-local: the window still
+	// translates and teardown is clean.
+	node, _ := s.Rack(0).Compute(spill.CPU)
+	if _, err := node.Agent.Glue.TranslateRange(spill.Window.Base, 64); err != nil {
+		t.Fatalf("window broken after promotion: %v", err)
+	}
+	if _, err := s.DetachRemoteMemory(spill); err != nil {
+		t.Fatalf("detach after promotion: %v", err)
+	}
+	if free := s.Rack(0).FreeMemory(); free != 2*brick.GiB {
+		t.Fatalf("home rack free memory = %v after detach", free)
+	}
+}
+
+// TestRebalanceOldestFirst pins the walk order: when home capacity
+// frees for only one of two spills, the older spill wins.
+func TestRebalanceOldestFirst(t *testing.T) {
+	// Home brick 3 GiB: hog takes 3, two 1 GiB spills follow; freeing
+	// the hog leaves room for both, but a second hog re-fills 2 GiB so
+	// only one promotion fits.
+	s := buildPodSched(t, 2, 3*brick.GiB, 4, DefaultConfig)
+	cpu, _, err := s.ReserveCompute("app", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, _, err := s.AttachRemoteMemory("hog", cpu, 3*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := s.AttachRemoteMemory("old", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := s.AttachRemoteMemory("young", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.CrossRack() || !second.CrossRack() {
+		t.Fatal("setup: expected two cross-rack spills")
+	}
+	if _, err := s.DetachRemoteMemory(hog); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AttachRemoteMemory("hog2", cpu, 2*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Rebalance(0)
+	if rep.Promoted != 1 || rep.SkippedNoRoom != 1 {
+		t.Fatalf("rebalance: %+v", rep)
+	}
+	if first.CrossRack() {
+		t.Fatal("older spill not promoted")
+	}
+	if !second.CrossRack() {
+		t.Fatal("younger spill promoted ahead of the older one")
+	}
+}
+
+// TestRebalanceSkipsEntangledCircuits pins rider safety: packet-mode
+// riders and the circuits they ride are left in place.
+func TestRebalanceSkipsEntangledCircuits(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.PacketFallback = true
+	// One uplink: the second spill must ride the first in packet mode.
+	s := buildPodSched(t, 2, 2*brick.GiB, 1, cfg)
+	cpu, _, err := s.ReserveCompute("app", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, _, err := s.AttachRemoteMemory("hog", cpu, 2*brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, _, err := s.AttachRemoteMemory("app", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rider, _, err := s.AttachRemoteMemory("app", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Mode != ModeCircuit || rider.Mode != ModePacket {
+		t.Fatal("setup: expected a circuit host and a packet rider")
+	}
+	if _, err := s.DetachRemoteMemory(hog); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Rebalance(0)
+	if rep.Promoted != 0 || rep.SkippedRiders != 1 || rep.SkippedPacket != 1 {
+		t.Fatalf("entangled sweep: %+v", rep)
+	}
+	// Detach the rider; the host is now free to come home.
+	if _, err := s.DetachRemoteMemory(rider); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.Rebalance(0)
+	if rep.Promoted != 1 {
+		t.Fatalf("post-rider sweep: %+v", rep)
+	}
+	if host.CrossRack() {
+		t.Fatal("host not promoted after rider detached")
+	}
+}
+
+// TestRehomeSideways drains a rack's memory onto a third rack: the
+// memory end moves while the compute end and window base stay put.
+func TestRehomeSideways(t *testing.T) {
+	s := buildPodSched(t, 3, 2*brick.GiB, 4, DefaultConfig)
+	cpu, _, err := s.ReserveCompute("app", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AttachRemoteMemory("hog", cpu, 2*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	spill, _, err := s.AttachRemoteMemory("app", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spill.MemRack != 1 {
+		t.Fatalf("setup: spill landed on rack %d, want 1", spill.MemRack)
+	}
+	base := spill.Window.Base
+	if _, err := s.Rehome(spill, 2); err != nil {
+		t.Fatalf("sideways rehome: %v", err)
+	}
+	if spill.MemRack != 2 || !spill.CrossRack() {
+		t.Fatalf("after rehome: MemRack=%d", spill.MemRack)
+	}
+	if spill.Window.Base != base {
+		t.Fatal("rehome moved the guest-visible window base")
+	}
+	if free := s.Rack(1).FreeMemory(); free != 2*brick.GiB {
+		t.Fatalf("drained rack still holds %v", 2*brick.GiB-free)
+	}
+	if s.Fabric().CrossCircuits() != 1 {
+		t.Fatalf("cross circuits = %d, want 1", s.Fabric().CrossCircuits())
+	}
+	// Re-homing onto the rack it already occupies is refused.
+	if _, err := s.Rehome(spill, 2); err == nil {
+		t.Fatal("rehome onto the same rack accepted")
+	}
+	if _, err := s.DetachRemoteMemory(spill); err != nil {
+		t.Fatal(err)
+	}
+}

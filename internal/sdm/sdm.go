@@ -138,6 +138,9 @@ type Attachment struct {
 	// queries route there, so rack-local callers (scale-up controllers)
 	// handle pod attachments without knowing about the pod.
 	cross *PodScheduler
+	// seq is the pod scheduler's spill sequence number, the rebalancer's
+	// oldest-first walk order; zero for attachments that never crossed.
+	seq uint64
 }
 
 // CrossRack reports whether the attachment crosses the pod tier.
