@@ -1,0 +1,28 @@
+# Build, test and benchmark entry points. `make bench` runs the full
+# evaluation benchmark suite with -benchmem and records the result as
+# BENCH_baseline.json (via cmd/benchjson) — the committed baseline the
+# perf trajectory is measured against. BENCHTIME trades precision for
+# wall time: CI smoke uses 1x, the committed baseline a longer run.
+
+GO ?= go
+BENCHTIME ?= 500x
+
+# The bench target pipes `go test` into benchjson; without pipefail a
+# mid-suite benchmark failure would be masked by benchjson's exit 0.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: build test vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_baseline.json

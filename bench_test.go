@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/brick"
@@ -20,7 +21,9 @@ import (
 	"repro/internal/exp"
 	"repro/internal/hypervisor"
 	"repro/internal/mem"
+	"repro/internal/optical"
 	"repro/internal/pktnet"
+	"repro/internal/sdm"
 	"repro/internal/sim"
 	"repro/internal/tco"
 	"repro/internal/tgl"
@@ -75,6 +78,192 @@ func BenchmarkFig10ScaleUp(b *testing.B) {
 	}
 	b.ReportMetric(up32.Seconds(), "scaleup32-avg-s")
 	b.ReportMetric(out.Seconds(), "scaleout-avg-s")
+}
+
+// fig10PodBenchRacks is the pod size of the Fig. 10 pod placement
+// benchmark — the acceptance scale of the indexed placement engine.
+const fig10PodBenchRacks = 16
+
+// benchRackSpec is the per-rack inventory of the placement benchmark:
+// 24 compute and 24 memory bricks per rack (384+384 pod-wide).
+var benchRackSpec = topo.BuildSpec{
+	Trays: 6, ComputePerTray: 4, MemoryPerTray: 4, AccelPerTray: 0, PortsPerBrick: 16,
+}
+
+// benchBrickConfigs sizes bricks so fill rounds leave every memory
+// brick fragmented: 24 GiB pools carved into 2 GiB segments.
+var benchBrickConfigs = sdm.BrickConfigs{
+	Compute: brick.ComputeConfig{Cores: 8, LocalMemory: 32 * brick.GiB},
+	Memory:  brick.MemoryConfig{Capacity: 24 * brick.GiB},
+}
+
+// benchSDMConfig returns the scheduler config of the placement
+// benchmark: the spread policy (the worst case for linear scans and the
+// target of the ordered indexes) under the given scan mode.
+func benchSDMConfig(scan sdm.ScanMode) sdm.Config {
+	cfg := sdm.DefaultConfig
+	cfg.Policy = sdm.PolicySpread
+	cfg.Scan = scan
+	return cfg
+}
+
+// benchRackFabric builds one rack's circuit fabric.
+func benchRackFabric(b *testing.B, ports int) *optical.Fabric {
+	b.Helper()
+	sw, err := optical.NewSwitch(optical.SwitchConfig{
+		Ports:           ports,
+		InsertionLossDB: optical.Polatis48.InsertionLossDB,
+		PortPowerW:      optical.Polatis48.PortPowerW,
+		ReconfigTime:    optical.Polatis48.ReconfigTime,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return optical.NewFabric(sw)
+}
+
+// computeIDs returns a rack's compute brick IDs in controller order.
+func computeIDs(rack *topo.Rack) []topo.BrickID {
+	var ids []topo.BrickID
+	for _, br := range rack.Bricks() {
+		if br.Spec.Kind == topo.KindCompute {
+			ids = append(ids, br.ID)
+		}
+	}
+	return ids
+}
+
+// fillController fragments every memory brick of one rack controller:
+// `rounds` passes, each attaching one 2 GiB segment per memory brick
+// (the spread policy rotates the fills evenly). After eleven rounds
+// each 24 GiB brick holds eleven segments and a 2 GiB tail gap.
+func fillController(b *testing.B, c *sdm.Controller, rack *topo.Rack, rounds int, tag string) {
+	b.Helper()
+	cpus := computeIDs(rack)
+	mems := rack.Count(topo.KindMemory)
+	for round := 0; round < rounds; round++ {
+		for j := 0; j < mems; j++ {
+			owner := fmt.Sprintf("fill-%s-%d-%d", tag, round, j)
+			if _, _, err := c.AttachRemoteMemory(owner, cpus[j%len(cpus)], 2*brick.GiB); err != nil {
+				b.Fatalf("fill %s round %d brick %d: %v", tag, round, j, err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Pod measures the placement throughput behind the
+// pod-scale Fig. 10 sweep at 16 racks, indexed against the pre-index
+// linear-scan path (sdm.ScanLinear reproduces the seed's full rescans,
+// including the O(segments) largest-gap probes).
+//
+// The pod variant drives cross-rack spill churn — the O(racks × bricks)
+// worst case the ROADMAP item calls out: every home rack is fragmented
+// full, so each attach fails rack-locally and the pod tier must pick a
+// spill rack. The global variant drives the same churn against one
+// monolithic controller owning all 16 racks' bricks. Setup is excluded
+// from the timing; the metric is placements (attach decisions) per
+// wall-clock second.
+func BenchmarkFig10Pod(b *testing.B) {
+	const churn = 32 // attach+detach pairs per iteration
+
+	b.Run("pod-16racks", func(b *testing.B) {
+		for _, scan := range []sdm.ScanMode{sdm.ScanIndexed, sdm.ScanLinear} {
+			b.Run(scan.String(), func(b *testing.B) {
+				racks := fig10PodBenchRacks
+				pod, err := topo.BuildPod(racks, benchRackSpec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fabrics := make([]*optical.Fabric, racks)
+				for i := range fabrics {
+					fabrics[i] = benchRackFabric(b, 768)
+				}
+				pf, err := optical.NewPodFabric(optical.DefaultPodProfile, fabrics)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched, err := sdm.NewPodScheduler(pod, pf, benchBrickConfigs, benchSDMConfig(scan))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched.PowerOnAll()
+				// Fragment racks 0..N-2 full (2 GiB tail gaps, too small
+				// for the 3 GiB churn size); the last rack keeps room.
+				for r := 0; r < racks-1; r++ {
+					fillController(b, sched.Rack(r), pod.Rack(r), 11, fmt.Sprintf("r%d", r))
+				}
+				fillController(b, sched.Rack(racks-1), pod.Rack(racks-1), 6, "target")
+				homeCPUs := make([][]topo.BrickID, racks)
+				for r := range homeCPUs {
+					homeCPUs[r] = computeIDs(pod.Rack(r))
+				}
+				owners := make([]string, churn)
+				for v := range owners {
+					owners[v] = fmt.Sprintf("churn%d", v)
+				}
+				b.ResetTimer()
+				placements := 0
+				for i := 0; i < b.N; i++ {
+					for v := 0; v < churn; v++ {
+						home := v % (racks - 1)
+						cpu := topo.PodBrickID{Rack: home, Brick: homeCPUs[home][v%len(homeCPUs[home])]}
+						att, _, err := sched.AttachRemoteMemory(owners[v], cpu, 3*brick.GiB)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !att.CrossRack() {
+							b.Fatal("churn attachment did not spill cross-rack")
+						}
+						placements++
+						if _, err := sched.DetachRemoteMemory(att); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(placements)/b.Elapsed().Seconds(), "placements/s")
+			})
+		}
+	})
+
+	b.Run("global-sdm", func(b *testing.B) {
+		for _, scan := range []sdm.ScanMode{sdm.ScanIndexed, sdm.ScanLinear} {
+			b.Run(scan.String(), func(b *testing.B) {
+				spec := benchRackSpec
+				spec.Trays *= fig10PodBenchRacks
+				rack, err := topo.Build(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fabric := benchRackFabric(b, 768*fig10PodBenchRacks)
+				ctrl, err := sdm.NewController(rack, fabric, benchBrickConfigs, benchSDMConfig(scan))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctrl.PowerOnAll()
+				fillController(b, ctrl, rack, 11, "global")
+				cpus := computeIDs(rack)
+				owners := make([]string, churn)
+				for v := range owners {
+					owners[v] = fmt.Sprintf("churn%d", v)
+				}
+				b.ResetTimer()
+				placements := 0
+				for i := 0; i < b.N; i++ {
+					for v := 0; v < churn; v++ {
+						att, _, err := ctrl.AttachRemoteMemory(owners[v], cpus[v%len(cpus)], 2*brick.GiB)
+						if err != nil {
+							b.Fatal(err)
+						}
+						placements++
+						if _, err := ctrl.DetachRemoteMemory(att); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(placements)/b.Elapsed().Seconds(), "placements/s")
+			})
+		}
+	})
 }
 
 // BenchmarkTable1Workloads regenerates Table I: the six VM workload

@@ -222,6 +222,17 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool) {
 		fmt.Printf("pod circuits now: %d\n\n", pod.Fabric().CrossCircuits())
 	}
 
+	// The scheduler's per-rack free aggregates — O(1) reads off each
+	// rack controller's placement-index root, the quantities pod-tier
+	// rack choice is arithmetic over.
+	fmt.Println("== per-rack free aggregates (placement-index roots) ==")
+	for i := 0; i < pod.Racks(); i++ {
+		r := pod.Scheduler().Rack(i)
+		fmt.Printf("  rack %d: %3d free cores, %8v free memory, largest gap %8v, %d free uplinks\n",
+			i, r.FreeCores(), r.FreeMemory(), r.MaxMemoryGap(), pod.Fabric().FreeUplinks(i))
+	}
+	fmt.Println()
+
 	n := pod.PowerOffIdle()
 	fmt.Printf("== power census after sweeping %d idle bricks ==\n", n)
 	for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory} {

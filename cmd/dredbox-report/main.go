@@ -25,7 +25,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	trials := flag.Int("trials", 0, "override the trial/sample count of multi-trial experiments (0 = per-experiment defaults: 500 BER trials/link, 100000 Table I samples)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials (0 = all cores)")
-	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (0 = per-experiment default of 2; minimum 2)")
+	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (pod, fig10pod); 0 = per-experiment defaults, minimum 2 — sweep it to chart the sharding win")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	artifacts := flag.String("artifacts", "", "also write per-experiment .txt/.json/.csv artifacts into this directory")
 	only := flag.String("only", "", "comma-separated experiment names to run (default: all registered)")

@@ -55,6 +55,14 @@ type Memory struct {
 	segments []*Segment // sorted by offset
 	used     Bytes
 	state    PowerState
+
+	// gapCount is a multiset of free-gap sizes and largest its maximum,
+	// maintained incrementally by Carve and Release so LargestGap reads
+	// in O(1) instead of rescanning the segment list — the quantity every
+	// placement-fitness probe asks for.
+	gapCount map[Bytes]int
+	largest  Bytes
+	epoch    uint64
 }
 
 // MemoryConfig parameterizes NewMemory. Zero fields take prototype
@@ -84,6 +92,48 @@ func NewMemory(id topo.BrickID, cfg MemoryConfig) *Memory {
 		Tech:        cfg.Tech,
 		Ports:       NewPortSet(id, cfg.Ports),
 		state:       PowerOff,
+		gapCount:    map[Bytes]int{cfg.Capacity: 1},
+		largest:     cfg.Capacity,
+	}
+}
+
+// Epoch returns a counter bumped by every capacity or power mutation of
+// the brick, including its port set — placement indexes compare it
+// against the epoch they last refreshed at to know when a cached entry
+// is stale.
+func (m *Memory) Epoch() uint64 { return m.epoch + m.Ports.Epoch() }
+
+// addGap records one free gap of the given size.
+func (m *Memory) addGap(sz Bytes) {
+	if sz == 0 {
+		return
+	}
+	m.gapCount[sz]++
+	if sz > m.largest {
+		m.largest = sz
+	}
+}
+
+// removeGap drops one free gap of the given size, recomputing the
+// cached maximum only when the last gap of the current maximum size
+// disappears (a walk over distinct gap sizes, not over segments).
+func (m *Memory) removeGap(sz Bytes) {
+	if sz == 0 {
+		return
+	}
+	if n := m.gapCount[sz] - 1; n > 0 {
+		m.gapCount[sz] = n
+		return
+	}
+	delete(m.gapCount, sz)
+	if sz != m.largest {
+		return
+	}
+	m.largest = 0
+	for g := range m.gapCount {
+		if g > m.largest {
+			m.largest = g
+		}
 	}
 }
 
@@ -92,6 +142,7 @@ func (m *Memory) State() PowerState { return m.state }
 
 // PowerOn transitions the brick to idle or active.
 func (m *Memory) PowerOn() {
+	m.epoch++
 	if len(m.segments) > 0 {
 		m.state = PowerActive
 		return
@@ -104,6 +155,7 @@ func (m *Memory) PowerDown() error {
 	if len(m.segments) > 0 {
 		return fmt.Errorf("memory %v: power down with %d segments allocated", m.ID, len(m.segments))
 	}
+	m.epoch++
 	m.state = PowerOff
 	return nil
 }
@@ -135,53 +187,84 @@ func (m *Memory) Carve(size Bytes, owner string) (*Segment, error) {
 	if size > m.Free() {
 		return nil, fmt.Errorf("memory %v: %v requested, %v free", m.ID, size, m.Free())
 	}
+	if size > m.largest {
+		// Free capacity exists but is fragmented into gaps smaller
+		// than the request.
+		return nil, fmt.Errorf("memory %v: fragmentation prevents %v contiguous segment (%v free total)", m.ID, size, m.Free())
+	}
 	// First-fit gap search over the offset-sorted segment list.
-	var cursor Bytes
+	var cursor, gap Bytes
 	insertAt := len(m.segments)
 	found := false
 	for i, s := range m.segments {
 		if s.Offset-cursor >= size {
-			insertAt = i
+			insertAt, gap = i, s.Offset-cursor
 			found = true
 			break
 		}
 		cursor = s.Offset + s.Size
 	}
 	if !found {
-		if m.Capacity-cursor < size {
-			// Free capacity exists but is fragmented into gaps smaller
-			// than the request.
-			return nil, fmt.Errorf("memory %v: fragmentation prevents %v contiguous segment (%v free total)", m.ID, size, m.Free())
-		}
+		gap = m.Capacity - cursor
 		insertAt = len(m.segments)
 	}
 	seg := &Segment{Brick: m.ID, Offset: cursor, Size: size, Owner: owner}
 	m.segments = append(m.segments, nil)
 	copy(m.segments[insertAt+1:], m.segments[insertAt:])
 	m.segments[insertAt] = seg
+	m.removeGap(gap)
+	m.addGap(gap - size)
 	m.used += size
 	m.state = PowerActive
+	m.epoch++
 	return seg, nil
 }
 
 // Release frees a previously carved segment.
 func (m *Memory) Release(seg *Segment) error {
 	for i, s := range m.segments {
-		if s == seg {
-			m.segments = append(m.segments[:i], m.segments[i+1:]...)
-			m.used -= seg.Size
-			if len(m.segments) == 0 {
-				m.state = PowerIdle
-			}
-			return nil
+		if s != seg {
+			continue
 		}
+		// The freed region merges with the free gaps on either side into
+		// one; the multiset swap keeps the cached maximum exact.
+		var before, after Bytes
+		prevEnd := Bytes(0)
+		if i > 0 {
+			prevEnd = m.segments[i-1].Offset + m.segments[i-1].Size
+		}
+		before = seg.Offset - prevEnd
+		nextStart := m.Capacity
+		if i+1 < len(m.segments) {
+			nextStart = m.segments[i+1].Offset
+		}
+		after = nextStart - (seg.Offset + seg.Size)
+		m.removeGap(before)
+		m.removeGap(after)
+		m.addGap(before + seg.Size + after)
+
+		m.segments = append(m.segments[:i], m.segments[i+1:]...)
+		m.used -= seg.Size
+		m.epoch++
+		if len(m.segments) == 0 {
+			m.state = PowerIdle
+		}
+		return nil
 	}
 	return fmt.Errorf("memory %v: release of unknown segment at offset %v", m.ID, seg.Offset)
 }
 
-// LargestGap returns the largest contiguous free region, which bounds the
-// biggest segment Carve can satisfy.
-func (m *Memory) LargestGap() Bytes {
+// LargestGap returns the largest contiguous free region, which bounds
+// the biggest segment Carve can satisfy. The value is maintained
+// incrementally by Carve and Release, so this is an O(1) read — the
+// property the scheduler's fitness probes depend on.
+func (m *Memory) LargestGap() Bytes { return m.largest }
+
+// LargestGapScan recomputes the largest contiguous free region by
+// scanning the segment list — the pre-index O(segments) path, kept as
+// the ground truth for tests and as the faithful cost model of the
+// linear-scan scheduler baseline.
+func (m *Memory) LargestGapScan() Bytes {
 	var cursor, best Bytes
 	for _, s := range m.segments {
 		if gap := s.Offset - cursor; gap > best {

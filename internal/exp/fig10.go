@@ -179,7 +179,8 @@ func (r Fig10Result) Format() string {
 
 // artifact packages the typed result for the registry.
 func (r Fig10Result) artifact() Result {
-	csv := [][]string{{"concurrency", "scale_up_avg_s", "scale_down_avg_s", "scale_out_avg_s"}}
+	csv := make([][]string, 0, 1+len(r.Rows))
+	csv = append(csv, []string{"concurrency", "scale_up_avg_s", "scale_down_avg_s", "scale_out_avg_s"})
 	for _, row := range r.Rows {
 		csv = append(csv, []string{
 			strconv.Itoa(row.Concurrency),

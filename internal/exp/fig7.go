@@ -89,9 +89,16 @@ func RunFig7(p Params) (Fig7Result, error) {
 	for ch := range logs {
 		logs[ch] = make([]float64, trials)
 	}
-	err = ForEach(p.Workers, nch*trials, func(i int) error {
+	// One generator per pool worker, reseeded per trial — the grid is
+	// the registry's hottest loop, so it must not allocate per cell.
+	rngs := make([]*sim.Rand, Workers(p.Workers))
+	for g := range rngs {
+		rngs[g] = sim.NewRand(0)
+	}
+	err = ForEachWorker(p.Workers, nch*trials, func(g, i int) error {
 		ch, tr := i/trials, i%trials
-		trng := sim.NewRand(TrialSeed(p.Seed, uint64(ch), uint64(tr)))
+		trng := rngs[g]
+		trng.Reseed(TrialSeed(p.Seed, uint64(ch), uint64(tr)))
 		logs[ch][tr] = math.Log10(links[ch].MeasuredBER(res.Receiver, trng, 0.15, bits))
 		return nil
 	})
@@ -99,6 +106,7 @@ func RunFig7(p Params) (Fig7Result, error) {
 		return Fig7Result{}, err
 	}
 
+	res.Channels = make([]ChannelBER, 0, nch)
 	for ch := 0; ch < nch; ch++ {
 		summary, err := stats.Summarize(logs[ch])
 		if err != nil {
@@ -157,7 +165,8 @@ func (r Fig7Result) Format() string {
 
 // artifact packages the typed result for the registry.
 func (r Fig7Result) artifact() Result {
-	csv := [][]string{{"channel", "hops", "launch_dbm", "rx_dbm", "log10ber_min", "log10ber_q1", "log10ber_median", "log10ber_q3", "log10ber_max"}}
+	csv := make([][]string, 0, 1+len(r.Channels))
+	csv = append(csv, []string{"channel", "hops", "launch_dbm", "rx_dbm", "log10ber_min", "log10ber_q1", "log10ber_median", "log10ber_q3", "log10ber_max"})
 	for _, c := range r.Channels {
 		csv = append(csv, []string{
 			strconv.Itoa(c.Channel), strconv.Itoa(c.Hops),

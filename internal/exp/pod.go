@@ -158,7 +158,8 @@ func (r PodResult) RTTRatio() float64 {
 
 // artifact packages the typed result for the registry.
 func (r PodResult) artifact() Result {
-	csv := [][]string{{"target_fill", "savings_frac", "brick_off_frac", "conv_off_frac"}}
+	csv := make([][]string, 0, 1+len(r.Fill))
+	csv = append(csv, []string{"target_fill", "savings_frac", "brick_off_frac", "conv_off_frac"})
 	var peak float64
 	for _, p := range r.Fill {
 		csv = append(csv, []string{

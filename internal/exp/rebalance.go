@@ -126,7 +126,8 @@ func (r RebalanceResult) Format() string {
 
 // artifact packages the typed result for the registry.
 func (r RebalanceResult) artifact() Result {
-	csv := [][]string{{"owner", "size_bytes", "from_rack", "home_rack", "latency_ns"}}
+	csv := make([][]string, 0, 1+len(r.Report.Promotions))
+	csv = append(csv, []string{"owner", "size_bytes", "from_rack", "home_rack", "latency_ns"})
 	for _, p := range r.Report.Promotions {
 		csv = append(csv, []string{
 			p.Owner,

@@ -111,6 +111,18 @@ func init() {
 	}))
 
 	Register(New(Info{
+		Name:   "fig10pod",
+		Paper:  "Extension — pod-scale Fig. 10: sharded SDM vs one global controller",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunFig10Pod(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
 		Name:   "rebalance",
 		Paper:  "Extension — online rebalancer: cross-rack spill promoted rack-local",
 		Trials: 1,

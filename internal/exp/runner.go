@@ -25,6 +25,16 @@ func Workers(n int) int {
 // deterministic, so a failing task fails under every schedule); the
 // lowest-index error is returned.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the worker's pool slot (0..workers-1)
+// passed to fn — the hook hot-loop experiments use to reuse per-worker
+// trial buffers (scratch slices, reseeded generators) instead of
+// allocating per task. Error reporting tracks one lowest-index error
+// per worker and merges at the end, so the pool allocates O(workers)
+// bookkeeping rather than an O(n) error slice per call.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -35,35 +45,44 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if w == 1 {
 		var first error
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil && first == nil {
+			if err := fn(0, i); err != nil && first == nil {
 				first = err
 			}
 		}
 		return first
 	}
-	errs := make([]error, n)
+	type workerErr struct {
+		idx int
+		err error
+	}
+	errs := make([]workerErr, w)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
+			e := &errs[g]
+			e.idx = n
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				if err := fn(g, i); err != nil && i < e.idx {
+					e.idx, e.err = i, err
+				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	best := workerErr{idx: n}
+	for _, e := range errs {
+		if e.err != nil && e.idx < best.idx {
+			best = e
 		}
 	}
-	return nil
+	return best.err
 }
 
 // TrialSeed derives the seed of one trial from the master seed and the

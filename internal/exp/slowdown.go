@@ -116,7 +116,8 @@ func (s SlowdownSweep) MaxSlowdown() float64 {
 
 // artifact packages the typed result for the registry.
 func (s SlowdownSweep) artifact() Result {
-	csv := [][]string{{"remote_fraction", "amat_circuit_ns", "slowdown_circuit", "amat_packet_ns", "slowdown_packet"}}
+	csv := make([][]string, 0, 1+len(s.Circuit))
+	csv = append(csv, []string{"remote_fraction", "amat_circuit_ns", "slowdown_circuit", "amat_packet_ns", "slowdown_packet"})
 	for i := range s.Circuit {
 		c, p := s.Circuit[i], s.Packet[i]
 		csv = append(csv, []string{

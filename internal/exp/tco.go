@@ -92,7 +92,8 @@ func (r Table1Result) Format() string {
 
 // artifact packages the typed result for the registry.
 func (r Table1Result) artifact() Result {
-	csv := [][]string{{"class", "vcpu_lo", "vcpu_hi", "ram_lo_gib", "ram_hi_gib", "mean_vcpus", "mean_ram_gib"}}
+	csv := make([][]string, 0, 1+len(r.Rows))
+	csv = append(csv, []string{"class", "vcpu_lo", "vcpu_hi", "ram_lo_gib", "ram_hi_gib", "mean_vcpus", "mean_ram_gib"})
 	for _, row := range r.Rows {
 		csv = append(csv, []string{
 			fmt.Sprint(row.Class),
@@ -255,7 +256,8 @@ func fillSweepArtifact(points []tco.FillPoint) Result {
 	var text strings.Builder
 	text.WriteString("Extension — savings vs datacenter fill (High RAM class)\n\n")
 	t := stats.NewTable("fill", "savings", "bricks off", "hosts off")
-	csv := [][]string{{"target_fill", "savings_frac", "brick_off_frac", "conv_off_frac"}}
+	csv := make([][]string, 0, 1+len(points))
+	csv = append(csv, []string{"target_fill", "savings_frac", "brick_off_frac", "conv_off_frac"})
 	var peak float64
 	for _, p := range points {
 		t.AddRowf("%.0f%%|%.0f%%|%.0f%%|%.0f%%",

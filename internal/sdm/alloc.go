@@ -38,10 +38,12 @@ func (c *Controller) ReserveCompute(owner string, vcpus int, localMem brick.Byte
 			// Roll back the core reservation; selection should have
 			// prevented this, so any failure here is a bug surfaced loudly.
 			node.Brick.FreeCoresBack(vcpus)
+			c.touchCompute(id)
 			c.failures++
 			return topo.BrickID{}, 0, err
 		}
 	}
+	c.touchCompute(id)
 	return id, lat, nil
 }
 
@@ -56,14 +58,52 @@ func (c *Controller) ReleaseCompute(id topo.BrickID, vcpus int, localMem brick.B
 	}
 	if localMem > 0 {
 		if err := node.Brick.FreeLocal(localMem); err != nil {
+			c.touchCompute(id)
 			return err
 		}
 	}
+	c.touchCompute(id)
 	return nil
 }
 
-// pickCompute applies the placement policy to compute brick selection.
+// pickCompute applies the placement policy to compute brick selection,
+// dispatching to the placement index (O(log n) descents) or, in
+// linear-scan mode, to the pre-index full scan. Both paths select the
+// byte-identical brick (see TestPickEquivalence).
 func (c *Controller) pickCompute(vcpus int, localMem brick.Bytes) (topo.BrickID, bool) {
+	if c.cfg.Scan == ScanLinear {
+		return c.pickComputeLinear(vcpus, localMem)
+	}
+	return c.pickComputeIndexed(vcpus, localMem, -1)
+}
+
+// pickComputeIndexed serves compute selection from the placement index;
+// exclude (an order position, -1 for none) supports migration's
+// anywhere-but-here variant.
+func (c *Controller) pickComputeIndexed(vcpus int, localMem brick.Bytes, exclude int) (topo.BrickID, bool) {
+	minA, minB := int64(vcpus), int64(localMem)
+	switch c.cfg.Policy {
+	case PolicyFirstFit:
+		if pos := c.cpuIdx.firstFit(minA, minB, exclude); pos >= 0 {
+			return c.computeOrder[pos], true
+		}
+	case PolicySpread:
+		if pos := c.cpuIdx.spreadBest(minA, minB, exclude); pos >= 0 {
+			return c.computeOrder[pos], true
+		}
+	default:
+		// Power-aware: active first (pack), then idle, then powered-off.
+		for _, want := range powerPreference {
+			if pos := c.cpuIdx.firstFitState(want, minA, minB, exclude); pos >= 0 {
+				return c.computeOrder[pos], true
+			}
+		}
+	}
+	return topo.BrickID{}, false
+}
+
+// pickComputeLinear is the pre-index scan over computeOrder.
+func (c *Controller) pickComputeLinear(vcpus int, localMem brick.Bytes) (topo.BrickID, bool) {
 	fits := func(n *ComputeNode) bool {
 		if n.Brick.FreeCores() < vcpus {
 			return false
@@ -88,8 +128,7 @@ func (c *Controller) pickCompute(vcpus int, localMem brick.Bytes) (topo.BrickID,
 		}
 		return best, found
 	default:
-		// Power-aware: active first (pack), then idle, then powered-off.
-		for _, want := range []brick.PowerState{brick.PowerActive, brick.PowerIdle, brick.PowerOff} {
+		for _, want := range powerPreference {
 			for _, id := range c.computeOrder {
 				n := c.computes[id]
 				if n.Brick.State() == want && fits(n) {
@@ -105,7 +144,39 @@ func (c *Controller) pickCompute(vcpus int, localMem brick.Bytes) (topo.BrickID,
 // requiring a contiguous gap of at least size and a free transceiver
 // port to terminate the new circuit.
 func (c *Controller) pickMemory(size brick.Bytes) (topo.BrickID, bool) {
-	fits := func(m *brick.Memory) bool { return m.LargestGap() >= size && m.Ports.Free() > 0 }
+	if c.cfg.Scan == ScanLinear {
+		return c.pickMemoryLinear(size)
+	}
+	return c.pickMemoryIndexed(size)
+}
+
+// pickMemoryIndexed serves memory selection from the placement index.
+func (c *Controller) pickMemoryIndexed(size brick.Bytes) (topo.BrickID, bool) {
+	minA, minB := int64(size), int64(1)
+	switch c.cfg.Policy {
+	case PolicyFirstFit:
+		if pos := c.memIdx.firstFit(minA, minB, -1); pos >= 0 {
+			return c.memoryOrder[pos], true
+		}
+	case PolicySpread:
+		if pos := c.memIdx.spreadBest(minA, minB, -1); pos >= 0 {
+			return c.memoryOrder[pos], true
+		}
+	default:
+		for _, want := range powerPreference {
+			if pos := c.memIdx.firstFitState(want, minA, minB, -1); pos >= 0 {
+				return c.memoryOrder[pos], true
+			}
+		}
+	}
+	return topo.BrickID{}, false
+}
+
+// pickMemoryLinear is the pre-index scan over memoryOrder; its fitness
+// probe rescans each brick's segment list (LargestGapScan), faithfully
+// reproducing the pre-index cost profile.
+func (c *Controller) pickMemoryLinear(size brick.Bytes) (topo.BrickID, bool) {
+	fits := func(m *brick.Memory) bool { return m.LargestGapScan() >= size && m.Ports.Free() > 0 }
 	switch c.cfg.Policy {
 	case PolicyFirstFit:
 		for _, id := range c.memoryOrder {
@@ -124,7 +195,7 @@ func (c *Controller) pickMemory(size brick.Bytes) (topo.BrickID, bool) {
 		}
 		return best, found
 	default:
-		for _, want := range []brick.PowerState{brick.PowerActive, brick.PowerIdle, brick.PowerOff} {
+		for _, want := range powerPreference {
 			for _, id := range c.memoryOrder {
 				m := c.memories[id]
 				if m.State() == want && fits(m) {

@@ -62,6 +62,7 @@ func (c *Controller) ReserveBareMetal(owner string) (topo.BrickID, sim.Duration,
 		c.bareMetal = make(map[topo.BrickID]string)
 	}
 	c.bareMetal[id] = owner
+	c.touchCompute(id)
 	return id, lat, nil
 }
 
@@ -80,9 +81,11 @@ func (c *Controller) ReleaseBareMetal(id topo.BrickID) error {
 		return err
 	}
 	if err := node.Brick.FreeLocal(node.Brick.LocalMemory); err != nil {
+		c.touchCompute(id)
 		return err
 	}
 	delete(c.bareMetal, id)
+	c.touchCompute(id)
 	return nil
 }
 

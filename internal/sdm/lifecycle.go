@@ -63,10 +63,13 @@ func (k OpKind) String() string {
 // lane over the live circuit, same rate as VM migration's stop-and-copy).
 const rehomeLinkGbps = 10
 
-// opStep is one reversible action of a lifecycle plan.
+// opStep is one reversible action of a lifecycle plan. A step with a
+// nil do is a pure latency charge — data, not a closure, so fixed
+// control-plane costs allocate nothing.
 type opStep struct {
-	do   func() (sim.Duration, error)
-	undo func() error
+	do     func() (sim.Duration, error)
+	undo   func() error
+	charge sim.Duration
 }
 
 // AttachmentOp is one planned attachment mutation. A plan is built
@@ -87,11 +90,31 @@ type AttachmentOp struct {
 	fallback bool
 	// err short-circuits Commit for plans that failed validation.
 	err error
+	// stepBuf/touchBuf are the inline backing arrays of steps and
+	// touches: plans are built and committed on the scheduler's hottest
+	// path, so the slices must not allocate separately from the op.
+	stepBuf  [10]opStep
+	touchBuf [2]func()
+	// touches are the placement-index refresh hooks of every brick the
+	// plan may mutate. They run exactly once, at Commit's single exit
+	// point — after success or after rollback — which makes the
+	// lifecycle engine the one choke point where scheduler indexes and
+	// brick state reconcile.
+	touches []func()
 }
 
 // failedOp returns a plan that refuses to commit.
 func failedOp(kind OpKind, err error) *AttachmentOp {
 	return &AttachmentOp{Kind: kind, err: err}
+}
+
+// newOp builds an empty plan whose step and touch slices alias the
+// op's inline buffers.
+func newOp(kind OpKind) *AttachmentOp {
+	op := &AttachmentOp{Kind: kind}
+	op.steps = op.stepBuf[:0]
+	op.touches = op.touchBuf[:0]
+	return op
 }
 
 // step appends a reversible action; undo may be nil for irreversible
@@ -102,7 +125,12 @@ func (op *AttachmentOp) step(do func() (sim.Duration, error), undo func() error)
 
 // charge appends a fixed control-plane latency as an infallible step.
 func (op *AttachmentOp) charge(d sim.Duration) {
-	op.step(func() (sim.Duration, error) { return d, nil }, nil)
+	op.steps = append(op.steps, opStep{charge: d})
+}
+
+// touch registers an index-refresh hook to run when Commit exits.
+func (op *AttachmentOp) touch(fn func()) {
+	op.touches = append(op.touches, fn)
 }
 
 // Commit executes the plan. On failure it rolls back and returns the
@@ -112,7 +140,17 @@ func (op *AttachmentOp) Commit() (sim.Duration, error) {
 	if op.err != nil {
 		return 0, op.err
 	}
-	for i, s := range op.steps {
+	defer func() {
+		for _, t := range op.touches {
+			t()
+		}
+	}()
+	for i := range op.steps {
+		s := &op.steps[i]
+		if s.do == nil {
+			op.lat += s.charge
+			continue
+		}
 		d, err := s.do()
 		op.lat += d
 		if err == nil {
@@ -139,24 +177,39 @@ type connector struct {
 	disconnect func(*optical.Circuit) (sim.Duration, error)
 }
 
-// rackTier is the connector for this rack's own circuit fabric.
+// rackTier is the connector for this rack's own circuit fabric,
+// built once so plans on the hot path allocate no closures.
 func (c *Controller) rackTier() connector {
-	return connector{connect: c.fabric.Connect, disconnect: c.fabric.Disconnect}
+	if c.tierConn.connect == nil {
+		c.tierConn = connector{connect: c.fabric.Connect, disconnect: c.fabric.Disconnect}
+	}
+	return c.tierConn
 }
 
 // tier returns the connector joining compute rack ra to memory rack
 // rb: the rack's own fabric when they coincide, the pod switch (one
-// uplink per endpoint rack) otherwise.
+// uplink per endpoint rack) otherwise. Cross-rack connectors are cached
+// per rack pair — circuit setup runs on every spill, so the closures
+// are built once, not per plan.
 func (s *PodScheduler) tier(ra, rb int) connector {
 	if ra == rb {
 		return s.racks[ra].rackTier()
 	}
-	return connector{
+	if s.tierConns == nil {
+		s.tierConns = make(map[[2]int]connector)
+	}
+	key := [2]int{ra, rb}
+	if t, ok := s.tierConns[key]; ok {
+		return t
+	}
+	t := connector{
 		connect: func(a, b topo.PortID) (*optical.Circuit, sim.Duration, error) {
 			return s.fabric.ConnectCross(ra, a, rb, b)
 		},
 		disconnect: s.fabric.DisconnectCross,
 	}
+	s.tierConns[key] = t
+	return t
 }
 
 // CanRepoint reports whether an attachment's circuit can be moved
@@ -219,7 +272,7 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 	faultRetry bool,
 	register func(att *Attachment, memRack int)) *AttachmentOp {
 
-	op := &AttachmentOp{Kind: OpAttach}
+	op := newOp(OpAttach)
 	node, ok := rackA.computes[cpu]
 	if !ok {
 		op.err = fmt.Errorf("sdm: no compute brick %v", cpu)
@@ -239,6 +292,12 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 		circuit          *optical.Circuit
 		window           tgl.Entry
 	)
+	op.touch(func() { rackA.touchCompute(cpu) })
+	op.touch(func() {
+		if chosen.rack != nil {
+			chosen.rack.touchMemory(chosen.brick)
+		}
+	})
 	// The CPU-side port is the scarcest resource: claim it before any
 	// memory brick is selected (and possibly powered on), so that port
 	// exhaustion falls back to packet mode without wasted boots.
@@ -369,10 +428,13 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 // unregistration. Validation (liveness, packet mode, riders) is the
 // thin caller's job; t carries the attachment's circuit tier.
 func planDetach(cfg Config, att *Attachment, rackA, rackB *Controller, t connector, unregister func()) *AttachmentOp {
-	op := &AttachmentOp{Kind: OpDetach}
+	op := newOp(OpDetach)
 	node := rackA.computes[att.CPU]
 	m := rackB.memories[att.Segment.Brick]
 	op.charge(cfg.DecisionLatency)
+	cpu, memID := att.CPU, att.Segment.Brick
+	op.touch(func() { rackA.touchCompute(cpu) })
+	op.touch(func() { rackB.touchMemory(memID) })
 
 	oldWindow := att.Window
 	op.step(func() (sim.Duration, error) {
@@ -417,7 +479,7 @@ func planRepoint(cfg Config, att *Attachment,
 	oldTier, newTier connector,
 	move func(newCPUPort topo.PortID, circuit *optical.Circuit, window tgl.Entry)) *AttachmentOp {
 
-	op := &AttachmentOp{Kind: OpRepoint}
+	op := newOp(OpRepoint)
 	oldNode := oldRack.computes[att.CPU]
 	newNode, ok := newRack.computes[newCPU]
 	if !ok {
@@ -425,6 +487,9 @@ func planRepoint(cfg Config, att *Attachment,
 		return op
 	}
 	op.charge(cfg.DecisionLatency)
+	oldCPU := att.CPU
+	op.touch(func() { oldRack.touchCompute(oldCPU) })
+	op.touch(func() { newRack.touchCompute(newCPU) })
 
 	var (
 		newCPUPort topo.PortID
@@ -512,10 +577,12 @@ func planRehome(kind OpKind, cfg Config, att *Attachment,
 	oldTier, newTier connector,
 	move func(newMem topo.BrickID, seg *brick.Segment, memPort topo.PortID, circuit *optical.Circuit, window tgl.Entry)) *AttachmentOp {
 
-	op := &AttachmentOp{Kind: kind}
+	op := newOp(kind)
 	node := rackA.computes[att.CPU]
 	oldMem := oldMemRack.memories[att.Segment.Brick]
 	op.charge(cfg.DecisionLatency)
+	oldMemID := att.Segment.Brick
+	op.touch(func() { oldMemRack.touchMemory(oldMemID) })
 
 	var (
 		newMemID topo.BrickID
@@ -525,6 +592,11 @@ func planRehome(kind OpKind, cfg Config, att *Attachment,
 		circuit  *optical.Circuit
 		window   tgl.Entry
 	)
+	op.touch(func() {
+		if m != nil {
+			newMemRack.touchMemory(newMemID)
+		}
+	})
 	oldWindow := att.Window
 	// Target selection, power-up and carve.
 	op.step(func() (sim.Duration, error) {

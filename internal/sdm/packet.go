@@ -82,6 +82,7 @@ func (c *Controller) attachPacket(owner string, cpu topo.BrickID, size brick.Byt
 	}
 	c.riders[host.Circuit]++
 	c.attachments[owner] = append(c.attachments[owner], att)
+	c.touchMemory(host.Segment.Brick)
 	// Two lookup-table pushes: compute-brick switch and memory-brick
 	// glue, plus the decision that found the host circuit.
 	return att, c.cfg.DecisionLatency + 2*c.cfg.AgentRTT, nil
@@ -105,6 +106,7 @@ func (c *Controller) detachPacket(att *Attachment, idx int) (sim.Duration, error
 	}
 	list := c.attachments[att.Owner]
 	c.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	c.touchMemory(att.Segment.Brick)
 	return c.cfg.DecisionLatency + 2*c.cfg.AgentRTT, nil
 }
 

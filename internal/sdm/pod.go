@@ -1,6 +1,7 @@
 package sdm
 
 import (
+	"container/list"
 	"fmt"
 
 	"repro/internal/brick"
@@ -44,9 +45,16 @@ type PodScheduler struct {
 
 	// crossOrder lists every live cross-rack attachment in spill order
 	// (each stamped with a seq from attachSeq) — the oldest-first walk
-	// order of the rebalancer.
-	crossOrder []*Attachment
+	// order of the rebalancer. crossElem indexes each attachment's list
+	// element so Repoint/Rebalance/detach remove in O(1) instead of
+	// walking every live spill.
+	crossOrder *list.List
+	crossElem  map[*Attachment]*list.Element
 	attachSeq  uint64
+
+	// tierConns caches the cross-rack connectors per rack pair (see
+	// tier in lifecycle.go).
+	tierConns map[[2]int]connector
 
 	requests uint64
 	failures uint64
@@ -72,6 +80,8 @@ func NewPodScheduler(pod *topo.Pod, fabric *optical.PodFabric, bc BrickConfigs, 
 		fabric:     fabric,
 		riders:     make(map[*optical.Circuit]int),
 		crossHosts: make(map[topo.PodBrickID][]*Attachment),
+		crossOrder: list.New(),
+		crossElem:  make(map[*Attachment]*list.Element),
 	}
 	for i := 0; i < pod.Racks(); i++ {
 		c, err := NewController(pod.Rack(i), fabric.Rack(i), bc, cfg)
@@ -117,6 +127,47 @@ func (s *PodScheduler) PickComputeRackExcept(vcpus int, localMem brick.Bytes, ex
 }
 
 func (s *PodScheduler) pickComputeRackExcept(vcpus int, localMem brick.Bytes, exclude int) (int, bool) {
+	if s.cfg.Scan == ScanLinear {
+		return s.pickComputeRackLinear(vcpus, localMem, exclude)
+	}
+	// Indexed rack choice is O(racks) arithmetic: each rack answers the
+	// feasibility question from its index root (CanPlaceCompute, O(1))
+	// and the free-cores rank sum (FreeCores, O(1)); only the rack that
+	// could actually win runs an O(log n) brick pick to confirm.
+	if s.cfg.Policy == PolicySpread {
+		best, bestFree, found := -1, -1, false
+		for i, r := range s.racks {
+			if i == exclude {
+				continue
+			}
+			free := r.FreeCores()
+			if free <= bestFree || !r.CanPlaceCompute(vcpus, localMem) {
+				continue
+			}
+			if _, ok := r.pickCompute(vcpus, localMem); ok {
+				best, bestFree, found = i, free, true
+			}
+		}
+		return best, found
+	}
+	// Power-aware and first-fit pack racks in index order.
+	for i, r := range s.racks {
+		if i == exclude {
+			continue
+		}
+		if !r.CanPlaceCompute(vcpus, localMem) {
+			continue
+		}
+		if _, ok := r.pickCompute(vcpus, localMem); ok {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// pickComputeRackLinear is the pre-index nested scan: every rack runs a
+// full brick pick per probe.
+func (s *PodScheduler) pickComputeRackLinear(vcpus int, localMem brick.Bytes, exclude int) (int, bool) {
 	if s.cfg.Policy == PolicySpread {
 		best, bestFree, found := -1, -1, false
 		for i, r := range s.racks {
@@ -129,7 +180,6 @@ func (s *PodScheduler) pickComputeRackExcept(vcpus int, localMem brick.Bytes, ex
 		}
 		return best, found
 	}
-	// Power-aware and first-fit pack racks in index order.
 	for i, r := range s.racks {
 		if i == exclude {
 			continue
@@ -144,6 +194,46 @@ func (s *PodScheduler) pickComputeRackExcept(vcpus int, localMem brick.Bytes, ex
 // pickMemoryRack applies the placement policy to the rack choice of a
 // cross-rack spill, never returning the VM's home rack.
 func (s *PodScheduler) pickMemoryRack(size brick.Bytes, home int) (int, bool) {
+	if s.cfg.Scan == ScanLinear {
+		return s.pickMemoryRackLinear(size, home)
+	}
+	// O(racks) arithmetic, same structure as compute rack choice: O(1)
+	// per-rack feasibility (largest-gap/port maxima at the index root)
+	// and free-byte rank sums; one O(log n) confirming pick.
+	if s.cfg.Policy == PolicySpread {
+		best, found := -1, false
+		var bestFree brick.Bytes
+		for i, r := range s.racks {
+			if i == home {
+				continue
+			}
+			free := r.FreeMemory()
+			if (found && free <= bestFree) || !r.CanPlaceMemory(size) {
+				continue
+			}
+			if _, ok := r.pickMemory(size); ok {
+				best, bestFree, found = i, free, true
+			}
+		}
+		return best, found
+	}
+	for i, r := range s.racks {
+		if i == home {
+			continue
+		}
+		if !r.CanPlaceMemory(size) {
+			continue
+		}
+		if _, ok := r.pickMemory(size); ok {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// pickMemoryRackLinear is the pre-index nested scan over racks and
+// bricks.
+func (s *PodScheduler) pickMemoryRackLinear(size brick.Bytes, home int) (int, bool) {
 	if s.cfg.Policy == PolicySpread {
 		best, found := -1, false
 		var bestFree brick.Bytes
@@ -202,13 +292,31 @@ func (s *PodScheduler) AttachRemoteMemory(owner string, cpu topo.PodBrickID, siz
 		s.failures++
 		return nil, 0, fmt.Errorf("sdm: no rack %d in the pod", cpu.Rack)
 	}
-	att, lat, localErr := s.racks[cpu.Rack].AttachRemoteMemory(owner, cpu.Brick, size)
-	if localErr == nil {
-		att.CPURack, att.MemRack = cpu.Rack, cpu.Rack
-		return att, lat, nil
+	rackA := s.racks[cpu.Rack]
+	var att *Attachment
+	var lat sim.Duration
+	var localErr error
+	if s.cfg.Scan != ScanLinear && rackA.MaxMemoryGap() < size {
+		// No rack-local brick has a contiguous gap for the request, so
+		// neither the circuit path nor the packet fallback (which also
+		// needs a local gap) can succeed: skip the doomed rack-local
+		// plan. Counters mirror the failed attempt; the matching error
+		// text is materialized only if the spill fails too, keeping the
+		// hot spill path allocation-free.
+		rackA.requests++
+		rackA.failures++
+	} else {
+		att, lat, localErr = rackA.AttachRemoteMemory(owner, cpu.Brick, size)
+		if localErr == nil {
+			att.CPURack, att.MemRack = cpu.Rack, cpu.Rack
+			return att, lat, nil
+		}
 	}
 	att, lat, err := s.attachCross(owner, cpu, size)
 	if err != nil {
+		if localErr == nil {
+			localErr = fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", size)
+		}
 		s.failures++
 		return nil, 0, fmt.Errorf("sdm: pod attach for %q failed rack-locally (%v) and cross-rack: %w", owner, localErr, err)
 	}
@@ -262,16 +370,15 @@ func (s *PodScheduler) attachCross(owner string, cpu topo.PodBrickID, size brick
 func (s *PodScheduler) addCrossOrder(att *Attachment) {
 	s.attachSeq++
 	att.seq = s.attachSeq
-	s.crossOrder = append(s.crossOrder, att)
+	s.crossElem[att] = s.crossOrder.PushBack(att)
 }
 
-// removeCrossOrder drops an attachment from the rebalancer walk order.
+// removeCrossOrder drops an attachment from the rebalancer walk order
+// in O(1) via the element index.
 func (s *PodScheduler) removeCrossOrder(att *Attachment) {
-	for i, a := range s.crossOrder {
-		if a == att {
-			s.crossOrder = append(s.crossOrder[:i], s.crossOrder[i+1:]...)
-			return
-		}
+	if el, ok := s.crossElem[att]; ok {
+		s.crossOrder.Remove(el)
+		delete(s.crossElem, att)
 	}
 }
 
@@ -331,6 +438,7 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 	s.riders[host.Circuit]++
 	rackA.attachments[owner] = append(rackA.attachments[owner], att)
 	s.addCrossOrder(att)
+	s.racks[host.MemRack].touchMemory(host.Segment.Brick)
 	return att, s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 }
 
@@ -373,6 +481,7 @@ func (s *PodScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 		}
 		rackA.unregister(att)
 		s.removeCrossOrder(att)
+		s.racks[att.MemRack].touchMemory(att.Segment.Brick)
 		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 	}
 	if n := s.riders[att.Circuit]; n > 0 {

@@ -50,6 +50,7 @@ func (c *Controller) PowerOffIdle() int {
 			}
 		}
 	}
+	c.reindexAll()
 	return n
 }
 
@@ -64,6 +65,7 @@ func (c *Controller) PowerOnAll() {
 	for _, id := range c.accelOrder {
 		c.accels[id].PowerOn()
 	}
+	c.reindexAll()
 }
 
 // Census returns the power census for one brick kind.

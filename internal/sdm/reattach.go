@@ -41,10 +41,12 @@ func (c *Controller) ReserveComputeExcept(owner string, vcpus int, localMem bric
 	if localMem > 0 {
 		if err := node.Brick.AllocLocal(localMem); err != nil {
 			node.Brick.FreeCoresBack(vcpus)
+			c.touchCompute(id)
 			c.failures++
 			return topo.BrickID{}, 0, err
 		}
 	}
+	c.touchCompute(id)
 	return id, lat, nil
 }
 
@@ -100,6 +102,13 @@ func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) 
 }
 
 func (c *Controller) pickComputeExcept(vcpus int, localMem brick.Bytes, exclude topo.BrickID) (topo.BrickID, bool) {
+	if c.cfg.Scan != ScanLinear {
+		pos, ok := c.cpuPos[exclude]
+		if !ok {
+			pos = -1
+		}
+		return c.pickComputeIndexed(vcpus, localMem, pos)
+	}
 	fits := func(id topo.BrickID) bool {
 		if id == exclude {
 			return false

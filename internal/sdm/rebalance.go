@@ -159,7 +159,10 @@ func (s *PodScheduler) totalFreeUplinks() int {
 func (s *PodScheduler) Rebalance(now sim.Time) RebalanceReport {
 	rep := RebalanceReport{At: now}
 	freeBefore := s.totalFreeUplinks()
-	snapshot := append([]*Attachment(nil), s.crossOrder...)
+	snapshot := make([]*Attachment, 0, s.crossOrder.Len())
+	for el := s.crossOrder.Front(); el != nil; el = el.Next() {
+		snapshot = append(snapshot, el.Value.(*Attachment))
+	}
 	for _, att := range snapshot {
 		if !att.CrossRack() {
 			continue

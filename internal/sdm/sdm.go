@@ -50,6 +50,26 @@ func (p Policy) String() string {
 	}
 }
 
+// ScanMode selects how the controller's hot-path brick selection runs.
+type ScanMode int
+
+const (
+	// ScanIndexed (the default) serves picks from the placement indexes
+	// maintained at mutation time — O(log n) ordered-tree descents.
+	ScanIndexed ScanMode = iota
+	// ScanLinear is the pre-index baseline: every pick rescans the brick
+	// lists (and every memory fitness probe rescans the segment list).
+	// Kept for the equivalence tests and as the benchmark baseline.
+	ScanLinear
+)
+
+func (s ScanMode) String() string {
+	if s == ScanLinear {
+		return "linear-scan"
+	}
+	return "indexed"
+}
+
 // Config parameterizes the controller's control-plane latency model and
 // datapath provisioning.
 type Config struct {
@@ -75,6 +95,9 @@ type Config struct {
 	// attachment rides an existing circuit between the same brick pair,
 	// steered by the on-brick packet switches (paper §III).
 	PacketFallback bool
+	// Scan selects the placement engine: indexed (default) or the
+	// pre-index linear-scan baseline.
+	Scan ScanMode
 }
 
 // DefaultConfig holds representative control-plane costs.
@@ -175,6 +198,14 @@ type Controller struct {
 	// bareMetal maps exclusively reserved compute bricks to their tenant.
 	bareMetal map[topo.BrickID]string
 
+	// cpuIdx/memIdx are the placement indexes (see index.go); cpuPos and
+	// memPos map brick IDs to their order positions for leaf refreshes.
+	cpuIdx, memIdx *placementIndex
+	cpuPos, memPos map[topo.BrickID]int
+
+	// tierConn is the cached rack-fabric connector (see rackTier).
+	tierConn connector
+
 	requests uint64
 	failures uint64
 }
@@ -242,6 +273,7 @@ func NewController(rack *topo.Rack, fabric *optical.Fabric, bc BrickConfigs, cfg
 	if len(c.computes) == 0 {
 		return nil, fmt.Errorf("sdm: rack has no compute bricks")
 	}
+	c.buildIndexes()
 	return c, nil
 }
 
@@ -272,20 +304,29 @@ func (c *Controller) Attachments(owner string) []*Attachment {
 func (c *Controller) Stats() (requests, failures uint64) { return c.requests, c.failures }
 
 // FreeCores returns the rack's total unallocated compute cores — the
-// quantity the pod scheduler's spread policy balances across racks.
+// quantity the pod scheduler's spread policy balances across racks. An
+// O(1) read of the compute index's rank sum; the linear-scan baseline
+// pays the pre-index walk.
 func (c *Controller) FreeCores() int {
-	n := 0
-	for _, id := range c.computeOrder {
-		n += c.computes[id].Brick.FreeCores()
+	if c.cfg.Scan == ScanLinear {
+		n := 0
+		for _, id := range c.computeOrder {
+			n += c.computes[id].Brick.FreeCores()
+		}
+		return n
 	}
-	return n
+	return int(c.cpuIdx.rankSum())
 }
 
-// FreeMemory returns the rack's total unreserved pooled memory.
+// FreeMemory returns the rack's total unreserved pooled memory — an
+// O(1) read of the memory index's rank sum.
 func (c *Controller) FreeMemory() brick.Bytes {
-	var n brick.Bytes
-	for _, id := range c.memoryOrder {
-		n += c.memories[id].Free()
+	if c.cfg.Scan == ScanLinear {
+		var n brick.Bytes
+		for _, id := range c.memoryOrder {
+			n += c.memories[id].Free()
+		}
+		return n
 	}
-	return n
+	return brick.Bytes(c.memIdx.rankSum())
 }

@@ -15,6 +15,11 @@ func NewRand(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// Reseed resets the generator to the given seed, as if freshly built
+// by NewRand — the hook worker pools use to reuse one generator across
+// trials instead of allocating per task.
+func (r *Rand) Reseed(seed uint64) { r.state = seed }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
