@@ -3,16 +3,32 @@
 # BENCH_baseline.json (via cmd/benchjson) — the committed baseline the
 # perf trajectory is measured against. BENCHTIME trades precision for
 # wall time: CI smoke uses 1x, the committed baseline a longer run.
+#
+# `make bench-check` is the perf gate: a fresh bench run is diffed
+# against the committed baseline and the make fails when any
+# throughput-class (*/s) metric regresses by more than BENCHTHRESHOLD.
+#
+# `make saturation` sweeps the pod-scale Fig. 10 experiment across
+# racks 8/16/32 and concatenates the per-rack CSVs into
+# artifacts/saturation.csv — the saturation chart's data (see README
+# "Plotting the saturation sweep").
 
 GO ?= go
 BENCHTIME ?= 500x
+BENCHTHRESHOLD ?= 0.25
+BENCHPATTERN ?= .
+# Filtered runs (BENCHPATTERN != .) default to a scratch file so they
+# cannot silently truncate the committed baseline; set BENCHOUT
+# explicitly (as CI's same-runner gate does) to override.
+BENCHOUT ?= $(if $(filter .,$(BENCHPATTERN)),BENCH_baseline.json,BENCH_subset.json)
+SATURATION_RACKS ?= 8 16 32
 
 # The bench target pipes `go test` into benchjson; without pipefail a
 # mid-suite benchmark failure would be masked by benchjson's exit 0.
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test vet bench
+.PHONY: build test vet bench bench-check saturation
 
 build:
 	$(GO) build ./...
@@ -24,5 +40,23 @@ vet:
 	$(GO) vet ./...
 
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	$(GO) test -run '^$$' -bench='$(BENCHPATTERN)' -benchmem -benchtime=$(BENCHTIME) . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > $(BENCHOUT)
+
+bench-check:
+	$(GO) test -run '^$$' -bench='$(BENCHPATTERN)' -benchmem -benchtime=$(BENCHTIME) . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -compare BENCH_baseline.json -threshold $(BENCHTHRESHOLD)
+
+saturation:
+	mkdir -p artifacts/saturation
+	$(GO) build -o artifacts/dredbox-report ./cmd/dredbox-report
+	for r in $(SATURATION_RACKS); do \
+		artifacts/dredbox-report -racks $$r -only fig10pod \
+			-artifacts artifacts/saturation/r$$r -o artifacts/saturation/r$$r.txt; \
+	done
+	set -- $(SATURATION_RACKS); \
+		head -n 1 artifacts/saturation/r$$1/fig10pod.csv > artifacts/saturation.csv
+	for r in $(SATURATION_RACKS); do \
+		tail -n +2 artifacts/saturation/r$$r/fig10pod.csv >> artifacts/saturation.csv; \
+	done
+	@echo "wrote artifacts/saturation.csv"

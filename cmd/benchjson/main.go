@@ -4,13 +4,21 @@
 // repository's performance trajectory record: each entry carries the
 // benchmark's name, iteration count, and every reported metric
 // (ns/op, B/op, allocs/op and custom metrics like placements/s).
+//
+// With -compare BASELINE it instead acts as the CI perf gate: the
+// fresh run on stdin is diffed against the committed baseline and the
+// program exits non-zero when any throughput-class metric (one whose
+// unit ends in "/s" — placements/s, promotions/s) regresses by more
+// than -threshold.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,12 +39,22 @@ type Baseline struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-func main() {
+// metric looks one benchmark's metric up by name.
+func (b Baseline) metric(bench, name string) (float64, bool) {
+	for _, e := range b.Benchmarks {
+		if e.Name == bench {
+			v, ok := e.Metrics[name]
+			return v, ok
+		}
+	}
+	return 0, false
+}
+
+// parse reads `go test -bench` output into a Baseline.
+func parse(r *bufio.Scanner) (Baseline, error) {
 	var out Baseline
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
+	for r.Scan() {
+		line := r.Text()
 		switch {
 		case strings.HasPrefix(line, "goos: "):
 			out.GOOS = strings.TrimPrefix(line, "goos: ")
@@ -73,18 +91,92 @@ func main() {
 		}
 		out.Benchmarks = append(out.Benchmarks, b)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if err := r.Err(); err != nil {
+		return out, err
 	}
-	if len(out.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+	return out, nil
+}
+
+func main() {
+	compare := flag.String("compare", "", "diff the fresh run on stdin against this baseline JSON instead of emitting JSON; exit non-zero on throughput regressions")
+	threshold := flag.Float64("threshold", 0.25, "with -compare: relative regression tolerated in any throughput (*/s) metric before failing")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	fresh, err := parse(sc)
+	if err != nil {
+		fail(err)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if len(fresh.Benchmarks) == 0 {
+		fail(fmt.Errorf("no benchmark lines on stdin"))
 	}
+
+	if *compare == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fresh); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	data, err := os.ReadFile(*compare)
+	if err != nil {
+		fail(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fail(fmt.Errorf("parsing %s: %w", *compare, err))
+	}
+	regressions := 0
+	checked := 0
+	unmatched := 0
+	for _, fb := range fresh.Benchmarks {
+		// Sorted metric order keeps the gate report diffable run to run.
+		units := make([]string, 0, len(fb.Metrics))
+		for unit := range fb.Metrics {
+			if strings.HasSuffix(unit, "/s") {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			got := fb.Metrics[unit]
+			want, ok := base.metric(fb.Name, unit)
+			if !ok || want <= 0 {
+				// Visible, not fatal: a renamed benchmark or truncated
+				// baseline must not silently shrink the gate's coverage.
+				unmatched++
+				fmt.Printf("%-60s %-16s baseline %14s  fresh %14.1f    n/a   NO BASELINE\n",
+					fb.Name, unit, "-", got)
+				continue
+			}
+			checked++
+			delta := got/want - 1
+			status := "ok"
+			if delta < -*threshold {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-60s %-16s baseline %14.1f  fresh %14.1f  %+6.1f%%  %s\n",
+				fb.Name, unit, want, got, 100*delta, status)
+		}
+	}
+	if checked == 0 {
+		fail(fmt.Errorf("no throughput (*/s) metrics shared with baseline %s", *compare))
+	}
+	if regressions > 0 {
+		fail(fmt.Errorf("%d of %d throughput metrics regressed beyond %.0f%%", regressions, checked, 100**threshold))
+	}
+	suffix := ""
+	if unmatched > 0 {
+		suffix = fmt.Sprintf(" (%d metric(s) had no baseline entry — re-record with `make bench` if they should be gated)", unmatched)
+	}
+	fmt.Printf("perf gate: %d throughput metrics within %.0f%% of baseline%s\n", checked, 100**threshold, suffix)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -28,14 +29,18 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print the final SDM state snapshot as JSON")
 	racks := flag.Int("racks", 1, "rack count; above 1 assembles a multi-rack pod and runs the pod tour instead")
 	rebalance := flag.Bool("rebalance", false, "with -racks > 1: free home-rack capacity and run an online rebalancing sweep at the end of the tour")
+	burst := flag.Int("burst", 0, "with -racks > 1: batch-admit this many VMs (boot + remote memory) in one group commit at the end of the tour; admission is all-or-nothing, so a burst too big for the tour's tiny racks aborts the tour with the batch rolled back")
 	flag.Parse()
 
 	if *racks > 1 {
-		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance)
+		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance, *burst)
 		return
 	}
 	if *rebalance {
 		fail(fmt.Errorf("-rebalance needs a pod: pass -racks 2 or more"))
+	}
+	if *burst > 0 {
+		fail(fmt.Errorf("-burst needs a pod: pass -racks 2 or more"))
 	}
 
 	cfg := core.DefaultConfig()
@@ -139,7 +144,7 @@ func main() {
 // both sides of the pod switch, a cross-rack VM migration and,
 // with -rebalance, an online rebalancing sweep that pulls the spill
 // home once capacity frees.
-func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool) {
+func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, burst int) {
 	cfg := core.DefaultPodConfig(racks)
 	cfg.Rack.Seed = seed
 	cfg.Rack.Topology = topo.BuildSpec{
@@ -220,6 +225,53 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool) {
 				p.Owner, brick.Bytes(p.Size), p.FromRack, p.HomeRack, p.Latency)
 		}
 		fmt.Printf("pod circuits now: %d\n\n", pod.Fabric().CrossCircuits())
+	}
+
+	if burst > 0 {
+		// Batch admission: one burst from the workload generator, booted
+		// in a single group commit — the pod scheduler partitions the
+		// burst across rack shards, plans each shard in parallel, and
+		// merges cross-rack spills in request order.
+		src, err := workload.NewBurstSource(workload.HalfHalf, seed, burst, 0)
+		if err != nil {
+			fail(err)
+		}
+		b, err := src.Next(pod.Now())
+		if err != nil {
+			fail(err)
+		}
+		reqs := make([]core.VMCreate, burst)
+		for i, r := range b.Reqs {
+			// Scale Table I shapes down to the tour's tiny racks; remote
+			// memory stays hotplug-block (GiB) aligned.
+			reqs[i] = core.VMCreate{
+				ID:     fmt.Sprintf("burst%02d", i),
+				VCPUs:  1 + r.VCPUs/32,
+				Memory: brick.Bytes(r.RAMGiB) * brick.MiB * 8,
+				Remote: brick.Bytes(1+r.RAMGiB/32) * brick.GiB,
+			}
+		}
+		_, _, spillsBefore := pod.Scheduler().Stats()
+		results, err := pod.CreateVMs(reqs, 0)
+		if err != nil {
+			fail(err)
+		}
+		_, _, spillsAfter := pod.Scheduler().Stats()
+		var worst sim.Duration
+		for _, r := range results {
+			if d := r.Delay(); d > worst {
+				worst = d
+			}
+		}
+		fmt.Printf("== batch admission (%d VMs, one group commit) ==\n", burst)
+		perRack := make([]int, pod.Racks())
+		for i := range reqs {
+			if r, ok := pod.VMRack(reqs[i].ID); ok {
+				perRack[r]++
+			}
+		}
+		fmt.Printf("placed per rack: %v; %d attachments spilled cross-rack; worst admission delay %v\n\n",
+			perRack, spillsAfter-spillsBefore, worst)
 	}
 
 	// The scheduler's per-rack free aggregates — O(1) reads off each

@@ -26,6 +26,8 @@ func main() {
 	trials := flag.Int("trials", 0, "override the trial/sample count of multi-trial experiments (0 = per-experiment defaults: 500 BER trials/link, 100000 Table I samples)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials (0 = all cores)")
 	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (pod, fig10pod); 0 = per-experiment defaults, minimum 2 — sweep it to chart the sharding win")
+	batch := flag.Bool("batch", false, "serve fig10pod's sharded side through batched group-commit admission (CreateVMs/AdmitBatch) instead of per-request calls")
+	batchSize := flag.Int("batchsize", 0, "with -batch: admission batch size (0 = one batch per burst; 1 reproduces the per-request path byte for byte)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	artifacts := flag.String("artifacts", "", "also write per-experiment .txt/.json/.csv artifacts into this directory")
 	only := flag.String("only", "", "comma-separated experiment names to run (default: all registered)")
@@ -60,7 +62,7 @@ func main() {
 
 	runner := exp.Runner{Workers: *parallel}
 	start := time.Now()
-	outs, err := runner.Run(exp.Params{Seed: *seed, Trials: *trials, Racks: *racks}, names...)
+	outs, err := runner.Run(exp.Params{Seed: *seed, Trials: *trials, Racks: *racks, Batch: *batch, BatchSize: *batchSize}, names...)
 	if err != nil {
 		fail(err)
 	}

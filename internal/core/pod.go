@@ -177,6 +177,95 @@ func (p *Pod) CreateVM(id string, vcpus int, memory brick.Bytes) (scaleup.Result
 	return res, nil
 }
 
+// VMCreate describes one VM of a batch admission: its boot resources
+// and, optionally, remote memory attached as part of the same
+// admission.
+type VMCreate struct {
+	ID     string
+	VCPUs  int
+	Memory brick.Bytes
+	// Remote, when nonzero, bundles a remote-memory scale-up of that
+	// size into the admission.
+	Remote brick.Bytes
+}
+
+// CreateVMs boots a burst of VMs through the pod scheduler's batched
+// group-commit admission: the whole burst is partitioned across rack
+// shards by the O(1) rack-choice aggregates, planned in parallel on up
+// to workers goroutines (<= 0 meaning GOMAXPROCS) and group-committed
+// with one index refresh per touched brick — the result is
+// byte-identical at any worker count, and a batch of one reproduces
+// CreateVM (plus ScaleUpVM for a bundled Remote) exactly. Admission is
+// all-or-nothing: if any VM cannot be placed, nothing is admitted.
+// The clock advances past the whole group's completion.
+func (p *Pod) CreateVMs(reqs []VMCreate, workers int) ([]scaleup.Result, error) {
+	seen := make(map[string]bool, len(reqs))
+	areqs := make([]sdm.AdmitRequest, len(reqs))
+	for i, r := range reqs {
+		if _, dup := p.vmRack[r.ID]; dup || seen[r.ID] {
+			return nil, fmt.Errorf("core: VM %q already exists in the pod", r.ID)
+		}
+		seen[r.ID] = true
+		areqs[i] = sdm.AdmitRequest{Owner: r.ID, VCPUs: r.VCPUs, LocalMem: r.Memory, Remote: r.Remote}
+	}
+	admitted, err := p.sched.AdmitBatch(areqs, workers)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]scaleup.Result, len(reqs))
+	done := p.now
+	for i, r := range reqs {
+		scale := p.stacks[admitted[i].Rack].scale
+		res, err := scale.AdoptVM(p.now, hypervisor.VMID(r.ID), hypervisor.VMSpec{VCPUs: r.VCPUs, Memory: r.Memory}, admitted[i].CPU, admitted[i].ComputeLat)
+		if err != nil {
+			// Spawn failures past the upfront duplicate check are
+			// controller bugs; release what this and the not-yet-adopted
+			// admissions hold and surface the error loudly.
+			p.releaseAdmitted(reqs[i:], admitted[i:])
+			return nil, fmt.Errorf("core: batch boot of %q: %w", r.ID, err)
+		}
+		if admitted[i].Att != nil {
+			up, err := scale.BindAttachment(p.now, hypervisor.VMID(r.ID), admitted[i].Att, admitted[i].AttachLat)
+			if err != nil {
+				// BindAttachment already detached the failing request's
+				// attachment; discard its freshly spawned VM and release
+				// its compute along with the not-yet-adopted admissions.
+				scale.DiscardVM(hypervisor.VMID(r.ID))
+				admitted[i].Att = nil
+				p.releaseAdmitted(reqs[i:], admitted[i:])
+				return nil, fmt.Errorf("core: batch scale-up of %q: %w", r.ID, err)
+			}
+			// Fold the bundled scale-up into the admission's result: the
+			// VM is usable when both its boot and its remote memory are.
+			if up.Done > res.Done {
+				res.Done = up.Done
+			}
+			res.Orchestration += up.Orchestration
+			res.Baremetal += up.Baremetal
+			res.Virtual += up.Virtual
+			res.Size += up.Size
+		}
+		p.vmRack[r.ID] = admitted[i].Rack
+		results[i] = res
+		if res.Done > done {
+			done = res.Done
+		}
+	}
+	p.now = done
+	return results, nil
+}
+
+// releaseAdmitted tears down batch admissions that never made it into a
+// running VM (best-effort, error path only).
+func (p *Pod) releaseAdmitted(reqs []VMCreate, admitted []sdm.AdmitResult) {
+	for i := len(admitted) - 1; i >= 0; i-- {
+		if admitted[i].Att != nil {
+			p.sched.DetachRemoteMemory(admitted[i].Att)
+		}
+		p.sched.ReleaseCompute(topo.PodBrickID{Rack: admitted[i].Rack, Brick: admitted[i].CPU}, reqs[i].VCPUs, reqs[i].Memory)
+	}
+}
+
 // ScaleUpVM grows a VM's memory: rack-local disaggregated memory when
 // the home rack has it, a cross-rack attachment through the pod switch
 // when it does not. The clock advances past the request's completion.

@@ -33,6 +33,14 @@ type Params struct {
 	// Zero means the experiment's default; single-rack experiments
 	// ignore it.
 	Racks int
+	// Batch routes fig10pod's sharded side through the batched
+	// group-commit admission path (CreateVMs / AdmitBatch) instead of
+	// the per-request loop. Output stays byte-identical to the
+	// sequential path at BatchSize 1.
+	Batch bool
+	// BatchSize caps the admission batch size in Batch mode; zero means
+	// one batch per burst.
+	BatchSize int
 	// Fast caps trial counts for smoke tests; artifacts stay
 	// deterministic but represent a reduced sample.
 	Fast bool

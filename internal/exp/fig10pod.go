@@ -110,7 +110,7 @@ func RunFig10Pod(p Params) (Fig10PodResult, error) {
 		var ls []fig10PodLevel
 		var err error
 		if side == 0 {
-			ls, err = runFig10PodSharded(p.Seed, racks)
+			ls, err = runFig10PodSharded(p.Seed, racks, p.Batch, p.BatchSize, p.Workers)
 		} else {
 			ls, err = runFig10PodGlobal(p.Seed, racks)
 		}
@@ -136,10 +136,23 @@ func RunFig10Pod(p Params) (Fig10PodResult, error) {
 // runFig10PodSharded runs every concurrency level against a pod of N
 // racks. Levels share the pod (VMs accumulate; attachments are torn
 // down between levels), mirroring a tenant population that grows.
-func runFig10PodSharded(seed uint64, racks int) ([]fig10PodLevel, error) {
+//
+// With batch set, boots go through core.Pod.CreateVMs and the measured
+// scale-up bursts through sdm.PodScheduler.AdmitBatch — the batched
+// group-commit admission engine — in groups of batchSize (0 = the whole
+// burst), with the per-VM hotplug bound through the scale-up
+// controller's BindAttachment. At batchSize 1 this is byte-identical
+// to the per-request path.
+func runFig10PodSharded(seed uint64, racks int, batch bool, batchSize, workers int) ([]fig10PodLevel, error) {
 	cfg := core.DefaultPodConfig(racks)
 	cfg.Rack = fig10PodRackSpec()
 	cfg.Rack.Seed = seed
+	// Keep the rack sweep unbounded by the stock pod switch: above the
+	// default 384-port radix the sweep provisions a larger switch with
+	// the same per-port profile, preserving the per-rack uplink budget.
+	if need := racks * cfg.Fabric.UplinksPerRack; need > cfg.Fabric.Switch.Ports {
+		cfg.Fabric.Switch.Ports = need
+	}
 	pod, err := core.NewPod(cfg)
 	if err != nil {
 		return nil, err
@@ -150,6 +163,10 @@ func runFig10PodSharded(seed uint64, racks int) ([]fig10PodLevel, error) {
 	out := make([]fig10PodLevel, 0, len(fig10PodConcurrencies))
 	base := sim.Time(0)
 	for li, conc := range fig10PodConcurrencies {
+		chunk := conc
+		if batch && batchSize > 0 {
+			chunk = batchSize
+		}
 		// Boot this level's fleet; the pod tier's spread policy balances
 		// the VMs across the rack shards.
 		type vmRef struct {
@@ -157,13 +174,36 @@ func runFig10PodSharded(seed uint64, racks int) ([]fig10PodLevel, error) {
 			rack int
 		}
 		vms := make([]vmRef, 0, conc)
-		for i := 0; i < conc; i++ {
-			id := fmt.Sprintf("c%02dv%02d", conc, i)
-			if _, err := pod.CreateVM(id, 1, 2*brick.GiB); err != nil {
-				return nil, fmt.Errorf("fig10pod sharded boot %s: %w", id, err)
+		if batch {
+			for lo := 0; lo < conc; lo += chunk {
+				hi := lo + chunk
+				if hi > conc {
+					hi = conc
+				}
+				boots := make([]core.VMCreate, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					boots = append(boots, core.VMCreate{
+						ID: fmt.Sprintf("c%02dv%02d", conc, i), VCPUs: 1, Memory: 2 * brick.GiB,
+					})
+				}
+				if _, err := pod.CreateVMs(boots, workers); err != nil {
+					return nil, fmt.Errorf("fig10pod sharded batch boot: %w", err)
+				}
 			}
-			rack, _ := pod.VMRack(id)
-			vms = append(vms, vmRef{id: hypervisor.VMID(id), rack: rack})
+			for i := 0; i < conc; i++ {
+				id := fmt.Sprintf("c%02dv%02d", conc, i)
+				rack, _ := pod.VMRack(id)
+				vms = append(vms, vmRef{id: hypervisor.VMID(id), rack: rack})
+			}
+		} else {
+			for i := 0; i < conc; i++ {
+				id := fmt.Sprintf("c%02dv%02d", conc, i)
+				if _, err := pod.CreateVM(id, 1, 2*brick.GiB); err != nil {
+					return nil, fmt.Errorf("fig10pod sharded boot %s: %w", id, err)
+				}
+				rack, _ := pod.VMRack(id)
+				vms = append(vms, vmRef{id: hypervisor.VMID(id), rack: rack})
+			}
 		}
 		base = base.Add(sim.Duration((li + 1) * int(sim.Hour)))
 
@@ -173,19 +213,55 @@ func runFig10PodSharded(seed uint64, racks int) ([]fig10PodLevel, error) {
 		}
 		var sum float64
 		var lastDone sim.Time
-		for i, at := range arrivals {
-			v := vms[i]
-			ctl, _ := pod.ScaleController(v.rack)
-			r, err := ctl.ScaleUpVia(at, v.id, fig10PodStep,
-				func(owner string, cpu topo.BrickID, size brick.Bytes) (*sdm.Attachment, sim.Duration, error) {
-					return pod.Scheduler().AttachRemoteMemory(owner, topo.PodBrickID{Rack: v.rack, Brick: cpu}, size)
-				})
-			if err != nil {
-				return nil, fmt.Errorf("fig10pod sharded scale-up %s: %w", v.id, err)
+		if batch {
+			sched := pod.Scheduler()
+			for lo := 0; lo < conc; lo += chunk {
+				hi := lo + chunk
+				if hi > conc {
+					hi = conc
+				}
+				areqs := make([]sdm.AdmitRequest, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					v := vms[i]
+					ctl, _ := pod.ScaleController(v.rack)
+					host, _ := ctl.VMHost(v.id)
+					areqs = append(areqs, sdm.AdmitRequest{
+						Owner: string(v.id), Remote: fig10PodStep, CPU: host, Rack: v.rack,
+					})
+				}
+				admitted, err := sched.AdmitBatch(areqs, workers)
+				if err != nil {
+					return nil, fmt.Errorf("fig10pod sharded batch scale-up: %w", err)
+				}
+				for k, res := range admitted {
+					i := lo + k
+					v := vms[i]
+					ctl, _ := pod.ScaleController(v.rack)
+					r, err := ctl.BindAttachment(arrivals[i], v.id, res.Att, res.AttachLat)
+					if err != nil {
+						return nil, fmt.Errorf("fig10pod sharded batch bind %s: %w", v.id, err)
+					}
+					sum += r.Delay().Seconds()
+					if r.Done > lastDone {
+						lastDone = r.Done
+					}
+				}
 			}
-			sum += r.Delay().Seconds()
-			if r.Done > lastDone {
-				lastDone = r.Done
+		} else {
+			for i, at := range arrivals {
+				v := vms[i]
+				ctl, _ := pod.ScaleController(v.rack)
+				r, err := ctl.ScaleUpVia(at, v.id, fig10PodStep,
+					func(owner string, cpu topo.BrickID, size brick.Bytes) (*sdm.Attachment, sim.Duration, error) {
+						return pod.Scheduler().AttachRemoteMemory(owner, topo.PodBrickID{Rack: v.rack, Brick: cpu}, size)
+					})
+				if err != nil {
+					return nil, fmt.Errorf("fig10pod sharded scale-up %s: %w", v.id, err)
+				}
+				sum += r.Delay().Seconds()
+				if r.Done > lastDone {
+					lastDone = r.Done
+				}
 			}
 		}
 		makespan := lastDone.Sub(base).Seconds()
@@ -292,12 +368,15 @@ func (r Fig10PodResult) Format() string {
 	return b.String()
 }
 
-// artifact packages the typed result for the registry.
+// artifact packages the typed result for the registry. The leading
+// racks column makes per-rack-count CSVs concatenable into one
+// saturation chart (`make saturation`).
 func (r Fig10PodResult) artifact() Result {
 	csv := make([][]string, 0, 1+len(r.Rows))
-	csv = append(csv, []string{"concurrency", "sharded_avg_s", "global_avg_s", "sharded_placements_per_s", "global_placements_per_s", "speedup"})
+	csv = append(csv, []string{"racks", "concurrency", "sharded_avg_s", "global_avg_s", "sharded_placements_per_s", "global_placements_per_s", "speedup"})
 	for _, row := range r.Rows {
 		csv = append(csv, []string{
+			strconv.Itoa(r.Racks),
 			strconv.Itoa(row.Concurrency),
 			fmtF(row.ShardedAvgS), fmtF(row.GlobalAvgS),
 			fmtF(row.ShardedPlacementsPerS), fmtF(row.GlobalPlacementsPerS),

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFig10PodBatchSizeOneMatchesSequential is the in-process version
+// of the CI check: the batched admission path at batch size 1 must
+// produce byte-identical experiment output to the per-request path.
+func TestFig10PodBatchSizeOneMatchesSequential(t *testing.T) {
+	seq, err := RunFig10Pod(Params{Seed: 1, Racks: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := RunFig10Pod(Params{Seed: 1, Racks: 2, Workers: 1, Batch: true, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, bat) {
+		t.Fatalf("batch-size-1 result diverges from sequential:\nbatch:      %+v\nsequential: %+v", bat, seq)
+	}
+	if seq.Format() != bat.Format() {
+		t.Fatal("batch-size-1 text artifact diverges from sequential")
+	}
+}
+
+// TestFig10PodBatchDeterministicAcrossWorkers: full-burst batching must
+// be byte-identical at any worker count — the per-rack parallel
+// planning phase cannot leak scheduling order into results.
+func TestFig10PodBatchDeterministicAcrossWorkers(t *testing.T) {
+	var prev Fig10PodResult
+	for i, workers := range []int{1, 4, 8} {
+		res, err := RunFig10Pod(Params{Seed: 1, Racks: 2, Workers: workers, Batch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !reflect.DeepEqual(prev, res) {
+			t.Fatalf("batch fig10pod diverges between worker counts:\n%+v\n%+v", prev, res)
+		}
+		prev = res
+	}
+}

@@ -16,14 +16,20 @@ import (
 // bindings, in attach order — the lifecycle engine's view of what must
 // move with the VM. Every binding inspection (migration pre-flight,
 // the pod tier's movability checks, diagnostics) routes through this
-// one query.
+// one query (or its allocation-free AppendBoundAttachments variant).
 func (c *Controller) BoundAttachments(id hypervisor.VMID) []*sdm.Attachment {
-	bs := c.bindings[id]
-	atts := make([]*sdm.Attachment, len(bs))
-	for i, b := range bs {
-		atts[i] = b.att
+	return c.AppendBoundAttachments(make([]*sdm.Attachment, 0, len(c.bindings[id])), id)
+}
+
+// AppendBoundAttachments appends the VM's bound attachments to dst and
+// returns the extended slice — the variant migration pre-flights use
+// with a reused scratch buffer so repeated pre-flights allocate
+// nothing.
+func (c *Controller) AppendBoundAttachments(dst []*sdm.Attachment, id hypervisor.VMID) []*sdm.Attachment {
+	for _, b := range c.bindings[id] {
+		dst = append(dst, b.att)
 	}
-	return atts
+	return dst
 }
 
 // Bindings returns the number of remote-memory bindings a VM holds.
@@ -32,8 +38,8 @@ func (c *Controller) Bindings(id hypervisor.VMID) int { return len(c.bindings[id
 // HasAttachmentOf reports whether the VM's bindings include the given
 // attachment (diagnostic helper for pod-tier tests).
 func (c *Controller) HasAttachmentOf(id hypervisor.VMID, att *sdm.Attachment) bool {
-	for _, a := range c.BoundAttachments(id) {
-		if a == att {
+	for _, b := range c.bindings[id] {
+		if b.att == att {
 			return true
 		}
 	}
@@ -103,7 +109,8 @@ func (c *Controller) MigrateTo(now sim.Time, id hypervisor.VMID, dst *Controller
 	if vm.State() != hypervisor.StateRunning {
 		return MigrationResult{}, fmt.Errorf("scaleup: VM %q is not running", id)
 	}
-	bound := c.BoundAttachments(id)
+	bound := c.AppendBoundAttachments(c.attScratch[:0], id)
+	c.attScratch = bound
 	if len(bound) > 0 && repoint == nil {
 		return MigrationResult{}, fmt.Errorf("scaleup: VM %q holds %d remote attachments and no circuit mover was supplied", id, len(bound))
 	}

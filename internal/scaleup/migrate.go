@@ -63,8 +63,10 @@ func (c *Controller) Migrate(now sim.Time, id hypervisor.VMID) (MigrationResult,
 	// ridden circuits cannot be re-pointed atomically, so migration
 	// refuses them upfront rather than failing halfway with attachments
 	// split across two bricks. Cross-rack circuits re-point through the
-	// pod tier transparently.
-	for _, att := range c.BoundAttachments(id) {
+	// pod tier transparently. The scratch buffer keeps the pre-flight
+	// allocation-free.
+	c.attScratch = c.AppendBoundAttachments(c.attScratch[:0], id)
+	for _, att := range c.attScratch {
 		if err := c.sdmc.CanRepoint(att); err != nil {
 			return MigrationResult{}, fmt.Errorf("scaleup: VM %q cannot migrate: %w", id, err)
 		}

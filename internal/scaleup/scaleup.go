@@ -112,6 +112,10 @@ type Controller struct {
 	// journal, when set, records every elasticity event.
 	journal *trace.Log
 
+	// attScratch is the reused pre-flight buffer of AppendBoundAttachments
+	// callers (migration), so repeated pre-flights allocate nothing.
+	attScratch []*sdm.Attachment
+
 	scaleUps, scaleDowns uint64
 }
 
@@ -161,30 +165,69 @@ func (c *Controller) CreateVM(now sim.Time, id hypervisor.VMID, spec hypervisor.
 	if err != nil {
 		return topo.BrickID{}, Result{}, err
 	}
-	n, err := c.nodeFor(host)
+	res, err := c.AdoptVM(now, id, spec, host, sim.Duration(resLat))
 	if err != nil {
 		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
 		return topo.BrickID{}, Result{}, err
 	}
+	return host, res, nil
+}
+
+// AdoptVM registers and boots a VM whose compute reservation was
+// already made elsewhere — the pod tier's batch admission reserves
+// whole bursts through sdm.PodScheduler.AdmitBatch and then adopts
+// each VM onto its rack's controller through this entry point. resLat
+// is the reservation's orchestration latency, which serializes through
+// the SDM queue exactly as CreateVM's would. The caller owns the
+// reservation: on error it is NOT released here.
+func (c *Controller) AdoptVM(now sim.Time, id hypervisor.VMID, spec hypervisor.VMSpec, host topo.BrickID, resLat sim.Duration) (Result, error) {
+	if _, dup := c.vmHost[id]; dup {
+		return Result{}, fmt.Errorf("scaleup: VM %q already exists", id)
+	}
+	n, err := c.nodeFor(host)
+	if err != nil {
+		return Result{}, err
+	}
 	_, spawnLat, err := n.hv.Spawn(id, spec)
 	if err != nil {
-		c.sdmc.ReleaseCompute(host, spec.VCPUs, spec.Memory)
-		return topo.BrickID{}, Result{}, err
+		return Result{}, err
 	}
 	c.vmHost[id] = host
 	c.vmSpec[id] = spec
 	arrive := now.Add(c.cfg.APIOverhead)
-	start, done := c.sdmQueue.Serve(arrive, sim.Duration(resLat))
+	start, done := c.sdmQueue.Serve(arrive, resLat)
 	res := Result{
 		Requested:     now,
 		Started:       start,
 		Done:          done.Add(spawnLat),
-		Orchestration: sim.Duration(resLat),
+		Orchestration: resLat,
 		Virtual:       spawnLat,
 		Size:          spec.Memory,
 	}
 	c.record(now, trace.KindReserve, string(id), "VM created on %v (%d vCPU, %v) in %v", host, spec.VCPUs, spec.Memory, res.Delay())
-	return host, res, nil
+	return res, nil
+}
+
+// DiscardVM removes a VM that failed mid-admission: the hypervisor
+// object is evicted and the registration dropped. The caller owns the
+// compute reservation and any attachments (this is the batch boot
+// error path's cleanup, not a graceful shutdown — the VM must hold no
+// bindings).
+func (c *Controller) DiscardVM(id hypervisor.VMID) error {
+	host, ok := c.vmHost[id]
+	if !ok {
+		return fmt.Errorf("scaleup: no VM %q", id)
+	}
+	if n := len(c.bindings[id]); n > 0 {
+		return fmt.Errorf("scaleup: VM %q still holds %d remote bindings", id, n)
+	}
+	if _, err := c.nodes[host].hv.Evict(id); err != nil {
+		return err
+	}
+	delete(c.vmHost, id)
+	delete(c.vmSpec, id)
+	delete(c.bindings, id)
+	return nil
 }
 
 // VMHost returns the brick hosting a VM.
@@ -222,15 +265,32 @@ func (c *Controller) ScaleUpVia(now sim.Time, id hypervisor.VMID, size brick.Byt
 	if size == 0 {
 		return Result{}, fmt.Errorf("scaleup: zero-size scale-up for %q", id)
 	}
-	n := c.nodes[host]
 
 	// Step 2: orchestration, serialized through the SDM service.
 	att, orchLat, err := attach(string(id), host, size)
 	if err != nil {
 		return Result{}, err
 	}
+	return c.BindAttachment(now, id, att, orchLat)
+}
+
+// BindAttachment completes a scale-up whose SDM attachment was already
+// provisioned — the tail of ScaleUpVia (steps 3 and 4: baremetal
+// hot-add + online, hypervisor DIMM attach), plus the SDM-queue
+// serialization of the attachment's orchestration latency. This is how
+// batch admission joins the scale-up control path: the pod tier
+// provisions a whole burst of attachments through AdmitBatch, then each
+// VM's rack controller binds its attachment here. On any hotplug
+// failure the attachment is detached and the error returned.
+func (c *Controller) BindAttachment(now sim.Time, id hypervisor.VMID, att *sdm.Attachment, orchLat sim.Duration) (Result, error) {
+	host, ok := c.vmHost[id]
+	if !ok {
+		return Result{}, fmt.Errorf("scaleup: no VM %q", id)
+	}
+	n := c.nodes[host]
+	size := att.Size()
 	arrive := now.Add(c.cfg.APIOverhead)
-	start, orchDone := c.sdmQueue.Serve(arrive, sim.Duration(orchLat))
+	start, orchDone := c.sdmQueue.Serve(arrive, orchLat)
 
 	// Step 3: baremetal hot-add + online of the new window.
 	addLat, err := n.kernel.HotAdd(att.Window.Base, size)
@@ -261,7 +321,7 @@ func (c *Controller) ScaleUpVia(now sim.Time, id hypervisor.VMID, size brick.Byt
 		Requested:     now,
 		Started:       start,
 		Done:          orchDone.Add(bm + hvLat),
-		Orchestration: sim.Duration(orchLat),
+		Orchestration: orchLat,
 		Baremetal:     bm,
 		Virtual:       hvLat,
 		Size:          size,

@@ -28,6 +28,7 @@ func (c *Controller) ReserveCompute(owner string, vcpus int, localMem brick.Byte
 	if node.Brick.State() == brick.PowerOff {
 		node.Brick.PowerOn()
 		lat += c.cfg.BrickBoot
+		c.logBootCPU(id)
 	}
 	if err := node.Brick.AllocCores(vcpus); err != nil {
 		c.failures++

@@ -1,0 +1,77 @@
+package sdm
+
+import (
+	"testing"
+
+	"repro/internal/brick"
+)
+
+// TestAttachmentQueriesAllocFree pins the append-into-dst attachment
+// queries at zero allocations per call once the destination has
+// capacity — the contract migration pre-flights and the rebalancer
+// rely on to stop allocating per sweep.
+func TestAttachmentQueriesAllocFree(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.PacketFallback = true
+	s := buildBatchPod(t, 2, 2, 2, 8*brick.GiB, cfg)
+	first, err := s.AdmitBatch([]AdmitRequest{
+		{Owner: "vm", VCPUs: 1, LocalMem: brick.GiB, Remote: brick.GiB},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AdmitBatch([]AdmitRequest{
+		{Owner: "vm", VCPUs: 0, Remote: brick.GiB, CPU: first[0].CPU, Rack: first[0].Rack},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]*Attachment, 0, 16)
+	if n := testing.AllocsPerRun(100, func() {
+		dst = s.AppendAttachments(dst[:0], "vm")
+	}); n != 0 {
+		t.Fatalf("PodScheduler.AppendAttachments allocates %.0f/op, want 0", n)
+	}
+	if len(dst) == 0 {
+		t.Fatal("AppendAttachments returned no attachments")
+	}
+	rack := s.Rack(0)
+	if n := testing.AllocsPerRun(100, func() {
+		dst = rack.AppendAttachments(dst[:0], "vm")
+	}); n != 0 {
+		t.Fatalf("Controller.AppendAttachments allocates %.0f/op, want 0", n)
+	}
+}
+
+// TestRebalanceSweepAllocFree pins a no-promotion rebalancing sweep at
+// zero allocations once its snapshot scratch is warm: a periodic
+// background rebalancer costs nothing while there is nothing to do.
+func TestRebalanceSweepAllocFree(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.PacketFallback = true
+	s := buildPodSched(t, 2, 2*brick.GiB, 4, cfg)
+	cpu, _, err := s.ReserveCompute("vm", 1, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the home rack's memory, then spill cross-rack; the home rack
+	// stays full, so every sweep skips the spill with no-room.
+	if _, _, err := s.AttachRemoteMemory("vm", cpu, 2*brick.GiB); err != nil {
+		t.Fatal(err)
+	}
+	spill, _, err := s.AttachRemoteMemory("vm", cpu, brick.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spill.CrossRack() {
+		t.Fatal("expected a cross-rack spill")
+	}
+	s.Rebalance(0) // warm the scratch buffer
+	if n := testing.AllocsPerRun(50, func() {
+		rep := s.Rebalance(0)
+		if rep.SkippedNoRoom != 1 || rep.Promoted != 0 {
+			t.Fatalf("sweep did not skip the spill: %+v", rep)
+		}
+	}); n != 0 {
+		t.Fatalf("no-op rebalance sweep allocates %.0f/op, want 0", n)
+	}
+}

@@ -1,0 +1,549 @@
+package sdm
+
+// Batched group-commit admission, rack tier. A scale-up burst admits
+// many VM-shaped consumers at once; serving them one Reserve/Attach
+// call at a time repays the full scheduler overhead — a policy descent
+// per pick and an index-leaf refresh per touched brick per op — for
+// every single request. PlaceBatch amortizes all of it across the
+// batch:
+//
+//   - Picks are cached: packing policies (power-aware, first-fit)
+//     re-select the same brick for identical back-to-back requirements,
+//     so the planner remembers the last pick and revalidates it against
+//     live brick state in O(1). The cache is sound because admission
+//     only consumes capacity: while no brick changes power state and
+//     nothing rolls back, every brick ahead of the cached one in the
+//     policy order keeps failing the same requirement it already
+//     failed, so the cached brick stays the policy's answer for as long
+//     as it still fits. Any power-on or rollback invalidates the cache,
+//     and the spread policy (whose ranking shifts on every allocation)
+//     never uses it.
+//   - Index refreshes are deferred and merged: ops mark touched bricks
+//     in a dirty set instead of re-walking the tree per mutation; dirty
+//     leaves are flushed only when a fresh descent actually needs the
+//     tree (a pick-cache miss) and once more at batch end — one refresh
+//     per touched brick instead of one per op.
+//   - The attach sequence commits as one merged plan: the same steps as
+//     the lifecycle engine's OpAttach, in the same order with the same
+//     latency accounting and the same unwind-on-failure, but executed
+//     inline with explicit reverse-order releases instead of one
+//     closure per step, so a burst allocates no plan machinery.
+//
+// Selection is byte-identical to the per-request path: cache hits
+// return what a fresh descent would return (the invariant above), and
+// cache misses flush the dirty leaves first so the descent runs on an
+// exact tree. A batch of size 1 therefore reproduces the sequential
+// ReserveCompute + AttachRemoteMemory results bit for bit.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+	"repro/internal/sim"
+	"repro/internal/tgl"
+	"repro/internal/topo"
+)
+
+// AdmitRequest is one admission of a VM-shaped consumer in a batch:
+// a compute reservation (vCPUs plus brick-local memory) and/or one
+// remote-memory attachment.
+type AdmitRequest struct {
+	// Owner tags every resource the admission reserves.
+	Owner string
+	// VCPUs is the compute reservation; 0 marks an attach-only request
+	// (a scale-up of an already-placed VM) whose compute brick is CPU.
+	VCPUs int
+	// LocalMem is the brick-local memory reserved with the cores.
+	LocalMem brick.Bytes
+	// Remote is the remote attachment size; 0 admits compute only.
+	Remote brick.Bytes
+	// CPU names the compute brick of an attach-only request.
+	CPU topo.BrickID
+	// Rack names CPU's rack at the pod tier; rack controllers ignore it.
+	Rack int
+}
+
+// AdmitResult is one admission's outcome.
+type AdmitResult struct {
+	// CPU is the compute brick serving the request (the picked brick,
+	// or the request's own for attach-only admissions).
+	CPU topo.BrickID
+	// Rack is CPU's pod rack index (0 on a rack controller).
+	Rack int
+	// Att is the remote attachment, nil when Remote was 0.
+	Att *Attachment
+	// ComputeLat and AttachLat are the orchestration latencies of the
+	// two parts, with the same accounting as ReserveCompute and
+	// AttachRemoteMemory.
+	ComputeLat, AttachLat sim.Duration
+	// Err marks a failed request; its own steps have been rolled back.
+	Err error
+
+	// computeDone records a committed compute reservation (rollback
+	// needs it even when the attach part is still pending cross-rack).
+	computeDone bool
+	// needSpill and localErr mark a pod-mode leftover: the compute part
+	// (if any) is committed, but the rack could not serve the remote
+	// part locally and the pod tier must spill it cross-rack.
+	needSpill bool
+	localErr  error
+}
+
+// pickCache remembers the last placement descent's answer so identical
+// back-to-back requirements skip the tree entirely.
+type pickCache struct {
+	valid      bool
+	pos        int
+	minA, minB int64
+}
+
+// batchState is a controller's batch-planning context, allocated once
+// and reused across batches.
+type batchState struct {
+	active                 bool
+	dirtyCPU, dirtyMem     []int
+	inDirtyCPU, inDirtyMem []bool
+	cpuCache, memCache     pickCache
+}
+
+// invalidateCaches drops both pick caches — required whenever batch
+// execution returns capacity (a rollback) or flips a power state, the
+// two events that break the caches' monotone-consumption invariant.
+func (b *batchState) invalidateCaches() {
+	b.cpuCache.valid = false
+	b.memCache.valid = false
+}
+
+// startBootLog begins recording the bricks this controller powers on
+// during an admission, so an aborting batch can power its own boots
+// back down and restore the pre-batch power census exactly. Recording
+// covers both the batch planner and the sequential entry points the pod
+// tier's merge phase routes through.
+func (c *Controller) startBootLog() {
+	c.bootLogging = true
+	c.bootCPULog = c.bootCPULog[:0]
+	c.bootMemLog = c.bootMemLog[:0]
+}
+
+// stopBootLog stops recording; the log stays readable for rollback.
+func (c *Controller) stopBootLog() { c.bootLogging = false }
+
+func (c *Controller) logBootCPU(id topo.BrickID) {
+	if c.bootLogging {
+		c.bootCPULog = append(c.bootCPULog, id)
+	}
+}
+
+func (c *Controller) logBootMem(id topo.BrickID) {
+	if c.bootLogging {
+		c.bootMemLog = append(c.bootMemLog, id)
+	}
+}
+
+// rollbackBoots powers down every brick the logged admission booted
+// that ended up unused after the teardown — a batch that rolls back
+// leaves the power census exactly as it found it. (The boot latency
+// stays spent, matching the lifecycle engine's failed-plan contract.)
+func (c *Controller) rollbackBoots() {
+	for i := len(c.bootCPULog) - 1; i >= 0; i-- {
+		id := c.bootCPULog[i]
+		if n := c.computes[id]; n.Brick.State() != brick.PowerOff && n.Brick.IsIdle() {
+			n.Brick.PowerDown()
+			c.touchCompute(id)
+		}
+	}
+	for i := len(c.bootMemLog) - 1; i >= 0; i-- {
+		id := c.bootMemLog[i]
+		if m := c.memories[id]; m.State() != brick.PowerOff && m.IsIdle() {
+			m.PowerDown()
+			c.touchMemory(id)
+		}
+	}
+	c.bootCPULog = c.bootCPULog[:0]
+	c.bootMemLog = c.bootMemLog[:0]
+}
+
+// beginBatch opens batch mode: index touches divert to the dirty sets
+// and picks may be served from the caches.
+func (c *Controller) beginBatch() {
+	if c.batch == nil {
+		c.batch = &batchState{
+			inDirtyCPU: make([]bool, len(c.computeOrder)),
+			inDirtyMem: make([]bool, len(c.memoryOrder)),
+		}
+	}
+	c.batch.active = true
+	c.batch.invalidateCaches()
+}
+
+// endBatch group-commits the deferred index maintenance — one leaf
+// refresh per touched brick — and closes batch mode.
+func (c *Controller) endBatch() {
+	c.flushDirtyCPU()
+	c.flushDirtyMem()
+	c.batch.active = false
+}
+
+// flushDirtyCPU refreshes every dirty compute leaf once.
+func (c *Controller) flushDirtyCPU() {
+	b := c.batch
+	for _, pos := range b.dirtyCPU {
+		b.inDirtyCPU[pos] = false
+		c.cpuIdx.touch(pos)
+	}
+	b.dirtyCPU = b.dirtyCPU[:0]
+}
+
+// flushDirtyMem refreshes every dirty memory leaf once.
+func (c *Controller) flushDirtyMem() {
+	b := c.batch
+	for _, pos := range b.dirtyMem {
+		b.inDirtyMem[pos] = false
+		c.memIdx.touch(pos)
+	}
+	b.dirtyMem = b.dirtyMem[:0]
+}
+
+// batchPickCompute is pickCompute under batch planning: cache hit with
+// O(1) live revalidation, or dirty-leaf flush plus an exact descent.
+func (c *Controller) batchPickCompute(vcpus int, localMem brick.Bytes) (topo.BrickID, bool) {
+	if c.cfg.Scan == ScanLinear {
+		return c.pickComputeLinear(vcpus, localMem)
+	}
+	b := c.batch
+	minA, minB := int64(vcpus), int64(localMem)
+	if b.cpuCache.valid && b.cpuCache.minA == minA && b.cpuCache.minB == minB {
+		if s := c.computeStat(b.cpuCache.pos); s.fitA >= minA && s.fitB >= minB {
+			return c.computeOrder[b.cpuCache.pos], true
+		}
+	}
+	c.flushDirtyCPU()
+	id, ok := c.pickComputeIndexed(vcpus, localMem, -1)
+	if ok && c.cfg.Policy != PolicySpread {
+		b.cpuCache = pickCache{valid: true, pos: c.cpuPos[id], minA: minA, minB: minB}
+	} else {
+		b.cpuCache.valid = false
+	}
+	return id, ok
+}
+
+// batchPickMemory is pickMemory under batch planning.
+func (c *Controller) batchPickMemory(size brick.Bytes) (topo.BrickID, bool) {
+	if c.cfg.Scan == ScanLinear {
+		return c.pickMemoryLinear(size)
+	}
+	b := c.batch
+	minA, minB := int64(size), int64(1)
+	if b.memCache.valid && b.memCache.minA == minA && b.memCache.minB == minB {
+		if s := c.memoryStat(b.memCache.pos); s.fitA >= minA && s.fitB >= minB {
+			return c.memoryOrder[b.memCache.pos], true
+		}
+	}
+	c.flushDirtyMem()
+	id, ok := c.pickMemoryIndexed(size)
+	if ok && c.cfg.Policy != PolicySpread {
+		b.memCache = pickCache{valid: true, pos: c.memPos[id], minA: minA, minB: minB}
+	} else {
+		b.memCache.valid = false
+	}
+	return id, ok
+}
+
+// PlaceBatch plans and commits a batch of admissions against this rack:
+// per request a compute pick, local carve and remote attachment, served
+// through the batch planner (cached picks, merged commits, one index
+// refresh per touched brick). Requests are served in order; a request
+// that cannot be placed has its own steps rolled back and its Err set,
+// and later requests still run. out must have len(reqs) slots. Use
+// RollbackBatch to undo the whole batch — e.g. when admission is
+// all-or-nothing and one request failing voids the rest.
+func (c *Controller) PlaceBatch(reqs []AdmitRequest, out []AdmitResult) {
+	c.startBootLog()
+	c.placeBatch(reqs, out, false)
+	c.stopBootLog()
+}
+
+// placeBatch is PlaceBatch with the pod tier's leftover contract: in
+// pod mode a request whose remote part cannot be served rack-locally
+// keeps its compute reservation and is marked needSpill for the pod
+// tier to route cross-rack, instead of failing outright.
+func (c *Controller) placeBatch(reqs []AdmitRequest, out []AdmitResult, pod bool) {
+	c.beginBatch()
+	for i := range reqs {
+		c.admitOne(&reqs[i], &out[i], pod)
+	}
+	c.endBatch()
+}
+
+// admitOne serves one request of a batch.
+func (c *Controller) admitOne(req *AdmitRequest, res *AdmitResult, pod bool) {
+	*res = AdmitResult{}
+	cpu := req.CPU
+	if req.VCPUs > 0 {
+		id, lat, err := c.batchReserveCompute(req.Owner, req.VCPUs, req.LocalMem)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		cpu, res.CPU, res.ComputeLat, res.computeDone = id, id, lat, true
+	} else {
+		if req.Remote == 0 {
+			res.Err = fmt.Errorf("sdm: empty admission for %q: no vCPUs and no remote memory", req.Owner)
+			return
+		}
+		if _, ok := c.computes[cpu]; !ok {
+			res.Err = fmt.Errorf("sdm: no compute brick %v", cpu)
+			return
+		}
+		res.CPU = cpu
+	}
+	if req.Remote == 0 {
+		return
+	}
+	if pod && c.cfg.Scan != ScanLinear && c.MaxMemoryGap() < req.Remote {
+		// No rack-local brick can hold the segment (the dirty-deferred
+		// root only over-estimates, so a failing gate is exact): skip
+		// the doomed local plan, mirror the counters, and hand the
+		// request to the pod tier's spill path.
+		c.requests++
+		c.failures++
+		res.needSpill = true
+		return
+	}
+	att, lat, err := c.batchAttachLocal(req.Owner, cpu, req.Remote)
+	if err != nil {
+		if pod {
+			res.needSpill = true
+			res.localErr = err
+			return
+		}
+		if res.computeDone {
+			c.releaseComputeBatch(res.CPU, req.VCPUs, req.LocalMem)
+			res.computeDone = false
+		}
+		res.Err = err
+		return
+	}
+	res.Att, res.AttachLat = att, lat
+}
+
+// releaseComputeBatch undoes one batch compute reservation in place.
+func (c *Controller) releaseComputeBatch(id topo.BrickID, vcpus int, localMem brick.Bytes) {
+	node := c.computes[id]
+	node.Brick.FreeCoresBack(vcpus)
+	if localMem > 0 {
+		node.Brick.FreeLocal(localMem)
+	}
+	c.touchCompute(id)
+	c.batch.invalidateCaches()
+}
+
+// RollbackBatch undoes every committed admission of a PlaceBatch call
+// in reverse request order — attachments detach, compute reservations
+// release — restoring brick state and, with it, the placement indexes
+// to their pre-batch answers. The first teardown error is returned
+// (teardown of fresh admissions cannot ordinarily fail).
+func (c *Controller) RollbackBatch(reqs []AdmitRequest, out []AdmitResult) error {
+	var first error
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i].Att != nil {
+			if _, err := c.DetachRemoteMemory(out[i].Att); err != nil && first == nil {
+				first = err
+			}
+			out[i].Att = nil
+		}
+		if out[i].computeDone {
+			if err := c.ReleaseCompute(out[i].CPU, reqs[i].VCPUs, reqs[i].LocalMem); err != nil && first == nil {
+				first = err
+			}
+			out[i].computeDone = false
+		}
+	}
+	c.rollbackBoots()
+	return first
+}
+
+// batchReserveCompute mirrors ReserveCompute through the batch planner:
+// same selection, same latency accounting, same counters.
+func (c *Controller) batchReserveCompute(owner string, vcpus int, localMem brick.Bytes) (topo.BrickID, sim.Duration, error) {
+	c.requests++
+	if vcpus <= 0 {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: reserve of %d vcpus", vcpus)
+	}
+	lat := c.cfg.DecisionLatency
+	id, ok := c.batchPickCompute(vcpus, localMem)
+	if !ok {
+		c.failures++
+		return topo.BrickID{}, 0, fmt.Errorf("sdm: no compute brick with %d free cores and %v local memory", vcpus, localMem)
+	}
+	node := c.computes[id]
+	if node.Brick.State() == brick.PowerOff {
+		node.Brick.PowerOn()
+		lat += c.cfg.BrickBoot
+		c.batch.cpuCache.valid = false
+		c.logBootCPU(id)
+	}
+	if err := node.Brick.AllocCores(vcpus); err != nil {
+		c.failures++
+		return topo.BrickID{}, 0, err
+	}
+	if localMem > 0 {
+		if err := node.Brick.AllocLocal(localMem); err != nil {
+			node.Brick.FreeCoresBack(vcpus)
+			c.touchCompute(id)
+			c.batch.invalidateCaches()
+			c.failures++
+			return topo.BrickID{}, 0, err
+		}
+	}
+	c.touchCompute(id)
+	return id, lat, nil
+}
+
+// batchAttachLocal mirrors AttachRemoteMemory's rack-local circuit
+// attach — the same steps in the same order as the lifecycle engine's
+// OpAttach, with the same latency accounting, counters, packet-fallback
+// cascade and quarantine-and-retry fault recovery — executed inline as
+// one merged commit with explicit reverse-order unwinding.
+func (c *Controller) batchAttachLocal(owner string, cpu topo.BrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
+	c.requests++
+	node, ok := c.computes[cpu]
+	if !ok {
+		c.failures++
+		return nil, 0, fmt.Errorf("sdm: no compute brick %v", cpu)
+	}
+	if size == 0 {
+		c.failures++
+		return nil, 0, fmt.Errorf("sdm: zero-size attachment")
+	}
+	lat := c.cfg.DecisionLatency
+	var (
+		m         *brick.Memory
+		memID     topo.BrickID
+		memChosen bool
+	)
+	// The op's touch hooks, deferred so every exit marks both endpoints
+	// dirty exactly as Commit would have touched them.
+	defer func() {
+		c.touchCompute(cpu)
+		if memChosen {
+			c.touchMemory(memID)
+		}
+	}()
+	// fail concludes a mid-plan failure after the caller has unwound the
+	// completed steps: caches drop (the unwind returned capacity), the
+	// packet fallback cascades when circuit resources were exhausted.
+	fallback := false
+	fail := func(err error) (*Attachment, sim.Duration, error) {
+		c.batch.invalidateCaches()
+		if fallback && c.cfg.PacketFallback {
+			if att, fl, ferr := c.attachPacket(owner, cpu, size); ferr == nil {
+				return att, lat + fl, nil
+			}
+		}
+		c.failures++
+		return nil, 0, err
+	}
+
+	// CPU-side port first — the scarcest resource (see planAttach).
+	cpuPort, err := node.Brick.Ports.Acquire()
+	if err != nil {
+		fallback = true
+		return fail(err)
+	}
+	// Memory selection and power-up.
+	memID, ok = c.batchPickMemory(size)
+	if !ok {
+		node.Brick.Ports.Release(cpuPort)
+		fallback = true
+		return fail(fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", size))
+	}
+	m, memChosen = c.memories[memID], true
+	if m.State() == brick.PowerOff {
+		m.PowerOn()
+		lat += c.cfg.BrickBoot
+		c.batch.memCache.valid = false
+		c.logBootMem(memID)
+	}
+	// Segment carve.
+	seg, err := m.Carve(size, owner)
+	if err != nil {
+		node.Brick.Ports.Release(cpuPort)
+		return fail(err)
+	}
+	// Memory-side port.
+	memPort, err := m.Ports.Acquire()
+	if err != nil {
+		m.Release(seg)
+		node.Brick.Ports.Release(cpuPort)
+		fallback = true
+		return fail(err)
+	}
+	// Circuit setup with the rack tier's quarantine-and-retry recovery.
+	t := c.rackTier()
+	var circuit *optical.Circuit
+	maxRetries := node.Brick.Ports.Total() + m.Ports.Total()
+	for retry := 0; ; retry++ {
+		cc, reconfig, cerr := t.connect(cpuPort, memPort)
+		if cerr == nil {
+			circuit = cc
+			lat += reconfig
+			break
+		}
+		var pf *optical.PortFailedError
+		if errors.As(cerr, &pf) && retry < maxRetries {
+			var reacquireErr error
+			if pf.Port == cpuPort {
+				if reacquireErr = node.Brick.Ports.Quarantine(cpuPort); reacquireErr == nil {
+					cpuPort, reacquireErr = node.Brick.Ports.Acquire()
+				}
+			} else {
+				if reacquireErr = m.Ports.Quarantine(memPort); reacquireErr == nil {
+					memPort, reacquireErr = m.Ports.Acquire()
+				}
+			}
+			if reacquireErr == nil {
+				continue
+			}
+			cerr = fmt.Errorf("sdm: circuit fault recovery exhausted ports: %w", reacquireErr)
+		}
+		m.Ports.Release(memPort)
+		m.Release(seg)
+		node.Brick.Ports.Release(cpuPort)
+		return fail(cerr)
+	}
+	// TGL window push via the SDM Agent.
+	window := tgl.Entry{
+		Base:       c.nextWindow[cpu],
+		Size:       uint64(size),
+		Dest:       memID,
+		DestOffset: uint64(seg.Offset),
+		Port:       cpuPort,
+	}
+	if err := node.Agent.Glue.Attach(window); err != nil {
+		t.disconnect(circuit)
+		m.Ports.Release(memPort)
+		m.Release(seg)
+		node.Brick.Ports.Release(cpuPort)
+		return fail(err)
+	}
+	c.nextWindow[cpu] += uint64(size)
+	lat += c.cfg.AgentRTT
+	// Registration — final and infallible.
+	att := &Attachment{
+		Owner:   owner,
+		CPU:     cpu,
+		Segment: seg,
+		Circuit: circuit,
+		CPUPort: cpuPort,
+		MemPort: memPort,
+		Window:  window,
+		Mode:    ModeCircuit,
+	}
+	c.attachments[owner] = append(c.attachments[owner], att)
+	c.circuitHosts[cpu] = append(c.circuitHosts[cpu], att)
+	return att, lat, nil
+}

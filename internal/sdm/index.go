@@ -344,24 +344,45 @@ func (c *Controller) buildIndexes() {
 
 // touchCompute refreshes one compute brick's index leaf. In linear-scan
 // mode the indexes are not consulted, so maintenance is skipped to keep
-// the baseline's cost profile faithful to the pre-index path.
+// the baseline's cost profile faithful to the pre-index path. Under
+// batch planning the refresh is deferred instead: the position joins
+// the batch's dirty set and is flushed once per batch (see batch.go).
 func (c *Controller) touchCompute(id topo.BrickID) {
 	if c.cfg.Scan == ScanLinear {
 		return
 	}
-	if pos, ok := c.cpuPos[id]; ok {
-		c.cpuIdx.touch(pos)
+	pos, ok := c.cpuPos[id]
+	if !ok {
+		return
 	}
+	if b := c.batch; b != nil && b.active {
+		if !b.inDirtyCPU[pos] {
+			b.inDirtyCPU[pos] = true
+			b.dirtyCPU = append(b.dirtyCPU, pos)
+		}
+		return
+	}
+	c.cpuIdx.touch(pos)
 }
 
-// touchMemory refreshes one memory brick's index leaf.
+// touchMemory refreshes one memory brick's index leaf (deferred to the
+// batch dirty set under batch planning, like touchCompute).
 func (c *Controller) touchMemory(id topo.BrickID) {
 	if c.cfg.Scan == ScanLinear {
 		return
 	}
-	if pos, ok := c.memPos[id]; ok {
-		c.memIdx.touch(pos)
+	pos, ok := c.memPos[id]
+	if !ok {
+		return
 	}
+	if b := c.batch; b != nil && b.active {
+		if !b.inDirtyMem[pos] {
+			b.inDirtyMem[pos] = true
+			b.dirtyMem = append(b.dirtyMem, pos)
+		}
+		return
+	}
+	c.memIdx.touch(pos)
 }
 
 // reindexAll rebuilds both indexes after a bulk mutation (power sweep).

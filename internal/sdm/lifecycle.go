@@ -322,6 +322,7 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 		m = chosen.rack.memories[chosen.brick]
 		if m.State() == brick.PowerOff {
 			m.PowerOn()
+			chosen.rack.logBootMem(chosen.brick)
 			return cfg.BrickBoot, nil
 		}
 		return 0, nil

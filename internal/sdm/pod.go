@@ -56,6 +56,10 @@ type PodScheduler struct {
 	// tier in lifecycle.go).
 	tierConns map[[2]int]connector
 
+	// rebalScratch is the rebalancer's reused sweep snapshot buffer, so
+	// periodic sweeps stop allocating per call.
+	rebalScratch []*Attachment
+
 	requests uint64
 	failures uint64
 	spills   uint64
@@ -591,11 +595,23 @@ func (s *PodScheduler) removeCrossHost(att *Attachment) {
 // compute rack's controller).
 func (s *PodScheduler) Attachments(owner string) []*Attachment {
 	for _, r := range s.racks {
-		if atts := r.Attachments(owner); len(atts) > 0 {
-			return atts
+		if len(r.attachments[owner]) > 0 {
+			return r.Attachments(owner)
 		}
 	}
 	return nil
+}
+
+// AppendAttachments appends the owner's live attachments across the pod
+// to dst and returns the extended slice — the allocation-free variant
+// of Attachments.
+func (s *PodScheduler) AppendAttachments(dst []*Attachment, owner string) []*Attachment {
+	for _, r := range s.racks {
+		if len(r.attachments[owner]) > 0 {
+			return r.AppendAttachments(dst, owner)
+		}
+	}
+	return dst
 }
 
 // PowerOffIdle sweeps every rack and returns the total bricks stopped.

@@ -1,0 +1,291 @@
+package sdm
+
+// Batched group-commit admission, pod tier. AdmitBatch serves a whole
+// scale-up burst in three deterministic phases:
+//
+//  1. Partition (serial): every request is assigned a rack by the same
+//     O(1) index-root aggregates the per-request rack choice reads —
+//     free-core rank sums and feasibility maxima — adjusted by the
+//     cores already planned onto each rack, so a burst spreads (or
+//     packs) the way the policy would have placed it one by one.
+//  2. Plan (parallel): each rack's sub-batch runs through its own
+//     Controller.PlaceBatch on a worker goroutine. Rack shards share
+//     nothing on this path — every controller owns its bricks, fabric
+//     and indexes — so there are no locks, and each shard's outcome is
+//     a pure function of its pre-batch state and its sub-batch. The
+//     result is byte-identical at any worker count.
+//  3. Merge (serial): leftovers — requests whose rack could not serve
+//     the remote part locally, or whose planned rack turned out full —
+//     resolve in request order through the sequential spill machinery
+//     (cross-rack circuits through the pod switch, then the pod-tier
+//     packet fallback), exactly as the per-request path would.
+//
+// Admission is all-or-nothing: if any request definitively fails, every
+// committed admission is torn down in reverse order and the spill
+// sequence counter restored, leaving brick state, placement indexes and
+// the rebalancer's crossOrder answering exactly as before the batch.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+// AdmitBatch admits a burst of requests pod-wide using at most workers
+// goroutines for the per-rack planning phase (<= 0 means GOMAXPROCS).
+// Results are in request order. On error, nothing remains admitted.
+func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResult, error) {
+	out := make([]AdmitResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	seqStart := s.attachSeq
+	for _, r := range s.racks {
+		r.startBootLog()
+	}
+	defer func() {
+		for _, r := range s.racks {
+			r.stopBootLog()
+		}
+	}()
+
+	// Phase 1 — partition by the O(1) rack-choice aggregates.
+	rackOf := make([]int, len(reqs))
+	plannedCores := make([]int, len(s.racks))
+	plannedAny := false
+	for i := range reqs {
+		req := &reqs[i]
+		switch {
+		case req.VCPUs < 0:
+			return nil, fmt.Errorf("sdm: batch request %d (%q): reserve of %d vcpus", i, req.Owner, req.VCPUs)
+		case req.VCPUs == 0:
+			if req.Remote == 0 {
+				return nil, fmt.Errorf("sdm: batch request %d (%q): no vCPUs and no remote memory", i, req.Owner)
+			}
+			if req.Rack < 0 || req.Rack >= len(s.racks) {
+				s.requests++
+				s.failures++
+				return nil, fmt.Errorf("sdm: batch request %d (%q): no rack %d in the pod", i, req.Owner, req.Rack)
+			}
+			rackOf[i] = req.Rack
+		case !plannedAny:
+			// First compute placement: nothing is planned yet, so the
+			// exact per-request rack choice applies — which also makes a
+			// batch of one reproduce the sequential path bit for bit.
+			rack, ok := s.pickComputeRackExcept(req.VCPUs, req.LocalMem, -1)
+			if !ok {
+				rackOf[i] = -1
+				continue
+			}
+			rackOf[i] = rack
+			plannedCores[rack] += req.VCPUs
+			plannedAny = true
+		default:
+			rackOf[i] = s.pickComputeRackPlanned(req.VCPUs, req.LocalMem, plannedCores)
+			if rackOf[i] >= 0 {
+				plannedCores[rackOf[i]] += req.VCPUs
+			}
+		}
+	}
+
+	// Pack per-rack sub-batches, preserving request order within a rack.
+	counts := make([]int, len(s.racks))
+	dispatched := 0
+	for i := range reqs {
+		if rackOf[i] >= 0 {
+			counts[rackOf[i]]++
+			dispatched++
+		}
+	}
+	offsets := make([]int, len(s.racks)+1)
+	for r := range counts {
+		offsets[r+1] = offsets[r] + counts[r]
+	}
+	subReq := make([]AdmitRequest, dispatched)
+	subOut := make([]AdmitResult, dispatched)
+	pos := make([]int, len(reqs))
+	fill := append([]int(nil), offsets[:len(s.racks)]...)
+	for i := range reqs {
+		r := rackOf[i]
+		if r < 0 {
+			pos[i] = -1
+			continue
+		}
+		pos[i] = fill[r]
+		subReq[fill[r]] = reqs[i]
+		fill[r]++
+	}
+
+	// Phase 2 — per-rack planning on worker goroutines.
+	var active []int
+	for r, n := range counts {
+		if n > 0 {
+			active = append(active, r)
+		}
+	}
+	s.forEachRack(workers, active, func(r int) {
+		s.racks[r].placeBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]], true)
+	})
+
+	// Phase 3a — gather every dispatched result before any merging, so
+	// a mid-merge abort sees all worker-committed state in out.
+	retry := make([]bool, len(reqs))
+	for i := range reqs {
+		if pos[i] < 0 {
+			retry[i] = true
+			continue
+		}
+		out[i] = subOut[pos[i]]
+		out[i].Rack = rackOf[i]
+		if out[i].Att != nil {
+			// Stamp the pod coordinates now: a mid-merge abort routes
+			// teardown through them.
+			out[i].Att.CPURack, out[i].Att.MemRack = out[i].Rack, out[i].Rack
+		}
+		if out[i].Err != nil {
+			// The planned rack could not serve the request after all
+			// (partition works off pre-batch aggregates); a failed
+			// rack-level request committed nothing, so re-place it
+			// through the sequential pod path against committed state.
+			out[i] = AdmitResult{}
+			retry[i] = true
+		}
+	}
+
+	// Phase 3b — merge leftovers in request order.
+	for i := range reqs {
+		req := &reqs[i]
+		if retry[i] {
+			if req.VCPUs > 0 {
+				id, lat, err := s.ReserveCompute(req.Owner, req.VCPUs, req.LocalMem)
+				if err != nil {
+					return nil, s.abortBatch(reqs, out, seqStart, i, err)
+				}
+				out[i].CPU, out[i].Rack = id.Brick, id.Rack
+				out[i].ComputeLat, out[i].computeDone = lat, true
+			} else {
+				out[i].CPU, out[i].Rack = req.CPU, req.Rack
+			}
+			if req.Remote > 0 {
+				att, lat, err := s.AttachRemoteMemory(req.Owner, topo.PodBrickID{Rack: out[i].Rack, Brick: out[i].CPU}, req.Remote)
+				if err != nil {
+					return nil, s.abortBatch(reqs, out, seqStart, i, err)
+				}
+				out[i].Att, out[i].AttachLat = att, lat
+			}
+			continue
+		}
+		res := &out[i]
+		if req.VCPUs > 0 {
+			s.requests++
+		}
+		if req.Remote > 0 {
+			s.requests++
+		}
+		if res.needSpill {
+			att, lat, err := s.attachCross(req.Owner, topo.PodBrickID{Rack: res.Rack, Brick: res.CPU}, req.Remote)
+			if err != nil {
+				localErr := res.localErr
+				if localErr == nil {
+					localErr = fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", req.Remote)
+				}
+				s.failures++
+				err = fmt.Errorf("sdm: pod attach for %q failed rack-locally (%v) and cross-rack: %w", req.Owner, localErr, err)
+				return nil, s.abortBatch(reqs, out, seqStart, i, err)
+			}
+			s.spills++
+			res.Att, res.AttachLat = att, lat
+			res.needSpill, res.localErr = false, nil
+		}
+	}
+	return out, nil
+}
+
+// pickComputeRackPlanned applies the placement policy to rack choice
+// with the batch's already-planned cores subtracted from each rack's
+// free-core aggregate — O(racks) arithmetic with no confirming brick
+// pick (a mis-estimate surfaces as a leftover and is re-placed against
+// committed state in the merge phase).
+func (s *PodScheduler) pickComputeRackPlanned(vcpus int, localMem brick.Bytes, planned []int) int {
+	if s.cfg.Policy == PolicySpread {
+		best, bestFree := -1, -1
+		for i, r := range s.racks {
+			free := r.FreeCores() - planned[i]
+			if free < vcpus || free <= bestFree || !r.CanPlaceCompute(vcpus, localMem) {
+				continue
+			}
+			best, bestFree = i, free
+		}
+		return best
+	}
+	// Power-aware and first-fit pack racks in index order.
+	for i, r := range s.racks {
+		if r.FreeCores()-planned[i] >= vcpus && r.CanPlaceCompute(vcpus, localMem) {
+			return i
+		}
+	}
+	return -1
+}
+
+// forEachRack runs fn for every rack index in racks on a pool of at
+// most workers goroutines (<= 0 meaning GOMAXPROCS). Rack shards are
+// disjoint, so scheduling order cannot affect the outcome.
+func (s *PodScheduler) forEachRack(workers int, racks []int, fn func(r int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(racks) {
+		workers = len(racks)
+	}
+	if workers <= 1 {
+		for _, r := range racks {
+			fn(r)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(racks) {
+					return
+				}
+				fn(racks[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// abortBatch tears every committed admission down in reverse request
+// order and restores the spill sequence counter, leaving the pod as if
+// the batch never ran; it returns the annotated cause.
+func (s *PodScheduler) abortBatch(reqs []AdmitRequest, out []AdmitResult, seqStart uint64, failed int, cause error) error {
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i].Att != nil {
+			if _, err := s.DetachRemoteMemory(out[i].Att); err != nil {
+				cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+			}
+			out[i].Att = nil
+		}
+		if out[i].computeDone {
+			if err := s.racks[out[i].Rack].ReleaseCompute(out[i].CPU, reqs[i].VCPUs, reqs[i].LocalMem); err != nil {
+				cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+			}
+			out[i].computeDone = false
+		}
+	}
+	s.attachSeq = seqStart
+	for _, r := range s.racks {
+		r.rollbackBoots()
+	}
+	return fmt.Errorf("sdm: batch admission rolled back at request %d (%q): %w", failed, reqs[failed].Owner, cause)
+}

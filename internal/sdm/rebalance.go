@@ -159,10 +159,14 @@ func (s *PodScheduler) totalFreeUplinks() int {
 func (s *PodScheduler) Rebalance(now sim.Time) RebalanceReport {
 	rep := RebalanceReport{At: now}
 	freeBefore := s.totalFreeUplinks()
-	snapshot := make([]*Attachment, 0, s.crossOrder.Len())
+	// The sweep iterates a snapshot (promotions mutate crossOrder), off
+	// a scratch buffer reused across sweeps so a periodic rebalancer
+	// allocates nothing when there is nothing to promote.
+	snapshot := s.rebalScratch[:0]
 	for el := s.crossOrder.Front(); el != nil; el = el.Next() {
 		snapshot = append(snapshot, el.Value.(*Attachment))
 	}
+	s.rebalScratch = snapshot
 	for _, att := range snapshot {
 		if !att.CrossRack() {
 			continue

@@ -206,6 +206,14 @@ type Controller struct {
 	// tierConn is the cached rack-fabric connector (see rackTier).
 	tierConn connector
 
+	// batch is the batch-admission planning context (see batch.go),
+	// allocated on first use and reused across batches.
+	batch *batchState
+	// bootLogging/bootCPULog/bootMemLog record bricks powered on by an
+	// in-flight batch admission so an abort can power them back down.
+	bootLogging            bool
+	bootCPULog, bootMemLog []topo.BrickID
+
 	requests uint64
 	failures uint64
 }
@@ -297,7 +305,15 @@ func (c *Controller) Accel(id topo.BrickID) (*brick.Accel, bool) {
 
 // Attachments returns the live attachments of an owner (a copy).
 func (c *Controller) Attachments(owner string) []*Attachment {
-	return append([]*Attachment(nil), c.attachments[owner]...)
+	return c.AppendAttachments(nil, owner)
+}
+
+// AppendAttachments appends the live attachments of an owner to dst
+// and returns the extended slice — the allocation-free variant for
+// callers that reuse a scratch buffer (migration pre-flights, the
+// rebalancer) instead of copying per query.
+func (c *Controller) AppendAttachments(dst []*Attachment, owner string) []*Attachment {
+	return append(dst, c.attachments[owner]...)
 }
 
 // Stats returns cumulative request/failure counters.

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AdmissionBurst is one batch of VM admission requests posted together
+// — the unit the pod scheduler's batched group-commit admission
+// consumes. At holds the per-request arrival times (sorted); Reqs the
+// request shapes, index-aligned with At.
+type AdmissionBurst struct {
+	At   []sim.Time
+	Reqs []VMRequest
+}
+
+// Size returns the number of requests in the burst.
+func (b AdmissionBurst) Size() int { return len(b.Reqs) }
+
+// BurstSource emits successive admission bursts of one Table I workload
+// class: n requests drawn from the class generator, arriving uniformly
+// over a window — the Fig. 10 "scale-up requests posted within a given
+// time interval" pattern, packaged for batch admission (CreateVMs,
+// AdmitBatch). Deterministic for a seed.
+type BurstSource struct {
+	gen    *Generator
+	rng    *sim.Rand
+	size   int
+	window sim.Duration
+}
+
+// NewBurstSource returns a deterministic burst source. size is the
+// requests per burst; window the arrival spread (zero = simultaneous).
+func NewBurstSource(class Class, seed uint64, size int, window sim.Duration) (*BurstSource, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("workload: burst source of %d requests per burst", size)
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("workload: negative burst window")
+	}
+	gen, err := NewGenerator(class, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &BurstSource{
+		gen:    gen,
+		rng:    sim.NewRand(seed ^ 0x9e3779b97f4a7c15),
+		size:   size,
+		window: window,
+	}, nil
+}
+
+// Next draws one burst starting at start.
+func (s *BurstSource) Next(start sim.Time) (AdmissionBurst, error) {
+	at, err := Burst(s.rng, s.size, start, s.window)
+	if err != nil {
+		return AdmissionBurst{}, err
+	}
+	reqs := make([]VMRequest, s.size)
+	for i := range reqs {
+		reqs[i] = s.gen.Next()
+	}
+	return AdmissionBurst{At: at, Reqs: reqs}, nil
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBurstSourceDeterministic(t *testing.T) {
+	a, err := NewBurstSource(Random, 7, 16, sim.Duration(sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBurstSource(Random, 7, 16, sim.Duration(sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		start := sim.Time(round) * sim.Time(sim.Hour)
+		ba, err := a.Next(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b.Next(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ba, bb) {
+			t.Fatalf("round %d: twin sources diverged", round)
+		}
+		if ba.Size() != 16 {
+			t.Fatalf("round %d: burst size %d, want 16", round, ba.Size())
+		}
+		for i, at := range ba.At {
+			if at < start || at >= start.Add(sim.Duration(sim.Second)) {
+				t.Fatalf("round %d: arrival %d at %v outside [%v, %v)", round, i, at, start, start.Add(sim.Duration(sim.Second)))
+			}
+			if i > 0 && at < ba.At[i-1] {
+				t.Fatalf("round %d: arrivals unsorted", round)
+			}
+		}
+		cpuLo, cpuHi, ramLo, ramHi := Random.Bounds()
+		for i, r := range ba.Reqs {
+			if r.VCPUs < cpuLo || r.VCPUs > cpuHi || r.RAMGiB < ramLo || r.RAMGiB > ramHi {
+				t.Fatalf("round %d: request %d out of class bounds: %+v", round, i, r)
+			}
+		}
+	}
+}
+
+func TestBurstSourceRejectsBadShape(t *testing.T) {
+	if _, err := NewBurstSource(Random, 1, 0, 0); err == nil {
+		t.Fatal("accepted zero-size bursts")
+	}
+	if _, err := NewBurstSource(Random, 1, 4, -1); err == nil {
+		t.Fatal("accepted negative window")
+	}
+	if _, err := NewBurstSource(Class(99), 1, 4, 0); err == nil {
+		t.Fatal("accepted unknown class")
+	}
+}
