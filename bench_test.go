@@ -391,6 +391,114 @@ func BenchmarkBatchAdmit(b *testing.B) {
 	}
 }
 
+// BenchmarkEvictBatch pins the batched group-commit teardown speedup —
+// the admission benchmark's inverse: a burst of 128 full retirements
+// (remote detach + compute release) against the same 16-rack pod,
+// served through EvictBatch versus the per-request path
+// (DetachRemoteMemory + ReleaseCompute per request). The batch path
+// amortizes the per-op index-leaf refreshes into one deferred refresh
+// per touched brick and plans rack shards on parallel workers; the
+// acceptance bar is batch >= 2x per-request teardowns/s at 16 racks
+// with a single worker, so it holds on any hardware. Re-admission
+// between iterations is excluded from the timing.
+func BenchmarkEvictBatch(b *testing.B) {
+	const burst = 128
+	mkReqs := func() []sdm.AdmitRequest {
+		reqs := make([]sdm.AdmitRequest, burst)
+		for v := range reqs {
+			reqs[v] = sdm.AdmitRequest{
+				Owner: fmt.Sprintf("evc%03d", v), VCPUs: 1, LocalMem: brick.GiB, Remote: 2 * brick.GiB,
+			}
+		}
+		return reqs
+	}
+	admit := func(b *testing.B, sched *sdm.PodScheduler, reqs []sdm.AdmitRequest, ereqs []sdm.EvictRequest) {
+		b.Helper()
+		out, err := sched.AdmitBatch(reqs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := range reqs {
+			ereqs[i] = sdm.EvictRequest{
+				Owner: reqs[i].Owner, CPU: out[i].CPU, Rack: out[i].Rack,
+				VCPUs: reqs[i].VCPUs, LocalMem: reqs[i].LocalMem,
+				Atts: []*sdm.Attachment{out[i].Att},
+			}
+		}
+	}
+	for _, policy := range []sdm.Policy{sdm.PolicyPowerAware, sdm.PolicySpread} {
+		b.Run(policy.String(), func(b *testing.B) {
+			for _, cfg := range []struct {
+				name    string
+				workers int
+			}{{"batch", 1}, {"batch-parallel", 0}} {
+				b.Run(cfg.name, func(b *testing.B) {
+					sched := batchAdmitPod(b, policy)
+					reqs := mkReqs()
+					ereqs := make([]sdm.EvictRequest, burst)
+					b.ResetTimer()
+					teardowns := 0
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						admit(b, sched, reqs, ereqs)
+						b.StartTimer()
+						if _, err := sched.EvictBatch(ereqs, cfg.workers); err != nil {
+							b.Fatal(err)
+						}
+						teardowns += burst
+					}
+					b.ReportMetric(float64(teardowns)/b.Elapsed().Seconds(), "teardowns/s")
+				})
+			}
+			b.Run("per-request", func(b *testing.B) {
+				sched := batchAdmitPod(b, policy)
+				reqs := mkReqs()
+				ereqs := make([]sdm.EvictRequest, burst)
+				b.ResetTimer()
+				teardowns := 0
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					admit(b, sched, reqs, ereqs)
+					b.StartTimer()
+					for v := range ereqs {
+						if _, err := sched.DetachRemoteMemory(ereqs[v].Atts[0]); err != nil {
+							b.Fatal(err)
+						}
+						if err := sched.ReleaseCompute(topo.PodBrickID{Rack: ereqs[v].Rack, Brick: ereqs[v].CPU}, ereqs[v].VCPUs, ereqs[v].LocalMem); err != nil {
+							b.Fatal(err)
+						}
+					}
+					teardowns += burst
+				}
+				b.ReportMetric(float64(teardowns)/b.Elapsed().Seconds(), "teardowns/s")
+			})
+		})
+	}
+}
+
+// BenchmarkChurn runs the sustained-churn scenario end to end at the
+// 16-rack acceptance scale: batched arrivals and departures, the
+// rebalancer every round, consolidation and rack power-down every
+// third. The run must leave at least one rack fully dark. The reported
+// placements/s and teardowns/s are the scenario's virtual-time
+// throughputs — deterministic for the seed, so the bench-check gate
+// holds them exactly rather than within a wall-clock noise band.
+func BenchmarkChurn(b *testing.B) {
+	var res exp.ChurnResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = exp.RunChurn(exp.Params{Seed: 1, Workers: 1, Batch: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DarkFinal < 1 {
+			b.Fatal("churn run left no rack powered down")
+		}
+	}
+	b.ReportMetric(res.PlacementsPerS, "vplacements/s")
+	b.ReportMetric(res.TeardownsPerS, "vteardowns/s")
+}
+
 // BenchmarkAttachmentQueries pins the allocation profile of the
 // attachment query path: the append-into-dst variants allocate nothing
 // per call (allocs/op is the metric to watch).
@@ -629,49 +737,73 @@ func BenchmarkMigration(b *testing.B) {
 
 // BenchmarkRebalance measures the online rebalancer at pod scale: a
 // 4-rack pod with three cross-rack spills per sweep, promoted home
-// once the hog frees the rack. Setup (pod assembly, spill, free) is
-// excluded from the timing; the metric is engine promotions per
-// wall-clock second.
+// once the hog frees the rack. The pod is built once and its state
+// fully reset between b.N iterations — hog re-fills, app re-spills,
+// promoted attachments release — so every timed sweep promotes against
+// the same spilled state instead of an already-promoted pod. The
+// batch-sweep side runs the group-committed RebalanceBatch over the
+// identical state; the metric is engine promotions per wall-clock
+// second.
 func BenchmarkRebalance(b *testing.B) {
 	const spills = 3
-	var promoted int
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		cfg := core.DefaultPodConfig(4)
-		cfg.Rack.Topology = topo.BuildSpec{
-			Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 8,
-		}
-		cfg.Rack.Switch.Ports = 16
-		cfg.Rack.Bricks.Memory.Capacity = 8 * brick.GiB
-		pod, err := core.NewPod(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := pod.CreateVM("app", 1, brick.GiB); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := pod.CreateVM("hog", 1, brick.GiB); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := pod.ScaleUpVM("hog", 8*brick.GiB); err != nil {
-			b.Fatal(err)
-		}
-		for s := 0; s < spills; s++ {
-			if _, err := pod.ScaleUpVM("app", brick.GiB); err != nil {
+	for _, mode := range []struct {
+		name  string
+		sweep func(pod *core.Pod) sdm.RebalanceReport
+	}{
+		{"sweep", func(pod *core.Pod) sdm.RebalanceReport { return pod.Rebalance() }},
+		{"batch-sweep", func(pod *core.Pod) sdm.RebalanceReport { return pod.RebalanceBatch() }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultPodConfig(4)
+			cfg.Rack.Topology = topo.BuildSpec{
+				Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 8,
+			}
+			cfg.Rack.Switch.Ports = 16
+			cfg.Rack.Bricks.Memory.Capacity = 8 * brick.GiB
+			pod, err := core.NewPod(cfg)
+			if err != nil {
 				b.Fatal(err)
 			}
-		}
-		if _, err := pod.ScaleDownVM("hog", 8*brick.GiB); err != nil {
-			b.Fatal(err)
-		}
-		b.StartTimer()
-		rep := pod.Rebalance()
-		if rep.Promoted != spills {
-			b.Fatalf("promoted %d of %d spills", rep.Promoted, spills)
-		}
-		promoted += rep.Promoted
+			if _, err := pod.CreateVM("app", 1, brick.GiB); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := pod.CreateVM("hog", 1, brick.GiB); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var promoted int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if _, err := pod.ScaleUpVM("hog", 8*brick.GiB); err != nil {
+					b.Fatal(err)
+				}
+				for s := 0; s < spills; s++ {
+					if _, err := pod.ScaleUpVM("app", brick.GiB); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := pod.ScaleDownVM("hog", 8*brick.GiB); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep := mode.sweep(pod)
+				if rep.Promoted != spills {
+					b.Fatalf("promoted %d of %d spills", rep.Promoted, spills)
+				}
+				promoted += rep.Promoted
+				b.StopTimer()
+				// Release the promoted attachments so the next iteration
+				// spills from the pristine fill again.
+				for s := 0; s < spills; s++ {
+					if _, err := pod.ScaleDownVM("app", brick.GiB); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(promoted)/b.Elapsed().Seconds(), "promotions/s")
+		})
 	}
-	b.ReportMetric(float64(promoted)/b.Elapsed().Seconds(), "promotions/s")
 }
 
 // BenchmarkExtensionSlowdown runs the AMAT-based application slowdown

@@ -30,10 +30,14 @@ func main() {
 	racks := flag.Int("racks", 1, "rack count; above 1 assembles a multi-rack pod and runs the pod tour instead")
 	rebalance := flag.Bool("rebalance", false, "with -racks > 1: free home-rack capacity and run an online rebalancing sweep at the end of the tour")
 	burst := flag.Int("burst", 0, "with -racks > 1: batch-admit this many VMs (boot + remote memory) in one group commit at the end of the tour; admission is all-or-nothing, so a burst too big for the tour's tiny racks aborts the tour with the batch rolled back")
+	drain := flag.Bool("drain", false, "with -burst: tear the burst back down in one group-commit eviction (DestroyVMs), then run a consolidation pass that re-packs survivors and powers drained racks down")
 	flag.Parse()
 
+	if *drain && *burst <= 0 {
+		fail(fmt.Errorf("-drain needs a burst to tear down: pass -burst 1 or more"))
+	}
 	if *racks > 1 {
-		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance, *burst)
+		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance, *burst, *drain)
 		return
 	}
 	if *rebalance {
@@ -143,8 +147,9 @@ func main() {
 // the pod tier — a scale-up that spills cross-rack, remote reads on
 // both sides of the pod switch, a cross-rack VM migration and,
 // with -rebalance, an online rebalancing sweep that pulls the spill
-// home once capacity frees.
-func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, burst int) {
+// home once capacity frees. -burst batch-admits a VM burst in one group
+// commit; -drain tears it back down the same way and consolidates.
+func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, burst int, drain bool) {
 	cfg := core.DefaultPodConfig(racks)
 	cfg.Rack.Seed = seed
 	cfg.Rack.Topology = topo.BuildSpec{
@@ -272,6 +277,24 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, bu
 		}
 		fmt.Printf("placed per rack: %v; %d attachments spilled cross-rack; worst admission delay %v\n\n",
 			perRack, spillsAfter-spillsBefore, worst)
+
+		if drain {
+			// The inverse group commit: the whole burst retires in one
+			// batched eviction (all-or-nothing, one index refresh per
+			// touched brick), then a consolidation pass re-packs what
+			// is left and powers the drained racks down.
+			ids := make([]string, burst)
+			for i := range ids {
+				ids[i] = reqs[i].ID
+			}
+			if _, err := pod.DestroyVMs(ids, 0); err != nil {
+				fail(err)
+			}
+			rep := pod.Consolidate()
+			fmt.Printf("== batch teardown (%d VMs, one group commit) + consolidation ==\n", burst)
+			fmt.Printf("moved %d VMs off sparse racks, re-homed %d remote segments, drained %d racks, powered off %d bricks; %d racks now fully dark\n\n",
+				rep.VMsMoved, rep.Rehomed, rep.RacksDrained, rep.PoweredOff, rep.DarkRacks)
+		}
 	}
 
 	// The scheduler's per-rack free aggregates — O(1) reads off each

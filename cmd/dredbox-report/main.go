@@ -25,9 +25,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	trials := flag.Int("trials", 0, "override the trial/sample count of multi-trial experiments (0 = per-experiment defaults: 500 BER trials/link, 100000 Table I samples)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials (0 = all cores)")
-	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (pod, fig10pod); 0 = per-experiment defaults, minimum 2 — sweep it to chart the sharding win")
-	batch := flag.Bool("batch", false, "serve fig10pod's sharded side through batched group-commit admission (CreateVMs/AdmitBatch) instead of per-request calls")
-	batchSize := flag.Int("batchsize", 0, "with -batch: admission batch size (0 = one batch per burst; 1 reproduces the per-request path byte for byte)")
+	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (pod, fig10pod, churn); 0 = per-experiment defaults, minimum 2 — sweep it to chart the sharding win")
+	batch := flag.Bool("batch", false, "serve fig10pod's sharded side and churn's whole lifecycle through batched group commits (CreateVMs/AdmitBatch, DestroyVMs/EvictBatch, RebalanceBatch) instead of per-request calls")
+	batchSize := flag.Int("batchsize", 0, "with -batch: admission/teardown batch size (0 = one batch per burst; 1 reproduces the per-request path byte for byte)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	artifacts := flag.String("artifacts", "", "also write per-experiment .txt/.json/.csv artifacts into this directory")
 	only := flag.String("only", "", "comma-separated experiment names to run (default: all registered)")

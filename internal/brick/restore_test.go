@@ -1,0 +1,121 @@
+package brick
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestCarveAtRestoresExactLayout(t *testing.T) {
+	id := topo.BrickID{Tray: 0, Slot: 0}
+	m := NewMemory(id, MemoryConfig{Capacity: 16 * GiB})
+	m.PowerOn()
+
+	a, err := m.Carve(4*GiB, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Carve(2*GiB, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Carve(1*GiB, "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Free the middle segment, then restore it at its exact offset.
+	off, size := b.Offset, b.Size
+	if err := m.Release(b); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := m.CarveAt(off, size, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Offset != off || restored.Size != size || restored.Owner != "b" {
+		t.Fatalf("restored segment %+v, want offset %v size %v owner b", restored, off, size)
+	}
+	if got, want := m.LargestGap(), m.LargestGapScan(); got != want {
+		t.Fatalf("gap cache %v diverged from scan %v after CarveAt", got, want)
+	}
+	if m.Used() != 7*GiB {
+		t.Fatalf("used = %v, want 7GiB", m.Used())
+	}
+
+	// Overlapping restores must be rejected without mutating anything.
+	usedBefore, gapBefore := m.Used(), m.LargestGap()
+	if _, err := m.CarveAt(a.Offset+GiB, 2*GiB, "x"); err == nil {
+		t.Fatal("CarveAt over a live segment succeeded")
+	}
+	if _, err := m.CarveAt(15*GiB, 2*GiB, "x"); err == nil {
+		t.Fatal("CarveAt past capacity succeeded")
+	}
+	if m.Used() != usedBefore || m.LargestGap() != gapBefore {
+		t.Fatal("rejected CarveAt mutated the brick")
+	}
+}
+
+func TestCarveAtRequiresPower(t *testing.T) {
+	id := topo.BrickID{Tray: 0, Slot: 1}
+	m := NewMemory(id, MemoryConfig{Capacity: 8 * GiB})
+	if _, err := m.CarveAt(0, GiB, "x"); err == nil {
+		t.Fatal("CarveAt on powered-off brick succeeded")
+	}
+	if _, err := m.CarveAt(0, 0, "x"); err == nil {
+		t.Fatal("zero-byte CarveAt succeeded")
+	}
+}
+
+func TestReacquireSpecificPort(t *testing.T) {
+	id := topo.BrickID{Tray: 0, Slot: 0}
+	ps := NewPortSet(id, 4)
+	p1, err := ps.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ps.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Release(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Reacquire(p2); err != nil {
+		t.Fatalf("Reacquire(%v): %v", p2, err)
+	}
+	if ps.Free() != 2 {
+		t.Fatalf("free = %d, want 2", ps.Free())
+	}
+	if err := ps.Reacquire(p1); err == nil {
+		t.Fatal("Reacquire of a held port succeeded")
+	}
+	if err := ps.Reacquire(topo.PortID{Brick: id, Port: 99}); err == nil {
+		t.Fatal("Reacquire out of range succeeded")
+	}
+	other := topo.BrickID{Tray: 1, Slot: 0}
+	if err := ps.Reacquire(topo.PortID{Brick: other, Port: 0}); err == nil {
+		t.Fatal("Reacquire of foreign port succeeded")
+	}
+
+	// Quarantined ports stay withdrawn.
+	if err := ps.Release(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Reacquire(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Quarantine(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Unquarantine(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Quarantine(p1); err != nil {
+		t.Fatal(err)
+	}
+	// p1 is quarantined while "in use"; a rollback must not resurrect it.
+	ps.inUse[p1.Port] = false
+	if err := ps.Reacquire(p1); err == nil {
+		t.Fatal("Reacquire of quarantined port succeeded")
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/brick"
+	"repro/internal/sdm"
+	"repro/internal/sim"
+)
+
+// TestChurnPropertyInvariants is the randomized lifecycle harness: N
+// seeds of interleaved CreateVMs / DestroyVMs / RebalanceBatch /
+// Consolidate at varying worker counts, with the scheduler's full
+// conservation audit after every batch — index roots against
+// ground-truth brick scans, no orphaned attachments, segments or
+// circuit-host entries, rider counts and the rebalancer walk order
+// exact, power states consistent with allocations. Teardown batches
+// mix safe LIFO suffixes with random subsets whose rider conflicts
+// force live rollbacks mid-trace.
+func TestChurnPropertyInvariants(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 29, 101} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			pod, err := NewPod(batchPodConfig(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRand(seed)
+			var live []string // creation order
+			nextID := 0
+			pristine := make([]brick.Bytes, pod.Racks())
+			for i := range pristine {
+				pristine[i] = pod.Scheduler().Rack(i).FreeMemory()
+			}
+
+			check := func(step int, op string) {
+				t.Helper()
+				if err := pod.Scheduler().CheckInvariants(); err != nil {
+					t.Fatalf("step %d (%s): %v", step, op, err)
+				}
+				// Every pod circuit belongs to exactly one live circuit-mode
+				// cross attachment (packet riders share their host's).
+				crossCircuits := 0
+				for _, id := range live {
+					rack, ok := pod.VMRack(id)
+					if !ok {
+						t.Fatalf("step %d (%s): live VM %q lost its rack", step, op, id)
+					}
+					for _, att := range pod.Scheduler().Attachments(id) {
+						if att.CPURack != rack {
+							t.Fatalf("step %d (%s): VM %q on rack %d holds an attachment homed on rack %d", step, op, id, rack, att.CPURack)
+						}
+						if att.CrossRack() && att.Mode == sdm.ModeCircuit {
+							crossCircuits++
+						}
+					}
+				}
+				if got := pod.Fabric().CrossCircuits(); got != crossCircuits {
+					t.Fatalf("step %d (%s): %d pod circuits live but %d circuit-mode cross attachments", step, op, got, crossCircuits)
+				}
+			}
+
+			for step := 0; step < 40; step++ {
+				workers := 1 + int(rng.Uint64()%3)
+				switch rng.Uint64() % 5 {
+				case 0, 1, 2: // arrival burst
+					n := 1 + int(rng.Uint64()%4)
+					reqs := make([]VMCreate, n)
+					for i := range reqs {
+						reqs[i] = VMCreate{
+							ID:     fmt.Sprintf("vm-%d", nextID+i),
+							VCPUs:  1 + int(rng.Uint64()%2),
+							Memory: brick.Bytes(1+rng.Uint64()%2) * brick.GiB / 2,
+							Remote: brick.Bytes(rng.Uint64()%3) * brick.GiB / 2,
+						}
+					}
+					if _, err := pod.CreateVMs(reqs, workers); err == nil {
+						for _, r := range reqs {
+							live = append(live, r.ID)
+						}
+						nextID += n
+					}
+					check(step, "create")
+				case 3: // departure burst
+					if len(live) == 0 {
+						continue
+					}
+					n := 1 + int(rng.Uint64()%4)
+					if n > len(live) {
+						n = len(live)
+					}
+					var ids []string
+					if rng.Uint64()%4 == 0 {
+						// A random (oldest-first) subset: host VMs whose packet
+						// riders survive them make the eviction fail and roll
+						// back live, mid-trace.
+						for i := 0; i < n; i++ {
+							ids = append(ids, live[i*len(live)/n])
+						}
+					} else {
+						// The safe LIFO suffix, newest first.
+						for i := len(live) - 1; i >= len(live)-n; i-- {
+							ids = append(ids, live[i])
+						}
+					}
+					if _, err := pod.DestroyVMs(ids, workers); err == nil {
+						gone := make(map[string]bool, len(ids))
+						for _, id := range ids {
+							gone[id] = true
+						}
+						kept := live[:0]
+						for _, id := range live {
+							if !gone[id] {
+								kept = append(kept, id)
+							}
+						}
+						live = kept
+					}
+					check(step, "destroy")
+				case 4: // maintenance
+					if rng.Uint64()%2 == 0 {
+						pod.RebalanceBatch()
+						check(step, "rebalance")
+					} else {
+						pod.Consolidate()
+						check(step, "consolidate")
+					}
+				}
+			}
+
+			// Drain to empty: the pod must return to pristine accounting.
+			for len(live) > 0 {
+				n := len(live)
+				if n > 6 {
+					n = 6
+				}
+				var ids []string
+				for i := len(live) - 1; i >= len(live)-n; i-- {
+					ids = append(ids, live[i])
+				}
+				if _, err := pod.DestroyVMs(ids, 2); err != nil {
+					t.Fatalf("drain of %v: %v", ids, err)
+				}
+				live = live[:len(live)-n]
+				check(-1, "drain")
+			}
+			for i := 0; i < pod.Racks(); i++ {
+				if got := pod.Scheduler().Rack(i).FreeMemory(); got != pristine[i] {
+					t.Fatalf("rack %d: %v of %v free after full drain", i, got, pristine[i])
+				}
+			}
+			if pod.Fabric().CrossCircuits() != 0 {
+				t.Fatal("pod circuits survived the full drain")
+			}
+		})
+	}
+}
+
+// TestDestroyVMsRoundTrip boots a burst, tears it down in one batch and
+// checks the pod returns to pristine accounting with the clock advanced.
+func TestDestroyVMsRoundTrip(t *testing.T) {
+	pod, err := NewPod(batchPodConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := make([]brick.Bytes, pod.Racks())
+	for i := range pristine {
+		pristine[i] = pod.Scheduler().Rack(i).FreeMemory()
+	}
+	reqs := []VMCreate{
+		{ID: "a", VCPUs: 2, Memory: brick.GiB, Remote: 2 * brick.GiB},
+		{ID: "b", VCPUs: 1, Memory: brick.GiB},
+		{ID: "c", VCPUs: 2, Memory: brick.GiB, Remote: brick.GiB},
+	}
+	if _, err := pod.CreateVMs(reqs, 2); err != nil {
+		t.Fatal(err)
+	}
+	before := pod.Now()
+	res, err := pod.DestroyVMs([]string{"c", "b", "a"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pod.Now() <= before {
+		t.Fatal("teardown did not advance the clock")
+	}
+	for i, id := range []string{"c", "b", "a"} {
+		if _, ok := pod.VMRack(id); ok {
+			t.Fatalf("VM %q still registered", id)
+		}
+		if _, ok := pod.VM(id); ok {
+			t.Fatalf("VM %q still in a hypervisor", id)
+		}
+		if res[i].Size == 0 {
+			t.Fatalf("teardown %d reported zero memory moved", i)
+		}
+	}
+	if err := pod.Scheduler().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pod.Racks(); i++ {
+		if got := pod.Scheduler().Rack(i).FreeMemory(); got != pristine[i] {
+			t.Fatalf("rack %d memory not fully released: %v of %v free", i, got, pristine[i])
+		}
+	}
+	// Double-destroy is an error, not a crash.
+	if _, err := pod.DestroyVM("a"); err == nil {
+		t.Fatal("destroying a destroyed VM succeeded")
+	}
+}
+
+// TestConsolidateRepacksAndPowersDown checks the facade-level drain:
+// a VM stranded on a trailing rack migrates onto the packed rack once
+// room opens, and the emptied rack goes fully dark.
+func TestConsolidateRepacksAndPowersDown(t *testing.T) {
+	pod, err := NewPod(batchPodConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill rack 0's 16 cores, overflowing the fifth VM onto rack 1.
+	var reqs []VMCreate
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, VMCreate{ID: fmt.Sprintf("vm-%d", i), VCPUs: 4, Memory: brick.GiB})
+	}
+	if _, err := pod.CreateVMs(reqs, 1); err != nil {
+		t.Fatal(err)
+	}
+	stranded := ""
+	for i := 0; i < 5; i++ {
+		if r, _ := pod.VMRack(fmt.Sprintf("vm-%d", i)); r == 1 {
+			stranded = fmt.Sprintf("vm-%d", i)
+		}
+	}
+	if stranded == "" {
+		t.Fatal("no VM overflowed onto rack 1")
+	}
+	// Open room on rack 0, then consolidate.
+	if _, err := pod.DestroyVMs([]string{"vm-0", "vm-1"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep := pod.Consolidate()
+	if rep.VMsMoved < 1 {
+		t.Fatalf("no VM re-packed: %+v", rep)
+	}
+	if r, _ := pod.VMRack(stranded); r != 0 {
+		t.Fatalf("stranded VM still on rack %d", r)
+	}
+	if rep.DarkRacks < 1 {
+		t.Fatalf("emptied rack not powered down: %+v", rep)
+	}
+	if err := pod.Scheduler().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The moved VM keeps working: it can still scale up.
+	if _, err := pod.ScaleUpVM(stranded, brick.GiB); err != nil {
+		t.Fatalf("re-packed VM cannot scale up: %v", err)
+	}
+}

@@ -218,21 +218,29 @@ func (p *Pod) CreateVMs(reqs []VMCreate, workers int) ([]scaleup.Result, error) 
 		scale := p.stacks[admitted[i].Rack].scale
 		res, err := scale.AdoptVM(p.now, hypervisor.VMID(r.ID), hypervisor.VMSpec{VCPUs: r.VCPUs, Memory: r.Memory}, admitted[i].CPU, admitted[i].ComputeLat)
 		if err != nil {
-			// Spawn failures past the upfront duplicate check are
-			// controller bugs; release what this and the not-yet-adopted
-			// admissions hold and surface the error loudly.
+			// Boot failures here (fragmented window space, exhausted RMST
+			// slots) void the whole burst: release what this and the
+			// not-yet-adopted admissions hold, and unwind the VMs already
+			// adopted so admission stays all-or-nothing.
 			p.releaseAdmitted(reqs[i:], admitted[i:])
+			p.unwindAdopted(reqs[:i], admitted[:i])
 			return nil, fmt.Errorf("core: batch boot of %q: %w", r.ID, err)
 		}
 		if admitted[i].Att != nil {
-			up, err := scale.BindAttachment(p.now, hypervisor.VMID(r.ID), admitted[i].Att, admitted[i].AttachLat)
+			// The bind joins at the VM's boot completion, not the batch
+			// post time: remote memory becomes usable only once the VM
+			// exists, and a batch of one then times its bundled Remote
+			// exactly like ScaleUpVM issued after CreateVM returns.
+			up, err := scale.BindAttachment(res.Done, hypervisor.VMID(r.ID), admitted[i].Att, admitted[i].AttachLat)
 			if err != nil {
 				// BindAttachment already detached the failing request's
-				// attachment; discard its freshly spawned VM and release
-				// its compute along with the not-yet-adopted admissions.
+				// attachment; discard its freshly spawned VM, release its
+				// compute along with the not-yet-adopted admissions, and
+				// unwind the already-adopted prefix.
 				scale.DiscardVM(hypervisor.VMID(r.ID))
 				admitted[i].Att = nil
 				p.releaseAdmitted(reqs[i:], admitted[i:])
+				p.unwindAdopted(reqs[:i], admitted[:i])
 				return nil, fmt.Errorf("core: batch scale-up of %q: %w", r.ID, err)
 			}
 			// Fold the bundled scale-up into the admission's result: the
@@ -264,6 +272,19 @@ func (p *Pod) releaseAdmitted(reqs []VMCreate, admitted []sdm.AdmitResult) {
 		}
 		p.sched.ReleaseCompute(topo.PodBrickID{Rack: admitted[i].Rack, Brick: admitted[i].CPU}, reqs[i].VCPUs, reqs[i].Memory)
 	}
+}
+
+// unwindAdopted retires VMs of a failed burst that were already
+// adopted and bound, newest first, so the whole burst stays
+// all-or-nothing (best-effort, error path only): the software stack
+// unwinds through EvictVM, then the admission's attachment and compute
+// release like never-adopted ones.
+func (p *Pod) unwindAdopted(reqs []VMCreate, admitted []sdm.AdmitResult) {
+	for i := len(admitted) - 1; i >= 0; i-- {
+		p.stacks[admitted[i].Rack].scale.EvictVM(p.now, hypervisor.VMID(reqs[i].ID), 0)
+		delete(p.vmRack, reqs[i].ID)
+	}
+	p.releaseAdmitted(reqs, admitted)
 }
 
 // ScaleUpVM grows a VM's memory: rack-local disaggregated memory when

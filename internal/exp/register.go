@@ -135,6 +135,18 @@ func init() {
 	}))
 
 	Register(New(Info{
+		Name:   "churn",
+		Paper:  "Extension — sustained churn: batched teardown, re-packing, rack power-down",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunChurn(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
 		Name:   "placement",
 		Paper:  "Ablation — SDM placement policy (power-aware vs spread)",
 		Trials: 1,

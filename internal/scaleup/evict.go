@@ -1,0 +1,70 @@
+package scaleup
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/hypervisor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// EvictVM tears down a VM's software stack — every bound DIMM detaches
+// from the hypervisor, its baremetal range offlines and hot-removes,
+// and the VM object is evicted — without touching the SDM layer: the
+// caller has already retired the attachments and the compute
+// reservation through the pod tier's batched eviction
+// (sdm.PodScheduler.EvictBatch), whose summed orchestration latency
+// arrives as orchLat and serializes through the SDM queue exactly as
+// the per-request ScaleDown path's would. This is teardown's AdoptVM:
+// the batch entry point below CreateVM's sequential surface.
+func (c *Controller) EvictVM(now sim.Time, id hypervisor.VMID, orchLat sim.Duration) (Result, error) {
+	host, ok := c.vmHost[id]
+	if !ok {
+		return Result{}, fmt.Errorf("scaleup: no VM %q", id)
+	}
+	n := c.nodes[host]
+	spec := c.vmSpec[id]
+
+	var bm, hv sim.Duration
+	var size brick.Bytes
+	bs := c.bindings[id]
+	for i := len(bs) - 1; i >= 0; i-- {
+		b := bs[i]
+		hvLat, err := n.hv.DetachDIMM(id, b.dimm.ID)
+		if err != nil {
+			return Result{}, err
+		}
+		offLat, err := n.kernel.Offline(b.att.Window.Base, b.att.Size())
+		if err != nil {
+			return Result{}, err
+		}
+		rmLat, err := n.kernel.HotRemove(b.att.Window.Base, b.att.Size())
+		if err != nil {
+			return Result{}, err
+		}
+		hv += hvLat
+		bm += offLat + rmLat
+		size += b.dimm.Size
+	}
+	if _, err := n.hv.Evict(id); err != nil {
+		return Result{}, err
+	}
+	delete(c.vmHost, id)
+	delete(c.vmSpec, id)
+	delete(c.bindings, id)
+	size += spec.Memory
+	c.record(now, trace.KindRelease, string(id), "VM destroyed on %v (%d vCPU, %v, %d bindings)", host, spec.VCPUs, spec.Memory, len(bs))
+
+	arrive := now.Add(c.cfg.APIOverhead)
+	start, orchDone := c.sdmQueue.Serve(arrive, orchLat)
+	return Result{
+		Requested:     now,
+		Started:       start,
+		Done:          orchDone.Add(bm + hv),
+		Orchestration: orchLat,
+		Baremetal:     bm,
+		Virtual:       hv,
+		Size:          size,
+	}, nil
+}

@@ -75,6 +75,12 @@ func (c *Controller) pickCompute(vcpus int, localMem brick.Bytes) (topo.BrickID,
 	if c.cfg.Scan == ScanLinear {
 		return c.pickComputeLinear(vcpus, localMem)
 	}
+	if c.batch != nil && c.batch.active {
+		// A batched sweep (rebalance, consolidation) routed a sequential
+		// pick here while index touches divert to the dirty sets: flush
+		// them first so the descent runs on an exact tree.
+		c.flushDirtyCPU()
+	}
 	return c.pickComputeIndexed(vcpus, localMem, -1)
 }
 
@@ -147,6 +153,9 @@ func (c *Controller) pickComputeLinear(vcpus int, localMem brick.Bytes) (topo.Br
 func (c *Controller) pickMemory(size brick.Bytes) (topo.BrickID, bool) {
 	if c.cfg.Scan == ScanLinear {
 		return c.pickMemoryLinear(size)
+	}
+	if c.batch != nil && c.batch.active {
+		c.flushDirtyMem()
 	}
 	return c.pickMemoryIndexed(size)
 }

@@ -186,23 +186,27 @@ func (c *Controller) endBatch() {
 	c.batch.active = false
 }
 
-// flushDirtyCPU refreshes every dirty compute leaf once.
+// flushDirtyCPU refreshes every dirty compute leaf once, recomputing
+// each affected ancestor once (touchMany) rather than walking one root
+// path per leaf.
 func (c *Controller) flushDirtyCPU() {
 	b := c.batch
 	for _, pos := range b.dirtyCPU {
 		b.inDirtyCPU[pos] = false
-		c.cpuIdx.touch(pos)
 	}
+	c.cpuIdx.touchMany(b.dirtyCPU)
 	b.dirtyCPU = b.dirtyCPU[:0]
 }
 
-// flushDirtyMem refreshes every dirty memory leaf once.
+// flushDirtyMem refreshes every dirty memory leaf once, recomputing
+// each affected ancestor once (touchMany) rather than walking one root
+// path per leaf.
 func (c *Controller) flushDirtyMem() {
 	b := c.batch
 	for _, pos := range b.dirtyMem {
 		b.inDirtyMem[pos] = false
-		c.memIdx.touch(pos)
 	}
+	c.memIdx.touchMany(b.dirtyMem)
 	b.dirtyMem = b.dirtyMem[:0]
 }
 

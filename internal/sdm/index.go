@@ -26,6 +26,8 @@ package sdm
 // to make rack choice O(racks) arithmetic with no nested brick scans.
 
 import (
+	"slices"
+
 	"repro/internal/brick"
 	"repro/internal/topo"
 )
@@ -63,6 +65,8 @@ type placementIndex struct {
 	stats   []pstat
 	tree    []node
 	refresh func(pos int) pstat
+	// work is touchMany's reused ancestor worklist.
+	work []int
 }
 
 // newPlacementIndex builds the index over n bricks; refresh reads the
@@ -165,6 +169,49 @@ func (t *placementIndex) touch(pos int) {
 	for i >>= 1; i >= 1; i >>= 1 {
 		t.tree[i].setMerge(&t.tree[2*i], &t.tree[2*i+1])
 	}
+}
+
+// touchMany is touch for a batch flush: it refreshes every listed order
+// position once, then recomputes each affected ancestor exactly once,
+// level by level. One root path per touched leaf is the right shape for
+// sparse updates, but a group commit that dirtied much of the tree
+// (spread placement lands every request on a distinct brick) walks the
+// shared upper levels once per leaf; here the paths union instead, so a
+// flush costs at most one recompute per tree node. The resulting tree
+// is identical to applying touch per position — node values are pure
+// functions of the leaf stats, independent of recompute order.
+func (t *placementIndex) touchMany(poss []int) {
+	w := t.work[:0]
+	for _, pos := range poss {
+		if pos < 0 || pos >= t.n {
+			continue
+		}
+		s := t.refresh(pos)
+		if s == t.stats[pos] {
+			continue
+		}
+		t.stats[pos] = s
+		t.tree[t.size+pos].setLeaf(s)
+		w = append(w, t.size+pos)
+	}
+	slices.Sort(w)
+	// Sorted node indices map to sorted parent indices, so each level
+	// dedups with an adjacent-equality check; the loop ends right after
+	// the iteration that recomputes the root (index 1).
+	for len(w) > 0 && w[0] > 1 {
+		n := 0
+		for _, i := range w {
+			if p := i >> 1; n == 0 || w[n-1] != p {
+				w[n] = p
+				n++
+			}
+		}
+		w = w[:n]
+		for _, i := range w {
+			t.tree[i].setMerge(&t.tree[2*i], &t.tree[2*i+1])
+		}
+	}
+	t.work = w[:0]
 }
 
 // fitsAny reports whether a node may contain a leaf (in any power

@@ -1,0 +1,207 @@
+package sdm
+
+// Conservation invariants for the randomized churn harness. After any
+// quiesced batch — admission, eviction, rebalance, consolidation — the
+// scheduler's derived state (index roots, registration indexes, rider
+// counts, the rebalancer walk order, the power census) must answer
+// exactly what a ground-truth rescan of the bricks answers. The checker
+// is O(everything) by design: it is a test oracle, not a hot path.
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/optical"
+)
+
+// CheckInvariants cross-checks every rack's derived state against
+// ground truth and returns the first violation found, or nil.
+func (s *PodScheduler) CheckInvariants() error {
+	liveSegs := make(map[*brick.Segment]*Attachment)
+	crossRegistered := 0
+	podRiders := make(map[*optical.Circuit]int)
+	for ri, r := range s.racks {
+		if r.batch != nil && r.batch.active {
+			return fmt.Errorf("rack %d: invariants checked mid-batch", ri)
+		}
+		if err := r.checkRack(ri); err != nil {
+			return err
+		}
+		rackRiders := make(map[*optical.Circuit]int)
+		hostSeen := make(map[*Attachment]bool)
+		for owner, list := range r.attachments {
+			for _, att := range list {
+				if att.Owner != owner {
+					return fmt.Errorf("rack %d: attachment of %q registered under %q", ri, att.Owner, owner)
+				}
+				if prev, dup := liveSegs[att.Segment]; dup {
+					return fmt.Errorf("rack %d: segment %v+%v owned by both %q and %q", ri, att.Segment.Offset, att.Segment.Size, prev.Owner, att.Owner)
+				}
+				liveSegs[att.Segment] = att
+				if att.cross != nil {
+					if att.cross != s {
+						return fmt.Errorf("rack %d: attachment of %q tagged with a foreign pod scheduler", ri, att.Owner)
+					}
+					if att.CPURack != ri {
+						return fmt.Errorf("rack %d: cross attachment of %q registered off its compute rack %d", ri, att.Owner, att.CPURack)
+					}
+					crossRegistered++
+					if _, ok := s.crossElem[att]; !ok {
+						return fmt.Errorf("rack %d: cross attachment of %q missing from crossOrder", ri, att.Owner)
+					}
+					if att.Mode == ModePacket {
+						podRiders[att.Circuit]++
+					}
+					continue
+				}
+				if att.CPURack != att.MemRack {
+					return fmt.Errorf("rack %d: attachment of %q spans racks %d→%d without a pod tag", ri, att.Owner, att.CPURack, att.MemRack)
+				}
+				if att.Mode == ModePacket {
+					rackRiders[att.Circuit]++
+					continue
+				}
+				found := false
+				for _, h := range r.circuitHosts[att.CPU] {
+					if h == att {
+						if found {
+							return fmt.Errorf("rack %d: attachment of %q twice in circuitHosts", ri, att.Owner)
+						}
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("rack %d: circuit attachment of %q missing from circuitHosts", ri, att.Owner)
+				}
+				hostSeen[att] = true
+			}
+		}
+		// circuitHosts carries no stale entries.
+		for cpu, hosts := range r.circuitHosts {
+			for _, h := range hosts {
+				if !hostSeen[h] {
+					return fmt.Errorf("rack %d: orphaned circuitHosts entry for %q on %v", ri, h.Owner, cpu)
+				}
+			}
+		}
+		// Rider counts match the packet attachments per circuit.
+		for circuit, n := range r.riders {
+			if rackRiders[circuit] != n {
+				return fmt.Errorf("rack %d: rider count %d on a circuit with %d live packet attachments", ri, n, rackRiders[circuit])
+			}
+			delete(rackRiders, circuit)
+		}
+		for _, n := range rackRiders {
+			if n > 0 {
+				return fmt.Errorf("rack %d: %d packet attachments ride an untracked circuit", ri, n)
+			}
+		}
+	}
+
+	// Pod rider counts.
+	for circuit, n := range s.riders {
+		if podRiders[circuit] != n {
+			return fmt.Errorf("pod: rider count %d on a cross circuit with %d live packet attachments", n, podRiders[circuit])
+		}
+		delete(podRiders, circuit)
+	}
+	for _, n := range podRiders {
+		if n > 0 {
+			return fmt.Errorf("pod: %d packet attachments ride an untracked cross circuit", n)
+		}
+	}
+
+	// crossOrder: every element live, seq strictly increasing, bounded
+	// by attachSeq, indexed by crossElem, and nothing registered is
+	// missing (checked above) or extra (checked here by count).
+	var lastSeq uint64
+	n := 0
+	for el := s.crossOrder.Front(); el != nil; el = el.Next() {
+		att := el.Value.(*Attachment)
+		n++
+		if att.seq <= lastSeq {
+			return fmt.Errorf("pod: crossOrder seq %d after %d — walk order corrupted", att.seq, lastSeq)
+		}
+		lastSeq = att.seq
+		if att.seq > s.attachSeq {
+			return fmt.Errorf("pod: crossOrder seq %d exceeds attachSeq %d", att.seq, s.attachSeq)
+		}
+		if s.crossElem[att] != el {
+			return fmt.Errorf("pod: crossElem out of sync for %q", att.Owner)
+		}
+		if _, ok := liveSegs[att.Segment]; !ok {
+			return fmt.Errorf("pod: crossOrder entry for %q is not a registered attachment", att.Owner)
+		}
+	}
+	if n != crossRegistered {
+		return fmt.Errorf("pod: %d crossOrder entries but %d registered cross attachments", n, crossRegistered)
+	}
+	if len(s.crossElem) != n {
+		return fmt.Errorf("pod: %d crossElem entries for %d crossOrder elements", len(s.crossElem), n)
+	}
+
+	// Ground-truth segment scan: every carved segment belongs to exactly
+	// one live attachment, and every live attachment's segment is carved.
+	for ri, r := range s.racks {
+		for _, id := range r.memoryOrder {
+			for _, seg := range r.memories[id].Segments() {
+				att, ok := liveSegs[seg]
+				if !ok {
+					return fmt.Errorf("rack %d: orphaned segment %v+%v owned by %q on %v", ri, seg.Offset, seg.Size, seg.Owner, id)
+				}
+				if att.Segment.Brick != id {
+					return fmt.Errorf("rack %d: attachment of %q names brick %v but its segment lives on %v", ri, att.Owner, att.Segment.Brick, id)
+				}
+				delete(liveSegs, seg)
+			}
+		}
+	}
+	if len(liveSegs) > 0 {
+		for _, att := range liveSegs {
+			return fmt.Errorf("attachment of %q holds a segment no memory brick carries", att.Owner)
+		}
+	}
+	return nil
+}
+
+// checkRack cross-checks one rack's index roots, gap caches and power
+// states against ground-truth scans.
+func (c *Controller) checkRack(ri int) error {
+	coreScan := 0
+	for _, id := range c.computeOrder {
+		b := c.computes[id].Brick
+		coreScan += b.FreeCores()
+		if !b.IsIdle() && b.State() != brick.PowerActive {
+			return fmt.Errorf("rack %d: compute %v has allocations but state %v", ri, id, b.State())
+		}
+		if b.State() == brick.PowerOff && !b.IsIdle() {
+			return fmt.Errorf("rack %d: compute %v powered off with allocations", ri, id)
+		}
+	}
+	if got := c.FreeCores(); got != coreScan {
+		return fmt.Errorf("rack %d: index root says %d free cores, scan says %d", ri, got, coreScan)
+	}
+	var memScan, maxGapScan brick.Bytes
+	for _, id := range c.memoryOrder {
+		m := c.memories[id]
+		memScan += m.Free()
+		if g := m.LargestGapScan(); g != m.LargestGap() {
+			return fmt.Errorf("rack %d: memory %v gap cache %v diverged from scan %v", ri, id, m.LargestGap(), g)
+		} else if g > maxGapScan {
+			maxGapScan = g
+		}
+		if !m.IsIdle() && m.State() != brick.PowerActive {
+			return fmt.Errorf("rack %d: memory %v has segments but state %v", ri, id, m.State())
+		}
+		if m.State() == brick.PowerOff && !m.IsIdle() {
+			return fmt.Errorf("rack %d: memory %v powered off with segments", ri, id)
+		}
+	}
+	if got := c.FreeMemory(); got != memScan {
+		return fmt.Errorf("rack %d: index root says %v free memory, scan says %v", ri, got, memScan)
+	}
+	if got := c.MaxMemoryGap(); got != maxGapScan {
+		return fmt.Errorf("rack %d: index root says %v max gap, scan says %v", ri, got, maxGapScan)
+	}
+	return nil
+}

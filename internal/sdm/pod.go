@@ -60,6 +60,11 @@ type PodScheduler struct {
 	// periodic sweeps stop allocating per call.
 	rebalScratch []*Attachment
 
+	// evict holds EvictBatch's reused partition buffers (see
+	// podteardown.go). EvictBatch is serial at the pod tier, so one set
+	// suffices and a steady churn of evictions stops allocating.
+	evict evictScratch
+
 	requests uint64
 	failures uint64
 	spills   uint64

@@ -1,0 +1,373 @@
+package sdm
+
+// Batched group-commit teardown, pod tier — the inverse of podbatch.go.
+// EvictBatch retires a burst of consumers in three deterministic
+// phases, mirroring AdmitBatch's shape:
+//
+//  1. Partition (serial): every request already names its rack; its
+//     rack-local attachments and compute release pack into a per-rack
+//     ReleaseBatch sub-batch, and its cross-rack attachments queue for
+//     the serial pod phase (their circuits ride the pod switch, which
+//     no rack shard owns).
+//  2. Teardown (parallel): each rack's sub-batch runs through its own
+//     Controller.ReleaseBatch on a worker goroutine — shared-nothing
+//     rack shards, so the outcome is byte-identical at any worker
+//     count, with one deferred index-leaf refresh per touched brick.
+//  3. Cross phase (serial): cross-rack attachments detach in request
+//     order through the same steps as detachCross, journaled like the
+//     rack teardowns.
+//
+// Eviction is all-or-nothing: if any teardown definitively fails, the
+// journals replay in reverse — segments re-carve at their exact
+// offsets, the exact ports re-acquire, circuits rebuild, packet riders
+// re-key onto the rebuilt circuits, crossOrder re-threads without
+// re-stamping spill sequence numbers, and released compute re-reserves
+// — leaving brick state, placement indexes, the power census and the
+// rebalancer's walk order answering exactly as before the batch.
+
+import (
+	"fmt"
+
+	"repro/internal/brick"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// EvictRequest is one retirement of a VM-shaped consumer in a pod
+// batch: the attachments to tear down (rack-local and cross-rack mixed,
+// in the caller's order — scale-down paths pass newest-first so packet
+// riders precede their hosts) and the compute reservation to return.
+type EvictRequest struct {
+	// Owner tags the consumer being retired.
+	Owner string
+	// CPU and Rack name the compute brick whose reservation is released.
+	CPU  topo.BrickID
+	Rack int
+	// VCPUs and LocalMem are the compute reservation being returned; 0/0
+	// marks a detach-only request.
+	VCPUs    int
+	LocalMem brick.Bytes
+	// Atts are the attachments to detach.
+	Atts []*Attachment
+}
+
+// EvictResult is one retirement's outcome.
+type EvictResult struct {
+	// DetachLat is the summed orchestration latency of the request's
+	// detaches, each accounted exactly as the per-request path would.
+	DetachLat sim.Duration
+	// Detached counts attachments torn down.
+	Detached int
+}
+
+// crossItem queues one cross-rack attachment for the serial pod phase,
+// remembering which request it settles into.
+type crossItem struct {
+	req int
+	att *Attachment
+}
+
+// evictScratch is EvictBatch's reused partition state. Every buffer is
+// either fully overwritten or truncated to zero length at the top of a
+// batch, so nothing leaks between calls; the shared atts backing is
+// pre-sized to the batch's total attachment count before the partition
+// loop, so the per-request sub-slices carved out of it never move.
+type evictScratch struct {
+	cross   []crossItem
+	relReqs []ReleaseRequest
+	subReq  []ReleaseRequest
+	subOut  []ReleaseResult
+	atts    []*Attachment
+	counts  []int
+	offsets []int
+	pos     []int
+	fill    []int
+	active  []int
+	podLog  []detachUndo
+}
+
+// EvictBatch retires a burst of consumers pod-wide using at most
+// workers goroutines for the per-rack teardown phase (<= 0 means
+// GOMAXPROCS). Results are in request order. On error, the whole batch
+// rolls back and nothing remains evicted.
+//
+// The partition buffers live on the scheduler and are reused across
+// batches (EvictBatch is serial at the pod tier), so steady churn pays
+// one allocation per batch: the caller's result slice.
+func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResult, error) {
+	out := make([]EvictResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	seqStart := s.attachSeq
+	// Clear every rack's teardown journal up front: abortEvict replays
+	// all of them, and a rack this batch never touches must not replay
+	// entries left over from an earlier committed batch.
+	for _, r := range s.racks {
+		r.undoLog = r.undoLog[:0]
+	}
+
+	// Phase 1 — validate and partition. Requests already name their
+	// racks, so partitioning is a split of each request's attachment
+	// list: rack-local teardown parallelizes, cross-rack serializes.
+	sc := &s.evict
+	total := 0
+	for i := range reqs {
+		total += len(reqs[i].Atts)
+	}
+	if cap(sc.atts) < total {
+		sc.atts = make([]*Attachment, 0, total)
+	}
+	if cap(sc.relReqs) < len(reqs) {
+		sc.relReqs = make([]ReleaseRequest, len(reqs))
+	}
+	atts, crossList := sc.atts[:0], sc.cross[:0]
+	relReqs := sc.relReqs[:len(reqs)]
+	for i := range reqs {
+		req := &reqs[i]
+		if req.Rack < 0 || req.Rack >= len(s.racks) {
+			return nil, fmt.Errorf("sdm: batch eviction request %d (%q): no rack %d in the pod", i, req.Owner, req.Rack)
+		}
+		rr := ReleaseRequest{Owner: req.Owner, CPU: req.CPU, VCPUs: req.VCPUs, LocalMem: req.LocalMem, Rack: req.Rack}
+		start := len(atts)
+		for _, att := range req.Atts {
+			if att.cross != nil {
+				crossList = append(crossList, crossItem{req: i, att: att})
+			} else {
+				atts = append(atts, att)
+			}
+		}
+		rr.Atts = atts[start:len(atts):len(atts)]
+		relReqs[i] = rr
+	}
+	sc.atts, sc.cross = atts, crossList
+
+	// Pack per-rack sub-batches, preserving request order within a rack.
+	if cap(sc.counts) < len(s.racks) {
+		sc.counts = make([]int, len(s.racks))
+		sc.offsets = make([]int, len(s.racks)+1)
+		sc.fill = make([]int, len(s.racks))
+		sc.active = make([]int, 0, len(s.racks))
+	}
+	counts, fill := sc.counts[:len(s.racks)], sc.fill[:len(s.racks)]
+	offsets, active := sc.offsets[:len(s.racks)+1], sc.active[:0]
+	clear(counts)
+	for i := range relReqs {
+		counts[relReqs[i].Rack]++
+	}
+	offsets[0] = 0
+	for r := range counts {
+		offsets[r+1] = offsets[r] + counts[r]
+	}
+	if cap(sc.subReq) < len(relReqs) {
+		sc.subReq = make([]ReleaseRequest, len(relReqs))
+		sc.subOut = make([]ReleaseResult, len(relReqs))
+		sc.pos = make([]int, len(relReqs))
+	}
+	subReq, subOut := sc.subReq[:len(relReqs)], sc.subOut[:len(relReqs)]
+	pos := sc.pos[:len(relReqs)]
+	copy(fill, offsets[:len(s.racks)])
+	for i := range relReqs {
+		r := relReqs[i].Rack
+		pos[i] = fill[r]
+		subReq[fill[r]] = relReqs[i]
+		fill[r]++
+	}
+
+	// Phase 2 — per-rack teardown on worker goroutines.
+	for r, n := range counts {
+		if n > 0 {
+			active = append(active, r)
+		}
+	}
+	sc.active = active
+	s.forEachRack(workers, active, func(r int) {
+		s.racks[r].ReleaseBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]])
+	})
+
+	// Gather: the first failed request (in request order) aborts the
+	// whole batch; every rack has already run, so the rollback sees all
+	// worker-committed teardowns in the journals.
+	podLog := sc.podLog[:0]
+	for i := range relReqs {
+		if err := subOut[pos[i]].Err; err != nil {
+			return nil, s.abortEvict(reqs, subReq, subOut, pos, podLog, seqStart, i, err)
+		}
+		out[i].DetachLat = subOut[pos[i]].DetachLat
+		out[i].Detached = subOut[pos[i]].Detached
+	}
+
+	// Phase 3 — cross-rack teardowns in request order.
+	for _, ci := range crossList {
+		lat, err := s.batchDetachCross(ci.att, &podLog)
+		if err != nil {
+			sc.podLog = podLog
+			return nil, s.abortEvict(reqs, subReq, subOut, pos, podLog, seqStart, ci.req, err)
+		}
+		out[ci.req].DetachLat += lat
+		out[ci.req].Detached++
+	}
+	sc.podLog = podLog
+	return out, nil
+}
+
+// batchDetachCross mirrors detachCross — same validation, counters,
+// latency accounting and error surfaces, executed inline as one merged
+// commit — and journals the undo into the pod-phase log.
+func (s *PodScheduler) batchDetachCross(att *Attachment, log *[]detachUndo) (sim.Duration, error) {
+	s.requests++
+	rackA := s.racks[att.CPURack]
+	idx := -1
+	for i, a := range rackA.attachments[att.Owner] {
+		if a == att {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		s.failures++
+		return 0, fmt.Errorf("sdm: cross-rack attachment for %q on %v not live", att.Owner, att.CPU)
+	}
+	node := rackA.computes[att.CPU]
+	rackB := s.racks[att.MemRack]
+	m := rackB.memories[att.Segment.Brick]
+
+	// crossNext is the attachment's successor in the rebalancer walk
+	// order, so rollback can re-thread it at the exact position.
+	var crossNext *Attachment
+	if el, ok := s.crossElem[att]; ok {
+		if next := el.Next(); next != nil {
+			crossNext = next.Value.(*Attachment)
+		}
+	}
+
+	if att.Mode == ModePacket {
+		if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
+			s.failures++
+			return 0, err
+		}
+		if err := m.Release(att.Segment); err != nil {
+			s.failures++
+			return 0, err
+		}
+		s.riders[att.Circuit]--
+		if s.riders[att.Circuit] <= 0 {
+			delete(s.riders, att.Circuit)
+		}
+		*log = append(*log, detachUndo{
+			att:       att,
+			packet:    true,
+			cpuRack:   rackA,
+			memRack:   rackB,
+			segOffset: att.Segment.Offset,
+			segSize:   att.Segment.Size,
+			attIdx:    idx,
+			pod:       s,
+			crossNext: crossNext,
+		})
+		rackA.unregister(att)
+		s.removeCrossOrder(att)
+		rackB.touchMemory(att.Segment.Brick)
+		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
+	}
+	if n := s.riders[att.Circuit]; n > 0 {
+		s.failures++
+		return 0, fmt.Errorf("sdm: cross-rack circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
+	}
+
+	cpu, memID := att.CPU, att.Segment.Brick
+	defer func() {
+		rackA.touchCompute(cpu)
+		rackB.touchMemory(memID)
+	}()
+	lat := s.cfg.DecisionLatency
+	t := s.tier(att.CPURack, att.MemRack)
+	oldWindow := att.Window
+
+	if err := node.Agent.Glue.Detach(oldWindow.Base); err != nil {
+		s.failures++
+		return 0, err
+	}
+	lat += s.cfg.AgentRTT
+	d, err := t.disconnect(att.Circuit)
+	lat += d
+	if err != nil {
+		if uerr := node.Agent.Glue.Attach(oldWindow); uerr != nil {
+			s.failures++
+			return 0, fmt.Errorf("sdm: detach failed (%v) and rollback failed: %w", err, uerr)
+		}
+		s.failures++
+		return 0, err
+	}
+	if err := rackA.finishDetach(node, m, att); err != nil {
+		s.failures++
+		return 0, err
+	}
+	key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
+	crossHostIdx := 0
+	for i, a := range s.crossHosts[key] {
+		if a == att {
+			crossHostIdx = i
+			break
+		}
+	}
+	*log = append(*log, detachUndo{
+		att:          att,
+		cpuRack:      rackA,
+		memRack:      rackB,
+		segOffset:    att.Segment.Offset,
+		segSize:      att.Segment.Size,
+		t:            t,
+		attIdx:       idx,
+		crossHostIdx: crossHostIdx,
+		pod:          s,
+		crossNext:    crossNext,
+	})
+	list := rackA.attachments[att.Owner]
+	rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	s.removeCrossHost(att)
+	s.removeCrossOrder(att)
+	return lat, nil
+}
+
+// abortEvict replays every journal in reverse — the pod phase first
+// (last torn down), then each rack's — re-reserves released compute,
+// and restores the spill sequence counter, leaving the pod as if the
+// batch never ran; it returns the annotated cause.
+func (s *PodScheduler) abortEvict(reqs []EvictRequest, subReq []ReleaseRequest, subOut []ReleaseResult, pos []int, podLog []detachUndo, seqStart uint64, failed int, cause error) error {
+	for i := len(podLog) - 1; i >= 0; i-- {
+		if err := podLog[i].undoDetach(); err != nil {
+			cause = fmt.Errorf("%w (and rollback of %q failed: %v)", cause, podLog[i].att.Owner, err)
+		}
+	}
+	for _, r := range s.racks {
+		for i := len(r.undoLog) - 1; i >= 0; i-- {
+			if err := r.undoLog[i].undoDetach(); err != nil {
+				cause = fmt.Errorf("%w (and rollback of %q failed: %v)", cause, r.undoLog[i].att.Owner, err)
+			}
+		}
+		r.undoLog = r.undoLog[:0]
+	}
+	for i := len(reqs) - 1; i >= 0; i-- {
+		res := &subOut[pos[i]]
+		if !res.released {
+			continue
+		}
+		rr := &subReq[pos[i]]
+		node := s.racks[rr.Rack].computes[rr.CPU]
+		if rr.VCPUs > 0 {
+			if err := node.Brick.AllocCores(rr.VCPUs); err != nil {
+				cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+			}
+		}
+		if rr.LocalMem > 0 {
+			if err := node.Brick.AllocLocal(rr.LocalMem); err != nil {
+				cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+			}
+		}
+		s.racks[rr.Rack].touchCompute(rr.CPU)
+		res.released = false
+	}
+	s.attachSeq = seqStart
+	return fmt.Errorf("sdm: batch eviction rolled back at request %d (%q): %w", failed, reqs[failed].Owner, cause)
+}

@@ -213,6 +213,9 @@ type Controller struct {
 	// in-flight batch admission so an abort can power them back down.
 	bootLogging            bool
 	bootCPULog, bootMemLog []topo.BrickID
+	// undoLog journals the teardowns of an in-flight release batch so an
+	// aborting eviction can restore them exactly (see teardown.go).
+	undoLog []detachUndo
 
 	requests uint64
 	failures uint64
