@@ -11,7 +11,9 @@
 # `make saturation` sweeps the pod-scale Fig. 10 experiment across
 # racks 8/16/32 and concatenates the per-rack CSVs into
 # artifacts/saturation.csv — the saturation chart's data (see README
-# "Plotting the saturation sweep").
+# "Plotting the saturation sweep"). `make saturation-row` is the same
+# sweep one tier up: fig10row across pods 8/16/32 into
+# artifacts/saturation-row.csv.
 
 GO ?= go
 BENCHTIME ?= 500x
@@ -22,13 +24,17 @@ BENCHPATTERN ?= .
 # explicitly (as CI's same-runner gate does) to override.
 BENCHOUT ?= $(if $(filter .,$(BENCHPATTERN)),BENCH_baseline.json,BENCH_subset.json)
 SATURATION_RACKS ?= 8 16 32
+SATURATION_PODS ?= 8 16 32
+# Racks per pod for the row sweep; keeps row sizes tractable while the
+# pod count is the swept variable.
+SATURATION_ROW_RACKS ?= 4
 
 # The bench target pipes `go test` into benchjson; without pipefail a
 # mid-suite benchmark failure would be masked by benchjson's exit 0.
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: build test vet bench bench-check saturation
+.PHONY: build test vet bench bench-check saturation saturation-row
 
 build:
 	$(GO) build ./...
@@ -60,3 +66,17 @@ saturation:
 		tail -n +2 artifacts/saturation/r$$r/fig10pod.csv >> artifacts/saturation.csv; \
 	done
 	@echo "wrote artifacts/saturation.csv"
+
+saturation-row:
+	mkdir -p artifacts/saturation-row
+	$(GO) build -o artifacts/dredbox-report ./cmd/dredbox-report
+	for p in $(SATURATION_PODS); do \
+		artifacts/dredbox-report -pods $$p -racks $(SATURATION_ROW_RACKS) -only fig10row \
+			-artifacts artifacts/saturation-row/p$$p -o artifacts/saturation-row/p$$p.txt; \
+	done
+	set -- $(SATURATION_PODS); \
+		head -n 1 artifacts/saturation-row/p$$1/fig10row.csv > artifacts/saturation-row.csv
+	for p in $(SATURATION_PODS); do \
+		tail -n +2 artifacts/saturation-row/p$$p/fig10row.csv >> artifacts/saturation-row.csv; \
+	done
+	@echo "wrote artifacts/saturation-row.csv"

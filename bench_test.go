@@ -266,6 +266,106 @@ func BenchmarkFig10Pod(b *testing.B) {
 	})
 }
 
+// fig10RowBenchRacks is the racks-per-pod of the row placement
+// benchmark: with 8/16/32 pods the sweep covers 256, 512 and 1024
+// racks — the datacenter-row acceptance scale.
+const fig10RowBenchRacks = 32
+
+// benchRowRackSpec keeps the row benchmark's racks small (two compute
+// and two memory bricks each) so the swept variable is the tier
+// structure, not the per-rack inventory: 1024 racks is 4096 bricks.
+var benchRowRackSpec = topo.BuildSpec{
+	Trays: 1, ComputePerTray: 2, MemoryPerTray: 2, AccelPerTray: 0, PortsPerBrick: 8,
+}
+
+// benchRow assembles a pods x 32-rack row under the spread policy (the
+// partitioner's worst case: planned aggregates shift on every request).
+func benchRow(b *testing.B, pods int) *sdm.RowScheduler {
+	b.Helper()
+	racks := fig10RowBenchRacks
+	row, err := topo.BuildRow(pods, racks, benchRowRackSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	podProf := optical.DefaultPodProfile
+	if need := racks * podProf.UplinksPerRack; podProf.Switch.Ports < need {
+		podProf.Switch.Ports = need
+	}
+	rowProf := optical.DefaultRowProfile
+	if need := pods * rowProf.UplinksPerPod; rowProf.Switch.Ports < need {
+		rowProf.Switch.Ports = need
+	}
+	podFabrics := make([]*optical.PodFabric, pods)
+	for p := range podFabrics {
+		fabrics := make([]*optical.Fabric, racks)
+		for i := range fabrics {
+			fabrics[i] = benchRackFabric(b, 64)
+		}
+		if podFabrics[p], err = optical.NewPodFabric(podProf, fabrics); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rf, err := optical.NewRowFabric(rowProf, podFabrics)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := sdm.NewRowScheduler(row, rf, sdm.BrickConfigs{
+		Compute: brick.ComputeConfig{Cores: 8, LocalMemory: 16 * brick.GiB},
+		Memory:  brick.MemoryConfig{Capacity: 8 * brick.GiB},
+	}, benchSDMConfig(sdm.ScanIndexed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched.PowerOnAll()
+	return sched
+}
+
+// BenchmarkFig10Row measures the placement throughput behind the
+// row-scale Fig. 10 sweep: bursts of 256 full admissions (pod choice +
+// rack choice + compute carve + remote attachment) group-committed
+// against 8, 16 and 32 pods of 32 racks each — 256 to 1024 racks. Pod
+// choice is O(1) arithmetic over the per-pod aggregates and the spill
+// partitioner is O(pods), so placements/s must hold (>= 100k, gated by
+// bench-check) as the rack count quadruples. Teardown between
+// iterations runs through EvictBatch off the timer.
+func BenchmarkFig10Row(b *testing.B) {
+	const burst = 256
+	for _, pods := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("pods-%d", pods), func(b *testing.B) {
+			sched := benchRow(b, pods)
+			reqs := make([]sdm.AdmitRequest, burst)
+			for v := range reqs {
+				reqs[v] = sdm.AdmitRequest{
+					Owner: fmt.Sprintf("adm%03d", v), VCPUs: 1, LocalMem: brick.GiB, Remote: 2 * brick.GiB,
+				}
+			}
+			ereqs := make([]sdm.EvictRequest, burst)
+			b.ResetTimer()
+			placements := 0
+			for i := 0; i < b.N; i++ {
+				out, err := sched.AdmitBatch(reqs, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				placements += burst
+				b.StopTimer()
+				for v := range out {
+					ereqs[v] = sdm.EvictRequest{
+						Owner: reqs[v].Owner, CPU: out[v].CPU, Rack: out[v].Rack, Pod: out[v].Pod,
+						VCPUs: reqs[v].VCPUs, LocalMem: reqs[v].LocalMem,
+						Atts: []*sdm.Attachment{out[v].Att},
+					}
+				}
+				if _, err := sched.EvictBatch(ereqs, 0); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(placements)/b.Elapsed().Seconds(), "placements/s")
+		})
+	}
+}
+
 // batchAdmitPod assembles the 16-rack pod of the batch-admission
 // benchmark under one policy: per-rack fills leave every rack with a
 // mix of exhausted and free memory bricks, so picks are non-trivial

@@ -27,7 +27,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	journalCap := flag.Int("journal", 64, "journal ring capacity")
 	jsonOut := flag.Bool("json", false, "print the final SDM state snapshot as JSON")
-	racks := flag.Int("racks", 1, "rack count; above 1 assembles a multi-rack pod and runs the pod tour instead")
+	racks := flag.Int("racks", 1, "rack count; above 1 assembles a multi-rack pod and runs the pod tour instead (racks per pod with -pods)")
+	pods := flag.Int("pods", 0, "pod count; above 1 assembles a row of pods and runs the row tour — cross-pod memory spill through the row switch, group-commit burst and per-pod aggregates")
 	rebalance := flag.Bool("rebalance", false, "with -racks > 1: free home-rack capacity and run an online rebalancing sweep at the end of the tour")
 	burst := flag.Int("burst", 0, "with -racks > 1: batch-admit this many VMs (boot + remote memory) in one group commit at the end of the tour; admission is all-or-nothing, so a burst too big for the tour's tiny racks aborts the tour with the batch rolled back")
 	drain := flag.Bool("drain", false, "with -burst: tear the burst back down in one group-commit eviction (DestroyVMs), then run a consolidation pass that re-packs survivors and powers drained racks down")
@@ -35,6 +36,17 @@ func main() {
 
 	if *drain && *burst <= 0 {
 		fail(fmt.Errorf("-drain needs a burst to tear down: pass -burst 1 or more"))
+	}
+	if *pods > 1 {
+		if *rebalance {
+			fail(fmt.Errorf("-rebalance is a pod-tier sweep: drop -pods or run with -racks alone"))
+		}
+		nRacks := *racks
+		if nRacks < 2 {
+			nRacks = 2
+		}
+		rowTour(*pods, nRacks, *seed, *journalCap, *jsonOut, *burst, *drain)
+		return
 	}
 	if *racks > 1 {
 		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance, *burst, *drain)
@@ -327,6 +339,174 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, bu
 				fail(err)
 			}
 			fmt.Printf("-- rack %d --\n%s\n", i, data)
+		}
+	}
+}
+
+// rowTour recurses the pod tour one tier up: the same deliberately tiny
+// racks assembled into -pods pods under the row circuit switch. The db
+// VM's scale-ups walk the whole spill cascade — home rack, cross-rack
+// inside the pod, then cross-pod through the row switch — and the
+// closing section reads the per-pod aggregates pod choice is O(1)
+// arithmetic over. -burst group-commits a VM burst across pod shards;
+// -drain tears it back down and consolidates every pod.
+func rowTour(pods, racks int, seed uint64, journalCap int, jsonOut bool, burst int, drain bool) {
+	cfg := core.DefaultRowConfig(pods, racks)
+	cfg.Rack.Seed = seed
+	cfg.Rack.Topology = topo.BuildSpec{
+		Trays: 1, ComputePerTray: 1, MemoryPerTray: 1, AccelPerTray: 0, PortsPerBrick: 8,
+	}
+	cfg.Rack.Switch.Ports = 16
+	cfg.Rack.Bricks.Memory.Capacity = 4 * brick.GiB
+	if need := racks * cfg.Fabric.UplinksPerRack; cfg.Fabric.Switch.Ports < need {
+		cfg.Fabric.Switch.Ports = need
+	}
+	if need := pods * cfg.Row.UplinksPerPod; cfg.Row.Switch.Ports < need {
+		cfg.Row.Switch.Ports = need
+	}
+	row, err := core.NewRow(cfg)
+	if err != nil {
+		fail(err)
+	}
+	j, err := trace.New(journalCap)
+	if err != nil {
+		fail(err)
+	}
+	for p := 0; p < row.Pods(); p++ {
+		for i := 0; i < row.RacksPerPod(); i++ {
+			sc, _ := row.ScaleController(p, i)
+			sc.SetJournal(j)
+		}
+	}
+
+	fmt.Printf("== row inventory (%d pods x %d racks) ==\n", row.Pods(), row.RacksPerPod())
+	for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory} {
+		fmt.Printf("  %-12v x%d (x%d per rack)\n", kind, row.Topology().Count(kind), row.Topology().Pod(0).Rack(0).Count(kind))
+	}
+	fmt.Printf("  row switch: %d ports, %.1f W; %d uplinks per pod, +%d hops, %.0f m inter-pod fiber\n\n",
+		cfg.Row.Switch.Ports, row.Fabric().RowSwitch().PowerW(),
+		cfg.Row.UplinksPerPod, cfg.Row.ExtraHops, cfg.Row.InterPodFiberMeters)
+
+	if _, err := row.CreateVM("web", 1, brick.GiB); err != nil {
+		fail(err)
+	}
+	if _, err := row.CreateVM("db", 2, 2*brick.GiB); err != nil {
+		fail(err)
+	}
+
+	// Walk the db VM down the whole spill cascade: fill the home rack,
+	// fill the rest of the home pod, then force the row switch.
+	for i := 0; i < racks; i++ {
+		if _, err := row.ScaleUpVM("db", 4*brick.GiB); err != nil {
+			fail(err)
+		}
+	}
+	if _, err := row.ScaleUpVM("db", 2*brick.GiB); err != nil {
+		fail(err)
+	}
+	for _, att := range row.Scheduler().Attachments("db") {
+		where := "rack-local"
+		if att.CrossPod() {
+			where = "cross-pod"
+		} else if att.CrossRack() {
+			where = "cross-rack"
+		}
+		fmt.Printf("db attachment: %v on pod %d rack %d — %s (%v mode, %d hops, %.0f m fiber)\n",
+			att.Size(), att.MemPod, att.MemRack, where, att.Mode, att.Circuit.Hops, att.Circuit.FiberMeters)
+	}
+	_, _, spills := row.Scheduler().Stats()
+	fmt.Printf("row spills so far: %d; row cross circuits: %d\n\n", spills, row.Fabric().CrossCircuits())
+
+	if burst > 0 {
+		// Group-commit admission one tier up: the row partitions the
+		// burst by pod over the planned-adjusted aggregates, plans each
+		// pod shard in parallel, and merges the rack -> pod -> row spill
+		// cascade in request order.
+		src, err := workload.NewBurstSource(workload.HalfHalf, seed, burst, 0)
+		if err != nil {
+			fail(err)
+		}
+		b, err := src.Next(row.Now())
+		if err != nil {
+			fail(err)
+		}
+		reqs := make([]core.VMCreate, burst)
+		for i, r := range b.Reqs {
+			reqs[i] = core.VMCreate{
+				ID:     fmt.Sprintf("burst%02d", i),
+				VCPUs:  1 + r.VCPUs/32,
+				Memory: brick.Bytes(r.RAMGiB) * brick.MiB * 8,
+				Remote: brick.Bytes(1+r.RAMGiB/32) * brick.GiB,
+			}
+		}
+		_, _, spillsBefore := row.Scheduler().Stats()
+		results, err := row.CreateVMs(reqs, 0)
+		if err != nil {
+			fail(err)
+		}
+		_, _, spillsAfter := row.Scheduler().Stats()
+		var worst sim.Duration
+		for _, r := range results {
+			if d := r.Delay(); d > worst {
+				worst = d
+			}
+		}
+		perPod := make([]int, row.Pods())
+		for i := range reqs {
+			if p, _, ok := row.VMLoc(reqs[i].ID); ok {
+				perPod[p]++
+			}
+		}
+		fmt.Printf("== batch admission (%d VMs, one group commit across pods) ==\n", burst)
+		fmt.Printf("placed per pod: %v; %d attachments spilled cross-pod; worst admission delay %v\n\n",
+			perPod, spillsAfter-spillsBefore, worst)
+
+		if drain {
+			ids := make([]string, burst)
+			for i := range ids {
+				ids[i] = reqs[i].ID
+			}
+			if _, err := row.DestroyVMs(ids, 0); err != nil {
+				fail(err)
+			}
+			rep := row.Consolidate()
+			fmt.Printf("== batch teardown (%d VMs, one group commit) + per-pod consolidation ==\n", burst)
+			fmt.Printf("moved %d VMs off sparse racks (%d pinned cross-pod), re-homed %d remote segments, drained %d racks, powered off %d bricks; %d racks now fully dark\n\n",
+				rep.VMsMoved, rep.MovesFailed, rep.Rehomed, rep.RacksDrained, rep.PoweredOff, rep.DarkRacks)
+		}
+	}
+
+	// The per-pod summaries rolled up from the rack index roots — the
+	// quantities row-tier pod choice is O(1) arithmetic over.
+	fmt.Println("== per-pod aggregates (rolled up from rack index roots) ==")
+	s := row.Scheduler()
+	for p := 0; p < row.Pods(); p++ {
+		fmt.Printf("  pod %d: %3d free cores, %8v free memory, largest gap %8v, %d free row uplinks\n",
+			p, s.PodFreeCores(p), s.PodFreeMemory(p), s.PodMaxGap(p), row.Fabric().FreeUplinks(p))
+	}
+	fmt.Println()
+
+	n := row.PowerOffIdle()
+	fmt.Printf("== power census after sweeping %d idle bricks (O(pods) aggregate read) ==\n", n)
+	for _, kind := range []topo.BrickKind{topo.KindCompute, topo.KindMemory} {
+		c := row.Census(kind)
+		fmt.Printf("  %-12v active %d  idle %d  off %d\n", kind, c.Active, c.Idle, c.Off)
+	}
+	fmt.Printf("  row draw: %.1f W\n\n", row.DrawW())
+
+	fmt.Println("== orchestration journal (row-wide) ==")
+	fmt.Print(j.Dump())
+
+	if jsonOut {
+		fmt.Println("\n== SDM state snapshots (JSON, one per rack) ==")
+		for p := 0; p < row.Pods(); p++ {
+			for i := 0; i < row.RacksPerPod(); i++ {
+				data, err := s.Pod(p).Rack(i).Snapshot().JSON()
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("-- pod %d rack %d --\n%s\n", p, i, data)
+			}
 		}
 	}
 }

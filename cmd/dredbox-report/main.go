@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -25,13 +27,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	trials := flag.Int("trials", 0, "override the trial/sample count of multi-trial experiments (0 = per-experiment defaults: 500 BER trials/link, 100000 Table I samples)")
 	parallel := flag.Int("parallel", 0, "worker pool size for independent trials (0 = all cores)")
-	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (pod, fig10pod, churn); 0 = per-experiment defaults, minimum 2 — sweep it to chart the sharding win")
+	racks := flag.Int("racks", 0, "rack count for pod-scale experiments (pod, fig10pod, churn — racks per pod for fig10row); 0 = per-experiment defaults, minimum 2 — sweep it to chart the sharding win")
+	pods := flag.Int("pods", 0, "pod count for row-scale experiments (fig10row); 0 = per-experiment default, minimum 2 — sweep it to chart the hierarchy win")
 	batch := flag.Bool("batch", false, "serve fig10pod's sharded side and churn's whole lifecycle through batched group commits (CreateVMs/AdmitBatch, DestroyVMs/EvictBatch, RebalanceBatch) instead of per-request calls")
 	batchSize := flag.Int("batchsize", 0, "with -batch: admission/teardown batch size (0 = one batch per burst; 1 reproduces the per-request path byte for byte)")
 	out := flag.String("o", "", "write the report to a file instead of stdout")
 	artifacts := flag.String("artifacts", "", "also write per-experiment .txt/.json/.csv artifacts into this directory")
 	only := flag.String("only", "", "comma-separated experiment names to run (default: all registered)")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	flag.Parse()
 
 	if *list {
@@ -60,11 +65,40 @@ func main() {
 		}
 	}
 
+	// The CPU profile brackets the experiment runs only — report
+	// formatting and artifact writes stay out of the flame graph.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+	}
+
 	runner := exp.Runner{Workers: *parallel}
 	start := time.Now()
-	outs, err := runner.Run(exp.Params{Seed: *seed, Trials: *trials, Racks: *racks, Batch: *batch, BatchSize: *batchSize}, names...)
+	outs, err := runner.Run(exp.Params{Seed: *seed, Trials: *trials, Racks: *racks, Pods: *pods, Batch: *batch, BatchSize: *batchSize}, names...)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "dredbox-report: wrote CPU profile to %s\n", *cpuprofile)
+	}
 	if err != nil {
 		fail(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // settle the heap so the profile shows retained allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "dredbox-report: wrote heap profile to %s\n", *memprofile)
 	}
 
 	fmt.Fprintln(w, "dReDBox reproduction — full evaluation report")

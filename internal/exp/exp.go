@@ -31,8 +31,12 @@ type Params struct {
 	Workers int
 	// Racks sizes the pod-scale experiments (the "pod" registry entry).
 	// Zero means the experiment's default; single-rack experiments
-	// ignore it.
+	// ignore it. Row-scale experiments read it as racks per pod.
 	Racks int
+	// Pods sizes the row-scale experiments (the "fig10row" registry
+	// entry). Zero means the experiment's default; single-pod
+	// experiments ignore it.
+	Pods int
 	// Batch routes fig10pod's sharded side through the batched
 	// group-commit admission path (CreateVMs / AdmitBatch) instead of
 	// the per-request loop. Output stays byte-identical to the

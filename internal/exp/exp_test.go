@@ -56,7 +56,7 @@ func TestRegistrySmoke(t *testing.T) {
 // TestRegistryNamesStable pins the registration order — it is the
 // report's section order and part of the artifact contract.
 func TestRegistryNamesStable(t *testing.T) {
-	want := []string{"fig7", "fig8", "fig10", "table1", "tco", "slowdown", "fillsweep", "pod", "fig10pod", "rebalance", "churn", "placement", "portpressure"}
+	want := []string{"fig7", "fig8", "fig10", "table1", "tco", "slowdown", "fillsweep", "pod", "fig10pod", "fig10row", "rebalance", "churn", "placement", "portpressure"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("names = %v, want %v", got, want)

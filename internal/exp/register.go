@@ -123,6 +123,18 @@ func init() {
 	}))
 
 	Register(New(Info{
+		Name:   "fig10row",
+		Paper:  "Extension — row-scale Fig. 10: hierarchical pods vs one flat tier",
+		Trials: 1,
+	}, func(p Params) (Result, error) {
+		r, err := RunFig10Row(p)
+		if err != nil {
+			return Result{}, err
+		}
+		return r.artifact(), nil
+	}))
+
+	Register(New(Info{
 		Name:   "rebalance",
 		Paper:  "Extension — online rebalancer: cross-rack spill promoted rack-local",
 		Trials: 1,

@@ -258,6 +258,9 @@ func (c *Controller) AttachRemoteMemory(owner string, cpu topo.BrickID, size bri
 // route to their owning pod scheduler, so rack-local callers need not
 // distinguish them.
 func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
+	if att.crossRow != nil {
+		return att.crossRow.detachCross(att)
+	}
 	if att.cross != nil {
 		return att.cross.detachCross(att)
 	}

@@ -63,6 +63,8 @@ type AdmitRequest struct {
 	CPU topo.BrickID
 	// Rack names CPU's rack at the pod tier; rack controllers ignore it.
 	Rack int
+	// Pod names CPU's pod at the row tier; lower tiers ignore it.
+	Pod int
 }
 
 // AdmitResult is one admission's outcome.
@@ -72,6 +74,8 @@ type AdmitResult struct {
 	CPU topo.BrickID
 	// Rack is CPU's pod rack index (0 on a rack controller).
 	Rack int
+	// Pod is CPU's row pod index (0 below the row tier).
+	Pod int
 	// Att is the remote attachment, nil when Remote was 0.
 	Att *Attachment
 	// ComputeLat and AttachLat are the orchestration latencies of the
@@ -196,6 +200,7 @@ func (c *Controller) flushDirtyCPU() {
 	}
 	c.cpuIdx.touchMany(b.dirtyCPU)
 	b.dirtyCPU = b.dirtyCPU[:0]
+	c.notifyAgg()
 }
 
 // flushDirtyMem refreshes every dirty memory leaf once, recomputing
@@ -208,6 +213,7 @@ func (c *Controller) flushDirtyMem() {
 	}
 	c.memIdx.touchMany(b.dirtyMem)
 	b.dirtyMem = b.dirtyMem[:0]
+	c.notifyAgg()
 }
 
 // batchPickCompute is pickCompute under batch planning: cache hit with

@@ -50,12 +50,14 @@ type pstat struct {
 }
 
 // node is one inner segment-tree node: per-power-state maxima of the
-// fitness dimensions and rank, plus the subtree rank sum.
+// fitness dimensions and rank, plus the subtree rank sum and the
+// per-state brick census.
 type node struct {
 	maxFitA [nStates]int64
 	maxFitB [nStates]int64
 	maxRank [nStates]int64
 	sumRank int64
+	cnt     [nStates]int32
 }
 
 // placementIndex is the ordered capacity index over one brick kind.
@@ -98,12 +100,14 @@ func (nd *node) setLeaf(s pstat) {
 		nd.maxFitA[st] = -1
 		nd.maxFitB[st] = -1
 		nd.maxRank[st] = -1
+		nd.cnt[st] = 0
 	}
 	st := int(s.state)
 	nd.maxFitA[st] = s.fitA
 	nd.maxFitB[st] = s.fitB
 	nd.maxRank[st] = s.rank
 	nd.sumRank = s.rank
+	nd.cnt[st] = 1
 }
 
 // setMerge combines two child nodes in place.
@@ -112,6 +116,7 @@ func (nd *node) setMerge(a, b *node) {
 		nd.maxFitA[st] = max64(a.maxFitA[st], b.maxFitA[st])
 		nd.maxFitB[st] = max64(a.maxFitB[st], b.maxFitB[st])
 		nd.maxRank[st] = max64(a.maxRank[st], b.maxRank[st])
+		nd.cnt[st] = a.cnt[st] + b.cnt[st]
 	}
 	nd.sumRank = a.sumRank + b.sumRank
 }
@@ -129,6 +134,7 @@ func (nd *node) setEmpty() {
 		nd.maxFitA[st] = -1
 		nd.maxFitB[st] = -1
 		nd.maxRank[st] = -1
+		nd.cnt[st] = 0
 	}
 	nd.sumRank = 0
 }
@@ -348,6 +354,16 @@ func (t *placementIndex) rankSum() int64 {
 	return t.tree[1].sumRank
 }
 
+// stateCounts returns the per-power-state brick census, read in O(1) at
+// the root — what the row tier's aggregate layer rolls up so a
+// row-wide power census never rescans bricks.
+func (t *placementIndex) stateCounts() [nStates]int32 {
+	if t.n == 0 {
+		return [nStates]int32{}
+	}
+	return t.tree[1].cnt
+}
+
 // computeStat reads the capacity vector of the compute brick at one
 // order position.
 func (c *Controller) computeStat(pos int) pstat {
@@ -410,6 +426,7 @@ func (c *Controller) touchCompute(id topo.BrickID) {
 		return
 	}
 	c.cpuIdx.touch(pos)
+	c.notifyAgg()
 }
 
 // touchMemory refreshes one memory brick's index leaf (deferred to the
@@ -430,6 +447,7 @@ func (c *Controller) touchMemory(id topo.BrickID) {
 		return
 	}
 	c.memIdx.touch(pos)
+	c.notifyAgg()
 }
 
 // reindexAll rebuilds both indexes after a bulk mutation (power sweep).
@@ -439,6 +457,7 @@ func (c *Controller) reindexAll() {
 	}
 	c.cpuIdx.rebuild()
 	c.memIdx.rebuild()
+	c.notifyAgg()
 }
 
 // CanPlaceCompute reports in O(1) whether the rack may have a compute

@@ -455,6 +455,9 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 // delegate to their rack's controller, cross-rack ones to detachCross
 // (the routing lives on the attachment, so either entry point works).
 func (s *PodScheduler) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
+	if att.crossRow != nil {
+		return att.crossRow.detachCross(att)
+	}
 	if att.cross != nil {
 		return s.detachCross(att)
 	}
@@ -519,6 +522,10 @@ func (s *PodScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 // primitive that lets a VM's remote memory follow it across racks
 // during migration.
 func (s *PodScheduler) Repoint(att *Attachment, newCPU topo.PodBrickID) (tgl.Entry, sim.Duration, error) {
+	if att.crossRow != nil {
+		// Re-tiering through the row switch is not modeled yet.
+		return tgl.Entry{}, 0, fmt.Errorf("sdm: cannot repoint cross-pod attachment of %q", att.Owner)
+	}
 	if att.cross == nil && att.CPURack == newCPU.Rack {
 		// Purely rack-local: the rack controller owns the bookkeeping.
 		return s.racks[att.CPURack].ReattachRemoteMemory(att, newCPU.Brick)

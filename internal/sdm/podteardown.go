@@ -43,6 +43,8 @@ type EvictRequest struct {
 	// CPU and Rack name the compute brick whose reservation is released.
 	CPU  topo.BrickID
 	Rack int
+	// Pod names CPU's pod at the row tier; lower tiers ignore it.
+	Pod int
 	// VCPUs and LocalMem are the compute reservation being returned; 0/0
 	// marks a detach-only request.
 	VCPUs    int
@@ -84,6 +86,10 @@ type evictScratch struct {
 	fill    []int
 	active  []int
 	podLog  []detachUndo
+	// shardN records how many requests the last row-driven evictShard
+	// processed, so the row's rollback re-reserves exactly those
+	// requests' compute out of this pod's scratch.
+	shardN int
 }
 
 // EvictBatch retires a burst of consumers pod-wide using at most

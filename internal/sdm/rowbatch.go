@@ -1,0 +1,458 @@
+package sdm
+
+// Batched group-commit admission, row tier. AdmitBatch recurses the
+// pod tier's three-phase engine one level up:
+//
+//  1. Partition (serial): every request is assigned a pod by the same
+//     O(1) cached aggregates the per-request pod choice reads — pod
+//     free-core sums adjusted by the cores already planned onto each
+//     pod — so a burst spreads (or packs) across pods the way the
+//     policy would have placed it one by one, in O(pods) per request.
+//  2. Plan (parallel): each pod's sub-batch runs through admitShard on
+//     a worker goroutine — the pod tier's own partition/plan/merge,
+//     including its rack→pod spill cascade, executed serially within
+//     the shard. Pods share nothing (each owns its racks, fabrics,
+//     indexes and aggregate summary), so this is the first tier where
+//     worker parallelism maps onto disjoint scheduler state; the
+//     result is byte-identical at any worker count.
+//  3. Merge (serial): leftovers — requests whose planned pod turned
+//     out full, or whose pod could not serve the remote part anywhere
+//     local — resolve in request order through the sequential row
+//     machinery (cross-pod circuits through the row switch, then the
+//     row-tier packet fallback), completing the rack→pod→row cascade
+//     exactly as the per-request path would.
+//
+// Admission is all-or-nothing: if any request definitively fails,
+// every committed admission is torn down in reverse order and the
+// spill sequence counters of the row and every pod restored.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+// AdmitBatch admits a burst of requests row-wide using at most workers
+// goroutines for the per-pod planning phase (<= 0 means GOMAXPROCS).
+// Results are in request order. On error, nothing remains admitted.
+func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResult, error) {
+	out := make([]AdmitResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	seqStart := s.attachSeq
+	podSeqStart := make([]uint64, len(s.pods))
+	for p, ps := range s.pods {
+		podSeqStart[p] = ps.attachSeq
+		for _, r := range ps.racks {
+			r.startBootLog()
+		}
+	}
+	defer func() {
+		for _, ps := range s.pods {
+			for _, r := range ps.racks {
+				r.stopBootLog()
+			}
+		}
+	}()
+
+	// Phase 1 — validate everything up front (shards must never see a
+	// malformed request: they cannot abort) and partition by the O(1)
+	// pod-choice aggregates.
+	podOf := make([]int, len(reqs))
+	plannedCores := make([]int, len(s.pods))
+	plannedAny := false
+	for i := range reqs {
+		req := &reqs[i]
+		switch {
+		case req.VCPUs < 0:
+			return nil, fmt.Errorf("sdm: batch request %d (%q): reserve of %d vcpus", i, req.Owner, req.VCPUs)
+		case req.VCPUs == 0:
+			if req.Remote == 0 {
+				return nil, fmt.Errorf("sdm: batch request %d (%q): no vCPUs and no remote memory", i, req.Owner)
+			}
+			if req.Pod < 0 || req.Pod >= len(s.pods) {
+				s.requests++
+				s.failures++
+				return nil, fmt.Errorf("sdm: batch request %d (%q): no pod %d in the row", i, req.Owner, req.Pod)
+			}
+			if req.Rack < 0 || req.Rack >= len(s.pods[req.Pod].racks) {
+				s.requests++
+				s.failures++
+				return nil, fmt.Errorf("sdm: batch request %d (%q): no rack %d in pod %d", i, req.Owner, req.Rack, req.Pod)
+			}
+			podOf[i] = req.Pod
+		case !plannedAny:
+			// First compute placement: nothing is planned yet, so the
+			// exact per-request pod choice applies — which also makes a
+			// batch of one reproduce the sequential path bit for bit.
+			pod, ok := s.pickComputePod(req.VCPUs, req.LocalMem)
+			if !ok {
+				podOf[i] = -1
+				continue
+			}
+			podOf[i] = pod
+			plannedCores[pod] += req.VCPUs
+			plannedAny = true
+		default:
+			podOf[i] = s.pickComputePodPlanned(req.VCPUs, req.LocalMem, plannedCores)
+			if podOf[i] >= 0 {
+				plannedCores[podOf[i]] += req.VCPUs
+			}
+		}
+	}
+
+	// Pack per-pod sub-batches, preserving request order within a pod.
+	counts := make([]int, len(s.pods))
+	dispatched := 0
+	for i := range reqs {
+		if podOf[i] >= 0 {
+			counts[podOf[i]]++
+			dispatched++
+		}
+	}
+	offsets := make([]int, len(s.pods)+1)
+	for p := range counts {
+		offsets[p+1] = offsets[p] + counts[p]
+	}
+	subReq := make([]AdmitRequest, dispatched)
+	subOut := make([]AdmitResult, dispatched)
+	pos := make([]int, len(reqs))
+	fill := append([]int(nil), offsets[:len(s.pods)]...)
+	for i := range reqs {
+		p := podOf[i]
+		if p < 0 {
+			pos[i] = -1
+			continue
+		}
+		pos[i] = fill[p]
+		subReq[fill[p]] = reqs[i]
+		fill[p]++
+	}
+
+	// Phase 2 — per-pod planning on worker goroutines.
+	var active []int
+	for p, n := range counts {
+		if n > 0 {
+			active = append(active, p)
+		}
+	}
+	s.forEachPod(workers, active, func(p int) {
+		s.pods[p].admitShard(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
+	})
+
+	// Phase 3a — gather every dispatched result before any merging, so
+	// a mid-merge abort sees all worker-committed state in out.
+	retry := make([]bool, len(reqs))
+	for i := range reqs {
+		if pos[i] < 0 {
+			retry[i] = true
+			continue
+		}
+		out[i] = subOut[pos[i]]
+		out[i].Pod = podOf[i]
+		if out[i].Att != nil {
+			// Stamp the row coordinates now: a mid-merge abort routes
+			// teardown through them. Shard attachments never leave their
+			// pod, so both endpoints sit in it.
+			out[i].Att.CPUPod, out[i].Att.MemPod = out[i].Pod, out[i].Pod
+		}
+		if out[i].Err != nil {
+			// The planned pod could not serve the request after all
+			// (partition works off pre-batch aggregates); a failed shard
+			// request committed nothing, so re-place it through the
+			// sequential row path against committed state.
+			out[i] = AdmitResult{}
+			retry[i] = true
+		}
+	}
+
+	// Phase 3b — merge leftovers in request order.
+	for i := range reqs {
+		req := &reqs[i]
+		if retry[i] {
+			if req.VCPUs > 0 {
+				id, lat, err := s.ReserveCompute(req.Owner, req.VCPUs, req.LocalMem)
+				if err != nil {
+					return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
+				}
+				out[i].CPU, out[i].Rack, out[i].Pod = id.Brick, id.Rack, id.Pod
+				out[i].ComputeLat, out[i].computeDone = lat, true
+			} else {
+				out[i].CPU, out[i].Rack, out[i].Pod = req.CPU, req.Rack, req.Pod
+			}
+			if req.Remote > 0 {
+				att, lat, err := s.AttachRemoteMemory(req.Owner, topo.RowBrickID{Pod: out[i].Pod, Rack: out[i].Rack, Brick: out[i].CPU}, req.Remote)
+				if err != nil {
+					return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
+				}
+				out[i].Att, out[i].AttachLat = att, lat
+			}
+			continue
+		}
+		res := &out[i]
+		if req.VCPUs > 0 {
+			s.requests++
+		}
+		if req.Remote > 0 {
+			s.requests++
+		}
+		if res.needSpill {
+			att, lat, err := s.attachCross(req.Owner, topo.RowBrickID{Pod: res.Pod, Rack: res.Rack, Brick: res.CPU}, req.Remote)
+			if err != nil {
+				localErr := res.localErr
+				if localErr == nil {
+					localErr = fmt.Errorf("sdm: no memory brick in pod %d with %v contiguous free and a spare port", res.Pod, req.Remote)
+				}
+				s.failures++
+				err = fmt.Errorf("sdm: row attach for %q failed pod-locally (%v) and cross-pod: %w", req.Owner, localErr, err)
+				return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
+			}
+			s.spills++
+			res.Att, res.AttachLat = att, lat
+			res.needSpill, res.localErr = false, nil
+		}
+	}
+	return out, nil
+}
+
+// pickComputePodPlanned applies the placement policy to pod choice
+// with the batch's already-planned cores subtracted from each pod's
+// cached free-core aggregate — O(pods) arithmetic with no confirming
+// pick (a mis-estimate surfaces as a leftover and is re-placed against
+// committed state in the merge phase).
+func (s *RowScheduler) pickComputePodPlanned(vcpus int, localMem brick.Bytes, planned []int) int {
+	if s.cfg.Policy == PolicySpread {
+		best, bestFree := -1, int64(-1)
+		for i := range s.pods {
+			free := s.podFreeCores(i) - int64(planned[i])
+			if free < int64(vcpus) || free <= bestFree {
+				continue
+			}
+			best, bestFree = i, free
+		}
+		return best
+	}
+	// Power-aware and first-fit pack pods in index order.
+	for i := range s.pods {
+		if s.podFreeCores(i)-int64(planned[i]) >= int64(vcpus) {
+			return i
+		}
+	}
+	return -1
+}
+
+// forEachPod runs fn for every pod index in pods on a pool of at most
+// workers goroutines (<= 0 meaning GOMAXPROCS). Pod shards are
+// disjoint — each pod scheduler owns its racks, fabrics, indexes and
+// aggregate summary — so scheduling order cannot affect the outcome.
+func (s *RowScheduler) forEachPod(workers int, pods []int, fn func(p int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pods) {
+		workers = len(pods)
+	}
+	if workers <= 1 {
+		for _, p := range pods {
+			fn(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pods) {
+					return
+				}
+				fn(pods[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// abortBatch tears every committed admission down in reverse request
+// order and restores the spill sequence counters of the row and every
+// pod, leaving the row as if the batch never ran; it returns the
+// annotated cause.
+func (s *RowScheduler) abortBatch(reqs []AdmitRequest, out []AdmitResult, seqStart uint64, podSeqStart []uint64, failed int, cause error) error {
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i].Att != nil {
+			if _, err := s.DetachRemoteMemory(out[i].Att); err != nil {
+				cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+			}
+			out[i].Att = nil
+		}
+		if out[i].computeDone {
+			if err := s.pods[out[i].Pod].racks[out[i].Rack].ReleaseCompute(out[i].CPU, reqs[i].VCPUs, reqs[i].LocalMem); err != nil {
+				cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+			}
+			out[i].computeDone = false
+		}
+	}
+	s.attachSeq = seqStart
+	for p, ps := range s.pods {
+		ps.attachSeq = podSeqStart[p]
+		for _, r := range ps.racks {
+			r.rollbackBoots()
+		}
+	}
+	return fmt.Errorf("sdm: batch admission rolled back at request %d (%q): %w", failed, reqs[failed].Owner, cause)
+}
+
+// admitShard is AdmitBatch's per-pod shard engine for a row batch: the
+// pod tier's own partition/plan/merge over its racks, with three
+// deliberate differences from PodScheduler.AdmitBatch. Validation,
+// boot logging and all-or-nothing rollback belong to the row tier;
+// rack planning runs serially (the row's workers already parallelize
+// across pods, which own disjoint state); and a request the pod cannot
+// finish never aborts — a definitive failure surfaces as Err (nothing
+// committed, the row re-places it), and a committed compute whose
+// remote part found no pod-local home surfaces as needSpill (the row
+// crosses pods). Shards touch only pod-local state, which is what
+// makes the row's selection byte-identical at any worker count.
+func (s *PodScheduler) admitShard(reqs []AdmitRequest, out []AdmitResult) {
+	// Phase 1 — partition by the O(1) rack-choice aggregates (requests
+	// are pre-validated by the row).
+	rackOf := make([]int, len(reqs))
+	plannedCores := make([]int, len(s.racks))
+	plannedAny := false
+	for i := range reqs {
+		req := &reqs[i]
+		switch {
+		case req.VCPUs == 0:
+			rackOf[i] = req.Rack
+		case !plannedAny:
+			rack, ok := s.pickComputeRackExcept(req.VCPUs, req.LocalMem, -1)
+			if !ok {
+				rackOf[i] = -1
+				continue
+			}
+			rackOf[i] = rack
+			plannedCores[rack] += req.VCPUs
+			plannedAny = true
+		default:
+			rackOf[i] = s.pickComputeRackPlanned(req.VCPUs, req.LocalMem, plannedCores)
+			if rackOf[i] >= 0 {
+				plannedCores[rackOf[i]] += req.VCPUs
+			}
+		}
+	}
+
+	// Pack per-rack sub-batches, preserving request order within a rack.
+	counts := make([]int, len(s.racks))
+	dispatched := 0
+	for i := range reqs {
+		if rackOf[i] >= 0 {
+			counts[rackOf[i]]++
+			dispatched++
+		}
+	}
+	offsets := make([]int, len(s.racks)+1)
+	for r := range counts {
+		offsets[r+1] = offsets[r] + counts[r]
+	}
+	subReq := make([]AdmitRequest, dispatched)
+	subOut := make([]AdmitResult, dispatched)
+	pos := make([]int, len(reqs))
+	fill := append([]int(nil), offsets[:len(s.racks)]...)
+	for i := range reqs {
+		r := rackOf[i]
+		if r < 0 {
+			pos[i] = -1
+			continue
+		}
+		pos[i] = fill[r]
+		subReq[fill[r]] = reqs[i]
+		fill[r]++
+	}
+
+	// Phase 2 — serial rack planning.
+	for r := range s.racks {
+		if counts[r] > 0 {
+			s.racks[r].placeBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]], true)
+		}
+	}
+
+	// Phase 3a — gather.
+	retry := make([]bool, len(reqs))
+	for i := range reqs {
+		if pos[i] < 0 {
+			retry[i] = true
+			continue
+		}
+		out[i] = subOut[pos[i]]
+		out[i].Rack = rackOf[i]
+		if out[i].Att != nil {
+			out[i].Att.CPURack, out[i].Att.MemRack = out[i].Rack, out[i].Rack
+		}
+		if out[i].Err != nil {
+			out[i] = AdmitResult{}
+			retry[i] = true
+		}
+	}
+
+	// Phase 3b — merge leftovers in shard order.
+	for i := range reqs {
+		req := &reqs[i]
+		if retry[i] {
+			if req.VCPUs > 0 {
+				id, lat, err := s.ReserveCompute(req.Owner, req.VCPUs, req.LocalMem)
+				if err != nil {
+					// Nothing committed for this request: the row re-places
+					// it pod-wide against committed state.
+					out[i] = AdmitResult{Err: err}
+					continue
+				}
+				out[i].CPU, out[i].Rack = id.Brick, id.Rack
+				out[i].ComputeLat, out[i].computeDone = lat, true
+			} else {
+				out[i].CPU, out[i].Rack = req.CPU, req.Rack
+			}
+			if req.Remote > 0 {
+				att, lat, err := s.AttachRemoteMemory(req.Owner, topo.PodBrickID{Rack: out[i].Rack, Brick: out[i].CPU}, req.Remote)
+				if err != nil {
+					// The pod cannot serve the remote part anywhere local;
+					// keep the compute and hand the spill to the row.
+					out[i].needSpill, out[i].localErr = true, err
+					continue
+				}
+				out[i].Att, out[i].AttachLat = att, lat
+			}
+			continue
+		}
+		res := &out[i]
+		if req.VCPUs > 0 {
+			s.requests++
+		}
+		if req.Remote > 0 {
+			s.requests++
+		}
+		if res.needSpill {
+			att, lat, err := s.attachCross(req.Owner, topo.PodBrickID{Rack: res.Rack, Brick: res.CPU}, req.Remote)
+			if err != nil {
+				localErr := res.localErr
+				if localErr == nil {
+					localErr = fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", req.Remote)
+				}
+				s.failures++
+				// needSpill stays set: the row crosses pods in its merge.
+				res.localErr = fmt.Errorf("sdm: pod attach for %q failed rack-locally (%v) and cross-rack: %w", req.Owner, localErr, err)
+				continue
+			}
+			s.spills++
+			res.Att, res.AttachLat = att, lat
+			res.needSpill, res.localErr = false, nil
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package sdm
+
+// Batched group-commit teardown, row tier — the inverse of rowbatch.go
+// and the recursive step up from podteardown.go. EvictBatch retires a
+// burst of consumers in the same three deterministic phases:
+//
+//  1. Partition (serial): every request names its pod and rack; its
+//     pod-contained attachments (rack-local and cross-rack mixed) pack
+//     into a per-pod shard, and its cross-pod attachments queue for the
+//     serial row phase (their circuits ride the row switch, which no
+//     pod shard owns).
+//  2. Teardown (parallel): each pod's shard runs through
+//     PodScheduler.evictShard on a worker goroutine — the full pod
+//     teardown pipeline, serialized within the shard — so the outcome
+//     is byte-identical at any worker count.
+//  3. Cross phase (serial): cross-pod attachments detach in request
+//     order, journaled like the pod and rack teardowns.
+//
+// Eviction is all-or-nothing: on any definitive failure the row
+// journal, every pod journal, and every rack journal replay in
+// reverse, released compute re-reserves, and the spill sequence
+// counters at both tiers restore — leaving the row answering exactly
+// as before the batch.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// rowEvictScratch is the row EvictBatch's reused partition state,
+// mirroring evictScratch one tier up: shard requests instead of
+// release requests, pods instead of racks. EvictBatch is serial at the
+// row tier, so the buffers are safely reused across batches.
+type rowEvictScratch struct {
+	cross    []crossItem
+	shardReq []EvictRequest
+	subReq   []EvictRequest
+	subOut   []EvictResult
+	atts     []*Attachment
+	counts   []int
+	offsets  []int
+	pos      []int
+	fill     []int
+	active   []int
+	failAt   []int
+	failErr  []error
+	rowLog   []detachUndo
+	podSeq   []uint64
+}
+
+// EvictBatch retires a burst of consumers row-wide using at most
+// workers goroutines for the per-pod teardown phase (<= 0 means
+// GOMAXPROCS). Results are in request order. On error, the whole batch
+// rolls back and nothing remains evicted.
+func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResult, error) {
+	out := make([]EvictResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	seqStart := s.attachSeq
+	sc := &s.evict
+	if cap(sc.podSeq) < len(s.pods) {
+		sc.podSeq = make([]uint64, len(s.pods))
+		sc.failAt = make([]int, len(s.pods))
+		sc.failErr = make([]error, len(s.pods))
+	}
+	podSeq := sc.podSeq[:len(s.pods)]
+	failAt, failErr := sc.failAt[:len(s.pods)], sc.failErr[:len(s.pods)]
+	// Clear every journal up front: abortEvict replays all of them, and
+	// a pod or rack this batch never touches must not replay entries
+	// left over from an earlier committed batch.
+	for p, ps := range s.pods {
+		podSeq[p] = ps.attachSeq
+		ps.evict.podLog = ps.evict.podLog[:0]
+		ps.evict.shardN = 0
+		for _, r := range ps.racks {
+			r.undoLog = r.undoLog[:0]
+		}
+		failErr[p] = nil
+	}
+
+	// Phase 1 — validate and partition. Requests already name their
+	// pods and racks, so partitioning is a split of each request's
+	// attachment list: pod-contained teardown parallelizes, cross-pod
+	// serializes.
+	total := 0
+	for i := range reqs {
+		total += len(reqs[i].Atts)
+	}
+	if cap(sc.atts) < total {
+		sc.atts = make([]*Attachment, 0, total)
+	}
+	if cap(sc.shardReq) < len(reqs) {
+		sc.shardReq = make([]EvictRequest, len(reqs))
+	}
+	atts, crossList := sc.atts[:0], sc.cross[:0]
+	shardReq := sc.shardReq[:len(reqs)]
+	for i := range reqs {
+		req := &reqs[i]
+		if req.Pod < 0 || req.Pod >= len(s.pods) {
+			return nil, fmt.Errorf("sdm: batch eviction request %d (%q): no pod %d in the row", i, req.Owner, req.Pod)
+		}
+		if req.Rack < 0 || req.Rack >= len(s.pods[req.Pod].racks) {
+			return nil, fmt.Errorf("sdm: batch eviction request %d (%q): no rack %d in pod %d", i, req.Owner, req.Rack, req.Pod)
+		}
+		sr := EvictRequest{Owner: req.Owner, CPU: req.CPU, Rack: req.Rack, Pod: req.Pod, VCPUs: req.VCPUs, LocalMem: req.LocalMem}
+		start := len(atts)
+		for _, att := range req.Atts {
+			if att.crossRow != nil {
+				crossList = append(crossList, crossItem{req: i, att: att})
+			} else {
+				atts = append(atts, att)
+			}
+		}
+		sr.Atts = atts[start:len(atts):len(atts)]
+		shardReq[i] = sr
+	}
+	sc.atts, sc.cross = atts, crossList
+
+	// Pack per-pod shards, preserving request order within a pod.
+	if cap(sc.counts) < len(s.pods) {
+		sc.counts = make([]int, len(s.pods))
+		sc.offsets = make([]int, len(s.pods)+1)
+		sc.fill = make([]int, len(s.pods))
+		sc.active = make([]int, 0, len(s.pods))
+	}
+	counts, fill := sc.counts[:len(s.pods)], sc.fill[:len(s.pods)]
+	offsets, active := sc.offsets[:len(s.pods)+1], sc.active[:0]
+	clear(counts)
+	for i := range shardReq {
+		counts[shardReq[i].Pod]++
+	}
+	offsets[0] = 0
+	for p := range counts {
+		offsets[p+1] = offsets[p] + counts[p]
+	}
+	if cap(sc.subReq) < len(shardReq) {
+		sc.subReq = make([]EvictRequest, len(shardReq))
+		sc.subOut = make([]EvictResult, len(shardReq))
+		sc.pos = make([]int, len(shardReq))
+	}
+	subReq, subOut := sc.subReq[:len(shardReq)], sc.subOut[:len(shardReq)]
+	pos := sc.pos[:len(shardReq)]
+	copy(fill, offsets[:len(s.pods)])
+	for i := range shardReq {
+		p := shardReq[i].Pod
+		pos[i] = fill[p]
+		subReq[fill[p]] = shardReq[i]
+		fill[p]++
+	}
+
+	// Phase 2 — per-pod shards on worker goroutines. Each shard runs
+	// the full pod teardown pipeline serially against its own pod, so
+	// shards share nothing and the merge below is order-deterministic.
+	for p, n := range counts {
+		if n > 0 {
+			active = append(active, p)
+		}
+	}
+	sc.active = active
+	s.forEachPod(workers, active, func(p int) {
+		failAt[p], failErr[p] = s.pods[p].evictShard(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
+	})
+
+	// Gather: the first failed request in request order aborts the
+	// whole batch. Packing preserves request order within a pod, so a
+	// pod's failure slot is reached before any of its stale later
+	// entries are read.
+	rowLog := sc.rowLog[:0]
+	for i := range reqs {
+		p := reqs[i].Pod
+		if failErr[p] != nil && offsets[p]+failAt[p] == pos[i] {
+			sc.rowLog = rowLog
+			return nil, s.abortEvict(reqs, rowLog, seqStart, podSeq, i, failErr[p])
+		}
+		out[i].DetachLat = subOut[pos[i]].DetachLat
+		out[i].Detached = subOut[pos[i]].Detached
+	}
+
+	// Phase 3 — cross-pod teardowns in request order.
+	for _, ci := range crossList {
+		lat, err := s.batchDetachCross(ci.att, &rowLog)
+		if err != nil {
+			sc.rowLog = rowLog
+			return nil, s.abortEvict(reqs, rowLog, seqStart, podSeq, ci.req, err)
+		}
+		out[ci.req].DetachLat += lat
+		out[ci.req].Detached++
+	}
+	sc.rowLog = rowLog
+	return out, nil
+}
+
+// evictShard runs the pod teardown pipeline for a row-tier shard:
+// EvictBatch's partition, rack teardown (serial — the row tier owns
+// the worker pool, one goroutine per pod shard), and cross-rack phase,
+// but journaling for the row's rollback instead of aborting. It
+// returns the index of the first failed request and its error, or
+// (-1, nil) on success. The row has already validated pods and racks
+// and cleared every journal.
+func (s *PodScheduler) evictShard(reqs []EvictRequest, out []EvictResult) (int, error) {
+	sc := &s.evict
+	sc.shardN = len(reqs)
+	if len(reqs) == 0 {
+		return -1, nil
+	}
+	total := 0
+	for i := range reqs {
+		total += len(reqs[i].Atts)
+	}
+	if cap(sc.atts) < total {
+		sc.atts = make([]*Attachment, 0, total)
+	}
+	if cap(sc.relReqs) < len(reqs) {
+		sc.relReqs = make([]ReleaseRequest, len(reqs))
+	}
+	atts, crossList := sc.atts[:0], sc.cross[:0]
+	relReqs := sc.relReqs[:len(reqs)]
+	for i := range reqs {
+		req := &reqs[i]
+		rr := ReleaseRequest{Owner: req.Owner, CPU: req.CPU, VCPUs: req.VCPUs, LocalMem: req.LocalMem, Rack: req.Rack}
+		start := len(atts)
+		for _, att := range req.Atts {
+			if att.cross != nil {
+				crossList = append(crossList, crossItem{req: i, att: att})
+			} else {
+				atts = append(atts, att)
+			}
+		}
+		rr.Atts = atts[start:len(atts):len(atts)]
+		relReqs[i] = rr
+	}
+	sc.atts, sc.cross = atts, crossList
+
+	if cap(sc.counts) < len(s.racks) {
+		sc.counts = make([]int, len(s.racks))
+		sc.offsets = make([]int, len(s.racks)+1)
+		sc.fill = make([]int, len(s.racks))
+		sc.active = make([]int, 0, len(s.racks))
+	}
+	counts, fill := sc.counts[:len(s.racks)], sc.fill[:len(s.racks)]
+	offsets := sc.offsets[:len(s.racks)+1]
+	clear(counts)
+	for i := range relReqs {
+		counts[relReqs[i].Rack]++
+	}
+	offsets[0] = 0
+	for r := range counts {
+		offsets[r+1] = offsets[r] + counts[r]
+	}
+	if cap(sc.subReq) < len(relReqs) {
+		sc.subReq = make([]ReleaseRequest, len(relReqs))
+		sc.subOut = make([]ReleaseResult, len(relReqs))
+		sc.pos = make([]int, len(relReqs))
+	}
+	subReq, subOut := sc.subReq[:len(relReqs)], sc.subOut[:len(relReqs)]
+	pos := sc.pos[:len(relReqs)]
+	copy(fill, offsets[:len(s.racks)])
+	for i := range relReqs {
+		r := relReqs[i].Rack
+		pos[i] = fill[r]
+		subReq[fill[r]] = relReqs[i]
+		fill[r]++
+	}
+
+	for r, n := range counts {
+		if n > 0 {
+			s.racks[r].ReleaseBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]])
+		}
+	}
+
+	podLog := sc.podLog[:0]
+	for i := range relReqs {
+		if err := subOut[pos[i]].Err; err != nil {
+			sc.podLog = podLog
+			return i, err
+		}
+		out[i].DetachLat = subOut[pos[i]].DetachLat
+		out[i].Detached = subOut[pos[i]].Detached
+	}
+
+	for _, ci := range crossList {
+		lat, err := s.batchDetachCross(ci.att, &podLog)
+		if err != nil {
+			sc.podLog = podLog
+			return ci.req, err
+		}
+		out[ci.req].DetachLat += lat
+		out[ci.req].Detached++
+	}
+	sc.podLog = podLog
+	return -1, nil
+}
+
+// batchDetachCross mirrors the row's detachCross — same validation,
+// counters, latency accounting and error surfaces, executed inline as
+// one merged commit — and journals the undo into the row-phase log.
+func (s *RowScheduler) batchDetachCross(att *Attachment, log *[]detachUndo) (sim.Duration, error) {
+	s.requests++
+	rackA := s.pods[att.CPUPod].racks[att.CPURack]
+	idx := -1
+	for i, a := range rackA.attachments[att.Owner] {
+		if a == att {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		s.failures++
+		return 0, fmt.Errorf("sdm: cross-pod attachment for %q on %v not live", att.Owner, att.CPU)
+	}
+	node := rackA.computes[att.CPU]
+	rackB := s.pods[att.MemPod].racks[att.MemRack]
+	m := rackB.memories[att.Segment.Brick]
+
+	// crossNext is the attachment's successor in the cross-pod walk
+	// order, so rollback can re-thread it at the exact position.
+	var crossNext *Attachment
+	if el, ok := s.crossElem[att]; ok {
+		if next := el.Next(); next != nil {
+			crossNext = next.Value.(*Attachment)
+		}
+	}
+
+	if att.Mode == ModePacket {
+		if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
+			s.failures++
+			return 0, err
+		}
+		if err := m.Release(att.Segment); err != nil {
+			s.failures++
+			return 0, err
+		}
+		s.riders[att.Circuit]--
+		if s.riders[att.Circuit] <= 0 {
+			delete(s.riders, att.Circuit)
+		}
+		*log = append(*log, detachUndo{
+			att:       att,
+			packet:    true,
+			cpuRack:   rackA,
+			memRack:   rackB,
+			segOffset: att.Segment.Offset,
+			segSize:   att.Segment.Size,
+			attIdx:    idx,
+			row:       s,
+			crossNext: crossNext,
+		})
+		rackA.unregister(att)
+		s.removeCrossOrder(att)
+		rackB.touchMemory(att.Segment.Brick)
+		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
+	}
+	if n := s.riders[att.Circuit]; n > 0 {
+		s.failures++
+		return 0, fmt.Errorf("sdm: cross-pod circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
+	}
+
+	cpu, memID := att.CPU, att.Segment.Brick
+	defer func() {
+		rackA.touchCompute(cpu)
+		rackB.touchMemory(memID)
+	}()
+	lat := s.cfg.DecisionLatency
+	t := s.tier(att.CPUPod, att.CPURack, att.MemPod, att.MemRack)
+	oldWindow := att.Window
+
+	if err := node.Agent.Glue.Detach(oldWindow.Base); err != nil {
+		s.failures++
+		return 0, err
+	}
+	lat += s.cfg.AgentRTT
+	d, err := t.disconnect(att.Circuit)
+	lat += d
+	if err != nil {
+		if uerr := node.Agent.Glue.Attach(oldWindow); uerr != nil {
+			s.failures++
+			return 0, fmt.Errorf("sdm: detach failed (%v) and rollback failed: %w", err, uerr)
+		}
+		s.failures++
+		return 0, err
+	}
+	if err := rackA.finishDetach(node, m, att); err != nil {
+		s.failures++
+		return 0, err
+	}
+	key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
+	crossHostIdx := 0
+	for i, a := range s.crossHosts[key] {
+		if a == att {
+			crossHostIdx = i
+			break
+		}
+	}
+	*log = append(*log, detachUndo{
+		att:          att,
+		cpuRack:      rackA,
+		memRack:      rackB,
+		segOffset:    att.Segment.Offset,
+		segSize:      att.Segment.Size,
+		t:            t,
+		attIdx:       idx,
+		crossHostIdx: crossHostIdx,
+		row:          s,
+		crossNext:    crossNext,
+	})
+	list := rackA.attachments[att.Owner]
+	rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	s.removeCrossHost(att)
+	s.removeCrossOrder(att)
+	return lat, nil
+}
+
+// abortEvict replays every journal in reverse — the row phase first
+// (last torn down), then each pod's cross phase and rack teardowns —
+// re-reserves released compute out of each pod's shard scratch, and
+// restores the spill sequence counters at both tiers, leaving the row
+// as if the batch never ran; it returns the annotated cause.
+func (s *RowScheduler) abortEvict(reqs []EvictRequest, rowLog []detachUndo, seqStart uint64, podSeq []uint64, failed int, cause error) error {
+	for i := len(rowLog) - 1; i >= 0; i-- {
+		if err := rowLog[i].undoDetach(); err != nil {
+			cause = fmt.Errorf("%w (and rollback of %q failed: %v)", cause, rowLog[i].att.Owner, err)
+		}
+	}
+	for p := len(s.pods) - 1; p >= 0; p-- {
+		ps := s.pods[p]
+		pc := &ps.evict
+		for i := len(pc.podLog) - 1; i >= 0; i-- {
+			if err := pc.podLog[i].undoDetach(); err != nil {
+				cause = fmt.Errorf("%w (and rollback of %q failed: %v)", cause, pc.podLog[i].att.Owner, err)
+			}
+		}
+		pc.podLog = pc.podLog[:0]
+		for _, r := range ps.racks {
+			for i := len(r.undoLog) - 1; i >= 0; i-- {
+				if err := r.undoLog[i].undoDetach(); err != nil {
+					cause = fmt.Errorf("%w (and rollback of %q failed: %v)", cause, r.undoLog[i].att.Owner, err)
+				}
+			}
+			r.undoLog = r.undoLog[:0]
+		}
+		for i := pc.shardN - 1; i >= 0; i-- {
+			res := &pc.subOut[pc.pos[i]]
+			if !res.released {
+				continue
+			}
+			rr := &pc.subReq[pc.pos[i]]
+			node := ps.racks[rr.Rack].computes[rr.CPU]
+			if rr.VCPUs > 0 {
+				if err := node.Brick.AllocCores(rr.VCPUs); err != nil {
+					cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+				}
+			}
+			if rr.LocalMem > 0 {
+				if err := node.Brick.AllocLocal(rr.LocalMem); err != nil {
+					cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)
+				}
+			}
+			ps.racks[rr.Rack].touchCompute(rr.CPU)
+			res.released = false
+		}
+		ps.attachSeq = podSeq[p]
+		pc.shardN = 0
+	}
+	s.attachSeq = seqStart
+	return fmt.Errorf("sdm: batch eviction rolled back at request %d (%q): %w", failed, reqs[failed].Owner, cause)
+}

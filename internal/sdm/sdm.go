@@ -156,11 +156,19 @@ type Attachment struct {
 	// In a single-rack deployment both are zero; they differ only for
 	// attachments spilled across the pod tier.
 	CPURack, MemRack int
+	// CPUPod and MemPod are the row pod indexes of the two endpoints.
+	// Zero below the row tier; they differ only for attachments spilled
+	// across the row tier.
+	CPUPod, MemPod int
 	// cross, when non-nil, marks a pod-tier cross-rack attachment and
 	// names the scheduler that owns its bookkeeping — detach and rider
 	// queries route there, so rack-local callers (scale-up controllers)
 	// handle pod attachments without knowing about the pod.
 	cross *PodScheduler
+	// crossRow, when non-nil, marks a row-tier cross-pod attachment and
+	// names the row scheduler that owns its bookkeeping, with the same
+	// routing contract as cross one tier down.
+	crossRow *RowScheduler
 	// seq is the pod scheduler's spill sequence number, the rebalancer's
 	// oldest-first walk order; zero for attachments that never crossed.
 	seq uint64
@@ -168,6 +176,9 @@ type Attachment struct {
 
 // CrossRack reports whether the attachment crosses the pod tier.
 func (a *Attachment) CrossRack() bool { return a.CPURack != a.MemRack }
+
+// CrossPod reports whether the attachment crosses the row tier.
+func (a *Attachment) CrossPod() bool { return a.CPUPod != a.MemPod }
 
 // Size returns the attachment's capacity.
 func (a *Attachment) Size() brick.Bytes { return a.Segment.Size }
@@ -216,6 +227,13 @@ type Controller struct {
 	// undoLog journals the teardowns of an in-flight release batch so an
 	// aborting eviction can restore them exactly (see teardown.go).
 	undoLog []detachUndo
+
+	// agg, when non-nil, is the pod-level aggregate summary this rack
+	// rolls up into (see agg.go); aggSlot is the rack's slot in it.
+	// Installed by the row tier so pod choice reads cached per-pod
+	// summaries instead of re-summing racks.
+	agg     *podAgg
+	aggSlot int
 
 	requests uint64
 	failures uint64

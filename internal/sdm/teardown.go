@@ -89,10 +89,12 @@ type detachUndo struct {
 	hostIdx      int
 	crossHostIdx int
 
-	// pod and crossNext restore the rebalancer walk order: the
-	// attachment is re-inserted before crossNext (appended when nil)
-	// with its original seq — attachSeq itself never moves on teardown.
+	// pod (or row, one tier up) and crossNext restore the spill walk
+	// order: the attachment is re-inserted before crossNext (appended
+	// when nil) with its original seq — attachSeq itself never moves on
+	// teardown. At most one of pod/row is set.
 	pod       *PodScheduler
+	row       *RowScheduler
 	crossNext *Attachment
 }
 
@@ -147,6 +149,9 @@ func (c *Controller) releaseOne(req *ReleaseRequest, res *ReleaseResult) {
 // — and journals an undo record. Pod-tier cross-rack attachments are
 // the pod scheduler's to tear down, never this path's.
 func (c *Controller) batchDetach(att *Attachment) (sim.Duration, error) {
+	if att.crossRow != nil {
+		return 0, fmt.Errorf("sdm: cross-pod attachment of %q in a rack-local release batch", att.Owner)
+	}
 	if att.cross != nil {
 		return 0, fmt.Errorf("sdm: cross-rack attachment of %q in a rack-local release batch", att.Owner)
 	}
@@ -298,16 +303,19 @@ func (u *detachUndo) undoDetach() error {
 	if u.packet {
 		// Re-key onto the host circuit, which a circuit-mode restore may
 		// have rebuilt: the live host for this CPU port carries it.
-		if host := findHost(rackA, u.pod, att); host != nil {
+		if host := findHost(rackA, u.pod, u.row, att); host != nil {
 			att.Circuit = host.Circuit
 		}
 		if err := node.Agent.Glue.Attach(att.Window); err != nil {
 			m.Release(seg)
 			return err
 		}
-		if u.pod != nil {
+		switch {
+		case u.row != nil:
+			u.row.riders[att.Circuit]++
+		case u.pod != nil:
 			u.pod.riders[att.Circuit]++
-		} else {
+		default:
 			rackA.riders[att.Circuit]++
 		}
 	} else {
@@ -339,14 +347,29 @@ func (u *detachUndo) undoDetach() error {
 	// Registrations go back at their recorded positions.
 	rackA.attachments[att.Owner] = insertAtt(rackA.attachments[att.Owner], u.attIdx, att)
 	if !u.packet {
-		if u.pod != nil {
+		switch {
+		case u.row != nil:
+			key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
+			u.row.crossHosts[key] = insertAtt(u.row.crossHosts[key], u.crossHostIdx, att)
+		case u.pod != nil:
 			key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
 			u.pod.crossHosts[key] = insertAtt(u.pod.crossHosts[key], u.crossHostIdx, att)
-		} else {
+		default:
 			rackA.circuitHosts[att.CPU] = insertAtt(rackA.circuitHosts[att.CPU], u.hostIdx, att)
 		}
 	}
-	if u.pod != nil {
+	if u.row != nil {
+		// Re-thread the cross-pod walk order without re-stamping seq.
+		if u.crossNext != nil {
+			if el, ok := u.row.crossElem[u.crossNext]; ok {
+				u.row.crossElem[att] = u.row.crossOrder.InsertBefore(att, el)
+			} else {
+				u.row.crossElem[att] = u.row.crossOrder.PushBack(att)
+			}
+		} else {
+			u.row.crossElem[att] = u.row.crossOrder.PushBack(att)
+		}
+	} else if u.pod != nil {
 		// Re-thread the rebalancer walk order without re-stamping seq.
 		if u.crossNext != nil {
 			if el, ok := u.pod.crossElem[u.crossNext]; ok {
@@ -365,7 +388,16 @@ func (u *detachUndo) undoDetach() error {
 
 // findHost locates the live circuit-mode attachment whose circuit a
 // packet rider shares: same CPU port, circuit mode.
-func findHost(rackA *Controller, pod *PodScheduler, rider *Attachment) *Attachment {
+func findHost(rackA *Controller, pod *PodScheduler, row *RowScheduler, rider *Attachment) *Attachment {
+	if row != nil {
+		key := topo.RowBrickID{Pod: rider.CPUPod, Rack: rider.CPURack, Brick: rider.CPU}
+		for _, a := range row.crossHosts[key] {
+			if a.CPUPort == rider.CPUPort {
+				return a
+			}
+		}
+		return nil
+	}
 	if pod != nil {
 		key := topo.PodBrickID{Rack: rider.CPURack, Brick: rider.CPU}
 		for _, a := range pod.crossHosts[key] {
