@@ -15,6 +15,7 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/brick"
 	"repro/internal/core"
@@ -327,7 +328,8 @@ func benchRow(b *testing.B, pods int) *sdm.RowScheduler {
 // choice is O(1) arithmetic over the per-pod aggregates and the spill
 // partitioner is O(pods), so placements/s must hold (>= 100k, gated by
 // bench-check) as the rack count quadruples. Teardown between
-// iterations runs through EvictBatch off the timer.
+// iterations runs through EvictBatch off the admission timer but on
+// its own clock, so the group-commit teardown throughput is gated too.
 func BenchmarkFig10Row(b *testing.B) {
 	const burst = 256
 	for _, pods := range []int{8, 16, 32} {
@@ -342,6 +344,7 @@ func BenchmarkFig10Row(b *testing.B) {
 			ereqs := make([]sdm.EvictRequest, burst)
 			b.ResetTimer()
 			placements := 0
+			var evictNS int64
 			for i := 0; i < b.N; i++ {
 				out, err := sched.AdmitBatch(reqs, 0)
 				if err != nil {
@@ -356,12 +359,15 @@ func BenchmarkFig10Row(b *testing.B) {
 						Atts: []*sdm.Attachment{out[v].Att},
 					}
 				}
+				t0 := time.Now()
 				if _, err := sched.EvictBatch(ereqs, 0); err != nil {
 					b.Fatal(err)
 				}
+				evictNS += time.Since(t0).Nanoseconds()
 				b.StartTimer()
 			}
 			b.ReportMetric(float64(placements)/b.Elapsed().Seconds(), "placements/s")
+			b.ReportMetric(float64(placements)/(float64(evictNS)/1e9), "teardowns/s")
 		})
 	}
 }
@@ -583,20 +589,35 @@ func BenchmarkEvictBatch(b *testing.B) {
 // placements/s and teardowns/s are the scenario's virtual-time
 // throughputs — deterministic for the seed, so the bench-check gate
 // holds them exactly rather than within a wall-clock noise band.
+//
+// The pipeline variant serves the same schedule through a
+// core.BatchPipeline deep enough that no burst ever stalls on the
+// depth bound: burst k+1's planning overlaps burst k's boots, so the
+// virtual placement throughput counts controller busy time instead of
+// boot waits. Placement state (frag, dark racks, moves) is identical
+// to the batch run; the acceptance bar is pipeline >= 1.5x the batch
+// side's vplacements/s.
 func BenchmarkChurn(b *testing.B) {
-	var res exp.ChurnResult
-	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = exp.RunChurn(exp.Params{Seed: 1, Workers: 1, Batch: true})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.DarkFinal < 1 {
-			b.Fatal("churn run left no rack powered down")
-		}
+	for _, mode := range []struct {
+		name     string
+		pipeline int
+	}{{"batch", 0}, {"pipeline", 16}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res exp.ChurnResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = exp.RunChurn(exp.Params{Seed: 1, Workers: 1, Batch: true, Pipeline: mode.pipeline})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.DarkFinal < 1 {
+					b.Fatal("churn run left no rack powered down")
+				}
+			}
+			b.ReportMetric(res.PlacementsPerS, "vplacements/s")
+			b.ReportMetric(res.TeardownsPerS, "vteardowns/s")
+		})
 	}
-	b.ReportMetric(res.PlacementsPerS, "vplacements/s")
-	b.ReportMetric(res.TeardownsPerS, "vteardowns/s")
 }
 
 // BenchmarkAttachmentQueries pins the allocation profile of the

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/accel"
 	"repro/internal/brick"
@@ -32,6 +33,8 @@ func main() {
 	rebalance := flag.Bool("rebalance", false, "with -racks > 1: free home-rack capacity and run an online rebalancing sweep at the end of the tour")
 	burst := flag.Int("burst", 0, "with -racks > 1: batch-admit this many VMs (boot + remote memory) in one group commit at the end of the tour; admission is all-or-nothing, so a burst too big for the tour's tiny racks aborts the tour with the batch rolled back")
 	drain := flag.Bool("drain", false, "with -burst: tear the burst back down in one group-commit eviction (DestroyVMs), then run a consolidation pass that re-packs survivors and powers drained racks down")
+	workers := flag.Int("workers", 0, "with -burst: planning/commit worker pool for the group commits (0 = GOMAXPROCS); the tour prints the effective count so CI logs are self-describing")
+	pipeline := flag.Int("pipeline", 0, "with -burst: serve the burst through a core.BatchPipeline of this depth (0 or 1 = no pipelining)")
 	flag.Parse()
 
 	if *drain && *burst <= 0 {
@@ -45,11 +48,11 @@ func main() {
 		if nRacks < 2 {
 			nRacks = 2
 		}
-		rowTour(*pods, nRacks, *seed, *journalCap, *jsonOut, *burst, *drain)
+		rowTour(*pods, nRacks, *seed, *journalCap, *jsonOut, *burst, *drain, *workers, *pipeline)
 		return
 	}
 	if *racks > 1 {
-		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance, *burst, *drain)
+		podTour(*racks, *seed, *journalCap, *jsonOut, *rebalance, *burst, *drain, *workers, *pipeline)
 		return
 	}
 	if *rebalance {
@@ -161,7 +164,7 @@ func main() {
 // with -rebalance, an online rebalancing sweep that pulls the spill
 // home once capacity frees. -burst batch-admits a VM burst in one group
 // commit; -drain tears it back down the same way and consolidates.
-func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, burst int, drain bool) {
+func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, burst int, drain bool, workers, pipeline int) {
 	cfg := core.DefaultPodConfig(racks)
 	cfg.Rack.Seed = seed
 	cfg.Rack.Topology = topo.BuildSpec{
@@ -268,8 +271,19 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, bu
 				Remote: brick.Bytes(1+r.RAMGiB/32) * brick.GiB,
 			}
 		}
+		var pipe *core.BatchPipeline
+		if pipeline > 1 {
+			if pipe, err = core.NewBatchPipeline(pod, pipeline, workers); err != nil {
+				fail(err)
+			}
+		}
 		_, _, spillsBefore := pod.Scheduler().Stats()
-		results, err := pod.CreateVMs(reqs, 0)
+		var results []scaleup.Result
+		if pipe != nil {
+			results, err = pipe.CreateVMs(reqs)
+		} else {
+			results, err = pod.CreateVMs(reqs, workers)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -281,6 +295,10 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, bu
 			}
 		}
 		fmt.Printf("== batch admission (%d VMs, one group commit) ==\n", burst)
+		// Self-describing commit plane for determinism-matrix CI logs:
+		// the effective worker count and pipeline depth the burst ran at.
+		fmt.Printf("commit plane: %d workers effective (%d requested, %d rack shards, GOMAXPROCS %d), pipeline depth %d\n",
+			effectiveWorkers(workers, pod.Racks()), workers, pod.Racks(), runtime.GOMAXPROCS(0), pipelineDepth(pipe))
 		perRack := make([]int, pod.Racks())
 		for i := range reqs {
 			if r, ok := pod.VMRack(reqs[i].ID); ok {
@@ -299,8 +317,17 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, bu
 			for i := range ids {
 				ids[i] = reqs[i].ID
 			}
-			if _, err := pod.DestroyVMs(ids, 0); err != nil {
+			if pipe != nil {
+				_, err = pipe.DestroyVMs(ids)
+			} else {
+				_, err = pod.DestroyVMs(ids, workers)
+			}
+			if err != nil {
 				fail(err)
+			}
+			if pipe != nil {
+				// Consolidation migrates VMs: land in-flight boots first.
+				pipe.Drain()
 			}
 			rep := pod.Consolidate()
 			fmt.Printf("== batch teardown (%d VMs, one group commit) + consolidation ==\n", burst)
@@ -350,7 +377,7 @@ func podTour(racks int, seed uint64, journalCap int, jsonOut, rebalance bool, bu
 // closing section reads the per-pod aggregates pod choice is O(1)
 // arithmetic over. -burst group-commits a VM burst across pod shards;
 // -drain tears it back down and consolidates every pod.
-func rowTour(pods, racks int, seed uint64, journalCap int, jsonOut bool, burst int, drain bool) {
+func rowTour(pods, racks int, seed uint64, journalCap int, jsonOut bool, burst int, drain bool, workers, pipeline int) {
 	cfg := core.DefaultRowConfig(pods, racks)
 	cfg.Rack.Seed = seed
 	cfg.Rack.Topology = topo.BuildSpec{
@@ -439,8 +466,19 @@ func rowTour(pods, racks int, seed uint64, journalCap int, jsonOut bool, burst i
 				Remote: brick.Bytes(1+r.RAMGiB/32) * brick.GiB,
 			}
 		}
+		var pipe *core.BatchPipeline
+		if pipeline > 1 {
+			if pipe, err = core.NewBatchPipeline(row, pipeline, workers); err != nil {
+				fail(err)
+			}
+		}
 		_, _, spillsBefore := row.Scheduler().Stats()
-		results, err := row.CreateVMs(reqs, 0)
+		var results []scaleup.Result
+		if pipe != nil {
+			results, err = pipe.CreateVMs(reqs)
+		} else {
+			results, err = row.CreateVMs(reqs, workers)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -458,6 +496,10 @@ func rowTour(pods, racks int, seed uint64, journalCap int, jsonOut bool, burst i
 			}
 		}
 		fmt.Printf("== batch admission (%d VMs, one group commit across pods) ==\n", burst)
+		// Self-describing commit plane for determinism-matrix CI logs:
+		// the effective worker count and pipeline depth the burst ran at.
+		fmt.Printf("commit plane: %d workers effective (%d requested, %d pod shards, GOMAXPROCS %d), pipeline depth %d\n",
+			effectiveWorkers(workers, row.Pods()), workers, row.Pods(), runtime.GOMAXPROCS(0), pipelineDepth(pipe))
 		fmt.Printf("placed per pod: %v; %d attachments spilled cross-pod; worst admission delay %v\n\n",
 			perPod, spillsAfter-spillsBefore, worst)
 
@@ -466,8 +508,17 @@ func rowTour(pods, racks int, seed uint64, journalCap int, jsonOut bool, burst i
 			for i := range ids {
 				ids[i] = reqs[i].ID
 			}
-			if _, err := row.DestroyVMs(ids, 0); err != nil {
+			if pipe != nil {
+				_, err = pipe.DestroyVMs(ids)
+			} else {
+				_, err = row.DestroyVMs(ids, workers)
+			}
+			if err != nil {
 				fail(err)
+			}
+			if pipe != nil {
+				// Consolidation migrates VMs: land in-flight boots first.
+				pipe.Drain()
 			}
 			rep := row.Consolidate()
 			fmt.Printf("== batch teardown (%d VMs, one group commit) + per-pod consolidation ==\n", burst)
@@ -509,6 +560,28 @@ func rowTour(pods, racks int, seed uint64, journalCap int, jsonOut bool, burst i
 			}
 		}
 	}
+}
+
+// effectiveWorkers mirrors the scheduler's pool sizing: a requested
+// count <= 0 means GOMAXPROCS, and the pool never exceeds the shard
+// count since shards are the unit of parallel planning and commit.
+func effectiveWorkers(requested, shards int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > shards {
+		w = shards
+	}
+	return w
+}
+
+// pipelineDepth reports the depth a burst ran at: 1 when unpipelined.
+func pipelineDepth(pipe *core.BatchPipeline) int {
+	if pipe == nil {
+		return 1
+	}
+	return pipe.Depth()
 }
 
 func fail(err error) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/brick"
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -65,6 +66,7 @@ type ChurnResult struct {
 	Racks     int
 	Batch     bool
 	BatchSize int
+	Pipeline  int
 	Rounds    []ChurnRound
 
 	// PlacementsPerS / TeardownsPerS are VMs admitted and retired per
@@ -153,15 +155,39 @@ func RunChurn(p Params) (ChurnResult, error) {
 	}
 	rng := newChurnRand(TrialSeed(p.Seed, 2))
 
-	res := ChurnResult{Racks: racks, Batch: p.Batch, BatchSize: p.BatchSize}
+	// Pipeline mode (implies batch): bursts go through a BatchPipeline
+	// so burst k+1's planning overlaps burst k's boots. Placement is
+	// byte-identical to the batch path; only the virtual timeline — and
+	// with it the throughput accounting — changes. Throughput divides by
+	// controller busy time (pipeline clock minus join stalls): a stall
+	// waiting out a boot is pipeline idleness, not scheduling work.
+	batch := p.Batch || p.Pipeline > 1
+	var pipe *core.BatchPipeline
+	if p.Pipeline > 1 {
+		if pipe, err = core.NewBatchPipeline(pod, p.Pipeline, p.Workers); err != nil {
+			return ChurnResult{}, err
+		}
+	}
+	mark := func() (sim.Time, sim.Duration) {
+		if pipe != nil {
+			return pipe.Now(), pipe.Stalled()
+		}
+		return pod.Now(), 0
+	}
+	busySince := func(t0 sim.Time, s0 sim.Duration) float64 {
+		t1, s1 := mark()
+		return (t1.Sub(t0) - (s1 - s0)).Seconds()
+	}
+
+	res := ChurnResult{Racks: racks, Batch: p.Batch, BatchSize: p.BatchSize, Pipeline: p.Pipeline}
 	var live []string // creation order
 	nextID := 0
 	var placed, torn int
 	var placeTime, tearTime float64
 
 	create := func(reqs []core.VMCreate) error {
-		before := pod.Now()
-		if p.Batch {
+		before, stall := mark()
+		if batch {
 			chunk := len(reqs)
 			if p.BatchSize > 0 {
 				chunk = p.BatchSize
@@ -171,7 +197,11 @@ func RunChurn(p Params) (ChurnResult, error) {
 				if hi > len(reqs) {
 					hi = len(reqs)
 				}
-				if _, err := pod.CreateVMs(reqs[lo:hi], p.Workers); err != nil {
+				if pipe != nil {
+					if _, err := pipe.CreateVMs(reqs[lo:hi]); err != nil {
+						return fmt.Errorf("churn admission: %w", err)
+					}
+				} else if _, err := pod.CreateVMs(reqs[lo:hi], p.Workers); err != nil {
 					return fmt.Errorf("churn admission: %w", err)
 				}
 			}
@@ -191,7 +221,7 @@ func RunChurn(p Params) (ChurnResult, error) {
 			live = append(live, r.ID)
 		}
 		placed += len(reqs)
-		placeTime += pod.Now().Sub(before).Seconds()
+		placeTime += busySince(before, stall)
 		return nil
 	}
 	// destroy retires the newest n VMs, newest first — the LIFO order
@@ -207,8 +237,8 @@ func RunChurn(p Params) (ChurnResult, error) {
 		for i := len(live) - 1; i >= len(live)-n; i-- {
 			ids = append(ids, live[i])
 		}
-		before := pod.Now()
-		if p.Batch {
+		before, stall := mark()
+		if batch {
 			chunk := len(ids)
 			if p.BatchSize > 0 {
 				chunk = p.BatchSize
@@ -218,7 +248,11 @@ func RunChurn(p Params) (ChurnResult, error) {
 				if hi > len(ids) {
 					hi = len(ids)
 				}
-				if _, err := pod.DestroyVMs(ids[lo:hi], p.Workers); err != nil {
+				if pipe != nil {
+					if _, err := pipe.DestroyVMs(ids[lo:hi]); err != nil {
+						return fmt.Errorf("churn teardown: %w", err)
+					}
+				} else if _, err := pod.DestroyVMs(ids[lo:hi], p.Workers); err != nil {
 					return fmt.Errorf("churn teardown: %w", err)
 				}
 			}
@@ -231,7 +265,7 @@ func RunChurn(p Params) (ChurnResult, error) {
 		}
 		live = live[:len(live)-n]
 		torn += n
-		tearTime += pod.Now().Sub(before).Seconds()
+		tearTime += busySince(before, stall)
 		return nil
 	}
 
@@ -271,13 +305,24 @@ func RunChurn(p Params) (ChurnResult, error) {
 			row.Destroyed = k
 		}
 
-		if p.Batch {
-			pod.RebalanceBatch()
+		if batch {
+			rb := pod.RebalanceBatch()
+			if pipe != nil {
+				pipe.Advance(rb.Latency)
+			}
 		} else {
 			pod.Rebalance()
 		}
 		if row.Phase == "decay" || round%3 == 2 {
+			if pipe != nil {
+				// Consolidation migrates VMs, so every boot still in
+				// flight must land first.
+				pipe.Drain()
+			}
 			rep := pod.Consolidate()
+			if pipe != nil {
+				pipe.Advance(rep.Latency + rep.MoveDowntime)
+			}
 			row.Moved = rep.VMsMoved
 			row.Promoted = rep.Promoted + rep.Rehomed
 			res.VMsMoved += rep.VMsMoved
@@ -298,6 +343,9 @@ func RunChurn(p Params) (ChurnResult, error) {
 				res.DarkPeak = row.Dark
 			}
 		}
+	}
+	if pipe != nil {
+		pipe.Drain()
 	}
 	res.FragMean /= float64(rounds)
 	res.DarkFinal = pod.Scheduler().DarkRacks()
@@ -370,6 +418,9 @@ func (r ChurnResult) artifact() Result {
 		{Name: "vms-moved", Value: float64(r.VMsMoved)},
 		{Name: "segs-rehomed", Value: float64(r.Promoted)},
 		{Name: "live-final", Value: float64(r.LiveFinal)},
+	}
+	if r.Pipeline > 1 {
+		metrics = append(metrics, Metric{Name: "pipeline-depth", Value: float64(r.Pipeline)})
 	}
 	return Result{Text: r.Format(), Metrics: metrics, CSV: csv}
 }

@@ -45,6 +45,11 @@ type Params struct {
 	// BatchSize caps the admission batch size in Batch mode; zero means
 	// one batch per burst.
 	BatchSize int
+	// Pipeline sets the batch-pipeline depth for the experiments that
+	// support it (churn, fig10pod, fig10row): bursts go through a
+	// core.BatchPipeline that overlaps burst k+1's planning with burst
+	// k's boots. 0 or 1 means no pipelining. Pipelining implies Batch.
+	Pipeline int
 	// Fast caps trial counts for smoke tests; artifacts stay
 	// deterministic but represent a reduced sample.
 	Fast bool

@@ -110,7 +110,7 @@ func RunFig10Pod(p Params) (Fig10PodResult, error) {
 		var ls []fig10PodLevel
 		var err error
 		if side == 0 {
-			ls, err = runFig10PodSharded(p.Seed, racks, p.Batch, p.BatchSize, p.Workers)
+			ls, err = runFig10PodSharded(p.Seed, racks, p.Batch || p.Pipeline > 1, p.BatchSize, p.Pipeline, p.Workers)
 		} else {
 			ls, err = runFig10PodGlobal(p.Seed, racks)
 		}
@@ -142,8 +142,11 @@ func RunFig10Pod(p Params) (Fig10PodResult, error) {
 // group-commit admission engine — in groups of batchSize (0 = the whole
 // burst), with the per-VM hotplug bound through the scale-up
 // controller's BindAttachment. At batchSize 1 this is byte-identical
-// to the per-request path.
-func runFig10PodSharded(seed uint64, racks int, batch bool, batchSize, workers int) ([]fig10PodLevel, error) {
+// to the per-request path. With pipeline > 1 the boot chunks go
+// through a core.BatchPipeline of that depth and drain before the
+// measured burst — placement and artifact stay byte-identical to the
+// unpipelined batch run.
+func runFig10PodSharded(seed uint64, racks int, batch bool, batchSize, pipeline, workers int) ([]fig10PodLevel, error) {
 	cfg := core.DefaultPodConfig(racks)
 	cfg.Rack = fig10PodRackSpec()
 	cfg.Rack.Seed = seed
@@ -156,6 +159,12 @@ func runFig10PodSharded(seed uint64, racks int, batch bool, batchSize, workers i
 	pod, err := core.NewPod(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var pipe *core.BatchPipeline
+	if pipeline > 1 {
+		if pipe, err = core.NewBatchPipeline(pod, pipeline, workers); err != nil {
+			return nil, err
+		}
 	}
 	rng := sim.NewRand(TrialSeed(seed, 0))
 	pod.Scheduler().PowerOnAll()
@@ -186,9 +195,18 @@ func runFig10PodSharded(seed uint64, racks int, batch bool, batchSize, workers i
 						ID: fmt.Sprintf("c%02dv%02d", conc, i), VCPUs: 1, Memory: 2 * brick.GiB,
 					})
 				}
-				if _, err := pod.CreateVMs(boots, workers); err != nil {
+				if pipe != nil {
+					if _, err := pipe.CreateVMs(boots); err != nil {
+						return nil, fmt.Errorf("fig10pod sharded batch boot: %w", err)
+					}
+				} else if _, err := pod.CreateVMs(boots, workers); err != nil {
 					return nil, fmt.Errorf("fig10pod sharded batch boot: %w", err)
 				}
+			}
+			if pipe != nil {
+				// The measured scale-ups target booted VMs: land every
+				// in-flight boot before the burst.
+				pipe.Drain()
 			}
 			for i := 0; i < conc; i++ {
 				id := fmt.Sprintf("c%02dv%02d", conc, i)

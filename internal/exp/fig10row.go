@@ -102,7 +102,7 @@ func RunFig10Row(p Params) (Fig10RowResult, error) {
 		var ls []fig10RowLevel
 		var err error
 		if side == 0 {
-			ls, err = runFig10RowSharded(p.Seed, pods, racks, p.Batch, p.BatchSize, p.Workers)
+			ls, err = runFig10RowSharded(p.Seed, pods, racks, p.Batch || p.Pipeline > 1, p.BatchSize, p.Pipeline, p.Workers)
 		} else {
 			ls, err = runFig10RowFlat(p.Seed, pods, racks)
 		}
@@ -150,11 +150,21 @@ func fig10RowConfig(seed uint64, pods, racks int) core.RowConfig {
 // scale-up bursts through sdm.RowScheduler.AdmitBatch — the pod-
 // parallel group-commit engine — in groups of batchSize (0 = the whole
 // burst). At batchSize 1 this is byte-identical to the per-request
-// path.
-func runFig10RowSharded(seed uint64, pods, racks int, batch bool, batchSize, workers int) ([]fig10RowLevel, error) {
+// path. With pipeline > 1 the boot chunks additionally go through a
+// core.BatchPipeline of that depth and drain before the measured
+// scale-up burst; placement is identical and the measured delays are
+// arrival-relative, so the artifact stays byte-identical to the
+// unpipelined batch run — which is exactly what CI holds it to.
+func runFig10RowSharded(seed uint64, pods, racks int, batch bool, batchSize, pipeline, workers int) ([]fig10RowLevel, error) {
 	row, err := core.NewRow(fig10RowConfig(seed, pods, racks))
 	if err != nil {
 		return nil, err
+	}
+	var pipe *core.BatchPipeline
+	if pipeline > 1 {
+		if pipe, err = core.NewBatchPipeline(row, pipeline, workers); err != nil {
+			return nil, err
+		}
 	}
 	rng := sim.NewRand(TrialSeed(seed, 0))
 	row.Scheduler().PowerOnAll()
@@ -185,9 +195,18 @@ func runFig10RowSharded(seed uint64, pods, racks int, batch bool, batchSize, wor
 						ID: fmt.Sprintf("c%02dv%02d", conc, i), VCPUs: 1, Memory: 2 * brick.GiB,
 					})
 				}
-				if _, err := row.CreateVMs(boots, workers); err != nil {
+				if pipe != nil {
+					if _, err := pipe.CreateVMs(boots); err != nil {
+						return nil, fmt.Errorf("fig10row sharded batch boot: %w", err)
+					}
+				} else if _, err := row.CreateVMs(boots, workers); err != nil {
 					return nil, fmt.Errorf("fig10row sharded batch boot: %w", err)
 				}
+			}
+			if pipe != nil {
+				// The measured scale-ups target booted VMs: land every
+				// in-flight boot before the burst.
+				pipe.Drain()
 			}
 		} else {
 			for i := 0; i < conc; i++ {

@@ -48,7 +48,13 @@ type Fabric struct {
 	attach   map[topo.PortID]int // brick port -> switch port
 	reverse  map[int]topo.PortID
 	nextPort int
-	circuits map[topo.PortID]*Circuit
+	// circuits is indexed by switch port — attach assigns them densely,
+	// so the busy check and registration on the Connect/Disconnect hot
+	// path are array loads instead of struct-keyed map operations. live
+	// counts registered endpoints (cross-tier circuits register one
+	// endpoint per rack fabric), preserving the old map-length census.
+	circuits []*Circuit
+	live     int
 
 	// DefaultHops is the number of switch hops assigned to new circuits
 	// (the downscaled prototype used 6–8; rack-scale single-stage is 1).
@@ -63,7 +69,7 @@ func NewFabric(sw *Switch) *Fabric {
 		sw:                 sw,
 		attach:             make(map[topo.PortID]int),
 		reverse:            make(map[int]topo.PortID),
-		circuits:           make(map[topo.PortID]*Circuit),
+		circuits:           make([]*Circuit, sw.Config().Ports),
 		DefaultHops:        1,
 		DefaultFiberMeters: 5,
 	}
@@ -108,10 +114,10 @@ func (f *Fabric) Connect(a, b topo.PortID) (*Circuit, sim.Duration, error) {
 	if !okB {
 		return nil, 0, fmt.Errorf("optical: port %v not attached to fabric", b)
 	}
-	if _, busy := f.circuits[a]; busy {
+	if f.circuits[swA] != nil {
 		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", a)
 	}
-	if _, busy := f.circuits[b]; busy {
+	if f.circuits[swB] != nil {
 		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", b)
 	}
 	if err := f.sw.Connect(swA, swB); err != nil {
@@ -129,29 +135,34 @@ func (f *Fabric) Connect(a, b topo.PortID) (*Circuit, sim.Duration, error) {
 		Hops:        f.DefaultHops,
 		FiberMeters: f.DefaultFiberMeters,
 	}
-	f.circuits[a] = c
-	f.circuits[b] = c
+	f.circuits[swA] = c
+	f.circuits[swB] = c
+	f.live += 2
 	return c, f.sw.Config().ReconfigTime, nil
 }
 
 // Disconnect tears down a circuit.
 func (f *Fabric) Disconnect(c *Circuit) (sim.Duration, error) {
-	if f.circuits[c.A] != c || f.circuits[c.B] != c {
+	if f.circuits[c.swA] != c || f.circuits[c.swB] != c {
 		return 0, fmt.Errorf("optical: circuit %v<->%v not live", c.A, c.B)
 	}
 	if err := f.sw.Disconnect(c.swA); err != nil {
 		return 0, err
 	}
-	delete(f.circuits, c.A)
-	delete(f.circuits, c.B)
+	f.circuits[c.swA] = nil
+	f.circuits[c.swB] = nil
+	f.live -= 2
 	return f.sw.Config().ReconfigTime, nil
 }
 
 // CircuitAt returns the circuit terminating at a brick port, if any.
 func (f *Fabric) CircuitAt(p topo.PortID) (*Circuit, bool) {
-	c, ok := f.circuits[p]
-	return c, ok
+	sp, ok := f.attach[p]
+	if !ok || f.circuits[sp] == nil {
+		return nil, false
+	}
+	return f.circuits[sp], true
 }
 
 // LiveCircuits returns the number of live circuits.
-func (f *Fabric) LiveCircuits() int { return len(f.circuits) / 2 }
+func (f *Fabric) LiveCircuits() int { return f.live / 2 }

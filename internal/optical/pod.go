@@ -186,10 +186,10 @@ func (pf *PodFabric) ConnectCross(ra int, a topo.PortID, rb int, b topo.PortID) 
 	if !okB {
 		return nil, 0, fmt.Errorf("optical: port %v not attached to rack %d's fabric", b, rb)
 	}
-	if _, busy := fa.circuits[a]; busy {
+	if fa.circuits[swA] != nil {
 		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", a)
 	}
-	if _, busy := fb.circuits[b]; busy {
+	if fb.circuits[swB] != nil {
 		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", b)
 	}
 	upA, err := pf.acquireUplink(ra)
@@ -215,8 +215,10 @@ func (pf *PodFabric) ConnectCross(ra int, a topo.PortID, rb int, b topo.PortID) 
 	// Register at both rack endpoints so intra-rack Connect refuses the
 	// busy ports; Fabric.Disconnect rejects the circuit (each rack holds
 	// only one endpoint), forcing teardown through DisconnectCross.
-	fa.circuits[a] = c
-	fb.circuits[b] = c
+	fa.circuits[swA] = c
+	fb.circuits[swB] = c
+	fa.live++
+	fb.live++
 	pf.cross[c] = crossRoute{rackA: ra, rackB: rb, upA: upA, upB: upB}
 	reconfig := pf.prof.Switch.ReconfigTime
 	if t := fa.sw.Config().ReconfigTime; t > reconfig {
@@ -238,8 +240,10 @@ func (pf *PodFabric) DisconnectCross(c *Circuit) (sim.Duration, error) {
 	if err := pf.pod.Disconnect(pf.uplinkPort(r.rackA, r.upA)); err != nil {
 		return 0, err
 	}
-	delete(pf.racks[r.rackA].circuits, c.A)
-	delete(pf.racks[r.rackB].circuits, c.B)
+	pf.racks[r.rackA].circuits[c.swA] = nil
+	pf.racks[r.rackB].circuits[c.swB] = nil
+	pf.racks[r.rackA].live--
+	pf.racks[r.rackB].live--
 	pf.uplinkBusy[r.rackA][r.upA] = false
 	pf.uplinkBusy[r.rackB][r.upB] = false
 	delete(pf.cross, c)

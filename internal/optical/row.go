@@ -192,10 +192,10 @@ func (rf *RowFabric) ConnectCross(pa int, ra int, a topo.PortID, pb int, rb int,
 	if !okB {
 		return nil, 0, fmt.Errorf("optical: port %v not attached to pod %d rack %d's fabric", b, pb, rb)
 	}
-	if _, busy := fa.circuits[a]; busy {
+	if fa.circuits[swA] != nil {
 		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", a)
 	}
-	if _, busy := fb.circuits[b]; busy {
+	if fb.circuits[swB] != nil {
 		return nil, 0, fmt.Errorf("optical: port %v already carries a circuit", b)
 	}
 	upA, err := rf.acquireUplink(pa)
@@ -222,8 +222,10 @@ func (rf *RowFabric) ConnectCross(pa int, ra int, a topo.PortID, pb int, rb int,
 	// refuses the busy ports; Fabric.Disconnect and DisconnectCross on
 	// the pod fabrics reject the circuit (neither tier owns it), forcing
 	// teardown through RowFabric.DisconnectCross.
-	fa.circuits[a] = c
-	fb.circuits[b] = c
+	fa.circuits[swA] = c
+	fb.circuits[swB] = c
+	fa.live++
+	fb.live++
 	rf.cross[c] = rowRoute{podA: pa, podB: pb, rackA: ra, rackB: rb, upA: upA, upB: upB}
 	reconfig := rf.prof.Switch.ReconfigTime
 	if t := fa.sw.Config().ReconfigTime; t > reconfig {
@@ -247,8 +249,10 @@ func (rf *RowFabric) DisconnectCross(c *Circuit) (sim.Duration, error) {
 	}
 	fa := rf.pods[r.podA].racks[r.rackA]
 	fb := rf.pods[r.podB].racks[r.rackB]
-	delete(fa.circuits, c.A)
-	delete(fb.circuits, c.B)
+	fa.circuits[c.swA] = nil
+	fb.circuits[c.swB] = nil
+	fa.live--
+	fb.live--
 	rf.uplinkBusy[r.podA][r.upA] = false
 	rf.uplinkBusy[r.podB][r.upB] = false
 	delete(rf.cross, c)

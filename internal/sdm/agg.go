@@ -132,9 +132,35 @@ func (g *podAgg) MaxGap() brick.Bytes {
 }
 
 // notifyAgg folds this rack's current index roots into the pod summary
-// it rolls up into, if one is installed.
+// it rolls up into, if one is installed. While the rack is in deferred
+// rollup mode (a row-tier commit wave is running racks of the same pod
+// on different workers), the fold is postponed: the rack only marks
+// itself pending and the wave's serial epilogue flushes every pending
+// rack in deterministic (pod, rack) order. notify reconstructs the
+// rack's contribution from the index roots, so one deferred fold at
+// the end observes the same final summary as a fold per touch.
 func (c *Controller) notifyAgg() {
-	if c.agg != nil {
-		c.agg.notify(c.aggSlot)
+	if c.agg == nil {
+		return
+	}
+	if c.aggDefer {
+		c.aggPending = true
+		return
+	}
+	c.agg.notify(c.aggSlot)
+}
+
+// deferAgg switches the rack into deferred rollup mode.
+func (c *Controller) deferAgg() { c.aggDefer = true }
+
+// flushAgg leaves deferred rollup mode and folds the rack's pending
+// contribution, if any, into the pod summary.
+func (c *Controller) flushAgg() {
+	c.aggDefer = false
+	if c.aggPending {
+		c.aggPending = false
+		if c.agg != nil {
+			c.agg.notify(c.aggSlot)
+		}
 	}
 }

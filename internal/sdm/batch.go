@@ -527,7 +527,7 @@ func (c *Controller) batchAttachLocal(owner string, cpu topo.BrickID, size brick
 	}
 	// TGL window push via the SDM Agent.
 	window := tgl.Entry{
-		Base:       c.nextWindow[cpu],
+		Base:       node.nextWindow,
 		Size:       uint64(size),
 		Dest:       memID,
 		DestOffset: uint64(seg.Offset),
@@ -540,7 +540,7 @@ func (c *Controller) batchAttachLocal(owner string, cpu topo.BrickID, size brick
 		node.Brick.Ports.Release(cpuPort)
 		return fail(err)
 	}
-	c.nextWindow[cpu] += uint64(size)
+	node.nextWindow += uint64(size)
 	lat += c.cfg.AgentRTT
 	// Registration — final and infallible.
 	att := &Attachment{

@@ -187,6 +187,16 @@ func (t *placementIndex) touch(pos int) {
 // is identical to applying touch per position — node values are pure
 // functions of the leaf stats, independent of recompute order.
 func (t *placementIndex) touchMany(poss []int) {
+	// Small flushes (one or two leaves — the common case for the
+	// per-pick flushes of spread placement and single-attachment
+	// commits) are cheaper as plain root paths than as a sorted
+	// worklist.
+	if len(poss) <= 2 {
+		for _, pos := range poss {
+			t.touch(pos)
+		}
+		return
+	}
 	w := t.work[:0]
 	for _, pos := range poss {
 		if pos < 0 || pos >= t.n {

@@ -394,7 +394,7 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 	// TGL window push via the SDM Agent.
 	op.step(func() (sim.Duration, error) {
 		window = tgl.Entry{
-			Base:       rackA.nextWindow[cpu],
+			Base:       node.nextWindow,
 			Size:       uint64(size),
 			Dest:       chosen.brick,
 			DestOffset: uint64(seg.Offset),
@@ -403,7 +403,7 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 		if err := node.Agent.Glue.Attach(window); err != nil {
 			return 0, err
 		}
-		rackA.nextWindow[cpu] += uint64(size)
+		node.nextWindow += uint64(size)
 		return cfg.AgentRTT, nil
 	}, func() error { return node.Agent.Glue.Detach(window.Base) })
 	// Registration — final and infallible.
@@ -536,7 +536,7 @@ func planRepoint(cfg Config, att *Attachment,
 	// is safe because the VM is paused across a re-point.
 	op.step(func() (sim.Duration, error) {
 		window = tgl.Entry{
-			Base:       newRack.nextWindow[newCPU],
+			Base:       newNode.nextWindow,
 			Size:       oldWindow.Size,
 			Dest:       att.Segment.Brick,
 			DestOffset: uint64(att.Segment.Offset),
@@ -545,7 +545,7 @@ func planRepoint(cfg Config, att *Attachment,
 		if err := newNode.Agent.Glue.Attach(window); err != nil {
 			return 0, err
 		}
-		newRack.nextWindow[newCPU] += window.Size
+		newNode.nextWindow += window.Size
 		return cfg.AgentRTT, nil
 	}, func() error { return newNode.Agent.Glue.Detach(window.Base) })
 	op.step(func() (sim.Duration, error) {

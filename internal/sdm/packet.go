@@ -58,7 +58,7 @@ func (c *Controller) attachPacket(owner string, cpu topo.BrickID, size brick.Byt
 		return nil, 0, err
 	}
 	window := tgl.Entry{
-		Base:       c.nextWindow[cpu],
+		Base:       node.nextWindow,
 		Size:       uint64(size),
 		Dest:       host.Segment.Brick,
 		DestOffset: uint64(seg.Offset),
@@ -68,7 +68,7 @@ func (c *Controller) attachPacket(owner string, cpu topo.BrickID, size brick.Byt
 		m.Release(seg)
 		return nil, 0, err
 	}
-	c.nextWindow[cpu] += window.Size
+	node.nextWindow += window.Size
 
 	att := &Attachment{
 		Owner:   owner,

@@ -64,6 +64,10 @@ type PodScheduler struct {
 	// podteardown.go). EvictBatch is serial at the pod tier, so one set
 	// suffices and a steady churn of evictions stops allocating.
 	evict evictScratch
+	// admit holds the pod's reused shard partition buffers for
+	// row-driven batches and its own AdmitBatch (see admitShardPlan);
+	// the row's flat commit wave reads the packed sub-batches out of it.
+	admit admitScratch
 
 	requests uint64
 	failures uint64
@@ -419,7 +423,7 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 		return nil, 0, err
 	}
 	window := tgl.Entry{
-		Base:       rackA.nextWindow[cpu.Brick],
+		Base:       node.nextWindow,
 		Size:       uint64(size),
 		Dest:       host.Segment.Brick,
 		DestOffset: uint64(seg.Offset),
@@ -429,7 +433,7 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 		m.Release(seg)
 		return nil, 0, err
 	}
-	rackA.nextWindow[cpu.Brick] += window.Size
+	node.nextWindow += window.Size
 
 	att := &Attachment{
 		Owner:   owner,

@@ -53,9 +53,25 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		}
 	}()
 
-	// Phase 1 — partition by the O(1) rack-choice aggregates.
-	rackOf := make([]int, len(reqs))
-	plannedCores := make([]int, len(s.racks))
+	// Phase 1 — partition by the O(1) rack-choice aggregates. The
+	// partition buffers are the pod's reused admit scratch (AdmitBatch
+	// is serial at the pod tier), so a steady burst train pays one
+	// allocation per batch: the caller's result slice.
+	sc := &s.admit
+	if cap(sc.rackOf) < len(reqs) {
+		sc.rackOf = make([]int, len(reqs))
+		sc.pos = make([]int, len(reqs))
+		sc.retry = make([]bool, len(reqs))
+	}
+	if cap(sc.plannedCores) < len(s.racks) {
+		sc.plannedCores = make([]int, len(s.racks))
+		sc.counts = make([]int, len(s.racks))
+		sc.offsets = make([]int, len(s.racks)+1)
+		sc.fill = make([]int, len(s.racks))
+	}
+	rackOf := sc.rackOf[:len(reqs)]
+	plannedCores := sc.plannedCores[:len(s.racks)]
+	clear(plannedCores)
 	plannedAny := false
 	for i := range reqs {
 		req := &reqs[i]
@@ -93,7 +109,8 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	}
 
 	// Pack per-rack sub-batches, preserving request order within a rack.
-	counts := make([]int, len(s.racks))
+	counts := sc.counts[:len(s.racks)]
+	clear(counts)
 	dispatched := 0
 	for i := range reqs {
 		if rackOf[i] >= 0 {
@@ -101,14 +118,20 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			dispatched++
 		}
 	}
-	offsets := make([]int, len(s.racks)+1)
+	offsets := sc.offsets[:len(s.racks)+1]
+	offsets[0] = 0
 	for r := range counts {
 		offsets[r+1] = offsets[r] + counts[r]
 	}
-	subReq := make([]AdmitRequest, dispatched)
-	subOut := make([]AdmitResult, dispatched)
-	pos := make([]int, len(reqs))
-	fill := append([]int(nil), offsets[:len(s.racks)]...)
+	if cap(sc.subReq) < dispatched {
+		sc.subReq = make([]AdmitRequest, dispatched)
+		sc.subOut = make([]AdmitResult, dispatched)
+	}
+	subReq, subOut := sc.subReq[:dispatched], sc.subOut[:dispatched]
+	clear(subOut)
+	pos := sc.pos[:len(reqs)]
+	fill := sc.fill[:len(s.racks)]
+	copy(fill, offsets[:len(s.racks)])
 	for i := range reqs {
 		r := rackOf[i]
 		if r < 0 {
@@ -120,20 +143,22 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		fill[r]++
 	}
 
-	// Phase 2 — per-rack planning on worker goroutines.
-	var active []int
+	// Phase 2 — per-rack plan *and commit* on worker goroutines.
+	active := sc.active[:0]
 	for r, n := range counts {
 		if n > 0 {
 			active = append(active, r)
 		}
 	}
+	sc.active = active
 	s.forEachRack(workers, active, func(r int) {
 		s.racks[r].placeBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]], true)
 	})
 
 	// Phase 3a — gather every dispatched result before any merging, so
 	// a mid-merge abort sees all worker-committed state in out.
-	retry := make([]bool, len(reqs))
+	retry := sc.retry[:len(reqs)]
+	clear(retry)
 	for i := range reqs {
 		if pos[i] < 0 {
 			retry[i] = true

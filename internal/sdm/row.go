@@ -63,8 +63,11 @@ type RowScheduler struct {
 	tierConns map[[4]int]connector
 
 	// evict holds EvictBatch's reused partition buffers (see
-	// rowteardown.go).
+	// rowteardown.go); admit holds AdmitBatch's (see rowbatch.go). Both
+	// are serial at the row tier, so one set of each suffices and a
+	// steady burst train stops allocating.
 	evict rowEvictScratch
+	admit rowAdmitScratch
 
 	requests uint64
 	failures uint64
@@ -438,7 +441,7 @@ func (s *RowScheduler) attachPacketCross(owner string, cpu topo.RowBrickID, size
 		return nil, 0, err
 	}
 	window := tgl.Entry{
-		Base:       rackA.nextWindow[cpu.Brick],
+		Base:       node.nextWindow,
 		Size:       uint64(size),
 		Dest:       host.Segment.Brick,
 		DestOffset: uint64(seg.Offset),
@@ -448,7 +451,7 @@ func (s *RowScheduler) attachPacketCross(owner string, cpu topo.RowBrickID, size
 		m.Release(seg)
 		return nil, 0, err
 	}
-	rackA.nextWindow[cpu.Brick] += window.Size
+	node.nextWindow += window.Size
 
 	att := &Attachment{
 		Owner:    owner,

@@ -1,30 +1,41 @@
 package sdm
 
 // Batched group-commit admission, row tier. AdmitBatch recurses the
-// pod tier's three-phase engine one level up:
+// pod tier's three-phase engine one level up, with the plan *and*
+// commit phases sharded across workers:
 //
 //  1. Partition (serial): every request is assigned a pod by the same
 //     O(1) cached aggregates the per-request pod choice reads — pod
 //     free-core sums adjusted by the cores already planned onto each
 //     pod — so a burst spreads (or packs) across pods the way the
 //     policy would have placed it one by one, in O(pods) per request.
-//  2. Plan (parallel): each pod's sub-batch runs through admitShard on
-//     a worker goroutine — the pod tier's own partition/plan/merge,
-//     including its rack→pod spill cascade, executed serially within
-//     the shard. Pods share nothing (each owns its racks, fabrics,
-//     indexes and aggregate summary), so this is the first tier where
-//     worker parallelism maps onto disjoint scheduler state; the
-//     result is byte-identical at any worker count.
+//  2. Plan + commit (parallel, three waves): 2a partitions each pod's
+//     sub-batch across its racks (one worker per pod); 2b is the flat
+//     commit wave — every (pod, rack) shard across the whole row
+//     plans *and commits* on its own worker, so rack-local carves,
+//     circuit registrations and dirty-set leaf refreshes never drain
+//     through a serial loop, and a row of many lightly-loaded pods
+//     still keeps every worker busy; 2c merges each pod's leftovers
+//     through the pod's rack→pod spill cascade (one worker per pod
+//     again). Rack shards of one pod share that pod's aggregate
+//     summary, so the rack→pod rollup is deferred during the flat
+//     wave and flushed serially in (pod, rack) order before any
+//     pod- or row-tier pick reads it — a batched post-commit
+//     notifyAgg flush instead of per-touch propagation.
 //  3. Merge (serial): leftovers — requests whose planned pod turned
 //     out full, or whose pod could not serve the remote part anywhere
 //     local — resolve in request order through the sequential row
 //     machinery (cross-pod circuits through the row switch, then the
 //     row-tier packet fallback), completing the rack→pod→row cascade
-//     exactly as the per-request path would.
+//     exactly as the per-request path would. Counters, latency
+//     accounting and the attachSeq stamp stay in this serial epilogue.
 //
-// Admission is all-or-nothing: if any request definitively fails,
-// every committed admission is torn down in reverse order and the
-// spill sequence counters of the row and every pod restored.
+// Every wave writes disjoint state (racks own their bricks and
+// indexes, pods own their racks and summary), so the outcome is
+// byte-identical at any worker count. Admission is all-or-nothing: if
+// any request definitively fails, every committed admission is torn
+// down in reverse order and the spill sequence counters of the row
+// and every pod restored.
 
 import (
 	"fmt"
@@ -36,8 +47,51 @@ import (
 	"repro/internal/topo"
 )
 
+// rackShard names one (pod, rack) unit of the row's flat commit wave.
+type rackShard struct {
+	pod, rack int
+}
+
+// rowAdmitScratch is the row AdmitBatch's reused partition state,
+// mirroring rowEvictScratch. Every buffer is fully overwritten or
+// length-reset at the top of a batch; AdmitBatch is serial at the row
+// tier, so one set is safely reused across batches.
+type rowAdmitScratch struct {
+	podOf        []int
+	plannedCores []int
+	counts       []int
+	offsets      []int
+	subReq       []AdmitRequest
+	subOut       []AdmitResult
+	pos          []int
+	fill         []int
+	active       []int
+	retry        []bool
+	shards       []rackShard
+	podSeq       []uint64
+}
+
+// admitScratch is one pod's reused shard partition state for
+// row-driven batches (see admitShardPlan/admitShardMerge): the row's
+// flat commit wave reads the packed per-rack sub-batches out of it
+// between the two calls. Each pod's scratch is touched only by the
+// worker running that pod's plan/merge, so the waves stay
+// shared-nothing.
+type admitScratch struct {
+	rackOf       []int
+	plannedCores []int
+	counts       []int
+	offsets      []int
+	subReq       []AdmitRequest
+	subOut       []AdmitResult
+	pos          []int
+	fill         []int
+	retry        []bool
+	active       []int
+}
+
 // AdmitBatch admits a burst of requests row-wide using at most workers
-// goroutines for the per-pod planning phase (<= 0 means GOMAXPROCS).
+// goroutines for the sharded plan/commit waves (<= 0 means GOMAXPROCS).
 // Results are in request order. On error, nothing remains admitted.
 func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResult, error) {
 	out := make([]AdmitResult, len(reqs))
@@ -45,7 +99,15 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		return out, nil
 	}
 	seqStart := s.attachSeq
-	podSeqStart := make([]uint64, len(s.pods))
+	sc := &s.admit
+	if cap(sc.podSeq) < len(s.pods) {
+		sc.podSeq = make([]uint64, len(s.pods))
+		sc.plannedCores = make([]int, len(s.pods))
+		sc.counts = make([]int, len(s.pods))
+		sc.offsets = make([]int, len(s.pods)+1)
+		sc.fill = make([]int, len(s.pods))
+	}
+	podSeqStart := sc.podSeq[:len(s.pods)]
 	for p, ps := range s.pods {
 		podSeqStart[p] = ps.attachSeq
 		for _, r := range ps.racks {
@@ -63,8 +125,14 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	// Phase 1 — validate everything up front (shards must never see a
 	// malformed request: they cannot abort) and partition by the O(1)
 	// pod-choice aggregates.
-	podOf := make([]int, len(reqs))
-	plannedCores := make([]int, len(s.pods))
+	if cap(sc.podOf) < len(reqs) {
+		sc.podOf = make([]int, len(reqs))
+		sc.pos = make([]int, len(reqs))
+		sc.retry = make([]bool, len(reqs))
+	}
+	podOf := sc.podOf[:len(reqs)]
+	plannedCores := sc.plannedCores[:len(s.pods)]
+	clear(plannedCores)
 	plannedAny := false
 	for i := range reqs {
 		req := &reqs[i]
@@ -107,7 +175,8 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	}
 
 	// Pack per-pod sub-batches, preserving request order within a pod.
-	counts := make([]int, len(s.pods))
+	counts := sc.counts[:len(s.pods)]
+	clear(counts)
 	dispatched := 0
 	for i := range reqs {
 		if podOf[i] >= 0 {
@@ -115,14 +184,20 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			dispatched++
 		}
 	}
-	offsets := make([]int, len(s.pods)+1)
+	offsets := sc.offsets[:len(s.pods)+1]
+	offsets[0] = 0
 	for p := range counts {
 		offsets[p+1] = offsets[p] + counts[p]
 	}
-	subReq := make([]AdmitRequest, dispatched)
-	subOut := make([]AdmitResult, dispatched)
-	pos := make([]int, len(reqs))
-	fill := append([]int(nil), offsets[:len(s.pods)]...)
+	if cap(sc.subReq) < dispatched {
+		sc.subReq = make([]AdmitRequest, dispatched)
+		sc.subOut = make([]AdmitResult, dispatched)
+	}
+	subReq, subOut := sc.subReq[:dispatched], sc.subOut[:dispatched]
+	clear(subOut)
+	pos := sc.pos[:len(reqs)]
+	fill := sc.fill[:len(s.pods)]
+	copy(fill, offsets[:len(s.pods)])
 	for i := range reqs {
 		p := podOf[i]
 		if p < 0 {
@@ -134,20 +209,56 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		fill[p]++
 	}
 
-	// Phase 2 — per-pod planning on worker goroutines.
-	var active []int
+	// Phase 2a — per-pod rack partition on worker goroutines.
+	active := sc.active[:0]
 	for p, n := range counts {
 		if n > 0 {
 			active = append(active, p)
 		}
 	}
+	sc.active = active
 	s.forEachPod(workers, active, func(p int) {
-		s.pods[p].admitShard(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
+		s.pods[p].admitShardPlan(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
+	})
+
+	// Phase 2b — the flat commit wave: every (pod, rack) shard across
+	// the row plans and commits on its own worker. The rack→pod rollup
+	// is deferred for the wave's duration (rack shards of one pod share
+	// a summary) and flushed serially in (pod, rack) order below.
+	shards := sc.shards[:0]
+	for _, p := range active {
+		ps := s.pods[p]
+		for r := range ps.racks {
+			if ps.admit.counts[r] > 0 {
+				shards = append(shards, rackShard{pod: p, rack: r})
+			}
+		}
+	}
+	sc.shards = shards
+	for _, sh := range shards {
+		s.pods[sh.pod].racks[sh.rack].deferAgg()
+	}
+	s.forEachShard(workers, shards, func(sh rackShard) {
+		a := &s.pods[sh.pod].admit
+		s.pods[sh.pod].racks[sh.rack].placeBatch(
+			a.subReq[a.offsets[sh.rack]:a.offsets[sh.rack+1]],
+			a.subOut[a.offsets[sh.rack]:a.offsets[sh.rack+1]], true)
+	})
+	for _, sh := range shards {
+		s.pods[sh.pod].racks[sh.rack].flushAgg()
+	}
+
+	// Phase 2c — per-pod merge on worker goroutines: gather the rack
+	// shards and run the pod's rack→pod spill cascade. Each pod merge
+	// touches only its own racks and summary.
+	s.forEachPod(workers, active, func(p int) {
+		s.pods[p].admitShardMerge(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
 	})
 
 	// Phase 3a — gather every dispatched result before any merging, so
 	// a mid-merge abort sees all worker-committed state in out.
-	retry := make([]bool, len(reqs))
+	retry := sc.retry[:len(reqs)]
+	clear(retry)
 	for i := range reqs {
 		if pos[i] < 0 {
 			retry[i] = true
@@ -281,6 +392,42 @@ func (s *RowScheduler) forEachPod(workers int, pods []int, fn func(p int)) {
 	wg.Wait()
 }
 
+// forEachShard is forEachPod for the flat (pod, rack) commit wave:
+// every shard writes only its own rack's state — the shared pod
+// summary is not among it, because every shard rack enters the wave in
+// deferred-rollup mode and only marks its own pending flag — so
+// scheduling order cannot affect the outcome.
+func (s *RowScheduler) forEachShard(workers int, shards []rackShard, fn func(sh rackShard)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, sh := range shards {
+			fn(sh)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				fn(shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // abortBatch tears every committed admission down in reverse request
 // order and restores the spill sequence counters of the row and every
 // pod, leaving the row as if the batch never ran; it returns the
@@ -310,22 +457,31 @@ func (s *RowScheduler) abortBatch(reqs []AdmitRequest, out []AdmitResult, seqSta
 	return fmt.Errorf("sdm: batch admission rolled back at request %d (%q): %w", failed, reqs[failed].Owner, cause)
 }
 
-// admitShard is AdmitBatch's per-pod shard engine for a row batch: the
-// pod tier's own partition/plan/merge over its racks, with three
-// deliberate differences from PodScheduler.AdmitBatch. Validation,
-// boot logging and all-or-nothing rollback belong to the row tier;
-// rack planning runs serially (the row's workers already parallelize
-// across pods, which own disjoint state); and a request the pod cannot
-// finish never aborts — a definitive failure surfaces as Err (nothing
-// committed, the row re-places it), and a committed compute whose
-// remote part found no pod-local home surfaces as needSpill (the row
-// crosses pods). Shards touch only pod-local state, which is what
-// makes the row's selection byte-identical at any worker count.
-func (s *PodScheduler) admitShard(reqs []AdmitRequest, out []AdmitResult) {
+// admitShardPlan is the first half of a pod's row-shard engine: the
+// pod tier's own partition of the shard across its racks, packed into
+// the pod's reused scratch so the row's flat commit wave can run every
+// (pod, rack) sub-batch on its own worker. Validation, boot logging
+// and all-or-nothing rollback belong to the row tier; the plan reads
+// only pod-local state.
+func (s *PodScheduler) admitShardPlan(reqs []AdmitRequest, out []AdmitResult) {
+	sc := &s.admit
+	if cap(sc.rackOf) < len(reqs) {
+		sc.rackOf = make([]int, len(reqs))
+		sc.pos = make([]int, len(reqs))
+		sc.retry = make([]bool, len(reqs))
+	}
+	if cap(sc.plannedCores) < len(s.racks) {
+		sc.plannedCores = make([]int, len(s.racks))
+		sc.counts = make([]int, len(s.racks))
+		sc.offsets = make([]int, len(s.racks)+1)
+		sc.fill = make([]int, len(s.racks))
+	}
+
 	// Phase 1 — partition by the O(1) rack-choice aggregates (requests
 	// are pre-validated by the row).
-	rackOf := make([]int, len(reqs))
-	plannedCores := make([]int, len(s.racks))
+	rackOf := sc.rackOf[:len(reqs)]
+	plannedCores := sc.plannedCores[:len(s.racks)]
+	clear(plannedCores)
 	plannedAny := false
 	for i := range reqs {
 		req := &reqs[i]
@@ -350,7 +506,8 @@ func (s *PodScheduler) admitShard(reqs []AdmitRequest, out []AdmitResult) {
 	}
 
 	// Pack per-rack sub-batches, preserving request order within a rack.
-	counts := make([]int, len(s.racks))
+	counts := sc.counts[:len(s.racks)]
+	clear(counts)
 	dispatched := 0
 	for i := range reqs {
 		if rackOf[i] >= 0 {
@@ -358,14 +515,20 @@ func (s *PodScheduler) admitShard(reqs []AdmitRequest, out []AdmitResult) {
 			dispatched++
 		}
 	}
-	offsets := make([]int, len(s.racks)+1)
+	offsets := sc.offsets[:len(s.racks)+1]
+	offsets[0] = 0
 	for r := range counts {
 		offsets[r+1] = offsets[r] + counts[r]
 	}
-	subReq := make([]AdmitRequest, dispatched)
-	subOut := make([]AdmitResult, dispatched)
-	pos := make([]int, len(reqs))
-	fill := append([]int(nil), offsets[:len(s.racks)]...)
+	if cap(sc.subReq) < dispatched {
+		sc.subReq = make([]AdmitRequest, dispatched)
+		sc.subOut = make([]AdmitResult, dispatched)
+	}
+	subReq, subOut := sc.subReq[:dispatched], sc.subOut[:dispatched]
+	clear(subOut)
+	pos := sc.pos[:len(reqs)]
+	fill := sc.fill[:len(s.racks)]
+	copy(fill, offsets[:len(s.racks)])
 	for i := range reqs {
 		r := rackOf[i]
 		if r < 0 {
@@ -376,16 +539,40 @@ func (s *PodScheduler) admitShard(reqs []AdmitRequest, out []AdmitResult) {
 		subReq[fill[r]] = reqs[i]
 		fill[r]++
 	}
+}
 
-	// Phase 2 — serial rack planning.
+// admitShard runs a pod's row shard serially: the plan, the rack
+// commits in index order, and the merge. The row's AdmitBatch runs the
+// same three stages itself so the rack commits of different pods share
+// one flat wave; this entry point serves callers that want the shard
+// as one unit.
+func (s *PodScheduler) admitShard(reqs []AdmitRequest, out []AdmitResult) {
+	s.admitShardPlan(reqs, out)
+	sc := &s.admit
 	for r := range s.racks {
-		if counts[r] > 0 {
-			s.racks[r].placeBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]], true)
+		if sc.counts[r] > 0 {
+			s.racks[r].placeBatch(sc.subReq[sc.offsets[r]:sc.offsets[r+1]], sc.subOut[sc.offsets[r]:sc.offsets[r+1]], true)
 		}
 	}
+	s.admitShardMerge(reqs, out)
+}
+
+// admitShardMerge is the second half of the shard engine: gather the
+// rack shard results and resolve leftovers through the pod's rack→pod
+// spill cascade. A request the pod cannot finish never aborts — a
+// definitive failure surfaces as Err (nothing committed, the row
+// re-places it), and a committed compute whose remote part found no
+// pod-local home surfaces as needSpill (the row crosses pods). The
+// merge touches only pod-local state, which is what makes the row's
+// selection byte-identical at any worker count.
+func (s *PodScheduler) admitShardMerge(reqs []AdmitRequest, out []AdmitResult) {
+	sc := &s.admit
+	rackOf, pos := sc.rackOf[:len(reqs)], sc.pos[:len(reqs)]
+	subOut := sc.subOut
 
 	// Phase 3a — gather.
-	retry := make([]bool, len(reqs))
+	retry := sc.retry[:len(reqs)]
+	clear(retry)
 	for i := range reqs {
 		if pos[i] < 0 {
 			retry[i] = true

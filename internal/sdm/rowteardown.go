@@ -48,6 +48,7 @@ type rowEvictScratch struct {
 	failErr  []error
 	rowLog   []detachUndo
 	podSeq   []uint64
+	shards   []rackShard
 }
 
 // EvictBatch retires a burst of consumers row-wide using at most
@@ -151,9 +152,14 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		fill[p]++
 	}
 
-	// Phase 2 — per-pod shards on worker goroutines. Each shard runs
-	// the full pod teardown pipeline serially against its own pod, so
-	// shards share nothing and the merge below is order-deterministic.
+	// Phase 2 — shard-parallel teardown in three waves, mirroring
+	// AdmitBatch: 2a partitions each pod's shard across its racks
+	// (parallel over pods); 2b is the flat commit wave — every
+	// (pod, rack) ReleaseBatch across the whole row runs on its own
+	// worker, with the rack→pod rollup deferred for the wave and
+	// flushed serially in (pod, rack) order; 2c resolves each pod's
+	// cross-rack teardowns (parallel over pods). Every wave writes
+	// disjoint state, so the merge below is order-deterministic.
 	for p, n := range counts {
 		if n > 0 {
 			active = append(active, p)
@@ -161,7 +167,32 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	}
 	sc.active = active
 	s.forEachPod(workers, active, func(p int) {
-		failAt[p], failErr[p] = s.pods[p].evictShard(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
+		s.pods[p].evictShardPlan(subReq[offsets[p]:offsets[p+1]])
+	})
+	shards := sc.shards[:0]
+	for _, p := range active {
+		ps := s.pods[p]
+		for r := range ps.racks {
+			if ps.evict.counts[r] > 0 {
+				shards = append(shards, rackShard{pod: p, rack: r})
+			}
+		}
+	}
+	sc.shards = shards
+	for _, sh := range shards {
+		s.pods[sh.pod].racks[sh.rack].deferAgg()
+	}
+	s.forEachShard(workers, shards, func(sh rackShard) {
+		e := &s.pods[sh.pod].evict
+		s.pods[sh.pod].racks[sh.rack].ReleaseBatch(
+			e.subReq[e.offsets[sh.rack]:e.offsets[sh.rack+1]],
+			e.subOut[e.offsets[sh.rack]:e.offsets[sh.rack+1]])
+	})
+	for _, sh := range shards {
+		s.pods[sh.pod].racks[sh.rack].flushAgg()
+	}
+	s.forEachPod(workers, active, func(p int) {
+		failAt[p], failErr[p] = s.pods[p].evictShardMerge(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
 	})
 
 	// Gather: the first failed request in request order aborts the
@@ -193,18 +224,16 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	return out, nil
 }
 
-// evictShard runs the pod teardown pipeline for a row-tier shard:
-// EvictBatch's partition, rack teardown (serial — the row tier owns
-// the worker pool, one goroutine per pod shard), and cross-rack phase,
-// but journaling for the row's rollback instead of aborting. It
-// returns the index of the first failed request and its error, or
-// (-1, nil) on success. The row has already validated pods and racks
-// and cleared every journal.
-func (s *PodScheduler) evictShard(reqs []EvictRequest, out []EvictResult) (int, error) {
+// evictShardPlan is the first half of the pod teardown pipeline for a
+// row-tier shard: EvictBatch's partition, packed into the pod's reused
+// scratch so the row's flat commit wave can run every (pod, rack)
+// ReleaseBatch on its own worker. The row has already validated pods
+// and racks and cleared every journal.
+func (s *PodScheduler) evictShardPlan(reqs []EvictRequest) {
 	sc := &s.evict
 	sc.shardN = len(reqs)
 	if len(reqs) == 0 {
-		return -1, nil
+		return
 	}
 	total := 0
 	for i := range reqs {
@@ -255,7 +284,7 @@ func (s *PodScheduler) evictShard(reqs []EvictRequest, out []EvictResult) (int, 
 		sc.subOut = make([]ReleaseResult, len(relReqs))
 		sc.pos = make([]int, len(relReqs))
 	}
-	subReq, subOut := sc.subReq[:len(relReqs)], sc.subOut[:len(relReqs)]
+	subReq := sc.subReq[:len(relReqs)]
 	pos := sc.pos[:len(relReqs)]
 	copy(fill, offsets[:len(s.racks)])
 	for i := range relReqs {
@@ -264,12 +293,20 @@ func (s *PodScheduler) evictShard(reqs []EvictRequest, out []EvictResult) (int, 
 		subReq[fill[r]] = relReqs[i]
 		fill[r]++
 	}
+}
 
-	for r, n := range counts {
-		if n > 0 {
-			s.racks[r].ReleaseBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]])
-		}
+// evictShardMerge is the second half of the shard pipeline: gather the
+// rack ReleaseBatch results out of the scratch and run the cross-rack
+// phase, journaling for the row's rollback instead of aborting. It
+// returns the index of the first failed request and its error, or
+// (-1, nil) on success.
+func (s *PodScheduler) evictShardMerge(reqs []EvictRequest, out []EvictResult) (int, error) {
+	sc := &s.evict
+	if len(reqs) == 0 {
+		return -1, nil
 	}
+	relReqs := sc.relReqs[:len(reqs)]
+	subOut, pos, crossList := sc.subOut, sc.pos[:len(reqs)], sc.cross
 
 	podLog := sc.podLog[:0]
 	for i := range relReqs {

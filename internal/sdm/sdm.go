@@ -131,10 +131,15 @@ type Agent struct {
 	Glue  *tgl.Glue
 }
 
-// ComputeNode pairs a compute brick with its agent.
+// ComputeNode pairs a compute brick with its agent, plus the
+// controller-side TGL window allocator cursor for that brick (kept here
+// rather than in a controller map so the hot attach path touches the
+// node it already holds).
 type ComputeNode struct {
 	Brick *brick.Compute
 	Agent *Agent
+
+	nextWindow uint64
 }
 
 // Attachment is one live remote-memory binding: a segment on a
@@ -197,7 +202,6 @@ type Controller struct {
 	memoryOrder  []topo.BrickID
 	accelOrder   []topo.BrickID
 
-	nextWindow  map[topo.BrickID]uint64
 	attachments map[string][]*Attachment
 
 	// riders counts packet-mode attachments sharing each live circuit;
@@ -234,6 +238,11 @@ type Controller struct {
 	// summaries instead of re-summing racks.
 	agg     *podAgg
 	aggSlot int
+	// aggDefer postpones the rollup while a row-tier commit wave runs
+	// racks of the same pod on different workers; aggPending marks a
+	// deferred fold for the wave's serial flush (see notifyAgg).
+	aggDefer   bool
+	aggPending bool
 
 	requests uint64
 	failures uint64
@@ -261,7 +270,6 @@ func NewController(rack *topo.Rack, fabric *optical.Fabric, bc BrickConfigs, cfg
 		computes:     make(map[topo.BrickID]*ComputeNode),
 		memories:     make(map[topo.BrickID]*brick.Memory),
 		accels:       make(map[topo.BrickID]*brick.Accel),
-		nextWindow:   make(map[topo.BrickID]uint64),
 		attachments:  make(map[string][]*Attachment),
 		riders:       make(map[*optical.Circuit]int),
 		circuitHosts: make(map[topo.BrickID][]*Attachment),
@@ -281,11 +289,11 @@ func NewController(rack *topo.Rack, fabric *optical.Fabric, bc BrickConfigs, cfg
 				return nil, err
 			}
 			c.computes[b.ID] = &ComputeNode{
-				Brick: cb,
-				Agent: &Agent{Brick: b.ID, Glue: tgl.NewGlue(b.ID, table)},
+				Brick:      cb,
+				Agent:      &Agent{Brick: b.ID, Glue: tgl.NewGlue(b.ID, table)},
+				nextWindow: cfg.WindowBase,
 			}
 			c.computeOrder = append(c.computeOrder, b.ID)
-			c.nextWindow[b.ID] = cfg.WindowBase
 		case topo.KindMemory:
 			c.memories[b.ID] = brick.NewMemory(b.ID, bcMemory)
 			c.memoryOrder = append(c.memoryOrder, b.ID)

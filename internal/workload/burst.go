@@ -28,6 +28,12 @@ type BurstSource struct {
 	rng    *sim.Rand
 	size   int
 	window sim.Duration
+
+	// Scratch reused across Next calls: steady-state churn loops draw a
+	// burst per round, so the source allocates its slices once and
+	// refills them. The burst returned by Next aliases these.
+	at   []sim.Time
+	reqs []VMRequest
 }
 
 // NewBurstSource returns a deterministic burst source. size is the
@@ -51,15 +57,20 @@ func NewBurstSource(class Class, seed uint64, size int, window sim.Duration) (*B
 	}, nil
 }
 
-// Next draws one burst starting at start.
+// Next draws one burst starting at start. The returned burst's At and
+// Reqs slices are owned by the source and overwritten by the following
+// Next call; callers that keep a burst across rounds must copy them.
 func (s *BurstSource) Next(start sim.Time) (AdmissionBurst, error) {
-	at, err := Burst(s.rng, s.size, start, s.window)
-	if err != nil {
-		return AdmissionBurst{}, err
+	if s.at == nil {
+		s.at = make([]sim.Time, s.size)
+		s.reqs = make([]VMRequest, s.size)
 	}
-	reqs := make([]VMRequest, s.size)
-	for i := range reqs {
-		reqs[i] = s.gen.Next()
+	for i := range s.at {
+		s.at[i] = start.Add(s.rng.Duration(s.window))
 	}
-	return AdmissionBurst{At: at, Reqs: reqs}, nil
+	sortTimes(s.at)
+	for i := range s.reqs {
+		s.reqs[i] = s.gen.Next()
+	}
+	return AdmissionBurst{At: s.at, Reqs: s.reqs}, nil
 }

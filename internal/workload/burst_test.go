@@ -49,6 +49,42 @@ func TestBurstSourceDeterministic(t *testing.T) {
 	}
 }
 
+// TestBurstSourceSteadyStateAllocFree pins the scratch-reuse contract:
+// after the first burst allocates the source's slices, every subsequent
+// Next refills them in place — zero allocations per round, and the
+// returned burst aliases the source-owned backing arrays.
+func TestBurstSourceSteadyStateAllocFree(t *testing.T) {
+	src, err := NewBurstSource(HalfHalf, 11, 64, sim.Duration(sim.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := src.Next(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := sim.Time(sim.Hour)
+	allocs := testing.AllocsPerRun(50, func() {
+		b, err := src.Next(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Size() != 64 {
+			t.Fatalf("burst size %d, want 64", b.Size())
+		}
+		start = start.Add(sim.Duration(sim.Minute))
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Next allocates %.1f times per burst, want 0", allocs)
+	}
+	again, err := src.Next(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &warm.At[0] != &again.At[0] || &warm.Reqs[0] != &again.Reqs[0] {
+		t.Fatal("bursts do not alias the source's reusable slices")
+	}
+}
+
 func TestBurstSourceRejectsBadShape(t *testing.T) {
 	if _, err := NewBurstSource(Random, 1, 0, 0); err == nil {
 		t.Fatal("accepted zero-size bursts")

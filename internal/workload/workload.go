@@ -121,11 +121,16 @@ func Burst(rng *sim.Rand, n int, start sim.Time, window sim.Duration) ([]sim.Tim
 	for i := range times {
 		times[i] = start.Add(rng.Duration(window))
 	}
-	// Insertion sort: n is small and sim.Time has no sort helper.
+	sortTimes(times)
+	return times, nil
+}
+
+// sortTimes is an in-place insertion sort: bursts are small and
+// sim.Time has no sort helper.
+func sortTimes(times []sim.Time) {
 	for i := 1; i < len(times); i++ {
 		for j := i; j > 0 && times[j] < times[j-1]; j-- {
 			times[j], times[j-1] = times[j-1], times[j]
 		}
 	}
-	return times, nil
 }
