@@ -9,7 +9,10 @@
 // fresh run on stdin is diffed against the committed baseline and the
 // program exits non-zero when any throughput-class metric (one whose
 // unit ends in "/s" — placements/s, promotions/s) regresses by more
-// than -threshold.
+// than -threshold. The diff runs both ways: fresh metrics without a
+// baseline entry print NO BASELINE (visible, non-fatal), and baseline
+// benchmarks absent from the fresh run print MISSING and fail the gate
+// unless -allow-missing marks the run as an intentional subset.
 //
 // Repeated entries for the same benchmark name (a `-count=N` run, the
 // flakiness guard `make bench`/`bench-check` use) are collapsed to one
@@ -183,6 +186,7 @@ func merge(in Baseline) (Baseline, map[string]*runStats) {
 func main() {
 	compare := flag.String("compare", "", "diff the fresh run on stdin against this baseline JSON instead of emitting JSON; exit non-zero on throughput regressions")
 	threshold := flag.Float64("threshold", 0.25, "with -compare: relative regression tolerated in any throughput (*/s) metric before failing")
+	allowMissing := flag.Bool("allow-missing", false, "with -compare: tolerate baseline benchmarks absent from the fresh run (intentional filtered-pattern subsets) instead of failing")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -272,15 +276,38 @@ func main() {
 				fb.Name, unit, want, got, 100*delta, spread, status)
 		}
 	}
+	// The reverse direction: baseline benchmarks the fresh run never
+	// exercised. A filtered -bench pattern skips them legitimately
+	// (-allow-missing); in a full run a missing entry means a deleted or
+	// renamed benchmark quietly dropped out of the gate's coverage.
+	freshNames := make(map[string]bool, len(fresh.Benchmarks))
+	for _, fb := range fresh.Benchmarks {
+		freshNames[fb.Name] = true
+	}
+	missing := 0
+	for _, bb := range base.Benchmarks {
+		if freshNames[bb.Name] {
+			continue
+		}
+		missing++
+		fmt.Printf("%-60s %-16s baseline %14s  fresh %14s    n/a   spread   n/a   MISSING\n",
+			bb.Name, "-", "recorded", "-")
+	}
 	if checked == 0 {
 		fail(fmt.Errorf("no throughput (*/s) metrics shared with baseline %s", *compare))
 	}
 	if regressions > 0 {
 		fail(fmt.Errorf("%d of %d throughput metrics regressed beyond %.0f%%", regressions, checked, 100**threshold))
 	}
+	if missing > 0 && !*allowMissing {
+		fail(fmt.Errorf("%d baseline benchmark(s) missing from the fresh run (deleted, renamed, or filtered out — pass -allow-missing for intentional subset runs)", missing))
+	}
 	suffix := ""
 	if unmatched > 0 {
 		suffix = fmt.Sprintf(" (%d metric(s) had no baseline entry — re-record with `make bench` if they should be gated)", unmatched)
+	}
+	if missing > 0 {
+		suffix += fmt.Sprintf(" (%d baseline benchmark(s) skipped by the filtered run)", missing)
 	}
 	fmt.Printf("perf gate: %d throughput metrics within %.0f%% of baseline%s\n", checked, 100**threshold, suffix)
 }

@@ -110,7 +110,7 @@ func RunFig10Pod(p Params) (Fig10PodResult, error) {
 		var ls []fig10PodLevel
 		var err error
 		if side == 0 {
-			ls, err = runFig10PodSharded(p.Seed, racks, p.Batch || p.Pipeline > 1, p.BatchSize, p.Pipeline, p.Workers)
+			ls, err = runFig10PodSharded(p.Seed, racks, p.Batch || p.Pipeline > 1, p.BatchSize, p.Pipeline, p.Workers, p.NoSpec)
 		} else {
 			ls, err = runFig10PodGlobal(p.Seed, racks)
 		}
@@ -146,10 +146,11 @@ func RunFig10Pod(p Params) (Fig10PodResult, error) {
 // through a core.BatchPipeline of that depth and drain before the
 // measured burst — placement and artifact stay byte-identical to the
 // unpipelined batch run.
-func runFig10PodSharded(seed uint64, racks int, batch bool, batchSize, pipeline, workers int) ([]fig10PodLevel, error) {
+func runFig10PodSharded(seed uint64, racks int, batch bool, batchSize, pipeline, workers int, nospec bool) ([]fig10PodLevel, error) {
 	cfg := core.DefaultPodConfig(racks)
 	cfg.Rack = fig10PodRackSpec()
 	cfg.Rack.Seed = seed
+	cfg.Rack.SDM.NoSpeculate = nospec
 	// Keep the rack sweep unbounded by the stock pod switch: above the
 	// default 384-port radix the sweep provisions a larger switch with
 	// the same per-port profile, preserving the per-rack uplink budget.

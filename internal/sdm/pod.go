@@ -68,6 +68,10 @@ type PodScheduler struct {
 	// row-driven batches and its own AdmitBatch (see admitShardPlan);
 	// the row's flat commit wave reads the packed sub-batches out of it.
 	admit admitScratch
+	// spec holds the reused speculation buffers of the pod's own
+	// group commits (see speculate.go); row-driven shard calls never
+	// touch it, so pod- and row-tier batches cannot collide on it.
+	spec specScratch
 
 	requests uint64
 	failures uint64
@@ -344,9 +348,32 @@ func (s *PodScheduler) AttachRemoteMemory(owner string, cpu topo.PodBrickID, siz
 // Exhaustion of circuit resources cascades into the pod-tier packet
 // fallback.
 func (s *PodScheduler) attachCross(owner string, cpu topo.PodBrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
+	return s.attachCrossHinted(owner, cpu, size, nil)
+}
+
+// attachCrossHinted is attachCross with an optional pre-planned spill
+// hint (speculate.go): a doomed hint skips the rack scan and goes
+// straight to the unhinted path's error surface (the packet fallback
+// still probes live state), a target hint is revalidated in O(1) —
+// candidacy, spread bound, confirming pick — and falls back to the
+// full scan when the batch's own commits moved the answer.
+func (s *PodScheduler) attachCrossHinted(owner string, cpu topo.PodBrickID, size brick.Bytes, hint *spillHint) (*Attachment, sim.Duration, error) {
 	rackA := s.racks[cpu.Rack]
 	op := planAttach(s.cfg, owner, size, rackA, cpu.Brick,
 		func() (memPick, bool, error) {
+			if hint != nil {
+				if hint.target == hintDoom {
+					return memPick{}, true, fmt.Errorf("sdm: no rack in the pod with %v contiguous free and a spare port", size)
+				}
+				t := hint.target
+				r := s.racks[t]
+				if t != cpu.Rack && r.CanPlaceMemory(size) &&
+					(s.cfg.Policy != PolicySpread || r.FreeMemory() > hint.bound) {
+					if memID, ok := r.pickMemory(size); ok {
+						return memPick{rack: r, rackIdx: t, brick: memID}, false, nil
+					}
+				}
+			}
 			memRack, ok := s.pickMemoryRack(size, cpu.Rack)
 			if !ok {
 				return memPick{}, true, fmt.Errorf("sdm: no rack in the pod with %v contiguous free and a spare port", size)

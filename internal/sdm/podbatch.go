@@ -3,22 +3,28 @@ package sdm
 // Batched group-commit admission, pod tier. AdmitBatch serves a whole
 // scale-up burst in three deterministic phases:
 //
-//  1. Partition (serial): every request is assigned a rack by the same
-//     O(1) index-root aggregates the per-request rack choice reads —
-//     free-core rank sums and feasibility maxima — adjusted by the
-//     cores already planned onto each rack, so a burst spreads (or
-//     packs) the way the policy would have placed it one by one.
+//  1. Partition (speculative parallel): every request is assigned a
+//     rack by the same O(1) index-root aggregates the per-request rack
+//     choice reads — free-core rank sums and feasibility maxima —
+//     adjusted by the cores already planned onto each rack, so a burst
+//     spreads (or packs) the way the policy would have placed it one
+//     by one. Large bursts run the loop speculatively on workers with
+//     a serial O(1)-per-request validation pass (speculate.go),
+//     byte-identical to the serial reference partitioner.
 //  2. Plan (parallel): each rack's sub-batch runs through its own
 //     Controller.PlaceBatch on a worker goroutine. Rack shards share
 //     nothing on this path — every controller owns its bricks, fabric
 //     and indexes — so there are no locks, and each shard's outcome is
 //     a pure function of its pre-batch state and its sub-batch. The
 //     result is byte-identical at any worker count.
-//  3. Merge (serial): leftovers — requests whose rack could not serve
-//     the remote part locally, or whose planned rack turned out full —
-//     resolve in request order through the sequential spill machinery
-//     (cross-rack circuits through the pod switch, then the pod-tier
-//     packet fallback), exactly as the per-request path would.
+//  3. Merge (serial commit, parallel pre-plan): leftovers — requests
+//     whose rack could not serve the remote part locally, or whose
+//     planned rack turned out full — resolve in request order through
+//     the sequential spill machinery (cross-rack circuits through the
+//     pod switch, then the pod-tier packet fallback), exactly as the
+//     per-request path would; spill targets are pre-planned on workers
+//     and revalidated in O(1) before committing, counters fold once
+//     per batch, and only the leftover list is walked.
 //
 // Admission is all-or-nothing: if any request definitively fails, every
 // committed admission is torn down in reverse order and the spill
@@ -72,7 +78,10 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	rackOf := sc.rackOf[:len(reqs)]
 	plannedCores := sc.plannedCores[:len(s.racks)]
 	clear(plannedCores)
-	plannedAny := false
+	// Validate in request order first — malformed requests surface (and
+	// count) exactly as they would mid-partition, since partitioning
+	// itself mutates nothing but scratch — and route attach-only
+	// requests to their home racks.
 	for i := range reqs {
 		req := &reqs[i]
 		switch {
@@ -88,22 +97,18 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 				return nil, fmt.Errorf("sdm: batch request %d (%q): no rack %d in the pod", i, req.Owner, req.Rack)
 			}
 			rackOf[i] = req.Rack
-		case !plannedAny:
-			// First compute placement: nothing is planned yet, so the
-			// exact per-request rack choice applies — which also makes a
-			// batch of one reproduce the sequential path bit for bit.
-			rack, ok := s.pickComputeRackExcept(req.VCPUs, req.LocalMem, -1)
-			if !ok {
-				rackOf[i] = -1
-				continue
-			}
-			rackOf[i] = rack
-			plannedCores[rack] += req.VCPUs
-			plannedAny = true
-		default:
-			rackOf[i] = s.pickComputeRackPlanned(req.VCPUs, req.LocalMem, plannedCores)
-			if rackOf[i] >= 0 {
-				plannedCores[rackOf[i]] += req.VCPUs
+		}
+	}
+	// Speculative parallel partition (speculate.go); the serial
+	// reference loop runs the identical per-request step when
+	// speculation is disengaged. The first compute placement takes the
+	// exact per-request rack choice either way — which also makes a
+	// batch of one reproduce the sequential path bit for bit.
+	if !s.specPartition(reqs, rackOf, plannedCores, workers) {
+		plannedAny := false
+		for i := range reqs {
+			if reqs[i].VCPUs > 0 {
+				rackOf[i] = s.partitionStep(&reqs[i], plannedCores, &plannedAny)
 			}
 		}
 	}
@@ -156,12 +161,18 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	})
 
 	// Phase 3a — gather every dispatched result before any merging, so
-	// a mid-merge abort sees all worker-committed state in out.
+	// a mid-merge abort sees all worker-committed state in out. The
+	// epilogue's request counters fold here, once per batch, and the
+	// merge below walks only the leftover list instead of re-scanning
+	// every settled request.
 	retry := sc.retry[:len(reqs)]
 	clear(retry)
+	leftover, spills := s.spec.leftover[:0], s.spec.spills[:0]
+	var batchReqs uint64
 	for i := range reqs {
 		if pos[i] < 0 {
 			retry[i] = true
+			leftover = append(leftover, i)
 			continue
 		}
 		out[i] = subOut[pos[i]]
@@ -178,11 +189,33 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			// through the sequential pod path against committed state.
 			out[i] = AdmitResult{}
 			retry[i] = true
+			leftover = append(leftover, i)
+			continue
 		}
+		if reqs[i].VCPUs > 0 {
+			batchReqs++
+		}
+		if reqs[i].Remote > 0 {
+			batchReqs++
+		}
+		if out[i].needSpill {
+			leftover = append(leftover, i)
+			spills = append(spills, i)
+		}
+	}
+	s.requests += batchReqs
+	s.spec.leftover, s.spec.spills = leftover, spills
+
+	// Pre-plan the spills on workers against the committed state; the
+	// merge revalidates each hint in O(1) (speculate.go).
+	var hints []spillHint
+	if s.planSpills(reqs, out, workers) {
+		hints = s.spec.hints[:len(spills)]
 	}
 
 	// Phase 3b — merge leftovers in request order.
-	for i := range reqs {
+	hinted := 0
+	for _, i := range leftover {
 		req := &reqs[i]
 		if retry[i] {
 			if req.VCPUs > 0 {
@@ -204,28 +237,26 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			}
 			continue
 		}
+		// Every non-retry leftover needs the cross-rack spill.
 		res := &out[i]
-		if req.VCPUs > 0 {
-			s.requests++
+		var hint *spillHint
+		if hints != nil {
+			hint = &hints[hinted]
 		}
-		if req.Remote > 0 {
-			s.requests++
-		}
-		if res.needSpill {
-			att, lat, err := s.attachCross(req.Owner, topo.PodBrickID{Rack: res.Rack, Brick: res.CPU}, req.Remote)
-			if err != nil {
-				localErr := res.localErr
-				if localErr == nil {
-					localErr = fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", req.Remote)
-				}
-				s.failures++
-				err = fmt.Errorf("sdm: pod attach for %q failed rack-locally (%v) and cross-rack: %w", req.Owner, localErr, err)
-				return nil, s.abortBatch(reqs, out, seqStart, i, err)
+		hinted++
+		att, lat, err := s.attachCrossHinted(req.Owner, topo.PodBrickID{Rack: res.Rack, Brick: res.CPU}, req.Remote, hint)
+		if err != nil {
+			localErr := res.localErr
+			if localErr == nil {
+				localErr = fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", req.Remote)
 			}
-			s.spills++
-			res.Att, res.AttachLat = att, lat
-			res.needSpill, res.localErr = false, nil
+			s.failures++
+			err = fmt.Errorf("sdm: pod attach for %q failed rack-locally (%v) and cross-rack: %w", req.Owner, localErr, err)
+			return nil, s.abortBatch(reqs, out, seqStart, i, err)
 		}
+		s.spills++
+		res.Att, res.AttachLat = att, lat
+		res.needSpill, res.localErr = false, nil
 	}
 	return out, nil
 }

@@ -13,9 +13,11 @@ package sdm
 //     Controller.ReleaseBatch on a worker goroutine — shared-nothing
 //     rack shards, so the outcome is byte-identical at any worker
 //     count, with one deferred index-leaf refresh per touched brick.
-//  3. Cross phase (serial): cross-rack attachments detach in request
-//     order through the same steps as detachCross, journaled like the
-//     rack teardowns.
+//  3. Cross phase (serial commit, parallel pre-plan): cross-rack
+//     attachments detach in request order through the same steps as
+//     detachCross, journaled like the rack teardowns; their list and
+//     circuit-host positions are pre-located on workers and revalidated
+//     by pointer identity before each splice.
 //
 // Eviction is all-or-nothing: if any teardown definitively fails, the
 // journals replay in reverse — segments re-carve at their exact
@@ -203,9 +205,17 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		out[i].Detached = subOut[pos[i]].Detached
 	}
 
-	// Phase 3 — cross-rack teardowns in request order.
-	for _, ci := range crossList {
-		lat, err := s.batchDetachCross(ci.att, &podLog)
+	// Phase 3 — cross-rack teardowns in request order. The attachment
+	// list and circuit-host positions of every cross item are looked up
+	// on worker goroutines first (speculate.go); each commit revalidates
+	// its plan by pointer identity in O(1).
+	plans := s.planCrossDetach(crossList, workers)
+	for k, ci := range crossList {
+		var plan *crossPlan
+		if plans != nil {
+			plan = &plans[k]
+		}
+		lat, err := s.batchDetachCross(ci.att, plan, &podLog)
 		if err != nil {
 			sc.podLog = podLog
 			return nil, s.abortEvict(reqs, subReq, subOut, pos, podLog, seqStart, ci.req, err)
@@ -219,15 +229,22 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 
 // batchDetachCross mirrors detachCross — same validation, counters,
 // latency accounting and error surfaces, executed inline as one merged
-// commit — and journals the undo into the pod-phase log.
-func (s *PodScheduler) batchDetachCross(att *Attachment, log *[]detachUndo) (sim.Duration, error) {
+// commit — and journals the undo into the pod-phase log. plan, if
+// non-nil, carries pre-computed list positions (speculate.go); each is
+// checked by pointer identity before use, so a stale plan degrades to
+// the linear search rather than corrupting the splice.
+func (s *PodScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[]detachUndo) (sim.Duration, error) {
 	s.requests++
 	rackA := s.racks[att.CPURack]
 	idx := -1
-	for i, a := range rackA.attachments[att.Owner] {
-		if a == att {
-			idx = i
-			break
+	if list := rackA.attachments[att.Owner]; plan != nil && plan.attIdx >= 0 && plan.attIdx < len(list) && list[plan.attIdx] == att {
+		idx = plan.attIdx
+	} else {
+		for i, a := range list {
+			if a == att {
+				idx = i
+				break
+			}
 		}
 	}
 	if idx == -1 {
@@ -311,10 +328,14 @@ func (s *PodScheduler) batchDetachCross(att *Attachment, log *[]detachUndo) (sim
 	}
 	key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
 	crossHostIdx := 0
-	for i, a := range s.crossHosts[key] {
-		if a == att {
-			crossHostIdx = i
-			break
+	if hosts := s.crossHosts[key]; plan != nil && plan.hostIdx >= 0 && plan.hostIdx < len(hosts) && hosts[plan.hostIdx] == att {
+		crossHostIdx = plan.hostIdx
+	} else {
+		for i, a := range hosts {
+			if a == att {
+				crossHostIdx = i
+				break
+			}
 		}
 	}
 	*log = append(*log, detachUndo{

@@ -4,11 +4,15 @@ package sdm
 // pod tier's three-phase engine one level up, with the plan *and*
 // commit phases sharded across workers:
 //
-//  1. Partition (serial): every request is assigned a pod by the same
-//     O(1) cached aggregates the per-request pod choice reads — pod
-//     free-core sums adjusted by the cores already planned onto each
-//     pod — so a burst spreads (or packs) across pods the way the
-//     policy would have placed it one by one, in O(pods) per request.
+//  1. Partition (speculative parallel): every request is assigned a
+//     pod by the same O(1) cached aggregates the per-request pod
+//     choice reads — pod free-core sums adjusted by the cores already
+//     planned onto each pod — so a burst spreads (or packs) across
+//     pods the way the policy would have placed it one by one, in
+//     O(pods) per request. Large bursts run the loop speculatively on
+//     workers with a serial O(1)-per-request validation pass
+//     (speculate.go), byte-identical to the serial reference
+//     partitioner.
 //  2. Plan + commit (parallel, three waves): 2a partitions each pod's
 //     sub-batch across its racks (one worker per pod); 2b is the flat
 //     commit wave — every (pod, rack) shard across the whole row
@@ -22,13 +26,16 @@ package sdm
 //     wave and flushed serially in (pod, rack) order before any
 //     pod- or row-tier pick reads it — a batched post-commit
 //     notifyAgg flush instead of per-touch propagation.
-//  3. Merge (serial): leftovers — requests whose planned pod turned
-//     out full, or whose pod could not serve the remote part anywhere
-//     local — resolve in request order through the sequential row
-//     machinery (cross-pod circuits through the row switch, then the
-//     row-tier packet fallback), completing the rack→pod→row cascade
-//     exactly as the per-request path would. Counters, latency
-//     accounting and the attachSeq stamp stay in this serial epilogue.
+//  3. Merge (serial commit, parallel pre-plan): leftovers — requests
+//     whose planned pod turned out full, or whose pod could not serve
+//     the remote part anywhere local — resolve in request order
+//     through the sequential row machinery (cross-pod circuits through
+//     the row switch, then the row-tier packet fallback), completing
+//     the rack→pod→row cascade exactly as the per-request path would.
+//     Cross-pod spill targets are pre-planned on workers and
+//     revalidated in O(1) before committing, counters fold once per
+//     batch, and only the leftover list is walked. Latency accounting
+//     and the attachSeq stamp stay in this serial epilogue.
 //
 // Every wave writes disjoint state (racks own their bricks and
 // indexes, pods own their racks and summary), so the outcome is
@@ -133,7 +140,10 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	podOf := sc.podOf[:len(reqs)]
 	plannedCores := sc.plannedCores[:len(s.pods)]
 	clear(plannedCores)
-	plannedAny := false
+	// Validate in request order first — malformed requests surface (and
+	// count) exactly as they would mid-partition, since partitioning
+	// itself mutates nothing but scratch — and route attach-only
+	// requests to their home pods.
 	for i := range reqs {
 		req := &reqs[i]
 		switch {
@@ -154,22 +164,18 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 				return nil, fmt.Errorf("sdm: batch request %d (%q): no rack %d in pod %d", i, req.Owner, req.Rack, req.Pod)
 			}
 			podOf[i] = req.Pod
-		case !plannedAny:
-			// First compute placement: nothing is planned yet, so the
-			// exact per-request pod choice applies — which also makes a
-			// batch of one reproduce the sequential path bit for bit.
-			pod, ok := s.pickComputePod(req.VCPUs, req.LocalMem)
-			if !ok {
-				podOf[i] = -1
-				continue
-			}
-			podOf[i] = pod
-			plannedCores[pod] += req.VCPUs
-			plannedAny = true
-		default:
-			podOf[i] = s.pickComputePodPlanned(req.VCPUs, req.LocalMem, plannedCores)
-			if podOf[i] >= 0 {
-				plannedCores[podOf[i]] += req.VCPUs
+		}
+	}
+	// Speculative parallel partition (speculate.go); the serial
+	// reference loop runs the identical per-request step when
+	// speculation is disengaged. The first compute placement takes the
+	// exact per-request pod choice either way — which also makes a
+	// batch of one reproduce the sequential path bit for bit.
+	if !s.specPartition(reqs, podOf, plannedCores, workers) {
+		plannedAny := false
+		for i := range reqs {
+			if reqs[i].VCPUs > 0 {
+				podOf[i] = s.partitionStep(&reqs[i], plannedCores, &plannedAny)
 			}
 		}
 	}
@@ -256,12 +262,18 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	})
 
 	// Phase 3a — gather every dispatched result before any merging, so
-	// a mid-merge abort sees all worker-committed state in out.
+	// a mid-merge abort sees all worker-committed state in out. Fold the
+	// request counters for the whole batch here and collect just the
+	// requests the merge loop must revisit: retries and cross-pod
+	// spills.
 	retry := sc.retry[:len(reqs)]
 	clear(retry)
+	leftover, spills := s.spec.leftover[:0], s.spec.spills[:0]
+	var batchReqs uint64
 	for i := range reqs {
 		if pos[i] < 0 {
 			retry[i] = true
+			leftover = append(leftover, i)
 			continue
 		}
 		out[i] = subOut[pos[i]]
@@ -279,11 +291,34 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			// sequential row path against committed state.
 			out[i] = AdmitResult{}
 			retry[i] = true
+			leftover = append(leftover, i)
+			continue
 		}
+		if reqs[i].VCPUs > 0 {
+			batchReqs++
+		}
+		if reqs[i].Remote > 0 {
+			batchReqs++
+		}
+		if out[i].needSpill {
+			leftover = append(leftover, i)
+			spills = append(spills, i)
+		}
+	}
+	s.requests += batchReqs
+	s.spec.leftover, s.spec.spills = leftover, spills
+
+	// Pre-plan the cross-pod spill targets on worker goroutines
+	// (speculate.go): phase 2 has quiesced, so the scan reads immutable
+	// aggregates; the merge loop revalidates each hint in O(1).
+	var hints []spillHint
+	if s.planSpills(reqs, out, workers) {
+		hints = s.spec.hints[:len(spills)]
 	}
 
 	// Phase 3b — merge leftovers in request order.
-	for i := range reqs {
+	hinted := 0
+	for _, i := range leftover {
 		req := &reqs[i]
 		if retry[i] {
 			if req.VCPUs > 0 {
@@ -305,28 +340,26 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			}
 			continue
 		}
+		// Every non-retry leftover needs the cross-pod spill.
 		res := &out[i]
-		if req.VCPUs > 0 {
-			s.requests++
+		var hint *spillHint
+		if hints != nil {
+			hint = &hints[hinted]
 		}
-		if req.Remote > 0 {
-			s.requests++
-		}
-		if res.needSpill {
-			att, lat, err := s.attachCross(req.Owner, topo.RowBrickID{Pod: res.Pod, Rack: res.Rack, Brick: res.CPU}, req.Remote)
-			if err != nil {
-				localErr := res.localErr
-				if localErr == nil {
-					localErr = fmt.Errorf("sdm: no memory brick in pod %d with %v contiguous free and a spare port", res.Pod, req.Remote)
-				}
-				s.failures++
-				err = fmt.Errorf("sdm: row attach for %q failed pod-locally (%v) and cross-pod: %w", req.Owner, localErr, err)
-				return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
+		hinted++
+		att, lat, err := s.attachCrossHinted(req.Owner, topo.RowBrickID{Pod: res.Pod, Rack: res.Rack, Brick: res.CPU}, req.Remote, hint)
+		if err != nil {
+			localErr := res.localErr
+			if localErr == nil {
+				localErr = fmt.Errorf("sdm: no memory brick in pod %d with %v contiguous free and a spare port", res.Pod, req.Remote)
 			}
-			s.spills++
-			res.Att, res.AttachLat = att, lat
-			res.needSpill, res.localErr = false, nil
+			s.failures++
+			err = fmt.Errorf("sdm: row attach for %q failed pod-locally (%v) and cross-pod: %w", req.Owner, localErr, err)
+			return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
 		}
+		s.spills++
+		res.Att, res.AttachLat = att, lat
+		res.needSpill, res.localErr = false, nil
 	}
 	return out, nil
 }

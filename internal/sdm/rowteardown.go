@@ -13,8 +13,11 @@ package sdm
 //     PodScheduler.evictShard on a worker goroutine — the full pod
 //     teardown pipeline, serialized within the shard — so the outcome
 //     is byte-identical at any worker count.
-//  3. Cross phase (serial): cross-pod attachments detach in request
-//     order, journaled like the pod and rack teardowns.
+//  3. Cross phase (serial commit, parallel pre-plan): cross-pod
+//     attachments detach in request order, journaled like the pod and
+//     rack teardowns; their list and circuit-host positions are
+//     pre-located on workers and revalidated by pointer identity before
+//     each splice.
 //
 // Eviction is all-or-nothing: on any definitive failure the row
 // journal, every pod journal, and every rack journal replay in
@@ -210,9 +213,16 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		out[i].Detached = subOut[pos[i]].Detached
 	}
 
-	// Phase 3 — cross-pod teardowns in request order.
-	for _, ci := range crossList {
-		lat, err := s.batchDetachCross(ci.att, &rowLog)
+	// Phase 3 — cross-pod teardowns in request order, with list and
+	// circuit-host positions pre-located on worker goroutines
+	// (speculate.go) and revalidated by pointer identity per commit.
+	plans := s.planCrossDetach(crossList, workers)
+	for k, ci := range crossList {
+		var plan *crossPlan
+		if plans != nil {
+			plan = &plans[k]
+		}
+		lat, err := s.batchDetachCross(ci.att, plan, &rowLog)
 		if err != nil {
 			sc.rowLog = rowLog
 			return nil, s.abortEvict(reqs, rowLog, seqStart, podSeq, ci.req, err)
@@ -319,7 +329,8 @@ func (s *PodScheduler) evictShardMerge(reqs []EvictRequest, out []EvictResult) (
 	}
 
 	for _, ci := range crossList {
-		lat, err := s.batchDetachCross(ci.att, &podLog)
+		// Shard merges run on row workers already; no nested pre-plan.
+		lat, err := s.batchDetachCross(ci.att, nil, &podLog)
 		if err != nil {
 			sc.podLog = podLog
 			return ci.req, err
@@ -334,14 +345,21 @@ func (s *PodScheduler) evictShardMerge(reqs []EvictRequest, out []EvictResult) (
 // batchDetachCross mirrors the row's detachCross — same validation,
 // counters, latency accounting and error surfaces, executed inline as
 // one merged commit — and journals the undo into the row-phase log.
-func (s *RowScheduler) batchDetachCross(att *Attachment, log *[]detachUndo) (sim.Duration, error) {
+// plan, if non-nil, carries pre-computed list positions (speculate.go);
+// each is checked by pointer identity before use, so a stale plan
+// degrades to the linear search rather than corrupting the splice.
+func (s *RowScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[]detachUndo) (sim.Duration, error) {
 	s.requests++
 	rackA := s.pods[att.CPUPod].racks[att.CPURack]
 	idx := -1
-	for i, a := range rackA.attachments[att.Owner] {
-		if a == att {
-			idx = i
-			break
+	if list := rackA.attachments[att.Owner]; plan != nil && plan.attIdx >= 0 && plan.attIdx < len(list) && list[plan.attIdx] == att {
+		idx = plan.attIdx
+	} else {
+		for i, a := range list {
+			if a == att {
+				idx = i
+				break
+			}
 		}
 	}
 	if idx == -1 {
@@ -425,10 +443,14 @@ func (s *RowScheduler) batchDetachCross(att *Attachment, log *[]detachUndo) (sim
 	}
 	key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
 	crossHostIdx := 0
-	for i, a := range s.crossHosts[key] {
-		if a == att {
-			crossHostIdx = i
-			break
+	if hosts := s.crossHosts[key]; plan != nil && plan.hostIdx >= 0 && plan.hostIdx < len(hosts) && hosts[plan.hostIdx] == att {
+		crossHostIdx = plan.hostIdx
+	} else {
+		for i, a := range hosts {
+			if a == att {
+				crossHostIdx = i
+				break
+			}
 		}
 	}
 	*log = append(*log, detachUndo{

@@ -1,0 +1,657 @@
+package sdm
+
+// Speculative parallelization of the group-commit engines' serial head
+// and tail, at both the pod and row tiers (see DESIGN.md §13).
+//
+// Head — speculative parallel partition. Phase 1 of AdmitBatch mutates
+// nothing but its own planned-cores scratch: every aggregate a picker
+// reads (index roots, cached pod summaries, candidacy bits) is frozen
+// for the phase's duration. That makes the partition loop speculable:
+// the burst splits into contiguous chunks, chunk 0 runs the exact
+// serial partition (its choices are final), and every later chunk
+// simulates the planned-adjusted arithmetic against the frozen
+// aggregates with chunk-local planned consumption, recording its
+// speculated target and — under spread — the runner-up value the
+// winner beat. A serial validation pass then confirms each speculation
+// in request order with one O(1) compare:
+//
+//   - packing (power-aware/first-fit): the speculated target t is the
+//     first candidate whose chunk-local adjusted free covered the
+//     request; racks before t were rejected for reasons that only get
+//     stronger as the batch consumes (candidacy is frozen, adjusted
+//     free only shrinks: planned_global >= planned_local elementwise
+//     while the chunk is clean), so t is confirmed iff its globally
+//     adjusted free still covers the request.
+//   - spread: t is confirmed iff its globally adjusted free covers the
+//     request and strictly exceeds the recorded runner-up bound — the
+//     bound dominates every other candidate's chunk-local value, and
+//     chunk-local values dominate global ones, so t still beats the
+//     whole field; ties replay (first-index-wins cannot be assumed to
+//     survive adjustment).
+//   - a speculated miss (no target) is confirmed outright: feasibility
+//     is monotone in the planned consumption, so a request no rack
+//     could serve under chunk-local planning fails a fortiori under
+//     global planning.
+//
+// A mis-speculation replays that request through the exact serial step
+// and poisons the rest of its chunk (the chunk-local consumption no
+// longer underestimates the global one), falling back to the serial
+// step until the next chunk boundary restores the invariant. The
+// result is byte-identical to the serial partitioner at any worker
+// count — validation is the serial loop with the full picker descent
+// replaced by one compare in the (common) confirmed case.
+//
+// Tail — parallel spill and teardown pre-planning. Phase 3b's spill
+// scans and the teardown phase's identity searches run against state
+// that only consumes monotonically (admission never frees, eviction's
+// list splices only shorten), so workers pre-compute each item's
+// candidate — the spill target rack/pod with its spread bound, or the
+// attachment's registry indexes — and the request-ordered serial loop
+// revalidates each candidate in O(1) before committing, replaying the
+// full scan only when contention moved the answer. A pre-planned doom
+// (no candidate anywhere) is final for the circuit path: capacity only
+// shrinks while the batch commits, so the serial loop skips the scan
+// and goes straight to the same error surface (the packet fallback
+// still probes live state, exactly as the unhinted path would).
+//
+// Config.NoSpeculate forces the serial reference paths; either way the
+// placement, counters and error surfaces are byte-identical — the knob
+// exists so CI and the equivalence property tests can pin that claim.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/brick"
+	"repro/internal/topo"
+)
+
+// specMinChunk is the minimum number of requests per speculation
+// chunk: below it the per-chunk bookkeeping costs more than the picker
+// descents it saves, so small bursts stay on the serial partitioner.
+const specMinChunk = 8
+
+// hintDoom marks a pre-planned spill that found no candidate anywhere;
+// the serial validate-and-commit loop skips the scan and goes straight
+// to the error surface (capacity only shrinks while a batch commits,
+// so the doom cannot have healed).
+const hintDoom = -1
+
+// spillHint is one pre-planned cross-rack (or cross-pod) spill: the
+// candidate target and, under spread, the runner-up free value the
+// candidate must still strictly beat at commit time.
+type spillHint struct {
+	target int
+	bound  brick.Bytes
+}
+
+// crossPlan is one pre-planned cross-tier teardown: the attachment's
+// index in its compute rack's per-owner registry and, for circuit-mode
+// attachments, its index in the scheduler's fallback-host list. Either
+// index is revalidated by pointer identity before use — earlier
+// teardowns in the same batch splice these lists — with the original
+// linear search as the fallback.
+type crossPlan struct {
+	attIdx  int
+	hostIdx int
+}
+
+// specScratch holds a scheduler's reused speculation buffers: the
+// per-request speculated targets and spread bounds, the flat
+// chunk-local planned backing, the frozen free-capacity snapshot, and
+// the spill/teardown pre-planning lists. Group commits are serial per
+// scheduler, so one set suffices and a steady burst train stops
+// allocating.
+type specScratch struct {
+	specOf   []int
+	bound    []int64
+	planned  []int
+	free     []int64
+	spills   []int
+	hints    []spillHint
+	plans    []crossPlan
+	leftover []int
+}
+
+// resolveWorkers maps the public worker-count contract (<= 0 means
+// GOMAXPROCS) onto a concrete pool size.
+func resolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// parallelFor runs fn(0..n-1) on a pool of at most workers goroutines,
+// handing out indexes through an atomic counter. Callers guarantee the
+// iterations write disjoint state, so scheduling order cannot affect
+// the outcome.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// chunkBounds splits n items into nchunks contiguous near-equal chunks
+// and returns chunk g's start offset.
+func chunkBounds(n, nchunks, g int) int {
+	base, rem := n/nchunks, n%nchunks
+	lo := g * base
+	if g < rem {
+		lo += g
+	} else {
+		lo += rem
+	}
+	return lo
+}
+
+// --- Pod tier ---------------------------------------------------------
+
+// partitionStep runs one request through the exact serial partition:
+// the full per-request rack choice while nothing is planned yet, the
+// planned-adjusted arithmetic choice afterwards. It consumes from
+// plannedCores on success and returns the chosen rack (-1 for a
+// leftover).
+func (s *PodScheduler) partitionStep(req *AdmitRequest, plannedCores []int, plannedAny *bool) int {
+	if !*plannedAny {
+		rack, ok := s.pickComputeRackExcept(req.VCPUs, req.LocalMem, -1)
+		if !ok {
+			return -1
+		}
+		plannedCores[rack] += req.VCPUs
+		*plannedAny = true
+		return rack
+	}
+	r := s.pickComputeRackPlanned(req.VCPUs, req.LocalMem, plannedCores)
+	if r >= 0 {
+		plannedCores[r] += req.VCPUs
+	}
+	return r
+}
+
+// specSimRack simulates pickComputeRackPlanned against the frozen
+// free-core snapshot with chunk-local planned consumption, returning
+// the speculated rack and — under spread — the best value among the
+// other feasible candidates (the bound the winner must still strictly
+// beat at validation time). Candidacy (CanPlaceCompute) is frozen for
+// the phase, so excluding failed candidates from the bound is sound.
+func (s *PodScheduler) specSimRack(req *AdmitRequest, free []int64, planned []int, spread bool) (int, int64) {
+	vcpus := int64(req.VCPUs)
+	if spread {
+		best, bestV, second := -1, int64(-1), int64(-1)
+		for i, r := range s.racks {
+			v := free[i] - int64(planned[i])
+			if v < vcpus || !r.CanPlaceCompute(req.VCPUs, req.LocalMem) {
+				continue
+			}
+			if v > bestV {
+				second = bestV
+				best, bestV = i, v
+			} else if v > second {
+				second = v
+			}
+		}
+		return best, second
+	}
+	for i, r := range s.racks {
+		if free[i]-int64(planned[i]) >= vcpus && r.CanPlaceCompute(req.VCPUs, req.LocalMem) {
+			return i, 0
+		}
+	}
+	return -1, 0
+}
+
+// specPartition runs AdmitBatch's phase 1 speculatively: chunk 0
+// partitions exactly (final), later chunks speculate on workers, and a
+// serial pass validates every speculation in request order — see the
+// package comment for the scheme and its determinism argument. Returns
+// false when speculation is disengaged (disabled, too few workers, or
+// a burst too small to chunk) and the caller must run the serial
+// reference partition.
+func (s *PodScheduler) specPartition(reqs []AdmitRequest, rackOf []int, plannedCores []int, workers int) bool {
+	if s.cfg.NoSpeculate {
+		return false
+	}
+	nw := resolveWorkers(workers)
+	nchunks := nw
+	if max := len(reqs) / specMinChunk; nchunks > max {
+		nchunks = max
+	}
+	if nchunks < 2 {
+		return false
+	}
+	n, targets := len(reqs), len(s.racks)
+	sp := &s.spec
+	if cap(sp.specOf) < n {
+		sp.specOf = make([]int, n)
+		sp.bound = make([]int64, n)
+	}
+	if cap(sp.free) < targets {
+		sp.free = make([]int64, targets)
+	}
+	if cap(sp.planned) < nchunks*targets {
+		sp.planned = make([]int, nchunks*targets)
+	}
+	specOf, bound := sp.specOf[:n], sp.bound[:n]
+	free := sp.free[:targets]
+	for i, r := range s.racks {
+		free[i] = int64(r.FreeCores())
+	}
+	planned := sp.planned[:nchunks*targets]
+	clear(planned)
+	spread := s.cfg.Policy == PolicySpread
+	chunk0Any := false
+	parallelFor(nw, nchunks, func(g int) {
+		lo, hi := chunkBounds(n, nchunks, g), chunkBounds(n, nchunks, g+1)
+		if g == 0 {
+			any := false
+			for i := lo; i < hi; i++ {
+				if reqs[i].VCPUs > 0 {
+					rackOf[i] = s.partitionStep(&reqs[i], plannedCores, &any)
+				}
+			}
+			chunk0Any = any
+			return
+		}
+		pl := planned[g*targets : (g+1)*targets]
+		for i := lo; i < hi; i++ {
+			req := &reqs[i]
+			if req.VCPUs == 0 {
+				continue
+			}
+			specOf[i], bound[i] = s.specSimRack(req, free, pl, spread)
+			if specOf[i] >= 0 {
+				pl[specOf[i]] += req.VCPUs
+			}
+		}
+	})
+	plannedAny := chunk0Any
+	for g := 1; g < nchunks; g++ {
+		lo, hi := chunkBounds(n, nchunks, g), chunkBounds(n, nchunks, g+1)
+		poisoned := false
+		for i := lo; i < hi; i++ {
+			req := &reqs[i]
+			if req.VCPUs == 0 {
+				continue
+			}
+			if !poisoned && plannedAny {
+				if t := specOf[i]; t < 0 {
+					rackOf[i] = -1
+					continue
+				} else if v := free[t] - int64(plannedCores[t]); v >= int64(req.VCPUs) && (!spread || v > bound[i]) {
+					rackOf[i] = t
+					plannedCores[t] += req.VCPUs
+					continue
+				}
+			}
+			r := s.partitionStep(req, plannedCores, &plannedAny)
+			rackOf[i] = r
+			if r != specOf[i] {
+				poisoned = true
+			}
+		}
+	}
+	return true
+}
+
+// planSpills pre-plans the batch's cross-rack spills (s.spec.spills,
+// filled by the gather phase) on workers, writing one hint per spill
+// into s.spec.hints. Returns false when pre-planning is disengaged and
+// the merge loop must run the unhinted scans.
+func (s *PodScheduler) planSpills(reqs []AdmitRequest, out []AdmitResult, workers int) bool {
+	sp := &s.spec
+	if s.cfg.NoSpeculate || s.cfg.Scan == ScanLinear || len(sp.spills) == 0 || resolveWorkers(workers) < 2 {
+		return false
+	}
+	if cap(sp.hints) < len(sp.spills) {
+		sp.hints = make([]spillHint, len(sp.spills))
+	}
+	hints := sp.hints[:len(sp.spills)]
+	spread := s.cfg.Policy == PolicySpread
+	parallelFor(resolveWorkers(workers), len(sp.spills), func(k int) {
+		i := sp.spills[k]
+		hints[k] = s.planSpill(reqs[i].Remote, out[i].Rack, spread)
+	})
+	return true
+}
+
+// planSpill mirrors pickMemoryRack over frozen state: the candidate
+// target plus, under spread, the best free value among the other
+// candidates. Candidates must pass the same candidacy screen and
+// confirming pick as the serial scan — a rack the scan would have
+// skipped only gets less placeable as the batch consumes, so its
+// exclusion (and a doomed result) survives until commit time.
+func (s *PodScheduler) planSpill(size brick.Bytes, home int, spread bool) spillHint {
+	if spread {
+		best, found := -1, false
+		var bestFree, second brick.Bytes
+		for i, r := range s.racks {
+			if i == home || !r.CanPlaceMemory(size) {
+				continue
+			}
+			if _, ok := r.pickMemory(size); !ok {
+				continue
+			}
+			free := r.FreeMemory()
+			if !found || free > bestFree {
+				second = bestFree
+				best, bestFree, found = i, free, true
+			} else if free > second {
+				second = free
+			}
+		}
+		if !found {
+			return spillHint{target: hintDoom}
+		}
+		return spillHint{target: best, bound: second}
+	}
+	for i, r := range s.racks {
+		if i == home || !r.CanPlaceMemory(size) {
+			continue
+		}
+		if _, ok := r.pickMemory(size); ok {
+			return spillHint{target: i}
+		}
+	}
+	return spillHint{target: hintDoom}
+}
+
+// planCrossDetach pre-computes the registry indexes of every queued
+// cross-rack teardown on workers (pure reads: phase 2 has quiesced and
+// the cross phase has not started). Returns nil when pre-planning is
+// disengaged and batchDetachCross must run its own searches.
+func (s *PodScheduler) planCrossDetach(crossList []crossItem, workers int) []crossPlan {
+	if s.cfg.NoSpeculate || len(crossList) == 0 || resolveWorkers(workers) < 2 {
+		return nil
+	}
+	sp := &s.spec
+	if cap(sp.plans) < len(crossList) {
+		sp.plans = make([]crossPlan, len(crossList))
+	}
+	plans := sp.plans[:len(crossList)]
+	parallelFor(resolveWorkers(workers), len(crossList), func(k int) {
+		att := crossList[k].att
+		p := crossPlan{attIdx: -1, hostIdx: -1}
+		for i, a := range s.racks[att.CPURack].attachments[att.Owner] {
+			if a == att {
+				p.attIdx = i
+				break
+			}
+		}
+		if att.Mode != ModePacket {
+			key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
+			for i, a := range s.crossHosts[key] {
+				if a == att {
+					p.hostIdx = i
+					break
+				}
+			}
+		}
+		plans[k] = p
+	})
+	return plans
+}
+
+// --- Row tier ---------------------------------------------------------
+
+// partitionStep is the row analog of the pod tier's: the exact serial
+// pod choice for one request, consuming from plannedCores on success.
+func (s *RowScheduler) partitionStep(req *AdmitRequest, plannedCores []int, plannedAny *bool) int {
+	if !*plannedAny {
+		pod, ok := s.pickComputePod(req.VCPUs, req.LocalMem)
+		if !ok {
+			return -1
+		}
+		plannedCores[pod] += req.VCPUs
+		*plannedAny = true
+		return pod
+	}
+	p := s.pickComputePodPlanned(req.VCPUs, req.LocalMem, plannedCores)
+	if p >= 0 {
+		plannedCores[p] += req.VCPUs
+	}
+	return p
+}
+
+// specSimPod simulates pickComputePodPlanned against the frozen
+// free-core snapshot — pure arithmetic, the pod-planned pick has no
+// candidacy screen — returning the speculated pod and the spread
+// runner-up bound.
+func (s *RowScheduler) specSimPod(req *AdmitRequest, free []int64, planned []int, spread bool) (int, int64) {
+	vcpus := int64(req.VCPUs)
+	if spread {
+		best, bestV, second := -1, int64(-1), int64(-1)
+		for i := range free {
+			v := free[i] - int64(planned[i])
+			if v < vcpus {
+				continue
+			}
+			if v > bestV {
+				second = bestV
+				best, bestV = i, v
+			} else if v > second {
+				second = v
+			}
+		}
+		return best, second
+	}
+	for i := range free {
+		if free[i]-int64(planned[i]) >= vcpus {
+			return i, 0
+		}
+	}
+	return -1, 0
+}
+
+// specPartition is the row tier's speculative phase 1 — the same
+// chunk/validate scheme as the pod tier's, over pods instead of racks.
+func (s *RowScheduler) specPartition(reqs []AdmitRequest, podOf []int, plannedCores []int, workers int) bool {
+	if s.cfg.NoSpeculate {
+		return false
+	}
+	nw := resolveWorkers(workers)
+	nchunks := nw
+	if max := len(reqs) / specMinChunk; nchunks > max {
+		nchunks = max
+	}
+	if nchunks < 2 {
+		return false
+	}
+	n, targets := len(reqs), len(s.pods)
+	sp := &s.spec
+	if cap(sp.specOf) < n {
+		sp.specOf = make([]int, n)
+		sp.bound = make([]int64, n)
+	}
+	if cap(sp.free) < targets {
+		sp.free = make([]int64, targets)
+	}
+	if cap(sp.planned) < nchunks*targets {
+		sp.planned = make([]int, nchunks*targets)
+	}
+	specOf, bound := sp.specOf[:n], sp.bound[:n]
+	free := sp.free[:targets]
+	for i := range s.pods {
+		free[i] = s.podFreeCores(i)
+	}
+	planned := sp.planned[:nchunks*targets]
+	clear(planned)
+	spread := s.cfg.Policy == PolicySpread
+	chunk0Any := false
+	parallelFor(nw, nchunks, func(g int) {
+		lo, hi := chunkBounds(n, nchunks, g), chunkBounds(n, nchunks, g+1)
+		if g == 0 {
+			any := false
+			for i := lo; i < hi; i++ {
+				if reqs[i].VCPUs > 0 {
+					podOf[i] = s.partitionStep(&reqs[i], plannedCores, &any)
+				}
+			}
+			chunk0Any = any
+			return
+		}
+		pl := planned[g*targets : (g+1)*targets]
+		for i := lo; i < hi; i++ {
+			req := &reqs[i]
+			if req.VCPUs == 0 {
+				continue
+			}
+			specOf[i], bound[i] = s.specSimPod(req, free, pl, spread)
+			if specOf[i] >= 0 {
+				pl[specOf[i]] += req.VCPUs
+			}
+		}
+	})
+	plannedAny := chunk0Any
+	for g := 1; g < nchunks; g++ {
+		lo, hi := chunkBounds(n, nchunks, g), chunkBounds(n, nchunks, g+1)
+		poisoned := false
+		for i := lo; i < hi; i++ {
+			req := &reqs[i]
+			if req.VCPUs == 0 {
+				continue
+			}
+			if !poisoned && plannedAny {
+				if t := specOf[i]; t < 0 {
+					podOf[i] = -1
+					continue
+				} else if v := free[t] - int64(plannedCores[t]); v >= int64(req.VCPUs) && (!spread || v > bound[i]) {
+					podOf[i] = t
+					plannedCores[t] += req.VCPUs
+					continue
+				}
+			}
+			p := s.partitionStep(req, plannedCores, &plannedAny)
+			podOf[i] = p
+			if p != specOf[i] {
+				poisoned = true
+			}
+		}
+	}
+	return true
+}
+
+// cleanGaps forces every pod summary's lazy max-gap recomputation
+// before a pre-planning wave reads MaxGap concurrently — the one
+// aggregate read that mutates on access.
+func (s *RowScheduler) cleanGaps() {
+	for _, g := range s.aggs {
+		g.MaxGap()
+	}
+}
+
+// planSpills pre-plans the batch's cross-pod spills on workers — the
+// row analog of the pod tier's, with the serial cleanGaps pass first so
+// the workers' MaxGap reads are pure.
+func (s *RowScheduler) planSpills(reqs []AdmitRequest, out []AdmitResult, workers int) bool {
+	sp := &s.spec
+	if s.cfg.NoSpeculate || s.aggs == nil || len(sp.spills) == 0 || resolveWorkers(workers) < 2 {
+		return false
+	}
+	if cap(sp.hints) < len(sp.spills) {
+		sp.hints = make([]spillHint, len(sp.spills))
+	}
+	hints := sp.hints[:len(sp.spills)]
+	spread := s.cfg.Policy == PolicySpread
+	s.cleanGaps()
+	parallelFor(resolveWorkers(workers), len(sp.spills), func(k int) {
+		i := sp.spills[k]
+		hints[k] = s.planSpill(reqs[i].Remote, out[i].Pod, spread)
+	})
+	return true
+}
+
+// planSpill mirrors pickMemoryPod over frozen state — candidate pod
+// plus spread runner-up bound, with the same max-gap screen and
+// confirming rack pick as the serial scan.
+func (s *RowScheduler) planSpill(size brick.Bytes, home int, spread bool) spillHint {
+	if spread {
+		best, found := -1, false
+		var bestFree, second brick.Bytes
+		for i, p := range s.pods {
+			if i == home || s.aggs[i].MaxGap() < size {
+				continue
+			}
+			if _, ok := p.pickMemoryRack(size, -1); !ok {
+				continue
+			}
+			free := s.podFreeMemory(i)
+			if !found || free > bestFree {
+				second = bestFree
+				best, bestFree, found = i, free, true
+			} else if free > second {
+				second = free
+			}
+		}
+		if !found {
+			return spillHint{target: hintDoom}
+		}
+		return spillHint{target: best, bound: second}
+	}
+	for i, p := range s.pods {
+		if i == home || s.aggs[i].MaxGap() < size {
+			continue
+		}
+		if _, ok := p.pickMemoryRack(size, -1); ok {
+			return spillHint{target: i}
+		}
+	}
+	return spillHint{target: hintDoom}
+}
+
+// planCrossDetach pre-computes the registry indexes of every queued
+// cross-pod teardown on workers — the row analog of the pod tier's.
+func (s *RowScheduler) planCrossDetach(crossList []crossItem, workers int) []crossPlan {
+	if s.cfg.NoSpeculate || len(crossList) == 0 || resolveWorkers(workers) < 2 {
+		return nil
+	}
+	sp := &s.spec
+	if cap(sp.plans) < len(crossList) {
+		sp.plans = make([]crossPlan, len(crossList))
+	}
+	plans := sp.plans[:len(crossList)]
+	parallelFor(resolveWorkers(workers), len(crossList), func(k int) {
+		att := crossList[k].att
+		p := crossPlan{attIdx: -1, hostIdx: -1}
+		for i, a := range s.pods[att.CPUPod].racks[att.CPURack].attachments[att.Owner] {
+			if a == att {
+				p.attIdx = i
+				break
+			}
+		}
+		if att.Mode != ModePacket {
+			key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
+			for i, a := range s.crossHosts[key] {
+				if a == att {
+					p.hostIdx = i
+					break
+				}
+			}
+		}
+		plans[k] = p
+	})
+	return plans
+}
