@@ -6,7 +6,10 @@
 #
 # `make bench-check` is the perf gate: a fresh bench run is diffed
 # against the committed baseline and the make fails when any
-# throughput-class (*/s) metric regresses by more than BENCHTHRESHOLD.
+# throughput-class (*/s) metric regresses by more than BENCHTHRESHOLD,
+# or when an allocation metric (allocs/op, B/op) grows by more than
+# BENCHALLOCTHRESHOLD — an amortised-alloc-free hot path whose baseline
+# records 0 allocs/op must stay at 0.
 # Both targets run every benchmark BENCHCOUNT times and benchjson keeps
 # the best run per metric (max for */s throughputs, min for costs),
 # printing the best-to-worst spread — one noisy run on a loaded box
@@ -23,6 +26,7 @@ GO ?= go
 BENCHTIME ?= 500x
 BENCHCOUNT ?= 3
 BENCHTHRESHOLD ?= 0.25
+BENCHALLOCTHRESHOLD ?= 0.5
 BENCHPATTERN ?= .
 # Filtered runs (BENCHPATTERN != .) default to a scratch file so they
 # cannot silently truncate the committed baseline; set BENCHOUT
@@ -61,6 +65,7 @@ bench:
 bench-check:
 	$(GO) test -run '^$$' -bench='$(BENCHPATTERN)' -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -compare BENCH_baseline.json -threshold $(BENCHTHRESHOLD) \
+			-alloc-threshold $(BENCHALLOCTHRESHOLD) \
 			$(if $(filter .,$(BENCHPATTERN)),,-allow-missing)
 
 # `make profile` captures CPU and heap pprof profiles of the row-tier

@@ -416,6 +416,13 @@ func batchAdmitPod(b *testing.B, policy sdm.Policy) *sdm.PodScheduler {
 // machinery — and plans independent rack shards on parallel workers.
 // The acceptance bar is batch >= 2x per-request placements/s at 16
 // racks; teardown between iterations is excluded from the timing.
+//
+// Iterations churn: teardown is a batched evict whose epilogue drains
+// the retired attachments, circuits and segments into the per-rack
+// arenas, so the timed admissions run in the steady-state regime the
+// dense-ID data plane targets — popping recycled objects instead of
+// allocating. The reused result buffers (AdmitBatchInto/EvictBatchInto)
+// close the loop; allocs/op measures what the hot path still allocates.
 func BenchmarkBatchAdmit(b *testing.B) {
 	const burst = 128
 	mkReqs := func() []sdm.AdmitRequest {
@@ -427,15 +434,21 @@ func BenchmarkBatchAdmit(b *testing.B) {
 		}
 		return reqs
 	}
-	teardown := func(b *testing.B, sched *sdm.PodScheduler, reqs []sdm.AdmitRequest, out []sdm.AdmitResult) {
-		b.Helper()
-		for i := len(out) - 1; i >= 0; i-- {
-			if out[i].Att != nil {
-				if _, err := sched.DetachRemoteMemory(out[i].Att); err != nil {
-					b.Fatal(err)
+	mkTeardown := func() func(*testing.B, *sdm.PodScheduler, []sdm.AdmitRequest, []sdm.AdmitResult) {
+		atts := make([]*sdm.Attachment, burst)
+		ereqs := make([]sdm.EvictRequest, burst)
+		eout := make([]sdm.EvictResult, burst)
+		return func(b *testing.B, sched *sdm.PodScheduler, reqs []sdm.AdmitRequest, out []sdm.AdmitResult) {
+			b.Helper()
+			for v := range out {
+				atts[v] = out[v].Att
+				ereqs[v] = sdm.EvictRequest{
+					Owner: reqs[v].Owner, CPU: out[v].CPU, Rack: out[v].Rack,
+					VCPUs: reqs[v].VCPUs, LocalMem: reqs[v].LocalMem,
+					Atts: atts[v : v+1 : v+1],
 				}
 			}
-			if err := sched.ReleaseCompute(topo.PodBrickID{Rack: out[i].Rack, Brick: out[i].CPU}, reqs[i].VCPUs, reqs[i].LocalMem); err != nil {
+			if err := sched.EvictBatchInto(ereqs, eout, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -453,11 +466,12 @@ func BenchmarkBatchAdmit(b *testing.B) {
 				b.Run(cfg.name, func(b *testing.B) {
 					sched := batchAdmitPod(b, policy)
 					reqs := mkReqs()
+					out := make([]sdm.AdmitResult, burst)
+					teardown := mkTeardown()
 					b.ResetTimer()
 					placements := 0
 					for i := 0; i < b.N; i++ {
-						out, err := sched.AdmitBatch(reqs, cfg.workers)
-						if err != nil {
+						if err := sched.AdmitBatchInto(reqs, out, cfg.workers); err != nil {
 							b.Fatal(err)
 						}
 						placements += burst
@@ -472,6 +486,7 @@ func BenchmarkBatchAdmit(b *testing.B) {
 				sched := batchAdmitPod(b, policy)
 				reqs := mkReqs()
 				out := make([]sdm.AdmitResult, burst)
+				teardown := mkTeardown()
 				b.ResetTimer()
 				placements := 0
 				for i := 0; i < b.N; i++ {
@@ -518,17 +533,21 @@ func BenchmarkEvictBatch(b *testing.B) {
 		}
 		return reqs
 	}
-	admit := func(b *testing.B, sched *sdm.PodScheduler, reqs []sdm.AdmitRequest, ereqs []sdm.EvictRequest) {
-		b.Helper()
-		out, err := sched.AdmitBatch(reqs, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		for i := range reqs {
-			ereqs[i] = sdm.EvictRequest{
-				Owner: reqs[i].Owner, CPU: out[i].CPU, Rack: out[i].Rack,
-				VCPUs: reqs[i].VCPUs, LocalMem: reqs[i].LocalMem,
-				Atts: []*sdm.Attachment{out[i].Att},
+	mkAdmit := func() func(*testing.B, *sdm.PodScheduler, []sdm.AdmitRequest, []sdm.EvictRequest) {
+		aout := make([]sdm.AdmitResult, burst)
+		atts := make([]*sdm.Attachment, burst)
+		return func(b *testing.B, sched *sdm.PodScheduler, reqs []sdm.AdmitRequest, ereqs []sdm.EvictRequest) {
+			b.Helper()
+			if err := sched.AdmitBatchInto(reqs, aout, 0); err != nil {
+				b.Fatal(err)
+			}
+			for i := range reqs {
+				atts[i] = aout[i].Att
+				ereqs[i] = sdm.EvictRequest{
+					Owner: reqs[i].Owner, CPU: aout[i].CPU, Rack: aout[i].Rack,
+					VCPUs: reqs[i].VCPUs, LocalMem: reqs[i].LocalMem,
+					Atts: atts[i : i+1 : i+1],
+				}
 			}
 		}
 	}
@@ -542,13 +561,15 @@ func BenchmarkEvictBatch(b *testing.B) {
 					sched := batchAdmitPod(b, policy)
 					reqs := mkReqs()
 					ereqs := make([]sdm.EvictRequest, burst)
+					eout := make([]sdm.EvictResult, burst)
+					admit := mkAdmit()
 					b.ResetTimer()
 					teardowns := 0
 					for i := 0; i < b.N; i++ {
 						b.StopTimer()
 						admit(b, sched, reqs, ereqs)
 						b.StartTimer()
-						if _, err := sched.EvictBatch(ereqs, cfg.workers); err != nil {
+						if err := sched.EvictBatchInto(ereqs, eout, cfg.workers); err != nil {
 							b.Fatal(err)
 						}
 						teardowns += burst
@@ -560,6 +581,7 @@ func BenchmarkEvictBatch(b *testing.B) {
 				sched := batchAdmitPod(b, policy)
 				reqs := mkReqs()
 				ereqs := make([]sdm.EvictRequest, burst)
+				admit := mkAdmit()
 				b.ResetTimer()
 				teardowns := 0
 				for i := 0; i < b.N; i++ {
@@ -633,24 +655,27 @@ func BenchmarkAdmitWorkerScaling(b *testing.B) {
 						Owner: fmt.Sprintf("adm%03d", v), VCPUs: 1, LocalMem: brick.GiB, Remote: 2 * brick.GiB,
 					}
 				}
+				out := make([]sdm.AdmitResult, burst)
+				atts := make([]*sdm.Attachment, burst)
 				ereqs := make([]sdm.EvictRequest, burst)
+				eout := make([]sdm.EvictResult, burst)
 				b.ResetTimer()
 				placements := 0
 				for i := 0; i < b.N; i++ {
-					out, err := sched.AdmitBatch(reqs, w)
-					if err != nil {
+					if err := sched.AdmitBatchInto(reqs, out, w); err != nil {
 						b.Fatal(err)
 					}
 					placements += burst
 					b.StopTimer()
 					for v := range out {
+						atts[v] = out[v].Att
 						ereqs[v] = sdm.EvictRequest{
 							Owner: reqs[v].Owner, CPU: out[v].CPU, Rack: out[v].Rack,
 							VCPUs: reqs[v].VCPUs, LocalMem: reqs[v].LocalMem,
-							Atts: []*sdm.Attachment{out[v].Att},
+							Atts: atts[v : v+1 : v+1],
 						}
 					}
-					if _, err := sched.EvictBatch(ereqs, 0); err != nil {
+					if err := sched.EvictBatchInto(ereqs, eout, 0); err != nil {
 						b.Fatal(err)
 					}
 					b.StartTimer()
@@ -670,24 +695,27 @@ func BenchmarkAdmitWorkerScaling(b *testing.B) {
 						Owner: fmt.Sprintf("adm%03d", v), VCPUs: 1, LocalMem: brick.GiB, Remote: 2 * brick.GiB,
 					}
 				}
+				out := make([]sdm.AdmitResult, burst)
+				atts := make([]*sdm.Attachment, burst)
 				ereqs := make([]sdm.EvictRequest, burst)
+				eout := make([]sdm.EvictResult, burst)
 				b.ResetTimer()
 				placements := 0
 				for i := 0; i < b.N; i++ {
-					out, err := sched.AdmitBatch(reqs, w)
-					if err != nil {
+					if err := sched.AdmitBatchInto(reqs, out, w); err != nil {
 						b.Fatal(err)
 					}
 					placements += burst
 					b.StopTimer()
 					for v := range out {
+						atts[v] = out[v].Att
 						ereqs[v] = sdm.EvictRequest{
 							Owner: reqs[v].Owner, CPU: out[v].CPU, Rack: out[v].Rack, Pod: out[v].Pod,
 							VCPUs: reqs[v].VCPUs, LocalMem: reqs[v].LocalMem,
-							Atts: []*sdm.Attachment{out[v].Att},
+							Atts: atts[v : v+1 : v+1],
 						}
 					}
-					if _, err := sched.EvictBatch(ereqs, 0); err != nil {
+					if err := sched.EvictBatchInto(ereqs, eout, 0); err != nil {
 						b.Fatal(err)
 					}
 					b.StartTimer()
@@ -715,24 +743,27 @@ func BenchmarkEvictWorkerScaling(b *testing.B) {
 						Owner: fmt.Sprintf("evc%03d", v), VCPUs: 1, LocalMem: brick.GiB, Remote: 2 * brick.GiB,
 					}
 				}
+				out := make([]sdm.AdmitResult, burst)
+				atts := make([]*sdm.Attachment, burst)
 				ereqs := make([]sdm.EvictRequest, burst)
+				eout := make([]sdm.EvictResult, burst)
 				b.ResetTimer()
 				teardowns := 0
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
-					out, err := sched.AdmitBatch(reqs, 0)
-					if err != nil {
+					if err := sched.AdmitBatchInto(reqs, out, 0); err != nil {
 						b.Fatal(err)
 					}
 					for v := range out {
+						atts[v] = out[v].Att
 						ereqs[v] = sdm.EvictRequest{
 							Owner: reqs[v].Owner, CPU: out[v].CPU, Rack: out[v].Rack,
 							VCPUs: reqs[v].VCPUs, LocalMem: reqs[v].LocalMem,
-							Atts: []*sdm.Attachment{out[v].Att},
+							Atts: atts[v : v+1 : v+1],
 						}
 					}
 					b.StartTimer()
-					if _, err := sched.EvictBatch(ereqs, w); err != nil {
+					if err := sched.EvictBatchInto(ereqs, eout, w); err != nil {
 						b.Fatal(err)
 					}
 					teardowns += burst
@@ -752,24 +783,27 @@ func BenchmarkEvictWorkerScaling(b *testing.B) {
 						Owner: fmt.Sprintf("evc%03d", v), VCPUs: 1, LocalMem: brick.GiB, Remote: 2 * brick.GiB,
 					}
 				}
+				out := make([]sdm.AdmitResult, burst)
+				atts := make([]*sdm.Attachment, burst)
 				ereqs := make([]sdm.EvictRequest, burst)
+				eout := make([]sdm.EvictResult, burst)
 				b.ResetTimer()
 				teardowns := 0
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
-					out, err := sched.AdmitBatch(reqs, 0)
-					if err != nil {
+					if err := sched.AdmitBatchInto(reqs, out, 0); err != nil {
 						b.Fatal(err)
 					}
 					for v := range out {
+						atts[v] = out[v].Att
 						ereqs[v] = sdm.EvictRequest{
 							Owner: reqs[v].Owner, CPU: out[v].CPU, Rack: out[v].Rack, Pod: out[v].Pod,
 							VCPUs: reqs[v].VCPUs, LocalMem: reqs[v].LocalMem,
-							Atts: []*sdm.Attachment{out[v].Att},
+							Atts: atts[v : v+1 : v+1],
 						}
 					}
 					b.StartTimer()
-					if _, err := sched.EvictBatch(ereqs, w); err != nil {
+					if err := sched.EvictBatchInto(ereqs, eout, w); err != nil {
 						b.Fatal(err)
 					}
 					teardowns += burst

@@ -9,10 +9,16 @@
 // fresh run on stdin is diffed against the committed baseline and the
 // program exits non-zero when any throughput-class metric (one whose
 // unit ends in "/s" — placements/s, promotions/s) regresses by more
-// than -threshold. The diff runs both ways: fresh metrics without a
-// baseline entry print NO BASELINE (visible, non-fatal), and baseline
-// benchmarks absent from the fresh run print MISSING and fail the gate
-// unless -allow-missing marks the run as an intentional subset.
+// than -threshold, or when an allocation metric (allocs/op, B/op)
+// grows by more than -alloc-threshold — the dense-ID data plane's
+// amortised alloc-free hot paths are part of the recorded trajectory,
+// so a change that quietly reintroduces per-op allocations fails the
+// gate just like a throughput regression. An alloc metric whose
+// baseline is 0 must stay 0. The diff runs both ways: fresh metrics
+// without a baseline entry print NO BASELINE (visible, non-fatal), and
+// baseline benchmarks absent from the fresh run print MISSING and fail
+// the gate unless -allow-missing marks the run as an intentional
+// subset.
 //
 // Repeated entries for the same benchmark name (a `-count=N` run, the
 // flakiness guard `make bench`/`bench-check` use) are collapsed to one
@@ -184,8 +190,9 @@ func merge(in Baseline) (Baseline, map[string]*runStats) {
 }
 
 func main() {
-	compare := flag.String("compare", "", "diff the fresh run on stdin against this baseline JSON instead of emitting JSON; exit non-zero on throughput regressions")
+	compare := flag.String("compare", "", "diff the fresh run on stdin against this baseline JSON instead of emitting JSON; exit non-zero on throughput or allocation regressions")
 	threshold := flag.Float64("threshold", 0.25, "with -compare: relative regression tolerated in any throughput (*/s) metric before failing")
+	allocThreshold := flag.Float64("alloc-threshold", 0.5, "with -compare: relative growth tolerated in allocs/op and B/op before failing (a 0 baseline must stay 0)")
 	allowMissing := flag.Bool("allow-missing", false, "with -compare: tolerate baseline benchmarks absent from the fresh run (intentional filtered-pattern subsets) instead of failing")
 	flag.Parse()
 
@@ -240,12 +247,13 @@ func main() {
 	}
 	regressions := 0
 	checked := 0
+	throughputChecked := 0
 	unmatched := 0
 	for _, fb := range fresh.Benchmarks {
 		// Sorted metric order keeps the gate report diffable run to run.
 		units := make([]string, 0, len(fb.Metrics))
 		for unit := range fb.Metrics {
-			if strings.HasSuffix(unit, "/s") {
+			if strings.HasSuffix(unit, "/s") || unit == "allocs/op" || unit == "B/op" {
 				units = append(units, unit)
 			}
 		}
@@ -253,11 +261,12 @@ func main() {
 		for _, unit := range units {
 			got := fb.Metrics[unit]
 			want, ok := base.metric(fb.Name, unit)
+			alloc := unit == "allocs/op" || unit == "B/op"
 			spread := fmt.Sprintf("spread %5.1f%%", 100*stats[fb.Name].spread(unit))
 			if stats[fb.Name].runs < 2 {
 				spread = "spread   n/a "
 			}
-			if !ok || want <= 0 {
+			if !ok || (!alloc && want <= 0) {
 				// Visible, not fatal: a renamed benchmark or truncated
 				// baseline must not silently shrink the gate's coverage.
 				unmatched++
@@ -266,14 +275,36 @@ func main() {
 				continue
 			}
 			checked++
-			delta := got/want - 1
-			status := "ok"
-			if delta < -*threshold {
-				status = "REGRESSION"
-				regressions++
+			if !alloc {
+				throughputChecked++
 			}
-			fmt.Printf("%-60s %-16s baseline %14.1f  fresh %14.1f  %+6.1f%%  %s  %s\n",
-				fb.Name, unit, want, got, 100*delta, spread, status)
+			status := "ok"
+			deltaStr := "   n/a "
+			switch {
+			case want == 0:
+				// An amortised alloc-free baseline must stay alloc-free:
+				// there is no relative threshold against zero.
+				if got > 0 {
+					status = "REGRESSION"
+					regressions++
+				}
+			case alloc:
+				delta := got/want - 1
+				deltaStr = fmt.Sprintf("%+6.1f%%", 100*delta)
+				if delta > *allocThreshold {
+					status = "REGRESSION"
+					regressions++
+				}
+			default:
+				delta := got/want - 1
+				deltaStr = fmt.Sprintf("%+6.1f%%", 100*delta)
+				if delta < -*threshold {
+					status = "REGRESSION"
+					regressions++
+				}
+			}
+			fmt.Printf("%-60s %-16s baseline %14.1f  fresh %14.1f  %s  %s  %s\n",
+				fb.Name, unit, want, got, deltaStr, spread, status)
 		}
 	}
 	// The reverse direction: baseline benchmarks the fresh run never
@@ -293,11 +324,11 @@ func main() {
 		fmt.Printf("%-60s %-16s baseline %14s  fresh %14s    n/a   spread   n/a   MISSING\n",
 			bb.Name, "-", "recorded", "-")
 	}
-	if checked == 0 {
+	if throughputChecked == 0 {
 		fail(fmt.Errorf("no throughput (*/s) metrics shared with baseline %s", *compare))
 	}
 	if regressions > 0 {
-		fail(fmt.Errorf("%d of %d throughput metrics regressed beyond %.0f%%", regressions, checked, 100**threshold))
+		fail(fmt.Errorf("%d of %d gated metrics regressed (throughput beyond %.0f%%, allocations beyond %.0f%%)", regressions, checked, 100**threshold, 100**allocThreshold))
 	}
 	if missing > 0 && !*allowMissing {
 		fail(fmt.Errorf("%d baseline benchmark(s) missing from the fresh run (deleted, renamed, or filtered out — pass -allow-missing for intentional subset runs)", missing))
@@ -309,7 +340,8 @@ func main() {
 	if missing > 0 {
 		suffix += fmt.Sprintf(" (%d baseline benchmark(s) skipped by the filtered run)", missing)
 	}
-	fmt.Printf("perf gate: %d throughput metrics within %.0f%% of baseline%s\n", checked, 100**threshold, suffix)
+	fmt.Printf("perf gate: %d metrics within thresholds (%d throughput within %.0f%%, %d allocation within %.0f%%)%s\n",
+		checked, throughputChecked, 100**threshold, checked-throughputChecked, 100**allocThreshold, suffix)
 }
 
 func fail(err error) {

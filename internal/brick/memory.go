@@ -53,6 +53,7 @@ type Memory struct {
 	Ports       *PortSet
 
 	segments []*Segment // sorted by offset
+	segFree  []*Segment // recycled Segment objects, popped by Carve/CarveAt
 	used     Bytes
 	state    PowerState
 
@@ -137,6 +138,30 @@ func (m *Memory) removeGap(sz Bytes) {
 	}
 }
 
+// newSegment hands out a Segment with the given identity, reusing a
+// recycled object from the brick's free list when one is available.
+// Every field is overwritten, so nothing from the previous life leaks;
+// callers must treat a released segment as dead — its fields are
+// rewritten the moment the object is carved again.
+func (m *Memory) newSegment(offset, size Bytes, owner string) *Segment {
+	if n := len(m.segFree); n > 0 {
+		seg := m.segFree[n-1]
+		m.segFree[n-1] = nil
+		m.segFree = m.segFree[:n-1]
+		seg.Brick, seg.Offset, seg.Size, seg.Owner = m.ID, offset, size, owner
+		return seg
+	}
+	// Pool miss: this carve allocates anyway, so pay for the segment's
+	// eventual recycling here too — growing the (empty) free list now
+	// keeps cap(segFree) ≥ live segments + pooled segments, which makes
+	// Release itself permanently alloc-free, even under release-only
+	// bursts like a batched teardown.
+	if cap(m.segFree) <= len(m.segments) {
+		m.segFree = make([]*Segment, 0, 2*(len(m.segments)+1))
+	}
+	return &Segment{Brick: m.ID, Offset: offset, Size: size, Owner: owner}
+}
+
 // State returns the power state.
 func (m *Memory) State() PowerState { return m.state }
 
@@ -208,7 +233,7 @@ func (m *Memory) Carve(size Bytes, owner string) (*Segment, error) {
 		gap = m.Capacity - cursor
 		insertAt = len(m.segments)
 	}
-	seg := &Segment{Brick: m.ID, Offset: cursor, Size: size, Owner: owner}
+	seg := m.newSegment(cursor, size, owner)
 	m.segments = append(m.segments, nil)
 	copy(m.segments[insertAt+1:], m.segments[insertAt:])
 	m.segments[insertAt] = seg
@@ -245,6 +270,10 @@ func (m *Memory) Release(seg *Segment) error {
 
 		m.segments = append(m.segments[:i], m.segments[i+1:]...)
 		m.used -= seg.Size
+		// The segment is verified-removed from the live list, so it can
+		// be recycled; foreign segments never reach this push and fall
+		// through to the unknown-segment error below.
+		m.segFree = append(m.segFree, seg)
 		m.epoch++
 		if len(m.segments) == 0 {
 			m.state = PowerIdle

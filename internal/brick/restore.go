@@ -37,7 +37,7 @@ func (m *Memory) CarveAt(offset, size Bytes, owner string) (*Segment, error) {
 	if offset < prevEnd || offset+size > nextStart {
 		return nil, fmt.Errorf("memory %v: carve at %v+%v overlaps live segments (free gap is [%v, %v))", m.ID, offset, size, prevEnd, nextStart)
 	}
-	seg := &Segment{Brick: m.ID, Offset: offset, Size: size, Owner: owner}
+	seg := m.newSegment(offset, size, owner)
 	m.segments = append(m.segments, nil)
 	copy(m.segments[insertAt+1:], m.segments[insertAt:])
 	m.segments[insertAt] = seg

@@ -81,14 +81,10 @@ type PodFabric struct {
 
 	// uplinkBusy[r][j] marks pod-switch port r*UplinksPerRack+j in use.
 	uplinkBusy [][]bool
-	// cross maps each live cross-rack circuit to its teardown state.
-	cross map[*Circuit]crossRoute
-}
-
-// crossRoute records which uplinks a cross-rack circuit consumed.
-type crossRoute struct {
-	rackA, rackB int
-	upA, upB     int // pod-switch port indexes
+	// crossLive counts live cross-rack circuits. Each circuit carries its
+	// own route state (endpoint racks and uplinks), so teardown is field
+	// reads instead of a pointer-keyed route map.
+	crossLive int
 }
 
 // NewPodFabric wires the given rack fabrics (index order is the pod's
@@ -110,7 +106,6 @@ func NewPodFabric(prof PodProfile, racks []*Fabric) (*PodFabric, error) {
 		racks:      racks,
 		pod:        pod,
 		uplinkBusy: busy,
-		cross:      make(map[*Circuit]crossRoute),
 	}, nil
 }
 
@@ -146,7 +141,7 @@ func (pf *PodFabric) FreeUplinks(i int) int {
 }
 
 // CrossCircuits returns the number of live cross-rack circuits.
-func (pf *PodFabric) CrossCircuits() int { return len(pf.cross) }
+func (pf *PodFabric) CrossCircuits() int { return pf.crossLive }
 
 // uplinkPort maps (rack, slot) onto the pod switch's port space.
 func (pf *PodFabric) uplinkPort(rack, slot int) int {
@@ -178,12 +173,12 @@ func (pf *PodFabric) ConnectCross(ra int, a topo.PortID, rb int, b topo.PortID) 
 		return nil, 0, fmt.Errorf("optical: cross-rack circuit within rack %d; use the rack fabric", ra)
 	}
 	fa, fb := pf.racks[ra], pf.racks[rb]
-	swA, okA := fa.attach[a]
-	if !okA {
+	swA := fa.swPort(a)
+	if swA < 0 {
 		return nil, 0, fmt.Errorf("optical: port %v not attached to rack %d's fabric", a, ra)
 	}
-	swB, okB := fb.attach[b]
-	if !okB {
+	swB := fb.swPort(b)
+	if swB < 0 {
 		return nil, 0, fmt.Errorf("optical: port %v not attached to rack %d's fabric", b, rb)
 	}
 	if fa.circuits[swA] != nil {
@@ -207,11 +202,12 @@ func (pf *PodFabric) ConnectCross(ra int, a topo.PortID, rb int, b topo.PortID) 
 		pf.uplinkBusy[rb][upB] = false
 		return nil, 0, err
 	}
-	c := &Circuit{
-		A: a, B: b, swA: swA, swB: swB,
-		Hops:        fa.DefaultHops + pf.prof.ExtraHops + fb.DefaultHops,
-		FiberMeters: fa.DefaultFiberMeters + pf.prof.InterRackFiberMeters + fb.DefaultFiberMeters,
-	}
+	// The circuit comes from (and returns to) the A-endpoint rack's
+	// arena, so cross-rack churn recycles objects like rack-local churn.
+	c := fa.newCircuit()
+	c.A, c.B, c.swA, c.swB = a, b, swA, swB
+	c.Hops = fa.DefaultHops + pf.prof.ExtraHops + fb.DefaultHops
+	c.FiberMeters = fa.DefaultFiberMeters + pf.prof.InterRackFiberMeters + fb.DefaultFiberMeters
 	// Register at both rack endpoints so intra-rack Connect refuses the
 	// busy ports; Fabric.Disconnect rejects the circuit (each rack holds
 	// only one endpoint), forcing teardown through DisconnectCross.
@@ -219,7 +215,10 @@ func (pf *PodFabric) ConnectCross(ra int, a topo.PortID, rb int, b topo.PortID) 
 	fb.circuits[swB] = c
 	fa.live++
 	fb.live++
-	pf.cross[c] = crossRoute{rackA: ra, rackB: rb, upA: upA, upB: upB}
+	c.xTier = xTierPod
+	c.xRackA, c.xRackB = int32(ra), int32(rb)
+	c.xUpA, c.xUpB = int32(upA), int32(upB)
+	pf.crossLive++
 	reconfig := pf.prof.Switch.ReconfigTime
 	if t := fa.sw.Config().ReconfigTime; t > reconfig {
 		reconfig = t
@@ -233,27 +232,31 @@ func (pf *PodFabric) ConnectCross(ra int, a topo.PortID, rb int, b topo.PortID) 
 // DisconnectCross tears a cross-rack circuit down, releasing both
 // uplinks and the pod-switch crossing.
 func (pf *PodFabric) DisconnectCross(c *Circuit) (sim.Duration, error) {
-	r, ok := pf.cross[c]
-	if !ok {
+	rackA, rackB := int(c.xRackA), int(c.xRackB)
+	upA, upB := int(c.xUpA), int(c.xUpB)
+	if c.xTier != xTierPod || rackA < 0 || rackA >= len(pf.racks) ||
+		pf.racks[rackA].circuits[c.swA] != c {
 		return 0, fmt.Errorf("optical: circuit %v<->%v is not a live cross-rack circuit", c.A, c.B)
 	}
-	if err := pf.pod.Disconnect(pf.uplinkPort(r.rackA, r.upA)); err != nil {
+	if err := pf.pod.Disconnect(pf.uplinkPort(rackA, upA)); err != nil {
 		return 0, err
 	}
-	pf.racks[r.rackA].circuits[c.swA] = nil
-	pf.racks[r.rackB].circuits[c.swB] = nil
-	pf.racks[r.rackA].live--
-	pf.racks[r.rackB].live--
-	pf.uplinkBusy[r.rackA][r.upA] = false
-	pf.uplinkBusy[r.rackB][r.upB] = false
-	delete(pf.cross, c)
+	fa, fb := pf.racks[rackA], pf.racks[rackB]
+	fa.circuits[c.swA] = nil
+	fb.circuits[c.swB] = nil
+	fa.live--
+	fb.live--
+	pf.uplinkBusy[rackA][upA] = false
+	pf.uplinkBusy[rackB][upB] = false
+	pf.crossLive--
 	reconfig := pf.prof.Switch.ReconfigTime
-	if t := pf.racks[r.rackA].sw.Config().ReconfigTime; t > reconfig {
+	if t := fa.sw.Config().ReconfigTime; t > reconfig {
 		reconfig = t
 	}
-	if t := pf.racks[r.rackB].sw.Config().ReconfigTime; t > reconfig {
+	if t := fb.sw.Config().ReconfigTime; t > reconfig {
 		reconfig = t
 	}
+	fa.recycle(c)
 	return reconfig, nil
 }
 

@@ -81,15 +81,10 @@ type RowFabric struct {
 
 	// uplinkBusy[p][j] marks row-switch port p*UplinksPerPod+j in use.
 	uplinkBusy [][]bool
-	// cross maps each live cross-pod circuit to its teardown state.
-	cross map[*Circuit]rowRoute
-}
-
-// rowRoute records which uplinks a cross-pod circuit consumed.
-type rowRoute struct {
-	podA, podB   int
-	rackA, rackB int // rack index within each endpoint pod
-	upA, upB     int // row-switch port indexes
+	// crossLive counts live cross-pod circuits. Each circuit carries its
+	// own route state (endpoint pods, racks and uplinks), so teardown is
+	// field reads instead of a pointer-keyed route map.
+	crossLive int
 }
 
 // NewRowFabric wires the given pod fabrics (index order is the row's
@@ -111,7 +106,6 @@ func NewRowFabric(prof RowProfile, pods []*PodFabric) (*RowFabric, error) {
 		pods:       pods,
 		row:        row,
 		uplinkBusy: busy,
-		cross:      make(map[*Circuit]rowRoute),
 	}, nil
 }
 
@@ -147,7 +141,7 @@ func (rf *RowFabric) FreeUplinks(i int) int {
 }
 
 // CrossCircuits returns the number of live cross-pod circuits.
-func (rf *RowFabric) CrossCircuits() int { return len(rf.cross) }
+func (rf *RowFabric) CrossCircuits() int { return rf.crossLive }
 
 // uplinkPort maps (pod, slot) onto the row switch's port space.
 func (rf *RowFabric) uplinkPort(pod, slot int) int {
@@ -184,12 +178,12 @@ func (rf *RowFabric) ConnectCross(pa int, ra int, a topo.PortID, pb int, rb int,
 		return nil, 0, fmt.Errorf("optical: rack index out of range (%d, %d)", ra, rb)
 	}
 	fa, fb := pfa.racks[ra], pfb.racks[rb]
-	swA, okA := fa.attach[a]
-	if !okA {
+	swA := fa.swPort(a)
+	if swA < 0 {
 		return nil, 0, fmt.Errorf("optical: port %v not attached to pod %d rack %d's fabric", a, pa, ra)
 	}
-	swB, okB := fb.attach[b]
-	if !okB {
+	swB := fb.swPort(b)
+	if swB < 0 {
 		return nil, 0, fmt.Errorf("optical: port %v not attached to pod %d rack %d's fabric", b, pb, rb)
 	}
 	if fa.circuits[swA] != nil {
@@ -213,11 +207,12 @@ func (rf *RowFabric) ConnectCross(pa int, ra int, a topo.PortID, pb int, rb int,
 		rf.uplinkBusy[pb][upB] = false
 		return nil, 0, err
 	}
-	c := &Circuit{
-		A: a, B: b, swA: swA, swB: swB,
-		Hops:        fa.DefaultHops + rf.prof.ExtraHops + fb.DefaultHops,
-		FiberMeters: fa.DefaultFiberMeters + rf.prof.InterPodFiberMeters + fb.DefaultFiberMeters,
-	}
+	// The circuit comes from (and returns to) the A-endpoint rack's
+	// arena, so cross-pod churn recycles objects like rack-local churn.
+	c := fa.newCircuit()
+	c.A, c.B, c.swA, c.swB = a, b, swA, swB
+	c.Hops = fa.DefaultHops + rf.prof.ExtraHops + fb.DefaultHops
+	c.FiberMeters = fa.DefaultFiberMeters + rf.prof.InterPodFiberMeters + fb.DefaultFiberMeters
 	// Register at both endpoint rack fabrics so intra-rack Connect
 	// refuses the busy ports; Fabric.Disconnect and DisconnectCross on
 	// the pod fabrics reject the circuit (neither tier owns it), forcing
@@ -226,7 +221,11 @@ func (rf *RowFabric) ConnectCross(pa int, ra int, a topo.PortID, pb int, rb int,
 	fb.circuits[swB] = c
 	fa.live++
 	fb.live++
-	rf.cross[c] = rowRoute{podA: pa, podB: pb, rackA: ra, rackB: rb, upA: upA, upB: upB}
+	c.xTier = xTierRow
+	c.xPodA, c.xPodB = int32(pa), int32(pb)
+	c.xRackA, c.xRackB = int32(ra), int32(rb)
+	c.xUpA, c.xUpB = int32(upA), int32(upB)
+	rf.crossLive++
 	reconfig := rf.prof.Switch.ReconfigTime
 	if t := fa.sw.Config().ReconfigTime; t > reconfig {
 		reconfig = t
@@ -240,22 +239,24 @@ func (rf *RowFabric) ConnectCross(pa int, ra int, a topo.PortID, pb int, rb int,
 // DisconnectCross tears a cross-pod circuit down, releasing both row
 // uplinks and the row-switch crossing.
 func (rf *RowFabric) DisconnectCross(c *Circuit) (sim.Duration, error) {
-	r, ok := rf.cross[c]
-	if !ok {
+	podA, podB := int(c.xPodA), int(c.xPodB)
+	upA, upB := int(c.xUpA), int(c.xUpB)
+	if c.xTier != xTierRow || podA < 0 || podA >= len(rf.pods) ||
+		rf.pods[podA].racks[c.xRackA].circuits[c.swA] != c {
 		return 0, fmt.Errorf("optical: circuit %v<->%v is not a live cross-pod circuit", c.A, c.B)
 	}
-	if err := rf.row.Disconnect(rf.uplinkPort(r.podA, r.upA)); err != nil {
+	if err := rf.row.Disconnect(rf.uplinkPort(podA, upA)); err != nil {
 		return 0, err
 	}
-	fa := rf.pods[r.podA].racks[r.rackA]
-	fb := rf.pods[r.podB].racks[r.rackB]
+	fa := rf.pods[podA].racks[c.xRackA]
+	fb := rf.pods[podB].racks[c.xRackB]
 	fa.circuits[c.swA] = nil
 	fb.circuits[c.swB] = nil
 	fa.live--
 	fb.live--
-	rf.uplinkBusy[r.podA][r.upA] = false
-	rf.uplinkBusy[r.podB][r.upB] = false
-	delete(rf.cross, c)
+	rf.uplinkBusy[podA][upA] = false
+	rf.uplinkBusy[podB][upB] = false
+	rf.crossLive--
 	reconfig := rf.prof.Switch.ReconfigTime
 	if t := fa.sw.Config().ReconfigTime; t > reconfig {
 		reconfig = t
@@ -263,6 +264,7 @@ func (rf *RowFabric) DisconnectCross(c *Circuit) (sim.Duration, error) {
 	if t := fb.sw.Config().ReconfigTime; t > reconfig {
 		reconfig = t
 	}
+	fa.recycle(c)
 	return reconfig, nil
 }
 

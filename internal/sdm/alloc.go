@@ -24,7 +24,7 @@ func (c *Controller) ReserveCompute(owner string, vcpus int, localMem brick.Byte
 		c.failures++
 		return topo.BrickID{}, 0, fmt.Errorf("sdm: no compute brick with %d free cores and %v local memory", vcpus, localMem)
 	}
-	node := c.computes[id]
+	node := c.compute(id)
 	if node.Brick.State() == brick.PowerOff {
 		node.Brick.PowerOn()
 		lat += c.cfg.BrickBoot
@@ -50,8 +50,8 @@ func (c *Controller) ReserveCompute(owner string, vcpus int, localMem brick.Byte
 
 // ReleaseCompute returns cores and local memory to a brick.
 func (c *Controller) ReleaseCompute(id topo.BrickID, vcpus int, localMem brick.Bytes) error {
-	node, ok := c.computes[id]
-	if !ok {
+	node := c.compute(id)
+	if node == nil {
 		return fmt.Errorf("sdm: no compute brick %v", id)
 	}
 	if err := node.Brick.FreeCoresBack(vcpus); err != nil {
@@ -119,27 +119,25 @@ func (c *Controller) pickComputeLinear(vcpus int, localMem brick.Bytes) (topo.Br
 	}
 	switch c.cfg.Policy {
 	case PolicyFirstFit:
-		for _, id := range c.computeOrder {
-			if fits(c.computes[id]) {
-				return id, true
+		for pos, n := range c.computes {
+			if fits(n) {
+				return c.computeOrder[pos], true
 			}
 		}
 	case PolicySpread:
 		best, found := topo.BrickID{}, false
 		bestFree := -1
-		for _, id := range c.computeOrder {
-			n := c.computes[id]
+		for pos, n := range c.computes {
 			if fits(n) && n.Brick.FreeCores() > bestFree {
-				best, bestFree, found = id, n.Brick.FreeCores(), true
+				best, bestFree, found = c.computeOrder[pos], n.Brick.FreeCores(), true
 			}
 		}
 		return best, found
 	default:
 		for _, want := range powerPreference {
-			for _, id := range c.computeOrder {
-				n := c.computes[id]
+			for pos, n := range c.computes {
 				if n.Brick.State() == want && fits(n) {
-					return id, true
+					return c.computeOrder[pos], true
 				}
 			}
 		}
@@ -189,27 +187,25 @@ func (c *Controller) pickMemoryLinear(size brick.Bytes) (topo.BrickID, bool) {
 	fits := func(m *brick.Memory) bool { return m.LargestGapScan() >= size && m.Ports.Free() > 0 }
 	switch c.cfg.Policy {
 	case PolicyFirstFit:
-		for _, id := range c.memoryOrder {
-			if fits(c.memories[id]) {
-				return id, true
+		for pos, m := range c.memories {
+			if fits(m) {
+				return c.memoryOrder[pos], true
 			}
 		}
 	case PolicySpread:
 		best, found := topo.BrickID{}, false
 		var bestFree brick.Bytes
-		for _, id := range c.memoryOrder {
-			m := c.memories[id]
+		for pos, m := range c.memories {
 			if fits(m) && (!found || m.Free() > bestFree) {
-				best, bestFree, found = id, m.Free(), true
+				best, bestFree, found = c.memoryOrder[pos], m.Free(), true
 			}
 		}
 		return best, found
 	default:
 		for _, want := range powerPreference {
-			for _, id := range c.memoryOrder {
-				m := c.memories[id]
+			for pos, m := range c.memories {
 				if m.State() == want && fits(m) {
-					return id, true
+					return c.memoryOrder[pos], true
 				}
 			}
 		}
@@ -237,8 +233,9 @@ func (c *Controller) AttachRemoteMemory(owner string, cpu topo.BrickID, size bri
 		func(int) connector { return c.rackTier() },
 		true,
 		func(att *Attachment, _ int) {
-			c.attachments[owner] = append(c.attachments[owner], att)
-			c.circuitHosts[cpu] = append(c.circuitHosts[cpu], att)
+			c.register(att)
+			p := c.cpuPos(cpu)
+			c.circuitHosts[p] = append(c.circuitHosts[p], att)
 		})
 	lat, err := op.Commit()
 	if err != nil {
@@ -266,10 +263,12 @@ func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
 	}
 	c.requests++
 	idx := -1
-	for i, a := range c.attachments[att.Owner] {
-		if a == att {
-			idx = i
-			break
+	if id, ok := c.ownerIDs[att.Owner]; ok {
+		for i, a := range c.attachments[id] {
+			if a == att {
+				idx = i
+				break
+			}
 		}
 	}
 	if idx == -1 {
@@ -279,7 +278,7 @@ func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
 	if att.Mode == ModePacket {
 		return c.detachPacket(att, idx)
 	}
-	if n := c.riders[att.Circuit]; n > 0 {
+	if n := att.Circuit.Riders; n > 0 {
 		c.failures++
 		return 0, fmt.Errorf("sdm: circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
@@ -297,10 +296,14 @@ func (c *Controller) DetachRemoteMemory(att *Attachment) (sim.Duration, error) {
 
 // removeCircuitHost drops a circuit-mode attachment from the host index.
 func (c *Controller) removeCircuitHost(att *Attachment) {
-	hosts := c.circuitHosts[att.CPU]
+	p := c.cpuPos(att.CPU)
+	if p < 0 {
+		return
+	}
+	hosts := c.circuitHosts[p]
 	for i, a := range hosts {
 		if a == att {
-			c.circuitHosts[att.CPU] = append(hosts[:i], hosts[i+1:]...)
+			c.circuitHosts[p] = append(hosts[:i], hosts[i+1:]...)
 			return
 		}
 	}
@@ -313,18 +316,17 @@ func (c *Controller) ReserveAccel(owner, bitstream string) (topo.BrickID, int, s
 	lat := c.cfg.DecisionLatency
 	pick := func() (topo.BrickID, bool) {
 		if c.cfg.Policy == PolicyFirstFit {
-			for _, id := range c.accelOrder {
-				if c.accels[id].FreeSlots() > 0 {
-					return id, true
+			for pos, a := range c.accels {
+				if a.FreeSlots() > 0 {
+					return c.accelOrder[pos], true
 				}
 			}
 			return topo.BrickID{}, false
 		}
 		for _, want := range []brick.PowerState{brick.PowerActive, brick.PowerIdle, brick.PowerOff} {
-			for _, id := range c.accelOrder {
-				a := c.accels[id]
+			for pos, a := range c.accels {
 				if a.State() == want && a.FreeSlots() > 0 {
-					return id, true
+					return c.accelOrder[pos], true
 				}
 			}
 		}
@@ -335,7 +337,7 @@ func (c *Controller) ReserveAccel(owner, bitstream string) (topo.BrickID, int, s
 		c.failures++
 		return topo.BrickID{}, 0, 0, fmt.Errorf("sdm: no accelerator slots free")
 	}
-	a := c.accels[id]
+	a := c.accels[c.accPos(id)]
 	if a.State() == brick.PowerOff {
 		a.PowerOn()
 		lat += c.cfg.BrickBoot
@@ -351,9 +353,9 @@ func (c *Controller) ReserveAccel(owner, bitstream string) (topo.BrickID, int, s
 
 // ReleaseAccel unbinds a slot.
 func (c *Controller) ReleaseAccel(id topo.BrickID, slot int) error {
-	a, ok := c.accels[id]
-	if !ok {
+	p := c.accPos(id)
+	if p < 0 {
 		return fmt.Errorf("sdm: no accel brick %v", id)
 	}
-	return a.Unbind(slot)
+	return c.accels[p].Unbind(slot)
 }

@@ -1,6 +1,7 @@
 package sdm
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/brick"
@@ -73,5 +74,97 @@ func TestRebalanceSweepAllocFree(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Fatalf("no-op rebalance sweep allocates %.0f/op, want 0", n)
+	}
+}
+
+// steadyChurn runs warmed admit→evict cycles over caller-held buffers
+// and returns the amortised allocations per full cycle. Every cycle
+// admits the same owners and evicts them again, so the schedulers'
+// arenas (attachments, circuits, segments), interned owner IDs and
+// batch scratch all reach steady state during the warm-up cycles.
+func steadyChurn(t *testing.T, admit func([]AdmitRequest, []AdmitResult) error,
+	evict func([]EvictRequest, []EvictResult) error, reqs []AdmitRequest, workers int) float64 {
+	t.Helper()
+	aout := make([]AdmitResult, len(reqs))
+	ereqs := make([]EvictRequest, len(reqs))
+	for i := range ereqs {
+		ereqs[i].Atts = make([]*Attachment, 1)
+	}
+	eout := make([]EvictResult, len(reqs))
+	cycle := func() {
+		if err := admit(reqs, aout); err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			ereqs[i] = EvictRequest{
+				Owner: reqs[i].Owner, CPU: aout[i].CPU, Rack: aout[i].Rack, Pod: aout[i].Pod,
+				VCPUs: reqs[i].VCPUs, LocalMem: reqs[i].LocalMem, Atts: ereqs[i].Atts,
+			}
+			ereqs[i].Atts[0] = aout[i].Att
+		}
+		if err := evict(ereqs, eout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		cycle() // warm arenas, interning tables and batch scratch
+	}
+	return testing.AllocsPerRun(10, cycle)
+}
+
+// TestAdmitEvictSteadyStateAllocFree pins the tentpole contract of the
+// dense-ID data plane: once warm, a steady admit→evict churn through
+// the group-commit engines allocates nothing per cycle at either tier,
+// under both placement policies, with speculation on and off. Serial
+// batches (workers=1) must be exactly alloc-free; the parallel paths
+// are covered separately with an amortised bound, since goroutine
+// fan-out itself allocates.
+func TestAdmitEvictSteadyStateAllocFree(t *testing.T) {
+	policies := []struct {
+		name string
+		pol  Policy
+	}{{"firstfit", PolicyFirstFit}, {"spread", PolicySpread}}
+	for _, pol := range policies {
+		for _, spec := range []bool{false, true} {
+			name := fmt.Sprintf("%s/nospec=%v", pol.name, spec)
+			t.Run("pod/"+name, func(t *testing.T) {
+				cfg := DefaultConfig
+				cfg.Policy = pol.pol
+				cfg.NoSpeculate = spec
+				s := buildBatchPod(t, 2, 4, 4, 8*brick.GiB, cfg)
+				reqs := make([]AdmitRequest, 6)
+				for i := range reqs {
+					reqs[i] = AdmitRequest{
+						Owner: fmt.Sprintf("churn-%d", i), VCPUs: 1, Remote: brick.GiB / 4,
+					}
+				}
+				n := steadyChurn(t,
+					func(r []AdmitRequest, o []AdmitResult) error { return s.AdmitBatchInto(r, o, 1) },
+					func(r []EvictRequest, o []EvictResult) error { return s.EvictBatchInto(r, o, 1) },
+					reqs, 1)
+				if n != 0 {
+					t.Fatalf("pod admit+evict cycle allocates %.1f/op, want 0", n)
+				}
+			})
+			t.Run("row/"+name, func(t *testing.T) {
+				cfg := DefaultConfig
+				cfg.Policy = pol.pol
+				cfg.NoSpeculate = spec
+				s := buildRowSched(t, 2, 2, 8*brick.GiB, cfg)
+				reqs := make([]AdmitRequest, 4)
+				for i := range reqs {
+					reqs[i] = AdmitRequest{
+						Owner: fmt.Sprintf("churn-%d", i), VCPUs: 1, Remote: brick.GiB / 4,
+					}
+				}
+				n := steadyChurn(t,
+					func(r []AdmitRequest, o []AdmitResult) error { return s.AdmitBatchInto(r, o, 1) },
+					func(r []EvictRequest, o []EvictResult) error { return s.EvictBatchInto(r, o, 1) },
+					reqs, 1)
+				if n != 0 {
+					t.Fatalf("row admit+evict cycle allocates %.1f/op, want 0", n)
+				}
+			})
+		}
 	}
 }

@@ -2,7 +2,6 @@ package sdm
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/brick"
 	"repro/internal/sim"
@@ -25,26 +24,26 @@ func (c *Controller) ReserveBareMetal(owner string) (topo.BrickID, sim.Duration,
 		return topo.BrickID{}, 0, fmt.Errorf("sdm: bare-metal reservation needs an owner")
 	}
 	lat := c.cfg.DecisionLatency
-	pick := func() (topo.BrickID, bool) {
+	pick := func() (int, bool) {
 		for _, want := range []brick.PowerState{brick.PowerIdle, brick.PowerOff} {
-			for _, id := range c.computeOrder {
-				n := c.computes[id]
-				if _, taken := c.bareMetal[id]; taken {
+			for pos, n := range c.computes {
+				if c.bareMetal[pos] != "" {
 					continue
 				}
 				if n.Brick.State() == want && n.Brick.IsIdle() {
-					return id, true
+					return pos, true
 				}
 			}
 		}
-		return topo.BrickID{}, false
+		return -1, false
 	}
-	id, ok := pick()
+	pos, ok := pick()
 	if !ok {
 		c.failures++
 		return topo.BrickID{}, 0, fmt.Errorf("sdm: no fully idle compute brick for bare-metal tenant %q", owner)
 	}
-	node := c.computes[id]
+	id := c.computeOrder[pos]
+	node := c.computes[pos]
 	if node.Brick.State() == brick.PowerOff {
 		node.Brick.PowerOn()
 		lat += c.cfg.BrickBoot
@@ -58,10 +57,8 @@ func (c *Controller) ReserveBareMetal(owner string) (topo.BrickID, sim.Duration,
 		c.failures++
 		return topo.BrickID{}, 0, err
 	}
-	if c.bareMetal == nil {
-		c.bareMetal = make(map[topo.BrickID]string)
-	}
-	c.bareMetal[id] = owner
+	c.bareMetal[pos] = owner
+	c.bareMetalCount++
 	c.touchCompute(id)
 	return id, lat, nil
 }
@@ -69,14 +66,20 @@ func (c *Controller) ReserveBareMetal(owner string) (topo.BrickID, sim.Duration,
 // ReleaseBareMetal returns a bare-metal brick to the pool. Any remote
 // memory the tenant attached must be detached first.
 func (c *Controller) ReleaseBareMetal(id topo.BrickID) error {
-	owner, ok := c.bareMetal[id]
-	if !ok {
+	pos := c.cpuPos(id)
+	var owner string
+	if pos >= 0 {
+		owner = c.bareMetal[pos]
+	}
+	if owner == "" {
 		return fmt.Errorf("sdm: brick %v is not a bare-metal reservation", id)
 	}
-	if n := len(c.attachments[owner]); n > 0 {
-		return fmt.Errorf("sdm: bare-metal tenant %q still holds %d attachments", owner, n)
+	if oid, ok := c.ownerIDs[owner]; ok {
+		if n := len(c.attachments[oid]); n > 0 {
+			return fmt.Errorf("sdm: bare-metal tenant %q still holds %d attachments", owner, n)
+		}
 	}
-	node := c.computes[id]
+	node := c.computes[pos]
 	if err := node.Brick.FreeCoresBack(node.Brick.Cores); err != nil {
 		return err
 	}
@@ -84,7 +87,8 @@ func (c *Controller) ReleaseBareMetal(id topo.BrickID) error {
 		c.touchCompute(id)
 		return err
 	}
-	delete(c.bareMetal, id)
+	c.bareMetal[pos] = ""
+	c.bareMetalCount--
 	c.touchCompute(id)
 	return nil
 }
@@ -92,14 +96,11 @@ func (c *Controller) ReleaseBareMetal(id topo.BrickID) error {
 // BareMetalTenants returns the live bare-metal reservations in brick
 // order.
 func (c *Controller) BareMetalTenants() map[topo.BrickID]string {
-	out := make(map[topo.BrickID]string, len(c.bareMetal))
-	ids := make([]topo.BrickID, 0, len(c.bareMetal))
-	for id := range c.bareMetal {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
-	for _, id := range ids {
-		out[id] = c.bareMetal[id]
+	out := make(map[topo.BrickID]string, c.bareMetalCount)
+	for pos, owner := range c.bareMetal {
+		if owner != "" {
+			out[c.computeOrder[pos]] = owner
+		}
 	}
 	return out
 }

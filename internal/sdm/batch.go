@@ -153,14 +153,14 @@ func (c *Controller) logBootMem(id topo.BrickID) {
 func (c *Controller) rollbackBoots() {
 	for i := len(c.bootCPULog) - 1; i >= 0; i-- {
 		id := c.bootCPULog[i]
-		if n := c.computes[id]; n.Brick.State() != brick.PowerOff && n.Brick.IsIdle() {
+		if n := c.compute(id); n.Brick.State() != brick.PowerOff && n.Brick.IsIdle() {
 			n.Brick.PowerDown()
 			c.touchCompute(id)
 		}
 	}
 	for i := len(c.bootMemLog) - 1; i >= 0; i-- {
 		id := c.bootMemLog[i]
-		if m := c.memories[id]; m.State() != brick.PowerOff && m.IsIdle() {
+		if m := c.memory(id); m.State() != brick.PowerOff && m.IsIdle() {
 			m.PowerDown()
 			c.touchMemory(id)
 		}
@@ -232,7 +232,7 @@ func (c *Controller) batchPickCompute(vcpus int, localMem brick.Bytes) (topo.Bri
 	c.flushDirtyCPU()
 	id, ok := c.pickComputeIndexed(vcpus, localMem, -1)
 	if ok && c.cfg.Policy != PolicySpread {
-		b.cpuCache = pickCache{valid: true, pos: c.cpuPos[id], minA: minA, minB: minB}
+		b.cpuCache = pickCache{valid: true, pos: c.cpuPos(id), minA: minA, minB: minB}
 	} else {
 		b.cpuCache.valid = false
 	}
@@ -254,7 +254,7 @@ func (c *Controller) batchPickMemory(size brick.Bytes) (topo.BrickID, bool) {
 	c.flushDirtyMem()
 	id, ok := c.pickMemoryIndexed(size)
 	if ok && c.cfg.Policy != PolicySpread {
-		b.memCache = pickCache{valid: true, pos: c.memPos[id], minA: minA, minB: minB}
+		b.memCache = pickCache{valid: true, pos: c.memPos(id), minA: minA, minB: minB}
 	} else {
 		b.memCache.valid = false
 	}
@@ -303,7 +303,7 @@ func (c *Controller) admitOne(req *AdmitRequest, res *AdmitResult, pod bool) {
 			res.Err = fmt.Errorf("sdm: empty admission for %q: no vCPUs and no remote memory", req.Owner)
 			return
 		}
-		if _, ok := c.computes[cpu]; !ok {
+		if c.cpuPos(cpu) < 0 {
 			res.Err = fmt.Errorf("sdm: no compute brick %v", cpu)
 			return
 		}
@@ -341,7 +341,7 @@ func (c *Controller) admitOne(req *AdmitRequest, res *AdmitResult, pod bool) {
 
 // releaseComputeBatch undoes one batch compute reservation in place.
 func (c *Controller) releaseComputeBatch(id topo.BrickID, vcpus int, localMem brick.Bytes) {
-	node := c.computes[id]
+	node := c.compute(id)
 	node.Brick.FreeCoresBack(vcpus)
 	if localMem > 0 {
 		node.Brick.FreeLocal(localMem)
@@ -389,7 +389,7 @@ func (c *Controller) batchReserveCompute(owner string, vcpus int, localMem brick
 		c.failures++
 		return topo.BrickID{}, 0, fmt.Errorf("sdm: no compute brick with %d free cores and %v local memory", vcpus, localMem)
 	}
-	node := c.computes[id]
+	node := c.compute(id)
 	if node.Brick.State() == brick.PowerOff {
 		node.Brick.PowerOn()
 		lat += c.cfg.BrickBoot
@@ -420,11 +420,12 @@ func (c *Controller) batchReserveCompute(owner string, vcpus int, localMem brick
 // one merged commit with explicit reverse-order unwinding.
 func (c *Controller) batchAttachLocal(owner string, cpu topo.BrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
 	c.requests++
-	node, ok := c.computes[cpu]
-	if !ok {
+	cpuOrd := c.cpuPos(cpu)
+	if cpuOrd < 0 {
 		c.failures++
 		return nil, 0, fmt.Errorf("sdm: no compute brick %v", cpu)
 	}
+	node := c.computes[cpuOrd]
 	if size == 0 {
 		c.failures++
 		return nil, 0, fmt.Errorf("sdm: zero-size attachment")
@@ -434,6 +435,7 @@ func (c *Controller) batchAttachLocal(owner string, cpu topo.BrickID, size brick
 		m         *brick.Memory
 		memID     topo.BrickID
 		memChosen bool
+		ok        bool
 	)
 	// The op's touch hooks, deferred so every exit marks both endpoints
 	// dirty exactly as Commit would have touched them.
@@ -471,7 +473,7 @@ func (c *Controller) batchAttachLocal(owner string, cpu topo.BrickID, size brick
 		fallback = true
 		return fail(fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port", size))
 	}
-	m, memChosen = c.memories[memID], true
+	m, memChosen = c.memory(memID), true
 	if m.State() == brick.PowerOff {
 		m.PowerOn()
 		lat += c.cfg.BrickBoot
@@ -542,18 +544,18 @@ func (c *Controller) batchAttachLocal(owner string, cpu topo.BrickID, size brick
 	}
 	node.nextWindow += uint64(size)
 	lat += c.cfg.AgentRTT
-	// Registration — final and infallible.
-	att := &Attachment{
-		Owner:   owner,
-		CPU:     cpu,
-		Segment: seg,
-		Circuit: circuit,
-		CPUPort: cpuPort,
-		MemPort: memPort,
-		Window:  window,
-		Mode:    ModeCircuit,
-	}
-	c.attachments[owner] = append(c.attachments[owner], att)
-	c.circuitHosts[cpu] = append(c.circuitHosts[cpu], att)
+	// Registration — final and infallible. The attachment comes from the
+	// rack's arena, so steady-state batch churn allocates no objects.
+	att := c.newAttachment()
+	att.Owner = owner
+	att.CPU = cpu
+	att.Segment = seg
+	att.Circuit = circuit
+	att.CPUPort = cpuPort
+	att.MemPort = memPort
+	att.Window = window
+	att.Mode = ModeCircuit
+	c.register(att)
+	c.circuitHosts[cpuOrd] = append(c.circuitHosts[cpuOrd], att)
 	return att, lat, nil
 }

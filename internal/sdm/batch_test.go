@@ -13,7 +13,7 @@ import (
 
 // buildBatchPod assembles a pod with several bricks per rack for batch
 // admission tests.
-func buildBatchPod(t *testing.T, racks, computes, memories int, memCap brick.Bytes, cfg Config) *PodScheduler {
+func buildBatchPod(t testing.TB, racks, computes, memories int, memCap brick.Bytes, cfg Config) *PodScheduler {
 	t.Helper()
 	pod, err := topo.BuildPod(racks, topo.BuildSpec{
 		Trays: 1, ComputePerTray: computes, MemoryPerTray: memories, AccelPerTray: 0, PortsPerBrick: 8,
@@ -359,8 +359,8 @@ func snapPodBatch(s *PodScheduler) podBatchSnap {
 		snap.circuits = append(snap.circuits, r.fabric.LiveCircuits())
 		snap.freeUplinks = append(snap.freeUplinks, s.fabric.FreeUplinks(i))
 	}
-	for el := s.crossOrder.Front(); el != nil; el = el.Next() {
-		snap.crossOrder = append(snap.crossOrder, el.Value.(*Attachment))
+	for att := s.cross.head; att != nil; att = att.crossNext {
+		snap.crossOrder = append(snap.crossOrder, att)
 	}
 	snap.attachSeq = s.attachSeq
 	snap.crossCircuit = s.fabric.CrossCircuits()
@@ -429,7 +429,7 @@ func TestAdmitBatchRollbackRestoresState(t *testing.T) {
 				t.Fatal(err)
 			}
 			pre = append(pre, more...)
-			if s.crossOrder.Len() == 0 {
+			if s.cross.n == 0 {
 				t.Fatal("pre-population produced no cross-rack spills; the rollback test needs live crossOrder entries")
 			}
 

@@ -65,11 +65,11 @@ type ConsolidationReport struct {
 // compute consumer and no bare-metal tenant lives there, so the only
 // thing keeping it up is remote memory parked by other racks.
 func (c *Controller) drainable() bool {
-	if len(c.bareMetal) > 0 {
+	if c.bareMetalCount > 0 {
 		return false
 	}
-	for _, id := range c.computeOrder {
-		if !c.computes[id].Brick.IsIdle() {
+	for _, n := range c.computes {
+		if !n.Brick.IsIdle() {
 			return false
 		}
 	}
@@ -78,8 +78,8 @@ func (c *Controller) drainable() bool {
 
 // usedMemory reports whether any pooled-memory brick holds segments.
 func (c *Controller) usedMemory() bool {
-	for _, id := range c.memoryOrder {
-		if !c.memories[id].IsIdle() {
+	for _, m := range c.memories {
+		if !m.IsIdle() {
 			return true
 		}
 	}
@@ -105,11 +105,11 @@ func (s *PodScheduler) Consolidate(now sim.Time) ConsolidationReport {
 		if !rack.drainable() || !rack.usedMemory() {
 			continue
 		}
-		// Snapshot the spills parked on this rack (re-homes mutate
-		// crossOrder), reusing the rebalancer's scratch buffer.
+		// Snapshot the spills parked on this rack (re-homes mutate the
+		// cross walk order), reusing the rebalancer's scratch buffer.
 		snapshot := s.rebalScratch[:0]
-		for el := s.crossOrder.Front(); el != nil; el = el.Next() {
-			if att := el.Value.(*Attachment); att.MemRack == d {
+		for att := s.cross.head; att != nil; att = att.crossNext {
+			if att.MemRack == d {
 				snapshot = append(snapshot, att)
 			}
 		}
@@ -120,7 +120,7 @@ func (s *PodScheduler) Consolidate(now sim.Time) ConsolidationReport {
 				rep.SkippedPacket++
 				continue
 			}
-			if s.riders[att.Circuit] > 0 {
+			if att.Circuit.Riders > 0 {
 				rep.SkippedRiders++
 				continue
 			}

@@ -377,7 +377,7 @@ func (t *placementIndex) stateCounts() [nStates]int32 {
 // computeStat reads the capacity vector of the compute brick at one
 // order position.
 func (c *Controller) computeStat(pos int) pstat {
-	b := c.computes[c.computeOrder[pos]].Brick
+	b := c.computes[pos].Brick
 	return pstat{
 		state: b.State(),
 		fitA:  int64(b.FreeCores()),
@@ -390,7 +390,7 @@ func (c *Controller) computeStat(pos int) pstat {
 // memoryStat reads the capacity vector of the memory brick at one
 // order position.
 func (c *Controller) memoryStat(pos int) pstat {
-	m := c.memories[c.memoryOrder[pos]]
+	m := c.memories[pos]
 	return pstat{
 		state: m.State(),
 		fitA:  int64(m.LargestGap()),
@@ -401,16 +401,9 @@ func (c *Controller) memoryStat(pos int) pstat {
 }
 
 // buildIndexes constructs both placement indexes; called once the
-// brick orders are final.
+// brick orders are final. (The [tray][slot] → ordinal pos tables are
+// built alongside the orders in NewController.)
 func (c *Controller) buildIndexes() {
-	c.cpuPos = make(map[topo.BrickID]int, len(c.computeOrder))
-	for i, id := range c.computeOrder {
-		c.cpuPos[id] = i
-	}
-	c.memPos = make(map[topo.BrickID]int, len(c.memoryOrder))
-	for i, id := range c.memoryOrder {
-		c.memPos[id] = i
-	}
 	c.cpuIdx = newPlacementIndex(len(c.computeOrder), c.computeStat)
 	c.memIdx = newPlacementIndex(len(c.memoryOrder), c.memoryStat)
 }
@@ -424,8 +417,8 @@ func (c *Controller) touchCompute(id topo.BrickID) {
 	if c.cfg.Scan == ScanLinear {
 		return
 	}
-	pos, ok := c.cpuPos[id]
-	if !ok {
+	pos := c.cpuPos(id)
+	if pos < 0 {
 		return
 	}
 	if b := c.batch; b != nil && b.active {
@@ -445,8 +438,8 @@ func (c *Controller) touchMemory(id topo.BrickID) {
 	if c.cfg.Scan == ScanLinear {
 		return
 	}
-	pos, ok := c.memPos[id]
-	if !ok {
+	pos := c.memPos(id)
+	if pos < 0 {
 		return
 	}
 	if b := c.batch; b != nil && b.active {
@@ -489,8 +482,8 @@ func (c *Controller) CanPlaceCompute(vcpus int, localMem brick.Bytes) bool {
 func (c *Controller) MaxMemoryGap() brick.Bytes {
 	if c.cfg.Scan == ScanLinear {
 		var best brick.Bytes
-		for _, id := range c.memoryOrder {
-			if g := c.memories[id].LargestGapScan(); g > best {
+		for _, m := range c.memories {
+			if g := m.LargestGapScan(); g > best {
 				best = g
 			}
 		}

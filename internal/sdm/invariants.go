@@ -20,6 +20,7 @@ func (s *PodScheduler) CheckInvariants() error {
 	liveSegs := make(map[*brick.Segment]*Attachment)
 	crossRegistered := 0
 	podRiders := make(map[*optical.Circuit]int)
+	podCircuits := make(map[*optical.Circuit]bool)
 	for ri, r := range s.racks {
 		if r.batch != nil && r.batch.active {
 			return fmt.Errorf("rack %d: invariants checked mid-batch", ri)
@@ -28,11 +29,16 @@ func (s *PodScheduler) CheckInvariants() error {
 			return err
 		}
 		rackRiders := make(map[*optical.Circuit]int)
+		rackCircuits := make(map[*optical.Circuit]bool)
 		hostSeen := make(map[*Attachment]bool)
-		for owner, list := range r.attachments {
+		for oid, list := range r.attachments {
+			owner := r.owners[oid]
 			for _, att := range list {
 				if att.Owner != owner {
 					return fmt.Errorf("rack %d: attachment of %q registered under %q", ri, att.Owner, owner)
+				}
+				if int(att.ownerID) != oid {
+					return fmt.Errorf("rack %d: attachment of %q carries owner id %d, registered at %d", ri, att.Owner, att.ownerID, oid)
 				}
 				if prev, dup := liveSegs[att.Segment]; dup {
 					return fmt.Errorf("rack %d: segment %v+%v owned by both %q and %q", ri, att.Segment.Offset, att.Segment.Size, prev.Owner, att.Owner)
@@ -46,23 +52,25 @@ func (s *PodScheduler) CheckInvariants() error {
 						return fmt.Errorf("rack %d: cross attachment of %q registered off its compute rack %d", ri, att.Owner, att.CPURack)
 					}
 					crossRegistered++
-					if _, ok := s.crossElem[att]; !ok {
-						return fmt.Errorf("rack %d: cross attachment of %q missing from crossOrder", ri, att.Owner)
+					if !s.cross.contains(att) {
+						return fmt.Errorf("rack %d: cross attachment of %q missing from the cross walk order", ri, att.Owner)
 					}
 					if att.Mode == ModePacket {
 						podRiders[att.Circuit]++
 					}
+					podCircuits[att.Circuit] = true
 					continue
 				}
 				if att.CPURack != att.MemRack {
 					return fmt.Errorf("rack %d: attachment of %q spans racks %d→%d without a pod tag", ri, att.Owner, att.CPURack, att.MemRack)
 				}
+				rackCircuits[att.Circuit] = true
 				if att.Mode == ModePacket {
 					rackRiders[att.Circuit]++
 					continue
 				}
 				found := false
-				for _, h := range r.circuitHosts[att.CPU] {
+				for _, h := range r.circuitHosts[r.cpuPos(att.CPU)] {
 					if h == att {
 						if found {
 							return fmt.Errorf("rack %d: attachment of %q twice in circuitHosts", ri, att.Owner)
@@ -77,74 +85,59 @@ func (s *PodScheduler) CheckInvariants() error {
 			}
 		}
 		// circuitHosts carries no stale entries.
-		for cpu, hosts := range r.circuitHosts {
+		for ord, hosts := range r.circuitHosts {
 			for _, h := range hosts {
 				if !hostSeen[h] {
-					return fmt.Errorf("rack %d: orphaned circuitHosts entry for %q on %v", ri, h.Owner, cpu)
+					return fmt.Errorf("rack %d: orphaned circuitHosts entry for %q on %v", ri, h.Owner, r.computeOrder[ord])
 				}
 			}
 		}
 		// Rider counts match the packet attachments per circuit.
-		for circuit, n := range r.riders {
-			if rackRiders[circuit] != n {
-				return fmt.Errorf("rack %d: rider count %d on a circuit with %d live packet attachments", ri, n, rackRiders[circuit])
-			}
-			delete(rackRiders, circuit)
-		}
-		for _, n := range rackRiders {
-			if n > 0 {
-				return fmt.Errorf("rack %d: %d packet attachments ride an untracked circuit", ri, n)
+		for circuit := range rackCircuits {
+			if circuit.Riders != rackRiders[circuit] {
+				return fmt.Errorf("rack %d: rider count %d on a circuit with %d live packet attachments", ri, circuit.Riders, rackRiders[circuit])
 			}
 		}
 	}
 
 	// Pod rider counts.
-	for circuit, n := range s.riders {
-		if podRiders[circuit] != n {
-			return fmt.Errorf("pod: rider count %d on a cross circuit with %d live packet attachments", n, podRiders[circuit])
-		}
-		delete(podRiders, circuit)
-	}
-	for _, n := range podRiders {
-		if n > 0 {
-			return fmt.Errorf("pod: %d packet attachments ride an untracked cross circuit", n)
+	for circuit := range podCircuits {
+		if circuit.Riders != podRiders[circuit] {
+			return fmt.Errorf("pod: rider count %d on a cross circuit with %d live packet attachments", circuit.Riders, podRiders[circuit])
 		}
 	}
 
-	// crossOrder: every element live, seq strictly increasing, bounded
-	// by attachSeq, indexed by crossElem, and nothing registered is
-	// missing (checked above) or extra (checked here by count).
+	// The cross walk order: every element live, seq strictly increasing,
+	// bounded by attachSeq, and nothing registered is missing (checked
+	// above) or extra (checked here by count).
 	var lastSeq uint64
 	n := 0
-	for el := s.crossOrder.Front(); el != nil; el = el.Next() {
-		att := el.Value.(*Attachment)
+	for att := s.cross.head; att != nil; att = att.crossNext {
 		n++
 		if att.seq <= lastSeq {
-			return fmt.Errorf("pod: crossOrder seq %d after %d — walk order corrupted", att.seq, lastSeq)
+			return fmt.Errorf("pod: cross walk seq %d after %d — walk order corrupted", att.seq, lastSeq)
 		}
 		lastSeq = att.seq
 		if att.seq > s.attachSeq {
-			return fmt.Errorf("pod: crossOrder seq %d exceeds attachSeq %d", att.seq, s.attachSeq)
-		}
-		if s.crossElem[att] != el {
-			return fmt.Errorf("pod: crossElem out of sync for %q", att.Owner)
+			return fmt.Errorf("pod: cross walk seq %d exceeds attachSeq %d", att.seq, s.attachSeq)
 		}
 		if _, ok := liveSegs[att.Segment]; !ok {
-			return fmt.Errorf("pod: crossOrder entry for %q is not a registered attachment", att.Owner)
+			return fmt.Errorf("pod: cross walk entry for %q is not a registered attachment", att.Owner)
 		}
 	}
 	if n != crossRegistered {
-		return fmt.Errorf("pod: %d crossOrder entries but %d registered cross attachments", n, crossRegistered)
+		return fmt.Errorf("pod: %d cross walk entries but %d registered cross attachments", n, crossRegistered)
 	}
-	if len(s.crossElem) != n {
-		return fmt.Errorf("pod: %d crossElem entries for %d crossOrder elements", len(s.crossElem), n)
+	if s.cross.n != n {
+		return fmt.Errorf("pod: cross walk length %d but %d elements counted", s.cross.n, n)
 	}
 
 	// Ground-truth segment scan: every carved segment belongs to exactly
 	// one live attachment, and every live attachment's segment is carved.
 	for ri, r := range s.racks {
-		for _, id := range r.memoryOrder {
-			for _, seg := range r.memories[id].Segments() {
+		for pos, m := range r.memories {
+			id := r.memoryOrder[pos]
+			for _, seg := range m.Segments() {
 				att, ok := liveSegs[seg]
 				if !ok {
 					return fmt.Errorf("rack %d: orphaned segment %v+%v owned by %q on %v", ri, seg.Offset, seg.Size, seg.Owner, id)
@@ -168,8 +161,9 @@ func (s *PodScheduler) CheckInvariants() error {
 // states against ground-truth scans.
 func (c *Controller) checkRack(ri int) error {
 	coreScan := 0
-	for _, id := range c.computeOrder {
-		b := c.computes[id].Brick
+	for pos, node := range c.computes {
+		id := c.computeOrder[pos]
+		b := node.Brick
 		coreScan += b.FreeCores()
 		if !b.IsIdle() && b.State() != brick.PowerActive {
 			return fmt.Errorf("rack %d: compute %v has allocations but state %v", ri, id, b.State())
@@ -182,8 +176,8 @@ func (c *Controller) checkRack(ri int) error {
 		return fmt.Errorf("rack %d: index root says %d free cores, scan says %d", ri, got, coreScan)
 	}
 	var memScan, maxGapScan brick.Bytes
-	for _, id := range c.memoryOrder {
-		m := c.memories[id]
+	for pos, m := range c.memories {
+		id := c.memoryOrder[pos]
 		memScan += m.Free()
 		if g := m.LargestGapScan(); g != m.LargestGap() {
 			return fmt.Errorf("rack %d: memory %v gap cache %v diverged from scan %v", ri, id, m.LargestGap(), g)

@@ -228,9 +228,24 @@ func (c *Controller) CanRepoint(att *Attachment) error {
 	return nil
 }
 
-// registered locates an attachment in its owner's live list.
+// register interns the owner and appends the attachment to its live
+// list, stamping the dense ownerID every later registry access keys by.
+func (c *Controller) register(att *Attachment) {
+	id := c.internOwner(att.Owner)
+	att.ownerID = id
+	c.attachments[id] = append(c.attachments[id], att)
+}
+
+// registered locates an attachment in its owner's live list. An
+// attachment registered elsewhere scans (at worst) a different owner's
+// list and is correctly not found — the pointer identity check makes a
+// stale ownerID safe.
 func (c *Controller) registered(att *Attachment) bool {
-	for _, a := range c.attachments[att.Owner] {
+	id := int(att.ownerID)
+	if id < 0 || id >= len(c.attachments) {
+		return false
+	}
+	for _, a := range c.attachments[id] {
 		if a == att {
 			return true
 		}
@@ -240,10 +255,14 @@ func (c *Controller) registered(att *Attachment) bool {
 
 // unregister removes an attachment from its owner's live list.
 func (c *Controller) unregister(att *Attachment) {
-	list := c.attachments[att.Owner]
+	id := int(att.ownerID)
+	if id < 0 || id >= len(c.attachments) {
+		return
+	}
+	list := c.attachments[id]
 	for i, a := range list {
 		if a == att {
-			c.attachments[att.Owner] = append(list[:i], list[i+1:]...)
+			c.attachments[id] = append(list[:i], list[i+1:]...)
 			return
 		}
 	}
@@ -273,8 +292,8 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 	register func(att *Attachment, memRack int)) *AttachmentOp {
 
 	op := newOp(OpAttach)
-	node, ok := rackA.computes[cpu]
-	if !ok {
+	node := rackA.compute(cpu)
+	if node == nil {
 		op.err = fmt.Errorf("sdm: no compute brick %v", cpu)
 		return op
 	}
@@ -319,7 +338,7 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 			op.fallback = exhausted
 			return 0, err
 		}
-		m = chosen.rack.memories[chosen.brick]
+		m = chosen.rack.memory(chosen.brick)
 		if m.State() == brick.PowerOff {
 			m.PowerOn()
 			chosen.rack.logBootMem(chosen.brick)
@@ -406,18 +425,19 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 		node.nextWindow += uint64(size)
 		return cfg.AgentRTT, nil
 	}, func() error { return node.Agent.Glue.Detach(window.Base) })
-	// Registration — final and infallible.
+	// Registration — final and infallible. The attachment comes from the
+	// compute rack's arena, so steady-state churn allocates no objects.
 	op.step(func() (sim.Duration, error) {
-		op.att = &Attachment{
-			Owner:   owner,
-			CPU:     cpu,
-			Segment: seg,
-			Circuit: circuit,
-			CPUPort: cpuPort,
-			MemPort: memPort,
-			Window:  window,
-			Mode:    ModeCircuit,
-		}
+		att := rackA.newAttachment()
+		att.Owner = owner
+		att.CPU = cpu
+		att.Segment = seg
+		att.Circuit = circuit
+		att.CPUPort = cpuPort
+		att.MemPort = memPort
+		att.Window = window
+		att.Mode = ModeCircuit
+		op.att = att
 		register(op.att, chosen.rackIdx)
 		return 0, nil
 	}, nil)
@@ -430,8 +450,8 @@ func planAttach(cfg Config, owner string, size brick.Bytes,
 // thin caller's job; t carries the attachment's circuit tier.
 func planDetach(cfg Config, att *Attachment, rackA, rackB *Controller, t connector, unregister func()) *AttachmentOp {
 	op := newOp(OpDetach)
-	node := rackA.computes[att.CPU]
-	m := rackB.memories[att.Segment.Brick]
+	node := rackA.compute(att.CPU)
+	m := rackB.memory(att.Segment.Brick)
 	op.charge(cfg.DecisionLatency)
 	cpu, memID := att.CPU, att.Segment.Brick
 	op.touch(func() { rackA.touchCompute(cpu) })
@@ -481,9 +501,9 @@ func planRepoint(cfg Config, att *Attachment,
 	move func(newCPUPort topo.PortID, circuit *optical.Circuit, window tgl.Entry)) *AttachmentOp {
 
 	op := newOp(OpRepoint)
-	oldNode := oldRack.computes[att.CPU]
-	newNode, ok := newRack.computes[newCPU]
-	if !ok {
+	oldNode := oldRack.compute(att.CPU)
+	newNode := newRack.compute(newCPU)
+	if newNode == nil {
 		op.err = fmt.Errorf("sdm: no compute brick %v", newCPU)
 		return op
 	}
@@ -579,8 +599,8 @@ func planRehome(kind OpKind, cfg Config, att *Attachment,
 	move func(newMem topo.BrickID, seg *brick.Segment, memPort topo.PortID, circuit *optical.Circuit, window tgl.Entry)) *AttachmentOp {
 
 	op := newOp(kind)
-	node := rackA.computes[att.CPU]
-	oldMem := oldMemRack.memories[att.Segment.Brick]
+	node := rackA.compute(att.CPU)
+	oldMem := oldMemRack.memory(att.Segment.Brick)
 	op.charge(cfg.DecisionLatency)
 	oldMemID := att.Segment.Brick
 	op.touch(func() { oldMemRack.touchMemory(oldMemID) })
@@ -606,7 +626,7 @@ func planRehome(kind OpKind, cfg Config, att *Attachment,
 			return 0, fmt.Errorf("sdm: no memory brick with %v contiguous free and a spare port to re-home %q", att.Size(), att.Owner)
 		}
 		newMemID = id
-		m = newMemRack.memories[id]
+		m = newMemRack.memory(id)
 		if m.State() == brick.PowerOff {
 			m.PowerOn()
 			return cfg.BrickBoot, nil

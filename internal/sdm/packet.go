@@ -37,13 +37,13 @@ func (m AttachMode) String() string {
 // is much faster on the control plane — the datapath pays instead (see
 // pktnet.RoundTrip vs. CircuitRoundTrip).
 func (c *Controller) attachPacket(owner string, cpu topo.BrickID, size brick.Bytes) (*Attachment, sim.Duration, error) {
-	node := c.computes[cpu]
+	node := c.compute(cpu)
 	// Find a host circuit: any live circuit-mode attachment from this
 	// compute brick to a memory brick with room. Iterate deterministically
 	// over this brick's live circuit attachments.
 	var host *Attachment
-	for _, a := range c.circuitHosts[cpu] {
-		m := c.memories[a.Segment.Brick]
+	for _, a := range c.circuitHosts[c.cpuPos(cpu)] {
+		m := c.memory(a.Segment.Brick)
 		if m.LargestGap() >= size {
 			host = a
 			break
@@ -52,7 +52,7 @@ func (c *Controller) attachPacket(owner string, cpu topo.BrickID, size brick.Byt
 	if host == nil {
 		return nil, 0, fmt.Errorf("sdm: packet fallback: no live circuit from %v to a memory brick with %v contiguous free", cpu, size)
 	}
-	m := c.memories[host.Segment.Brick]
+	m := c.memory(host.Segment.Brick)
 	seg, err := m.Carve(size, owner)
 	if err != nil {
 		return nil, 0, err
@@ -70,18 +70,17 @@ func (c *Controller) attachPacket(owner string, cpu topo.BrickID, size brick.Byt
 	}
 	node.nextWindow += window.Size
 
-	att := &Attachment{
-		Owner:   owner,
-		CPU:     cpu,
-		Segment: seg,
-		Circuit: host.Circuit,
-		CPUPort: host.CPUPort,
-		MemPort: host.MemPort,
-		Window:  window,
-		Mode:    ModePacket,
-	}
-	c.riders[host.Circuit]++
-	c.attachments[owner] = append(c.attachments[owner], att)
+	att := c.newAttachment()
+	att.Owner = owner
+	att.CPU = cpu
+	att.Segment = seg
+	att.Circuit = host.Circuit
+	att.CPUPort = host.CPUPort
+	att.MemPort = host.MemPort
+	att.Window = window
+	att.Mode = ModePacket
+	host.Circuit.Riders++
+	c.register(att)
 	c.touchMemory(host.Segment.Brick)
 	// Two lookup-table pushes: compute-brick switch and memory-brick
 	// glue, plus the decision that found the host circuit.
@@ -90,8 +89,9 @@ func (c *Controller) attachPacket(owner string, cpu topo.BrickID, size brick.Byt
 
 // detachPacket releases a packet-mode attachment.
 func (c *Controller) detachPacket(att *Attachment, idx int) (sim.Duration, error) {
-	node := c.computes[att.CPU]
-	m := c.memories[att.Segment.Brick]
+	node := c.compute(att.CPU)
+	memID := att.Segment.Brick
+	m := c.memory(memID)
 	if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
 		c.failures++
 		return 0, err
@@ -100,22 +100,18 @@ func (c *Controller) detachPacket(att *Attachment, idx int) (sim.Duration, error
 		c.failures++
 		return 0, err
 	}
-	c.riders[att.Circuit]--
-	if c.riders[att.Circuit] <= 0 {
-		delete(c.riders, att.Circuit)
+	if att.Circuit.Riders > 0 {
+		att.Circuit.Riders--
 	}
-	list := c.attachments[att.Owner]
-	c.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
-	c.touchMemory(att.Segment.Brick)
+	list := c.attachments[att.ownerID]
+	c.attachments[att.ownerID] = append(list[:idx], list[idx+1:]...)
+	c.touchMemory(memID)
 	return c.cfg.DecisionLatency + 2*c.cfg.AgentRTT, nil
 }
 
 // Riders returns how many packet-mode attachments share the circuit of
-// the given circuit-mode attachment. Cross-rack circuits keep their
-// rider count at the pod tier.
+// the given circuit-mode attachment. The count lives on the circuit
+// itself regardless of which tier owns it.
 func (c *Controller) Riders(att *Attachment) int {
-	if att.cross != nil {
-		return att.cross.riders[att.Circuit]
-	}
-	return c.riders[att.Circuit]
+	return att.Circuit.Riders
 }

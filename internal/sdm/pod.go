@@ -1,7 +1,6 @@
 package sdm
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/brick"
@@ -37,20 +36,17 @@ type PodScheduler struct {
 	fabric *optical.PodFabric
 	racks  []*Controller
 
-	// riders counts packet-mode attachments sharing each cross-rack
-	// circuit; crossHosts indexes cross-rack circuit attachments by
-	// compute brick for the pod-tier packet fallback.
-	riders     map[*optical.Circuit]int
-	crossHosts map[topo.PodBrickID][]*Attachment
+	// crossHosts indexes cross-rack circuit attachments by compute brick
+	// — [rack][compute ordinal] — for the pod-tier packet fallback.
+	// (Packet-rider counts live on the circuits: optical.Circuit.Riders.)
+	crossHosts [][][]*Attachment
 
-	// crossOrder lists every live cross-rack attachment in spill order
-	// (each stamped with a seq from attachSeq) — the oldest-first walk
-	// order of the rebalancer. crossElem indexes each attachment's list
-	// element so Repoint/Rebalance/detach remove in O(1) instead of
-	// walking every live spill.
-	crossOrder *list.List
-	crossElem  map[*Attachment]*list.Element
-	attachSeq  uint64
+	// cross lists every live cross-rack attachment in spill order (each
+	// stamped with a seq from attachSeq) — the oldest-first walk order of
+	// the rebalancer, threaded intrusively through the attachments so
+	// Repoint/Rebalance/detach remove in O(1) with no pointer-keyed map.
+	cross     crossList
+	attachSeq uint64
 
 	// tierConns caches the cross-rack connectors per rack pair (see
 	// tier in lifecycle.go).
@@ -72,6 +68,17 @@ type PodScheduler struct {
 	// group commits (see speculate.go); row-driven shard calls never
 	// touch it, so pod- and row-tier batches cannot collide on it.
 	spec specScratch
+	// fo is the reusable fan-out scratch behind forEachRack and the
+	// speculation passes; a pod's phases run sequentially, so one
+	// instance suffices (see fanout.go).
+	fo fanout
+	// admitWave and evictWave are the batch engines' commit-wave
+	// closures, built once at construction: they read each batch's
+	// shard ranges through the reused scratch, so a serial batch
+	// creates no closure per call (a fan-out fn escapes into the
+	// fanout scratch and would otherwise heap-allocate every batch).
+	admitWave func(r int)
+	evictWave func(r int)
 
 	requests uint64
 	failures uint64
@@ -92,13 +99,9 @@ func NewPodScheduler(pod *topo.Pod, fabric *optical.PodFabric, bc BrickConfigs, 
 		return nil, fmt.Errorf("sdm: pod has %d racks but the fabric has %d", pod.Racks(), fabric.Racks())
 	}
 	s := &PodScheduler{
-		cfg:        cfg,
-		pod:        pod,
-		fabric:     fabric,
-		riders:     make(map[*optical.Circuit]int),
-		crossHosts: make(map[topo.PodBrickID][]*Attachment),
-		crossOrder: list.New(),
-		crossElem:  make(map[*Attachment]*list.Element),
+		cfg:    cfg,
+		pod:    pod,
+		fabric: fabric,
 	}
 	for i := 0; i < pod.Racks(); i++ {
 		c, err := NewController(pod.Rack(i), fabric.Rack(i), bc, cfg)
@@ -106,6 +109,18 @@ func NewPodScheduler(pod *topo.Pod, fabric *optical.PodFabric, bc BrickConfigs, 
 			return nil, fmt.Errorf("sdm: rack %d: %w", i, err)
 		}
 		s.racks = append(s.racks, c)
+	}
+	s.crossHosts = make([][][]*Attachment, len(s.racks))
+	for i, r := range s.racks {
+		s.crossHosts[i] = make([][]*Attachment, len(r.computes))
+	}
+	s.admitWave = func(r int) {
+		sc := &s.admit
+		s.racks[r].placeBatch(sc.subReq[sc.offsets[r]:sc.offsets[r+1]], sc.subOut[sc.offsets[r]:sc.offsets[r+1]], true)
+	}
+	s.evictWave = func(r int) {
+		sc := &s.evict
+		s.racks[r].ReleaseBatch(sc.subReq[sc.offsets[r]:sc.offsets[r+1]], sc.subOut[sc.offsets[r]:sc.offsets[r+1]])
 	}
 	return s, nil
 }
@@ -389,8 +404,9 @@ func (s *PodScheduler) attachCrossHinted(owner string, cpu topo.PodBrickID, size
 		func(att *Attachment, memRack int) {
 			att.CPURack, att.MemRack = cpu.Rack, memRack
 			att.cross = s
-			rackA.attachments[owner] = append(rackA.attachments[owner], att)
-			s.crossHosts[cpu] = append(s.crossHosts[cpu], att)
+			rackA.register(att)
+			ord := rackA.cpuPos(cpu.Brick)
+			s.crossHosts[cpu.Rack][ord] = append(s.crossHosts[cpu.Rack][ord], att)
 			s.addCrossOrder(att)
 		})
 	lat, err := op.Commit()
@@ -410,16 +426,13 @@ func (s *PodScheduler) attachCrossHinted(owner string, cpu topo.PodBrickID, size
 func (s *PodScheduler) addCrossOrder(att *Attachment) {
 	s.attachSeq++
 	att.seq = s.attachSeq
-	s.crossElem[att] = s.crossOrder.PushBack(att)
+	s.cross.pushBack(att)
 }
 
 // removeCrossOrder drops an attachment from the rebalancer walk order
-// in O(1) via the element index.
+// in O(1) by unlinking it in place.
 func (s *PodScheduler) removeCrossOrder(att *Attachment) {
-	if el, ok := s.crossElem[att]; ok {
-		s.crossOrder.Remove(el)
-		delete(s.crossElem, att)
-	}
+	s.cross.remove(att)
 }
 
 // attachPacketCross preserves the packet fallback across the pod tier:
@@ -432,10 +445,10 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 		return nil, 0, fmt.Errorf("sdm: packet fallback disabled")
 	}
 	rackA := s.racks[cpu.Rack]
-	node := rackA.computes[cpu.Brick]
+	node := rackA.compute(cpu.Brick)
 	var host *Attachment
-	for _, a := range s.crossHosts[cpu] {
-		m := s.racks[a.MemRack].memories[a.Segment.Brick]
+	for _, a := range s.crossHosts[cpu.Rack][rackA.cpuPos(cpu.Brick)] {
+		m := s.racks[a.MemRack].memory(a.Segment.Brick)
 		if m.LargestGap() >= size {
 			host = a
 			break
@@ -444,7 +457,7 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 	if host == nil {
 		return nil, 0, fmt.Errorf("sdm: pod packet fallback: no live cross-rack circuit from %v to a memory brick with %v contiguous free", cpu, size)
 	}
-	m := s.racks[host.MemRack].memories[host.Segment.Brick]
+	m := s.racks[host.MemRack].memory(host.Segment.Brick)
 	seg, err := m.Carve(size, owner)
 	if err != nil {
 		return nil, 0, err
@@ -462,21 +475,20 @@ func (s *PodScheduler) attachPacketCross(owner string, cpu topo.PodBrickID, size
 	}
 	node.nextWindow += window.Size
 
-	att := &Attachment{
-		Owner:   owner,
-		CPU:     cpu.Brick,
-		Segment: seg,
-		Circuit: host.Circuit,
-		CPUPort: host.CPUPort,
-		MemPort: host.MemPort,
-		Window:  window,
-		Mode:    ModePacket,
-		CPURack: cpu.Rack,
-		MemRack: host.MemRack,
-		cross:   s,
-	}
-	s.riders[host.Circuit]++
-	rackA.attachments[owner] = append(rackA.attachments[owner], att)
+	att := rackA.newAttachment()
+	att.Owner = owner
+	att.CPU = cpu.Brick
+	att.Segment = seg
+	att.Circuit = host.Circuit
+	att.CPUPort = host.CPUPort
+	att.MemPort = host.MemPort
+	att.Window = window
+	att.Mode = ModePacket
+	att.CPURack = cpu.Rack
+	att.MemRack = host.MemRack
+	att.cross = s
+	host.Circuit.Riders++
+	rackA.register(att)
 	s.addCrossOrder(att)
 	s.racks[host.MemRack].touchMemory(host.Segment.Brick)
 	return att, s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
@@ -506,10 +518,11 @@ func (s *PodScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-rack attachment for %q on %v not live", att.Owner, att.CPU)
 	}
-	node := rackA.computes[att.CPU]
-	m := s.racks[att.MemRack].memories[att.Segment.Brick]
+	node := rackA.compute(att.CPU)
+	m := s.racks[att.MemRack].memory(att.Segment.Brick)
 
 	if att.Mode == ModePacket {
+		memID := att.Segment.Brick
 		if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
 			s.failures++
 			return 0, err
@@ -518,16 +531,15 @@ func (s *PodScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 			s.failures++
 			return 0, err
 		}
-		s.riders[att.Circuit]--
-		if s.riders[att.Circuit] <= 0 {
-			delete(s.riders, att.Circuit)
+		if att.Circuit.Riders > 0 {
+			att.Circuit.Riders--
 		}
 		rackA.unregister(att)
 		s.removeCrossOrder(att)
-		s.racks[att.MemRack].touchMemory(att.Segment.Brick)
+		s.racks[att.MemRack].touchMemory(memID)
 		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 	}
-	if n := s.riders[att.Circuit]; n > 0 {
+	if n := att.Circuit.Riders; n > 0 {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-rack circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
@@ -571,7 +583,7 @@ func (s *PodScheduler) Repoint(att *Attachment, newCPU topo.PodBrickID) (tgl.Ent
 		s.failures++
 		return tgl.Entry{}, 0, fmt.Errorf("sdm: attachment for %q not live", att.Owner)
 	}
-	if _, ok := newRack.computes[newCPU.Brick]; !ok {
+	if newRack.cpuPos(newCPU.Brick) < 0 {
 		s.failures++
 		return tgl.Entry{}, 0, fmt.Errorf("sdm: no compute brick %v", newCPU)
 	}
@@ -587,10 +599,11 @@ func (s *PodScheduler) Repoint(att *Attachment, newCPU topo.PodBrickID) (tgl.Ent
 	op := planRepoint(s.cfg, att, oldRack, newRack, newCPU.Brick,
 		s.tier(att.CPURack, att.MemRack), s.tier(newCPU.Rack, att.MemRack),
 		func(newCPUPort topo.PortID, circuit *optical.Circuit, window tgl.Entry) {
-			// Owner registration follows the compute rack.
+			// Owner registration follows the compute rack (register re-stamps
+			// ownerID against the new rack's intern table).
 			if att.CPURack != newCPU.Rack {
 				oldRack.unregister(att)
-				newRack.attachments[att.Owner] = append(newRack.attachments[att.Owner], att)
+				newRack.register(att)
 			}
 			if wasCross {
 				s.removeCrossHost(att)
@@ -603,13 +616,14 @@ func (s *PodScheduler) Repoint(att *Attachment, newCPU topo.PodBrickID) (tgl.Ent
 			att.Circuit = circuit
 			att.Window = window
 			att.CPURack = newCPU.Rack
+			ord := newRack.cpuPos(newCPU.Brick)
 			if att.CrossRack() {
 				att.cross = s
-				s.crossHosts[newCPU] = append(s.crossHosts[newCPU], att)
+				s.crossHosts[newCPU.Rack][ord] = append(s.crossHosts[newCPU.Rack][ord], att)
 				s.addCrossOrder(att)
 			} else {
 				att.cross = nil
-				newRack.circuitHosts[newCPU.Brick] = append(newRack.circuitHosts[newCPU.Brick], att)
+				newRack.circuitHosts[ord] = append(newRack.circuitHosts[ord], att)
 			}
 		})
 	lat, err := op.Commit()
@@ -623,11 +637,11 @@ func (s *PodScheduler) Repoint(att *Attachment, newCPU topo.PodBrickID) (tgl.Ent
 // removeCrossHost drops a cross-rack circuit attachment from the
 // fallback host index.
 func (s *PodScheduler) removeCrossHost(att *Attachment) {
-	key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
-	hosts := s.crossHosts[key]
+	ord := s.racks[att.CPURack].cpuPos(att.CPU)
+	hosts := s.crossHosts[att.CPURack][ord]
 	for i, a := range hosts {
 		if a == att {
-			s.crossHosts[key] = append(hosts[:i], hosts[i+1:]...)
+			s.crossHosts[att.CPURack][ord] = append(hosts[:i], hosts[i+1:]...)
 			return
 		}
 	}
@@ -638,7 +652,7 @@ func (s *PodScheduler) removeCrossHost(att *Attachment) {
 // compute rack's controller).
 func (s *PodScheduler) Attachments(owner string) []*Attachment {
 	for _, r := range s.racks {
-		if len(r.attachments[owner]) > 0 {
+		if id, ok := r.ownerIDs[owner]; ok && len(r.attachments[id]) > 0 {
 			return r.Attachments(owner)
 		}
 	}
@@ -650,7 +664,7 @@ func (s *PodScheduler) Attachments(owner string) []*Attachment {
 // of Attachments.
 func (s *PodScheduler) AppendAttachments(dst []*Attachment, owner string) []*Attachment {
 	for _, r := range s.racks {
-		if len(r.attachments[owner]) > 0 {
+		if id, ok := r.ownerIDs[owner]; ok && len(r.attachments[id]) > 0 {
 			return r.AppendAttachments(dst, owner)
 		}
 	}

@@ -34,8 +34,6 @@ package sdm
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/brick"
 	"repro/internal/topo"
@@ -46,8 +44,20 @@ import (
 // Results are in request order. On error, nothing remains admitted.
 func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResult, error) {
 	out := make([]AdmitResult, len(reqs))
+	return out, s.AdmitBatchInto(reqs, out, workers)
+}
+
+// AdmitBatchInto is AdmitBatch writing results into a caller-provided
+// slice, whose length must equal len(reqs) — the steady-state form
+// for burst trains, which otherwise pay one result-slice allocation
+// per batch. Prior contents of out are overwritten.
+func (s *PodScheduler) AdmitBatchInto(reqs []AdmitRequest, out []AdmitResult, workers int) error {
+	if len(out) != len(reqs) {
+		return fmt.Errorf("sdm: result slice length %d for %d requests", len(out), len(reqs))
+	}
+	clear(out)
 	if len(reqs) == 0 {
-		return out, nil
+		return nil
 	}
 	seqStart := s.attachSeq
 	for _, r := range s.racks {
@@ -86,15 +96,15 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		req := &reqs[i]
 		switch {
 		case req.VCPUs < 0:
-			return nil, fmt.Errorf("sdm: batch request %d (%q): reserve of %d vcpus", i, req.Owner, req.VCPUs)
+			return fmt.Errorf("sdm: batch request %d (%q): reserve of %d vcpus", i, req.Owner, req.VCPUs)
 		case req.VCPUs == 0:
 			if req.Remote == 0 {
-				return nil, fmt.Errorf("sdm: batch request %d (%q): no vCPUs and no remote memory", i, req.Owner)
+				return fmt.Errorf("sdm: batch request %d (%q): no vCPUs and no remote memory", i, req.Owner)
 			}
 			if req.Rack < 0 || req.Rack >= len(s.racks) {
 				s.requests++
 				s.failures++
-				return nil, fmt.Errorf("sdm: batch request %d (%q): no rack %d in the pod", i, req.Owner, req.Rack)
+				return fmt.Errorf("sdm: batch request %d (%q): no rack %d in the pod", i, req.Owner, req.Rack)
 			}
 			rackOf[i] = req.Rack
 		}
@@ -156,9 +166,7 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		}
 	}
 	sc.active = active
-	s.forEachRack(workers, active, func(r int) {
-		s.racks[r].placeBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]], true)
-	})
+	s.forEachRack(workers, active, s.admitWave)
 
 	// Phase 3a — gather every dispatched result before any merging, so
 	// a mid-merge abort sees all worker-committed state in out. The
@@ -221,7 +229,7 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			if req.VCPUs > 0 {
 				id, lat, err := s.ReserveCompute(req.Owner, req.VCPUs, req.LocalMem)
 				if err != nil {
-					return nil, s.abortBatch(reqs, out, seqStart, i, err)
+					return s.abortBatch(reqs, out, seqStart, i, err)
 				}
 				out[i].CPU, out[i].Rack = id.Brick, id.Rack
 				out[i].ComputeLat, out[i].computeDone = lat, true
@@ -231,7 +239,7 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			if req.Remote > 0 {
 				att, lat, err := s.AttachRemoteMemory(req.Owner, topo.PodBrickID{Rack: out[i].Rack, Brick: out[i].CPU}, req.Remote)
 				if err != nil {
-					return nil, s.abortBatch(reqs, out, seqStart, i, err)
+					return s.abortBatch(reqs, out, seqStart, i, err)
 				}
 				out[i].Att, out[i].AttachLat = att, lat
 			}
@@ -252,13 +260,13 @@ func (s *PodScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			}
 			s.failures++
 			err = fmt.Errorf("sdm: pod attach for %q failed rack-locally (%v) and cross-rack: %w", req.Owner, localErr, err)
-			return nil, s.abortBatch(reqs, out, seqStart, i, err)
+			return s.abortBatch(reqs, out, seqStart, i, err)
 		}
 		s.spills++
 		res.Att, res.AttachLat = att, lat
 		res.needSpill, res.localErr = false, nil
 	}
-	return out, nil
+	return nil
 }
 
 // pickComputeRackPlanned applies the placement policy to rack choice
@@ -294,31 +302,13 @@ func (s *PodScheduler) forEachRack(workers int, racks []int, fn func(r int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(racks) {
-		workers = len(racks)
-	}
-	if workers <= 1 {
+	if workers <= 1 || len(racks) <= 1 {
 		for _, r := range racks {
 			fn(r)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(racks) {
-					return
-				}
-				fn(racks[i])
-			}
-		}()
-	}
-	wg.Wait()
+	s.fo.run(workers, len(racks), func(i int) { fn(racks[i]) })
 }
 
 // abortBatch tears every committed admission down in reverse request

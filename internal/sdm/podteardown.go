@@ -104,8 +104,20 @@ type evictScratch struct {
 // one allocation per batch: the caller's result slice.
 func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResult, error) {
 	out := make([]EvictResult, len(reqs))
+	return out, s.EvictBatchInto(reqs, out, workers)
+}
+
+// EvictBatchInto is EvictBatch writing results into a caller-provided
+// slice, whose length must equal len(reqs) — the steady-state form
+// for burst trains, which otherwise pay one result-slice allocation
+// per batch. Prior contents of out are overwritten.
+func (s *PodScheduler) EvictBatchInto(reqs []EvictRequest, out []EvictResult, workers int) error {
+	if len(out) != len(reqs) {
+		return fmt.Errorf("sdm: result slice length %d for %d requests", len(out), len(reqs))
+	}
+	clear(out)
 	if len(reqs) == 0 {
-		return out, nil
+		return nil
 	}
 	seqStart := s.attachSeq
 	// Clear every rack's teardown journal up front: abortEvict replays
@@ -129,18 +141,18 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	if cap(sc.relReqs) < len(reqs) {
 		sc.relReqs = make([]ReleaseRequest, len(reqs))
 	}
-	atts, crossList := sc.atts[:0], sc.cross[:0]
+	atts, crossQ := sc.atts[:0], sc.cross[:0]
 	relReqs := sc.relReqs[:len(reqs)]
 	for i := range reqs {
 		req := &reqs[i]
 		if req.Rack < 0 || req.Rack >= len(s.racks) {
-			return nil, fmt.Errorf("sdm: batch eviction request %d (%q): no rack %d in the pod", i, req.Owner, req.Rack)
+			return fmt.Errorf("sdm: batch eviction request %d (%q): no rack %d in the pod", i, req.Owner, req.Rack)
 		}
 		rr := ReleaseRequest{Owner: req.Owner, CPU: req.CPU, VCPUs: req.VCPUs, LocalMem: req.LocalMem, Rack: req.Rack}
 		start := len(atts)
 		for _, att := range req.Atts {
 			if att.cross != nil {
-				crossList = append(crossList, crossItem{req: i, att: att})
+				crossQ = append(crossQ, crossItem{req: i, att: att})
 			} else {
 				atts = append(atts, att)
 			}
@@ -148,7 +160,7 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		rr.Atts = atts[start:len(atts):len(atts)]
 		relReqs[i] = rr
 	}
-	sc.atts, sc.cross = atts, crossList
+	sc.atts, sc.cross = atts, crossQ
 
 	// Pack per-rack sub-batches, preserving request order within a rack.
 	if cap(sc.counts) < len(s.racks) {
@@ -189,9 +201,7 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		}
 	}
 	sc.active = active
-	s.forEachRack(workers, active, func(r int) {
-		s.racks[r].ReleaseBatch(subReq[offsets[r]:offsets[r+1]], subOut[offsets[r]:offsets[r+1]])
-	})
+	s.forEachRack(workers, active, s.evictWave)
 
 	// Gather: the first failed request (in request order) aborts the
 	// whole batch; every rack has already run, so the rollback sees all
@@ -199,7 +209,7 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	podLog := sc.podLog[:0]
 	for i := range relReqs {
 		if err := subOut[pos[i]].Err; err != nil {
-			return nil, s.abortEvict(reqs, subReq, subOut, pos, podLog, seqStart, i, err)
+			return s.abortEvict(reqs, subReq, subOut, pos, podLog, seqStart, i, err)
 		}
 		out[i].DetachLat = subOut[pos[i]].DetachLat
 		out[i].Detached = subOut[pos[i]].Detached
@@ -209,8 +219,8 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	// list and circuit-host positions of every cross item are looked up
 	// on worker goroutines first (speculate.go); each commit revalidates
 	// its plan by pointer identity in O(1).
-	plans := s.planCrossDetach(crossList, workers)
-	for k, ci := range crossList {
+	plans := s.planCrossDetach(crossQ, workers)
+	for k, ci := range crossQ {
 		var plan *crossPlan
 		if plans != nil {
 			plan = &plans[k]
@@ -218,13 +228,20 @@ func (s *PodScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		lat, err := s.batchDetachCross(ci.att, plan, &podLog)
 		if err != nil {
 			sc.podLog = podLog
-			return nil, s.abortEvict(reqs, subReq, subOut, pos, podLog, seqStart, ci.req, err)
+			return s.abortEvict(reqs, subReq, subOut, pos, podLog, seqStart, ci.req, err)
 		}
 		out[ci.req].DetachLat += lat
 		out[ci.req].Detached++
 	}
 	sc.podLog = podLog
-	return out, nil
+	// Epilogue: the batch committed, so every torn-down attachment is
+	// dead — drain them into their compute rack's arena in request order.
+	for i := range reqs {
+		for _, att := range reqs[i].Atts {
+			s.racks[reqs[i].Rack].freeAttachment(att)
+		}
+	}
+	return nil
 }
 
 // batchDetachCross mirrors detachCross — same validation, counters,
@@ -237,7 +254,11 @@ func (s *PodScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 	s.requests++
 	rackA := s.racks[att.CPURack]
 	idx := -1
-	if list := rackA.attachments[att.Owner]; plan != nil && plan.attIdx >= 0 && plan.attIdx < len(list) && list[plan.attIdx] == att {
+	var list []*Attachment
+	if id := int(att.ownerID); id >= 0 && id < len(rackA.attachments) {
+		list = rackA.attachments[id]
+	}
+	if plan != nil && plan.attIdx >= 0 && plan.attIdx < len(list) && list[plan.attIdx] == att {
 		idx = plan.attIdx
 	} else {
 		for i, a := range list {
@@ -251,20 +272,17 @@ func (s *PodScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-rack attachment for %q on %v not live", att.Owner, att.CPU)
 	}
-	node := rackA.computes[att.CPU]
+	node := rackA.compute(att.CPU)
 	rackB := s.racks[att.MemRack]
-	m := rackB.memories[att.Segment.Brick]
+	m := rackB.memory(att.Segment.Brick)
 
 	// crossNext is the attachment's successor in the rebalancer walk
 	// order, so rollback can re-thread it at the exact position.
-	var crossNext *Attachment
-	if el, ok := s.crossElem[att]; ok {
-		if next := el.Next(); next != nil {
-			crossNext = next.Value.(*Attachment)
-		}
-	}
+	crossNext := att.crossNext
 
 	if att.Mode == ModePacket {
+		memID := att.Segment.Brick
+		segOffset, segSize := att.Segment.Offset, att.Segment.Size
 		if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
 			s.failures++
 			return 0, err
@@ -273,27 +291,27 @@ func (s *PodScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 			s.failures++
 			return 0, err
 		}
-		s.riders[att.Circuit]--
-		if s.riders[att.Circuit] <= 0 {
-			delete(s.riders, att.Circuit)
+		if att.Circuit.Riders > 0 {
+			att.Circuit.Riders--
 		}
 		*log = append(*log, detachUndo{
 			att:       att,
 			packet:    true,
 			cpuRack:   rackA,
 			memRack:   rackB,
-			segOffset: att.Segment.Offset,
-			segSize:   att.Segment.Size,
+			memID:     memID,
+			segOffset: segOffset,
+			segSize:   segSize,
 			attIdx:    idx,
 			pod:       s,
 			crossNext: crossNext,
 		})
 		rackA.unregister(att)
 		s.removeCrossOrder(att)
-		rackB.touchMemory(att.Segment.Brick)
+		rackB.touchMemory(memID)
 		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 	}
-	if n := s.riders[att.Circuit]; n > 0 {
+	if n := att.Circuit.Riders; n > 0 {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-rack circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
@@ -322,13 +340,14 @@ func (s *PodScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 		s.failures++
 		return 0, err
 	}
+	segOffset, segSize := att.Segment.Offset, att.Segment.Size
 	if err := rackA.finishDetach(node, m, att); err != nil {
 		s.failures++
 		return 0, err
 	}
-	key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
+	hosts := s.crossHosts[att.CPURack][rackA.cpuPos(att.CPU)]
 	crossHostIdx := 0
-	if hosts := s.crossHosts[key]; plan != nil && plan.hostIdx >= 0 && plan.hostIdx < len(hosts) && hosts[plan.hostIdx] == att {
+	if plan != nil && plan.hostIdx >= 0 && plan.hostIdx < len(hosts) && hosts[plan.hostIdx] == att {
 		crossHostIdx = plan.hostIdx
 	} else {
 		for i, a := range hosts {
@@ -342,16 +361,17 @@ func (s *PodScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 		att:          att,
 		cpuRack:      rackA,
 		memRack:      rackB,
-		segOffset:    att.Segment.Offset,
-		segSize:      att.Segment.Size,
+		memID:        memID,
+		segOffset:    segOffset,
+		segSize:      segSize,
 		t:            t,
 		attIdx:       idx,
 		crossHostIdx: crossHostIdx,
 		pod:          s,
 		crossNext:    crossNext,
 	})
-	list := rackA.attachments[att.Owner]
-	rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	ownerList := rackA.attachments[att.ownerID]
+	rackA.attachments[att.ownerID] = append(ownerList[:idx], ownerList[idx+1:]...)
 	s.removeCrossHost(att)
 	s.removeCrossOrder(att)
 	return lat, nil
@@ -381,7 +401,7 @@ func (s *PodScheduler) abortEvict(reqs []EvictRequest, subReq []ReleaseRequest, 
 			continue
 		}
 		rr := &subReq[pos[i]]
-		node := s.racks[rr.Rack].computes[rr.CPU]
+		node := s.racks[rr.Rack].compute(rr.CPU)
 		if rr.VCPUs > 0 {
 			if err := node.Brick.AllocCores(rr.VCPUs); err != nil {
 				cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)

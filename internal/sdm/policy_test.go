@@ -99,8 +99,8 @@ func TestPowerAwareVsSpreadOffCount(t *testing.T) {
 		c.AttachRemoteMemory("vm", cpu, brick.GiB)
 		c.AttachRemoteMemory("vm", cpu, brick.GiB)
 		idle := 0
-		for _, id := range c.memoryOrder {
-			if c.memories[id].IsIdle() {
+		for _, m := range c.memories {
+			if m.IsIdle() {
 				idle++
 			}
 		}

@@ -26,24 +26,22 @@ func (p PowerCensus) OffFraction() float64 {
 // powered down independently. It returns the number of bricks turned off.
 func (c *Controller) PowerOffIdle() int {
 	n := 0
-	for _, id := range c.computeOrder {
-		b := c.computes[id].Brick
+	for _, node := range c.computes {
+		b := node.Brick
 		if b.State() == brick.PowerIdle && b.IsIdle() {
 			if b.PowerDown() == nil {
 				n++
 			}
 		}
 	}
-	for _, id := range c.memoryOrder {
-		m := c.memories[id]
+	for _, m := range c.memories {
 		if m.State() == brick.PowerIdle && m.IsIdle() {
 			if m.PowerDown() == nil {
 				n++
 			}
 		}
 	}
-	for _, id := range c.accelOrder {
-		a := c.accels[id]
+	for _, a := range c.accels {
 		if a.State() == brick.PowerIdle && a.IsIdle() {
 			if a.PowerDown() == nil {
 				n++
@@ -56,14 +54,14 @@ func (c *Controller) PowerOffIdle() int {
 
 // PowerOnAll powers every brick up (rack bring-up).
 func (c *Controller) PowerOnAll() {
-	for _, id := range c.computeOrder {
-		c.computes[id].Brick.PowerOn()
+	for _, node := range c.computes {
+		node.Brick.PowerOn()
 	}
-	for _, id := range c.memoryOrder {
-		c.memories[id].PowerOn()
+	for _, m := range c.memories {
+		m.PowerOn()
 	}
-	for _, id := range c.accelOrder {
-		c.accels[id].PowerOn()
+	for _, a := range c.accels {
+		a.PowerOn()
 	}
 	c.reindexAll()
 }
@@ -83,16 +81,16 @@ func (c *Controller) Census(kind topo.BrickKind) PowerCensus {
 	}
 	switch kind {
 	case topo.KindCompute:
-		for _, id := range c.computeOrder {
-			count(c.computes[id].Brick.State())
+		for _, node := range c.computes {
+			count(node.Brick.State())
 		}
 	case topo.KindMemory:
-		for _, id := range c.memoryOrder {
-			count(c.memories[id].State())
+		for _, m := range c.memories {
+			count(m.State())
 		}
 	case topo.KindAccel:
-		for _, id := range c.accelOrder {
-			count(c.accels[id].State())
+		for _, a := range c.accels {
+			count(a.State())
 		}
 	}
 	return pc
@@ -102,14 +100,14 @@ func (c *Controller) Census(kind topo.BrickKind) PowerCensus {
 // per-kind profiles, plus the optical switch draw.
 func (c *Controller) DrawW(profiles map[topo.BrickKind]brick.PowerProfile) float64 {
 	var w float64
-	for _, id := range c.computeOrder {
-		w += profiles[topo.KindCompute].Draw(c.computes[id].Brick.State())
+	for _, node := range c.computes {
+		w += profiles[topo.KindCompute].Draw(node.Brick.State())
 	}
-	for _, id := range c.memoryOrder {
-		w += profiles[topo.KindMemory].Draw(c.memories[id].State())
+	for _, m := range c.memories {
+		w += profiles[topo.KindMemory].Draw(m.State())
 	}
-	for _, id := range c.accelOrder {
-		w += profiles[topo.KindAccel].Draw(c.accels[id].State())
+	for _, a := range c.accels {
+		w += profiles[topo.KindAccel].Draw(a.State())
 	}
 	w += c.fabric.Switch().PowerW()
 	return w

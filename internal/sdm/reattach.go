@@ -29,7 +29,7 @@ func (c *Controller) ReserveComputeExcept(owner string, vcpus int, localMem bric
 		c.failures++
 		return topo.BrickID{}, 0, fmt.Errorf("sdm: no compute brick other than %v with %d free cores and %v local memory", exclude, vcpus, localMem)
 	}
-	node := c.computes[id]
+	node := c.compute(id)
 	if node.Brick.State() == brick.PowerOff {
 		node.Brick.PowerOn()
 		lat += c.cfg.BrickBoot
@@ -77,7 +77,7 @@ func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) 
 		c.failures++
 		return tgl.Entry{}, 0, fmt.Errorf("sdm: attachment for %q not live", att.Owner)
 	}
-	if _, ok := c.computes[newCPU]; !ok {
+	if c.cpuPos(newCPU) < 0 {
 		c.failures++
 		return tgl.Entry{}, 0, fmt.Errorf("sdm: no compute brick %v", newCPU)
 	}
@@ -96,7 +96,8 @@ func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) 
 			att.CPUPort = newCPUPort
 			att.Circuit = circuit
 			att.Window = window
-			c.circuitHosts[newCPU] = append(c.circuitHosts[newCPU], att)
+			ord := c.cpuPos(newCPU)
+			c.circuitHosts[ord] = append(c.circuitHosts[ord], att)
 		})
 	lat, err := op.Commit()
 	if err != nil {
@@ -108,17 +109,13 @@ func (c *Controller) ReattachRemoteMemory(att *Attachment, newCPU topo.BrickID) 
 
 func (c *Controller) pickComputeExcept(vcpus int, localMem brick.Bytes, exclude topo.BrickID) (topo.BrickID, bool) {
 	if c.cfg.Scan != ScanLinear {
-		pos, ok := c.cpuPos[exclude]
-		if !ok {
-			pos = -1
-		}
-		return c.pickComputeIndexed(vcpus, localMem, pos)
+		return c.pickComputeIndexed(vcpus, localMem, c.cpuPos(exclude))
 	}
-	fits := func(id topo.BrickID) bool {
-		if id == exclude {
+	fits := func(pos int) bool {
+		if c.computeOrder[pos] == exclude {
 			return false
 		}
-		n := c.computes[id]
+		n := c.computes[pos]
 		if n.Brick.FreeCores() < vcpus {
 			return false
 		}
@@ -126,25 +123,25 @@ func (c *Controller) pickComputeExcept(vcpus int, localMem brick.Bytes, exclude 
 	}
 	switch c.cfg.Policy {
 	case PolicyFirstFit:
-		for _, id := range c.computeOrder {
-			if fits(id) {
-				return id, true
+		for pos := range c.computes {
+			if fits(pos) {
+				return c.computeOrder[pos], true
 			}
 		}
 	case PolicySpread:
 		best, found := topo.BrickID{}, false
 		bestFree := -1
-		for _, id := range c.computeOrder {
-			if fits(id) && c.computes[id].Brick.FreeCores() > bestFree {
-				best, bestFree, found = id, c.computes[id].Brick.FreeCores(), true
+		for pos, n := range c.computes {
+			if fits(pos) && n.Brick.FreeCores() > bestFree {
+				best, bestFree, found = c.computeOrder[pos], n.Brick.FreeCores(), true
 			}
 		}
 		return best, found
 	default:
 		for _, want := range powerPreference {
-			for _, id := range c.computeOrder {
-				if c.computes[id].Brick.State() == want && fits(id) {
-					return id, true
+			for pos, n := range c.computes {
+				if n.Brick.State() == want && fits(pos) {
+					return c.computeOrder[pos], true
 				}
 			}
 		}

@@ -110,18 +110,18 @@ func (s *PodScheduler) Rehome(att *Attachment, targetRack int) (sim.Duration, er
 			att.Window = window
 			att.MemRack = targetRack
 			nowCross := att.CrossRack()
-			cpu := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
+			ord := rackA.cpuPos(att.CPU)
 			switch {
 			case wasCross && !nowCross:
 				s.removeCrossHost(att)
 				s.removeCrossOrder(att)
 				att.cross = nil
-				rackA.circuitHosts[att.CPU] = append(rackA.circuitHosts[att.CPU], att)
+				rackA.circuitHosts[ord] = append(rackA.circuitHosts[ord], att)
 				s.promoted++
 			case !wasCross && nowCross:
 				rackA.removeCircuitHost(att)
 				att.cross = s
-				s.crossHosts[cpu] = append(s.crossHosts[cpu], att)
+				s.crossHosts[att.CPURack][ord] = append(s.crossHosts[att.CPURack][ord], att)
 				s.addCrossOrder(att)
 			}
 		})
@@ -159,12 +159,12 @@ func (s *PodScheduler) totalFreeUplinks() int {
 func (s *PodScheduler) Rebalance(now sim.Time) RebalanceReport {
 	rep := RebalanceReport{At: now}
 	freeBefore := s.totalFreeUplinks()
-	// The sweep iterates a snapshot (promotions mutate crossOrder), off
-	// a scratch buffer reused across sweeps so a periodic rebalancer
-	// allocates nothing when there is nothing to promote.
+	// The sweep iterates a snapshot (promotions mutate the cross walk
+	// order), off a scratch buffer reused across sweeps so a periodic
+	// rebalancer allocates nothing when there is nothing to promote.
 	snapshot := s.rebalScratch[:0]
-	for el := s.crossOrder.Front(); el != nil; el = el.Next() {
-		snapshot = append(snapshot, el.Value.(*Attachment))
+	for att := s.cross.head; att != nil; att = att.crossNext {
+		snapshot = append(snapshot, att)
 	}
 	s.rebalScratch = snapshot
 	for _, att := range snapshot {
@@ -176,7 +176,7 @@ func (s *PodScheduler) Rebalance(now sim.Time) RebalanceReport {
 			rep.SkippedPacket++
 			continue
 		}
-		if s.riders[att.Circuit] > 0 {
+		if att.Circuit.Riders > 0 {
 			rep.SkippedRiders++
 			continue
 		}

@@ -1,7 +1,6 @@
 package sdm
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/brick"
@@ -46,17 +45,16 @@ type RowScheduler struct {
 	// row falls back to summing rack roots on demand).
 	aggs []*podAgg
 
-	// riders counts packet-mode attachments sharing each cross-pod
-	// circuit; crossHosts indexes cross-pod circuit attachments by
-	// compute brick for the row-tier packet fallback.
-	riders     map[*optical.Circuit]int
-	crossHosts map[topo.RowBrickID][]*Attachment
+	// crossHosts indexes cross-pod circuit attachments by compute brick
+	// — [pod][rack][compute ordinal] — for the row-tier packet fallback.
+	// (Packet-rider counts live on the circuits: optical.Circuit.Riders.)
+	crossHosts [][][][]*Attachment
 
-	// crossOrder lists every live cross-pod attachment in spill order,
-	// mirroring the pod tier's rebalancer walk order one tier up.
-	crossOrder *list.List
-	crossElem  map[*Attachment]*list.Element
-	attachSeq  uint64
+	// cross lists every live cross-pod attachment in spill order,
+	// mirroring the pod tier's rebalancer walk order one tier up,
+	// threaded intrusively through the attachments themselves.
+	cross     crossList
+	attachSeq uint64
 
 	// tierConns caches cross-pod connectors per endpoint quadruple
 	// (cpuPod, cpuRack, memPod, memRack).
@@ -70,6 +68,21 @@ type RowScheduler struct {
 	admit rowAdmitScratch
 	// spec holds the row's reused speculation buffers (speculate.go).
 	spec specScratch
+	// fo is the reusable fan-out scratch behind forEachPod,
+	// forEachShard and the speculation passes; the row's phases run
+	// sequentially, so one instance suffices (see fanout.go).
+	fo fanout
+	// The batch engines' wave closures, built once at construction:
+	// they read each batch's shard ranges through the reused scratch,
+	// so a serial batch creates no closure per call (a fan-out fn
+	// escapes into the fanout scratch and would otherwise
+	// heap-allocate every batch).
+	admitPlanWave   func(p int)
+	admitCommitWave func(sh rackShard)
+	admitMergeWave  func(p int)
+	evictPlanWave   func(p int)
+	evictCommitWave func(sh rackShard)
+	evictMergeWave  func(p int)
 
 	requests uint64
 	failures uint64
@@ -89,13 +102,9 @@ func NewRowScheduler(row *topo.Row, fabric *optical.RowFabric, bc BrickConfigs, 
 		return nil, fmt.Errorf("sdm: row has %d pods but the fabric has %d", row.Pods(), fabric.Pods())
 	}
 	s := &RowScheduler{
-		cfg:        cfg,
-		row:        row,
-		fabric:     fabric,
-		riders:     make(map[*optical.Circuit]int),
-		crossHosts: make(map[topo.RowBrickID][]*Attachment),
-		crossOrder: list.New(),
-		crossElem:  make(map[*Attachment]*list.Element),
+		cfg:    cfg,
+		row:    row,
+		fabric: fabric,
 	}
 	for i := 0; i < row.Pods(); i++ {
 		p, err := NewPodScheduler(row.Pod(i), fabric.Pod(i), bc, cfg)
@@ -104,11 +113,46 @@ func NewRowScheduler(row *topo.Row, fabric *optical.RowFabric, bc BrickConfigs, 
 		}
 		s.pods = append(s.pods, p)
 	}
+	s.crossHosts = make([][][][]*Attachment, len(s.pods))
+	for i, p := range s.pods {
+		s.crossHosts[i] = make([][][]*Attachment, len(p.racks))
+		for j, r := range p.racks {
+			s.crossHosts[i][j] = make([][]*Attachment, len(r.computes))
+		}
+	}
 	if cfg.Scan != ScanLinear {
 		s.aggs = make([]*podAgg, len(s.pods))
 		for i, p := range s.pods {
 			s.aggs[i] = newPodAgg(p.racks)
 		}
+	}
+	s.admitPlanWave = func(p int) {
+		sc := &s.admit
+		s.pods[p].admitShardPlan(sc.subReq[sc.offsets[p]:sc.offsets[p+1]], sc.subOut[sc.offsets[p]:sc.offsets[p+1]])
+	}
+	s.admitCommitWave = func(sh rackShard) {
+		a := &s.pods[sh.pod].admit
+		s.pods[sh.pod].racks[sh.rack].placeBatch(
+			a.subReq[a.offsets[sh.rack]:a.offsets[sh.rack+1]],
+			a.subOut[a.offsets[sh.rack]:a.offsets[sh.rack+1]], true)
+	}
+	s.admitMergeWave = func(p int) {
+		sc := &s.admit
+		s.pods[p].admitShardMerge(sc.subReq[sc.offsets[p]:sc.offsets[p+1]], sc.subOut[sc.offsets[p]:sc.offsets[p+1]])
+	}
+	s.evictPlanWave = func(p int) {
+		sc := &s.evict
+		s.pods[p].evictShardPlan(sc.subReq[sc.offsets[p]:sc.offsets[p+1]])
+	}
+	s.evictCommitWave = func(sh rackShard) {
+		e := &s.pods[sh.pod].evict
+		s.pods[sh.pod].racks[sh.rack].ReleaseBatch(
+			e.subReq[e.offsets[sh.rack]:e.offsets[sh.rack+1]],
+			e.subOut[e.offsets[sh.rack]:e.offsets[sh.rack+1]])
+	}
+	s.evictMergeWave = func(p int) {
+		sc := &s.evict
+		sc.failAt[p], sc.failErr[p] = s.pods[p].evictShardMerge(sc.subReq[sc.offsets[p]:sc.offsets[p+1]], sc.subOut[sc.offsets[p]:sc.offsets[p+1]])
 	}
 	return s, nil
 }
@@ -407,8 +451,9 @@ func (s *RowScheduler) attachCrossHinted(owner string, cpu topo.RowBrickID, size
 			att.CPURack, att.MemRack = cpu.Rack, memRack
 			att.CPUPod, att.MemPod = cpu.Pod, memPod
 			att.crossRow = s
-			rackA.attachments[owner] = append(rackA.attachments[owner], att)
-			s.crossHosts[cpu] = append(s.crossHosts[cpu], att)
+			rackA.register(att)
+			ord := rackA.cpuPos(cpu.Brick)
+			s.crossHosts[cpu.Pod][cpu.Rack][ord] = append(s.crossHosts[cpu.Pod][cpu.Rack][ord], att)
 			s.addCrossOrder(att)
 		})
 	lat, err := op.Commit()
@@ -428,15 +473,12 @@ func (s *RowScheduler) attachCrossHinted(owner string, cpu topo.RowBrickID, size
 func (s *RowScheduler) addCrossOrder(att *Attachment) {
 	s.attachSeq++
 	att.seq = s.attachSeq
-	s.crossElem[att] = s.crossOrder.PushBack(att)
+	s.cross.pushBack(att)
 }
 
 // removeCrossOrder drops an attachment from the walk order in O(1).
 func (s *RowScheduler) removeCrossOrder(att *Attachment) {
-	if el, ok := s.crossElem[att]; ok {
-		s.crossOrder.Remove(el)
-		delete(s.crossElem, att)
-	}
+	s.cross.remove(att)
 }
 
 // attachPacketCross preserves the packet fallback across the row tier:
@@ -447,10 +489,10 @@ func (s *RowScheduler) attachPacketCross(owner string, cpu topo.RowBrickID, size
 		return nil, 0, fmt.Errorf("sdm: packet fallback disabled")
 	}
 	rackA := s.pods[cpu.Pod].racks[cpu.Rack]
-	node := rackA.computes[cpu.Brick]
+	node := rackA.compute(cpu.Brick)
 	var host *Attachment
-	for _, a := range s.crossHosts[cpu] {
-		m := s.pods[a.MemPod].racks[a.MemRack].memories[a.Segment.Brick]
+	for _, a := range s.crossHosts[cpu.Pod][cpu.Rack][rackA.cpuPos(cpu.Brick)] {
+		m := s.pods[a.MemPod].racks[a.MemRack].memory(a.Segment.Brick)
 		if m.LargestGap() >= size {
 			host = a
 			break
@@ -459,7 +501,7 @@ func (s *RowScheduler) attachPacketCross(owner string, cpu topo.RowBrickID, size
 	if host == nil {
 		return nil, 0, fmt.Errorf("sdm: row packet fallback: no live cross-pod circuit from %v to a memory brick with %v contiguous free", cpu, size)
 	}
-	m := s.pods[host.MemPod].racks[host.MemRack].memories[host.Segment.Brick]
+	m := s.pods[host.MemPod].racks[host.MemRack].memory(host.Segment.Brick)
 	seg, err := m.Carve(size, owner)
 	if err != nil {
 		return nil, 0, err
@@ -477,23 +519,22 @@ func (s *RowScheduler) attachPacketCross(owner string, cpu topo.RowBrickID, size
 	}
 	node.nextWindow += window.Size
 
-	att := &Attachment{
-		Owner:    owner,
-		CPU:      cpu.Brick,
-		Segment:  seg,
-		Circuit:  host.Circuit,
-		CPUPort:  host.CPUPort,
-		MemPort:  host.MemPort,
-		Window:   window,
-		Mode:     ModePacket,
-		CPURack:  cpu.Rack,
-		MemRack:  host.MemRack,
-		CPUPod:   cpu.Pod,
-		MemPod:   host.MemPod,
-		crossRow: s,
-	}
-	s.riders[host.Circuit]++
-	rackA.attachments[owner] = append(rackA.attachments[owner], att)
+	att := rackA.newAttachment()
+	att.Owner = owner
+	att.CPU = cpu.Brick
+	att.Segment = seg
+	att.Circuit = host.Circuit
+	att.CPUPort = host.CPUPort
+	att.MemPort = host.MemPort
+	att.Window = window
+	att.Mode = ModePacket
+	att.CPURack = cpu.Rack
+	att.MemRack = host.MemRack
+	att.CPUPod = cpu.Pod
+	att.MemPod = host.MemPod
+	att.crossRow = s
+	host.Circuit.Riders++
+	rackA.register(att)
 	s.addCrossOrder(att)
 	s.pods[host.MemPod].racks[host.MemRack].touchMemory(host.Segment.Brick)
 	return att, s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
@@ -520,11 +561,12 @@ func (s *RowScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-pod attachment for %q on %v not live", att.Owner, att.CPU)
 	}
-	node := rackA.computes[att.CPU]
+	node := rackA.compute(att.CPU)
 	rackB := s.pods[att.MemPod].racks[att.MemRack]
-	m := rackB.memories[att.Segment.Brick]
+	m := rackB.memory(att.Segment.Brick)
 
 	if att.Mode == ModePacket {
+		memID := att.Segment.Brick
 		if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
 			s.failures++
 			return 0, err
@@ -533,16 +575,15 @@ func (s *RowScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 			s.failures++
 			return 0, err
 		}
-		s.riders[att.Circuit]--
-		if s.riders[att.Circuit] <= 0 {
-			delete(s.riders, att.Circuit)
+		if att.Circuit.Riders > 0 {
+			att.Circuit.Riders--
 		}
 		rackA.unregister(att)
 		s.removeCrossOrder(att)
-		rackB.touchMemory(att.Segment.Brick)
+		rackB.touchMemory(memID)
 		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 	}
-	if n := s.riders[att.Circuit]; n > 0 {
+	if n := att.Circuit.Riders; n > 0 {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-pod circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
@@ -562,11 +603,11 @@ func (s *RowScheduler) detachCross(att *Attachment) (sim.Duration, error) {
 // removeCrossHost drops a cross-pod circuit attachment from the
 // fallback host index.
 func (s *RowScheduler) removeCrossHost(att *Attachment) {
-	key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
-	hosts := s.crossHosts[key]
+	ord := s.pods[att.CPUPod].racks[att.CPURack].cpuPos(att.CPU)
+	hosts := s.crossHosts[att.CPUPod][att.CPURack][ord]
 	for i, a := range hosts {
 		if a == att {
-			s.crossHosts[key] = append(hosts[:i], hosts[i+1:]...)
+			s.crossHosts[att.CPUPod][att.CPURack][ord] = append(hosts[:i], hosts[i+1:]...)
 			return
 		}
 	}

@@ -47,8 +47,6 @@ package sdm
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/brick"
 	"repro/internal/topo"
@@ -102,8 +100,20 @@ type admitScratch struct {
 // Results are in request order. On error, nothing remains admitted.
 func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResult, error) {
 	out := make([]AdmitResult, len(reqs))
+	return out, s.AdmitBatchInto(reqs, out, workers)
+}
+
+// AdmitBatchInto is AdmitBatch writing results into a caller-provided
+// slice, whose length must equal len(reqs) — the steady-state form
+// for burst trains, which otherwise pay one result-slice allocation
+// per batch. Prior contents of out are overwritten.
+func (s *RowScheduler) AdmitBatchInto(reqs []AdmitRequest, out []AdmitResult, workers int) error {
+	if len(out) != len(reqs) {
+		return fmt.Errorf("sdm: result slice length %d for %d requests", len(out), len(reqs))
+	}
+	clear(out)
 	if len(reqs) == 0 {
-		return out, nil
+		return nil
 	}
 	seqStart := s.attachSeq
 	sc := &s.admit
@@ -148,20 +158,20 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		req := &reqs[i]
 		switch {
 		case req.VCPUs < 0:
-			return nil, fmt.Errorf("sdm: batch request %d (%q): reserve of %d vcpus", i, req.Owner, req.VCPUs)
+			return fmt.Errorf("sdm: batch request %d (%q): reserve of %d vcpus", i, req.Owner, req.VCPUs)
 		case req.VCPUs == 0:
 			if req.Remote == 0 {
-				return nil, fmt.Errorf("sdm: batch request %d (%q): no vCPUs and no remote memory", i, req.Owner)
+				return fmt.Errorf("sdm: batch request %d (%q): no vCPUs and no remote memory", i, req.Owner)
 			}
 			if req.Pod < 0 || req.Pod >= len(s.pods) {
 				s.requests++
 				s.failures++
-				return nil, fmt.Errorf("sdm: batch request %d (%q): no pod %d in the row", i, req.Owner, req.Pod)
+				return fmt.Errorf("sdm: batch request %d (%q): no pod %d in the row", i, req.Owner, req.Pod)
 			}
 			if req.Rack < 0 || req.Rack >= len(s.pods[req.Pod].racks) {
 				s.requests++
 				s.failures++
-				return nil, fmt.Errorf("sdm: batch request %d (%q): no rack %d in pod %d", i, req.Owner, req.Rack, req.Pod)
+				return fmt.Errorf("sdm: batch request %d (%q): no rack %d in pod %d", i, req.Owner, req.Rack, req.Pod)
 			}
 			podOf[i] = req.Pod
 		}
@@ -223,9 +233,7 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 		}
 	}
 	sc.active = active
-	s.forEachPod(workers, active, func(p int) {
-		s.pods[p].admitShardPlan(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
-	})
+	s.forEachPod(workers, active, s.admitPlanWave)
 
 	// Phase 2b — the flat commit wave: every (pod, rack) shard across
 	// the row plans and commits on its own worker. The rack→pod rollup
@@ -244,12 +252,7 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	for _, sh := range shards {
 		s.pods[sh.pod].racks[sh.rack].deferAgg()
 	}
-	s.forEachShard(workers, shards, func(sh rackShard) {
-		a := &s.pods[sh.pod].admit
-		s.pods[sh.pod].racks[sh.rack].placeBatch(
-			a.subReq[a.offsets[sh.rack]:a.offsets[sh.rack+1]],
-			a.subOut[a.offsets[sh.rack]:a.offsets[sh.rack+1]], true)
-	})
+	s.forEachShard(workers, shards, s.admitCommitWave)
 	for _, sh := range shards {
 		s.pods[sh.pod].racks[sh.rack].flushAgg()
 	}
@@ -257,9 +260,7 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 	// Phase 2c — per-pod merge on worker goroutines: gather the rack
 	// shards and run the pod's rack→pod spill cascade. Each pod merge
 	// touches only its own racks and summary.
-	s.forEachPod(workers, active, func(p int) {
-		s.pods[p].admitShardMerge(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
-	})
+	s.forEachPod(workers, active, s.admitMergeWave)
 
 	// Phase 3a — gather every dispatched result before any merging, so
 	// a mid-merge abort sees all worker-committed state in out. Fold the
@@ -324,7 +325,7 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			if req.VCPUs > 0 {
 				id, lat, err := s.ReserveCompute(req.Owner, req.VCPUs, req.LocalMem)
 				if err != nil {
-					return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
+					return s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
 				}
 				out[i].CPU, out[i].Rack, out[i].Pod = id.Brick, id.Rack, id.Pod
 				out[i].ComputeLat, out[i].computeDone = lat, true
@@ -334,7 +335,7 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			if req.Remote > 0 {
 				att, lat, err := s.AttachRemoteMemory(req.Owner, topo.RowBrickID{Pod: out[i].Pod, Rack: out[i].Rack, Brick: out[i].CPU}, req.Remote)
 				if err != nil {
-					return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
+					return s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
 				}
 				out[i].Att, out[i].AttachLat = att, lat
 			}
@@ -355,13 +356,13 @@ func (s *RowScheduler) AdmitBatch(reqs []AdmitRequest, workers int) ([]AdmitResu
 			}
 			s.failures++
 			err = fmt.Errorf("sdm: row attach for %q failed pod-locally (%v) and cross-pod: %w", req.Owner, localErr, err)
-			return nil, s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
+			return s.abortBatch(reqs, out, seqStart, podSeqStart, i, err)
 		}
 		s.spills++
 		res.Att, res.AttachLat = att, lat
 		res.needSpill, res.localErr = false, nil
 	}
-	return out, nil
+	return nil
 }
 
 // pickComputePodPlanned applies the placement policy to pod choice
@@ -398,31 +399,13 @@ func (s *RowScheduler) forEachPod(workers int, pods []int, fn func(p int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(pods) {
-		workers = len(pods)
-	}
-	if workers <= 1 {
+	if workers <= 1 || len(pods) <= 1 {
 		for _, p := range pods {
 			fn(p)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(pods) {
-					return
-				}
-				fn(pods[i])
-			}
-		}()
-	}
-	wg.Wait()
+	s.fo.run(workers, len(pods), func(i int) { fn(pods[i]) })
 }
 
 // forEachShard is forEachPod for the flat (pod, rack) commit wave:
@@ -434,31 +417,13 @@ func (s *RowScheduler) forEachShard(workers int, shards []rackShard, fn func(sh 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(shards) {
-		workers = len(shards)
-	}
-	if workers <= 1 {
+	if workers <= 1 || len(shards) <= 1 {
 		for _, sh := range shards {
 			fn(sh)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(shards) {
-					return
-				}
-				fn(shards[i])
-			}
-		}()
-	}
-	wg.Wait()
+	s.fo.run(workers, len(shards), func(i int) { fn(shards[i]) })
 }
 
 // abortBatch tears every committed admission down in reverse request

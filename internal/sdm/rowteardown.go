@@ -29,7 +29,6 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
-	"repro/internal/topo"
 )
 
 // rowEvictScratch is the row EvictBatch's reused partition state,
@@ -60,8 +59,20 @@ type rowEvictScratch struct {
 // rolls back and nothing remains evicted.
 func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResult, error) {
 	out := make([]EvictResult, len(reqs))
+	return out, s.EvictBatchInto(reqs, out, workers)
+}
+
+// EvictBatchInto is EvictBatch writing results into a caller-provided
+// slice, whose length must equal len(reqs) — the steady-state form
+// for burst trains, which otherwise pay one result-slice allocation
+// per batch. Prior contents of out are overwritten.
+func (s *RowScheduler) EvictBatchInto(reqs []EvictRequest, out []EvictResult, workers int) error {
+	if len(out) != len(reqs) {
+		return fmt.Errorf("sdm: result slice length %d for %d requests", len(out), len(reqs))
+	}
+	clear(out)
 	if len(reqs) == 0 {
-		return out, nil
+		return nil
 	}
 	seqStart := s.attachSeq
 	sc := &s.evict
@@ -99,21 +110,21 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	if cap(sc.shardReq) < len(reqs) {
 		sc.shardReq = make([]EvictRequest, len(reqs))
 	}
-	atts, crossList := sc.atts[:0], sc.cross[:0]
+	atts, crossQ := sc.atts[:0], sc.cross[:0]
 	shardReq := sc.shardReq[:len(reqs)]
 	for i := range reqs {
 		req := &reqs[i]
 		if req.Pod < 0 || req.Pod >= len(s.pods) {
-			return nil, fmt.Errorf("sdm: batch eviction request %d (%q): no pod %d in the row", i, req.Owner, req.Pod)
+			return fmt.Errorf("sdm: batch eviction request %d (%q): no pod %d in the row", i, req.Owner, req.Pod)
 		}
 		if req.Rack < 0 || req.Rack >= len(s.pods[req.Pod].racks) {
-			return nil, fmt.Errorf("sdm: batch eviction request %d (%q): no rack %d in pod %d", i, req.Owner, req.Rack, req.Pod)
+			return fmt.Errorf("sdm: batch eviction request %d (%q): no rack %d in pod %d", i, req.Owner, req.Rack, req.Pod)
 		}
 		sr := EvictRequest{Owner: req.Owner, CPU: req.CPU, Rack: req.Rack, Pod: req.Pod, VCPUs: req.VCPUs, LocalMem: req.LocalMem}
 		start := len(atts)
 		for _, att := range req.Atts {
 			if att.crossRow != nil {
-				crossList = append(crossList, crossItem{req: i, att: att})
+				crossQ = append(crossQ, crossItem{req: i, att: att})
 			} else {
 				atts = append(atts, att)
 			}
@@ -121,7 +132,7 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		sr.Atts = atts[start:len(atts):len(atts)]
 		shardReq[i] = sr
 	}
-	sc.atts, sc.cross = atts, crossList
+	sc.atts, sc.cross = atts, crossQ
 
 	// Pack per-pod shards, preserving request order within a pod.
 	if cap(sc.counts) < len(s.pods) {
@@ -169,9 +180,7 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		}
 	}
 	sc.active = active
-	s.forEachPod(workers, active, func(p int) {
-		s.pods[p].evictShardPlan(subReq[offsets[p]:offsets[p+1]])
-	})
+	s.forEachPod(workers, active, s.evictPlanWave)
 	shards := sc.shards[:0]
 	for _, p := range active {
 		ps := s.pods[p]
@@ -185,18 +194,11 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	for _, sh := range shards {
 		s.pods[sh.pod].racks[sh.rack].deferAgg()
 	}
-	s.forEachShard(workers, shards, func(sh rackShard) {
-		e := &s.pods[sh.pod].evict
-		s.pods[sh.pod].racks[sh.rack].ReleaseBatch(
-			e.subReq[e.offsets[sh.rack]:e.offsets[sh.rack+1]],
-			e.subOut[e.offsets[sh.rack]:e.offsets[sh.rack+1]])
-	})
+	s.forEachShard(workers, shards, s.evictCommitWave)
 	for _, sh := range shards {
 		s.pods[sh.pod].racks[sh.rack].flushAgg()
 	}
-	s.forEachPod(workers, active, func(p int) {
-		failAt[p], failErr[p] = s.pods[p].evictShardMerge(subReq[offsets[p]:offsets[p+1]], subOut[offsets[p]:offsets[p+1]])
-	})
+	s.forEachPod(workers, active, s.evictMergeWave)
 
 	// Gather: the first failed request in request order aborts the
 	// whole batch. Packing preserves request order within a pod, so a
@@ -207,7 +209,7 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		p := reqs[i].Pod
 		if failErr[p] != nil && offsets[p]+failAt[p] == pos[i] {
 			sc.rowLog = rowLog
-			return nil, s.abortEvict(reqs, rowLog, seqStart, podSeq, i, failErr[p])
+			return s.abortEvict(reqs, rowLog, seqStart, podSeq, i, failErr[p])
 		}
 		out[i].DetachLat = subOut[pos[i]].DetachLat
 		out[i].Detached = subOut[pos[i]].Detached
@@ -216,8 +218,8 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 	// Phase 3 — cross-pod teardowns in request order, with list and
 	// circuit-host positions pre-located on worker goroutines
 	// (speculate.go) and revalidated by pointer identity per commit.
-	plans := s.planCrossDetach(crossList, workers)
-	for k, ci := range crossList {
+	plans := s.planCrossDetach(crossQ, workers)
+	for k, ci := range crossQ {
 		var plan *crossPlan
 		if plans != nil {
 			plan = &plans[k]
@@ -225,13 +227,21 @@ func (s *RowScheduler) EvictBatch(reqs []EvictRequest, workers int) ([]EvictResu
 		lat, err := s.batchDetachCross(ci.att, plan, &rowLog)
 		if err != nil {
 			sc.rowLog = rowLog
-			return nil, s.abortEvict(reqs, rowLog, seqStart, podSeq, ci.req, err)
+			return s.abortEvict(reqs, rowLog, seqStart, podSeq, ci.req, err)
 		}
 		out[ci.req].DetachLat += lat
 		out[ci.req].Detached++
 	}
 	sc.rowLog = rowLog
-	return out, nil
+	// Epilogue: the batch committed, so every torn-down attachment is
+	// dead — drain them into their compute rack's arena in request order.
+	for i := range reqs {
+		rack := s.pods[reqs[i].Pod].racks[reqs[i].Rack]
+		for _, att := range reqs[i].Atts {
+			rack.freeAttachment(att)
+		}
+	}
+	return nil
 }
 
 // evictShardPlan is the first half of the pod teardown pipeline for a
@@ -255,7 +265,7 @@ func (s *PodScheduler) evictShardPlan(reqs []EvictRequest) {
 	if cap(sc.relReqs) < len(reqs) {
 		sc.relReqs = make([]ReleaseRequest, len(reqs))
 	}
-	atts, crossList := sc.atts[:0], sc.cross[:0]
+	atts, crossQ := sc.atts[:0], sc.cross[:0]
 	relReqs := sc.relReqs[:len(reqs)]
 	for i := range reqs {
 		req := &reqs[i]
@@ -263,7 +273,7 @@ func (s *PodScheduler) evictShardPlan(reqs []EvictRequest) {
 		start := len(atts)
 		for _, att := range req.Atts {
 			if att.cross != nil {
-				crossList = append(crossList, crossItem{req: i, att: att})
+				crossQ = append(crossQ, crossItem{req: i, att: att})
 			} else {
 				atts = append(atts, att)
 			}
@@ -271,7 +281,7 @@ func (s *PodScheduler) evictShardPlan(reqs []EvictRequest) {
 		rr.Atts = atts[start:len(atts):len(atts)]
 		relReqs[i] = rr
 	}
-	sc.atts, sc.cross = atts, crossList
+	sc.atts, sc.cross = atts, crossQ
 
 	if cap(sc.counts) < len(s.racks) {
 		sc.counts = make([]int, len(s.racks))
@@ -316,7 +326,7 @@ func (s *PodScheduler) evictShardMerge(reqs []EvictRequest, out []EvictResult) (
 		return -1, nil
 	}
 	relReqs := sc.relReqs[:len(reqs)]
-	subOut, pos, crossList := sc.subOut, sc.pos[:len(reqs)], sc.cross
+	subOut, pos, crossQ := sc.subOut, sc.pos[:len(reqs)], sc.cross
 
 	podLog := sc.podLog[:0]
 	for i := range relReqs {
@@ -328,7 +338,7 @@ func (s *PodScheduler) evictShardMerge(reqs []EvictRequest, out []EvictResult) (
 		out[i].Detached = subOut[pos[i]].Detached
 	}
 
-	for _, ci := range crossList {
+	for _, ci := range crossQ {
 		// Shard merges run on row workers already; no nested pre-plan.
 		lat, err := s.batchDetachCross(ci.att, nil, &podLog)
 		if err != nil {
@@ -352,7 +362,11 @@ func (s *RowScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 	s.requests++
 	rackA := s.pods[att.CPUPod].racks[att.CPURack]
 	idx := -1
-	if list := rackA.attachments[att.Owner]; plan != nil && plan.attIdx >= 0 && plan.attIdx < len(list) && list[plan.attIdx] == att {
+	var list []*Attachment
+	if id := int(att.ownerID); id >= 0 && id < len(rackA.attachments) {
+		list = rackA.attachments[id]
+	}
+	if plan != nil && plan.attIdx >= 0 && plan.attIdx < len(list) && list[plan.attIdx] == att {
 		idx = plan.attIdx
 	} else {
 		for i, a := range list {
@@ -366,20 +380,17 @@ func (s *RowScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-pod attachment for %q on %v not live", att.Owner, att.CPU)
 	}
-	node := rackA.computes[att.CPU]
+	node := rackA.compute(att.CPU)
 	rackB := s.pods[att.MemPod].racks[att.MemRack]
-	m := rackB.memories[att.Segment.Brick]
+	m := rackB.memory(att.Segment.Brick)
 
 	// crossNext is the attachment's successor in the cross-pod walk
 	// order, so rollback can re-thread it at the exact position.
-	var crossNext *Attachment
-	if el, ok := s.crossElem[att]; ok {
-		if next := el.Next(); next != nil {
-			crossNext = next.Value.(*Attachment)
-		}
-	}
+	crossNext := att.crossNext
 
 	if att.Mode == ModePacket {
+		memID := att.Segment.Brick
+		segOffset, segSize := att.Segment.Offset, att.Segment.Size
 		if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
 			s.failures++
 			return 0, err
@@ -388,27 +399,27 @@ func (s *RowScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 			s.failures++
 			return 0, err
 		}
-		s.riders[att.Circuit]--
-		if s.riders[att.Circuit] <= 0 {
-			delete(s.riders, att.Circuit)
+		if att.Circuit.Riders > 0 {
+			att.Circuit.Riders--
 		}
 		*log = append(*log, detachUndo{
 			att:       att,
 			packet:    true,
 			cpuRack:   rackA,
 			memRack:   rackB,
-			segOffset: att.Segment.Offset,
-			segSize:   att.Segment.Size,
+			memID:     memID,
+			segOffset: segOffset,
+			segSize:   segSize,
 			attIdx:    idx,
 			row:       s,
 			crossNext: crossNext,
 		})
 		rackA.unregister(att)
 		s.removeCrossOrder(att)
-		rackB.touchMemory(att.Segment.Brick)
+		rackB.touchMemory(memID)
 		return s.cfg.DecisionLatency + 2*s.cfg.AgentRTT, nil
 	}
-	if n := s.riders[att.Circuit]; n > 0 {
+	if n := att.Circuit.Riders; n > 0 {
 		s.failures++
 		return 0, fmt.Errorf("sdm: cross-pod circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
@@ -437,13 +448,14 @@ func (s *RowScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 		s.failures++
 		return 0, err
 	}
+	segOffset, segSize := att.Segment.Offset, att.Segment.Size
 	if err := rackA.finishDetach(node, m, att); err != nil {
 		s.failures++
 		return 0, err
 	}
-	key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
+	hosts := s.crossHosts[att.CPUPod][att.CPURack][rackA.cpuPos(att.CPU)]
 	crossHostIdx := 0
-	if hosts := s.crossHosts[key]; plan != nil && plan.hostIdx >= 0 && plan.hostIdx < len(hosts) && hosts[plan.hostIdx] == att {
+	if plan != nil && plan.hostIdx >= 0 && plan.hostIdx < len(hosts) && hosts[plan.hostIdx] == att {
 		crossHostIdx = plan.hostIdx
 	} else {
 		for i, a := range hosts {
@@ -457,16 +469,17 @@ func (s *RowScheduler) batchDetachCross(att *Attachment, plan *crossPlan, log *[
 		att:          att,
 		cpuRack:      rackA,
 		memRack:      rackB,
-		segOffset:    att.Segment.Offset,
-		segSize:      att.Segment.Size,
+		memID:        memID,
+		segOffset:    segOffset,
+		segSize:      segSize,
 		t:            t,
 		attIdx:       idx,
 		crossHostIdx: crossHostIdx,
 		row:          s,
 		crossNext:    crossNext,
 	})
-	list := rackA.attachments[att.Owner]
-	rackA.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	ownerList := rackA.attachments[att.ownerID]
+	rackA.attachments[att.ownerID] = append(ownerList[:idx], ownerList[idx+1:]...)
 	s.removeCrossHost(att)
 	s.removeCrossOrder(att)
 	return lat, nil
@@ -506,7 +519,7 @@ func (s *RowScheduler) abortEvict(reqs []EvictRequest, rowLog []detachUndo, seqS
 				continue
 			}
 			rr := &pc.subReq[pc.pos[i]]
-			node := ps.racks[rr.Rack].computes[rr.CPU]
+			node := ps.racks[rr.Rack].compute(rr.CPU)
 			if rr.VCPUs > 0 {
 				if err := node.Brick.AllocCores(rr.VCPUs); err != nil {
 					cause = fmt.Errorf("%w (and rollback of request %d failed: %v)", cause, i, err)

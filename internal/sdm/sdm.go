@@ -183,6 +183,15 @@ type Attachment struct {
 	// seq is the pod scheduler's spill sequence number, the rebalancer's
 	// oldest-first walk order; zero for attachments that never crossed.
 	seq uint64
+	// ownerID is Owner interned against the registering (compute-end)
+	// controller's owner table, so every hot-path registry lookup is a
+	// slice index instead of a string hash.
+	ownerID int32
+	// crossPrev/crossNext thread the owning cross scheduler's
+	// oldest-first walk order through the attachments themselves — the
+	// intrusive replacement for the old list.List + map[*Attachment]
+	// element table. An attachment is on at most one tier's list.
+	crossPrev, crossNext *Attachment
 }
 
 // CrossRack reports whether the attachment crosses the pod tier.
@@ -200,29 +209,48 @@ type Controller struct {
 	rack   *topo.Rack
 	fabric *optical.Fabric
 
-	computes map[topo.BrickID]*ComputeNode
-	memories map[topo.BrickID]*brick.Memory
-	accels   map[topo.BrickID]*brick.Accel
+	// Dense brick registries: computeOrder/memoryOrder/accelOrder are
+	// canonical (tray, slot)-ordered ID lists, the brick slices are
+	// parallel to them (ordinal == order position), and the pos tables
+	// map [tray][slot] → ordinal (-1 = not that kind). Every hot-path
+	// registry access is an array load; nothing hashes a topo.BrickID.
+	computes []*ComputeNode
+	memories []*brick.Memory
+	accels   []*brick.Accel
 
 	computeOrder []topo.BrickID
 	memoryOrder  []topo.BrickID
 	accelOrder   []topo.BrickID
 
-	attachments map[string][]*Attachment
+	cpuPosTab, memPosTab, accPosTab [][]int32
 
-	// riders counts packet-mode attachments sharing each live circuit;
-	// circuitHosts indexes circuit-mode attachments by compute brick so
+	// attachments is indexed by interned owner ID (see internOwner);
+	// owners is the reverse table. IDs are never freed — the table
+	// mirrors the old map's key lifetime, where an owner's (possibly
+	// empty) slot persisted across re-admissions.
+	attachments [][]*Attachment
+	ownerIDs    map[string]int32
+	owners      []string
+
+	// circuitHosts indexes circuit-mode attachments by compute ordinal so
 	// the packet fallback can find a host circuit deterministically.
-	riders       map[*optical.Circuit]int
-	circuitHosts map[topo.BrickID][]*Attachment
+	// (Packet-rider counts live on the circuits themselves now:
+	// optical.Circuit.Riders.)
+	circuitHosts [][]*Attachment
 
-	// bareMetal maps exclusively reserved compute bricks to their tenant.
-	bareMetal map[topo.BrickID]string
+	// bareMetal maps compute ordinals to the tenant holding the brick
+	// exclusively ("" = none); bareMetalCount tracks occupancy.
+	bareMetal      []string
+	bareMetalCount int
 
-	// cpuIdx/memIdx are the placement indexes (see index.go); cpuPos and
-	// memPos map brick IDs to their order positions for leaf refreshes.
+	// attFree is the attachment arena: batch epilogues park retired
+	// attachments here and the admission paths recycle them, so
+	// steady-state churn allocates no Attachment objects.
+	attFree []*Attachment
+
+	// cpuIdx/memIdx are the placement indexes (see index.go), whose leaf
+	// positions are exactly the brick ordinals above.
 	cpuIdx, memIdx *placementIndex
-	cpuPos, memPos map[topo.BrickID]int
 
 	// tierConn is the cached rack-fabric connector (see rackTier).
 	tierConn connector
@@ -270,15 +298,21 @@ func NewController(rack *topo.Rack, fabric *optical.Fabric, bc BrickConfigs, cfg
 		return nil, err
 	}
 	c := &Controller{
-		cfg:          cfg,
-		rack:         rack,
-		fabric:       fabric,
-		computes:     make(map[topo.BrickID]*ComputeNode),
-		memories:     make(map[topo.BrickID]*brick.Memory),
-		accels:       make(map[topo.BrickID]*brick.Accel),
-		attachments:  make(map[string][]*Attachment),
-		riders:       make(map[*optical.Circuit]int),
-		circuitHosts: make(map[topo.BrickID][]*Attachment),
+		cfg:      cfg,
+		rack:     rack,
+		fabric:   fabric,
+		ownerIDs: make(map[string]int32),
+	}
+	setPos := func(tab *[][]int32, id topo.BrickID, ord int) {
+		for id.Tray >= len(*tab) {
+			*tab = append(*tab, nil)
+		}
+		row := (*tab)[id.Tray]
+		for id.Slot >= len(row) {
+			row = append(row, -1)
+		}
+		row[id.Slot] = int32(ord)
+		(*tab)[id.Tray] = row
 	}
 	for _, b := range rack.Bricks() {
 		bcCompute := bc.Compute
@@ -294,17 +328,20 @@ func NewController(rack *topo.Rack, fabric *optical.Fabric, bc BrickConfigs, cfg
 			if err != nil {
 				return nil, err
 			}
-			c.computes[b.ID] = &ComputeNode{
+			setPos(&c.cpuPosTab, b.ID, len(c.computeOrder))
+			c.computes = append(c.computes, &ComputeNode{
 				Brick:      cb,
 				Agent:      &Agent{Brick: b.ID, Glue: tgl.NewGlue(b.ID, table)},
 				nextWindow: cfg.WindowBase,
-			}
+			})
 			c.computeOrder = append(c.computeOrder, b.ID)
 		case topo.KindMemory:
-			c.memories[b.ID] = brick.NewMemory(b.ID, bcMemory)
+			setPos(&c.memPosTab, b.ID, len(c.memoryOrder))
+			c.memories = append(c.memories, brick.NewMemory(b.ID, bcMemory))
 			c.memoryOrder = append(c.memoryOrder, b.ID)
 		case topo.KindAccel:
-			c.accels[b.ID] = brick.NewAccel(b.ID, bcAccel)
+			setPos(&c.accPosTab, b.ID, len(c.accelOrder))
+			c.accels = append(c.accels, brick.NewAccel(b.ID, bcAccel))
 			c.accelOrder = append(c.accelOrder, b.ID)
 		}
 		for p := 0; p < b.Spec.Ports; p++ {
@@ -316,26 +353,109 @@ func NewController(rack *topo.Rack, fabric *optical.Fabric, bc BrickConfigs, cfg
 	if len(c.computes) == 0 {
 		return nil, fmt.Errorf("sdm: rack has no compute bricks")
 	}
+	c.circuitHosts = make([][]*Attachment, len(c.computes))
+	c.bareMetal = make([]string, len(c.computes))
 	c.buildIndexes()
 	return c, nil
 }
 
+// posIn resolves a brick ID against a [tray][slot] → ordinal table.
+func posIn(tab [][]int32, id topo.BrickID) int {
+	if id.Tray < 0 || id.Tray >= len(tab) {
+		return -1
+	}
+	row := tab[id.Tray]
+	if id.Slot < 0 || id.Slot >= len(row) {
+		return -1
+	}
+	return int(row[id.Slot])
+}
+
+// cpuPos returns the compute ordinal of a brick ID, or -1.
+func (c *Controller) cpuPos(id topo.BrickID) int { return posIn(c.cpuPosTab, id) }
+
+// memPos returns the memory ordinal of a brick ID, or -1.
+func (c *Controller) memPos(id topo.BrickID) int { return posIn(c.memPosTab, id) }
+
+// accPos returns the accelerator ordinal of a brick ID, or -1.
+func (c *Controller) accPos(id topo.BrickID) int { return posIn(c.accPosTab, id) }
+
+// compute returns the compute node for a brick ID, or nil.
+func (c *Controller) compute(id topo.BrickID) *ComputeNode {
+	if p := c.cpuPos(id); p >= 0 {
+		return c.computes[p]
+	}
+	return nil
+}
+
+// memory returns the memory brick object for a brick ID, or nil.
+func (c *Controller) memory(id topo.BrickID) *brick.Memory {
+	if p := c.memPos(id); p >= 0 {
+		return c.memories[p]
+	}
+	return nil
+}
+
 // Compute returns the compute node for a brick.
 func (c *Controller) Compute(id topo.BrickID) (*ComputeNode, bool) {
-	n, ok := c.computes[id]
-	return n, ok
+	n := c.compute(id)
+	return n, n != nil
 }
 
 // Memory returns the memory brick object.
 func (c *Controller) Memory(id topo.BrickID) (*brick.Memory, bool) {
-	m, ok := c.memories[id]
-	return m, ok
+	m := c.memory(id)
+	return m, m != nil
 }
 
 // Accel returns the accelerator brick object.
 func (c *Controller) Accel(id topo.BrickID) (*brick.Accel, bool) {
-	a, ok := c.accels[id]
-	return a, ok
+	if p := c.accPos(id); p >= 0 {
+		return c.accels[p], true
+	}
+	return nil, false
+}
+
+// internOwner resolves an owner name to its dense ID, assigning the
+// next one on first sight. Writes happen only on paths that own their
+// rack (serial entry points, or the per-rack shard of a commit wave),
+// so the table needs no locking.
+func (c *Controller) internOwner(owner string) int32 {
+	if id, ok := c.ownerIDs[owner]; ok {
+		return id
+	}
+	id := int32(len(c.owners))
+	c.ownerIDs[owner] = id
+	c.owners = append(c.owners, owner)
+	c.attachments = append(c.attachments, nil)
+	return id
+}
+
+// attachmentsOf returns the registry slot the attachment registers in —
+// the interned-ID fast path for the old attachments[att.Owner] lookup.
+func (c *Controller) attachmentsOf(att *Attachment) []*Attachment {
+	return c.attachments[att.ownerID]
+}
+
+// newAttachment pops a recycled attachment off the arena (or allocates
+// one), fully zeroed.
+func (c *Controller) newAttachment() *Attachment {
+	if n := len(c.attFree); n > 0 {
+		att := c.attFree[n-1]
+		c.attFree[n-1] = nil
+		c.attFree = c.attFree[:n-1]
+		*att = Attachment{}
+		return att
+	}
+	return &Attachment{}
+}
+
+// freeAttachment parks a detached attachment in the arena. Only batch
+// epilogues call this — at that point the journals that referenced the
+// attachment are dead by contract, and per-request callers that hold
+// the pointer have been handed their results already.
+func (c *Controller) freeAttachment(att *Attachment) {
+	c.attFree = append(c.attFree, att)
 }
 
 // Attachments returns the live attachments of an owner (a copy).
@@ -348,7 +468,10 @@ func (c *Controller) Attachments(owner string) []*Attachment {
 // callers that reuse a scratch buffer (migration pre-flights, the
 // rebalancer) instead of copying per query.
 func (c *Controller) AppendAttachments(dst []*Attachment, owner string) []*Attachment {
-	return append(dst, c.attachments[owner]...)
+	if id, ok := c.ownerIDs[owner]; ok {
+		return append(dst, c.attachments[id]...)
+	}
+	return dst
 }
 
 // Stats returns cumulative request/failure counters.
@@ -361,8 +484,8 @@ func (c *Controller) Stats() (requests, failures uint64) { return c.requests, c.
 func (c *Controller) FreeCores() int {
 	if c.cfg.Scan == ScanLinear {
 		n := 0
-		for _, id := range c.computeOrder {
-			n += c.computes[id].Brick.FreeCores()
+		for _, node := range c.computes {
+			n += node.Brick.FreeCores()
 		}
 		return n
 	}
@@ -374,8 +497,8 @@ func (c *Controller) FreeCores() int {
 func (c *Controller) FreeMemory() brick.Bytes {
 	if c.cfg.Scan == ScanLinear {
 		var n brick.Bytes
-		for _, id := range c.memoryOrder {
-			n += c.memories[id].Free()
+		for _, m := range c.memories {
+			n += m.Free()
 		}
 		return n
 	}

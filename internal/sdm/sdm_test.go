@@ -363,8 +363,7 @@ func TestPropAttachDetachConservation(t *testing.T) {
 		if c.fabric.LiveCircuits() != 0 {
 			return false
 		}
-		for _, id := range c.memoryOrder {
-			m := c.memories[id]
+		for _, m := range c.memories {
 			if m.Used() != 0 || m.Ports.Free() != m.Ports.Total() {
 				return false
 			}

@@ -64,16 +64,16 @@ type Snapshot struct {
 // order.
 func (c *Controller) Snapshot() Snapshot {
 	var s Snapshot
-	for _, id := range c.computeOrder {
-		n := c.computes[id]
+	for pos, n := range c.computes {
+		id := c.computeOrder[pos]
 		s.Bricks = append(s.Bricks, BrickState{
 			ID: id, Kind: topo.KindCompute.String(), Power: n.Brick.State().String(),
 			Cores: n.Brick.Cores, UsedCores: n.Brick.UsedCores(),
 			FreePorts: n.Brick.Ports.Free(), QuarantinedPorts: n.Brick.Ports.Quarantined(),
 		})
 	}
-	for _, id := range c.memoryOrder {
-		m := c.memories[id]
+	for pos, m := range c.memories {
+		id := c.memoryOrder[pos]
 		s.Bricks = append(s.Bricks, BrickState{
 			ID: id, Kind: topo.KindMemory.String(), Power: m.State().String(),
 			CapacityBytes: uint64(m.Capacity), UsedBytes: uint64(m.Used()),
@@ -81,8 +81,8 @@ func (c *Controller) Snapshot() Snapshot {
 			FreePorts: m.Ports.Free(), QuarantinedPorts: m.Ports.Quarantined(),
 		})
 	}
-	for _, id := range c.accelOrder {
-		a := c.accels[id]
+	for pos, a := range c.accels {
+		id := c.accelOrder[pos]
 		s.Bricks = append(s.Bricks, BrickState{
 			ID: id, Kind: topo.KindAccel.String(), Power: a.State().String(),
 			Slots: a.Slots(), FreeSlots: a.FreeSlots(),
@@ -92,30 +92,34 @@ func (c *Controller) Snapshot() Snapshot {
 	// Attachments: deterministic order via compute bricks' host index
 	// plus per-owner lists (which are append-ordered).
 	seen := map[*Attachment]bool{}
-	for _, id := range c.computeOrder {
-		for _, att := range c.circuitHosts[id] {
+	for ord := range c.computes {
+		for _, att := range c.circuitHosts[ord] {
 			s.Attachments = append(s.Attachments, c.attachmentState(att))
 			seen[att] = true
 		}
 	}
 	// Packet-mode attachments are not circuit hosts; collect them by
 	// owner in sorted owner order for determinism.
-	owners := make([]string, 0, len(c.attachments))
-	for o := range c.attachments {
-		owners = append(owners, o)
+	owners := make([]string, 0, len(c.owners))
+	for _, o := range c.owners {
+		if len(c.attachments[c.ownerIDs[o]]) > 0 {
+			owners = append(owners, o)
+		}
 	}
 	sort.Strings(owners)
 	for _, o := range owners {
-		for _, att := range c.attachments[o] {
+		for _, att := range c.attachments[c.ownerIDs[o]] {
 			if !seen[att] {
 				s.Attachments = append(s.Attachments, c.attachmentState(att))
 			}
 		}
 	}
-	if len(c.bareMetal) > 0 {
-		s.BareMetal = make(map[string]string, len(c.bareMetal))
-		for id, tenant := range c.bareMetal {
-			s.BareMetal[id.String()] = tenant
+	if c.bareMetalCount > 0 {
+		s.BareMetal = make(map[string]string, c.bareMetalCount)
+		for pos, tenant := range c.bareMetal {
+			if tenant != "" {
+				s.BareMetal[c.computeOrder[pos].String()] = tenant
+			}
 		}
 	}
 	s.Circuits = c.fabric.LiveCircuits()
@@ -131,7 +135,7 @@ func (c *Controller) attachmentState(att *Attachment) AttachmentState {
 		Bytes:      uint64(att.Size()),
 		WindowBase: att.Window.Base,
 		Mode:       att.Mode.String(),
-		Riders:     c.riders[att.Circuit],
+		Riders:     att.Circuit.Riders,
 	}
 }
 

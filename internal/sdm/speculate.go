@@ -60,11 +60,8 @@ package sdm
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/brick"
-	"repro/internal/topo"
 )
 
 // specMinChunk is the minimum number of requests per speculation
@@ -121,38 +118,6 @@ func resolveWorkers(workers int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return workers
-}
-
-// parallelFor runs fn(0..n-1) on a pool of at most workers goroutines,
-// handing out indexes through an atomic counter. Callers guarantee the
-// iterations write disjoint state, so scheduling order cannot affect
-// the outcome.
-func parallelFor(workers, n int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // chunkBounds splits n items into nchunks contiguous near-equal chunks
@@ -264,7 +229,7 @@ func (s *PodScheduler) specPartition(reqs []AdmitRequest, rackOf []int, plannedC
 	clear(planned)
 	spread := s.cfg.Policy == PolicySpread
 	chunk0Any := false
-	parallelFor(nw, nchunks, func(g int) {
+	s.fo.run(nw, nchunks, func(g int) {
 		lo, hi := chunkBounds(n, nchunks, g), chunkBounds(n, nchunks, g+1)
 		if g == 0 {
 			any := false
@@ -331,7 +296,7 @@ func (s *PodScheduler) planSpills(reqs []AdmitRequest, out []AdmitResult, worker
 	}
 	hints := sp.hints[:len(sp.spills)]
 	spread := s.cfg.Policy == PolicySpread
-	parallelFor(resolveWorkers(workers), len(sp.spills), func(k int) {
+	s.fo.run(resolveWorkers(workers), len(sp.spills), func(k int) {
 		i := sp.spills[k]
 		hints[k] = s.planSpill(reqs[i].Remote, out[i].Rack, spread)
 	})
@@ -392,18 +357,20 @@ func (s *PodScheduler) planCrossDetach(crossList []crossItem, workers int) []cro
 		sp.plans = make([]crossPlan, len(crossList))
 	}
 	plans := sp.plans[:len(crossList)]
-	parallelFor(resolveWorkers(workers), len(crossList), func(k int) {
+	s.fo.run(resolveWorkers(workers), len(crossList), func(k int) {
 		att := crossList[k].att
+		rackA := s.racks[att.CPURack]
 		p := crossPlan{attIdx: -1, hostIdx: -1}
-		for i, a := range s.racks[att.CPURack].attachments[att.Owner] {
-			if a == att {
-				p.attIdx = i
-				break
+		if id := int(att.ownerID); id >= 0 && id < len(rackA.attachments) {
+			for i, a := range rackA.attachments[id] {
+				if a == att {
+					p.attIdx = i
+					break
+				}
 			}
 		}
 		if att.Mode != ModePacket {
-			key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
-			for i, a := range s.crossHosts[key] {
+			for i, a := range s.crossHosts[att.CPURack][rackA.cpuPos(att.CPU)] {
 				if a == att {
 					p.hostIdx = i
 					break
@@ -501,7 +468,7 @@ func (s *RowScheduler) specPartition(reqs []AdmitRequest, podOf []int, plannedCo
 	clear(planned)
 	spread := s.cfg.Policy == PolicySpread
 	chunk0Any := false
-	parallelFor(nw, nchunks, func(g int) {
+	s.fo.run(nw, nchunks, func(g int) {
 		lo, hi := chunkBounds(n, nchunks, g), chunkBounds(n, nchunks, g+1)
 		if g == 0 {
 			any := false
@@ -577,7 +544,7 @@ func (s *RowScheduler) planSpills(reqs []AdmitRequest, out []AdmitResult, worker
 	hints := sp.hints[:len(sp.spills)]
 	spread := s.cfg.Policy == PolicySpread
 	s.cleanGaps()
-	parallelFor(resolveWorkers(workers), len(sp.spills), func(k int) {
+	s.fo.run(resolveWorkers(workers), len(sp.spills), func(k int) {
 		i := sp.spills[k]
 		hints[k] = s.planSpill(reqs[i].Remote, out[i].Pod, spread)
 	})
@@ -633,18 +600,20 @@ func (s *RowScheduler) planCrossDetach(crossList []crossItem, workers int) []cro
 		sp.plans = make([]crossPlan, len(crossList))
 	}
 	plans := sp.plans[:len(crossList)]
-	parallelFor(resolveWorkers(workers), len(crossList), func(k int) {
+	s.fo.run(resolveWorkers(workers), len(crossList), func(k int) {
 		att := crossList[k].att
+		rackA := s.pods[att.CPUPod].racks[att.CPURack]
 		p := crossPlan{attIdx: -1, hostIdx: -1}
-		for i, a := range s.pods[att.CPUPod].racks[att.CPURack].attachments[att.Owner] {
-			if a == att {
-				p.attIdx = i
-				break
+		if id := int(att.ownerID); id >= 0 && id < len(rackA.attachments) {
+			for i, a := range rackA.attachments[id] {
+				if a == att {
+					p.attIdx = i
+					break
+				}
 			}
 		}
 		if att.Mode != ModePacket {
-			key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
-			for i, a := range s.crossHosts[key] {
+			for i, a := range s.crossHosts[att.CPUPod][att.CPURack][rackA.cpuPos(att.CPU)] {
 				if a == att {
 					p.hostIdx = i
 					break

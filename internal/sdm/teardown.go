@@ -73,11 +73,14 @@ type detachUndo struct {
 	packet bool
 
 	// cpuRack/memRack are the controllers owning the two endpoints (the
-	// same controller for rack-local attachments); segOffset/segSize the
-	// released segment's identity (the Release dropped the live object,
-	// so rollback re-carves at the exact offset).
+	// same controller for rack-local attachments); memID/segOffset/segSize
+	// the released segment's identity, captured before the Release because
+	// the segment object returns to its brick's arena and may be recycled
+	// by the time rollback replays the record — rollback re-carves at the
+	// exact offset.
 	cpuRack   *Controller
 	memRack   *Controller
+	memID     topo.BrickID
 	segOffset brick.Bytes
 	segSize   brick.Bytes
 	t         connector
@@ -157,10 +160,12 @@ func (c *Controller) batchDetach(att *Attachment) (sim.Duration, error) {
 	}
 	c.requests++
 	idx := -1
-	for i, a := range c.attachments[att.Owner] {
-		if a == att {
-			idx = i
-			break
+	if id := int(att.ownerID); id >= 0 && id < len(c.attachments) {
+		for i, a := range c.attachments[id] {
+			if a == att {
+				idx = i
+				break
+			}
 		}
 	}
 	if idx == -1 {
@@ -170,13 +175,14 @@ func (c *Controller) batchDetach(att *Attachment) (sim.Duration, error) {
 	if att.Mode == ModePacket {
 		return c.batchDetachPacket(att, idx)
 	}
-	if n := c.riders[att.Circuit]; n > 0 {
+	if n := att.Circuit.Riders; n > 0 {
 		c.failures++
 		return 0, fmt.Errorf("sdm: circuit of %q on %v carries %d packet-mode riders; detach them first", att.Owner, att.CPU, n)
 	}
 
-	node := c.computes[att.CPU]
-	m := c.memories[att.Segment.Brick]
+	cpuOrd := c.cpuPos(att.CPU)
+	node := c.computes[cpuOrd]
+	m := c.memory(att.Segment.Brick)
 	cpu, memID := att.CPU, att.Segment.Brick
 	// The op's touch hooks, deferred so every exit marks both endpoints
 	// dirty exactly as Commit would have touched them.
@@ -205,6 +211,9 @@ func (c *Controller) batchDetach(att *Attachment) (sim.Duration, error) {
 		c.failures++
 		return 0, err
 	}
+	// Capture the segment identity before the release returns the object
+	// to its brick's arena.
+	segOffset, segSize := att.Segment.Offset, att.Segment.Size
 	// Ports, segment, unregistration — final, mirroring planDetach's
 	// irreversible last step.
 	if err := c.finishDetach(node, m, att); err != nil {
@@ -212,7 +221,7 @@ func (c *Controller) batchDetach(att *Attachment) (sim.Duration, error) {
 		return 0, err
 	}
 	hostIdx := 0
-	for i, a := range c.circuitHosts[cpu] {
+	for i, a := range c.circuitHosts[cpuOrd] {
 		if a == att {
 			hostIdx = i
 			break
@@ -222,14 +231,15 @@ func (c *Controller) batchDetach(att *Attachment) (sim.Duration, error) {
 		att:       att,
 		cpuRack:   c,
 		memRack:   c,
-		segOffset: att.Segment.Offset,
-		segSize:   att.Segment.Size,
+		memID:     memID,
+		segOffset: segOffset,
+		segSize:   segSize,
 		t:         t,
 		attIdx:    idx,
 		hostIdx:   hostIdx,
 	})
-	list := c.attachments[att.Owner]
-	c.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
+	list := c.attachments[att.ownerID]
+	c.attachments[att.ownerID] = append(list[:idx], list[idx+1:]...)
 	c.removeCircuitHost(att)
 	return lat, nil
 }
@@ -248,8 +258,10 @@ func (c *Controller) finishDetach(node *ComputeNode, m *brick.Memory, att *Attac
 
 // batchDetachPacket mirrors detachPacket and journals the undo.
 func (c *Controller) batchDetachPacket(att *Attachment, idx int) (sim.Duration, error) {
-	node := c.computes[att.CPU]
-	m := c.memories[att.Segment.Brick]
+	node := c.compute(att.CPU)
+	memID := att.Segment.Brick
+	m := c.memory(memID)
+	segOffset, segSize := att.Segment.Offset, att.Segment.Size
 	if err := node.Agent.Glue.Detach(att.Window.Base); err != nil {
 		c.failures++
 		return 0, err
@@ -258,22 +270,22 @@ func (c *Controller) batchDetachPacket(att *Attachment, idx int) (sim.Duration, 
 		c.failures++
 		return 0, err
 	}
-	c.riders[att.Circuit]--
-	if c.riders[att.Circuit] <= 0 {
-		delete(c.riders, att.Circuit)
+	if att.Circuit.Riders > 0 {
+		att.Circuit.Riders--
 	}
 	c.undoLog = append(c.undoLog, detachUndo{
 		att:       att,
 		packet:    true,
 		cpuRack:   c,
 		memRack:   c,
-		segOffset: att.Segment.Offset,
-		segSize:   att.Segment.Size,
+		memID:     memID,
+		segOffset: segOffset,
+		segSize:   segSize,
 		attIdx:    idx,
 	})
-	list := c.attachments[att.Owner]
-	c.attachments[att.Owner] = append(list[:idx], list[idx+1:]...)
-	c.touchMemory(att.Segment.Brick)
+	list := c.attachments[att.ownerID]
+	c.attachments[att.ownerID] = append(list[:idx], list[idx+1:]...)
+	c.touchMemory(memID)
 	return c.cfg.DecisionLatency + 2*c.cfg.AgentRTT, nil
 }
 
@@ -293,8 +305,8 @@ func insertAtt(list []*Attachment, idx int, att *Attachment) []*Attachment {
 func (u *detachUndo) undoDetach() error {
 	att := u.att
 	rackA := u.cpuRack
-	node := rackA.computes[att.CPU]
-	m := u.memRack.memories[att.Segment.Brick]
+	node := rackA.compute(att.CPU)
+	m := u.memRack.memory(u.memID)
 	seg, err := m.CarveAt(u.segOffset, u.segSize, att.Owner)
 	if err != nil {
 		return err
@@ -310,14 +322,7 @@ func (u *detachUndo) undoDetach() error {
 			m.Release(seg)
 			return err
 		}
-		switch {
-		case u.row != nil:
-			u.row.riders[att.Circuit]++
-		case u.pod != nil:
-			u.pod.riders[att.Circuit]++
-		default:
-			rackA.riders[att.Circuit]++
-		}
+		att.Circuit.Riders++
 	} else {
 		if err := node.Brick.Ports.Reacquire(att.CPUPort); err != nil {
 			m.Release(seg)
@@ -345,44 +350,31 @@ func (u *detachUndo) undoDetach() error {
 		}
 	}
 	// Registrations go back at their recorded positions.
-	rackA.attachments[att.Owner] = insertAtt(rackA.attachments[att.Owner], u.attIdx, att)
+	rackA.register(att)
+	list := rackA.attachments[att.ownerID]
+	rackA.attachments[att.ownerID] = insertAtt(list[:len(list)-1], u.attIdx, att)
+	cpuOrd := rackA.cpuPos(att.CPU)
 	if !u.packet {
 		switch {
 		case u.row != nil:
-			key := topo.RowBrickID{Pod: att.CPUPod, Rack: att.CPURack, Brick: att.CPU}
-			u.row.crossHosts[key] = insertAtt(u.row.crossHosts[key], u.crossHostIdx, att)
+			hosts := u.row.crossHosts[att.CPUPod][att.CPURack]
+			hosts[cpuOrd] = insertAtt(hosts[cpuOrd], u.crossHostIdx, att)
 		case u.pod != nil:
-			key := topo.PodBrickID{Rack: att.CPURack, Brick: att.CPU}
-			u.pod.crossHosts[key] = insertAtt(u.pod.crossHosts[key], u.crossHostIdx, att)
+			hosts := u.pod.crossHosts[att.CPURack]
+			hosts[cpuOrd] = insertAtt(hosts[cpuOrd], u.crossHostIdx, att)
 		default:
-			rackA.circuitHosts[att.CPU] = insertAtt(rackA.circuitHosts[att.CPU], u.hostIdx, att)
+			rackA.circuitHosts[cpuOrd] = insertAtt(rackA.circuitHosts[cpuOrd], u.hostIdx, att)
 		}
 	}
 	if u.row != nil {
 		// Re-thread the cross-pod walk order without re-stamping seq.
-		if u.crossNext != nil {
-			if el, ok := u.row.crossElem[u.crossNext]; ok {
-				u.row.crossElem[att] = u.row.crossOrder.InsertBefore(att, el)
-			} else {
-				u.row.crossElem[att] = u.row.crossOrder.PushBack(att)
-			}
-		} else {
-			u.row.crossElem[att] = u.row.crossOrder.PushBack(att)
-		}
+		u.row.cross.insertBefore(att, u.crossNext)
 	} else if u.pod != nil {
 		// Re-thread the rebalancer walk order without re-stamping seq.
-		if u.crossNext != nil {
-			if el, ok := u.pod.crossElem[u.crossNext]; ok {
-				u.pod.crossElem[att] = u.pod.crossOrder.InsertBefore(att, el)
-			} else {
-				u.pod.crossElem[att] = u.pod.crossOrder.PushBack(att)
-			}
-		} else {
-			u.pod.crossElem[att] = u.pod.crossOrder.PushBack(att)
-		}
+		u.pod.cross.insertBefore(att, u.crossNext)
 	}
 	rackA.touchCompute(att.CPU)
-	u.memRack.touchMemory(att.Segment.Brick)
+	u.memRack.touchMemory(u.memID)
 	return nil
 }
 
@@ -390,8 +382,8 @@ func (u *detachUndo) undoDetach() error {
 // packet rider shares: same CPU port, circuit mode.
 func findHost(rackA *Controller, pod *PodScheduler, row *RowScheduler, rider *Attachment) *Attachment {
 	if row != nil {
-		key := topo.RowBrickID{Pod: rider.CPUPod, Rack: rider.CPURack, Brick: rider.CPU}
-		for _, a := range row.crossHosts[key] {
+		ord := rackA.cpuPos(rider.CPU)
+		for _, a := range row.crossHosts[rider.CPUPod][rider.CPURack][ord] {
 			if a.CPUPort == rider.CPUPort {
 				return a
 			}
@@ -399,15 +391,15 @@ func findHost(rackA *Controller, pod *PodScheduler, row *RowScheduler, rider *At
 		return nil
 	}
 	if pod != nil {
-		key := topo.PodBrickID{Rack: rider.CPURack, Brick: rider.CPU}
-		for _, a := range pod.crossHosts[key] {
+		ord := rackA.cpuPos(rider.CPU)
+		for _, a := range pod.crossHosts[rider.CPURack][ord] {
 			if a.CPUPort == rider.CPUPort {
 				return a
 			}
 		}
 		return nil
 	}
-	for _, a := range rackA.circuitHosts[rider.CPU] {
+	for _, a := range rackA.circuitHosts[rackA.cpuPos(rider.CPU)] {
 		if a.CPUPort == rider.CPUPort {
 			return a
 		}

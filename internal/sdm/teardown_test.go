@@ -272,7 +272,7 @@ func TestEvictBatchRollbackRestoresState(t *testing.T) {
 			// spills and packet riders.
 			s := buildBatchPod(t, 3, 3, 1, 4*brick.GiB, cfg)
 			reqs, placed := populateChurnPod(t, s, 47, 3, 8)
-			if s.crossOrder.Len() == 0 {
+			if s.cross.n == 0 {
 				t.Fatal("population produced no cross-rack spills; the rollback test needs live crossOrder entries")
 			}
 
@@ -436,7 +436,7 @@ func TestRebalanceBatchMatchesSequential(t *testing.T) {
 	}
 	seqPod, _ := build()
 	batPod, _ := build()
-	if seqPod.crossOrder.Len() == 0 {
+	if seqPod.cross.n == 0 {
 		t.Fatal("no spills to promote")
 	}
 
@@ -478,7 +478,7 @@ func TestConsolidateDrainsAndPowersDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.crossOrder.Len() == 0 {
+	if s.cross.n == 0 {
 		t.Fatal("scenario produced no cross-rack spills")
 	}
 	// Free the 3GiB filler: rack 0 can now hold the parked segments.
